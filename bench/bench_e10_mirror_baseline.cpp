@@ -1,0 +1,101 @@
+// E10 — Single-page recovery vs. SQL-Server-style mirroring repair (paper
+// section 2).
+//
+// The only prior automatic page repair the paper identifies keeps an
+// entire mirror database current by applying the full log stream; "the
+// recovery log is applied to the entire mirror database, not just the
+// individual page that requires repair, and the recovery process
+// completely fails to exploit the per-page log chain". This bench makes
+// the comparison quantitative: log records processed, pages written, and
+// repair latency for one failed page, plus the mirror's standing cost.
+
+#include "bench_util.h"
+#include "core/mirror_baseline.h"
+
+namespace spf {
+namespace bench {
+namespace {
+
+constexpr uint64_t kPages = 8192;
+constexpr int kRecords = 10000;
+
+void Run() {
+  printf("E10: one-page repair - per-page log chain vs. full-stream mirror\n");
+
+  DatabaseOptions options = DiskOptions(kPages);
+  options.backup_policy.updates_threshold = 0;
+  auto db = MakeLoadedDb(options, kRecords);
+  SPF_CHECK_OK(db->TakeFullBackup().status());
+  SPF_CHECK_OK(db->FlushAll());
+
+  // Mirror on its own device, seeded like a mirroring setup's initial sync.
+  SimDevice mirror_dev("mirror", kDefaultPageSize, kPages,
+                       DeviceProfile::Hdd100(), db->clock());
+  MirrorBaseline mirror(db->log(), &mirror_dev, db->clock());
+  SPF_CHECK_OK(mirror.SeedFromPrincipal(db->data_device()));
+
+  // Workload after the sync: this is the stream BOTH repair schemes must
+  // cope with — the mirror by applying all of it, single-page recovery by
+  // walking one chain.
+  Random rng(17);
+  for (int txn_i = 0; txn_i < 100; ++txn_i) {
+    Transaction* t = db->Begin();
+    for (int op = 0; op < 20; ++op) {
+      SPF_CHECK_OK(db->Update(t, Key(static_cast<int>(rng.Uniform(kRecords))),
+                              "mirror-era-update"));
+    }
+    SPF_CHECK_OK(db->Commit(t));
+  }
+  UpdateKeyNTimes(db.get(), 4242, 30);  // the victim's chain: ~30 records
+  SPF_CHECK_OK(db->FlushAll());
+  db->log()->ForceAll();
+  auto victim_or = db->LeafPageOf(Key(4242));
+  SPF_CHECK(victim_or.ok());
+  PageId victim = *victim_or;
+
+  // --- repair via the mirror ----------------------------------------------------
+  PageBuffer from_mirror(kDefaultPageSize);
+  SimTimer mirror_timer(db->clock());
+  SPF_CHECK_OK(mirror.RepairFrom(victim, from_mirror.data()));
+  double mirror_seconds = mirror_timer.ElapsedSeconds();
+  MirrorStats ms = mirror.stats();
+  SPF_CHECK_OK(from_mirror.view().Verify(victim));
+
+  // --- repair via single-page recovery -------------------------------------------
+  db->pool()->DiscardAll();
+  db->data_device()->InjectSilentCorruption(victim);
+  db->single_page_recovery()->ResetStats();
+  SimTimer spr_timer(db->clock());
+  auto v = db->Get(nullptr, Key(4242));
+  double spr_seconds = spr_timer.ElapsedSeconds();
+  SPF_CHECK(v.ok()) << v.status().ToString();
+  auto spr = db->single_page_recovery()->stats();
+
+  Table table({"scheme", "log records processed", "pages written",
+               "repair latency", "standing cost"});
+  table.AddRow({"mirroring (section 2)", std::to_string(ms.records_scanned),
+                std::to_string(ms.mirror_writes), FormatSeconds(mirror_seconds),
+                "full second copy of the database, continuous apply"});
+  table.AddRow({"single-page recovery",
+                std::to_string(spr.log_reads),
+                "1", FormatSeconds(spr_seconds),
+                "PRI (~1 permille of db, see E5) + per-page backups"});
+  table.Print();
+
+  printf(
+      "\nPaper expectation: the mirror processes the ENTIRE log stream\n"
+      "(%" PRIu64 " records here) and keeps a full second database, while\n"
+      "single-page recovery reads only the failed page's chain\n"
+      "(%" PRIu64 " records) plus one backup page - the per-page log chain\n"
+      "the mirroring scheme \"completely fails to exploit\".\n",
+      ms.records_scanned, spr.log_reads);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace spf
+
+int main() {
+  spf::bench::Run();
+  return 0;
+}

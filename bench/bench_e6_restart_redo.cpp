@@ -1,0 +1,94 @@
+// E6 — Restart redo with and without write tracking (paper section 5.1.2
+// / Figure 4, section 5.2.5).
+//
+// "The 'redo' pass must read all data pages with logged updates ... These
+// random reads in the database dominate the cost of the 'redo' pass. Many
+// of these random reads can be avoided if the recovery log indicates which
+// pages have been written successfully" — and "log records describing
+// updates in the page recovery index also imply successful writes. Thus,
+// these log records enable the same speed-up of the 'redo' phase."
+//
+// Identical crash scenario under the three tracking modes; the pages that
+// were flushed before the crash need no redo read when their writes were
+// certified. Expected: kCompletedWrites and kPri both slash redo page
+// reads and redo time vs. kNone, and match each other.
+
+#include "bench_util.h"
+
+namespace spf {
+namespace bench {
+namespace {
+
+struct Result {
+  std::string mode;
+  RestartStats stats;
+};
+
+Result RunMode(WriteTrackingMode mode, const std::string& name) {
+  DatabaseOptions options = DiskOptions(8192);
+  options.tracking = mode;
+  options.backup_policy.updates_threshold = 0;
+  auto db = MakeLoadedDb(options, 15000);
+  SPF_CHECK_OK(db->Checkpoint().status());
+
+  // Post-checkpoint updates over many pages...
+  Random rng(3);
+  Transaction* t = db->Begin();
+  for (int i = 0; i < 3000; ++i) {
+    SPF_CHECK_OK(db->Update(t, Key(static_cast<int>(rng.Uniform(15000))),
+                            "post-checkpoint-update"));
+  }
+  SPF_CHECK_OK(db->Commit(t));
+  // ...all flushed (their writes complete and, depending on mode, get
+  // certified in the log), plus a burst of unflushed updates that redo
+  // must genuinely replay.
+  SPF_CHECK_OK(db->FlushAll());
+  Transaction* t2 = db->Begin();
+  for (int i = 0; i < 300; ++i) {
+    SPF_CHECK_OK(db->Update(t2, Key(i), "unflushed"));
+  }
+  SPF_CHECK_OK(db->Commit(t2));
+
+  db->SimulateCrash();
+  auto stats = db->Restart();
+  SPF_CHECK(stats.ok()) << stats.status().ToString();
+  return {name, *stats};
+}
+
+void Run() {
+  printf("E6: restart redo cost with and without write certifications\n");
+  std::vector<Result> results;
+  results.push_back(RunMode(WriteTrackingMode::kNone, "none (plain ARIES)"));
+  results.push_back(
+      RunMode(WriteTrackingMode::kCompletedWrites, "completed writes"));
+  results.push_back(RunMode(WriteTrackingMode::kPri, "page recovery index"));
+
+  Table table({"mode", "certifications", "redo page reads", "redo applied",
+               "skipped w/o read", "redo time", "restart total"});
+  for (const Result& r : results) {
+    double total = r.stats.analysis_sim_seconds + r.stats.redo_sim_seconds +
+                   r.stats.undo_sim_seconds;
+    table.AddRow({r.mode, std::to_string(r.stats.write_certifications_seen),
+                  std::to_string(r.stats.redo_page_reads),
+                  std::to_string(r.stats.redo_applied),
+                  std::to_string(r.stats.redo_skipped_by_dpt),
+                  FormatSeconds(r.stats.redo_sim_seconds),
+                  FormatSeconds(total)});
+  }
+  table.Print();
+  printf(
+      "\nPaper expectation (Figure 4): without write tracking, redo reads\n"
+      "every page with logged updates (page 63 AND page 47); completed-write\n"
+      "records avoid the read for flushed pages (page 47 skipped); PRI\n"
+      "records achieve the SAME redo savings while additionally maintaining\n"
+      "the index that enables single-page recovery.\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace spf
+
+int main() {
+  spf::bench::Run();
+  return 0;
+}

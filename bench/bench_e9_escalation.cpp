@@ -1,0 +1,142 @@
+// E9 — Failure-scope escalation (paper Figure 1, section 3.2).
+//
+// "If single-page failures are not a supported class of failures, failure
+// of a single page must be handled as a media failure. In machines or
+// nodes with only one storage device, a media failure is equal to a
+// system failure."
+//
+// The same physical event — one corrupted page — is handled under three
+// policies, measuring downtime (simulated) and transactions aborted:
+//   1. single-page recovery supported: the reading transaction waits a
+//      sub-second repair; nothing aborts;
+//   2. escalated to MEDIA failure: every active transaction aborts; the
+//      database is down for a full restore + replay;
+//   3. escalated to SYSTEM failure (single-device node): crash + restart
+//      recovery ON TOP of the media recovery.
+
+#include "bench_util.h"
+
+namespace spf {
+namespace bench {
+namespace {
+
+constexpr uint64_t kPages = 8192;
+constexpr int kRecords = 15000;
+
+struct Scenario {
+  std::string policy;
+  double downtime = 0;
+  uint64_t txns_aborted = 0;
+  std::string note;
+};
+
+std::unique_ptr<Database> Setup(bool repair_enabled, PageId* victim) {
+  DatabaseOptions options = DiskOptions(kPages);
+  options.enable_single_page_repair = repair_enabled;
+  options.backup_policy.updates_threshold = 0;
+  auto db = MakeLoadedDb(options, kRecords);
+  SPF_CHECK_OK(db->TakeFullBackup().status());
+  UpdateKeyNTimes(db.get(), 500, 20);
+  SPF_CHECK_OK(db->FlushAll());
+  auto v = db->LeafPageOf(Key(500));
+  SPF_CHECK(v.ok());
+  *victim = *v;
+  db->pool()->DiscardAll();
+  return db;
+}
+
+void Run() {
+  printf("E9: one corrupted page, three failure-handling scopes (Figure 1)\n");
+  std::vector<Scenario> rows;
+
+  // --- scope 1: single-page failure handled as such ----------------------------
+  {
+    PageId victim;
+    auto db = Setup(/*repair_enabled=*/true, &victim);
+    // Five concurrent-ish transactions in flight.
+    std::vector<Transaction*> active;
+    for (int i = 0; i < 5; ++i) {
+      Transaction* t = db->Begin();
+      // Far from the victim's leaf so the victim stays uncached.
+      SPF_CHECK_OK(db->Put(t, Key(900000 + i), "in-flight"));
+      active.push_back(t);
+    }
+    db->data_device()->InjectSilentCorruption(victim);
+    SimTimer timer(db->clock());
+    auto v = db->Get(active[0], Key(500));  // hits the failure, waits
+    double downtime = timer.ElapsedSeconds();
+    SPF_CHECK(v.ok()) << v.status().ToString();
+    for (Transaction* t : active) SPF_CHECK_OK(db->Commit(t));
+    rows.push_back({"single-page recovery", downtime, 0,
+                    "reader merely delayed; all 5 txns commit"});
+  }
+
+  // --- scope 2: escalated to media failure -------------------------------------
+  {
+    PageId victim;
+    auto db = Setup(/*repair_enabled=*/false, &victim);
+    std::vector<Transaction*> active;
+    for (int i = 0; i < 5; ++i) {
+      Transaction* t = db->Begin();
+      SPF_CHECK_OK(db->Put(t, Key(900000 + i), "in-flight"));
+      active.push_back(t);
+    }
+    db->log()->ForceAll();
+    db->data_device()->InjectSilentCorruption(victim);
+    SimTimer timer(db->clock());
+    auto v = db->Get(active[0], Key(500));
+    SPF_CHECK(v.status().IsMediaFailure()) << v.status().ToString();
+    uint64_t aborted = db->txns()->active_count();
+    auto stats = db->RecoverMedia();  // aborts active txns internally
+    SPF_CHECK(stats.ok()) << stats.status().ToString();
+    double downtime = timer.ElapsedSeconds();
+    rows.push_back({"escalated: media failure", downtime, aborted,
+                    "full restore + replay; all active txns aborted"});
+  }
+
+  // --- scope 3: escalated to system failure (single-device node) ----------------
+  {
+    PageId victim;
+    auto db = Setup(/*repair_enabled=*/false, &victim);
+    Transaction* t = db->Begin();
+    SPF_CHECK_OK(db->Put(t, Key(900001), "in-flight"));
+    db->log()->ForceAll();
+    uint64_t aborted = db->txns()->active_count();
+    db->data_device()->InjectSilentCorruption(victim);
+    SimTimer timer(db->clock());
+    // The node goes down entirely: crash + ARIES restart (undoes the
+    // loser); the corrupted page then surfaces on first access and,
+    // without single-page recovery, forces a full media recovery.
+    db->SimulateCrash();
+    auto restart = db->Restart();
+    SPF_CHECK(restart.ok()) << restart.status().ToString();
+    auto v = db->Get(nullptr, Key(500));
+    SPF_CHECK(v.status().IsMediaFailure()) << v.status().ToString();
+    auto media = db->RecoverMedia();
+    SPF_CHECK(media.ok()) << media.status().ToString();
+    double downtime = timer.ElapsedSeconds();
+    rows.push_back({"escalated: system failure", downtime, aborted,
+                    "node restart + ARIES restart + media recovery"});
+  }
+
+  Table table({"handling scope", "downtime (sim)", "txns aborted", "notes"});
+  for (const Scenario& s : rows) {
+    table.AddRow({s.policy, FormatSeconds(s.downtime),
+                  std::to_string(s.txns_aborted), s.note});
+  }
+  table.Print();
+  printf(
+      "\nPaper expectation: supporting the fourth failure class prevents\n"
+      "the escalation entirely - sub-second delay and zero aborts, versus\n"
+      "minutes-scale downtime and universal aborts when the same event is\n"
+      "treated as a media or system failure.\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace spf
+
+int main() {
+  spf::bench::Run();
+  return 0;
+}

@@ -1,0 +1,151 @@
+// Shared helpers for the experiment harness: workload generators, table
+// printing, and duration formatting. Every bench binary prints a
+// paper-style table on stdout and exits 0; absolute numbers come from the
+// simulated clock (see DESIGN.md section 2), so the tables reproduce the
+// SHAPE of the paper's section 6 arithmetic regardless of host speed.
+
+#pragma once
+
+#include <cinttypes>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/macros.h"
+#include "db/database.h"
+
+namespace spf {
+namespace bench {
+
+inline std::string Key(int i) {
+  char buf[20];
+  snprintf(buf, sizeof(buf), "key%08d", i);
+  return buf;
+}
+
+/// Human-readable simulated duration.
+inline std::string FormatSeconds(double s) {
+  char buf[64];
+  if (s < 1e-6) {
+    snprintf(buf, sizeof(buf), "%.1f ns", s * 1e9);
+  } else if (s < 1e-3) {
+    snprintf(buf, sizeof(buf), "%.1f us", s * 1e6);
+  } else if (s < 1.0) {
+    snprintf(buf, sizeof(buf), "%.1f ms", s * 1e3);
+  } else if (s < 120.0) {
+    snprintf(buf, sizeof(buf), "%.2f s", s);
+  } else if (s < 7200.0) {
+    snprintf(buf, sizeof(buf), "%.1f min", s / 60.0);
+  } else {
+    snprintf(buf, sizeof(buf), "%.1f h", s / 3600.0);
+  }
+  return buf;
+}
+
+inline std::string FormatBytes(double b) {
+  char buf[64];
+  if (b < 1024.0) {
+    snprintf(buf, sizeof(buf), "%.0f B", b);
+  } else if (b < 1024.0 * 1024) {
+    snprintf(buf, sizeof(buf), "%.1f KiB", b / 1024.0);
+  } else if (b < 1024.0 * 1024 * 1024) {
+    snprintf(buf, sizeof(buf), "%.1f MiB", b / (1024.0 * 1024));
+  } else {
+    snprintf(buf, sizeof(buf), "%.2f GiB", b / (1024.0 * 1024 * 1024));
+  }
+  return buf;
+}
+
+/// Fixed-width text table.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void AddRow(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+  void Print() const {
+    std::vector<size_t> width(headers_.size());
+    for (size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      for (size_t c = 0; c < row.size() && c < width.size(); ++c) {
+        width[c] = std::max(width[c], row[c].size());
+      }
+    }
+    auto print_sep = [&] {
+      for (size_t c = 0; c < width.size(); ++c) {
+        printf("+%s", std::string(width[c] + 2, '-').c_str());
+      }
+      printf("+\n");
+    };
+    auto print_row = [&](const std::vector<std::string>& row) {
+      for (size_t c = 0; c < width.size(); ++c) {
+        const std::string& cell = c < row.size() ? row[c] : "";
+        printf("| %-*s ", static_cast<int>(width[c]), cell.c_str());
+      }
+      printf("|\n");
+    };
+    print_sep();
+    print_row(headers_);
+    print_sep();
+    for (const auto& row : rows_) print_row(row);
+    print_sep();
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Builds a database and loads `n` sequential records in batches.
+inline std::unique_ptr<Database> MakeLoadedDb(DatabaseOptions options, int n,
+                                              const std::string& value = "v") {
+  auto db_or = Database::Create(options);
+  SPF_CHECK(db_or.ok()) << db_or.status().ToString();
+  auto db = std::move(db_or).value();
+  const int kBatch = 1000;
+  for (int base = 0; base < n; base += kBatch) {
+    Transaction* t = db->Begin();
+    for (int i = base; i < std::min(base + kBatch, n); ++i) {
+      SPF_CHECK_OK(db->Insert(t, Key(i), value + "-" + std::to_string(i)));
+    }
+    SPF_CHECK_OK(db->Commit(t));
+  }
+  return db;
+}
+
+/// Applies `n` committed single-key updates (each adds one record to the
+/// key's per-page chain).
+inline void UpdateKeyNTimes(Database* db, int key, int n) {
+  for (int i = 0; i < n; ++i) {
+    Transaction* t = db->Begin();
+    SPF_CHECK_OK(db->Update(t, Key(key), "u" + std::to_string(i)));
+    SPF_CHECK_OK(db->Commit(t));
+  }
+}
+
+/// Default bench device profiles: disk-backed data and log so the paper's
+/// I/O arithmetic (10 ms random access, 100 MB/s sequential) applies.
+inline DatabaseOptions DiskOptions(uint64_t num_pages) {
+  DatabaseOptions o;
+  o.num_pages = num_pages;
+  o.buffer_frames = 2048;
+  o.data_profile = DeviceProfile::Hdd100();
+  o.log_profile = DeviceProfile::Hdd100();
+  o.backup_profile = DeviceProfile::Hdd100();
+  return o;
+}
+
+/// CPU-bound profile for detection-overhead microbenches.
+inline DatabaseOptions InstantOptions(uint64_t num_pages) {
+  DatabaseOptions o;
+  o.num_pages = num_pages;
+  o.buffer_frames = 4096;
+  o.data_profile = DeviceProfile::Instant();
+  o.log_profile = DeviceProfile::Instant();
+  o.backup_profile = DeviceProfile::Instant();
+  return o;
+}
+
+}  // namespace bench
+}  // namespace spf

@@ -1,0 +1,69 @@
+// Quickstart: create a database, write and read data, inject a
+// single-page failure, and watch it heal on the next read — the paper's
+// headline behavior in ~80 lines.
+//
+// Build & run:  cmake -B build -G Ninja && cmake --build build
+//               ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "db/database.h"
+
+using namespace spf;
+
+int main() {
+  // 1. Create a 32 MiB database on simulated SSD storage.
+  DatabaseOptions options;
+  options.num_pages = 4096;
+  auto db_or = Database::Create(options);
+  if (!db_or.ok()) {
+    fprintf(stderr, "create failed: %s\n", db_or.status().ToString().c_str());
+    return 1;
+  }
+  auto db = std::move(db_or).value();
+
+  // 2. Write some data in a transaction.
+  Transaction* txn = db->Begin();
+  for (int i = 0; i < 1000; ++i) {
+    char key[32], value[32];
+    snprintf(key, sizeof(key), "user:%05d", i);
+    snprintf(value, sizeof(value), "balance=%d", i * 10);
+    SPF_CHECK_OK(db->Insert(txn, key, value));
+  }
+  SPF_CHECK_OK(db->Commit(txn));
+  printf("inserted 1000 records\n");
+
+  // 3. Read one back.
+  auto v = db->Get(nullptr, "user:00500");
+  printf("user:00500 -> %s\n", v->c_str());
+
+  // 4. Flush to "disk", then corrupt the page holding that record —
+  //    silently, the way a failing device would (section 1's anecdote).
+  SPF_CHECK_OK(db->FlushAll());
+  PageId victim = *db->LeafPageOf("user:00500");
+  db->pool()->DiscardAll();  // make sure the next read hits the device
+  db->data_device()->InjectSilentCorruption(victim);
+  printf("corrupted page %llu on the device\n",
+         static_cast<unsigned long long>(victim));
+
+  // 5. Read again: the checksum catches the corruption (Figure 8), the
+  //    page recovery index locates a backup, the per-page log chain
+  //    replays the updates (Figure 10), and the read SUCCEEDS. No
+  //    transaction aborted; the read was merely delayed.
+  v = db->Get(nullptr, "user:00500");
+  printf("after failure, user:00500 -> %s\n", v->c_str());
+
+  auto stats = db->single_page_recovery()->stats();
+  printf(
+      "single-page recovery: %llu repair(s), chain of %llu record(s), "
+      "backup source=%d, %.1f ms simulated I/O\n",
+      static_cast<unsigned long long>(stats.repairs_succeeded),
+      static_cast<unsigned long long>(stats.last_chain_length),
+      static_cast<int>(stats.last_backup_kind),
+      static_cast<double>(stats.last_sim_ns) / 1e6);
+
+  // 6. The database is intact — prove it with the offline verifier.
+  SPF_CHECK_OK(db->CheckOffline(nullptr));
+  printf("offline verification: OK\n");
+  return 0;
+}

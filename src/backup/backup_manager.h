@@ -1,0 +1,134 @@
+// Sources of backup pages (paper section 5.2.1).
+//
+// Single-page recovery needs an earlier copy of the failed page. The paper
+// enumerates four sources, all implemented here:
+//   1. a full database backup (also the basis for media recovery);
+//   2. per-page backup copies taken during normal processing, e.g. after
+//      every N updates of a page (BackupPolicy);
+//   3. the page image retained by a page migration / in-log full page
+//      images (kFullPageImage records);
+//   4. the PageFormat log record of a freshly allocated page.
+// Sources 3 and 4 live in the recovery log itself; this module manages the
+// dedicated backup device used by sources 1 and 2, including the paper's
+// "never overwrite the old backup page before the new one exists" rule.
+
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/status.h"
+#include "common/statusor.h"
+#include "log/log_manager.h"
+#include "storage/page.h"
+#include "storage/sim_device.h"
+
+namespace spf {
+
+/// When normal processing takes a per-page backup copy (section 6: "fast
+/// single-page recovery can be ensured with a page backup after a number
+/// of updates or after a period since the last page backup").
+struct BackupPolicy {
+  /// Take a copy when a page is written with at least this many updates
+  /// since its last backup. 0 disables per-page copies.
+  uint32_t updates_threshold = 100;
+  /// Log the image into the recovery log instead of the backup device
+  /// (source 3 above).
+  bool use_in_log_images = false;
+};
+
+/// Identifies a full database backup.
+using BackupId = uint64_t;
+
+struct FullBackupInfo {
+  BackupId id;
+  Lsn backup_lsn;        ///< log position when the backup was taken
+  uint64_t num_pages;
+};
+
+struct BackupStats {
+  uint64_t full_backups = 0;
+  uint64_t page_backups_taken = 0;
+  uint64_t page_backups_freed = 0;
+  uint64_t in_log_images = 0;
+  uint64_t backup_reads = 0;
+};
+
+/// Manages the backup device: full backups (sequential image of the data
+/// device) and an allocate-then-free store of individual page copies.
+/// Thread-safe.
+class BackupManager {
+ public:
+  /// `backup_device` must have capacity for one full backup plus the
+  /// per-page copy working set; by convention the first `data_pages` ids
+  /// hold the full backup and the remainder is the page-copy pool.
+  BackupManager(SimDevice* data_device, SimDevice* backup_device,
+                LogManager* log);
+
+  SPF_DISALLOW_COPY(BackupManager);
+
+  // --- full backups ----------------------------------------------------------
+
+  /// Takes a full backup: sequentially copies every data page to the
+  /// backup device. The caller must have flushed the buffer pool (sharp
+  /// backup). Returns the backup descriptor.
+  StatusOr<FullBackupInfo> TakeFullBackup();
+
+  /// Latest full backup, if any.
+  std::optional<FullBackupInfo> latest_full_backup() const;
+
+  /// Reads page `id`'s image from full backup `backup` into `out`.
+  Status ReadFromFullBackup(BackupId backup, PageId id, char* out);
+
+  /// Sequentially restores every page of full backup `backup` onto
+  /// `target` (media recovery, section 5.1.3). Returns pages restored.
+  StatusOr<uint64_t> RestoreFullBackup(BackupId backup, SimDevice* target);
+
+  // --- per-page backup copies -------------------------------------------------
+
+  /// Stores a copy of `page_data` for data page `id` on the backup device.
+  /// Allocates the new slot before freeing the old one (a failed write
+  /// must not destroy the only backup — section 5.2.2). Returns the
+  /// backup-device location for the PRI's backup reference.
+  StatusOr<PageId> TakePageBackup(PageId id, const char* page_data);
+
+  /// Reads the per-page backup at backup-device location `loc` into `out`.
+  Status ReadPageBackup(PageId loc, char* out);
+
+  /// Appends the page image to the recovery log (kFullPageImage) and
+  /// returns the record's LSN for the PRI's backup reference.
+  StatusOr<Lsn> LogPageImage(PageId id, const char* page_data);
+
+  /// Reads a page image back from a kFullPageImage record at `lsn`.
+  Status ReadLogImage(Lsn lsn, PageId expected_id, char* out);
+
+  BackupStats stats() const;
+  SimDevice* backup_device() { return backup_device_; }
+
+  /// The backup catalog models stable storage and survives simulated
+  /// crashes; only the log manager is volatile and must be re-wired after
+  /// a crash rebuilds it.
+  void RewireLog(LogManager* log) { log_ = log; }
+
+ private:
+  SimDevice* const data_device_;
+  SimDevice* const backup_device_;
+  LogManager* log_;
+  const uint32_t page_size_;
+  const uint64_t data_pages_;  // full-backup region size on backup device
+
+  mutable std::mutex mu_;
+  std::optional<FullBackupInfo> full_backup_;
+  BackupId next_backup_id_ = 1;
+  // Per-page copy slot management in the backup device's tail region.
+  std::vector<PageId> free_slots_;
+  PageId next_fresh_slot_;
+  std::unordered_map<PageId, PageId> current_slot_;  // data page -> slot
+  BackupStats stats_;
+};
+
+}  // namespace spf

@@ -1,0 +1,829 @@
+#include "btree/btree.h"
+
+#include <algorithm>
+
+namespace spf {
+
+namespace {
+constexpr uint32_t kMaxTreeDepth = 64;
+}
+
+BTree::BTree(BTreeOptions options, BufferPool* pool, LogManager* log,
+             TxnManager* txns, PageAllocator* alloc, PageId meta_pid)
+    : options_(options),
+      pool_(pool),
+      log_(log),
+      txns_(txns),
+      alloc_(alloc),
+      meta_pid_(meta_pid) {}
+
+void BTree::BumpVerification(uint64_t n) {
+  std::lock_guard<std::mutex> g(stats_mu_);
+  stats_.traversal_verifications += n;
+}
+
+Status BTree::ValidateKV(std::string_view key, std::string_view value) const {
+  if (key.empty()) return Status::InvalidArgument("empty key");
+  if (key.size() > kMaxKeyLen) return Status::InvalidArgument("key too long");
+  if (value.size() > kMaxValueLen) {
+    return Status::InvalidArgument("value too long");
+  }
+  return Status::OK();
+}
+
+Status BTree::LockKey(Transaction* txn, std::string_view key, LockMode mode) {
+  if (txn == nullptr || txn->is_system()) return Status::OK();
+  std::string k(key);
+  SPF_RETURN_IF_ERROR(txns_->lock_manager()->Lock(txn->id(), k, mode));
+  txn->locked_keys().insert(std::move(k));
+  return Status::OK();
+}
+
+StatusOr<PageId> BTree::root_pid() {
+  auto guard = pool_->FixPage(meta_pid_, LatchMode::kShared);
+  if (!guard.ok()) return guard.status();
+  MetaView meta(guard->view());
+  if (!meta.valid()) {
+    return Status::Corruption("meta page lost its magic");
+  }
+  return meta.meta().root_pid;
+}
+
+Status BTree::Create() {
+  // Allocate and format the root leaf inside a system transaction; the
+  // format record doubles as the page's first backup source.
+  SPF_ASSIGN_OR_RETURN(PageId root, alloc_->Allocate());
+  Transaction* sys = txns_->BeginSystem();
+
+  SPF_ASSIGN_OR_RETURN(PageGuard root_guard, pool_->FixNewPage(root));
+  PageView page = root_guard.view();
+  page.Format(root, PageType::kBTreeLeaf);
+  BTreeNode node(page);
+  node.Init(/*level=*/0, KeyBound::NegInf(), KeyBound::PosInf(),
+            kInvalidPageId, KeyBound::PosInf());
+  root_guard.MarkDirty();
+  btree_log::FormatBody format;
+  format.page_type = static_cast<uint16_t>(PageType::kBTreeLeaf);
+  format.node_content = node.SerializeContent();
+  LogRecord rec;
+  rec.type = LogRecordType::kPageFormat;
+  rec.page_id = root;
+  rec.body = btree_log::Encode(format);
+  Lsn format_lsn = sys->LogPage(log_, &rec, page);
+  if (options_.format_listener) options_.format_listener(root, format_lsn);
+
+  // Point the meta page at the new root.
+  SPF_ASSIGN_OR_RETURN(PageGuard meta_guard,
+                       pool_->FixPage(meta_pid_, LatchMode::kExclusive));
+  MetaView meta(meta_guard.view());
+  SPF_CHECK(meta.valid());
+  meta_guard.MarkDirty();
+  btree_log::GrowRootBody grow;
+  grow.old_root = kInvalidPageId;
+  grow.new_root = root;
+  LogRecord grow_rec;
+  grow_rec.type = LogRecordType::kBTreeGrowRoot;
+  grow_rec.page_id = meta_pid_;
+  grow_rec.body = btree_log::Encode(grow);
+  sys->LogPage(log_, &grow_rec, meta_guard.view());
+  meta.mutable_meta()->root_pid = root;
+
+  return txns_->Commit(sys);
+}
+
+// --- descent -----------------------------------------------------------------
+
+StatusOr<BTree::DescentResult> BTree::DescendToLeaf(std::string_view key,
+                                                    LatchMode mode) {
+  DescentResult result;
+  SPF_ASSIGN_OR_RETURN(PageId cur, root_pid());
+  PageGuard parent_guard;           // latched parent (for verification)
+  uint16_t parent_slot = 0;
+  bool via_foster = false;          // current hop follows a foster edge
+  PageId permanent_parent = kInvalidPageId;  // for adoption opportunities
+  bool is_root = true;
+
+  for (uint32_t depth = 0; depth < kMaxTreeDepth; ++depth) {
+    // Decide the latch mode before fixing: exclusive only on the leaf.
+    LatchMode fix_mode = LatchMode::kShared;
+    {
+      // Level of the node we are about to fix is known from the parent
+      // (child level = parent level - 1; foster child level = same). For
+      // the root we optimistically fix shared and refix if it is a leaf.
+      // Simplification: fix shared, then refix exclusive if it turns out
+      // to be the target leaf — see below.
+    }
+    auto guard_or = pool_->FixPage(cur, fix_mode);
+    if (!guard_or.ok()) return guard_or.status();
+    PageGuard guard = std::move(guard_or).value();
+    BTreeNode node(guard.view());
+
+    // Continuous verification (section 4.2): check this node's fences
+    // against the parent's adjacent key values while both are latched.
+    if (options_.verify_traversals && parent_guard.valid()) {
+      BTreeNode parent_node(parent_guard.view());
+      Status v = via_foster ? node.VerifyAsFosterChildOf(parent_node)
+                            : node.VerifyAsChildOf(parent_node, parent_slot);
+      BumpVerification();
+      if (!v.ok()) {
+        std::lock_guard<std::mutex> g(stats_mu_);
+        stats_.verification_failures++;
+        return Status::Corruption("traversal verification failed on page " +
+                                  std::to_string(cur) + ": " +
+                                  std::string(v.message()));
+      }
+    } else if (options_.verify_traversals && is_root) {
+      // The root has no parent separators to compare against; the cheap
+      // root-level checks are key coverage (below) and fence sanity. The
+      // comprehensive per-node invariant check belongs to VerifyAll /
+      // scrubbing, not to every descent.
+      BumpVerification();
+      KeyBound low = node.low_fence();
+      KeyBound high = node.chain_high();
+      if ((!low.infinite && !high.infinite && low.key >= high.key)) {
+        std::lock_guard<std::mutex> g(stats_mu_);
+        stats_.verification_failures++;
+        return Status::Corruption("root fence ordering violated");
+      }
+    }
+
+    // Route across the foster chain if the key lies beyond this node's own
+    // range but inside the chain (Figure 3).
+    if (node.has_foster_child() && !node.CoversKey(key)) {
+      if (!node.ChainCoversKey(key)) {
+        return Status::Corruption("descent reached node not covering key");
+      }
+      if (is_root) {
+        result.root_needs_growth = true;
+      } else if (permanent_parent != kInvalidPageId && !via_foster) {
+        result.adoption_ops.emplace_back(permanent_parent, cur);
+      }
+      {
+        std::lock_guard<std::mutex> g(stats_mu_);
+        stats_.foster_traversals++;
+      }
+      PageId foster = node.foster_child();
+      parent_guard = std::move(guard);  // foster parent for verification
+      via_foster = true;
+      is_root = false;
+      cur = foster;
+      continue;
+    }
+
+    if (!node.CoversKey(key)) {
+      return Status::Corruption("descent reached node not covering key");
+    }
+
+    if (node.is_leaf()) {
+      if (mode == LatchMode::kExclusive) {
+        // Refix exclusive: drop the shared latch first. The page cannot be
+        // evicted in between (it stays in the pool unpinned at worst) but
+        // its content may change; re-validate coverage after refixing.
+        guard.Release();
+        parent_guard.Release();
+        auto ex_or = pool_->FixPage(cur, LatchMode::kExclusive);
+        if (!ex_or.ok()) return ex_or.status();
+        PageGuard ex = std::move(ex_or).value();
+        BTreeNode ex_node(ex.view());
+        if (!ex_node.is_leaf() || !ex_node.CoversKey(key)) {
+          // Concurrent split moved the key; restart the descent.
+          ex.Release();
+          if (depth + 1 >= kMaxTreeDepth) {
+            return Status::Busy("descent restarted too many times");
+          }
+          SPF_ASSIGN_OR_RETURN(cur, root_pid());
+          parent_guard = PageGuard();
+          via_foster = false;
+          permanent_parent = kInvalidPageId;
+          is_root = true;
+          continue;
+        }
+        result.leaf = std::move(ex);
+        return result;
+      }
+      result.leaf = std::move(guard);
+      return result;
+    }
+
+    // Branch node: follow the child pointer; remember ourselves as the
+    // permanent parent for adoption opportunities one level down.
+    uint16_t slot = node.FindChildSlot(key);
+    PageId child = node.ChildAt(slot);
+    permanent_parent = cur;
+    parent_slot = slot;
+    via_foster = false;
+    is_root = false;
+    parent_guard = std::move(guard);
+    cur = child;
+  }
+  return Status::Corruption("tree deeper than kMaxTreeDepth (cycle?)");
+}
+
+// --- structural system transactions -------------------------------------------
+
+Status BTree::SplitNode(PageGuard* guard) {
+  BTreeNode node(guard->view());
+  if (node.slot_count() < 2) {
+    return Status::IOError("cannot split node with fewer than 2 records");
+  }
+  std::string sep = node.ChooseSeparator();
+  SPF_ASSIGN_OR_RETURN(PageId new_pid, alloc_->Allocate());
+
+  Transaction* sys = txns_->BeginSystem();
+
+  // Build the foster child: upper records, inheriting the split node's
+  // high fence and (if present) its old foster edge.
+  auto new_guard_or = pool_->FixNewPage(new_pid);
+  if (!new_guard_or.ok()) {
+    alloc_->Free(new_pid);
+    txns_->Commit(sys);  // empty system txn
+    return new_guard_or.status();
+  }
+  PageGuard new_guard = std::move(new_guard_or).value();
+  PageView new_page = new_guard.view();
+  new_page.Format(new_pid, node.is_leaf() ? PageType::kBTreeLeaf
+                                          : PageType::kBTreeBranch);
+  BTreeNode new_node(new_page);
+  KeyBound old_high = node.high_fence();
+  PageId old_foster = node.has_foster_child() ? node.foster_child()
+                                              : kInvalidPageId;
+  KeyBound old_foster_fence = node.has_foster_child() ? node.foster_fence()
+                                                      : KeyBound::PosInf();
+  new_node.Init(node.level(), KeyBound::Finite(sep), old_high, old_foster,
+                old_foster_fence);
+  auto start = node.Find(sep);
+  for (uint16_t s = start.slot; s < node.slot_count(); ++s) {
+    std::string key = node.FullKeyAt(s);
+    Status is;
+    if (node.is_leaf()) {
+      is = new_node.InsertLeafRecord(key, node.ValueAt(s), node.IsGhost(s));
+    } else {
+      is = new_node.InsertBranchRecord(key, node.ChildAt(s));
+    }
+    SPF_CHECK_OK(is);  // fresh page: space cannot run out
+  }
+
+  // Log order matters for crash prefixes: the format record first (so the
+  // foster pointer never dangles), then the split record.
+  new_guard.MarkDirty();
+  btree_log::FormatBody format;
+  format.page_type = static_cast<uint16_t>(
+      node.is_leaf() ? PageType::kBTreeLeaf : PageType::kBTreeBranch);
+  format.node_content = new_node.SerializeContent();
+  LogRecord format_rec;
+  format_rec.type = LogRecordType::kPageFormat;
+  format_rec.page_id = new_pid;
+  format_rec.body = btree_log::Encode(format);
+  Lsn format_lsn = sys->LogPage(log_, &format_rec, new_page);
+  if (options_.format_listener) options_.format_listener(new_pid, format_lsn);
+
+  guard->MarkDirty();
+  btree_log::SplitBody split;
+  split.separator = sep;
+  split.new_child = new_pid;
+  LogRecord split_rec;
+  split_rec.type = LogRecordType::kBTreeSplit;
+  split_rec.page_id = node.page_id();
+  split_rec.body = btree_log::Encode(split);
+  sys->LogPage(log_, &split_rec, guard->view());
+  node.ApplySplit(sep, new_pid);
+
+  SPF_RETURN_IF_ERROR(txns_->Commit(sys));
+  {
+    std::lock_guard<std::mutex> g(stats_mu_);
+    stats_.splits++;
+  }
+  return Status::OK();
+}
+
+Status BTree::GrowRoot() {
+  // Take the meta page exclusively first to serialize root growth.
+  SPF_ASSIGN_OR_RETURN(PageGuard meta_guard,
+                       pool_->FixPage(meta_pid_, LatchMode::kExclusive));
+  MetaView meta(meta_guard.view());
+  PageId old_root = meta.meta().root_pid;
+  SPF_ASSIGN_OR_RETURN(PageGuard root_guard,
+                       pool_->FixPage(old_root, LatchMode::kExclusive));
+  BTreeNode root(root_guard.view());
+  if (!root.has_foster_child()) return Status::OK();  // already grown
+
+  KeyBound sep = root.high_fence();
+  SPF_CHECK(!sep.infinite);
+  PageId foster = root.foster_child();
+
+  SPF_ASSIGN_OR_RETURN(PageId new_pid, alloc_->Allocate());
+  Transaction* sys = txns_->BeginSystem();
+
+  auto new_guard_or = pool_->FixNewPage(new_pid);
+  if (!new_guard_or.ok()) {
+    alloc_->Free(new_pid);
+    txns_->Commit(sys);
+    return new_guard_or.status();
+  }
+  PageGuard new_guard = std::move(new_guard_or).value();
+  PageView new_page = new_guard.view();
+  new_page.Format(new_pid, PageType::kBTreeBranch);
+  BTreeNode new_root(new_page);
+  new_root.Init(static_cast<uint16_t>(root.level() + 1), KeyBound::NegInf(),
+                KeyBound::PosInf(), kInvalidPageId, KeyBound::PosInf());
+  SPF_CHECK_OK(new_root.InsertBranchRecord("", old_root));
+  SPF_CHECK_OK(new_root.InsertBranchRecord(sep.key, foster));
+
+  new_guard.MarkDirty();
+  btree_log::FormatBody format;
+  format.page_type = static_cast<uint16_t>(PageType::kBTreeBranch);
+  format.node_content = new_root.SerializeContent();
+  LogRecord format_rec;
+  format_rec.type = LogRecordType::kPageFormat;
+  format_rec.page_id = new_pid;
+  format_rec.body = btree_log::Encode(format);
+  Lsn format_lsn = sys->LogPage(log_, &format_rec, new_page);
+  if (options_.format_listener) options_.format_listener(new_pid, format_lsn);
+
+  // Old root drops its foster edge (the new root now points at both).
+  root_guard.MarkDirty();
+  btree_log::AdoptChildBody clear;
+  clear.adopted_child = foster;
+  LogRecord clear_rec;
+  clear_rec.type = LogRecordType::kBTreeAdopt;
+  clear_rec.page_id = old_root;
+  clear_rec.body = btree_log::Encode(clear);
+  sys->LogPage(log_, &clear_rec, root_guard.view());
+  root.ClearFoster();
+
+  // Meta page switches the root pointer.
+  meta_guard.MarkDirty();
+  btree_log::GrowRootBody grow;
+  grow.old_root = old_root;
+  grow.new_root = new_pid;
+  LogRecord grow_rec;
+  grow_rec.type = LogRecordType::kBTreeGrowRoot;
+  grow_rec.page_id = meta_pid_;
+  grow_rec.body = btree_log::Encode(grow);
+  sys->LogPage(log_, &grow_rec, meta_guard.view());
+  meta.mutable_meta()->root_pid = new_pid;
+
+  SPF_RETURN_IF_ERROR(txns_->Commit(sys));
+  {
+    std::lock_guard<std::mutex> g(stats_mu_);
+    stats_.root_growths++;
+  }
+  return Status::OK();
+}
+
+Status BTree::TryAdopt(PageId parent_pid, PageId foster_parent_pid) {
+  SPF_ASSIGN_OR_RETURN(PageGuard parent_guard,
+                       pool_->FixPage(parent_pid, LatchMode::kExclusive));
+  BTreeNode parent(parent_guard.view());
+  if (parent.is_leaf()) return Status::OK();  // stale opportunity
+
+  SPF_ASSIGN_OR_RETURN(PageGuard fp_guard,
+                       pool_->FixPage(foster_parent_pid, LatchMode::kExclusive));
+  BTreeNode fp(fp_guard.view());
+  if (!fp.has_foster_child()) return Status::OK();  // already adopted
+
+  // Locate the foster parent's slot in the parent.
+  KeyBound fp_low = fp.low_fence();
+  uint16_t slot = fp.low_fence().infinite
+                      ? 0
+                      : parent.FindChildSlot(fp_low.key);
+  if (parent.ChildAt(slot) != foster_parent_pid) {
+    return Status::OK();  // structure changed; stale opportunity
+  }
+
+  KeyBound sep = fp.high_fence();
+  SPF_CHECK(!sep.infinite);
+  PageId foster_child = fp.foster_child();
+
+  if (!parent.HasSpaceFor(sep.key.size(), 8)) {
+    // Make room for a future retry; the adoption itself is abandoned.
+    fp_guard.Release();
+    return SplitNode(&parent_guard);
+  }
+
+  Transaction* sys = txns_->BeginSystem();
+
+  // Parent insert first: a crash between the two records leaves a
+  // vestigial (never-followed) foster edge, which verification tolerates
+  // and a later traversal cleans up.
+  parent_guard.MarkDirty();
+  btree_log::AdoptParentBody pa;
+  pa.separator = sep.key;
+  pa.child = foster_child;
+  LogRecord pa_rec;
+  pa_rec.type = LogRecordType::kBTreeAdopt;
+  pa_rec.page_id = parent_pid;
+  pa_rec.body = btree_log::Encode(pa);
+  sys->LogPage(log_, &pa_rec, parent_guard.view());
+  SPF_RETURN_IF_ERROR(parent.InsertBranchRecord(sep.key, foster_child));
+
+  fp_guard.MarkDirty();
+  btree_log::AdoptChildBody pc;
+  pc.adopted_child = foster_child;
+  LogRecord pc_rec;
+  pc_rec.type = LogRecordType::kBTreeAdopt;
+  pc_rec.page_id = foster_parent_pid;
+  pc_rec.body = btree_log::Encode(pc);
+  sys->LogPage(log_, &pc_rec, fp_guard.view());
+  fp.ClearFoster();
+
+  SPF_RETURN_IF_ERROR(txns_->Commit(sys));
+  {
+    std::lock_guard<std::mutex> g(stats_mu_);
+    stats_.adoptions++;
+  }
+  return Status::OK();
+}
+
+void BTree::RunMaintenance(const DescentResult& d) {
+  if (!options_.opportunistic_adoption) return;
+  if (d.root_needs_growth) {
+    GrowRoot();  // best effort
+  }
+  for (const auto& [parent, foster_parent] : d.adoption_ops) {
+    TryAdopt(parent, foster_parent);  // best effort
+  }
+}
+
+size_t BTree::ReclaimGhostsInLeaf(PageGuard* guard) {
+  BTreeNode node(guard->view());
+  std::vector<std::string> reclaimable;
+  for (uint16_t s = 0; s < node.slot_count(); ++s) {
+    if (!node.IsGhost(s)) continue;
+    std::string key = node.FullKeyAt(s);
+    // A ghost whose key is still locked may be needed by its deleter's
+    // rollback; skip it (section 5.1.5: ghost removal is contents-neutral
+    // only for retired ghosts).
+    if (txns_->lock_manager()->IsLocked(key)) continue;
+    reclaimable.push_back(std::move(key));
+  }
+  if (reclaimable.empty()) return 0;
+
+  Transaction* sys = txns_->BeginSystem();
+  guard->MarkDirty();
+  btree_log::ReclaimBody body;
+  body.keys = reclaimable;
+  LogRecord rec;
+  rec.type = LogRecordType::kBTreeReclaimGhost;
+  rec.page_id = node.page_id();
+  rec.body = btree_log::Encode(body);
+  sys->LogPage(log_, &rec, guard->view());
+  size_t n = node.ReclaimGhosts(reclaimable);
+  txns_->Commit(sys);
+  {
+    std::lock_guard<std::mutex> g(stats_mu_);
+    stats_.ghost_reclaims += n;
+  }
+  return n;
+}
+
+// --- data operations -----------------------------------------------------------
+
+Status BTree::Insert(Transaction* txn, std::string_view key,
+                     std::string_view value) {
+  SPF_RETURN_IF_ERROR(ValidateKV(key, value));
+  SPF_RETURN_IF_ERROR(LockKey(txn, key, LockMode::kExclusive));
+  {
+    std::lock_guard<std::mutex> g(stats_mu_);
+    stats_.inserts++;
+  }
+  for (int attempt = 0; attempt < 40; ++attempt) {
+    SPF_ASSIGN_OR_RETURN(DescentResult d, DescendToLeaf(key, LatchMode::kExclusive));
+    BTreeNode node(d.leaf.view());
+    auto fr = node.Find(key);
+    if (fr.found && !node.IsGhost(fr.slot)) {
+      return Status::FailedPrecondition("key already exists");
+    }
+    if (fr.found) {
+      // Revive the ghost with the new value.
+      std::string old_value(node.ValueAt(fr.slot));
+      btree_log::InsertBody body;
+      body.key = std::string(key);
+      body.value = std::string(value);
+      body.had_ghost = true;
+      body.old_value = old_value;
+      // Space check before logging (the value may grow).
+      if (value.size() > old_value.size() &&
+          !node.HasSpaceFor(key.size(), value.size())) {
+        ReclaimGhostsInLeaf(&d.leaf);
+        if (!node.HasSpaceFor(key.size(), value.size())) {
+          SPF_RETURN_IF_ERROR(SplitNode(&d.leaf));
+          d.leaf.Release();
+          continue;
+        }
+      }
+      d.leaf.MarkDirty();
+      LogRecord rec;
+      rec.type = LogRecordType::kBTreeInsert;
+      rec.page_id = node.page_id();
+      rec.body = btree_log::Encode(body);
+      txn->LogPage(log_, &rec, d.leaf.view());
+      SPF_CHECK_OK(node.ReplaceValue(fr.slot, value));
+      node.SetGhost(fr.slot, false);
+      d.leaf.Release();
+      RunMaintenance(d);
+      return Status::OK();
+    }
+    if (!node.HasSpaceFor(key.size(), value.size())) {
+      if (ReclaimGhostsInLeaf(&d.leaf) == 0 ||
+          !node.HasSpaceFor(key.size(), value.size())) {
+        SPF_RETURN_IF_ERROR(SplitNode(&d.leaf));
+        d.leaf.Release();
+        continue;  // re-descend: the key may now belong in the foster child
+      }
+    }
+    d.leaf.MarkDirty();
+    btree_log::InsertBody body;
+    body.key = std::string(key);
+    body.value = std::string(value);
+    LogRecord rec;
+    rec.type = LogRecordType::kBTreeInsert;
+    rec.page_id = node.page_id();
+    rec.body = btree_log::Encode(body);
+    txn->LogPage(log_, &rec, d.leaf.view());
+    SPF_CHECK_OK(node.InsertLeafRecord(key, value, false));
+    d.leaf.Release();
+    RunMaintenance(d);
+    return Status::OK();
+  }
+  return Status::Busy("insert could not find space after repeated splits");
+}
+
+Status BTree::Update(Transaction* txn, std::string_view key,
+                     std::string_view value) {
+  SPF_RETURN_IF_ERROR(ValidateKV(key, value));
+  SPF_RETURN_IF_ERROR(LockKey(txn, key, LockMode::kExclusive));
+  {
+    std::lock_guard<std::mutex> g(stats_mu_);
+    stats_.updates++;
+  }
+  for (int attempt = 0; attempt < 40; ++attempt) {
+    SPF_ASSIGN_OR_RETURN(DescentResult d, DescendToLeaf(key, LatchMode::kExclusive));
+    BTreeNode node(d.leaf.view());
+    auto fr = node.Find(key);
+    if (!fr.found || node.IsGhost(fr.slot)) {
+      return Status::NotFound("key not found");
+    }
+    std::string old_value(node.ValueAt(fr.slot));
+    if (value.size() > old_value.size() &&
+        !node.HasSpaceFor(key.size(), value.size())) {
+      ReclaimGhostsInLeaf(&d.leaf);
+      if (!node.HasSpaceFor(key.size(), value.size())) {
+        SPF_RETURN_IF_ERROR(SplitNode(&d.leaf));
+        d.leaf.Release();
+        continue;
+      }
+    }
+    d.leaf.MarkDirty();
+    btree_log::UpdateBody body;
+    body.key = std::string(key);
+    body.old_value = old_value;
+    body.new_value = std::string(value);
+    LogRecord rec;
+    rec.type = LogRecordType::kBTreeUpdate;
+    rec.page_id = node.page_id();
+    rec.body = btree_log::Encode(body);
+    txn->LogPage(log_, &rec, d.leaf.view());
+    SPF_CHECK_OK(node.ReplaceValue(fr.slot, value));
+    d.leaf.Release();
+    RunMaintenance(d);
+    return Status::OK();
+  }
+  return Status::Busy("update could not find space after repeated splits");
+}
+
+Status BTree::Delete(Transaction* txn, std::string_view key) {
+  SPF_RETURN_IF_ERROR(ValidateKV(key, ""));
+  SPF_RETURN_IF_ERROR(LockKey(txn, key, LockMode::kExclusive));
+  {
+    std::lock_guard<std::mutex> g(stats_mu_);
+    stats_.deletes++;
+  }
+  SPF_ASSIGN_OR_RETURN(DescentResult d, DescendToLeaf(key, LatchMode::kExclusive));
+  BTreeNode node(d.leaf.view());
+  auto fr = node.Find(key);
+  if (!fr.found || node.IsGhost(fr.slot)) {
+    return Status::NotFound("key not found");
+  }
+  d.leaf.MarkDirty();
+  btree_log::MarkGhostBody body;
+  body.key = std::string(key);
+  LogRecord rec;
+  rec.type = LogRecordType::kBTreeMarkGhost;
+  rec.page_id = node.page_id();
+  rec.body = btree_log::Encode(body);
+  txn->LogPage(log_, &rec, d.leaf.view());
+  node.SetGhost(fr.slot, true);
+  d.leaf.Release();
+  RunMaintenance(d);
+  return Status::OK();
+}
+
+StatusOr<std::string> BTree::Get(Transaction* txn, std::string_view key) {
+  SPF_RETURN_IF_ERROR(ValidateKV(key, ""));
+  SPF_RETURN_IF_ERROR(LockKey(txn, key, LockMode::kShared));
+  {
+    std::lock_guard<std::mutex> g(stats_mu_);
+    stats_.lookups++;
+  }
+  SPF_ASSIGN_OR_RETURN(DescentResult d, DescendToLeaf(key, LatchMode::kShared));
+  BTreeNode node(d.leaf.view());
+  auto fr = node.Find(key);
+  if (!fr.found || node.IsGhost(fr.slot)) {
+    return Status::NotFound("key not found");
+  }
+  std::string value(node.ValueAt(fr.slot));
+  d.leaf.Release();
+  RunMaintenance(d);
+  return value;
+}
+
+Status BTree::Scan(
+    std::string_view start, std::string_view end,
+    const std::function<bool(std::string_view, std::string_view)>& fn) {
+  std::string cursor(start);
+  bool first = true;
+  while (true) {
+    SPF_ASSIGN_OR_RETURN(DescentResult d,
+                         DescendToLeaf(cursor, LatchMode::kShared));
+    BTreeNode node(d.leaf.view());
+    auto fr = node.Find(cursor);
+    uint16_t s = fr.slot;
+    if (fr.found && !first) s++;  // cursor key already delivered
+    for (; s < node.slot_count(); ++s) {
+      if (node.IsGhost(s)) continue;
+      std::string key = node.FullKeyAt(s);
+      if (!end.empty() && key >= end) return Status::OK();
+      if (!fn(key, node.ValueAt(s))) return Status::OK();
+      cursor = key;
+      first = false;
+    }
+    // Continue past this node's own range: the next key is the high
+    // fence; re-descending handles foster edges transparently.
+    KeyBound high = node.high_fence();
+    if (high.infinite) return Status::OK();
+    if (!end.empty() && high.key >= end) return Status::OK();
+    cursor = high.key;
+    first = true;  // the high fence itself has not been delivered
+  }
+}
+
+StatusOr<uint64_t> BTree::Count() {
+  uint64_t n = 0;
+  SPF_RETURN_IF_ERROR(Scan("", "", [&n](std::string_view, std::string_view) {
+    n++;
+    return true;
+  }));
+  return n;
+}
+
+// --- undo ---------------------------------------------------------------------
+
+Status BTree::UndoRecord(Transaction* txn, const LogRecord& rec) {
+  // Logical undo (section 5.1.2 "compensation"): re-descend by key — the
+  // record may live on a different page than at do-time after splits.
+  using btree_log::ClrAction;
+  using btree_log::ClrBody;
+
+  ClrBody clr;
+  std::string key;
+  switch (rec.type) {
+    case LogRecordType::kBTreeInsert: {
+      SPF_ASSIGN_OR_RETURN(auto body, btree_log::DecodeInsert(rec.body));
+      key = body.key;
+      if (body.had_ghost) {
+        clr.action = ClrAction::kGhostWithValue;
+        clr.value = body.old_value;
+      } else {
+        clr.action = ClrAction::kMarkGhost;
+      }
+      clr.key = key;
+      break;
+    }
+    case LogRecordType::kBTreeMarkGhost: {
+      SPF_ASSIGN_OR_RETURN(auto body, btree_log::DecodeMarkGhost(rec.body));
+      key = body.key;
+      clr.action = ClrAction::kRevive;
+      clr.key = key;
+      break;
+    }
+    case LogRecordType::kBTreeUpdate: {
+      SPF_ASSIGN_OR_RETURN(auto body, btree_log::DecodeUpdate(rec.body));
+      key = body.key;
+      clr.action = ClrAction::kRestoreValue;
+      clr.value = body.old_value;
+      clr.key = key;
+      break;
+    }
+    default:
+      return Status::InvalidArgument("record type is not undoable");
+  }
+
+  for (int attempt = 0; attempt < 40; ++attempt) {
+    SPF_ASSIGN_OR_RETURN(DescentResult d, DescendToLeaf(key, LatchMode::kExclusive));
+    BTreeNode node(d.leaf.view());
+    auto fr = node.Find(key);
+    if (!fr.found) {
+      return Status::Corruption("undo target key vanished: " + key);
+    }
+    // Space handling for value-restoring compensations.
+    if (clr.action == ClrAction::kRestoreValue ||
+        clr.action == ClrAction::kGhostWithValue) {
+      std::string_view cur = node.ValueAt(fr.slot);
+      if (clr.value.size() > cur.size() &&
+          !node.HasSpaceFor(key.size(), clr.value.size())) {
+        ReclaimGhostsInLeaf(&d.leaf);
+        if (!node.HasSpaceFor(key.size(), clr.value.size())) {
+          SPF_RETURN_IF_ERROR(SplitNode(&d.leaf));
+          d.leaf.Release();
+          continue;
+        }
+      }
+    }
+    d.leaf.MarkDirty();
+    LogRecord clr_rec;
+    clr_rec.type = LogRecordType::kCompensation;
+    clr_rec.page_id = node.page_id();
+    clr_rec.undo_next_lsn = rec.prev_lsn;
+    clr_rec.body = btree_log::Encode(clr);
+    txn->LogPage(log_, &clr_rec, d.leaf.view());
+    switch (clr.action) {
+      case ClrAction::kMarkGhost:
+        node.SetGhost(fr.slot, true);
+        break;
+      case ClrAction::kRevive:
+        node.SetGhost(fr.slot, false);
+        break;
+      case ClrAction::kRestoreValue:
+        SPF_CHECK_OK(node.ReplaceValue(fr.slot, clr.value));
+        break;
+      case ClrAction::kGhostWithValue:
+        SPF_CHECK_OK(node.ReplaceValue(fr.slot, clr.value));
+        node.SetGhost(fr.slot, true);
+        break;
+    }
+    return Status::OK();
+  }
+  return Status::Busy("undo could not find space");
+}
+
+// --- verification ---------------------------------------------------------------
+
+Status BTree::VerifyAll(uint64_t* pages_checked) {
+  uint64_t checked = 0;
+  // Iterative DFS over (page id, role) edges so foster chains of any
+  // length are covered.
+  struct Edge {
+    PageId id;
+    PageId from;       // parent or foster parent (kInvalidPageId for root)
+    uint16_t slot;     // slot in parent (if via_parent)
+    bool via_foster;
+  };
+  std::vector<Edge> stack;
+  SPF_ASSIGN_OR_RETURN(PageId root, root_pid());
+  stack.push_back({root, kInvalidPageId, 0, false});
+
+  while (!stack.empty()) {
+    Edge e = stack.back();
+    stack.pop_back();
+    SPF_ASSIGN_OR_RETURN(PageGuard guard, pool_->FixPage(e.id, LatchMode::kShared));
+    BTreeNode node(guard.view());
+    checked++;
+    SPF_RETURN_IF_ERROR(node.VerifyInvariants());
+    if (e.from != kInvalidPageId) {
+      SPF_ASSIGN_OR_RETURN(PageGuard from_guard,
+                           pool_->FixPage(e.from, LatchMode::kShared));
+      BTreeNode from(from_guard.view());
+      if (e.via_foster) {
+        SPF_RETURN_IF_ERROR(node.VerifyAsFosterChildOf(from));
+      } else {
+        SPF_RETURN_IF_ERROR(node.VerifyAsChildOf(from, e.slot));
+      }
+    }
+    if (node.has_foster_child()) {
+      stack.push_back({node.foster_child(), e.id, 0, true});
+    }
+    if (!node.is_leaf()) {
+      for (uint16_t s = 0; s < node.slot_count(); ++s) {
+        stack.push_back({node.ChildAt(s), e.id, s, false});
+      }
+    }
+  }
+  if (pages_checked != nullptr) *pages_checked = checked;
+  return Status::OK();
+}
+
+StatusOr<uint32_t> BTree::Height() {
+  SPF_ASSIGN_OR_RETURN(PageId root, root_pid());
+  SPF_ASSIGN_OR_RETURN(PageGuard guard,
+                       pool_->FixPage(root, LatchMode::kShared));
+  BTreeNode node(guard.view());
+  return static_cast<uint32_t>(node.level() + 1);
+}
+
+BTreeStats BTree::stats() const {
+  std::lock_guard<std::mutex> g(stats_mu_);
+  return stats_;
+}
+
+}  // namespace spf

@@ -1,0 +1,171 @@
+// Foster B-tree (paper section 4.2; Graefe/Kimura/Kuno).
+//
+// Key properties the paper's detection story relies on, all implemented
+// here:
+//   * symmetric fence keys in every node, verified against the parent's
+//     separator keys on EVERY pointer traversal ("continuous self-testing
+//     of all invariants ... very early detection of page corruptions");
+//   * local splits: a split creates a FOSTER child of the split node, so
+//     only two latches are needed at a time; the permanent parent adopts
+//     the foster child opportunistically later;
+//   * exactly one incoming pointer per node at all times (supports simple
+//     page migration, section 5.1.3);
+//   * ghost records for logical deletion; structural changes run as
+//     system transactions (section 5.1.5).
+//
+// Logging is physiological: redo physical-to-a-page (btree_log.h), undo
+// logical via compensating operations that re-descend by key.
+
+#pragma once
+
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "buffer/buffer_pool.h"
+#include "btree/btree_log.h"
+#include "btree/node_layout.h"
+#include "common/status.h"
+#include "common/statusor.h"
+#include "storage/allocation.h"
+#include "storage/db_meta.h"
+#include "txn/txn_manager.h"
+
+namespace spf {
+
+struct BTreeStats {
+  uint64_t lookups = 0;
+  uint64_t inserts = 0;
+  uint64_t updates = 0;
+  uint64_t deletes = 0;
+  uint64_t splits = 0;
+  uint64_t adoptions = 0;
+  uint64_t root_growths = 0;
+  uint64_t foster_traversals = 0;
+  uint64_t ghost_reclaims = 0;
+  uint64_t traversal_verifications = 0;
+  uint64_t verification_failures = 0;
+};
+
+struct BTreeOptions {
+  /// Verify fence-key invariants on every pointer traversal (section 4.2
+  /// continuous verification). Disable only for the E7 ablation bench.
+  bool verify_traversals = true;
+  /// Opportunistically adopt foster children / grow the root during
+  /// normal operations.
+  bool opportunistic_adoption = true;
+  /// Invoked after every kPageFormat record is logged. The db layer wires
+  /// this to the page recovery index: a format record is the page's first
+  /// backup source (paper section 5.2.1).
+  std::function<void(PageId, Lsn)> format_listener;
+};
+
+/// Ordered map of byte-string keys to byte-string values, backed by a
+/// Foster B-tree through the buffer pool. Thread-compatible per operation
+/// (page latches serialize page access; key locks isolate user txns).
+class BTree {
+ public:
+  BTree(BTreeOptions options, BufferPool* pool, LogManager* log,
+        TxnManager* txns, PageAllocator* alloc, PageId meta_pid = 0);
+
+  SPF_DISALLOW_COPY(BTree);
+
+  /// Formats an empty tree: allocates and formats the root leaf and points
+  /// the meta page at it. Runs inside its own system transaction.
+  Status Create();
+
+  // --- data operations (user transactions; strict 2PL on keys) --------------
+
+  /// Inserts key -> value; FailedPrecondition if the key already exists.
+  Status Insert(Transaction* txn, std::string_view key, std::string_view value);
+
+  /// Replaces the value of an existing key; NotFound otherwise.
+  Status Update(Transaction* txn, std::string_view key, std::string_view value);
+
+  /// Logically deletes a key (ghost); NotFound if absent.
+  Status Delete(Transaction* txn, std::string_view key);
+
+  /// Point lookup. With a transaction, takes a shared lock (held to commit).
+  StatusOr<std::string> Get(Transaction* txn, std::string_view key);
+
+  /// Ordered scan over [start, end); invokes `fn(key, value)` for each
+  /// live record; stops early if `fn` returns false. Unlocked read
+  /// (read-committed at page granularity).
+  Status Scan(std::string_view start, std::string_view end,
+              const std::function<bool(std::string_view, std::string_view)>& fn);
+
+  /// Number of live (non-ghost) records, by full scan.
+  StatusOr<uint64_t> Count();
+
+  // --- recovery hooks --------------------------------------------------------
+
+  /// Logical undo of one content record of `txn`, logging a CLR. Called by
+  /// the rollback executor (recovery module) during aborts and restart undo.
+  Status UndoRecord(Transaction* txn, const LogRecord& rec);
+
+  // --- structure / verification ---------------------------------------------
+
+  /// Comprehensive offline check of the whole tree (every node, every edge,
+  /// B1–B5). Returns the first violation. `pages_checked` may be null.
+  Status VerifyAll(uint64_t* pages_checked);
+
+  StatusOr<PageId> root_pid();
+  StatusOr<uint32_t> Height();
+
+  BTreeStats stats() const;
+  BufferPool* buffer_pool() { return pool_; }
+
+ private:
+  struct DescentResult {
+    PageGuard leaf;
+    /// Adoption opportunities observed on the way down.
+    std::vector<std::pair<PageId, PageId>> adoption_ops;  // (parent, foster parent)
+    bool root_needs_growth = false;
+  };
+
+  /// Root-to-leaf descent with latch coupling and continuous fence-key
+  /// verification. The returned guard holds `mode` on the leaf that covers
+  /// `key` (following foster edges as needed).
+  StatusOr<DescentResult> DescendToLeaf(std::string_view key, LatchMode mode);
+
+  /// Splits the node held by `guard` (leaf or branch) into itself plus a
+  /// new foster child, as a system transaction. On return the guard still
+  /// holds the (now smaller) node.
+  Status SplitNode(PageGuard* guard);
+
+  /// Grows the tree by one level when the root has a foster child.
+  Status GrowRoot();
+
+  /// Permanent parent `parent_pid` adopts the foster child of
+  /// `foster_parent_pid`, if still applicable; splits the parent instead
+  /// if it lacks space.
+  Status TryAdopt(PageId parent_pid, PageId foster_parent_pid);
+
+  /// Runs deferred adoptions / root growth collected during a descent.
+  void RunMaintenance(const DescentResult& d);
+
+  /// Frees ghost space in a leaf (system transaction), skipping keys that
+  /// are locked by active transactions. Returns number reclaimed.
+  size_t ReclaimGhostsInLeaf(PageGuard* guard);
+
+  /// Locks `key` for `txn` (no-op for null/system txns); Deadlock on
+  /// timeout.
+  Status LockKey(Transaction* txn, std::string_view key, LockMode mode);
+
+  Status ValidateKV(std::string_view key, std::string_view value) const;
+
+  void BumpVerification(uint64_t n = 1);
+
+  BTreeOptions options_;
+  BufferPool* pool_;
+  LogManager* log_;
+  TxnManager* txns_;
+  PageAllocator* alloc_;
+  const PageId meta_pid_;
+
+  mutable std::mutex stats_mu_;
+  BTreeStats stats_;
+};
+
+}  // namespace spf

@@ -1,0 +1,674 @@
+#include "btree/node_layout.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/coding.h"
+
+namespace spf {
+
+namespace {
+
+/// Longest common prefix length of two strings.
+uint16_t CommonPrefixLen(std::string_view a, std::string_view b) {
+  size_t n = std::min(a.size(), b.size());
+  size_t i = 0;
+  while (i < n && a[i] == b[i]) ++i;
+  return static_cast<uint16_t>(i);
+}
+
+}  // namespace
+
+void BTreeNode::Init(uint16_t level, const KeyBound& low, const KeyBound& high,
+                     PageId foster_child, const KeyBound& foster_fence) {
+  BTreeNodeHeader* h = header();
+  std::memset(h, 0, sizeof(*h));
+  h->level = level;
+  h->foster_child = foster_child;
+  h->flags = 0;
+  if (low.infinite) h->flags |= kNodeFlagLowInf;
+  if (high.infinite) h->flags |= kNodeFlagHighInf;
+
+  h->low_fence_len = low.infinite ? 0 : static_cast<uint16_t>(low.key.size());
+  h->high_fence_len =
+      high.infinite ? 0 : static_cast<uint16_t>(high.key.size());
+  if (foster_child != kInvalidPageId) {
+    if (foster_fence.infinite) h->flags |= kNodeFlagFosterInf;
+    h->foster_fence_len =
+        foster_fence.infinite ? 0 : static_cast<uint16_t>(foster_fence.key.size());
+  } else {
+    h->foster_fence_len = 0;
+  }
+
+  // Prefix truncation: the common prefix of the two finite fences.
+  if (!low.infinite && !high.infinite) {
+    h->prefix_len = CommonPrefixLen(low.key, high.key);
+  } else {
+    h->prefix_len = 0;
+  }
+
+  char* fences = page_.data() + kFenceAreaOffset;
+  size_t off = 0;
+  if (!low.infinite) {
+    std::memcpy(fences + off, low.key.data(), low.key.size());
+    off += low.key.size();
+  }
+  if (!high.infinite) {
+    std::memcpy(fences + off, high.key.data(), high.key.size());
+    off += high.key.size();
+  }
+  if (foster_child != kInvalidPageId && !foster_fence.infinite) {
+    std::memcpy(fences + off, foster_fence.key.data(), foster_fence.key.size());
+    off += foster_fence.key.size();
+  }
+  h->heap_end = static_cast<uint16_t>(kFenceAreaOffset + off);
+  h->slot_count = 0;
+  h->ghost_count = 0;
+}
+
+std::string_view BTreeNode::fence_bytes(uint32_t offset, uint16_t len) const {
+  return std::string_view(page_.data() + kFenceAreaOffset + offset, len);
+}
+
+KeyBound BTreeNode::low_fence() const {
+  const BTreeNodeHeader* h = header();
+  if (h->flags & kNodeFlagLowInf) return KeyBound::NegInf();
+  return KeyBound::Finite(fence_bytes(0, h->low_fence_len));
+}
+
+KeyBound BTreeNode::high_fence() const {
+  const BTreeNodeHeader* h = header();
+  if (h->flags & kNodeFlagHighInf) return KeyBound::PosInf();
+  return KeyBound::Finite(fence_bytes(h->low_fence_len, h->high_fence_len));
+}
+
+KeyBound BTreeNode::foster_fence() const {
+  const BTreeNodeHeader* h = header();
+  SPF_CHECK(has_foster_child());
+  if (h->flags & kNodeFlagFosterInf) return KeyBound::PosInf();
+  return KeyBound::Finite(fence_bytes(
+      h->low_fence_len + h->high_fence_len, h->foster_fence_len));
+}
+
+bool BTreeNode::CoversKey(std::string_view key) const {
+  KeyBound low = low_fence();
+  if (!low.infinite && key < low.key) return false;
+  KeyBound high = high_fence();
+  if (!high.infinite && key >= high.key) return false;
+  return true;
+}
+
+bool BTreeNode::ChainCoversKey(std::string_view key) const {
+  KeyBound low = low_fence();
+  if (!low.infinite && key < low.key) return false;
+  KeyBound high = chain_high();
+  if (!high.infinite && key >= high.key) return false;
+  return true;
+}
+
+// --- slot/heap plumbing ------------------------------------------------------
+
+uint32_t BTreeNode::slot_array_start() const {
+  return page_.size() - header()->slot_count * kSlotSize;
+}
+
+std::string_view BTreeNode::RecordAt(uint16_t s) const {
+  SPF_CHECK_LT(s, slot_count());
+  const Slot& slot = *SlotPtr(s);
+  return std::string_view(page_.data() + slot.offset,
+                          slot.length & ~kGhostBit);
+}
+
+bool BTreeNode::IsGhost(uint16_t s) const {
+  SPF_CHECK_LT(s, slot_count());
+  return (SlotPtr(s)->length & kGhostBit) != 0;
+}
+
+void BTreeNode::SetGhost(uint16_t s, bool ghost) {
+  SPF_CHECK_LT(s, slot_count());
+  Slot& slot = *SlotPtr(s);
+  bool was = (slot.length & kGhostBit) != 0;
+  if (was == ghost) return;
+  if (ghost) {
+    slot.length |= kGhostBit;
+    header()->ghost_count++;
+  } else {
+    slot.length &= ~kGhostBit;
+    header()->ghost_count--;
+  }
+}
+
+std::string_view BTreeNode::KeySuffixAt(uint16_t s) const {
+  std::string_view rec = RecordAt(s);
+  uint16_t klen = DecodeFixed16(rec.data());
+  return rec.substr(2, klen);
+}
+
+std::string BTreeNode::FullKeyAt(uint16_t s) const {
+  const BTreeNodeHeader* h = header();
+  std::string key;
+  if (h->prefix_len > 0) {
+    // The prefix is by construction a prefix of the low fence.
+    key.assign(page_.data() + kFenceAreaOffset, h->prefix_len);
+  }
+  std::string_view suffix = KeySuffixAt(s);
+  key.append(suffix.data(), suffix.size());
+  return key;
+}
+
+std::string_view BTreeNode::PayloadAt(uint16_t s) const {
+  std::string_view rec = RecordAt(s);
+  uint16_t klen = DecodeFixed16(rec.data());
+  return rec.substr(2 + klen);
+}
+
+std::string_view BTreeNode::ValueAt(uint16_t s) const {
+  SPF_CHECK(is_leaf());
+  return PayloadAt(s);
+}
+
+PageId BTreeNode::ChildAt(uint16_t s) const {
+  SPF_CHECK(!is_leaf());
+  std::string_view payload = PayloadAt(s);
+  SPF_CHECK_EQ(payload.size(), 8u);
+  return DecodeFixed64(payload.data());
+}
+
+int BTreeNode::CompareKeyAt(uint16_t s, std::string_view key) const {
+  const BTreeNodeHeader* h = header();
+  // `key` is a full key; compare its post-prefix suffix against the stored
+  // suffix. Keys inside the node share the prefix by invariant B1.
+  std::string_view key_suffix = key.size() >= h->prefix_len
+                                    ? key.substr(h->prefix_len)
+                                    : std::string_view();
+  std::string_view stored = KeySuffixAt(s);
+  int c = stored.compare(key_suffix);
+  return -c;  // <0 if key < stored ... invert to: result of key vs stored
+}
+
+BTreeNode::FindResult BTreeNode::Find(std::string_view key) const {
+  uint16_t lo = 0, hi = slot_count();
+  while (lo < hi) {
+    uint16_t mid = (lo + hi) / 2;
+    int c = CompareKeyAt(mid, key);
+    if (c == 0) return {mid, true};
+    if (c < 0) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return {lo, false};
+}
+
+uint32_t BTreeNode::heap_start() const {
+  const BTreeNodeHeader* h = header();
+  return kFenceAreaOffset + h->low_fence_len + h->high_fence_len +
+         h->foster_fence_len;
+}
+
+size_t BTreeNode::FreeSpace() const {
+  return slot_array_start() - header()->heap_end;
+}
+
+bool BTreeNode::HasSpaceFor(size_t key_len, size_t payload_len) const {
+  // Worst case: full key stored (prefix not applicable), plus slot entry.
+  return FreeSpace() >= 2 + key_len + payload_len + kSlotSize;
+}
+
+void BTreeNode::Compact() {
+  BTreeNodeHeader* h = header();
+  std::string buffer;
+  buffer.reserve(page_.size());
+  std::vector<uint32_t> new_offsets(slot_count());
+  for (uint16_t s = 0; s < slot_count(); ++s) {
+    std::string_view rec = RecordAt(s);
+    new_offsets[s] = static_cast<uint32_t>(heap_start() + buffer.size());
+    buffer.append(rec.data(), rec.size());
+  }
+  SPF_CHECK_LE(heap_start() + buffer.size(), slot_array_start());
+  std::memcpy(page_.data() + heap_start(), buffer.data(), buffer.size());
+  for (uint16_t s = 0; s < slot_count(); ++s) {
+    SlotPtr(s)->offset = static_cast<uint16_t>(new_offsets[s]);
+  }
+  h->heap_end = static_cast<uint16_t>(heap_start() + buffer.size());
+}
+
+uint32_t BTreeNode::AllocHeap(size_t n) {
+  if (FreeSpace() < n + kSlotSize) {
+    Compact();
+    if (FreeSpace() < n + kSlotSize) return 0;
+  }
+  uint32_t off = header()->heap_end;
+  header()->heap_end = static_cast<uint16_t>(off + n);
+  return off;
+}
+
+Status BTreeNode::InsertRecordInternal(std::string_view key,
+                                       std::string_view payload, bool ghost) {
+  BTreeNodeHeader* h = header();
+  SPF_CHECK(CoversKey(key)) << "key outside fences: " << key;
+  FindResult fr = Find(key);
+  SPF_CHECK(!fr.found) << "duplicate insert of key " << key;
+
+  std::string_view suffix = key.substr(h->prefix_len);
+  size_t rec_len = 2 + suffix.size() + payload.size();
+  uint32_t off = AllocHeap(rec_len);
+  if (off == 0) return Status::IOError("node full");
+
+  char* dst = page_.data() + off;
+  EncodeFixed16(dst, static_cast<uint16_t>(suffix.size()));
+  std::memcpy(dst + 2, suffix.data(), suffix.size());
+  std::memcpy(dst + 2 + suffix.size(), payload.data(), payload.size());
+
+  // Shift logical slots [fr.slot, count) one position toward the page
+  // start to open a gap at fr.slot.
+  uint16_t count = h->slot_count;
+  for (uint16_t j = count; j > fr.slot; --j) {
+    *SlotPtr(j) = *SlotPtr(j - 1);
+  }
+  Slot* slot = SlotPtr(fr.slot);
+  slot->offset = static_cast<uint16_t>(off);
+  slot->length = static_cast<uint16_t>(rec_len) | (ghost ? kGhostBit : 0);
+  h->slot_count++;
+  if (ghost) h->ghost_count++;
+  return Status::OK();
+}
+
+Status BTreeNode::InsertLeafRecord(std::string_view key, std::string_view value,
+                                   bool ghost) {
+  SPF_CHECK(is_leaf());
+  return InsertRecordInternal(key, value, ghost);
+}
+
+Status BTreeNode::InsertBranchRecord(std::string_view key, PageId child) {
+  SPF_CHECK(!is_leaf());
+  char buf[8];
+  EncodeFixed64(buf, child);
+  return InsertRecordInternal(key, std::string_view(buf, 8), false);
+}
+
+Status BTreeNode::ReplaceValue(uint16_t s, std::string_view value) {
+  SPF_CHECK(is_leaf());
+  std::string_view rec = RecordAt(s);
+  uint16_t klen = DecodeFixed16(rec.data());
+  size_t old_len = rec.size();
+  size_t new_len = 2 + klen + value.size();
+  Slot* slot = SlotPtr(s);
+  bool ghost = (slot->length & kGhostBit) != 0;
+
+  if (new_len <= old_len) {
+    // Overwrite in place; the heap hole (if shrinking) is reclaimed by a
+    // later Compact().
+    char* dst = page_.data() + slot->offset;
+    std::memcpy(dst + 2 + klen, value.data(), value.size());
+    slot->length =
+        static_cast<uint16_t>(new_len) | (ghost ? kGhostBit : 0);
+    return Status::OK();
+  }
+
+  // Need a bigger record: reallocate in the heap.
+  std::string key_suffix(rec.substr(2, klen));
+  uint32_t off = AllocHeap(new_len);
+  if (off == 0) return Status::IOError("node full");
+  slot = SlotPtr(s);  // (stable, but re-fetch for clarity after Compact)
+  char* dst = page_.data() + off;
+  EncodeFixed16(dst, klen);
+  std::memcpy(dst + 2, key_suffix.data(), klen);
+  std::memcpy(dst + 2 + klen, value.data(), value.size());
+  slot->offset = static_cast<uint16_t>(off);
+  slot->length = static_cast<uint16_t>(new_len) | (ghost ? kGhostBit : 0);
+  return Status::OK();
+}
+
+void BTreeNode::ReplaceChild(uint16_t s, PageId child) {
+  SPF_CHECK(!is_leaf());
+  std::string_view payload = PayloadAt(s);
+  SPF_CHECK_EQ(payload.size(), 8u);
+  EncodeFixed64(const_cast<char*>(payload.data()), child);
+}
+
+void BTreeNode::RemoveSlot(uint16_t s) {
+  BTreeNodeHeader* h = header();
+  SPF_CHECK_LT(s, h->slot_count);
+  if (IsGhost(s)) h->ghost_count--;
+  uint16_t count = h->slot_count;
+  // Shift logical slots (s, count) one position toward the page end.
+  for (uint16_t j = s; j + 1 < count; ++j) {
+    *SlotPtr(j) = *SlotPtr(j + 1);
+  }
+  h->slot_count--;
+  // Heap bytes stay as a hole until the next Compact().
+}
+
+size_t BTreeNode::ReclaimGhosts(const std::vector<std::string>& keys) {
+  size_t removed = 0;
+  for (const std::string& key : keys) {
+    FindResult fr = Find(key);
+    if (fr.found && IsGhost(fr.slot)) {
+      RemoveSlot(fr.slot);
+      removed++;
+    }
+  }
+  return removed;
+}
+
+void BTreeNode::TruncateFrom(std::string_view sep) {
+  FindResult fr = Find(sep);
+  while (slot_count() > fr.slot) {
+    RemoveSlot(slot_count() - 1);
+  }
+}
+
+void BTreeNode::ApplySplit(std::string_view sep, PageId new_child) {
+  // Capture state before rewriting the fence area.
+  KeyBound low = low_fence();
+  KeyBound old_chain_high = chain_high();
+  uint16_t lvl = level();
+
+  TruncateFrom(sep);
+
+  // Re-init the fence area in place. Records stay put; their stored
+  // suffixes were computed with the OLD prefix, which is a prefix of the
+  // new one (the fence interval only narrowed). To keep suffix decoding
+  // consistent we must preserve the old prefix length — Init would
+  // recompute a possibly longer prefix. So rebuild fences manually.
+  BTreeNodeHeader* h = header();
+  uint16_t old_prefix = h->prefix_len;
+
+  // Preserve record bytes by compacting into a side buffer first: the
+  // fence area may grow and overlap the heap.
+  struct Rec {
+    std::string suffix;
+    std::string payload;
+    bool ghost;
+  };
+  std::vector<Rec> recs;
+  recs.reserve(slot_count());
+  for (uint16_t s = 0; s < slot_count(); ++s) {
+    recs.push_back({std::string(KeySuffixAt(s)), std::string(PayloadAt(s)),
+                    IsGhost(s)});
+  }
+
+  Init(lvl, low, KeyBound::Finite(sep), new_child, old_chain_high);
+  h = header();
+  h->prefix_len = old_prefix;  // keep old (shorter or equal) prefix
+
+  for (const Rec& r : recs) {
+    size_t rec_len = 2 + r.suffix.size() + r.payload.size();
+    uint32_t off = AllocHeap(rec_len);
+    SPF_CHECK_GT(off, 0u);
+    char* dst = page_.data() + off;
+    EncodeFixed16(dst, static_cast<uint16_t>(r.suffix.size()));
+    std::memcpy(dst + 2, r.suffix.data(), r.suffix.size());
+    std::memcpy(dst + 2 + r.suffix.size(), r.payload.data(), r.payload.size());
+    Slot* slot = SlotPtr(h->slot_count);  // append (records already sorted)
+    slot->offset = static_cast<uint16_t>(off);
+    slot->length = static_cast<uint16_t>(rec_len) | (r.ghost ? kGhostBit : 0);
+    h->slot_count++;
+    if (r.ghost) h->ghost_count++;
+  }
+}
+
+void BTreeNode::ClearFoster() {
+  BTreeNodeHeader* h = header();
+  SPF_CHECK(has_foster_child());
+  h->foster_child = kInvalidPageId;
+  h->flags &= static_cast<uint16_t>(~kNodeFlagFosterInf);
+  // The foster fence bytes stay allocated in the fence area (heap_start()
+  // must not move under existing record offsets); the space is reclaimed
+  // when the node is next re-initialized by a split.
+}
+
+void BTreeNode::ReplaceFosterChild(PageId new_child) {
+  BTreeNodeHeader* h = header();
+  SPF_CHECK(has_foster_child());
+  h->foster_child = new_child;
+}
+
+uint16_t BTreeNode::FindChildSlot(std::string_view key) const {
+  SPF_CHECK(!is_leaf());
+  SPF_CHECK_GT(slot_count(), 0u);
+  // Largest slot whose key <= key. Slot 0 carries the low fence key, so
+  // the answer is well-defined for any key the node covers.
+  uint16_t lo = 0, hi = slot_count();
+  while (lo + 1 < hi) {
+    uint16_t mid = (lo + hi) / 2;
+    if (CompareKeyAt(mid, key) >= 0) {
+      lo = mid;  // slot key <= key
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+std::string BTreeNode::ChooseSeparator() const {
+  SPF_CHECK_GE(slot_count(), 2u);
+  uint16_t mid = slot_count() / 2;
+  std::string right = FullKeyAt(mid);
+  if (!is_leaf()) {
+    // Branch separators must equal an existing slot key so the truncated
+    // right half starts with its own low-fence copy.
+    return right;
+  }
+  std::string left = FullKeyAt(mid - 1);
+  // Suffix truncation: shortest string s with left < s <= right.
+  size_t i = 0;
+  while (i < left.size() && i < right.size() && left[i] == right[i]) ++i;
+  // right[0..i] differs from left at position i (or right is longer).
+  return right.substr(0, std::min(i + 1, right.size()));
+}
+
+// --- serialization -----------------------------------------------------------
+
+std::string BTreeNode::SerializeContent() const {
+  const BTreeNodeHeader* h = header();
+  std::string out;
+  PutFixed16(&out, h->level);
+  PutFixed16(&out, h->flags);
+  PutFixed64(&out, h->foster_child);
+  KeyBound low = low_fence(), high = high_fence();
+  PutLengthPrefixed(&out, low.infinite ? "" : low.key);
+  PutLengthPrefixed(&out, high.infinite ? "" : high.key);
+  if (has_foster_child()) {
+    KeyBound ff = foster_fence();
+    PutLengthPrefixed(&out, ff.infinite ? "" : ff.key);
+  } else {
+    PutLengthPrefixed(&out, "");
+  }
+  PutFixed16(&out, h->prefix_len);
+  PutFixed32(&out, slot_count());
+  for (uint16_t s = 0; s < slot_count(); ++s) {
+    out.push_back(IsGhost(s) ? 1 : 0);
+    PutLengthPrefixed(&out, KeySuffixAt(s));
+    PutLengthPrefixed(&out, PayloadAt(s));
+  }
+  return out;
+}
+
+Status BTreeNode::InitFromContent(PageView page, std::string_view content) {
+  size_t off = 0;
+  uint16_t level, flags, prefix_len;
+  uint64_t foster_child;
+  std::string_view low, high, foster;
+  uint32_t count;
+  if (!GetFixed16(content, &off, &level) ||
+      !GetFixed16(content, &off, &flags) ||
+      !GetFixed64(content, &off, &foster_child) ||
+      !GetLengthPrefixed(content, &off, &low) ||
+      !GetLengthPrefixed(content, &off, &high) ||
+      !GetLengthPrefixed(content, &off, &foster) ||
+      !GetFixed16(content, &off, &prefix_len) ||
+      !GetFixed32(content, &off, &count)) {
+    return Status::Corruption("bad node content image");
+  }
+  BTreeNode node(page);
+  KeyBound low_b = (flags & kNodeFlagLowInf) ? KeyBound::NegInf()
+                                             : KeyBound::Finite(low);
+  KeyBound high_b = (flags & kNodeFlagHighInf) ? KeyBound::PosInf()
+                                               : KeyBound::Finite(high);
+  KeyBound foster_b = (flags & kNodeFlagFosterInf) ? KeyBound::PosInf()
+                                                   : KeyBound::Finite(foster);
+  node.Init(level, low_b, high_b, foster_child, foster_b);
+  node.header()->prefix_len = prefix_len;
+
+  BTreeNodeHeader* h = node.header();
+  for (uint32_t s = 0; s < count; ++s) {
+    if (off >= content.size()) return Status::Corruption("truncated records");
+    bool ghost = content[off] != 0;
+    off++;
+    std::string_view suffix, payload;
+    if (!GetLengthPrefixed(content, &off, &suffix) ||
+        !GetLengthPrefixed(content, &off, &payload)) {
+      return Status::Corruption("truncated record");
+    }
+    size_t rec_len = 2 + suffix.size() + payload.size();
+    uint32_t heap_off = node.AllocHeap(rec_len);
+    if (heap_off == 0) return Status::Corruption("content overflows page");
+    char* dst = page.data() + heap_off;
+    EncodeFixed16(dst, static_cast<uint16_t>(suffix.size()));
+    std::memcpy(dst + 2, suffix.data(), suffix.size());
+    std::memcpy(dst + 2 + suffix.size(), payload.data(), payload.size());
+    Slot* slot = node.SlotPtr(h->slot_count);  // append
+    slot->offset = static_cast<uint16_t>(heap_off);
+    slot->length = static_cast<uint16_t>(rec_len) | (ghost ? kGhostBit : 0);
+    h->slot_count++;
+    if (ghost) h->ghost_count++;
+  }
+  return Status::OK();
+}
+
+// --- verification ------------------------------------------------------------
+
+Status BTreeNode::VerifyInvariants() const {
+  const BTreeNodeHeader* h = header();
+  if (page_.type() != (is_leaf() ? PageType::kBTreeLeaf : PageType::kBTreeBranch)) {
+    return Status::Corruption("node level does not match page type");
+  }
+  // Fence ordering.
+  KeyBound low = low_fence(), high = high_fence();
+  if (!low.infinite && !high.infinite && low.key >= high.key) {
+    return Status::Corruption("low fence >= high fence");
+  }
+  if (has_foster_child()) {
+    KeyBound ff = foster_fence();
+    if (!high.infinite && !ff.infinite && high.key > ff.key) {
+      return Status::Corruption("high fence > foster (chain-high) fence");
+    }
+  }
+  // Prefix must be a common prefix of both finite fences.
+  if (h->prefix_len > 0) {
+    if (low.infinite || high.infinite) {
+      return Status::Corruption("prefix with infinite fence");
+    }
+    if (low.key.size() < h->prefix_len || high.key.size() < h->prefix_len ||
+        low.key.compare(0, h->prefix_len, high.key, 0, h->prefix_len) != 0) {
+      return Status::Corruption("prefix not shared by fences");
+    }
+  }
+  // Slots: sorted, inside fences, ghost accounting, offsets in range.
+  uint16_t ghosts = 0;
+  std::string prev_key;
+  for (uint16_t s = 0; s < slot_count(); ++s) {
+    const Slot& slot = *SlotPtr(s);
+    uint16_t len = slot.length & ~kGhostBit;
+    if (slot.offset < heap_start() || slot.offset + len > h->heap_end) {
+      return Status::Corruption("slot offset out of heap bounds");
+    }
+    if (len < 2) return Status::Corruption("record too short");
+    std::string key = FullKeyAt(s);
+    if (s > 0 && key <= prev_key) {
+      return Status::Corruption("slot keys not strictly sorted");
+    }
+    prev_key = key;
+    if (!CoversKey(key)) {
+      return Status::Corruption("slot key outside fence interval (B1)");
+    }
+    if (IsGhost(s)) ghosts++;
+    if (!is_leaf()) {
+      if (PayloadAt(s).size() != 8) {
+        return Status::Corruption("branch payload is not a page id");
+      }
+      if (IsGhost(s)) {
+        return Status::Corruption("ghost record in branch node");
+      }
+    }
+  }
+  if (ghosts != h->ghost_count) {
+    return Status::Corruption("ghost count mismatch");
+  }
+  // B4: a branch node with N children carries N+1 key values: slot 0 must
+  // replicate the low fence so (low, sep..., high) are all present.
+  if (!is_leaf()) {
+    if (slot_count() == 0) return Status::Corruption("empty branch node");
+    std::string first = FullKeyAt(0);
+    if (low.infinite) {
+      if (!first.empty()) {
+        return Status::Corruption("branch slot 0 must carry -inf low fence");
+      }
+    } else if (first != low.key) {
+      return Status::Corruption("branch slot 0 does not equal low fence (B4)");
+    }
+  }
+  if (h->heap_end > slot_array_start()) {
+    return Status::Corruption("heap overlaps slot array");
+  }
+  return Status::OK();
+}
+
+Status BTreeNode::VerifyAsChildOf(const BTreeNode& parent,
+                                  uint16_t parent_slot) const {
+  // B2: low fence == parent's slot key; chain high == the next slot key,
+  // or the parent's high fence for the rightmost pointer.
+  KeyBound low = low_fence();
+  std::string parent_key = parent.FullKeyAt(parent_slot);
+  KeyBound parent_low = parent.low_fence();
+  bool slot_is_low = parent_slot == 0;
+  if (slot_is_low && parent_low.infinite) {
+    if (!low.infinite) {
+      return Status::Corruption("child low fence should be -inf (B2)");
+    }
+  } else {
+    if (low.infinite || low.key != parent_key) {
+      return Status::Corruption("child low fence != parent separator (B2)");
+    }
+  }
+  KeyBound upper = parent_slot + 1 < parent.slot_count()
+                       ? KeyBound::Finite(parent.FullKeyAt(parent_slot + 1))
+                       : parent.high_fence();
+  KeyBound ch = chain_high();
+  if (!(ch == upper)) {
+    // Tolerate a vestigial foster edge: a crash between the two adoption
+    // records leaves the foster child both adopted by the parent and still
+    // referenced by the (never-followed) foster pointer; then the node's
+    // own high fence is the bound the parent knows.
+    if (!has_foster_child() || !(high_fence() == upper)) {
+      return Status::Corruption("child chain-high != parent separator (B2)");
+    }
+  }
+  if (level() + 1 != parent.level()) {
+    return Status::Corruption("child level != parent level - 1");
+  }
+  return Status::OK();
+}
+
+Status BTreeNode::VerifyAsFosterChildOf(const BTreeNode& foster_parent) const {
+  // B3: low fence == foster parent's high fence; chain highs agree.
+  KeyBound low = low_fence();
+  KeyBound fp_high = foster_parent.high_fence();
+  if (!(low == fp_high)) {
+    return Status::Corruption("foster child low != foster parent high (B3)");
+  }
+  KeyBound ch = chain_high();
+  KeyBound fp_chain = foster_parent.foster_fence();
+  if (!(ch == fp_chain)) {
+    return Status::Corruption("foster chain-high mismatch (B3)");
+  }
+  if (level() != foster_parent.level()) {
+    return Status::Corruption("foster child level mismatch");
+  }
+  return Status::OK();
+}
+
+}  // namespace spf

@@ -1,0 +1,359 @@
+#include "buffer/buffer_pool.h"
+
+#include <cstring>
+
+namespace spf {
+
+PageGuard& PageGuard::operator=(PageGuard&& other) noexcept {
+  Release();
+  pool_ = other.pool_;
+  frame_ = other.frame_;
+  page_id_ = other.page_id_;
+  mode_ = other.mode_;
+  other.pool_ = nullptr;
+  return *this;
+}
+
+PageView PageGuard::view() {
+  SPF_CHECK(valid());
+  return PageView(pool_->frames_[frame_]->data.get(), pool_->page_size());
+}
+
+Lsn PageGuard::page_lsn() { return view().page_lsn(); }
+
+void PageGuard::MarkDirty() {
+  SPF_CHECK(valid());
+  SPF_CHECK(mode_ == LatchMode::kExclusive)
+      << "MarkDirty requires an exclusive latch";
+  std::lock_guard<std::mutex> g(pool_->mu_);
+  BufferPool::Frame* f = pool_->frames_[frame_].get();
+  if (!f->dirty) {
+    f->dirty = true;
+    // recLSN: the first record that will dirty this page is the next one
+    // appended, i.e. the current log tail.
+    f->rec_lsn = pool_->log_->tail_lsn();
+  }
+}
+
+void PageGuard::MarkDirtyForRedo(Lsn rec_lsn) {
+  SPF_CHECK(valid());
+  SPF_CHECK(mode_ == LatchMode::kExclusive);
+  std::lock_guard<std::mutex> g(pool_->mu_);
+  BufferPool::Frame* f = pool_->frames_[frame_].get();
+  if (!f->dirty) {
+    f->dirty = true;
+    f->rec_lsn = rec_lsn;
+  } else if (rec_lsn < f->rec_lsn) {
+    f->rec_lsn = rec_lsn;
+  }
+}
+
+void PageGuard::Release() {
+  if (!valid()) return;
+  pool_->Unfix(frame_, mode_);
+  pool_ = nullptr;
+}
+
+// ---------------------------------------------------------------------------
+
+BufferPool::BufferPool(BufferPoolOptions options, SimDevice* device,
+                       LogManager* log)
+    : options_(options), device_(device), log_(log) {
+  SPF_CHECK_EQ(options_.page_size, device->page_size());
+  SPF_CHECK_GT(options_.num_frames, 1u);
+  frames_.reserve(options_.num_frames);
+  for (size_t i = 0; i < options_.num_frames; ++i) {
+    auto f = std::make_unique<Frame>();
+    f->data = std::make_unique<char[]>(options_.page_size);
+    frames_.push_back(std::move(f));
+  }
+}
+
+BufferPool::~BufferPool() = default;
+
+Status BufferPool::LoadPage(PageId id, Frame* f) {
+  Status read_status = device_->ReadPage(id, f->data.get());
+  if (read_status.ok() && options_.verify_on_read) {
+    PageView page(f->data.get(), options_.page_size);
+    read_status = page.Verify(id);
+    if (read_status.ok() && verifier_ != nullptr) {
+      read_status = verifier_->VerifyOnRead(page);
+    }
+  }
+  if (read_status.ok()) return read_status;
+  if (read_status.IsMediaFailure()) return read_status;
+
+  // Single-page failure detected (Figure 8): the page could not be read
+  // correctly and with plausible contents. Attempt online repair.
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    stats_.verify_failures++;
+  }
+  if (repairer_ == nullptr) {
+    // Without single-page recovery support, the failure escalates: the
+    // traditional system has no choice but to declare a media failure.
+    return Status::MediaFailure(
+        "page " + std::to_string(id) +
+        " failed verification and no repair is available (escalated): " +
+        read_status.ToString());
+  }
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    stats_.repairs_attempted++;
+  }
+  Status repair_status = repairer_->RepairPage(id, f->data.get());
+  if (!repair_status.ok()) return repair_status;
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    stats_.repairs_succeeded++;
+  }
+  return Status::OK();
+}
+
+StatusOr<size_t> BufferPool::FindVictim(std::unique_lock<std::mutex>* lock) {
+  // Clock sweep; at most two full rounds (first clears reference bits).
+  for (size_t step = 0; step < 2 * frames_.size() + 1; ++step) {
+    Frame* f = frames_[clock_hand_].get();
+    size_t index = clock_hand_;
+    clock_hand_ = (clock_hand_ + 1) % frames_.size();
+    if (f->pin_count > 0) continue;
+    if (f->referenced) {
+      f->referenced = false;
+      continue;
+    }
+    if (f->page_id != kInvalidPageId) {
+      if (f->dirty) {
+        // Write back before eviction. Pin privately so no one else grabs
+        // the frame while we drop the pool mutex for I/O.
+        f->pin_count++;
+        lock->unlock();
+        Status s;
+        {
+          std::unique_lock<std::shared_mutex> latch(f->latch);
+          s = WriteBack(f);
+        }
+        lock->lock();
+        f->pin_count--;
+        if (!s.ok()) return s;
+        if (f->pin_count > 0 || f->dirty) continue;  // raced; try another
+      }
+      page_table_.erase(f->page_id);
+      stats_.evictions++;
+    }
+    f->page_id = kInvalidPageId;
+    f->dirty = false;
+    f->rec_lsn = kInvalidLsn;
+    return index;
+  }
+  return Status::Busy("buffer pool exhausted: all frames pinned");
+}
+
+Status BufferPool::WriteBack(Frame* f) {
+  // Figure 11 sequence: (1) WAL — force the log up to the PageLSN;
+  // (2) write the data page; (3) log the PRI update (listener) so the
+  // write's completion is recorded before the page can be evicted.
+  PageView page(f->data.get(), options_.page_size);
+  Lsn page_lsn = page.page_lsn();
+  if (page_lsn != kInvalidLsn) {
+    log_->Force(page_lsn);
+  }
+  page.UpdateChecksum();
+  SPF_RETURN_IF_ERROR(device_->WritePage(f->page_id, f->data.get()));
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    f->dirty = false;
+    f->rec_lsn = kInvalidLsn;
+    stats_.write_backs++;
+  }
+  if (listener_ != nullptr) {
+    bool took_backup = listener_->OnPageWritten(f->page_id, page_lsn,
+                                                page.update_count(),
+                                                f->data.get());
+    if (took_backup) {
+      // A fresh backup restarts the per-page update count (section 6).
+      page.reset_update_count();
+    }
+  }
+  return Status::OK();
+}
+
+StatusOr<PageGuard> BufferPool::FixPage(PageId id, LatchMode mode) {
+  std::unique_lock<std::mutex> lock(mu_);
+  stats_.fixes++;
+  auto it = page_table_.find(id);
+  if (it != page_table_.end()) {
+    stats_.hits++;
+    size_t index = it->second;
+    Frame* f = frames_[index].get();
+    f->pin_count++;
+    f->referenced = true;
+    lock.unlock();
+    if (mode == LatchMode::kShared) {
+      f->latch.lock_shared();
+    } else {
+      f->latch.lock();
+    }
+    return PageGuard(this, index, id, mode);
+  }
+
+  stats_.misses++;
+  SPF_ASSIGN_OR_RETURN(size_t index, FindVictim(&lock));
+  Frame* f = frames_[index].get();
+  // Reserve the frame under the pool mutex so concurrent fixes of the same
+  // page wait on the latch rather than double-loading.
+  f->page_id = id;
+  f->pin_count++;
+  f->referenced = true;
+  page_table_[id] = index;
+  f->latch.lock();  // exclusive during load
+  lock.unlock();
+
+  Status s = LoadPage(id, f);
+  if (!s.ok()) {
+    f->latch.unlock();
+    std::lock_guard<std::mutex> g(mu_);
+    page_table_.erase(id);
+    f->page_id = kInvalidPageId;
+    f->pin_count--;
+    return s;
+  }
+  if (mode == LatchMode::kShared) {
+    f->latch.unlock();
+    f->latch.lock_shared();
+  }
+  return PageGuard(this, index, id, mode);
+}
+
+StatusOr<PageGuard> BufferPool::FixNewPage(PageId id) {
+  std::unique_lock<std::mutex> lock(mu_);
+  stats_.fixes++;
+  SPF_CHECK(page_table_.find(id) == page_table_.end())
+      << "FixNewPage of already-cached page " << id;
+  SPF_ASSIGN_OR_RETURN(size_t index, FindVictim(&lock));
+  Frame* f = frames_[index].get();
+  f->page_id = id;
+  f->pin_count++;
+  f->referenced = true;
+  page_table_[id] = index;
+  std::memset(f->data.get(), 0, options_.page_size);
+  f->latch.lock();
+  return PageGuard(this, index, id, LatchMode::kExclusive);
+}
+
+Status BufferPool::FlushPage(PageId id) {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto it = page_table_.find(id);
+  if (it == page_table_.end()) return Status::OK();
+  Frame* f = frames_[it->second].get();
+  if (!f->dirty) return Status::OK();
+  f->pin_count++;
+  lock.unlock();
+  Status s;
+  {
+    std::unique_lock<std::shared_mutex> latch(f->latch);
+    s = WriteBack(f);
+  }
+  lock.lock();
+  f->pin_count--;
+  return s;
+}
+
+Status BufferPool::FlushAll() {
+  std::vector<PageId> dirty;
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    for (auto& f : frames_) {
+      if (f->page_id != kInvalidPageId && f->dirty) dirty.push_back(f->page_id);
+    }
+  }
+  for (PageId id : dirty) {
+    SPF_RETURN_IF_ERROR(FlushPage(id));
+  }
+  return Status::OK();
+}
+
+Status BufferPool::EvictPage(PageId id) {
+  SPF_RETURN_IF_ERROR(FlushPage(id));
+  std::lock_guard<std::mutex> g(mu_);
+  auto it = page_table_.find(id);
+  if (it == page_table_.end()) return Status::OK();
+  Frame* f = frames_[it->second].get();
+  if (f->pin_count > 0) return Status::Busy("page pinned");
+  if (f->dirty) return Status::Busy("page re-dirtied during eviction");
+  page_table_.erase(it);
+  f->page_id = kInvalidPageId;
+  f->rec_lsn = kInvalidLsn;
+  stats_.evictions++;
+  return Status::OK();
+}
+
+void BufferPool::DiscardAll() {
+  std::lock_guard<std::mutex> g(mu_);
+  for (auto& f : frames_) {
+    SPF_CHECK_EQ(f->pin_count, 0u);
+    f->page_id = kInvalidPageId;
+    f->dirty = false;
+    f->rec_lsn = kInvalidLsn;
+    f->referenced = false;
+  }
+  page_table_.clear();
+}
+
+bool BufferPool::DiscardPage(PageId id) {
+  std::lock_guard<std::mutex> g(mu_);
+  auto it = page_table_.find(id);
+  if (it == page_table_.end()) return true;
+  Frame* f = frames_[it->second].get();
+  if (f->pin_count > 0) return false;  // in use; caller may retry
+  page_table_.erase(it);
+  f->page_id = kInvalidPageId;
+  f->dirty = false;
+  f->rec_lsn = kInvalidLsn;
+  return true;
+}
+
+std::vector<DirtyPageEntry> BufferPool::DirtyPages() const {
+  std::lock_guard<std::mutex> g(mu_);
+  std::vector<DirtyPageEntry> out;
+  for (const auto& f : frames_) {
+    if (f->page_id != kInvalidPageId && f->dirty) {
+      out.push_back({f->page_id, f->rec_lsn});
+    }
+  }
+  return out;
+}
+
+bool BufferPool::IsCached(PageId id) const {
+  std::lock_guard<std::mutex> g(mu_);
+  return page_table_.count(id) > 0;
+}
+
+bool BufferPool::IsDirty(PageId id) const {
+  std::lock_guard<std::mutex> g(mu_);
+  auto it = page_table_.find(id);
+  return it != page_table_.end() && frames_[it->second]->dirty;
+}
+
+BufferPoolStats BufferPool::stats() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return stats_;
+}
+
+void BufferPool::ResetStats() {
+  std::lock_guard<std::mutex> g(mu_);
+  stats_ = BufferPoolStats();
+}
+
+void BufferPool::Unfix(size_t frame_index, LatchMode mode) {
+  Frame* f = frames_[frame_index].get();
+  if (mode == LatchMode::kShared) {
+    f->latch.unlock_shared();
+  } else {
+    f->latch.unlock();
+  }
+  std::lock_guard<std::mutex> g(mu_);
+  SPF_CHECK_GT(f->pin_count, 0u);
+  f->pin_count--;
+}
+
+}  // namespace spf

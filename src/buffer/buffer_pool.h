@@ -1,0 +1,233 @@
+// Buffer pool with the two hooks the paper's mechanism hangs off:
+//
+//  * Read path (Figure 8): after a buffer fault reads a page from the
+//    device, the page is verified (in-page checks plus an optional
+//    cross-check hook, e.g. PageLSN vs. page recovery index). If
+//    verification fails, the failure is a single-page failure and the
+//    registered PageRepairer is invoked to rebuild the frame contents
+//    online; only if repair fails does the error propagate (escalation
+//    toward media recovery).
+//
+//  * Write-back path (Figure 11): after a dirty page is written to the
+//    device — and before the frame may be evicted — the registered
+//    WriteCompletionListener runs, which is where PRI maintenance logs its
+//    PriUpdate record (section 5.2.4). The WAL rule (force log up to
+//    PageLSN before the write) is enforced here as well.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/status.h"
+#include "common/statusor.h"
+#include "log/log_manager.h"
+#include "storage/page.h"
+#include "storage/sim_device.h"
+
+namespace spf {
+
+/// Cross-check hook run after in-page verification on every buffer fault.
+/// The core module implements this with the PageLSN-vs-PRI comparison that
+/// catches stale (plausible-but-wrong) pages (section 5.2.2).
+class ReadVerifier {
+ public:
+  virtual ~ReadVerifier() = default;
+  virtual Status VerifyOnRead(PageView page) = 0;
+};
+
+/// Online repair hook for pages that fail verification or cannot be read.
+/// The core module implements this with single-page recovery (Figure 10).
+/// On success, `frame` holds the up-to-date page image.
+class PageRepairer {
+ public:
+  virtual ~PageRepairer() = default;
+  virtual Status RepairPage(PageId id, char* frame) = 0;
+};
+
+/// Invoked after each completed write of a dirty page, before eviction
+/// (Figure 11). The core module logs the PRI update here; a baseline
+/// implementation logs a plain PageWriteCompleted record (section 5.1.2);
+/// a no-op implementation reproduces unoptimized ARIES.
+///
+/// `page_data` is the just-written image (page_size bytes, checksummed);
+/// backup policies copy from it (section 5.2.1 "normal transaction
+/// processing might occasionally take copies of data pages"). Returns true
+/// if a new backup copy was taken, in which case the buffer pool resets
+/// the frame's update counter (section 6).
+class WriteCompletionListener {
+ public:
+  virtual ~WriteCompletionListener() = default;
+  virtual bool OnPageWritten(PageId id, Lsn page_lsn, uint32_t update_count,
+                             const char* page_data) = 0;
+};
+
+/// Latch mode for fixing a page in the pool.
+enum class LatchMode { kShared, kExclusive };
+
+/// Entry of the dirty page table used by checkpoints and restart analysis.
+struct DirtyPageEntry {
+  PageId page_id;
+  Lsn rec_lsn;  ///< LSN of the first record that dirtied the page
+};
+
+struct BufferPoolStats {
+  uint64_t fixes = 0;
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  uint64_t write_backs = 0;
+  uint64_t verify_failures = 0;
+  uint64_t repairs_attempted = 0;
+  uint64_t repairs_succeeded = 0;
+};
+
+struct BufferPoolOptions {
+  uint32_t page_size = kDefaultPageSize;
+  size_t num_frames = 256;
+  /// Run in-page verification plus the ReadVerifier on every buffer fault.
+  bool verify_on_read = true;
+};
+
+class BufferPool;
+
+/// RAII handle to a fixed (pinned + latched) page. Unpins and unlatches on
+/// destruction. Movable, not copyable.
+class PageGuard {
+ public:
+  PageGuard() = default;
+  PageGuard(PageGuard&& other) noexcept { *this = std::move(other); }
+  PageGuard& operator=(PageGuard&& other) noexcept;
+  ~PageGuard() { Release(); }
+
+  SPF_DISALLOW_COPY(PageGuard);
+
+  bool valid() const { return pool_ != nullptr; }
+  PageView view();
+  PageId page_id() const { return page_id_; }
+  Lsn page_lsn();
+
+  /// Marks the frame dirty. Must be called (before logging the change)
+  /// whenever the caller modifies page bytes. Requires kExclusive mode.
+  void MarkDirty();
+
+  /// Restart-redo variant: marks dirty with an explicit recLSN (the redone
+  /// record's LSN) instead of the current log tail, keeping the dirty page
+  /// table conservative across a crash during recovery.
+  void MarkDirtyForRedo(Lsn rec_lsn);
+
+  /// Explicitly releases the fix early (idempotent).
+  void Release();
+
+ private:
+  friend class BufferPool;
+  PageGuard(BufferPool* pool, size_t frame_index, PageId id, LatchMode mode)
+      : pool_(pool), frame_(frame_index), page_id_(id), mode_(mode) {}
+
+  BufferPool* pool_ = nullptr;
+  size_t frame_ = 0;
+  PageId page_id_ = kInvalidPageId;
+  LatchMode mode_ = LatchMode::kShared;
+};
+
+/// Fixed-size page cache over one data device. Thread-safe.
+class BufferPool {
+ public:
+  BufferPool(BufferPoolOptions options, SimDevice* device, LogManager* log);
+  ~BufferPool();
+
+  SPF_DISALLOW_COPY(BufferPool);
+
+  /// Optional hooks; may be null. Not thread-safe vs. concurrent fixes —
+  /// install during startup.
+  void SetReadVerifier(ReadVerifier* v) { verifier_ = v; }
+  void SetPageRepairer(PageRepairer* r) { repairer_ = r; }
+  void SetWriteCompletionListener(WriteCompletionListener* l) { listener_ = l; }
+
+  /// Fixes page `id` in the pool, reading (and verifying, and if necessary
+  /// repairing) it on a miss. Figure 8's retrieval logic.
+  StatusOr<PageGuard> FixPage(PageId id, LatchMode mode);
+
+  /// Fixes a frame for a freshly allocated page without reading the device
+  /// (the caller formats it and logs a PageFormat record).
+  StatusOr<PageGuard> FixNewPage(PageId id);
+
+  /// Writes the page back if dirty (WAL force, device write, completion
+  /// listener). The page stays cached and clean.
+  Status FlushPage(PageId id);
+
+  /// Flushes every dirty page (checkpoint; section 5.2.6 writes the pages
+  /// dirty at checkpoint start — snapshot via DirtyPages() first).
+  Status FlushAll();
+
+  /// Drops a clean page from the pool; flushes first if dirty.
+  Status EvictPage(PageId id);
+
+  /// Simulated crash: discard all frames without writing anything.
+  void DiscardAll();
+
+  /// Drops a page from the pool WITHOUT flushing (test hook: lose the
+  /// buffered copy of one page). Returns false (and does nothing) if the
+  /// page is currently pinned.
+  bool DiscardPage(PageId id);
+
+  /// Snapshot of the dirty page table (page id + recLSN).
+  std::vector<DirtyPageEntry> DirtyPages() const;
+
+  bool IsCached(PageId id) const;
+  bool IsDirty(PageId id) const;
+
+  BufferPoolStats stats() const;
+  void ResetStats();
+
+  uint32_t page_size() const { return options_.page_size; }
+  SimDevice* device() { return device_; }
+
+ private:
+  friend class PageGuard;
+
+  struct Frame {
+    std::unique_ptr<char[]> data;
+    PageId page_id = kInvalidPageId;
+    bool dirty = false;
+    bool referenced = false;  // clock bit
+    uint32_t pin_count = 0;
+    Lsn rec_lsn = kInvalidLsn;
+    std::shared_mutex latch;
+  };
+
+  /// Reads + verifies + (if needed) repairs page `id` into frame `f`.
+  /// Pool mutex must NOT be held (device I/O and repair are slow).
+  Status LoadPage(PageId id, Frame* f);
+
+  /// Finds a victim frame with pin_count == 0 (clock); flushes it if
+  /// dirty. Returns frame index. Pool mutex held on entry and exit but
+  /// released around I/O.
+  StatusOr<size_t> FindVictim(std::unique_lock<std::mutex>* lock);
+
+  /// Write-back of frame `f` (assumed latched or otherwise private):
+  /// checksum, WAL force, device write, completion listener, mark clean.
+  Status WriteBack(Frame* f);
+
+  void Unfix(size_t frame_index, LatchMode mode);
+
+  BufferPoolOptions options_;
+  SimDevice* device_;
+  LogManager* log_;
+  ReadVerifier* verifier_ = nullptr;
+  PageRepairer* repairer_ = nullptr;
+  WriteCompletionListener* listener_ = nullptr;
+
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<Frame>> frames_;
+  std::unordered_map<PageId, size_t> page_table_;
+  size_t clock_hand_ = 0;
+  BufferPoolStats stats_;
+};
+
+}  // namespace spf

@@ -1,0 +1,83 @@
+// Little-endian fixed-width encoding helpers for on-page and on-log layouts.
+
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace spf {
+
+inline void EncodeFixed16(char* dst, uint16_t v) { std::memcpy(dst, &v, 2); }
+inline void EncodeFixed32(char* dst, uint32_t v) { std::memcpy(dst, &v, 4); }
+inline void EncodeFixed64(char* dst, uint64_t v) { std::memcpy(dst, &v, 8); }
+
+inline uint16_t DecodeFixed16(const char* src) {
+  uint16_t v;
+  std::memcpy(&v, src, 2);
+  return v;
+}
+inline uint32_t DecodeFixed32(const char* src) {
+  uint32_t v;
+  std::memcpy(&v, src, 4);
+  return v;
+}
+inline uint64_t DecodeFixed64(const char* src) {
+  uint64_t v;
+  std::memcpy(&v, src, 8);
+  return v;
+}
+
+inline void PutFixed16(std::string* dst, uint16_t v) {
+  dst->append(reinterpret_cast<const char*>(&v), 2);
+}
+inline void PutFixed32(std::string* dst, uint32_t v) {
+  dst->append(reinterpret_cast<const char*>(&v), 4);
+}
+inline void PutFixed64(std::string* dst, uint64_t v) {
+  dst->append(reinterpret_cast<const char*>(&v), 8);
+}
+
+/// Appends a 32-bit length prefix followed by the bytes.
+inline void PutLengthPrefixed(std::string* dst, std::string_view s) {
+  PutFixed32(dst, static_cast<uint32_t>(s.size()));
+  dst->append(s.data(), s.size());
+}
+
+/// Reads a 32-bit-length-prefixed string starting at `*offset` within `src`;
+/// advances `*offset` past it. Returns false on truncation.
+inline bool GetLengthPrefixed(std::string_view src, size_t* offset,
+                              std::string_view* out) {
+  if (*offset + 4 > src.size()) return false;
+  uint32_t len = DecodeFixed32(src.data() + *offset);
+  *offset += 4;
+  if (*offset + len > src.size()) return false;
+  *out = src.substr(*offset, len);
+  *offset += len;
+  return true;
+}
+
+/// Reads a fixed 64-bit value at `*offset`; advances. False on truncation.
+inline bool GetFixed64(std::string_view src, size_t* offset, uint64_t* out) {
+  if (*offset + 8 > src.size()) return false;
+  *out = DecodeFixed64(src.data() + *offset);
+  *offset += 8;
+  return true;
+}
+
+inline bool GetFixed32(std::string_view src, size_t* offset, uint32_t* out) {
+  if (*offset + 4 > src.size()) return false;
+  *out = DecodeFixed32(src.data() + *offset);
+  *offset += 4;
+  return true;
+}
+
+inline bool GetFixed16(std::string_view src, size_t* offset, uint16_t* out) {
+  if (*offset + 2 > src.size()) return false;
+  *out = DecodeFixed16(src.data() + *offset);
+  *offset += 2;
+  return true;
+}
+
+}  // namespace spf

@@ -1,0 +1,38 @@
+#include "common/crc32c.h"
+
+#include <array>
+
+namespace spf {
+namespace crc32c {
+namespace {
+
+// Table-driven CRC32C with the Castagnoli polynomial (reflected form).
+constexpr uint32_t kPoly = 0x82f63b78u;
+
+constexpr std::array<uint32_t, 256> MakeTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc & 1) ? (crc >> 1) ^ kPoly : crc >> 1;
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+constexpr std::array<uint32_t, 256> kTable = MakeTable();
+
+}  // namespace
+
+uint32_t Extend(uint32_t init_crc, const void* data, size_t n) {
+  const auto* p = static_cast<const uint8_t*>(data);
+  uint32_t crc = init_crc ^ 0xffffffffu;
+  for (size_t i = 0; i < n; ++i) {
+    crc = kTable[(crc ^ p[i]) & 0xff] ^ (crc >> 8);
+  }
+  return crc ^ 0xffffffffu;
+}
+
+}  // namespace crc32c
+}  // namespace spf

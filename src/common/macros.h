@@ -1,0 +1,86 @@
+// Invariant-checking and error-propagation macros.
+//
+// SPF_CHECK* are for conditions that can only be false if the program has a
+// bug (corrupted in-memory invariants); they abort with a message. Runtime
+// failures — I/O errors, corrupt pages, aborts — use Status instead.
+
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace spf {
+namespace internal {
+
+/// Accumulates a failure message and aborts when destroyed.
+class CheckFailure {
+ public:
+  CheckFailure(const char* file, int line, const char* expr) {
+    stream_ << "CHECK failed at " << file << ":" << line << ": " << expr << " ";
+  }
+  [[noreturn]] ~CheckFailure() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+  template <typename T>
+  CheckFailure& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+/// Turns the streamed CheckFailure expression into void so the ternary in
+/// SPF_CHECK type-checks. `&` binds looser than `<<`, so the message is
+/// streamed first.
+class Voidify {
+ public:
+  void operator&(const CheckFailure&) {}
+};
+
+}  // namespace internal
+}  // namespace spf
+
+#define SPF_CHECK(cond)                                       \
+  (cond) ? (void)0                                            \
+         : ::spf::internal::Voidify() &                       \
+               ::spf::internal::CheckFailure(__FILE__, __LINE__, #cond)
+
+#define SPF_CHECK_EQ(a, b) SPF_CHECK((a) == (b)) << "(" << (a) << " vs " << (b) << ") "
+#define SPF_CHECK_NE(a, b) SPF_CHECK((a) != (b)) << "(" << (a) << " vs " << (b) << ") "
+#define SPF_CHECK_LT(a, b) SPF_CHECK((a) < (b)) << "(" << (a) << " vs " << (b) << ") "
+#define SPF_CHECK_LE(a, b) SPF_CHECK((a) <= (b)) << "(" << (a) << " vs " << (b) << ") "
+#define SPF_CHECK_GT(a, b) SPF_CHECK((a) > (b)) << "(" << (a) << " vs " << (b) << ") "
+#define SPF_CHECK_GE(a, b) SPF_CHECK((a) >= (b)) << "(" << (a) << " vs " << (b) << ") "
+
+#define SPF_CHECK_OK(expr)                                  \
+  do {                                                      \
+    const ::spf::Status _spf_st = (expr);                   \
+    SPF_CHECK(_spf_st.ok()) << "status: " << _spf_st.ToString(); \
+  } while (0)
+
+/// Propagates a non-OK Status to the caller.
+#define SPF_RETURN_IF_ERROR(expr)              \
+  do {                                         \
+    ::spf::Status _spf_st = (expr);            \
+    if (!_spf_st.ok()) return _spf_st;         \
+  } while (0)
+
+#define SPF_CONCAT_IMPL(a, b) a##b
+#define SPF_CONCAT(a, b) SPF_CONCAT_IMPL(a, b)
+
+/// Evaluates `rexpr` (a StatusOr<T>), propagates the error, or moves the
+/// value into `lhs` (which may be a declaration, e.g. `auto v`).
+#define SPF_ASSIGN_OR_RETURN(lhs, rexpr)                           \
+  auto SPF_CONCAT(_spf_sor_, __LINE__) = (rexpr);                  \
+  if (!SPF_CONCAT(_spf_sor_, __LINE__).ok())                       \
+    return SPF_CONCAT(_spf_sor_, __LINE__).status();               \
+  lhs = std::move(SPF_CONCAT(_spf_sor_, __LINE__)).value()
+
+#define SPF_DISALLOW_COPY(cls) \
+  cls(const cls&) = delete;    \
+  cls& operator=(const cls&) = delete

@@ -1,0 +1,115 @@
+// Deterministic pseudo-random generators for workloads, fault injection,
+// and property tests. Everything is seedable so failures reproduce.
+
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace spf {
+
+/// xorshift128+ generator; fast, seedable, good enough for workloads.
+class Random {
+ public:
+  explicit Random(uint64_t seed = 0x5f3759df9e3779b9ull) {
+    // SplitMix64 to spread the seed into both state words.
+    uint64_t z = seed;
+    auto next = [&z]() {
+      z += 0x9e3779b97f4a7c15ull;
+      uint64_t x = z;
+      x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+      x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+      return x ^ (x >> 31);
+    };
+    s0_ = next();
+    s1_ = next();
+    if (s0_ == 0 && s1_ == 0) s1_ = 1;
+  }
+
+  uint64_t Next() {
+    uint64_t x = s0_;
+    const uint64_t y = s1_;
+    s0_ = y;
+    x ^= x << 23;
+    s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s1_ + y;
+  }
+
+  /// Uniform in [0, n). n must be > 0.
+  uint64_t Uniform(uint64_t n) {
+    SPF_CHECK_GT(n, 0u);
+    return Next() % n;
+  }
+
+  /// Uniform in [lo, hi).
+  uint64_t UniformRange(uint64_t lo, uint64_t hi) {
+    SPF_CHECK_LT(lo, hi);
+    return lo + Uniform(hi - lo);
+  }
+
+  /// True with probability p (0 <= p <= 1).
+  bool Bernoulli(double p) {
+    return NextDouble() < p;
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Random byte string of exactly `len` printable characters.
+  std::string NextString(size_t len) {
+    static const char kAlphabet[] =
+        "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789";
+    std::string s(len, 'a');
+    for (size_t i = 0; i < len; ++i) s[i] = kAlphabet[Uniform(62)];
+    return s;
+  }
+
+ private:
+  uint64_t s0_, s1_;
+};
+
+/// Zipf-distributed generator over [0, n) with parameter theta (0 = uniform,
+/// ~0.99 = typical skewed OLTP). Uses the Gray et al. computation with
+/// precomputed constants; O(1) per draw.
+class ZipfGenerator {
+ public:
+  ZipfGenerator(uint64_t n, double theta, uint64_t seed = 42)
+      : n_(n), theta_(theta), rng_(seed) {
+    SPF_CHECK_GT(n, 0u);
+    zetan_ = Zeta(n, theta);
+    zeta2_ = Zeta(2, theta);
+    alpha_ = 1.0 / (1.0 - theta);
+    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n), 1.0 - theta)) /
+           (1.0 - zeta2_ / zetan_);
+  }
+
+  uint64_t Next() {
+    double u = rng_.NextDouble();
+    double uz = u * zetan_;
+    if (uz < 1.0) return 0;
+    if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+    auto v = static_cast<uint64_t>(
+        static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+    return v >= n_ ? n_ - 1 : v;
+  }
+
+ private:
+  static double Zeta(uint64_t n, double theta) {
+    double sum = 0;
+    for (uint64_t i = 1; i <= n; ++i) sum += 1.0 / std::pow(i, theta);
+    return sum;
+  }
+
+  uint64_t n_;
+  double theta_;
+  Random rng_;
+  double zetan_, zeta2_, alpha_, eta_;
+};
+
+}  // namespace spf

@@ -1,0 +1,46 @@
+#include "common/status.h"
+
+namespace spf {
+
+std::string_view Status::CodeName(Code code) {
+  switch (code) {
+    case Code::kOk:
+      return "OK";
+    case Code::kNotFound:
+      return "NotFound";
+    case Code::kCorruption:
+      return "Corruption";
+    case Code::kIOError:
+      return "IOError";
+    case Code::kReadFailure:
+      return "ReadFailure";
+    case Code::kBusy:
+      return "Busy";
+    case Code::kDeadlock:
+      return "Deadlock";
+    case Code::kAborted:
+      return "Aborted";
+    case Code::kInvalidArgument:
+      return "InvalidArgument";
+    case Code::kNotSupported:
+      return "NotSupported";
+    case Code::kFailedPrecondition:
+      return "FailedPrecondition";
+    case Code::kMediaFailure:
+      return "MediaFailure";
+    case Code::kInternal:
+      return "Internal";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  std::string out(CodeName(code_));
+  if (msg_ && !msg_->empty()) {
+    out += ": ";
+    out += *msg_;
+  }
+  return out;
+}
+
+}  // namespace spf

@@ -1,0 +1,59 @@
+// StatusOr<T>: value-or-error return type, companion to Status.
+
+#pragma once
+
+#include <optional>
+#include <utility>
+
+#include "common/macros.h"
+#include "common/status.h"
+
+namespace spf {
+
+/// Holds either a value of type T or a non-OK Status explaining why the
+/// value is absent. Accessing the value of a non-OK StatusOr is a bug and
+/// aborts via SPF_CHECK.
+template <typename T>
+class StatusOr {
+ public:
+  /// Implicit conversion from a non-OK status. Constructing from an OK
+  /// status without a value is a bug.
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    SPF_CHECK(!status_.ok()) << "StatusOr constructed from OK status";
+  }
+
+  /// Implicit conversion from a value.
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  T& value() & {
+    SPF_CHECK(ok()) << "value() on error StatusOr: " << status_.ToString();
+    return *value_;
+  }
+  const T& value() const& {
+    SPF_CHECK(ok()) << "value() on error StatusOr: " << status_.ToString();
+    return *value_;
+  }
+  T&& value() && {
+    SPF_CHECK(ok()) << "value() on error StatusOr: " << status_.ToString();
+    return std::move(*value_);
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  /// Returns the value, or `alternative` if this holds an error.
+  T value_or(T alternative) const {
+    return ok() ? *value_ : std::move(alternative);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace spf

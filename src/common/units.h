@@ -1,0 +1,25 @@
+// Size and time literals.
+
+#pragma once
+
+#include <cstdint>
+
+namespace spf {
+
+constexpr uint64_t kKiB = 1024ull;
+constexpr uint64_t kMiB = 1024ull * kKiB;
+constexpr uint64_t kGiB = 1024ull * kMiB;
+constexpr uint64_t kTiB = 1024ull * kGiB;
+
+// Decimal units, used by device transfer rates quoted in MB/s as in the
+// paper's section 6 arithmetic (100 GB at 100 MB/s = 1,000 s).
+constexpr uint64_t kKB = 1000ull;
+constexpr uint64_t kMB = 1000ull * kKB;
+constexpr uint64_t kGB = 1000ull * kMB;
+constexpr uint64_t kTB = 1000ull * kGB;
+
+constexpr uint64_t kMicrosecond = 1000ull;           // in nanoseconds
+constexpr uint64_t kMillisecond = 1000ull * 1000ull;  // in nanoseconds
+constexpr uint64_t kSecond = 1000ull * kMillisecond;  // in nanoseconds
+
+}  // namespace spf

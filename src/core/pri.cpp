@@ -1,0 +1,245 @@
+#include "core/pri.h"
+
+#include "common/coding.h"
+
+namespace spf {
+
+PageRecoveryIndex::PageRecoveryIndex(uint64_t num_pages)
+    : num_pages_(num_pages),
+      num_windows_((num_pages + kPriEntriesPerWindow - 1) /
+                   kPriEntriesPerWindow),
+      windows_(num_windows_) {}
+
+const PageRecoveryIndex::RangeEntry* PageRecoveryIndex::FindLocked(
+    const Window& w, PageId id) const {
+  auto it = w.ranges.upper_bound(id);
+  if (it == w.ranges.begin()) return nullptr;
+  --it;
+  if (id >= it->first && id < it->second.end) return &it->second;
+  return nullptr;
+}
+
+StatusOr<PriEntry> PageRecoveryIndex::Lookup(PageId id) const {
+  std::lock_guard<std::mutex> g(mu_);
+  stats_.lookups++;
+  if (id >= num_pages_) return Status::InvalidArgument("page out of range");
+  const Window& w = windows_[WindowOf(id)];
+  const RangeEntry* r = FindLocked(w, id);
+  if (r == nullptr || r->entry.backup.kind == BackupKind::kNone) {
+    stats_.lookup_misses++;
+    return Status::NotFound("no recovery information for page " +
+                            std::to_string(id));
+  }
+  return r->entry;
+}
+
+void PageRecoveryIndex::SetPointLocked(PageId id, const PriEntry& entry) {
+  Window& w = windows_[WindowOf(id)];
+  w.dirty = true;
+  stats_.updates++;
+
+  auto it = w.ranges.upper_bound(id);
+  if (it != w.ranges.begin()) {
+    auto prev = std::prev(it);
+    if (id >= prev->first && id < prev->second.end) {
+      // `id` lies inside [prev.first, prev.end): split as needed.
+      PageId start = prev->first;
+      PageId end = prev->second.end;
+      PriEntry old = prev->second.entry;
+      if (old == entry) return;  // no change
+      w.ranges.erase(prev);
+      if (start < id) {
+        w.ranges[start] = {id, old};
+        stats_.range_splits++;
+      }
+      if (id + 1 < end) {
+        w.ranges[id + 1] = {end, old};
+        stats_.range_splits++;
+      }
+    }
+  }
+  w.ranges[id] = {id + 1, entry};
+  CoalesceLocked(w, id);
+}
+
+void PageRecoveryIndex::CoalesceLocked(Window& w, PageId id) {
+  auto it = w.ranges.find(id);
+  if (it == w.ranges.end()) return;
+  // Merge with predecessor.
+  if (it != w.ranges.begin()) {
+    auto prev = std::prev(it);
+    if (prev->second.end == it->first && prev->second.entry == it->second.entry) {
+      prev->second.end = it->second.end;
+      w.ranges.erase(it);
+      it = prev;
+      stats_.range_merges++;
+    }
+  }
+  // Merge with successor.
+  auto next = std::next(it);
+  if (next != w.ranges.end() && it->second.end == next->first &&
+      it->second.entry == next->second.entry) {
+    it->second.end = next->second.end;
+    w.ranges.erase(next);
+    stats_.range_merges++;
+  }
+}
+
+void PageRecoveryIndex::RecordWrite(PageId id, Lsn page_lsn) {
+  std::lock_guard<std::mutex> g(mu_);
+  SPF_CHECK_LT(id, num_pages_);
+  const Window& w = windows_[WindowOf(id)];
+  const RangeEntry* r = FindLocked(w, id);
+  PriEntry e;
+  if (r != nullptr) e = r->entry;
+  e.last_lsn = page_lsn;
+  SetPointLocked(id, e);
+}
+
+BackupRef PageRecoveryIndex::RecordBackup(PageId id, BackupRef backup) {
+  std::lock_guard<std::mutex> g(mu_);
+  SPF_CHECK_LT(id, num_pages_);
+  const Window& w = windows_[WindowOf(id)];
+  const RangeEntry* r = FindLocked(w, id);
+  BackupRef old;
+  if (r != nullptr) old = r->entry.backup;
+  PriEntry e;
+  e.backup = backup;
+  e.last_lsn = kInvalidLsn;  // clean relative to the new backup
+  SetPointLocked(id, e);
+  return old;
+}
+
+void PageRecoveryIndex::RecordFullBackup(uint64_t backup_id) {
+  std::lock_guard<std::mutex> g(mu_);
+  PriEntry e;
+  e.backup = {BackupKind::kFullBackup, backup_id};
+  e.last_lsn = kInvalidLsn;
+  for (uint64_t win = 0; win < num_windows_; ++win) {
+    Window& w = windows_[win];
+    PageId start = win * kPriEntriesPerWindow;
+    PageId end = std::min(start + kPriEntriesPerWindow, num_pages_);
+    w.ranges.clear();
+    w.ranges[start] = {end, e};
+    w.dirty = true;
+  }
+  stats_.updates += num_windows_;
+}
+
+void PageRecoveryIndex::Apply(PageId id, const PriEntry& entry) {
+  std::lock_guard<std::mutex> g(mu_);
+  SPF_CHECK_LT(id, num_pages_);
+  SetPointLocked(id, entry);
+}
+
+std::string PageRecoveryIndex::SerializeWindow(uint64_t window) const {
+  std::lock_guard<std::mutex> g(mu_);
+  SPF_CHECK_LT(window, num_windows_);
+  const Window& w = windows_[window];
+  std::string out;
+  PutFixed32(&out, static_cast<uint32_t>(w.ranges.size()));
+  for (const auto& [start, r] : w.ranges) {
+    PutFixed64(&out, start);
+    PutFixed64(&out, r.end);
+    PutFixed64(&out, r.entry.last_lsn);
+    PutFixed64(&out, r.entry.backup.value);
+    out.push_back(static_cast<char>(r.entry.backup.kind));
+  }
+  return out;
+}
+
+Status PageRecoveryIndex::DeserializeWindow(uint64_t window,
+                                            std::string_view data) {
+  std::lock_guard<std::mutex> g(mu_);
+  SPF_CHECK_LT(window, num_windows_);
+  size_t off = 0;
+  uint32_t n;
+  if (!GetFixed32(data, &off, &n)) return Status::Corruption("bad PRI window");
+  std::map<PageId, RangeEntry> ranges;
+  PageId window_start = window * kPriEntriesPerWindow;
+  PageId window_end =
+      std::min(window_start + kPriEntriesPerWindow, num_pages_);
+  for (uint32_t i = 0; i < n; ++i) {
+    uint64_t start, end, lsn, value;
+    if (!GetFixed64(data, &off, &start) || !GetFixed64(data, &off, &end) ||
+        !GetFixed64(data, &off, &lsn) || !GetFixed64(data, &off, &value) ||
+        off >= data.size() + 1) {
+      return Status::Corruption("truncated PRI window");
+    }
+    if (off >= data.size()) return Status::Corruption("truncated PRI window");
+    auto kind = static_cast<BackupKind>(data[off]);
+    off++;
+    if (start < window_start || end > window_end || start >= end) {
+      return Status::Corruption("PRI range outside its window");
+    }
+    RangeEntry r;
+    r.end = end;
+    r.entry.last_lsn = lsn;
+    r.entry.backup = {kind, value};
+    ranges[start] = r;
+  }
+  windows_[window].ranges = std::move(ranges);
+  return Status::OK();
+}
+
+std::vector<uint64_t> PageRecoveryIndex::DirtyWindows() const {
+  std::lock_guard<std::mutex> g(mu_);
+  std::vector<uint64_t> out;
+  for (uint64_t i = 0; i < num_windows_; ++i) {
+    if (windows_[i].dirty) out.push_back(i);
+  }
+  return out;
+}
+
+void PageRecoveryIndex::ClearDirtyWindow(uint64_t window) {
+  std::lock_guard<std::mutex> g(mu_);
+  SPF_CHECK_LT(window, num_windows_);
+  windows_[window].dirty = false;
+}
+
+uint64_t PageRecoveryIndex::entry_count() const {
+  std::lock_guard<std::mutex> g(mu_);
+  uint64_t n = 0;
+  for (const auto& w : windows_) n += w.ranges.size();
+  return n;
+}
+
+uint64_t PageRecoveryIndex::approx_bytes() const {
+  return entry_count() * kPriEntryWireSize;
+}
+
+PriStats PageRecoveryIndex::stats() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return stats_;
+}
+
+// --- PriUpdate body -------------------------------------------------------------
+
+std::string EncodePriUpdate(const PriUpdateBody& body) {
+  std::string out;
+  PutFixed64(&out, body.data_page_id);
+  PutFixed64(&out, body.page_lsn);
+  out.push_back(body.has_backup ? 1 : 0);
+  PutFixed64(&out, body.backup.value);
+  out.push_back(static_cast<char>(body.backup.kind));
+  return out;
+}
+
+StatusOr<PriUpdateBody> DecodePriUpdate(std::string_view data) {
+  PriUpdateBody body;
+  size_t off = 0;
+  if (!GetFixed64(data, &off, &body.data_page_id) ||
+      !GetFixed64(data, &off, &body.page_lsn) || off + 10 > data.size()) {
+    return Status::Corruption("bad PriUpdate body");
+  }
+  body.has_backup = data[off] != 0;
+  off++;
+  uint64_t value;
+  if (!GetFixed64(data, &off, &value)) {
+    return Status::Corruption("bad PriUpdate body");
+  }
+  body.backup = {static_cast<BackupKind>(data[off]), value};
+  return body;
+}
+
+}  // namespace spf

@@ -1,0 +1,184 @@
+// Page recovery index (PRI) — the paper's new data structure (section
+// 5.2.2, Figures 7 and 9).
+//
+// For every data page the PRI tracks two facts:
+//   * the most recent BACKUP of the page — one of: an individual backup
+//     page, a full database backup, an in-log page image, or the page's
+//     formatting log record (Figure 7 "one of those three alternatives",
+//     plus the full-backup range case);
+//   * the LSN of the most recent log record pertaining to the page —
+//     valid only while the page is NOT resident in the buffer pool and has
+//     been updated since the last backup. This anchors single-page
+//     recovery's walk of the per-page log chain.
+//
+// Representation: an ordered, range-compressed index. The device's page-id
+// space is divided into fixed WINDOWS of kPriEntriesPerWindow ids; each
+// window maps to exactly one PRI page on disk and holds range entries
+// [start, end) -> {backup ref, last LSN}. A whole-database backup collapses
+// each window to a single entry (the paper's "a single entry should cover
+// a large range of pages"); the worst case (every page distinct) fits a
+// window's PRI page exactly by construction (~16-33 bytes per page, the
+// paper's 1 permille bound).
+//
+// Two-partition placement: partition A's PRI pages sit at LOW device
+// addresses and cover the UPPER half of the page-id space; partition B's
+// pages sit at HIGH addresses and cover the LOWER half. Hence no PRI page
+// is covered by itself or its own partition (DESIGN.md invariant P2).
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/status.h"
+#include "common/statusor.h"
+#include "storage/page.h"
+
+namespace spf {
+
+/// What kind of backup the PRI references for a page (Figure 7).
+enum class BackupKind : uint8_t {
+  kNone = 0,         ///< no backup known — recovery must escalate
+  kBackupPage = 1,   ///< individual copy; value = backup-device location
+  kFullBackup = 2,   ///< whole-database backup; value = backup id
+  kLogImage = 3,     ///< in-log page image; value = LSN of kFullPageImage
+  kFormatRecord = 4, ///< value = LSN of the page's kPageFormat record
+};
+
+struct BackupRef {
+  BackupKind kind = BackupKind::kNone;
+  uint64_t value = 0;
+
+  bool operator==(const BackupRef& o) const {
+    return kind == o.kind && value == o.value;
+  }
+};
+
+/// One page's recovery information (Figure 7's two fields).
+struct PriEntry {
+  BackupRef backup;
+  /// LSN of the page's most recent completed update; kInvalidLsn means
+  /// "not updated since the backup was taken".
+  Lsn last_lsn = kInvalidLsn;
+
+  bool operator==(const PriEntry& o) const {
+    return backup == o.backup && last_lsn == o.last_lsn;
+  }
+};
+
+/// Number of data-page ids covered by one PRI window/page. Chosen so a
+/// window's worst case (one entry per covered page, 33 bytes each) fits an
+/// 8 KiB PRI page.
+constexpr uint64_t kPriEntriesPerWindow = 240;
+
+/// Serialized size of one on-page PRI entry: start, end, lsn, value (8 B
+/// each) + kind (1 B).
+constexpr size_t kPriEntryWireSize = 33;
+
+struct PriStats {
+  uint64_t lookups = 0;
+  uint64_t lookup_misses = 0;
+  uint64_t updates = 0;
+  uint64_t range_splits = 0;
+  uint64_t range_merges = 0;
+};
+
+/// The in-memory PRI: authoritative at runtime, mirrored to PRI pages at
+/// checkpoints (Figure 11: "after this log record has been saved in the
+/// log, there is no urgency to write the data page of the page recovery
+/// index"). Thread-safe.
+class PageRecoveryIndex {
+ public:
+  explicit PageRecoveryIndex(uint64_t num_pages);
+
+  SPF_DISALLOW_COPY(PageRecoveryIndex);
+
+  /// Recovery information for `id`; NotFound if the PRI knows nothing
+  /// (BackupKind::kNone territory — forces escalation to media recovery).
+  StatusOr<PriEntry> Lookup(PageId id) const;
+
+  /// Records a completed write of `id` at `page_lsn` (the PriUpdate's
+  /// effect on the index).
+  void RecordWrite(PageId id, Lsn page_lsn);
+
+  /// Records a new backup for `id`; resets last_lsn (the page is clean
+  /// relative to the new backup). Returns the previous backup ref so the
+  /// caller can free an old backup page.
+  BackupRef RecordBackup(PageId id, BackupRef backup);
+
+  /// Collapses the whole index to "covered by full backup `backup_id`"
+  /// (one range entry per window).
+  void RecordFullBackup(uint64_t backup_id);
+
+  /// Raw entry assignment (restart recovery / deserialization).
+  void Apply(PageId id, const PriEntry& entry);
+
+  // --- window/persistence interface -----------------------------------------
+
+  uint64_t num_windows() const { return num_windows_; }
+  static uint64_t WindowOf(PageId id) { return id / kPriEntriesPerWindow; }
+
+  /// Serializes one window's entries (the PRI page payload).
+  std::string SerializeWindow(uint64_t window) const;
+
+  /// Replaces one window's entries from SerializeWindow output.
+  Status DeserializeWindow(uint64_t window, std::string_view data);
+
+  /// Windows touched since the last ClearDirtyWindows (checkpoint uses
+  /// the snapshot-then-clear pattern of section 5.2.6).
+  std::vector<uint64_t> DirtyWindows() const;
+  void ClearDirtyWindow(uint64_t window);
+
+  // --- introspection (experiment E5) -----------------------------------------
+
+  uint64_t entry_count() const;
+  /// Approximate in-memory footprint: entries * wire size.
+  uint64_t approx_bytes() const;
+  PriStats stats() const;
+
+ private:
+  struct RangeEntry {
+    PageId end;  // exclusive
+    PriEntry entry;
+  };
+  /// One window: range entries keyed by range start, non-overlapping,
+  /// confined to [window*K, (window+1)*K).
+  struct Window {
+    std::map<PageId, RangeEntry> ranges;
+    bool dirty = false;
+  };
+
+  /// Sets entry for exactly [id, id+1), splitting ranges as needed.
+  void SetPointLocked(PageId id, const PriEntry& entry);
+  /// Merges adjacent ranges with identical entries around `id`.
+  void CoalesceLocked(Window& w, PageId id);
+  const RangeEntry* FindLocked(const Window& w, PageId id) const;
+
+  const uint64_t num_pages_;
+  const uint64_t num_windows_;
+  mutable std::mutex mu_;
+  std::vector<Window> windows_;
+  mutable PriStats stats_;
+};
+
+// --- PriUpdate record body (section 5.2.4) -------------------------------------
+
+/// Body of a kPriUpdate log record: the data page whose write completed,
+/// the certified PageLSN, and optionally a new backup reference. The
+/// record's page_id names the COVERING PRI PAGE (whose per-page chain it
+/// extends), which is how PRI pages themselves stay recoverable.
+struct PriUpdateBody {
+  PageId data_page_id = kInvalidPageId;
+  Lsn page_lsn = kInvalidLsn;
+  bool has_backup = false;
+  BackupRef backup;
+};
+
+std::string EncodePriUpdate(const PriUpdateBody& body);
+StatusOr<PriUpdateBody> DecodePriUpdate(std::string_view data);
+
+}  // namespace spf

@@ -1,0 +1,104 @@
+// Single-page recovery (paper section 5.2.3, Figure 10) and the
+// read-time detection hooks (section 4.2 / 5.2.2, Figure 8).
+//
+// Recovery procedure for one failed page:
+//   1. look up the page in the page recovery index;
+//   2. fetch the most recent backup (individual copy, full backup, in-log
+//      image, or the page's formatting log record) into the buffer frame;
+//   3. follow the per-page log chain from the PRI's PageLSN back to the
+//      backup, pushing record pointers onto a last-in-first-out stack;
+//   4. pop and apply the "redo" actions in order, with the defensive
+//      check that each record's page_prev_lsn equals the current PageLSN
+//      (section 5.1.4);
+//   5. verify the result; the page is up to date in the buffer pool and
+//      the affected transaction merely waited — no abort.
+// If anything fails, the error escalates (the caller treats it as a media
+// failure, exactly the paper's fallback).
+
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+
+#include "backup/backup_manager.h"
+#include "buffer/buffer_pool.h"
+#include "core/pri_manager.h"
+#include "log/log_manager.h"
+#include "storage/sim_device.h"
+
+namespace spf {
+
+/// Cumulative counters plus the most recent repair's breakdown (benches
+/// read the latter right after inducing one failure).
+struct SinglePageRecoveryStats {
+  uint64_t repairs_attempted = 0;
+  uint64_t repairs_succeeded = 0;
+  uint64_t escalations = 0;
+  uint64_t log_records_applied = 0;
+  uint64_t log_reads = 0;
+  uint64_t backup_reads = 0;
+
+  // Most recent successful repair:
+  uint64_t last_chain_length = 0;
+  uint64_t last_sim_ns = 0;
+  BackupKind last_backup_kind = BackupKind::kNone;
+};
+
+/// PageRepairer implementation plugged into the buffer pool (Figure 8).
+class SinglePageRecovery : public PageRepairer {
+ public:
+  SinglePageRecovery(PriManager* pri_manager, LogManager* log,
+                     BackupManager* backups, SimDevice* data_device,
+                     SimClock* clock);
+
+  SPF_DISALLOW_COPY(SinglePageRecovery);
+
+  /// Rebuilds page `id` into `frame` from its backup plus the per-page
+  /// log chain, then writes the healed image back to the device (healing
+  /// transient faults in place). Returns MediaFailure when escalation is
+  /// the only option.
+  Status RepairPage(PageId id, char* frame) override;
+
+  SinglePageRecoveryStats stats() const;
+  void ResetStats();
+
+ private:
+  Status LoadBackupImage(PageId id, const PriEntry& entry, char* frame);
+  Status ReplayChain(PageId id, const PriEntry& entry, char* frame);
+
+  PriManager* const pri_manager_;
+  LogManager* const log_;
+  BackupManager* const backups_;
+  SimDevice* const data_device_;
+  SimClock* const clock_;
+  const uint32_t page_size_;
+
+  mutable std::mutex mu_;
+  SinglePageRecoveryStats stats_;
+};
+
+/// ReadVerifier implementation: the PageLSN-vs-PRI cross-check credited to
+/// Gary Smith in the paper's acknowledgements (section 5.2.2: "comparing
+/// the PageLSN in the data page with the information in the page recovery
+/// index is an additional consistency check that could prevent the
+/// nightmare recounted in the introduction"). Catches stale pages whose
+/// in-page checksum is valid.
+class PageLsnCrossCheck : public ReadVerifier {
+ public:
+  explicit PageLsnCrossCheck(PriManager* pri_manager)
+      : pri_manager_(pri_manager) {}
+
+  Status VerifyOnRead(PageView page) override;
+
+  uint64_t checks() const { return checks_.load(std::memory_order_relaxed); }
+  uint64_t mismatches() const {
+    return mismatches_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  PriManager* const pri_manager_;
+  std::atomic<uint64_t> checks_{0};
+  std::atomic<uint64_t> mismatches_{0};
+};
+
+}  // namespace spf

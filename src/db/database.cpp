@@ -1,0 +1,447 @@
+#include "db/database.h"
+
+namespace spf {
+
+Database::Database(DatabaseOptions options) : options_(options) {}
+
+Database::~Database() = default;
+
+StatusOr<std::unique_ptr<Database>> Database::Create(DatabaseOptions options) {
+  if (options.num_pages < 4 * kPriEntriesPerWindow) {
+    return Status::InvalidArgument(
+        "num_pages too small for the two-partition PRI layout (need >= " +
+        std::to_string(4 * kPriEntriesPerWindow) + ")");
+  }
+  std::unique_ptr<Database> db(new Database(options));
+
+  db->data_ = std::make_unique<SimDevice>("data", options.page_size,
+                                          options.num_pages,
+                                          options.data_profile, &db->clock_);
+  // Backup device: room for one full backup plus a page-copy pool.
+  db->backup_dev_ = std::make_unique<SimDevice>(
+      "backup", options.page_size, options.num_pages + options.num_pages / 2 + 64,
+      options.backup_profile, &db->clock_);
+  db->wal_ =
+      std::make_unique<SimLogDevice>("wal", options.log_profile, &db->clock_);
+  db->layout_ = PriLayout::Compute(options.num_pages);
+
+  db->BuildVolatileState();
+  // The backup catalog models stable storage; it is created once and
+  // survives simulated crashes (only its log pointer is volatile).
+  SPF_RETURN_IF_ERROR(db->Bootstrap());
+  return db;
+}
+
+void Database::BuildVolatileState() {
+  log_ = std::make_unique<LogManager>(wal_.get());
+  if (master_record_stash_ != kInvalidLsn) {
+    log_->SetMasterRecord(master_record_stash_);
+  }
+
+  BufferPoolOptions bp;
+  bp.page_size = options_.page_size;
+  bp.num_frames = options_.buffer_frames;
+  bp.verify_on_read = options_.verify_on_read;
+  pool_ = std::make_unique<BufferPool>(bp, data_.get(), log_.get());
+
+  locks_ = std::make_unique<LockManager>(options_.lock_timeout);
+  txns_ = std::make_unique<TxnManager>(log_.get(), locks_.get());
+
+  alloc_ = std::make_unique<PageAllocator>(options_.num_pages,
+                                           layout_.reserved_prefix());
+  // Reserve the tail extent of PRI partition B as well.
+  for (PageId p = layout_.pri_b_start;
+       p < layout_.pri_b_start + layout_.pri_b_pages; ++p) {
+    alloc_->MarkAllocated(p);
+  }
+
+  if (backups_ == nullptr) {
+    backups_ = std::make_unique<BackupManager>(data_.get(), backup_dev_.get(),
+                                               log_.get());
+  } else {
+    backups_->RewireLog(log_.get());
+  }
+  pri_index_ = std::make_unique<PageRecoveryIndex>(options_.num_pages);
+  pri_manager_ = std::make_unique<PriManager>(
+      layout_, options_.tracking, options_.backup_policy, pri_index_.get(),
+      log_.get(), txns_.get(), backups_.get(), data_.get());
+  spr_ = std::make_unique<SinglePageRecovery>(pri_manager_.get(), log_.get(),
+                                              backups_.get(), data_.get(),
+                                              &clock_);
+  cross_check_ = std::make_unique<PageLsnCrossCheck>(pri_manager_.get());
+
+  // Wire the hooks (Figure 8 read path; Figure 11 write path).
+  if (options_.tracking != WriteTrackingMode::kNone) {
+    pool_->SetWriteCompletionListener(pri_manager_.get());
+  }
+  if (options_.tracking == WriteTrackingMode::kPri) {
+    if (options_.verify_on_read) {
+      pool_->SetReadVerifier(cross_check_.get());
+    }
+    if (options_.enable_single_page_repair) {
+      pool_->SetPageRepairer(spr_.get());
+    }
+  }
+
+  BTreeOptions bt;
+  bt.verify_traversals = options_.verify_traversals;
+  if (options_.tracking == WriteTrackingMode::kPri) {
+    PriManager* pm = pri_manager_.get();
+    bt.format_listener = [pm](PageId pid, Lsn format_lsn) {
+      pm->pri()->RecordBackup(pid, {BackupKind::kFormatRecord, format_lsn});
+    };
+  }
+  tree_ = std::make_unique<BTree>(bt, pool_.get(), log_.get(), txns_.get(),
+                                  alloc_.get(), /*meta_pid=*/0);
+}
+
+Status Database::Bootstrap() {
+  // Format the meta page directly (the one unlogged write of a database's
+  // life); everything after is logged.
+  PageBuffer buf(options_.page_size);
+  PageView page = buf.view();
+  page.Format(0, PageType::kMeta);
+  MetaView meta(page);
+  DbMetaData* m = meta.mutable_meta();
+  m->magic = kDbMetaMagic;
+  m->root_pid = kInvalidPageId;
+  m->pri_a_start = layout_.pri_a_start;
+  m->pri_a_pages = layout_.pri_a_pages;
+  m->pri_b_start = layout_.pri_b_start;
+  m->pri_b_pages = layout_.pri_b_pages;
+  m->num_pages = options_.num_pages;
+  m->reserved_pages = layout_.reserved_prefix();
+  page.UpdateChecksum();
+  SPF_RETURN_IF_ERROR(data_->WritePage(0, buf.data()));
+
+  SPF_RETURN_IF_ERROR(tree_->Create());
+  SPF_ASSIGN_OR_RETURN(CheckpointStats ckpt, Checkpoint());
+  (void)ckpt;
+  return Status::OK();
+}
+
+// --- transactions ---------------------------------------------------------------
+
+Transaction* Database::Begin() { return txns_->Begin(); }
+
+Status Database::Commit(Transaction* txn) { return txns_->Commit(txn); }
+
+Status Database::Abort(Transaction* txn) {
+  RollbackExecutor rollback(log_.get(), tree_.get(), txns_.get());
+  SPF_ASSIGN_OR_RETURN(RollbackStats stats, rollback.Rollback(txn));
+  (void)stats;
+  return Status::OK();
+}
+
+// --- data -----------------------------------------------------------------------
+
+Status Database::Insert(Transaction* txn, std::string_view key,
+                        std::string_view value) {
+  return tree_->Insert(txn, key, value);
+}
+
+Status Database::Update(Transaction* txn, std::string_view key,
+                        std::string_view value) {
+  return tree_->Update(txn, key, value);
+}
+
+Status Database::Put(Transaction* txn, std::string_view key,
+                     std::string_view value) {
+  Status s = tree_->Insert(txn, key, value);
+  if (s.IsFailedPrecondition()) {
+    return tree_->Update(txn, key, value);
+  }
+  return s;
+}
+
+Status Database::Delete(Transaction* txn, std::string_view key) {
+  return tree_->Delete(txn, key);
+}
+
+StatusOr<std::string> Database::Get(Transaction* txn, std::string_view key) {
+  return tree_->Get(txn, key);
+}
+
+Status Database::Scan(
+    std::string_view start, std::string_view end,
+    const std::function<bool(std::string_view, std::string_view)>& fn) {
+  return tree_->Scan(start, end, fn);
+}
+
+// --- operations -------------------------------------------------------------------
+
+StatusOr<CheckpointStats> Database::Checkpoint() {
+  Checkpointer ckpt(log_.get(), pool_.get(), txns_.get(), alloc_.get(), &bbl_,
+                    options_.tracking == WriteTrackingMode::kPri
+                        ? pri_manager_.get()
+                        : nullptr);
+  auto stats = ckpt.Take();
+  if (stats.ok()) {
+    master_record_stash_ = log_->GetMasterRecord();
+  }
+  return stats;
+}
+
+StatusOr<FullBackupInfo> Database::TakeFullBackup() {
+  SPF_RETURN_IF_ERROR(pool_->FlushAll());
+  if (options_.tracking == WriteTrackingMode::kPri) {
+    SPF_RETURN_IF_ERROR(pri_manager_->WriteDirtyWindows());
+  }
+  SPF_ASSIGN_OR_RETURN(FullBackupInfo info, backups_->TakeFullBackup());
+  if (options_.tracking == WriteTrackingMode::kPri) {
+    pri_manager_->OnFullBackup(info.id);
+  }
+  return info;
+}
+
+// --- failure & recovery ---------------------------------------------------------------
+
+void Database::SimulateCrash() {
+  // The unforced log tail is lost; devices keep their contents.
+  wal_->DropUnsynced();
+  pool_->DiscardAll();
+  // All in-memory state vanishes; rebuild empty shells. The master record
+  // survives in master_record_stash_ (it models stable storage).
+  BuildVolatileState();
+}
+
+StatusOr<RestartStats> Database::Restart() {
+  RestartRecovery restart(log_.get(), pool_.get(), txns_.get(), tree_.get(),
+                          alloc_.get(), &bbl_,
+                          options_.tracking == WriteTrackingMode::kPri
+                              ? pri_manager_.get()
+                              : nullptr,
+                          &clock_);
+  SPF_ASSIGN_OR_RETURN(RestartStats stats, restart.Run());
+  // Standard practice: checkpoint at the end of restart so the next crash
+  // does not re-run this recovery.
+  SPF_RETURN_IF_ERROR(Checkpoint().status());
+  return stats;
+}
+
+StatusOr<MediaRecoveryStats> Database::RecoverMedia() {
+  // Media recovery aborts the transactions that touched (or would touch)
+  // the failed device — with a single data device, all of them
+  // (section 5.1.3). They cannot roll back while the device is down, so
+  // drop their state and let the restore + replay + undo-style pass
+  // below bring the database to a consistent committed state.
+  //
+  // Implementation: losers' updates were replayed from the log during
+  // media recovery; compensate them by running restart-style undo after
+  // the replay — achieved by reusing the rollback executor for every
+  // transaction active right now.
+  std::vector<ActiveTxnEntry> active = txns_->ActiveTxns();
+
+  MediaRecovery media(log_.get(), backups_.get(), data_.get(), pool_.get(),
+                      options_.tracking == WriteTrackingMode::kPri
+                          ? pri_manager_.get()
+                          : nullptr,
+                      &clock_);
+  SPF_ASSIGN_OR_RETURN(MediaRecoveryStats stats, media.Run());
+
+  RollbackExecutor rollback(log_.get(), tree_.get(), txns_.get());
+  for (const auto& e : active) {
+    if (e.is_system) continue;
+    Transaction* txn = txns_->AdoptLoser(e.txn_id, e.last_lsn, e.last_lsn);
+    SPF_RETURN_IF_ERROR(rollback.Rollback(txn).status());
+  }
+  SPF_RETURN_IF_ERROR(Checkpoint().status());
+  return stats;
+}
+
+StatusOr<ScrubStats> Database::Scrub() {
+  ScrubStats stats;
+  BufferPoolStats before = pool_->stats();
+  for (PageId p = 0; p < options_.num_pages; ++p) {
+    if (!alloc_->IsAllocated(p)) continue;
+    if (layout_.IsPriPage(p)) continue;  // PRI pages are not pool pages
+    if (bbl_.Contains(p)) continue;      // retired locations are not data
+    auto guard = pool_->FixPage(p, LatchMode::kShared);
+    stats.pages_scanned++;
+    if (!guard.ok()) return guard.status();  // unrepairable: escalate
+  }
+  BufferPoolStats after = pool_->stats();
+  stats.failures_detected = after.verify_failures - before.verify_failures;
+  stats.pages_repaired = after.repairs_succeeded - before.repairs_succeeded;
+  return stats;
+}
+
+Status Database::CheckOffline(uint64_t* pages_checked) {
+  // Read each allocated page once, directly from the device (section 4.1:
+  // scalable offline algorithms read each page only once).
+  PageBuffer buf(options_.page_size);
+  uint64_t checked = 0;
+  for (PageId p = 0; p < options_.num_pages; ++p) {
+    if (!alloc_->IsAllocated(p)) continue;
+    if (layout_.IsPriPage(p)) continue;
+    if (bbl_.Contains(p)) continue;  // retired locations are not data
+    // Skip pages that are dirty in the buffer pool: the device copy is
+    // legitimately stale (offline checks assume a quiesced database).
+    if (pool_->IsDirty(p)) continue;
+    SPF_RETURN_IF_ERROR(data_->ReadPage(p, buf.data()));
+    PageView page = buf.view();
+    SPF_RETURN_IF_ERROR(page.Verify(p));
+    checked++;
+  }
+  // Cross-page invariants via the comprehensive B-tree check.
+  uint64_t tree_pages = 0;
+  SPF_RETURN_IF_ERROR(tree_->VerifyAll(&tree_pages));
+  if (pages_checked != nullptr) *pages_checked = checked;
+  return Status::OK();
+}
+
+StatusOr<PageId> Database::RelocatePage(PageId old_pid) {
+  // Locate the single incoming pointer by descending toward the node's
+  // low fence key. Latch order is top-down, so take the owner exclusively
+  // before the victim.
+  std::string probe_key;
+  bool probe_neg_inf = false;
+  {
+    SPF_ASSIGN_OR_RETURN(PageGuard g, pool_->FixPage(old_pid, LatchMode::kShared));
+    PageType type = g.view().type();
+    if (type != PageType::kBTreeLeaf && type != PageType::kBTreeBranch) {
+      return Status::NotSupported("relocation supports B-tree pages only");
+    }
+    BTreeNode node(g.view());
+    if (node.has_foster_child()) {
+      return Status::NotSupported("relocating a foster parent: adopt first");
+    }
+    KeyBound low = node.low_fence();
+    probe_neg_inf = low.infinite;
+    probe_key = low.key;
+  }
+
+  SPF_ASSIGN_OR_RETURN(PageId root, tree_->root_pid());
+  if (root == old_pid) {
+    return Status::NotSupported("root relocation not supported");
+  }
+
+  // Walk from the root toward the probe key, keeping only the candidate
+  // owner latched.
+  PageId owner = kInvalidPageId;
+  bool owner_is_foster = false;
+  PageGuard owner_guard;
+  PageId cur = root;
+  for (int depth = 0; depth < 64 && owner == kInvalidPageId; ++depth) {
+    SPF_ASSIGN_OR_RETURN(PageGuard g, pool_->FixPage(cur, LatchMode::kExclusive));
+    BTreeNode node(g.view());
+    if (node.has_foster_child() && node.foster_child() == old_pid) {
+      owner = cur;
+      owner_is_foster = true;
+      owner_guard = std::move(g);
+      break;
+    }
+    if (node.has_foster_child() && !probe_neg_inf &&
+        !node.CoversKey(probe_key)) {
+      cur = node.foster_child();
+      continue;
+    }
+    if (node.is_leaf()) {
+      return Status::NotFound("page has no incoming pointer (orphan?)");
+    }
+    uint16_t slot = probe_neg_inf ? 0 : node.FindChildSlot(probe_key);
+    PageId child = node.ChildAt(slot);
+    if (child == old_pid) {
+      owner = cur;
+      owner_is_foster = false;
+      owner_guard = std::move(g);
+      break;
+    }
+    cur = child;
+  }
+  if (owner == kInvalidPageId) {
+    return Status::NotFound("owner of page not found");
+  }
+
+  SPF_ASSIGN_OR_RETURN(PageGuard victim_guard,
+                       pool_->FixPage(old_pid, LatchMode::kExclusive));
+  BTreeNode victim(victim_guard.view());
+  if (victim.has_foster_child()) {
+    return Status::NotSupported("relocating a foster parent: adopt first");
+  }
+
+  SPF_ASSIGN_OR_RETURN(PageId new_pid, alloc_->Allocate());
+  Transaction* sys = txns_->BeginSystem();
+
+  // New location: format with the victim's full content; the format
+  // record is simultaneously the new page's backup (section 5.2.1 "page
+  // copies might also remain after a page migration").
+  auto new_guard_or = pool_->FixNewPage(new_pid);
+  if (!new_guard_or.ok()) {
+    alloc_->Free(new_pid);
+    txns_->Commit(sys);
+    return new_guard_or.status();
+  }
+  PageGuard new_guard = std::move(new_guard_or).value();
+  PageView new_page = new_guard.view();
+  new_page.Format(new_pid, victim_guard.view().type());
+  std::string content = victim.SerializeContent();
+  SPF_RETURN_IF_ERROR(BTreeNode::InitFromContent(new_page, content));
+  new_guard.MarkDirty();
+  btree_log::FormatBody format;
+  format.page_type = static_cast<uint16_t>(new_page.type());
+  format.node_content = content;
+  LogRecord format_rec;
+  format_rec.type = LogRecordType::kPageFormat;
+  format_rec.page_id = new_pid;
+  format_rec.body = btree_log::Encode(format);
+  Lsn format_lsn = sys->LogPage(log_.get(), &format_rec, new_page);
+  if (options_.tracking == WriteTrackingMode::kPri) {
+    pri_manager_->pri()->RecordBackup(new_pid,
+                                      {BackupKind::kFormatRecord, format_lsn});
+  }
+
+  // Swap the single incoming pointer.
+  owner_guard.MarkDirty();
+  btree_log::MigrateBody mig;
+  mig.old_child = old_pid;
+  mig.new_child = new_pid;
+  LogRecord mig_rec;
+  mig_rec.type = LogRecordType::kPageMigrate;
+  mig_rec.page_id = owner;
+  mig_rec.body = btree_log::Encode(mig);
+  sys->LogPage(log_.get(), &mig_rec, owner_guard.view());
+  BTreeNode owner_node(owner_guard.view());
+  if (owner_is_foster) {
+    owner_node.ReplaceFosterChild(new_pid);
+  } else {
+    uint16_t slot = probe_neg_inf ? 0 : owner_node.FindChildSlot(probe_key);
+    SPF_CHECK_EQ(owner_node.ChildAt(slot), old_pid);
+    owner_node.ReplaceChild(slot, new_pid);
+  }
+
+  // Retire the old location: ban it and log the fact. (The id stays
+  // allocated so the bad location is never handed out again.)
+  LogRecord bad_rec;
+  bad_rec.type = LogRecordType::kBadBlock;
+  bad_rec.page_id = old_pid;
+  sys->Log(log_.get(), &bad_rec);
+  bbl_.Add(old_pid);
+
+  SPF_RETURN_IF_ERROR(txns_->Commit(sys));
+
+  victim_guard.Release();
+  new_guard.Release();
+  owner_guard.Release();
+  // Drop the stale frame for the retired location.
+  pool_->DiscardPage(old_pid);
+  return new_pid;
+}
+
+StatusOr<PageId> Database::LeafPageOf(std::string_view key) {
+  SPF_ASSIGN_OR_RETURN(PageId cur, tree_->root_pid());
+  for (int depth = 0; depth < 64; ++depth) {
+    auto guard = pool_->FixPage(cur, LatchMode::kShared);
+    if (!guard.ok()) return guard.status();
+    BTreeNode node(guard->view());
+    if (node.has_foster_child() && !node.CoversKey(key)) {
+      cur = node.foster_child();
+      continue;
+    }
+    if (node.is_leaf()) return cur;
+    cur = node.ChildAt(node.FindChildSlot(key));
+  }
+  return Status::Internal("tree too deep");
+}
+
+}  // namespace spf

@@ -1,0 +1,212 @@
+// Database: the public facade assembling the full stack — simulated
+// devices, recovery log, buffer pool, transactions, Foster B-tree, backup
+// subsystem, page recovery index, single-page detection and recovery, and
+// the restart / media recovery machinery.
+//
+// Typical use:
+//
+//   DatabaseOptions options;
+//   auto db = Database::Create(options).value();
+//   Transaction* txn = db->Begin();
+//   db->Insert(txn, "key", "value");
+//   db->Commit(txn);
+//
+//   // Inject a single-page failure and watch it heal on the next read:
+//   db->data_device()->InjectSilentCorruption(page_id);
+//   db->Get(nullptr, "key");   // detected + repaired inline (Figure 8/10)
+//
+// Crash testing:
+//
+//   db->SimulateCrash();       // loses buffer pool + unforced log tail
+//   db->Restart();             // ARIES analysis / redo / undo
+
+#pragma once
+
+#include <chrono>
+#include <memory>
+#include <string>
+
+#include "backup/backup_manager.h"
+#include "btree/btree.h"
+#include "buffer/buffer_pool.h"
+#include "common/sim_clock.h"
+#include "core/pri_manager.h"
+#include "core/single_page_recovery.h"
+#include "log/log_manager.h"
+#include "recovery/checkpoint.h"
+#include "recovery/media_recovery.h"
+#include "recovery/restart_recovery.h"
+#include "recovery/rollback.h"
+#include "storage/allocation.h"
+#include "storage/db_meta.h"
+#include "storage/sim_device.h"
+#include "txn/lock_manager.h"
+#include "txn/txn_manager.h"
+
+namespace spf {
+
+struct DatabaseOptions {
+  uint32_t page_size = kDefaultPageSize;
+  uint64_t num_pages = 16384;  ///< 128 MiB at the default page size
+  size_t buffer_frames = 1024;
+
+  DeviceProfile data_profile = DeviceProfile::Ssd();
+  DeviceProfile log_profile = DeviceProfile::Ssd();
+  DeviceProfile backup_profile = DeviceProfile::Hdd100();
+
+  /// How completed writes are tracked (E4/E6 ablation axis).
+  WriteTrackingMode tracking = WriteTrackingMode::kPri;
+  BackupPolicy backup_policy;
+
+  /// In-page verification + PageLSN cross-check on every buffer fault.
+  bool verify_on_read = true;
+  /// Fence-key verification on every B-tree pointer traversal.
+  bool verify_traversals = true;
+  /// Online single-page repair (Figure 8). When false, a failed page read
+  /// escalates straight to a media failure — the "traditional system"
+  /// baseline of Figure 1.
+  bool enable_single_page_repair = true;
+
+  std::chrono::milliseconds lock_timeout{200};
+};
+
+struct ScrubStats {
+  uint64_t pages_scanned = 0;
+  uint64_t failures_detected = 0;
+  uint64_t pages_repaired = 0;
+};
+
+/// One database instance over simulated storage. Thread-safe for
+/// concurrent transactions; Create/SimulateCrash/Restart/RecoverMedia are
+/// administrative and must not race data operations.
+class Database {
+ public:
+  static StatusOr<std::unique_ptr<Database>> Create(DatabaseOptions options);
+  ~Database();
+
+  SPF_DISALLOW_COPY(Database);
+
+  // --- transactions -----------------------------------------------------------
+
+  Transaction* Begin();
+  Status Commit(Transaction* txn);
+  /// Rolls back via the per-transaction chain (compensation records).
+  Status Abort(Transaction* txn);
+
+  // --- data (keys and values are byte strings) ---------------------------------
+
+  /// Insert-only; FailedPrecondition if present.
+  Status Insert(Transaction* txn, std::string_view key, std::string_view value);
+  /// Update-only; NotFound if absent.
+  Status Update(Transaction* txn, std::string_view key, std::string_view value);
+  /// Insert-or-update.
+  Status Put(Transaction* txn, std::string_view key, std::string_view value);
+  Status Delete(Transaction* txn, std::string_view key);
+  /// Pass txn = nullptr for an unlocked read.
+  StatusOr<std::string> Get(Transaction* txn, std::string_view key);
+  Status Scan(std::string_view start, std::string_view end,
+              const std::function<bool(std::string_view, std::string_view)>& fn);
+
+  // --- operations ---------------------------------------------------------------
+
+  StatusOr<CheckpointStats> Checkpoint();
+  /// Flushes everything and takes a full backup (media recovery baseline +
+  /// PRI range compression).
+  StatusOr<FullBackupInfo> TakeFullBackup();
+  Status FlushAll() { return pool_->FlushAll(); }
+
+  // --- failure & recovery ---------------------------------------------------------
+
+  /// Simulated system failure: the buffer pool and all in-memory state
+  /// vanish; the unforced log tail is lost. All Transaction* handles
+  /// become invalid. Follow with Restart().
+  void SimulateCrash();
+
+  /// ARIES restart recovery (analysis / redo / undo) + a fresh checkpoint.
+  StatusOr<RestartStats> Restart();
+
+  /// Full media recovery: restore the latest full backup and replay the
+  /// log; aborts all active transactions first (section 5.1.3).
+  StatusOr<MediaRecoveryStats> RecoverMedia();
+
+  /// Reads and verifies every allocated page THROUGH the repair path:
+  /// detected single-page failures are repaired inline ("disk scrubbing"
+  /// with automatic repair).
+  StatusOr<ScrubStats> Scrub();
+
+  /// Offline verification utility (section 2 DBCC analog): reads every
+  /// allocated page once directly from the device, verifies in-page
+  /// invariants, then checks all B-tree invariants. Read-only; returns
+  /// the first violation.
+  Status CheckOffline(uint64_t* pages_checked);
+
+  // --- introspection (benches, tests, examples) -----------------------------------
+
+  SimClock* clock() { return &clock_; }
+  SimDevice* data_device() { return data_.get(); }
+  SimDevice* backup_device() { return backup_dev_.get(); }
+  SimLogDevice* log_device() { return wal_.get(); }
+  LogManager* log() { return log_.get(); }
+  BufferPool* pool() { return pool_.get(); }
+  BTree* tree() { return tree_.get(); }
+  TxnManager* txns() { return txns_.get(); }
+  PageAllocator* allocator() { return alloc_.get(); }
+  BadBlockList* bad_blocks() { return &bbl_; }
+  BackupManager* backups() { return backups_.get(); }
+  PriManager* pri_manager() { return pri_manager_.get(); }
+  PageRecoveryIndex* pri() { return pri_index_.get(); }
+  SinglePageRecovery* single_page_recovery() { return spr_.get(); }
+  PageLsnCrossCheck* cross_check() { return cross_check_.get(); }
+  const DatabaseOptions& options() const { return options_; }
+
+  /// Leaf page currently holding `key` (test/bench helper for targeting
+  /// fault injection).
+  StatusOr<PageId> LeafPageOf(std::string_view key);
+
+  /// Moves a B-tree page's content to a freshly allocated location and
+  /// retires the old one to the bad-block list (section 5.2.3: after
+  /// recovering a failing location, "the page can be moved to a new
+  /// location. The old, failed location can be ... registered in an
+  /// appropriate data structure to prevent future use"). The Foster
+  /// B-tree's single-incoming-pointer property makes this a one-pointer
+  /// swap (section 5.1.3). The old page's retained image remains a valid
+  /// backup source via the new page's format record. Returns the new page
+  /// id. NotSupported for the root and for nodes with a foster child
+  /// (adopt first).
+  StatusOr<PageId> RelocatePage(PageId old_pid);
+
+ private:
+  explicit Database(DatabaseOptions options);
+
+  /// Builds all volatile components (everything lost in a crash) and
+  /// wires the hooks. Called at Create and again inside SimulateCrash.
+  void BuildVolatileState();
+
+  Status Bootstrap();  // format meta page, create tree, first checkpoint
+
+  DatabaseOptions options_;
+  SimClock clock_;
+
+  // Non-volatile: simulated devices survive crashes.
+  std::unique_ptr<SimDevice> data_;
+  std::unique_ptr<SimDevice> backup_dev_;
+  std::unique_ptr<SimLogDevice> wal_;
+  BadBlockList bbl_;
+
+  // Volatile: rebuilt by SimulateCrash + Restart.
+  std::unique_ptr<LogManager> log_;
+  std::unique_ptr<BufferPool> pool_;
+  std::unique_ptr<LockManager> locks_;
+  std::unique_ptr<TxnManager> txns_;
+  std::unique_ptr<PageAllocator> alloc_;
+  std::unique_ptr<BackupManager> backups_;
+  std::unique_ptr<PageRecoveryIndex> pri_index_;
+  std::unique_ptr<PriManager> pri_manager_;
+  std::unique_ptr<SinglePageRecovery> spr_;
+  std::unique_ptr<PageLsnCrossCheck> cross_check_;
+  std::unique_ptr<BTree> tree_;
+  PriLayout layout_;
+  Lsn master_record_stash_ = kInvalidLsn;  // survives crash (stable storage)
+};
+
+}  // namespace spf

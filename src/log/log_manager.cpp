@@ -1,0 +1,126 @@
+#include "log/log_manager.h"
+
+#include "common/coding.h"
+
+namespace spf {
+
+LogManager::LogManager(SimLogDevice* device) : device_(device) {
+  if (device_->size() == 0) {
+    // File header so that the first record's LSN is non-zero.
+    std::string header = "SPF_LOG\0";
+    header.resize(kLogFileHeaderSize, '\0');
+    device_->Append(header);
+    device_->Sync();
+  }
+}
+
+Lsn LogManager::Append(LogRecord* rec) {
+  std::string payload = rec->Serialize();
+  std::lock_guard<std::mutex> g(mu_);
+  Lsn lsn = device_->Append(payload);
+  rec->lsn = lsn;
+  rec->length = static_cast<uint32_t>(payload.size());
+  stats_.records_appended++;
+  stats_.bytes_appended += payload.size();
+  stats_.per_type[rec->type]++;
+  return lsn;
+}
+
+Lsn LogManager::AppendPageRecord(LogRecord* rec, PageView page) {
+  SPF_CHECK(rec->page_id == page.page_id())
+      << "record/page id mismatch: " << rec->page_id << " vs "
+      << page.page_id();
+  rec->page_prev_lsn = page.page_lsn();
+  Lsn lsn = Append(rec);
+  page.set_page_lsn(lsn);
+  page.bump_update_count();
+  return lsn;
+}
+
+void LogManager::Force(Lsn lsn) {
+  std::lock_guard<std::mutex> g(mu_);
+  if (device_->synced_size() > lsn) return;  // already durable
+  device_->Sync();
+  stats_.forces++;
+}
+
+void LogManager::ForceAll() {
+  std::lock_guard<std::mutex> g(mu_);
+  device_->Sync();
+  stats_.forces++;
+}
+
+StatusOr<LogRecord> LogManager::Read(Lsn lsn) const {
+  if (lsn < first_lsn()) {
+    return Status::InvalidArgument("lsn before start of log");
+  }
+  char len_buf[4];
+  SPF_RETURN_IF_ERROR(device_->ReadAt(lsn, 4, len_buf));
+  uint32_t total = DecodeFixed32(len_buf);
+  if (total < kLogRecordHeaderSize || total > 64u * 1024 * 1024) {
+    return Status::Corruption("implausible log record length");
+  }
+  std::string buf(total, '\0');
+  EncodeFixed32(buf.data(), total);
+  // Continue the read sequentially for the rest of the record.
+  SPF_RETURN_IF_ERROR(device_->ReadAt(lsn + 4, total - 4, buf.data() + 4));
+  SPF_ASSIGN_OR_RETURN(LogRecord rec, ParseLogRecord(buf));
+  rec.lsn = lsn;
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    stats_.records_read++;
+  }
+  return rec;
+}
+
+Lsn LogManager::tail_lsn() const { return device_->size(); }
+
+Lsn LogManager::durable_lsn() const { return device_->synced_size(); }
+
+void LogManager::SetMasterRecord(Lsn checkpoint_begin_lsn) {
+  std::lock_guard<std::mutex> g(mu_);
+  master_record_ = checkpoint_begin_lsn;
+}
+
+Lsn LogManager::GetMasterRecord() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return master_record_;
+}
+
+LogStats LogManager::stats() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return stats_;
+}
+
+void LogManager::ResetStats() {
+  std::lock_guard<std::mutex> g(mu_);
+  stats_ = LogStats();
+}
+
+// ---------------------------------------------------------------------------
+
+LogManager::Iterator::Iterator(const LogManager* log, Lsn start, Lsn end)
+    : log_(log), pos_(start), end_(end) {
+  ReadCurrent();
+}
+
+void LogManager::Iterator::ReadCurrent() {
+  valid_ = false;
+  if (pos_ >= end_) return;
+  auto rec_or = log_->Read(pos_);
+  if (!rec_or.ok()) return;  // truncated/corrupt tail terminates the scan
+  rec_ = std::move(rec_or).value();
+  valid_ = true;
+}
+
+void LogManager::Iterator::Next() {
+  SPF_CHECK(valid_);
+  pos_ += rec_.length;
+  ReadCurrent();
+}
+
+LogManager::Iterator LogManager::Scan(Lsn start, Lsn end) const {
+  return Iterator(this, start, end == kInvalidLsn ? tail_lsn() : end);
+}
+
+}  // namespace spf

@@ -1,0 +1,118 @@
+// Log manager: append, force, and read paths of the recovery log.
+//
+// The log lives on a SimLogDevice and is assumed stable once forced
+// (section 5: "once a log page has been written, it is not subsequently
+// lost"). Unforced tail bytes are lost at a simulated crash, which is how
+// the unforced-commit semantics of system transactions (section 5.1.5) and
+// the lost-PRI-update cases of section 5.2.5 are exercised.
+//
+// LSNs are byte offsets into the log; the log starts with a small file
+// header so that no valid record has LSN 0 (= kInvalidLsn).
+
+#pragma once
+
+#include <atomic>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "common/macros.h"
+#include "common/status.h"
+#include "common/statusor.h"
+#include "log/log_record.h"
+#include "storage/page.h"
+#include "storage/sim_device.h"
+
+namespace spf {
+
+/// Counters for log-volume experiments (E4 in DESIGN.md).
+struct LogStats {
+  uint64_t records_appended = 0;
+  uint64_t bytes_appended = 0;
+  uint64_t forces = 0;
+  uint64_t records_read = 0;
+  /// Per-type record counts, keyed by LogRecordType.
+  std::map<LogRecordType, uint64_t> per_type;
+};
+
+/// Append/force/read interface over the recovery log. Thread-safe.
+class LogManager {
+ public:
+  explicit LogManager(SimLogDevice* device);
+
+  SPF_DISALLOW_COPY(LogManager);
+
+  /// Appends `rec`, assigning rec.lsn and rec.length. The record is in the
+  /// log buffer after this call; it is durable only after Force(rec.lsn).
+  Lsn Append(LogRecord* rec);
+
+  /// Helper for records that modify a page: fills the per-page chain from
+  /// the page's current PageLSN, appends, then advances the page's PageLSN
+  /// to the new record's LSN and bumps its update counter. This is the one
+  /// place invariant L1 (PageLSN anchors the per-page chain, Figure 6) is
+  /// maintained.
+  Lsn AppendPageRecord(LogRecord* rec, PageView page);
+
+  /// Forces the log to stable storage up to and including `lsn`.
+  void Force(Lsn lsn);
+
+  /// Forces everything appended so far.
+  void ForceAll();
+
+  /// Reads and parses the record at `lsn`. Charges log-device I/O
+  /// (one random access per record — the dominant cost of single-page
+  /// recovery, section 6).
+  StatusOr<LogRecord> Read(Lsn lsn) const;
+
+  /// LSN one past the last appended byte (the next record's LSN).
+  Lsn tail_lsn() const;
+
+  /// Highest LSN known durable.
+  Lsn durable_lsn() const;
+
+  /// First valid LSN in this log.
+  Lsn first_lsn() const { return kLogFileHeaderSize; }
+
+  /// Master record: stable pointer to the most recent complete checkpoint
+  /// (conventionally stored at a fixed location outside the log stream).
+  void SetMasterRecord(Lsn checkpoint_begin_lsn);
+  Lsn GetMasterRecord() const;
+
+  LogStats stats() const;
+  void ResetStats();
+
+  /// Forward scan over [start_lsn, tail). Skips nothing; stops cleanly at
+  /// the durable end or on a truncated/corrupt tail record (which marks the
+  /// end of the log after a crash).
+  class Iterator {
+   public:
+    Iterator(const LogManager* log, Lsn start, Lsn end);
+
+    /// False when the scan is exhausted.
+    bool Valid() const { return valid_; }
+    const LogRecord& record() const { return rec_; }
+    void Next();
+
+   private:
+    void ReadCurrent();
+
+    const LogManager* log_;
+    Lsn pos_;
+    Lsn end_;
+    bool valid_ = false;
+    LogRecord rec_;
+  };
+
+  /// Scans from `start` to the current tail (or `end` if given).
+  Iterator Scan(Lsn start, Lsn end = kInvalidLsn) const;
+
+  static constexpr uint64_t kLogFileHeaderSize = 8;
+
+ private:
+  SimLogDevice* const device_;
+  mutable std::mutex mu_;
+  Lsn master_record_ = kInvalidLsn;  // modeled as separate stable storage
+  mutable LogStats stats_;
+};
+
+}  // namespace spf

@@ -1,0 +1,99 @@
+#include "recovery/checkpoint.h"
+
+#include "common/coding.h"
+
+namespace spf {
+
+std::string CheckpointEndBody::Encode() const {
+  std::string out;
+  PutFixed32(&out, static_cast<uint32_t>(dpt.size()));
+  for (const auto& e : dpt) {
+    PutFixed64(&out, e.page_id);
+    PutFixed64(&out, e.rec_lsn);
+  }
+  PutFixed32(&out, static_cast<uint32_t>(txn_table.size()));
+  for (const auto& t : txn_table) {
+    PutFixed64(&out, t.txn_id);
+    PutFixed64(&out, t.last_lsn);
+    out.push_back(t.is_system ? 1 : 0);
+  }
+  PutLengthPrefixed(&out, allocator_image);
+  PutLengthPrefixed(&out, bad_blocks_image);
+  PutFixed64(&out, next_txn_id);
+  return out;
+}
+
+StatusOr<CheckpointEndBody> CheckpointEndBody::Decode(std::string_view data) {
+  CheckpointEndBody body;
+  size_t off = 0;
+  uint32_t n;
+  if (!GetFixed32(data, &off, &n)) return Status::Corruption("bad ckpt body");
+  for (uint32_t i = 0; i < n; ++i) {
+    DirtyPageEntry e;
+    if (!GetFixed64(data, &off, &e.page_id) ||
+        !GetFixed64(data, &off, &e.rec_lsn)) {
+      return Status::Corruption("bad ckpt dpt");
+    }
+    body.dpt.push_back(e);
+  }
+  if (!GetFixed32(data, &off, &n)) return Status::Corruption("bad ckpt body");
+  for (uint32_t i = 0; i < n; ++i) {
+    ActiveTxnEntry t;
+    if (!GetFixed64(data, &off, &t.txn_id) ||
+        !GetFixed64(data, &off, &t.last_lsn) || off >= data.size()) {
+      return Status::Corruption("bad ckpt txn table");
+    }
+    t.is_system = data[off] != 0;
+    off++;
+    body.txn_table.push_back(t);
+  }
+  std::string_view alloc_img, bbl_img;
+  if (!GetLengthPrefixed(data, &off, &alloc_img) ||
+      !GetLengthPrefixed(data, &off, &bbl_img) ||
+      !GetFixed64(data, &off, &body.next_txn_id)) {
+    return Status::Corruption("bad ckpt tail");
+  }
+  body.allocator_image = std::string(alloc_img);
+  body.bad_blocks_image = std::string(bbl_img);
+  return body;
+}
+
+StatusOr<CheckpointStats> Checkpointer::Take() {
+  CheckpointStats stats;
+
+  LogRecord begin;
+  begin.type = LogRecordType::kCheckpointBegin;
+  stats.begin_lsn = log_->Append(&begin);
+
+  // Snapshot, then flush, exactly the pages dirty at checkpoint start
+  // (section 5.2.6). The flushes produce PriUpdate records; PRI windows
+  // dirtied by them are written below; PRI pages' own covering updates
+  // cascade into the NEXT checkpoint.
+  std::vector<DirtyPageEntry> dirty_at_start = pool_->DirtyPages();
+  for (const auto& e : dirty_at_start) {
+    SPF_RETURN_IF_ERROR(pool_->FlushPage(e.page_id));
+    stats.pages_flushed++;
+  }
+  if (pri_manager_ != nullptr) {
+    SPF_RETURN_IF_ERROR(pri_manager_->WriteDirtyWindows());
+  }
+
+  CheckpointEndBody body;
+  body.dpt = pool_->DirtyPages();  // pages (re)dirtied during the checkpoint
+  body.txn_table = txns_->ActiveTxns();
+  body.allocator_image = alloc_->Serialize();
+  body.bad_blocks_image = bbl_->Serialize();
+  body.next_txn_id = txns_->next_txn_id();
+  stats.dirty_at_end = body.dpt.size();
+
+  LogRecord end;
+  end.type = LogRecordType::kCheckpointEnd;
+  end.body = body.Encode();
+  stats.end_lsn = log_->Append(&end);
+
+  log_->ForceAll();
+  log_->SetMasterRecord(stats.begin_lsn);
+  return stats;
+}
+
+}  // namespace spf

@@ -1,0 +1,68 @@
+// Checkpoints (paper section 5.2.6).
+//
+// A checkpoint (1) logs a begin record, (2) flushes the pages that were
+// dirty when the checkpoint started — each flush triggers the PRI
+// maintenance hook, whose cascading dirtiness is deliberately left for the
+// NEXT checkpoint (the paper's "never-ending tail" resolution), (3) writes
+// the PRI's dirty windows, (4) logs an end record carrying the dirty page
+// table, the active-transaction table, the allocator image, the bad-block
+// list, and the transaction id high-water mark, and (5) forces the log and
+// updates the master record.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "buffer/buffer_pool.h"
+#include "core/pri_manager.h"
+#include "log/log_manager.h"
+#include "storage/allocation.h"
+#include "txn/txn_manager.h"
+
+namespace spf {
+
+/// Payload of a kCheckpointEnd record.
+struct CheckpointEndBody {
+  std::vector<DirtyPageEntry> dpt;
+  std::vector<ActiveTxnEntry> txn_table;
+  std::string allocator_image;
+  std::string bad_blocks_image;
+  TxnId next_txn_id = 1;
+
+  std::string Encode() const;
+  static StatusOr<CheckpointEndBody> Decode(std::string_view data);
+};
+
+struct CheckpointStats {
+  Lsn begin_lsn = kInvalidLsn;
+  Lsn end_lsn = kInvalidLsn;
+  uint64_t pages_flushed = 0;
+  uint64_t dirty_at_end = 0;
+};
+
+/// Takes checkpoints over the assembled stack. `pri_manager` may be null
+/// (baseline modes).
+class Checkpointer {
+ public:
+  Checkpointer(LogManager* log, BufferPool* pool, TxnManager* txns,
+               PageAllocator* alloc, BadBlockList* bbl, PriManager* pri_manager)
+      : log_(log),
+        pool_(pool),
+        txns_(txns),
+        alloc_(alloc),
+        bbl_(bbl),
+        pri_manager_(pri_manager) {}
+
+  StatusOr<CheckpointStats> Take();
+
+ private:
+  LogManager* const log_;
+  BufferPool* const pool_;
+  TxnManager* const txns_;
+  PageAllocator* const alloc_;
+  BadBlockList* const bbl_;
+  PriManager* const pri_manager_;
+};
+
+}  // namespace spf

@@ -1,0 +1,39 @@
+#include "recovery/rollback.h"
+
+namespace spf {
+
+StatusOr<RollbackStats> RollbackExecutor::Rollback(Transaction* txn) {
+  RollbackStats stats;
+  SPF_RETURN_IF_ERROR(txns_->BeginAbort(txn));
+
+  Lsn cur = txn->undo_next_lsn();
+  // The abort record itself just extended the chain; skip non-content
+  // records while walking backward.
+  while (cur != kInvalidLsn) {
+    SPF_ASSIGN_OR_RETURN(LogRecord rec, log_->Read(cur));
+    stats.records_visited++;
+    switch (rec.type) {
+      case LogRecordType::kCompensation:
+        // Already-compensated suffix (partial rollback before a crash):
+        // jump over everything between the CLR and its original record.
+        cur = rec.undo_next_lsn;
+        stats.clr_skips++;
+        break;
+      case LogRecordType::kBTreeInsert:
+      case LogRecordType::kBTreeMarkGhost:
+      case LogRecordType::kBTreeUpdate:
+        SPF_RETURN_IF_ERROR(tree_->UndoRecord(txn, rec));
+        stats.records_undone++;
+        cur = rec.prev_lsn;
+        break;
+      default:
+        // Abort records, begin markers, etc. — nothing to compensate.
+        cur = rec.prev_lsn;
+        break;
+    }
+  }
+  txns_->FinishAbort(txn);
+  return stats;
+}
+
+}  // namespace spf

@@ -1,0 +1,37 @@
+// Transaction rollback via the per-transaction log chain (paper section
+// 5.1.1), shared by runtime aborts and restart undo.
+
+#pragma once
+
+#include "btree/btree.h"
+#include "log/log_manager.h"
+#include "txn/txn_manager.h"
+
+namespace spf {
+
+struct RollbackStats {
+  uint64_t records_visited = 0;
+  uint64_t records_undone = 0;
+  uint64_t clr_skips = 0;
+};
+
+/// Walks a transaction's chain backward, logging a compensation record for
+/// each content update (logical undo through the B-tree), honoring
+/// undo_next_lsn so a rollback interrupted by a crash resumes where it
+/// stopped rather than compensating twice.
+class RollbackExecutor {
+ public:
+  RollbackExecutor(LogManager* log, BTree* tree, TxnManager* txns)
+      : log_(log), tree_(tree), txns_(txns) {}
+
+  /// Full rollback: logs the abort record, undoes every remaining update,
+  /// logs the end record, releases locks, retires the transaction.
+  StatusOr<RollbackStats> Rollback(Transaction* txn);
+
+ private:
+  LogManager* const log_;
+  BTree* const tree_;
+  TxnManager* const txns_;
+};
+
+}  // namespace spf

@@ -1,0 +1,45 @@
+// Database meta page (page 0) layout: root pointer and page-recovery-index
+// partition extents. Updated via logged records like any other page.
+
+#pragma once
+
+#include <cstdint>
+
+#include "storage/page.h"
+
+namespace spf {
+
+constexpr uint64_t kDbMetaMagic = 0x5350465f4d455441ull;  // "SPF_META"
+
+/// Persistent fields stored right after the PageHeader on page 0.
+struct DbMetaData {
+  uint64_t magic;
+  PageId root_pid;       ///< B-tree root (moves on root growth)
+  PageId pri_a_start;    ///< PRI partition A extent (covers upper half)
+  uint64_t pri_a_pages;
+  PageId pri_b_start;    ///< PRI partition B extent (covers lower half)
+  uint64_t pri_b_pages;
+  uint64_t num_pages;    ///< data device capacity
+  uint64_t reserved_pages;  ///< ids [0, reserved) never allocated to data
+};
+
+/// Typed accessor over a fixed meta page.
+class MetaView {
+ public:
+  explicit MetaView(PageView page) : page_(page) {}
+
+  DbMetaData* mutable_meta() {
+    return reinterpret_cast<DbMetaData*>(page_.data() + kPageHeaderSize);
+  }
+  const DbMetaData& meta() const {
+    return *reinterpret_cast<const DbMetaData*>(page_.data() + kPageHeaderSize);
+  }
+
+  bool valid() const { return meta().magic == kDbMetaMagic; }
+  PageView page() { return page_; }
+
+ private:
+  PageView page_;
+};
+
+}  // namespace spf

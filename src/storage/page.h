@@ -1,0 +1,152 @@
+// On-page layout shared by every page in a database.
+//
+// Every page starts with a PageHeader carrying the in-page integrity data
+// the paper's detection story relies on (section 4.2): a CRC32C checksum, a
+// magic tag, the page's own id (catches misdirected reads/writes), the
+// PageLSN anchoring the per-page log chain (Figure 6), and the count of
+// updates since the last per-page backup (section 6: "the number of updates
+// can be counted within the page").
+
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <string>
+
+#include "common/crc32c.h"
+#include "common/macros.h"
+#include "common/status.h"
+
+namespace spf {
+
+using PageId = uint64_t;
+constexpr PageId kInvalidPageId = std::numeric_limits<PageId>::max();
+
+/// Log sequence number: byte address in the recovery log. 0 = "null LSN",
+/// i.e. no log record (a freshly formatted page before its first update).
+using Lsn = uint64_t;
+constexpr Lsn kInvalidLsn = 0;
+
+constexpr uint32_t kDefaultPageSize = 8 * 1024;
+constexpr uint32_t kPageMagic = 0x53504647u;  // "SPFG"
+
+/// Role of a page; part of in-page plausibility checking.
+enum class PageType : uint16_t {
+  kFree = 0,
+  kMeta = 1,
+  kBTreeLeaf = 2,
+  kBTreeBranch = 3,
+  kPri = 4,  // page recovery index partition page
+  kRaw = 5,  // untyped test page
+};
+
+/// Fixed header at byte offset 0 of every page. 40 bytes.
+struct PageHeader {
+  uint32_t checksum;      ///< masked CRC32C over bytes [4, page_size)
+  uint32_t magic;         ///< kPageMagic
+  PageId page_id;         ///< the page's own id; catches misdirected I/O
+  Lsn page_lsn;           ///< LSN of newest log record for this page
+  uint16_t page_type;     ///< PageType
+  uint16_t flags;
+  uint32_t update_count;  ///< updates since last per-page backup (section 6)
+  uint64_t reserved;
+};
+static_assert(sizeof(PageHeader) == 40, "PageHeader layout is on-disk format");
+
+constexpr uint32_t kPageHeaderSize = sizeof(PageHeader);
+
+/// Non-owning, typed view over one page-sized buffer.
+///
+/// PageView does not validate on construction; call Verify() after reading
+/// from a device (Figure 8 read logic) and UpdateChecksum() before writing.
+class PageView {
+ public:
+  PageView(char* data, uint32_t page_size) : data_(data), size_(page_size) {}
+
+  char* data() { return data_; }
+  const char* data() const { return data_; }
+  uint32_t size() const { return size_; }
+
+  PageHeader* header() { return reinterpret_cast<PageHeader*>(data_); }
+  const PageHeader* header() const {
+    return reinterpret_cast<const PageHeader*>(data_);
+  }
+
+  PageId page_id() const { return header()->page_id; }
+  Lsn page_lsn() const { return header()->page_lsn; }
+  PageType type() const { return static_cast<PageType>(header()->page_type); }
+  uint32_t update_count() const { return header()->update_count; }
+
+  void set_page_lsn(Lsn lsn) { header()->page_lsn = lsn; }
+  void bump_update_count() { header()->update_count++; }
+  void reset_update_count() { header()->update_count = 0; }
+
+  /// Zeroes the page and installs a fresh header.
+  void Format(PageId id, PageType type) {
+    std::memset(data_, 0, size_);
+    PageHeader* h = header();
+    h->magic = kPageMagic;
+    h->page_id = id;
+    h->page_lsn = kInvalidLsn;
+    h->page_type = static_cast<uint16_t>(type);
+    h->flags = 0;
+    h->update_count = 0;
+  }
+
+  /// Recomputes and stores the masked checksum. Must run before any write
+  /// to a device.
+  void UpdateChecksum() {
+    header()->checksum = crc32c::Mask(ComputeChecksum());
+  }
+
+  /// In-page parity test: checksum over the page body.
+  Status VerifyChecksum() const {
+    if (crc32c::Unmask(header()->checksum) != ComputeChecksum()) {
+      return Status::Corruption("page checksum mismatch");
+    }
+    return Status::OK();
+  }
+
+  /// Full in-page plausibility test (paper section 4.2): checksum, magic,
+  /// and that the page's stored id matches the id it was read as.
+  Status Verify(PageId expected_id) const {
+    const PageHeader* h = header();
+    if (h->magic != kPageMagic) {
+      return Status::Corruption("bad page magic");
+    }
+    SPF_RETURN_IF_ERROR(VerifyChecksum());
+    if (h->page_id != expected_id) {
+      return Status::Corruption("page id mismatch (misdirected I/O)");
+    }
+    return Status::OK();
+  }
+
+ private:
+  uint32_t ComputeChecksum() const {
+    return crc32c::Value(data_ + 4, size_ - 4);
+  }
+
+  char* data_;
+  uint32_t size_;
+};
+
+/// Owning, heap-allocated page buffer.
+class PageBuffer {
+ public:
+  explicit PageBuffer(uint32_t page_size)
+      : size_(page_size), data_(new char[page_size]) {
+    std::memset(data_.get(), 0, page_size);
+  }
+
+  PageView view() { return PageView(data_.get(), size_); }
+  char* data() { return data_.get(); }
+  const char* data() const { return data_.get(); }
+  uint32_t size() const { return size_; }
+
+ private:
+  uint32_t size_;
+  std::unique_ptr<char[]> data_;
+};
+
+}  // namespace spf

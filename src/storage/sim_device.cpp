@@ -1,0 +1,255 @@
+#include "storage/sim_device.h"
+
+#include <cstring>
+
+namespace spf {
+
+SimDevice::SimDevice(std::string name, uint32_t page_size, uint64_t num_pages,
+                     DeviceProfile profile, SimClock* clock)
+    : name_(std::move(name)),
+      page_size_(page_size),
+      num_pages_(num_pages),
+      profile_(std::move(profile)),
+      clock_(clock),
+      store_(page_size * num_pages, '\0') {
+  SPF_CHECK_GT(page_size, kPageHeaderSize);
+  SPF_CHECK_GT(num_pages, 0u);
+}
+
+uint64_t SimDevice::ChargeAccess(PageId id, bool is_write) {
+  const bool sequential =
+      last_accessed_ != kInvalidPageId && id == last_accessed_ + 1;
+  last_accessed_ = id;
+  uint64_t ns = profile_.AccessNanos(page_size_, sequential);
+  clock_->AdvanceNanos(ns);
+  stats_.sim_ns_charged += ns;
+  if (sequential) {
+    stats_.sequential_accesses++;
+  } else {
+    stats_.random_accesses++;
+  }
+  if (is_write) {
+    stats_.page_writes++;
+    stats_.bytes_written += page_size_;
+  } else {
+    stats_.page_reads++;
+    stats_.bytes_read += page_size_;
+  }
+  return ns;
+}
+
+Status SimDevice::ReadPage(PageId id, char* out) {
+  std::lock_guard<std::mutex> g(mu_);
+  if (device_failed_) {
+    return Status::MediaFailure("device '" + name_ + "' has failed");
+  }
+  if (id >= num_pages_) {
+    return Status::InvalidArgument("page id out of range");
+  }
+  ChargeAccess(id, /*is_write=*/false);
+
+  auto it = faults_.find(id);
+  if (it != faults_.end() && it->second.kind == FaultKind::kReadError) {
+    stats_.injected_faults_hit++;
+    if (!it->second.permanent) faults_.erase(it);
+    return Status::ReadFailure("unrecoverable read error (latent sector)");
+  }
+  std::memcpy(out, Slot(id), page_size_);
+  return Status::OK();
+}
+
+Status SimDevice::WritePage(PageId id, const char* data) {
+  std::lock_guard<std::mutex> g(mu_);
+  if (device_failed_) {
+    return Status::MediaFailure("device '" + name_ + "' has failed");
+  }
+  if (id >= num_pages_) {
+    return Status::InvalidArgument("page id out of range");
+  }
+  ChargeAccess(id, /*is_write=*/true);
+
+  // Wear-out: writes beyond the endurance budget scramble the location.
+  auto wear = wear_remaining_.find(id);
+  if (wear != wear_remaining_.end()) {
+    if (wear->second == 0) {
+      stats_.injected_faults_hit++;
+      std::memcpy(Slot(id), data, page_size_);
+      ScrambleLocked(id, /*seed=*/id * 2654435761u + stats_.page_writes, 128);
+      return Status::OK();  // silent: the device reports success
+    }
+    wear->second--;
+  }
+
+  auto it = faults_.find(id);
+  if (it != faults_.end() && it->second.kind == FaultKind::kTornWrite) {
+    stats_.injected_faults_hit++;
+    uint32_t prefix = std::min(it->second.torn_prefix, page_size_);
+    std::memcpy(Slot(id), data, prefix);  // tail keeps the old image
+    faults_.erase(it);
+    return Status::OK();  // silent
+  }
+
+  std::memcpy(Slot(id), data, page_size_);
+  return Status::OK();
+}
+
+DeviceStats SimDevice::stats() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return stats_;
+}
+
+void SimDevice::ResetStats() {
+  std::lock_guard<std::mutex> g(mu_);
+  stats_ = DeviceStats();
+}
+
+void SimDevice::ScrambleLocked(PageId id, uint64_t seed, uint32_t nbytes) {
+  Random rng(seed);
+  char* slot = Slot(id);
+  for (uint32_t i = 0; i < nbytes; ++i) {
+    uint64_t off = rng.Uniform(page_size_);
+    slot[off] = static_cast<char>(rng.Next() & 0xff);
+  }
+}
+
+void SimDevice::InjectSilentCorruption(PageId id, uint64_t seed,
+                                       uint32_t nbytes) {
+  std::lock_guard<std::mutex> g(mu_);
+  SPF_CHECK_LT(id, num_pages_);
+  ScrambleLocked(id, seed, nbytes);
+}
+
+void SimDevice::InjectReadError(PageId id, bool permanent) {
+  std::lock_guard<std::mutex> g(mu_);
+  FaultState f;
+  f.kind = FaultKind::kReadError;
+  f.permanent = permanent;
+  faults_[id] = f;
+}
+
+void SimDevice::CapturePageVersion(PageId id) {
+  std::lock_guard<std::mutex> g(mu_);
+  SPF_CHECK_LT(id, num_pages_);
+  captured_versions_[id].assign(Slot(id), page_size_);
+}
+
+bool SimDevice::InjectStaleVersion(PageId id) {
+  std::lock_guard<std::mutex> g(mu_);
+  auto it = captured_versions_.find(id);
+  if (it == captured_versions_.end()) return false;
+  std::memcpy(Slot(id), it->second.data(), page_size_);
+  return true;
+}
+
+void SimDevice::InjectTornWrite(PageId id, uint32_t valid_prefix) {
+  std::lock_guard<std::mutex> g(mu_);
+  FaultState f;
+  f.kind = FaultKind::kTornWrite;
+  f.torn_prefix = valid_prefix;
+  faults_[id] = f;
+}
+
+void SimDevice::SetWearOutLimit(PageId id, uint32_t writes_remaining) {
+  std::lock_guard<std::mutex> g(mu_);
+  wear_remaining_[id] = writes_remaining;
+}
+
+void SimDevice::ClearFault(PageId id) {
+  std::lock_guard<std::mutex> g(mu_);
+  faults_.erase(id);
+  wear_remaining_.erase(id);
+}
+
+void SimDevice::RawRead(PageId id, char* out) const {
+  std::lock_guard<std::mutex> g(mu_);
+  SPF_CHECK_LT(id, num_pages_);
+  std::memcpy(out, Slot(id), page_size_);
+}
+
+void SimDevice::RawWrite(PageId id, const char* data) {
+  std::lock_guard<std::mutex> g(mu_);
+  SPF_CHECK_LT(id, num_pages_);
+  std::memcpy(const_cast<char*>(Slot(id)), data, page_size_);
+}
+
+// ---------------------------------------------------------------------------
+// SimLogDevice
+
+SimLogDevice::SimLogDevice(std::string name, DeviceProfile profile,
+                           SimClock* clock)
+    : name_(std::move(name)), profile_(std::move(profile)), clock_(clock) {}
+
+uint64_t SimLogDevice::Append(std::string_view data) {
+  std::lock_guard<std::mutex> g(mu_);
+  uint64_t offset = data_.size();
+  data_.append(data.data(), data.size());
+  return offset;
+}
+
+void SimLogDevice::Sync() {
+  std::lock_guard<std::mutex> g(mu_);
+  if (data_.size() == synced_size_) {
+    // Even an empty force pays one device round-trip (group commit's cost).
+    uint64_t ns = profile_.AccessNanos(0, /*sequential=*/true);
+    clock_->AdvanceNanos(ns);
+    stats_.sim_ns_charged += ns;
+    return;
+  }
+  uint64_t tail = data_.size() - synced_size_;
+  // Log appends are sequential at the device; charge transfer only.
+  uint64_t ns = profile_.AccessNanos(tail, /*sequential=*/true);
+  clock_->AdvanceNanos(ns);
+  stats_.sim_ns_charged += ns;
+  stats_.page_writes++;
+  stats_.bytes_written += tail;
+  stats_.sequential_accesses++;
+  synced_size_ = data_.size();
+}
+
+Status SimLogDevice::ReadAt(uint64_t offset, uint64_t n, char* out) const {
+  std::lock_guard<std::mutex> g(mu_);
+  if (offset + n > data_.size()) {
+    return Status::IOError("log read past end");
+  }
+  const bool sequential = offset == last_read_end_;
+  last_read_end_ = offset + n;
+  uint64_t ns = profile_.AccessNanos(n, sequential);
+  clock_->AdvanceNanos(ns);
+  stats_.sim_ns_charged += ns;
+  stats_.page_reads++;
+  stats_.bytes_read += n;
+  if (sequential) {
+    stats_.sequential_accesses++;
+  } else {
+    stats_.random_accesses++;
+  }
+  std::memcpy(out, data_.data() + offset, n);
+  return Status::OK();
+}
+
+uint64_t SimLogDevice::size() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return data_.size();
+}
+
+uint64_t SimLogDevice::synced_size() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return synced_size_;
+}
+
+void SimLogDevice::DropUnsynced() {
+  std::lock_guard<std::mutex> g(mu_);
+  data_.resize(synced_size_);
+}
+
+DeviceStats SimLogDevice::stats() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return stats_;
+}
+
+void SimLogDevice::ResetStats() {
+  std::lock_guard<std::mutex> g(mu_);
+  stats_ = DeviceStats();
+}
+
+}  // namespace spf

@@ -1,0 +1,84 @@
+#include "txn/lock_manager.h"
+
+namespace spf {
+
+bool LockManager::Compatible(const LockState& s, TxnId txn,
+                             LockMode mode) const {
+  for (const auto& [holder, held_mode] : s.holders) {
+    if (holder == txn) continue;  // self-compatibility handled by caller
+    if (mode == LockMode::kExclusive || held_mode == LockMode::kExclusive) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Status LockManager::Lock(TxnId txn, const std::string& key, LockMode mode) {
+  std::unique_lock<std::mutex> lock(mu_);
+  LockState& s = locks_[key];
+
+  auto self = s.holders.find(txn);
+  if (self != s.holders.end()) {
+    if (self->second == LockMode::kExclusive || mode == LockMode::kShared) {
+      return Status::OK();  // already strong enough
+    }
+    // Upgrade request: falls through to the wait loop; Compatible() ignores
+    // our own shared hold.
+  }
+
+  auto deadline = std::chrono::steady_clock::now() + timeout_;
+  s.waiters++;
+  while (!Compatible(s, txn, mode)) {
+    if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+      s.waiters--;
+      timeouts_++;
+      if (s.holders.empty() && s.waiters == 0) locks_.erase(key);
+      return Status::Deadlock("lock wait timeout on key '" + key + "'");
+    }
+  }
+  s.waiters--;
+  s.holders[txn] = mode;
+  return Status::OK();
+}
+
+void LockManager::Unlock(TxnId txn, const std::string& key) {
+  std::lock_guard<std::mutex> g(mu_);
+  auto it = locks_.find(key);
+  if (it == locks_.end()) return;
+  it->second.holders.erase(txn);
+  if (it->second.holders.empty() && it->second.waiters == 0) {
+    locks_.erase(it);
+  }
+  cv_.notify_all();
+}
+
+void LockManager::ReleaseAll(TxnId txn) {
+  std::lock_guard<std::mutex> g(mu_);
+  for (auto it = locks_.begin(); it != locks_.end();) {
+    it->second.holders.erase(txn);
+    if (it->second.holders.empty() && it->second.waiters == 0) {
+      it = locks_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  cv_.notify_all();
+}
+
+bool LockManager::IsLocked(const std::string& key) const {
+  std::lock_guard<std::mutex> g(mu_);
+  auto it = locks_.find(key);
+  return it != locks_.end() && !it->second.holders.empty();
+}
+
+bool LockManager::Holds(TxnId txn, const std::string& key,
+                        LockMode mode) const {
+  std::lock_guard<std::mutex> g(mu_);
+  auto it = locks_.find(key);
+  if (it == locks_.end()) return false;
+  auto h = it->second.holders.find(txn);
+  if (h == it->second.holders.end()) return false;
+  return mode == LockMode::kShared || h->second == LockMode::kExclusive;
+}
+
+}  // namespace spf

@@ -1,0 +1,72 @@
+// Key-value lock manager for user transactions.
+//
+// Exclusive and shared locks on B-tree keys, FIFO-fair waiting with a
+// timeout: a transaction that waits longer than the configured bound is
+// treated as deadlocked and receives Status::Deadlock, which the caller
+// turns into a transaction failure (rollback) — the cheapest of the
+// paper's failure classes and the baseline for experiment E1.
+
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "log/log_record.h"
+
+namespace spf {
+
+enum class LockMode : uint8_t { kShared, kExclusive };
+
+class LockManager {
+ public:
+  explicit LockManager(std::chrono::milliseconds wait_timeout =
+                           std::chrono::milliseconds(200))
+      : timeout_(wait_timeout) {}
+
+  /// Acquires `mode` on `key` for `txn`. Re-entrant; upgrades a shared
+  /// lock to exclusive when `txn` is the only holder. Returns Deadlock on
+  /// timeout.
+  Status Lock(TxnId txn, const std::string& key, LockMode mode);
+
+  /// Releases one key (no-op if not held).
+  void Unlock(TxnId txn, const std::string& key);
+
+  /// Releases everything `txn` holds (commit/abort).
+  void ReleaseAll(TxnId txn);
+
+  /// True if `txn` holds a lock on `key` in at least `mode`.
+  bool Holds(TxnId txn, const std::string& key, LockMode mode) const;
+
+  /// True if ANY transaction holds a lock on `key`. Used by ghost
+  /// reclamation: a locked ghost may still be needed by its deleter's
+  /// rollback and must not be removed.
+  bool IsLocked(const std::string& key) const;
+
+  uint64_t timeouts() const {
+    std::lock_guard<std::mutex> g(mu_);
+    return timeouts_;
+  }
+
+ private:
+  struct LockState {
+    // txn -> mode currently granted.
+    std::map<TxnId, LockMode> holders;
+    uint64_t waiters = 0;
+  };
+
+  bool Compatible(const LockState& s, TxnId txn, LockMode mode) const;
+
+  const std::chrono::milliseconds timeout_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::map<std::string, LockState> locks_;
+  uint64_t timeouts_ = 0;
+};
+
+}  // namespace spf

@@ -1,0 +1,104 @@
+// Transaction objects: user transactions and system transactions.
+//
+// The paper (section 5.1.5, Figure 5) separates changes to logical database
+// contents (user transactions) from contents-neutral changes to their
+// representation (system transactions: node splits, ghost reclamation,
+// page migration, PRI maintenance). The operational differences modeled
+// here:
+//   * a user commit forces the log; a system commit does not — its commit
+//     record reaches stable storage with (or before) the next forced write,
+//     and a lost system transaction cannot lose data because it is
+//     contents-neutral;
+//   * system transactions acquire no locks (latches suffice);
+//   * system transactions never span user interaction — they begin and
+//     commit within one call.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_set>
+
+#include "common/macros.h"
+#include "log/log_manager.h"
+#include "log/log_record.h"
+#include "storage/page.h"
+
+namespace spf {
+
+enum class TxnState : uint8_t { kActive, kCommitted, kAborted };
+
+/// One transaction's bookkeeping: identity, state, and the head of its
+/// per-transaction log chain (section 5.1.1).
+class Transaction {
+ public:
+  Transaction(TxnId id, bool is_system) : id_(id), system_(is_system) {}
+
+  SPF_DISALLOW_COPY(Transaction);
+
+  TxnId id() const { return id_; }
+  bool is_system() const { return system_; }
+  TxnState state() const { return state_; }
+  Lsn first_lsn() const { return first_lsn_; }
+  Lsn last_lsn() const { return last_lsn_; }
+
+  /// During rollback: the next record to undo. Starts at last_lsn and is
+  /// moved backward by compensation records' undo_next_lsn.
+  Lsn undo_next_lsn() const { return undo_next_lsn_; }
+  void set_undo_next_lsn(Lsn lsn) { undo_next_lsn_ = lsn; }
+
+  /// Appends a record on this transaction's behalf: stamps txn id, the
+  /// per-transaction chain pointer, and the system-transaction flag, then
+  /// advances the chain head.
+  Lsn Log(LogManager* log, LogRecord* rec) {
+    Stamp(rec);
+    Lsn lsn = log->Append(rec);
+    Advance(lsn);
+    return lsn;
+  }
+
+  /// Like Log() but for records that modify a page: additionally maintains
+  /// the page's per-page chain and PageLSN via AppendPageRecord.
+  Lsn LogPage(LogManager* log, LogRecord* rec, PageView page) {
+    Stamp(rec);
+    Lsn lsn = log->AppendPageRecord(rec, page);
+    Advance(lsn);
+    return lsn;
+  }
+
+  void set_state(TxnState s) { state_ = s; }
+
+  /// Restart-recovery hook: re-anchors the chain head of a loser
+  /// transaction reconstructed during log analysis, without logging.
+  void RestoreChain(Lsn last_lsn) {
+    last_lsn_ = last_lsn;
+    if (first_lsn_ == kInvalidLsn) first_lsn_ = last_lsn;
+  }
+
+  /// Keys locked by this transaction (user transactions only), released at
+  /// commit/abort by the transaction manager.
+  std::unordered_set<std::string>& locked_keys() { return locked_keys_; }
+
+ private:
+  void Stamp(LogRecord* rec) {
+    SPF_CHECK(state_ == TxnState::kActive) << "logging on finished txn";
+    rec->txn_id = id_;
+    rec->prev_lsn = last_lsn_;
+    if (system_) rec->flags |= kLogFlagSystemTxn;
+  }
+  void Advance(Lsn lsn) {
+    if (first_lsn_ == kInvalidLsn) first_lsn_ = lsn;
+    last_lsn_ = lsn;
+    undo_next_lsn_ = lsn;
+  }
+
+  const TxnId id_;
+  const bool system_;
+  TxnState state_ = TxnState::kActive;
+  Lsn first_lsn_ = kInvalidLsn;
+  Lsn last_lsn_ = kInvalidLsn;
+  Lsn undo_next_lsn_ = kInvalidLsn;
+  std::unordered_set<std::string> locked_keys_;
+};
+
+}  // namespace spf

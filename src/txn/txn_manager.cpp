@@ -1,0 +1,126 @@
+#include "txn/txn_manager.h"
+
+namespace spf {
+
+Transaction* TxnManager::BeginInternal(bool system) {
+  std::lock_guard<std::mutex> g(mu_);
+  TxnId id = next_id_++;
+  auto txn = std::make_unique<Transaction>(id, system);
+  Transaction* ptr = txn.get();
+  active_[id] = std::move(txn);
+  if (system) {
+    stats_.system_begun++;
+  } else {
+    stats_.user_begun++;
+  }
+  return ptr;
+}
+
+Transaction* TxnManager::Begin() { return BeginInternal(false); }
+
+Transaction* TxnManager::BeginSystem() { return BeginInternal(true); }
+
+Status TxnManager::Commit(Transaction* txn) {
+  SPF_CHECK(txn->state() == TxnState::kActive);
+  if (txn->last_lsn() != kInvalidLsn) {
+    // Read-only transactions commit without logging anything.
+    LogRecord commit;
+    commit.type = LogRecordType::kCommitTxn;
+    Lsn commit_lsn = txn->Log(log_, &commit);
+    if (!txn->is_system()) {
+      // Durability for user commits requires forcing the log
+      // (section 5.1.5 / Figure 5). This also carries any earlier
+      // unforced system-transaction commit records to stable storage.
+      log_->Force(commit_lsn);
+    }
+  }
+  txn->set_state(TxnState::kCommitted);
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    if (txn->is_system()) {
+      stats_.system_committed++;
+    } else {
+      stats_.user_committed++;
+    }
+  }
+  Retire(txn);
+  return Status::OK();
+}
+
+Status TxnManager::BeginAbort(Transaction* txn) {
+  SPF_CHECK(txn->state() == TxnState::kActive);
+  if (txn->last_lsn() != kInvalidLsn) {
+    LogRecord abort;
+    abort.type = LogRecordType::kAbortTxn;
+    txn->Log(log_, &abort);
+    // Abort records need no force: if lost in a crash, restart undo rolls
+    // the transaction back anyway.
+  }
+  return Status::OK();
+}
+
+void TxnManager::FinishAbort(Transaction* txn) {
+  if (txn->last_lsn() != kInvalidLsn) {
+    LogRecord end;
+    end.type = LogRecordType::kEndTxn;
+    txn->Log(log_, &end);
+  }
+  txn->set_state(TxnState::kAborted);
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    if (!txn->is_system()) stats_.user_aborted++;
+  }
+  Retire(txn);
+}
+
+Transaction* TxnManager::AdoptLoser(TxnId id, Lsn last_lsn, Lsn undo_next) {
+  std::lock_guard<std::mutex> g(mu_);
+  auto txn = std::make_unique<Transaction>(id, /*is_system=*/false);
+  // Reconstruct the chain head without logging.
+  txn->set_state(TxnState::kActive);
+  // The loser's chain is re-anchored via undo_next; last_lsn is used for
+  // the Abort record's prev pointer. We emulate by direct assignment.
+  Transaction* ptr = txn.get();
+  active_[id] = std::move(txn);
+  if (id >= next_id_) next_id_ = id + 1;
+  ptr->set_undo_next_lsn(undo_next);
+  ptr->RestoreChain(last_lsn);
+  return ptr;
+}
+
+std::vector<ActiveTxnEntry> TxnManager::ActiveTxns() const {
+  std::lock_guard<std::mutex> g(mu_);
+  std::vector<ActiveTxnEntry> out;
+  for (const auto& [id, txn] : active_) {
+    out.push_back({id, txn->last_lsn(), txn->is_system()});
+  }
+  return out;
+}
+
+size_t TxnManager::active_count() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return active_.size();
+}
+
+TxnId TxnManager::next_txn_id() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return next_id_;
+}
+
+void TxnManager::SetNextTxnId(TxnId id) {
+  std::lock_guard<std::mutex> g(mu_);
+  if (id > next_id_) next_id_ = id;
+}
+
+TxnStats TxnManager::stats() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return stats_;
+}
+
+void TxnManager::Retire(Transaction* txn) {
+  locks_->ReleaseAll(txn->id());
+  std::lock_guard<std::mutex> g(mu_);
+  active_.erase(txn->id());
+}
+
+}  // namespace spf

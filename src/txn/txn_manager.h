@@ -1,0 +1,95 @@
+// Transaction manager: lifecycle, commit protocols, active-txn table.
+
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/status.h"
+#include "log/log_manager.h"
+#include "txn/lock_manager.h"
+#include "txn/transaction.h"
+
+namespace spf {
+
+/// Snapshot row of the active-transaction table (checkpoint payload and
+/// restart analysis seed).
+struct ActiveTxnEntry {
+  TxnId txn_id;
+  Lsn last_lsn;
+  bool is_system;
+};
+
+struct TxnStats {
+  uint64_t user_begun = 0;
+  uint64_t user_committed = 0;
+  uint64_t user_aborted = 0;
+  uint64_t system_begun = 0;
+  uint64_t system_committed = 0;
+};
+
+/// Creates, commits, and finalizes transactions. Rollback is executed by
+/// the recovery module (it owns undo); TxnManager provides the hooks the
+/// roll-back executor needs (FinishAbort).
+class TxnManager {
+ public:
+  TxnManager(LogManager* log, LockManager* locks) : log_(log), locks_(locks) {}
+
+  SPF_DISALLOW_COPY(TxnManager);
+
+  /// Begins a user transaction. A Begin record is logged lazily — the
+  /// first update record identifies the transaction; pure readers leave no
+  /// trace in the log.
+  Transaction* Begin();
+
+  /// Begins a system transaction (section 5.1.5): no locks, unforced commit.
+  Transaction* BeginSystem();
+
+  /// Commits: logs the commit record; forces the log for user
+  /// transactions, not for system transactions (Figure 5); releases locks;
+  /// retires the transaction object.
+  Status Commit(Transaction* txn);
+
+  /// Marks the abort decision and logs the abort record. The caller must
+  /// then run the undo executor and finally call FinishAbort.
+  Status BeginAbort(Transaction* txn);
+
+  /// Releases locks and retires an aborted transaction after undo
+  /// completed.
+  void FinishAbort(Transaction* txn);
+
+  /// Restores a transaction discovered during restart log analysis as
+  /// in-flight at the crash (a "loser" to be rolled back).
+  Transaction* AdoptLoser(TxnId id, Lsn last_lsn, Lsn undo_next);
+
+  /// Snapshot of active transactions (checkpoint payload).
+  std::vector<ActiveTxnEntry> ActiveTxns() const;
+
+  size_t active_count() const;
+
+  /// Highest txn id handed out; checkpointed so restart continues the
+  /// sequence without reuse.
+  TxnId next_txn_id() const;
+  void SetNextTxnId(TxnId id);
+
+  TxnStats stats() const;
+  LockManager* lock_manager() { return locks_; }
+  LogManager* log() { return log_; }
+
+ private:
+  Transaction* BeginInternal(bool system);
+  void Retire(Transaction* txn);
+
+  LogManager* const log_;
+  LockManager* const locks_;
+
+  mutable std::mutex mu_;
+  TxnId next_id_ = 1;
+  std::unordered_map<TxnId, std::unique_ptr<Transaction>> active_;
+  TxnStats stats_;
+};
+
+}  // namespace spf

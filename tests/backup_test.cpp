@@ -1,0 +1,167 @@
+// Unit tests for the backup subsystem: full backups, per-page copies with
+// allocate-before-free semantics, and in-log page images (section 5.2.1).
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "backup/backup_manager.h"
+#include "common/sim_clock.h"
+#include "log/log_manager.h"
+#include "storage/page.h"
+#include "storage/sim_device.h"
+
+namespace spf {
+namespace {
+
+constexpr uint32_t kPS = 4096;
+constexpr uint64_t kDataPages = 64;
+
+class BackupTest : public ::testing::Test {
+ protected:
+  BackupTest()
+      : data_("data", kPS, kDataPages, DeviceProfile::Instant(), &clock_),
+        backup_dev_("backup", kPS, kDataPages + 32, DeviceProfile::Instant(),
+                    &clock_),
+        wal_("wal", DeviceProfile::Instant(), &clock_),
+        log_(&wal_),
+        mgr_(&data_, &backup_dev_, &log_) {}
+
+  std::string MakePage(PageId id, char fill, Lsn lsn = 0) {
+    std::string buf(kPS, '\0');
+    PageView page(buf.data(), kPS);
+    page.Format(id, PageType::kRaw);
+    std::memset(buf.data() + kPageHeaderSize, fill, 100);
+    page.set_page_lsn(lsn);
+    page.UpdateChecksum();
+    return buf;
+  }
+
+  SimClock clock_;
+  SimDevice data_;
+  SimDevice backup_dev_;
+  SimLogDevice wal_;
+  LogManager log_;
+  BackupManager mgr_;
+};
+
+TEST_F(BackupTest, NoBackupInitially) {
+  EXPECT_FALSE(mgr_.latest_full_backup().has_value());
+  char buf[kPS];
+  EXPECT_TRUE(mgr_.ReadFromFullBackup(1, 0, buf).IsNotFound());
+}
+
+TEST_F(BackupTest, FullBackupRoundTrip) {
+  for (PageId p = 0; p < kDataPages; ++p) {
+    std::string img = MakePage(p, static_cast<char>('a' + p % 26));
+    ASSERT_TRUE(data_.WritePage(p, img.data()).ok());
+  }
+  auto info = mgr_.TakeFullBackup();
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->num_pages, kDataPages);
+  EXPECT_GT(info->backup_lsn, 0u);
+
+  // Overwrite the data device, then read the original back from backup.
+  std::string changed = MakePage(5, 'Z');
+  data_.WritePage(5, changed.data());
+  std::string out(kPS, '\0');
+  ASSERT_TRUE(mgr_.ReadFromFullBackup(info->id, 5, out.data()).ok());
+  PageView page(out.data(), kPS);
+  EXPECT_TRUE(page.Verify(5).ok());
+  EXPECT_EQ(out[kPageHeaderSize], 'f');  // 'a' + 5
+}
+
+TEST_F(BackupTest, RestoreFullBackupRewritesDevice) {
+  for (PageId p = 0; p < kDataPages; ++p) {
+    std::string img = MakePage(p, 'x');
+    data_.WritePage(p, img.data());
+  }
+  auto info = mgr_.TakeFullBackup();
+  ASSERT_TRUE(info.ok());
+  // Trash the device.
+  for (PageId p = 0; p < kDataPages; ++p) {
+    std::string junk(kPS, 'J');
+    data_.WritePage(p, junk.data());
+  }
+  auto restored = mgr_.RestoreFullBackup(info->id, &data_);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(*restored, kDataPages);
+  std::string out(kPS, '\0');
+  data_.ReadPage(9, out.data());
+  EXPECT_TRUE(PageView(out.data(), kPS).Verify(9).ok());
+}
+
+TEST_F(BackupTest, PageBackupAllocateThenFree) {
+  std::string v1 = MakePage(3, 'a', 100);
+  auto slot1 = mgr_.TakePageBackup(3, v1.data());
+  ASSERT_TRUE(slot1.ok());
+  EXPECT_GE(*slot1, kDataPages);  // page-copy pool is beyond the full backup
+
+  std::string v2 = MakePage(3, 'b', 200);
+  auto slot2 = mgr_.TakePageBackup(3, v2.data());
+  ASSERT_TRUE(slot2.ok());
+  EXPECT_NE(*slot1, *slot2) << "old backup must not be overwritten in place";
+
+  // The old slot is recycled for the NEXT backup.
+  std::string other = MakePage(7, 'c', 10);
+  auto slot3 = mgr_.TakePageBackup(7, other.data());
+  ASSERT_TRUE(slot3.ok());
+  EXPECT_EQ(*slot3, *slot1);
+
+  std::string out(kPS, '\0');
+  ASSERT_TRUE(mgr_.ReadPageBackup(*slot2, out.data()).ok());
+  EXPECT_EQ(PageView(out.data(), kPS).page_lsn(), 200u);
+
+  BackupStats s = mgr_.stats();
+  EXPECT_EQ(s.page_backups_taken, 3u);
+  EXPECT_EQ(s.page_backups_freed, 1u);
+}
+
+TEST_F(BackupTest, InLogImageRoundTrip) {
+  std::string img = MakePage(12, 'q', 777);
+  auto lsn = mgr_.LogPageImage(12, img.data());
+  ASSERT_TRUE(lsn.ok());
+
+  std::string out(kPS, '\0');
+  ASSERT_TRUE(mgr_.ReadLogImage(*lsn, 12, out.data()).ok());
+  EXPECT_EQ(out, img);
+  EXPECT_EQ(PageView(out.data(), kPS).page_lsn(), 777u);
+
+  // Wrong page id is rejected.
+  EXPECT_TRUE(mgr_.ReadLogImage(*lsn, 13, out.data()).IsCorruption());
+}
+
+TEST_F(BackupTest, ReadLogImageRejectsNonImageRecord) {
+  LogRecord rec;
+  rec.type = LogRecordType::kBeginTxn;
+  rec.txn_id = 1;
+  Lsn lsn = log_.Append(&rec);
+  std::string out(kPS, '\0');
+  EXPECT_TRUE(mgr_.ReadLogImage(lsn, 0, out.data()).IsCorruption());
+}
+
+TEST_F(BackupTest, ImageNotOnPerPageChain) {
+  // Taking an image must not perturb the per-page chain: the record's
+  // page_prev_lsn is informational and PageLSN does not advance.
+  std::string img = MakePage(2, 'm', 55);
+  auto lsn = mgr_.LogPageImage(2, img.data());
+  ASSERT_TRUE(lsn.ok());
+  auto rec = log_.Read(*lsn);
+  ASSERT_TRUE(rec.ok());
+  EXPECT_EQ(rec->page_id, 2u);
+  EXPECT_EQ(rec->page_prev_lsn, kInvalidLsn);
+}
+
+TEST_F(BackupTest, BackupLsnCoversSubsequentLog) {
+  LogRecord rec;
+  rec.type = LogRecordType::kBeginTxn;
+  rec.txn_id = 1;
+  log_.Append(&rec);
+  auto info = mgr_.TakeFullBackup();
+  ASSERT_TRUE(info.ok());
+  // Everything appended before the backup is durable and before backup_lsn.
+  EXPECT_GE(info->backup_lsn, rec.lsn + rec.length);
+}
+
+}  // namespace
+}  // namespace spf

@@ -1,0 +1,472 @@
+// Integration tests for the Foster B-tree over the full storage stack:
+// CRUD, splits and foster chains, adoption, root growth, scans, locking,
+// continuous verification, and a randomized property test against a
+// reference map.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "common/random.h"
+#include "test_env.h"
+
+namespace spf {
+namespace {
+
+using testenv::EnvOptions;
+using testenv::TestEnv;
+
+std::string Key(int i) {
+  char buf[20];
+  snprintf(buf, sizeof(buf), "key%08d", i);
+  return buf;
+}
+
+class BTreeTest : public ::testing::Test {
+ protected:
+  TestEnv env_;
+};
+
+TEST_F(BTreeTest, EmptyTreeGetReturnsNotFound) {
+  EXPECT_TRUE(env_.tree->Get(nullptr, "missing").status().IsNotFound());
+  auto count = env_.tree->Count();
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(*count, 0u);
+}
+
+TEST_F(BTreeTest, InsertAndGet) {
+  ASSERT_TRUE(env_.WithTxn([&](Transaction* t) {
+    return env_.tree->Insert(t, "hello", "world");
+  }).ok());
+  auto v = env_.tree->Get(nullptr, "hello");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, "world");
+}
+
+TEST_F(BTreeTest, DuplicateInsertRejected) {
+  env_.WithTxn([&](Transaction* t) { return env_.tree->Insert(t, "k", "v1"); });
+  Status s = env_.WithTxn(
+      [&](Transaction* t) { return env_.tree->Insert(t, "k", "v2"); });
+  EXPECT_TRUE(s.IsFailedPrecondition());
+  EXPECT_EQ(*env_.tree->Get(nullptr, "k"), "v1");
+}
+
+TEST_F(BTreeTest, UpdateExisting) {
+  env_.WithTxn([&](Transaction* t) { return env_.tree->Insert(t, "k", "v1"); });
+  ASSERT_TRUE(env_.WithTxn([&](Transaction* t) {
+    return env_.tree->Update(t, "k", "v2");
+  }).ok());
+  EXPECT_EQ(*env_.tree->Get(nullptr, "k"), "v2");
+}
+
+TEST_F(BTreeTest, UpdateMissingFails) {
+  Status s = env_.WithTxn(
+      [&](Transaction* t) { return env_.tree->Update(t, "nope", "v"); });
+  EXPECT_TRUE(s.IsNotFound());
+}
+
+TEST_F(BTreeTest, DeleteMakesGhost) {
+  env_.WithTxn([&](Transaction* t) { return env_.tree->Insert(t, "k", "v"); });
+  ASSERT_TRUE(env_.WithTxn([&](Transaction* t) {
+    return env_.tree->Delete(t, "k");
+  }).ok());
+  EXPECT_TRUE(env_.tree->Get(nullptr, "k").status().IsNotFound());
+  // Deleting again fails.
+  Status s = env_.WithTxn(
+      [&](Transaction* t) { return env_.tree->Delete(t, "k"); });
+  EXPECT_TRUE(s.IsNotFound());
+}
+
+TEST_F(BTreeTest, InsertRevivesGhost) {
+  env_.WithTxn([&](Transaction* t) { return env_.tree->Insert(t, "k", "v1"); });
+  env_.WithTxn([&](Transaction* t) { return env_.tree->Delete(t, "k"); });
+  ASSERT_TRUE(env_.WithTxn([&](Transaction* t) {
+    return env_.tree->Insert(t, "k", "v2");
+  }).ok());
+  EXPECT_EQ(*env_.tree->Get(nullptr, "k"), "v2");
+}
+
+TEST_F(BTreeTest, EmptyKeyRejected) {
+  Status s = env_.WithTxn(
+      [&](Transaction* t) { return env_.tree->Insert(t, "", "v"); });
+  EXPECT_TRUE(s.IsInvalidArgument());
+}
+
+TEST_F(BTreeTest, OversizedKeyValueRejected) {
+  std::string big_key(kMaxKeyLen + 1, 'k');
+  std::string big_val(kMaxValueLen + 1, 'v');
+  EXPECT_TRUE(env_.WithTxn([&](Transaction* t) {
+    return env_.tree->Insert(t, big_key, "v");
+  }).IsInvalidArgument());
+  EXPECT_TRUE(env_.WithTxn([&](Transaction* t) {
+    return env_.tree->Insert(t, "k", big_val);
+  }).IsInvalidArgument());
+}
+
+TEST_F(BTreeTest, ManyInsertsForceSplitsAndGrowth) {
+  const int kN = 5000;
+  Transaction* t = env_.txns->Begin();
+  for (int i = 0; i < kN; ++i) {
+    ASSERT_TRUE(env_.tree->Insert(t, Key(i), "value-" + std::to_string(i)).ok())
+        << i;
+  }
+  ASSERT_TRUE(env_.txns->Commit(t).ok());
+
+  BTreeStats stats = env_.tree->stats();
+  EXPECT_GT(stats.splits, 10u);
+  EXPECT_GT(stats.root_growths, 0u);
+  EXPECT_GT(stats.adoptions, 0u);
+
+  auto height = env_.tree->Height();
+  ASSERT_TRUE(height.ok());
+  EXPECT_GE(*height, 2u);
+
+  for (int i = 0; i < kN; i += 97) {
+    auto v = env_.tree->Get(nullptr, Key(i));
+    ASSERT_TRUE(v.ok()) << i;
+    EXPECT_EQ(*v, "value-" + std::to_string(i));
+  }
+  auto count = env_.tree->Count();
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(*count, static_cast<uint64_t>(kN));
+
+  uint64_t checked = 0;
+  ASSERT_TRUE(env_.tree->VerifyAll(&checked).ok());
+  EXPECT_GT(checked, 20u);  // ~200 records per 8 KiB leaf
+}
+
+TEST_F(BTreeTest, ReverseOrderInsertsWork) {
+  Transaction* t = env_.txns->Begin();
+  for (int i = 2000; i > 0; --i) {
+    ASSERT_TRUE(env_.tree->Insert(t, Key(i), "v").ok()) << i;
+  }
+  ASSERT_TRUE(env_.txns->Commit(t).ok());
+  ASSERT_TRUE(env_.tree->VerifyAll(nullptr).ok());
+  EXPECT_EQ(*env_.tree->Count(), 2000u);
+}
+
+TEST_F(BTreeTest, RandomOrderInsertsWork) {
+  Random rng(7);
+  std::set<int> keys;
+  Transaction* t = env_.txns->Begin();
+  while (keys.size() < 3000) {
+    int i = static_cast<int>(rng.Uniform(1000000));
+    if (!keys.insert(i).second) continue;
+    ASSERT_TRUE(env_.tree->Insert(t, Key(i), std::to_string(i)).ok());
+  }
+  ASSERT_TRUE(env_.txns->Commit(t).ok());
+  ASSERT_TRUE(env_.tree->VerifyAll(nullptr).ok());
+  EXPECT_EQ(*env_.tree->Count(), 3000u);
+}
+
+TEST_F(BTreeTest, ScanReturnsSortedRange) {
+  Transaction* t = env_.txns->Begin();
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_TRUE(env_.tree->Insert(t, Key(i), std::to_string(i)).ok());
+  }
+  env_.txns->Commit(t);
+
+  std::vector<std::string> seen;
+  ASSERT_TRUE(env_.tree->Scan(Key(100), Key(200),
+                              [&](std::string_view k, std::string_view v) {
+                                seen.emplace_back(k);
+                                EXPECT_EQ(v, seen.size() == 1
+                                                 ? "100"
+                                                 : std::to_string(
+                                                       100 + seen.size() - 1));
+                                return true;
+                              }).ok());
+  ASSERT_EQ(seen.size(), 100u);
+  EXPECT_EQ(seen.front(), Key(100));
+  EXPECT_EQ(seen.back(), Key(199));
+  EXPECT_TRUE(std::is_sorted(seen.begin(), seen.end()));
+}
+
+TEST_F(BTreeTest, ScanSkipsGhosts) {
+  Transaction* t = env_.txns->Begin();
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(env_.tree->Insert(t, Key(i), "v").ok());
+  }
+  for (int i = 0; i < 20; i += 2) {
+    ASSERT_TRUE(env_.tree->Delete(t, Key(i)).ok());
+  }
+  env_.txns->Commit(t);
+  uint64_t n = 0;
+  env_.tree->Scan("", "", [&](std::string_view k, std::string_view) {
+    EXPECT_EQ((std::stoi(std::string(k.substr(3))) % 2), 1);
+    n++;
+    return true;
+  });
+  EXPECT_EQ(n, 10u);
+}
+
+TEST_F(BTreeTest, ScanEarlyTermination) {
+  Transaction* t = env_.txns->Begin();
+  for (int i = 0; i < 50; ++i) env_.tree->Insert(t, Key(i), "v");
+  env_.txns->Commit(t);
+  int n = 0;
+  env_.tree->Scan("", "", [&](std::string_view, std::string_view) {
+    return ++n < 5;
+  });
+  EXPECT_EQ(n, 5);
+}
+
+TEST_F(BTreeTest, LocksConflictAcrossTransactions) {
+  Transaction* t1 = env_.txns->Begin();
+  ASSERT_TRUE(env_.tree->Insert(t1, "contended", "v1").ok());
+  // t2 cannot write the same key while t1 holds the X lock.
+  Transaction* t2 = env_.txns->Begin();
+  Status s = env_.tree->Update(t2, "contended", "v2");
+  EXPECT_TRUE(s.IsDeadlock()) << s.ToString();
+  env_.txns->BeginAbort(t2);
+  env_.txns->FinishAbort(t2);
+  ASSERT_TRUE(env_.txns->Commit(t1).ok());
+  // After commit the lock is free.
+  ASSERT_TRUE(env_.WithTxn([&](Transaction* t) {
+    return env_.tree->Update(t, "contended", "v2");
+  }).ok());
+}
+
+TEST_F(BTreeTest, SharedLocksCompatible) {
+  env_.WithTxn([&](Transaction* t) { return env_.tree->Insert(t, "k", "v"); });
+  Transaction* t1 = env_.txns->Begin();
+  Transaction* t2 = env_.txns->Begin();
+  EXPECT_TRUE(env_.tree->Get(t1, "k").ok());
+  EXPECT_TRUE(env_.tree->Get(t2, "k").ok());
+  env_.txns->Commit(t1);
+  env_.txns->Commit(t2);
+}
+
+TEST_F(BTreeTest, GhostsLockedByActiveTxnNotReclaimed) {
+  // Fill a leaf, delete a key but keep the txn active, then force splits:
+  // reclamation must skip the locked ghost.
+  Transaction* t = env_.txns->Begin();
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(env_.tree->Insert(t, Key(i), std::string(100, 'v')).ok());
+  }
+  env_.txns->Commit(t);
+
+  Transaction* deleter = env_.txns->Begin();
+  ASSERT_TRUE(env_.tree->Delete(deleter, Key(10)).ok());
+
+  Transaction* filler = env_.txns->Begin();
+  for (int i = 1000; i < 1100; ++i) {
+    ASSERT_TRUE(env_.tree->Insert(filler, Key(i), std::string(100, 'v')).ok());
+  }
+  env_.txns->Commit(filler);
+  // The ghost for Key(10) must still exist somewhere (not reclaimed):
+  // reviving it through the deleter's insert still works.
+  ASSERT_TRUE(env_.tree->Insert(deleter, Key(10), "revived").ok());
+  env_.txns->Commit(deleter);
+  EXPECT_EQ(*env_.tree->Get(nullptr, Key(10)), "revived");
+}
+
+TEST_F(BTreeTest, TraversalVerificationCountsWork) {
+  Transaction* t = env_.txns->Begin();
+  for (int i = 0; i < 2000; ++i) env_.tree->Insert(t, Key(i), "v");
+  env_.txns->Commit(t);
+  BTreeStats before = env_.tree->stats();
+  EXPECT_GT(before.traversal_verifications, 0u);
+  env_.tree->Get(nullptr, Key(42));
+  BTreeStats after = env_.tree->stats();
+  EXPECT_GT(after.traversal_verifications, before.traversal_verifications);
+  EXPECT_EQ(after.verification_failures, 0u);
+}
+
+TEST_F(BTreeTest, TraversalDetectsDoctoredChildFence) {
+  // Section 4.2: corrupting a fence is caught on the very next traversal.
+  Transaction* t = env_.txns->Begin();
+  for (int i = 0; i < 2000; ++i) env_.tree->Insert(t, Key(i), "v");
+  env_.txns->Commit(t);
+  SPF_CHECK_OK(env_.pool->FlushAll());
+
+  // Find a leaf and doctor its low fence ON THE DEVICE, bypassing checks;
+  // recompute the checksum so only the cross-page check can catch it.
+  PageId victim = kInvalidPageId;
+  {
+    auto g = env_.pool->FixPage(*env_.tree->root_pid(), LatchMode::kShared);
+    BTreeNode root(g->view());
+    SPF_CHECK(!root.is_leaf());
+    victim = root.ChildAt(1);
+  }
+  env_.pool->DiscardPage(victim);
+  PageBuffer buf(kDefaultPageSize);
+  env_.data->RawRead(victim, buf.data());
+  PageView page = buf.view();
+  // Scribble inside the fence area (after the node header).
+  buf.data()[kFenceAreaOffset + 2] ^= 0xff;
+  page.UpdateChecksum();
+  env_.data->RawWrite(victim, buf.data());
+
+  // A lookup that routes through the victim must detect the inconsistency.
+  bool saw_corruption = false;
+  for (int i = 0; i < 2000; i += 50) {
+    auto v = env_.tree->Get(nullptr, Key(i));
+    if (!v.ok() && (v.status().IsCorruption() || v.status().IsMediaFailure())) {
+      saw_corruption = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(saw_corruption);
+  EXPECT_GT(env_.tree->stats().verification_failures, 0u);
+}
+
+TEST_F(BTreeTest, VerifyAllDetectsDoctoredPointer) {
+  Transaction* t = env_.txns->Begin();
+  for (int i = 0; i < 3000; ++i) env_.tree->Insert(t, Key(i), "v");
+  env_.txns->Commit(t);
+  ASSERT_TRUE(env_.tree->VerifyAll(nullptr).ok());
+
+  // Swap two children in the root: every fence still looks locally sane,
+  // but edges disagree.
+  {
+    auto g = env_.pool->FixPage(*env_.tree->root_pid(), LatchMode::kExclusive);
+    BTreeNode root(g->view());
+    SPF_CHECK(!root.is_leaf());
+    SPF_CHECK_GE(root.slot_count(), 2u);
+    PageId c0 = root.ChildAt(0), c1 = root.ChildAt(1);
+    root.ReplaceChild(0, c1);
+    root.ReplaceChild(1, c0);
+    g->MarkDirty();  // keep the pool consistent; no logging (test doctoring)
+  }
+  EXPECT_TRUE(env_.tree->VerifyAll(nullptr).IsCorruption());
+}
+
+TEST_F(BTreeTest, UndoRecordCompensatesInsert) {
+  Transaction* t = env_.txns->Begin();
+  ASSERT_TRUE(env_.tree->Insert(t, "k", "v").ok());
+  // Roll back manually: read the insert record via the txn chain.
+  auto rec = env_.log->Read(t->last_lsn());
+  ASSERT_TRUE(rec.ok());
+  ASSERT_EQ(rec->type, LogRecordType::kBTreeInsert);
+  ASSERT_TRUE(env_.tree->UndoRecord(t, *rec).ok());
+  env_.txns->BeginAbort(t);
+  env_.txns->FinishAbort(t);
+  EXPECT_TRUE(env_.tree->Get(nullptr, "k").status().IsNotFound());
+}
+
+TEST_F(BTreeTest, UndoRecordCompensatesDeleteAndUpdate) {
+  env_.WithTxn([&](Transaction* t) { return env_.tree->Insert(t, "k", "v1"); });
+
+  Transaction* t = env_.txns->Begin();
+  ASSERT_TRUE(env_.tree->Update(t, "k", "v2").ok());
+  auto upd = env_.log->Read(t->last_lsn());
+  ASSERT_TRUE(env_.tree->Delete(t, "k").ok());
+  auto del = env_.log->Read(t->last_lsn());
+
+  // Undo in reverse order.
+  ASSERT_TRUE(env_.tree->UndoRecord(t, *del).ok());
+  EXPECT_EQ(*env_.tree->Get(nullptr, "k"), "v2");
+  ASSERT_TRUE(env_.tree->UndoRecord(t, *upd).ok());
+  EXPECT_EQ(*env_.tree->Get(nullptr, "k"), "v1");
+  env_.txns->BeginAbort(t);
+  env_.txns->FinishAbort(t);
+}
+
+TEST_F(BTreeTest, PerPageChainReachesEveryUpdate) {
+  // Figure 6: the per-page chain anchored at the PageLSN enumerates all
+  // updates of that page, newest first.
+  Transaction* t = env_.txns->Begin();
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(env_.tree->Insert(t, Key(i), "v").ok());
+  }
+  env_.txns->Commit(t);
+
+  PageId leaf;
+  Lsn page_lsn;
+  {
+    auto g = env_.pool->FixPage(*env_.tree->root_pid(), LatchMode::kShared);
+    BTreeNode root(g->view());
+    if (root.is_leaf()) {
+      leaf = root.page_id();
+      page_lsn = g->view().page_lsn();
+    } else {
+      leaf = root.ChildAt(0);
+      auto lg = env_.pool->FixPage(leaf, LatchMode::kShared);
+      page_lsn = lg->view().page_lsn();
+    }
+  }
+  int chain_len = 0;
+  Lsn cur = page_lsn;
+  while (cur != kInvalidLsn) {
+    auto rec = env_.log->Read(cur);
+    ASSERT_TRUE(rec.ok());
+    EXPECT_EQ(rec->page_id, leaf);
+    cur = rec->page_prev_lsn;
+    chain_len++;
+    ASSERT_LT(chain_len, 100);
+  }
+  EXPECT_GE(chain_len, 10);  // 10 inserts + format
+}
+
+TEST(BTreePropertyTest, RandomWorkloadMatchesReference) {
+  EnvOptions opts;
+  opts.num_pages = 8192;
+  TestEnv env(opts);
+  std::map<std::string, std::string> ref;
+  Random rng(99);
+
+  Transaction* t = env.txns->Begin();
+  for (int op = 0; op < 12000; ++op) {
+    std::string key = Key(static_cast<int>(rng.Uniform(2500)));
+    uint64_t action = rng.Uniform(10);
+    bool exists = ref.count(key) > 0;
+    if (action < 5) {  // insert
+      std::string value = rng.NextString(rng.Uniform(60) + 1);
+      Status s = env.tree->Insert(t, key, value);
+      if (exists) {
+        ASSERT_TRUE(s.IsFailedPrecondition()) << s.ToString();
+      } else {
+        ASSERT_TRUE(s.ok()) << s.ToString();
+        ref[key] = value;
+      }
+    } else if (action < 7) {  // update
+      std::string value = rng.NextString(rng.Uniform(60) + 1);
+      Status s = env.tree->Update(t, key, value);
+      if (exists) {
+        ASSERT_TRUE(s.ok()) << s.ToString();
+        ref[key] = value;
+      } else {
+        ASSERT_TRUE(s.IsNotFound());
+      }
+    } else if (action < 9) {  // delete
+      Status s = env.tree->Delete(t, key);
+      if (exists) {
+        ASSERT_TRUE(s.ok()) << s.ToString();
+        ref.erase(key);
+      } else {
+        ASSERT_TRUE(s.IsNotFound());
+      }
+    } else {  // point read
+      auto v = env.tree->Get(t, key);
+      if (exists) {
+        ASSERT_TRUE(v.ok());
+        EXPECT_EQ(*v, ref[key]);
+      } else {
+        EXPECT_TRUE(v.status().IsNotFound());
+      }
+    }
+  }
+  ASSERT_TRUE(env.txns->Commit(t).ok());
+
+  ASSERT_TRUE(env.tree->VerifyAll(nullptr).ok());
+  // Full scan equals the reference.
+  auto it = ref.begin();
+  uint64_t seen = 0;
+  ASSERT_TRUE(env.tree->Scan("", "", [&](std::string_view k, std::string_view v) {
+    EXPECT_NE(it, ref.end());
+    if (it == ref.end()) return false;
+    EXPECT_EQ(k, it->first);
+    EXPECT_EQ(v, it->second);
+    ++it;
+    ++seen;
+    return true;
+  }).ok());
+  EXPECT_EQ(seen, ref.size());
+  EXPECT_EQ(it, ref.end());
+}
+
+}  // namespace
+}  // namespace spf

@@ -1,0 +1,157 @@
+// Concurrency smoke tests: multiple threads running transactions through
+// the full stack (latches, locks, log, buffer pool) with fault injection
+// in the background. These verify thread-safety of the assembled system,
+// not throughput.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "common/random.h"
+#include "db/database.h"
+
+namespace spf {
+namespace {
+
+std::string Key(int i) {
+  char buf[20];
+  snprintf(buf, sizeof(buf), "key%08d", i);
+  return buf;
+}
+
+DatabaseOptions FastOptions() {
+  DatabaseOptions o;
+  o.num_pages = 4096;
+  o.buffer_frames = 512;
+  o.data_profile = DeviceProfile::Instant();
+  o.log_profile = DeviceProfile::Instant();
+  o.backup_profile = DeviceProfile::Instant();
+  return o;
+}
+
+TEST(ConcurrencyTest, ParallelDisjointWriters) {
+  auto db = std::move(Database::Create(FastOptions())).value();
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 800;
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&db, &failures, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        Transaction* txn = db->Begin();
+        Status s = db->Insert(txn, Key(t * 1000000 + i),
+                              "thread-" + std::to_string(t));
+        if (s.ok()) {
+          s = db->Commit(txn);
+        } else {
+          db->Abort(txn);
+        }
+        if (!s.ok()) failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  uint64_t count = 0;
+  ASSERT_TRUE(db->Scan("", "", [&count](std::string_view, std::string_view) {
+    count++;
+    return true;
+  }).ok());
+  EXPECT_EQ(count, static_cast<uint64_t>(kThreads * kPerThread));
+  ASSERT_TRUE(db->CheckOffline(nullptr).ok());
+}
+
+TEST(ConcurrencyTest, ContendedKeysSerializeOrTimeout) {
+  auto db = std::move(Database::Create(FastOptions())).value();
+  {
+    Transaction* t = db->Begin();
+    for (int i = 0; i < 50; ++i) {
+      SPF_CHECK_OK(db->Insert(t, Key(i), "0"));
+    }
+    SPF_CHECK_OK(db->Commit(t));
+  }
+  constexpr int kThreads = 4;
+  std::atomic<int> committed{0}, deadlocks{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&db, &committed, &deadlocks, t] {
+      Random rng(t + 1);
+      for (int i = 0; i < 150; ++i) {
+        Transaction* txn = db->Begin();
+        Status s = db->Update(txn, Key(static_cast<int>(rng.Uniform(50))),
+                              "t" + std::to_string(t));
+        if (s.ok()) {
+          SPF_CHECK_OK(db->Commit(txn));
+          committed.fetch_add(1);
+        } else {
+          SPF_CHECK(s.IsDeadlock()) << s.ToString();
+          deadlocks.fetch_add(1);
+          SPF_CHECK_OK(db->Abort(txn));
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  // Every attempt either committed or was cleanly timed out; nothing hung
+  // or corrupted.
+  EXPECT_EQ(committed.load() + deadlocks.load(), kThreads * 150);
+  EXPECT_GT(committed.load(), 0);
+  ASSERT_TRUE(db->CheckOffline(nullptr).ok());
+}
+
+TEST(ConcurrencyTest, ReadersWritersAndRepairsInterleave) {
+  auto db = std::move(Database::Create(FastOptions())).value();
+  {
+    Transaction* t = db->Begin();
+    for (int i = 0; i < 3000; ++i) SPF_CHECK_OK(db->Insert(t, Key(i), "v"));
+    SPF_CHECK_OK(db->Commit(t));
+  }
+  SPF_CHECK_OK(db->TakeFullBackup().status());
+  SPF_CHECK_OK(db->FlushAll());
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> read_errors{0};
+
+  std::thread corruptor([&db, &stop] {
+    Random rng(99);
+    while (!stop.load()) {
+      int key = static_cast<int>(rng.Uniform(3000));
+      auto leaf = db->LeafPageOf(Key(key));
+      if (leaf.ok()) {
+        // Corrupt only pages whose current image is clean on the device
+        // and not currently pinned by a reader.
+        if (!db->pool()->IsDirty(*leaf) && db->pool()->DiscardPage(*leaf)) {
+          db->data_device()->InjectSilentCorruption(*leaf, rng.Next());
+        }
+      }
+      std::this_thread::yield();
+    }
+  });
+
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 3; ++t) {
+    readers.emplace_back([&db, &read_errors, t] {
+      Random rng(t + 7);
+      for (int i = 0; i < 2000; ++i) {
+        auto v = db->Get(nullptr, Key(static_cast<int>(rng.Uniform(3000))));
+        if (!v.ok()) read_errors.fetch_add(1);
+      }
+    });
+  }
+  for (auto& th : readers) th.join();
+  stop.store(true);
+  corruptor.join();
+
+  // Every read succeeded despite continuous corruption underneath.
+  EXPECT_EQ(read_errors.load(), 0);
+  EXPECT_GT(db->single_page_recovery()->stats().repairs_succeeded, 0u);
+  // Heal everything remaining and verify.
+  db->pool()->DiscardAll();
+  ASSERT_TRUE(db->Scrub().ok());
+  ASSERT_TRUE(db->CheckOffline(nullptr).ok());
+}
+
+}  // namespace
+}  // namespace spf

@@ -1,0 +1,457 @@
+// Tests for the core module's auxiliary features: page versioning via
+// single-page rollback (section 5.1.4), the mirroring baseline (section
+// 2), single-page recovery edge cases and escalation paths, and the PRI
+// manager's write-tracking modes.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "core/mirror_baseline.h"
+#include "core/page_versioning.h"
+#include "db/database.h"
+
+namespace spf {
+namespace {
+
+std::string Key(int i) {
+  char buf[20];
+  snprintf(buf, sizeof(buf), "key%08d", i);
+  return buf;
+}
+
+DatabaseOptions FastOptions() {
+  DatabaseOptions o;
+  o.num_pages = 2048;
+  o.buffer_frames = 256;
+  o.data_profile = DeviceProfile::Instant();
+  o.log_profile = DeviceProfile::Instant();
+  o.backup_profile = DeviceProfile::Instant();
+  o.backup_policy.updates_threshold = 0;
+  return o;
+}
+
+std::unique_ptr<Database> MakeDb() {
+  return std::move(Database::Create(FastOptions())).value();
+}
+
+// --- page versioning (section 5.1.4) --------------------------------------------
+
+class PageVersioningTest : public ::testing::Test {
+ protected:
+  PageVersioningTest() : db_(MakeDb()) {
+    Transaction* t = db_->Begin();
+    SPF_CHECK_OK(db_->Insert(t, "versioned", "v0"));
+    SPF_CHECK_OK(db_->Commit(t));
+    victim_ = *db_->LeafPageOf("versioned");
+  }
+
+  // Updates the key and returns the page's LSN after the update.
+  Lsn UpdateTo(const std::string& value) {
+    Transaction* t = db_->Begin();
+    SPF_CHECK_OK(db_->Update(t, "versioned", value));
+    SPF_CHECK_OK(db_->Commit(t));
+    auto g = db_->pool()->FixPage(victim_, LatchMode::kShared);
+    SPF_CHECK(g.ok());
+    return g->view().page_lsn();
+  }
+
+  PageBuffer CopyCurrentPage() {
+    PageBuffer copy(kDefaultPageSize);
+    auto g = db_->pool()->FixPage(victim_, LatchMode::kShared);
+    SPF_CHECK(g.ok());
+    std::memcpy(copy.data(), g->view().data(), kDefaultPageSize);
+    return copy;
+  }
+
+  std::string ValueIn(PageView page) {
+    BTreeNode node(page);
+    auto fr = node.Find("versioned");
+    SPF_CHECK(fr.found);
+    return std::string(node.ValueAt(fr.slot));
+  }
+
+  std::unique_ptr<Database> db_;
+  PageId victim_;
+};
+
+TEST_F(PageVersioningTest, RollsBackThroughUpdates) {
+  Lsn lsn1 = UpdateTo("v1");
+  Lsn lsn2 = UpdateTo("v2");
+  UpdateTo("v3");
+
+  PageBuffer copy = CopyCurrentPage();
+  PageVersioning versioning(db_->log());
+  ASSERT_TRUE(versioning.RollBackTo(copy.view(), lsn2).ok());
+  EXPECT_EQ(ValueIn(copy.view()), "v2");
+  EXPECT_EQ(copy.view().page_lsn(), lsn2);
+
+  // Continue rolling the same copy further back.
+  ASSERT_TRUE(versioning.RollBackTo(copy.view(), lsn1).ok());
+  EXPECT_EQ(ValueIn(copy.view()), "v1");
+}
+
+TEST_F(PageVersioningTest, RollsBackInsertAndDelete) {
+  // Insert a second key, roll back: it must vanish from the version.
+  Transaction* t = db_->Begin();
+  Lsn before;
+  {
+    auto g = db_->pool()->FixPage(victim_, LatchMode::kShared);
+    before = g->view().page_lsn();
+  }
+  SPF_CHECK_OK(db_->Insert(t, "versioned2", "x"));
+  SPF_CHECK_OK(db_->Delete(t, "versioned"));
+  SPF_CHECK_OK(db_->Commit(t));
+
+  PageBuffer copy = CopyCurrentPage();
+  PageVersioning versioning(db_->log());
+  ASSERT_TRUE(versioning.RollBackTo(copy.view(), before).ok());
+  BTreeNode node(copy.view());
+  auto fr1 = node.Find("versioned");
+  ASSERT_TRUE(fr1.found);
+  EXPECT_FALSE(node.IsGhost(fr1.slot)) << "delete must be rolled back";
+  auto fr2 = node.Find("versioned2");
+  EXPECT_FALSE(fr2.found) << "insert must be rolled back";
+}
+
+TEST_F(PageVersioningTest, NoopWhenAlreadyAtTarget) {
+  Lsn now;
+  {
+    auto g = db_->pool()->FixPage(victim_, LatchMode::kShared);
+    now = g->view().page_lsn();
+  }
+  PageBuffer copy = CopyCurrentPage();
+  PageVersioning versioning(db_->log());
+  ASSERT_TRUE(versioning.RollBackTo(copy.view(), now).ok());
+  EXPECT_EQ(versioning.stats().records_rolled_back, 0u);
+}
+
+TEST_F(PageVersioningTest, StructuralRecordEndsTheWindow) {
+  // Force a split on the victim's chain; rollback across it must report
+  // NotSupported (the documented version boundary).
+  Lsn before;
+  {
+    auto g = db_->pool()->FixPage(victim_, LatchMode::kShared);
+    before = g->view().page_lsn();
+  }
+  Transaction* t = db_->Begin();
+  for (int i = 0; i < 300; ++i) {
+    SPF_CHECK_OK(db_->Insert(t, Key(i), std::string(200, 'z')));
+  }
+  SPF_CHECK_OK(db_->Commit(t));
+
+  // The victim leaf must have split by now; find its current page and
+  // roll back across the split record.
+  PageId current = *db_->LeafPageOf("versioned");
+  PageBuffer copy(kDefaultPageSize);
+  {
+    auto g = db_->pool()->FixPage(current, LatchMode::kShared);
+    std::memcpy(copy.data(), g->view().data(), kDefaultPageSize);
+  }
+  PageVersioning versioning(db_->log());
+  Status s = versioning.RollBackTo(copy.view(), before);
+  // Either we hit a structural record (NotSupported) or — if this page's
+  // chain happens to contain only content records back to `before` — it
+  // succeeds. Both are legal; a wrong result is not.
+  if (!s.ok()) {
+    EXPECT_TRUE(s.IsNotSupported()) << s.ToString();
+  }
+}
+
+// --- mirroring baseline (section 2) ------------------------------------------------
+
+TEST(MirrorBaselineTest, CatchUpTracksPrincipal) {
+  auto db = MakeDb();
+  Transaction* t = db->Begin();
+  for (int i = 0; i < 300; ++i) SPF_CHECK_OK(db->Insert(t, Key(i), "v1"));
+  SPF_CHECK_OK(db->Commit(t));
+  SPF_CHECK_OK(db->FlushAll());
+
+  SimDevice mirror_dev("mirror", kDefaultPageSize, 2048,
+                       DeviceProfile::Instant(), db->clock());
+  MirrorBaseline mirror(db->log(), &mirror_dev, db->clock());
+  ASSERT_TRUE(mirror.SeedFromPrincipal(db->data_device()).ok());
+
+  // Updates after the seed: the mirror catches up by applying the stream.
+  t = db->Begin();
+  for (int i = 0; i < 300; ++i) SPF_CHECK_OK(db->Update(t, Key(i), "v2"));
+  SPF_CHECK_OK(db->Commit(t));
+  db->log()->ForceAll();
+  ASSERT_TRUE(mirror.CatchUp().ok());
+  EXPECT_GT(mirror.stats().records_applied, 0u);
+
+  // The mirror's copy of a leaf equals the principal's flushed state.
+  SPF_CHECK_OK(db->FlushAll());
+  PageId leaf = *db->LeafPageOf(Key(100));
+  PageBuffer from_mirror(kDefaultPageSize);
+  ASSERT_TRUE(mirror.RepairFrom(leaf, from_mirror.data()).ok());
+  BTreeNode node(from_mirror.view());
+  auto fr = node.Find(Key(100));
+  ASSERT_TRUE(fr.found);
+  EXPECT_EQ(node.ValueAt(fr.slot), "v2");
+}
+
+TEST(MirrorBaselineTest, RepairWithoutSeedFails) {
+  auto db = MakeDb();
+  SimDevice mirror_dev("mirror", kDefaultPageSize, 2048,
+                       DeviceProfile::Instant(), db->clock());
+  MirrorBaseline mirror(db->log(), &mirror_dev, db->clock());
+  PageBuffer buf(kDefaultPageSize);
+  EXPECT_TRUE(mirror.RepairFrom(5, buf.data()).IsFailedPrecondition());
+}
+
+TEST(MirrorBaselineTest, MirrorAppliesWholeStreamForOnePage) {
+  // The paper's criticism, as a testable property: repairing ONE page
+  // forces the mirror to process the ENTIRE pending stream.
+  auto db = MakeDb();
+  Transaction* t = db->Begin();
+  for (int i = 0; i < 200; ++i) SPF_CHECK_OK(db->Insert(t, Key(i), "v"));
+  SPF_CHECK_OK(db->Commit(t));
+  SPF_CHECK_OK(db->FlushAll());
+
+  SimDevice mirror_dev("mirror", kDefaultPageSize, 2048,
+                       DeviceProfile::Instant(), db->clock());
+  MirrorBaseline mirror(db->log(), &mirror_dev, db->clock());
+  ASSERT_TRUE(mirror.SeedFromPrincipal(db->data_device()).ok());
+
+  t = db->Begin();
+  for (int i = 0; i < 200; ++i) SPF_CHECK_OK(db->Update(t, Key(i), "w"));
+  SPF_CHECK_OK(db->Commit(t));
+  db->log()->ForceAll();
+
+  PageId leaf = *db->LeafPageOf(Key(0));
+  PageBuffer buf(kDefaultPageSize);
+  ASSERT_TRUE(mirror.RepairFrom(leaf, buf.data()).ok());
+  // >= 200 records scanned to serve one page.
+  EXPECT_GE(mirror.stats().records_scanned, 200u);
+}
+
+// --- single-page recovery edge cases -------------------------------------------------
+
+TEST(SinglePageRecoveryEdgeTest, UnknownPageEscalates) {
+  auto db = MakeDb();
+  PageBuffer frame(kDefaultPageSize);
+  // A page the PRI has never heard of: escalation, not a crash.
+  Status s = db->single_page_recovery()->RepairPage(1500, frame.data());
+  EXPECT_TRUE(s.IsMediaFailure()) << s.ToString();
+  EXPECT_EQ(db->single_page_recovery()->stats().escalations, 1u);
+}
+
+TEST(SinglePageRecoveryEdgeTest, CleanPageSinceBackupNeedsNoChain) {
+  auto db = MakeDb();
+  Transaction* t = db->Begin();
+  for (int i = 0; i < 100; ++i) SPF_CHECK_OK(db->Insert(t, Key(i), "v"));
+  SPF_CHECK_OK(db->Commit(t));
+  SPF_CHECK_OK(db->TakeFullBackup().status());  // clean relative to backup
+
+  PageId leaf = *db->LeafPageOf(Key(50));
+  db->pool()->DiscardAll();
+  db->data_device()->InjectSilentCorruption(leaf);
+  db->single_page_recovery()->ResetStats();
+  EXPECT_EQ(*db->Get(nullptr, Key(50)), "v");
+  auto stats = db->single_page_recovery()->stats();
+  EXPECT_EQ(stats.last_chain_length, 0u);  // backup image alone sufficed
+  EXPECT_EQ(stats.repairs_succeeded, 1u);
+}
+
+TEST(SinglePageRecoveryEdgeTest, CorruptBackupEscalates) {
+  auto db = MakeDb();
+  Transaction* t = db->Begin();
+  for (int i = 0; i < 100; ++i) SPF_CHECK_OK(db->Insert(t, Key(i), "v"));
+  SPF_CHECK_OK(db->Commit(t));
+  SPF_CHECK_OK(db->TakeFullBackup().status());
+
+  PageId leaf = *db->LeafPageOf(Key(50));
+  db->pool()->DiscardAll();
+  // Corrupt BOTH the data page and its backup image.
+  db->data_device()->InjectSilentCorruption(leaf);
+  db->backup_device()->InjectSilentCorruption(leaf);  // full-backup region
+
+  auto v = db->Get(nullptr, Key(50));
+  EXPECT_TRUE(v.status().IsMediaFailure()) << v.status().ToString();
+  EXPECT_GE(db->single_page_recovery()->stats().escalations, 1u);
+
+  // ... and media recovery is NOT possible with a damaged backup page —
+  // but single-page failures of the backup device are out of scope here;
+  // clear it and recover.
+  db->backup_device()->ClearFault(leaf);
+}
+
+TEST(SinglePageRecoveryEdgeTest, TornWriteDetectedAndRepaired) {
+  auto db = MakeDb();
+  Transaction* t = db->Begin();
+  for (int i = 0; i < 100; ++i) SPF_CHECK_OK(db->Insert(t, Key(i), "v"));
+  SPF_CHECK_OK(db->Commit(t));
+  SPF_CHECK_OK(db->TakeFullBackup().status());
+
+  PageId leaf = *db->LeafPageOf(Key(50));
+  // The NEXT write of this page is torn.
+  db->data_device()->InjectTornWrite(leaf, kDefaultPageSize / 3);
+  t = db->Begin();
+  SPF_CHECK_OK(db->Update(t, Key(50), "post-torn"));
+  SPF_CHECK_OK(db->Commit(t));
+  SPF_CHECK_OK(db->FlushAll());  // this write is torn on the device
+  db->pool()->DiscardAll();
+
+  EXPECT_EQ(*db->Get(nullptr, Key(50)), "post-torn");
+  EXPECT_GE(db->single_page_recovery()->stats().repairs_succeeded, 1u);
+}
+
+TEST(SinglePageRecoveryEdgeTest, WearOutHealedUntilRelocated) {
+  auto db = MakeDb();
+  Transaction* t = db->Begin();
+  for (int i = 0; i < 100; ++i) SPF_CHECK_OK(db->Insert(t, Key(i), "v"));
+  SPF_CHECK_OK(db->Commit(t));
+  SPF_CHECK_OK(db->TakeFullBackup().status());
+
+  PageId leaf = *db->LeafPageOf(Key(50));
+  db->data_device()->SetWearOutLimit(leaf, 0);  // worn out NOW
+  t = db->Begin();
+  SPF_CHECK_OK(db->Update(t, Key(50), "on-worn-page"));
+  SPF_CHECK_OK(db->Commit(t));
+  SPF_CHECK_OK(db->FlushAll());  // write lands scrambled
+  db->pool()->DiscardAll();
+
+  // Repair succeeds (the healing write is scrambled again on the device,
+  // but the BUFFERED copy is correct and served to the application).
+  EXPECT_EQ(*db->Get(nullptr, Key(50)), "on-worn-page");
+  // The location remains sick: a later re-read repairs again — this is
+  // the case for relocation + the bad block list (section 5.2.3).
+  db->pool()->DiscardAll();
+  EXPECT_EQ(*db->Get(nullptr, Key(50)), "on-worn-page");
+  EXPECT_GE(db->single_page_recovery()->stats().repairs_succeeded, 2u);
+  db->bad_blocks()->Add(leaf);
+  EXPECT_TRUE(db->bad_blocks()->Contains(leaf));
+}
+
+// --- write-tracking modes -----------------------------------------------------------
+
+TEST(WriteTrackingModeTest, NoneModeStillRecoversFromCrash) {
+  DatabaseOptions o = FastOptions();
+  o.tracking = WriteTrackingMode::kNone;
+  auto db = std::move(Database::Create(o)).value();
+  Transaction* t = db->Begin();
+  for (int i = 0; i < 300; ++i) SPF_CHECK_OK(db->Insert(t, Key(i), "v"));
+  SPF_CHECK_OK(db->Commit(t));
+  db->SimulateCrash();
+  ASSERT_TRUE(db->Restart().ok());
+  EXPECT_EQ(*db->Get(nullptr, Key(299)), "v");
+}
+
+TEST(WriteTrackingModeTest, CompletedWritesModeLogsThem) {
+  DatabaseOptions o = FastOptions();
+  o.tracking = WriteTrackingMode::kCompletedWrites;
+  auto db = std::move(Database::Create(o)).value();
+  Transaction* t = db->Begin();
+  for (int i = 0; i < 300; ++i) SPF_CHECK_OK(db->Insert(t, Key(i), "v"));
+  SPF_CHECK_OK(db->Commit(t));
+  SPF_CHECK_OK(db->FlushAll());
+  auto stats = db->log()->stats();
+  EXPECT_GT(stats.per_type[LogRecordType::kPageWriteCompleted], 0u);
+  EXPECT_EQ(stats.per_type.count(LogRecordType::kPriUpdate), 0u);
+}
+
+// --- page relocation (sections 5.1.3, 5.2.3) ----------------------------------------
+
+TEST(RelocationTest, MovesLeafAndBansOldLocation) {
+  auto db = MakeDb();
+  Transaction* t = db->Begin();
+  for (int i = 0; i < 1000; ++i) SPF_CHECK_OK(db->Insert(t, Key(i), "v"));
+  SPF_CHECK_OK(db->Commit(t));
+
+  PageId old_pid = *db->LeafPageOf(Key(500));
+  auto new_pid = db->RelocatePage(old_pid);
+  ASSERT_TRUE(new_pid.ok()) << new_pid.status().ToString();
+  EXPECT_NE(*new_pid, old_pid);
+
+  // Data intact, old location banned, new leaf serves the key.
+  EXPECT_EQ(*db->Get(nullptr, Key(500)), "v");
+  EXPECT_TRUE(db->bad_blocks()->Contains(old_pid));
+  EXPECT_EQ(*db->LeafPageOf(Key(500)), *new_pid);
+  ASSERT_TRUE(db->CheckOffline(nullptr).ok());
+}
+
+TEST(RelocationTest, RelocatedPageRepairableFromFormatRecord) {
+  // The migration's format record doubles as the new page's backup
+  // (section 5.2.1): corrupt the new location and repair from it.
+  auto db = MakeDb();
+  Transaction* t = db->Begin();
+  for (int i = 0; i < 500; ++i) SPF_CHECK_OK(db->Insert(t, Key(i), "v"));
+  SPF_CHECK_OK(db->Commit(t));
+
+  PageId old_pid = *db->LeafPageOf(Key(100));
+  PageId new_pid = *db->RelocatePage(old_pid);
+  SPF_CHECK_OK(db->FlushAll());
+  db->pool()->DiscardAll();
+  db->data_device()->InjectSilentCorruption(new_pid);
+  db->single_page_recovery()->ResetStats();
+
+  EXPECT_EQ(*db->Get(nullptr, Key(100)), "v");
+  auto spr = db->single_page_recovery()->stats();
+  EXPECT_EQ(spr.repairs_succeeded, 1u);
+  EXPECT_EQ(spr.last_backup_kind, BackupKind::kFormatRecord);
+}
+
+TEST(RelocationTest, SurvivesCrashAndRestart) {
+  auto db = MakeDb();
+  Transaction* t = db->Begin();
+  for (int i = 0; i < 1000; ++i) SPF_CHECK_OK(db->Insert(t, Key(i), "v"));
+  SPF_CHECK_OK(db->Commit(t));
+  SPF_CHECK_OK(db->Checkpoint().status());
+
+  PageId old_pid = *db->LeafPageOf(Key(500));
+  PageId new_pid = *db->RelocatePage(old_pid);
+  // Post-relocation committed update (goes to the NEW page's chain).
+  t = db->Begin();
+  SPF_CHECK_OK(db->Update(t, Key(500), "post-move"));
+  SPF_CHECK_OK(db->Commit(t));
+
+  db->SimulateCrash();
+  ASSERT_TRUE(db->Restart().ok());
+  EXPECT_EQ(*db->Get(nullptr, Key(500)), "post-move");
+  EXPECT_EQ(*db->LeafPageOf(Key(500)), new_pid);
+  EXPECT_TRUE(db->bad_blocks()->Contains(old_pid));
+  ASSERT_TRUE(db->CheckOffline(nullptr).ok());
+}
+
+TEST(RelocationTest, WornOutLocationWorkflow) {
+  // The full section 5.2.3 workflow: a location wears out, reads keep
+  // triggering repairs, so the page is moved and the location banned.
+  auto db = MakeDb();
+  Transaction* t = db->Begin();
+  // Enough records that the tree has real leaves below the root.
+  for (int i = 0; i < 2000; ++i) SPF_CHECK_OK(db->Insert(t, Key(i), "v"));
+  SPF_CHECK_OK(db->Commit(t));
+  SPF_CHECK_OK(db->TakeFullBackup().status());
+
+  PageId sick = *db->LeafPageOf(Key(100));
+  db->data_device()->SetWearOutLimit(sick, 0);
+  SPF_CHECK_OK(db->FlushAll());  // lands scrambled
+  db->pool()->DiscardAll();
+  EXPECT_EQ(*db->Get(nullptr, Key(100)), "v");  // repair #1
+
+  // Operator (or a policy) relocates the sick page.
+  auto new_pid = db->RelocatePage(sick);
+  ASSERT_TRUE(new_pid.ok()) << new_pid.status().ToString();
+  SPF_CHECK_OK(db->FlushAll());
+  db->pool()->DiscardAll();
+  db->single_page_recovery()->ResetStats();
+
+  // Reads now hit the healthy location: no more repairs.
+  EXPECT_EQ(*db->Get(nullptr, Key(100)), "v");
+  EXPECT_EQ(db->single_page_recovery()->stats().repairs_attempted, 0u);
+  EXPECT_TRUE(db->bad_blocks()->Contains(sick));
+}
+
+TEST(RelocationTest, RootAndNonTreePagesRejected) {
+  auto db = MakeDb();
+  Transaction* t = db->Begin();
+  SPF_CHECK_OK(db->Insert(t, "k", "v"));
+  SPF_CHECK_OK(db->Commit(t));
+  PageId root = *db->tree()->root_pid();
+  EXPECT_TRUE(db->RelocatePage(root).status().IsNotSupported());
+  EXPECT_TRUE(db->RelocatePage(0).status().IsNotSupported());  // meta page
+}
+
+}  // namespace
+}  // namespace spf

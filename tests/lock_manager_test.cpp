@@ -1,0 +1,94 @@
+// Unit tests for the lock manager: modes, re-entrancy, upgrades, waits,
+// timeouts (transaction-failure path), release semantics.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "txn/lock_manager.h"
+
+namespace spf {
+namespace {
+
+using namespace std::chrono_literals;
+
+TEST(LockManagerTest, ExclusiveBlocksExclusive) {
+  LockManager lm(50ms);
+  ASSERT_TRUE(lm.Lock(1, "k", LockMode::kExclusive).ok());
+  EXPECT_TRUE(lm.Lock(2, "k", LockMode::kExclusive).IsDeadlock());
+  lm.ReleaseAll(1);
+  EXPECT_TRUE(lm.Lock(2, "k", LockMode::kExclusive).ok());
+}
+
+TEST(LockManagerTest, SharedCompatibleWithShared) {
+  LockManager lm(50ms);
+  EXPECT_TRUE(lm.Lock(1, "k", LockMode::kShared).ok());
+  EXPECT_TRUE(lm.Lock(2, "k", LockMode::kShared).ok());
+  EXPECT_TRUE(lm.Lock(3, "k", LockMode::kExclusive).IsDeadlock());
+}
+
+TEST(LockManagerTest, ReentrantAcquisition) {
+  LockManager lm(50ms);
+  EXPECT_TRUE(lm.Lock(1, "k", LockMode::kExclusive).ok());
+  EXPECT_TRUE(lm.Lock(1, "k", LockMode::kExclusive).ok());
+  EXPECT_TRUE(lm.Lock(1, "k", LockMode::kShared).ok());  // weaker: no-op
+}
+
+TEST(LockManagerTest, UpgradeWhenSoleHolder) {
+  LockManager lm(50ms);
+  EXPECT_TRUE(lm.Lock(1, "k", LockMode::kShared).ok());
+  EXPECT_TRUE(lm.Lock(1, "k", LockMode::kExclusive).ok());
+  EXPECT_TRUE(lm.Holds(1, "k", LockMode::kExclusive));
+  EXPECT_TRUE(lm.Lock(2, "k", LockMode::kShared).IsDeadlock());
+}
+
+TEST(LockManagerTest, UpgradeBlockedByOtherReader) {
+  LockManager lm(50ms);
+  EXPECT_TRUE(lm.Lock(1, "k", LockMode::kShared).ok());
+  EXPECT_TRUE(lm.Lock(2, "k", LockMode::kShared).ok());
+  EXPECT_TRUE(lm.Lock(1, "k", LockMode::kExclusive).IsDeadlock());
+  EXPECT_EQ(lm.timeouts(), 1u);
+}
+
+TEST(LockManagerTest, WaiterWakesOnRelease) {
+  LockManager lm(2000ms);
+  ASSERT_TRUE(lm.Lock(1, "k", LockMode::kExclusive).ok());
+  std::thread waiter([&lm] {
+    EXPECT_TRUE(lm.Lock(2, "k", LockMode::kExclusive).ok());
+  });
+  std::this_thread::sleep_for(30ms);
+  lm.ReleaseAll(1);
+  waiter.join();
+  EXPECT_TRUE(lm.Holds(2, "k", LockMode::kExclusive));
+}
+
+TEST(LockManagerTest, UnlockSingleKey) {
+  LockManager lm(50ms);
+  lm.Lock(1, "a", LockMode::kExclusive);
+  lm.Lock(1, "b", LockMode::kExclusive);
+  lm.Unlock(1, "a");
+  EXPECT_FALSE(lm.Holds(1, "a", LockMode::kShared));
+  EXPECT_TRUE(lm.Holds(1, "b", LockMode::kExclusive));
+  EXPECT_TRUE(lm.Lock(2, "a", LockMode::kExclusive).ok());
+}
+
+TEST(LockManagerTest, IsLockedReflectsHolders) {
+  LockManager lm(50ms);
+  EXPECT_FALSE(lm.IsLocked("k"));
+  lm.Lock(1, "k", LockMode::kShared);
+  EXPECT_TRUE(lm.IsLocked("k"));
+  lm.ReleaseAll(1);
+  EXPECT_FALSE(lm.IsLocked("k"));
+}
+
+TEST(LockManagerTest, HoldsModeSemantics) {
+  LockManager lm(50ms);
+  lm.Lock(1, "k", LockMode::kShared);
+  EXPECT_TRUE(lm.Holds(1, "k", LockMode::kShared));
+  EXPECT_FALSE(lm.Holds(1, "k", LockMode::kExclusive));
+  EXPECT_FALSE(lm.Holds(2, "k", LockMode::kShared));
+}
+
+}  // namespace
+}  // namespace spf

@@ -1,0 +1,459 @@
+// Unit tests for the Foster B-tree node layout: fences, slots, ghosts,
+// prefix truncation, splits, serialization, and invariant checking.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "btree/node_layout.h"
+#include "common/random.h"
+#include "storage/page.h"
+
+namespace spf {
+namespace {
+
+class NodeTest : public ::testing::Test {
+ protected:
+  NodeTest() : buf_(kDefaultPageSize) {
+    page_ = std::make_unique<PageView>(buf_.view());
+    page_->Format(42, PageType::kBTreeLeaf);
+    node_ = std::make_unique<BTreeNode>(*page_);
+  }
+
+  void InitLeaf(const KeyBound& low, const KeyBound& high) {
+    node_->Init(0, low, high, kInvalidPageId, KeyBound::PosInf());
+  }
+
+  PageBuffer buf_;
+  std::unique_ptr<PageView> page_;
+  std::unique_ptr<BTreeNode> node_;
+};
+
+TEST_F(NodeTest, InitSetsFences) {
+  InitLeaf(KeyBound::Finite("apple"), KeyBound::Finite("mango"));
+  EXPECT_EQ(node_->low_fence().key, "apple");
+  EXPECT_EQ(node_->high_fence().key, "mango");
+  EXPECT_FALSE(node_->has_foster_child());
+  EXPECT_EQ(node_->slot_count(), 0u);
+  EXPECT_TRUE(node_->is_leaf());
+  EXPECT_TRUE(node_->VerifyInvariants().ok());
+}
+
+TEST_F(NodeTest, InfiniteFences) {
+  InitLeaf(KeyBound::NegInf(), KeyBound::PosInf());
+  EXPECT_TRUE(node_->low_fence().infinite);
+  EXPECT_TRUE(node_->high_fence().infinite);
+  EXPECT_TRUE(node_->CoversKey("anything"));
+  EXPECT_EQ(node_->prefix_len(), 0u);
+}
+
+TEST_F(NodeTest, CoversKeyRespectsFences) {
+  InitLeaf(KeyBound::Finite("b"), KeyBound::Finite("f"));
+  EXPECT_FALSE(node_->CoversKey("a"));
+  EXPECT_TRUE(node_->CoversKey("b"));
+  EXPECT_TRUE(node_->CoversKey("e"));
+  EXPECT_TRUE(node_->CoversKey("ezzz"));
+  EXPECT_FALSE(node_->CoversKey("f"));  // high fence exclusive
+  EXPECT_FALSE(node_->CoversKey("g"));
+}
+
+TEST_F(NodeTest, InsertMaintainsSortOrder) {
+  InitLeaf(KeyBound::NegInf(), KeyBound::PosInf());
+  for (const char* k : {"delta", "alpha", "echo", "bravo", "charlie"}) {
+    ASSERT_TRUE(node_->InsertLeafRecord(k, std::string("v-") + k).ok());
+  }
+  ASSERT_EQ(node_->slot_count(), 5u);
+  const char* expected[] = {"alpha", "bravo", "charlie", "delta", "echo"};
+  for (uint16_t s = 0; s < 5; ++s) {
+    EXPECT_EQ(node_->FullKeyAt(s), expected[s]);
+    EXPECT_EQ(node_->ValueAt(s), std::string("v-") + expected[s]);
+  }
+  EXPECT_TRUE(node_->VerifyInvariants().ok());
+}
+
+TEST_F(NodeTest, FindExactAndInsertionPoint) {
+  InitLeaf(KeyBound::NegInf(), KeyBound::PosInf());
+  node_->InsertLeafRecord("b", "1");
+  node_->InsertLeafRecord("d", "2");
+  node_->InsertLeafRecord("f", "3");
+  auto r = node_->Find("d");
+  EXPECT_TRUE(r.found);
+  EXPECT_EQ(r.slot, 1u);
+  r = node_->Find("c");
+  EXPECT_FALSE(r.found);
+  EXPECT_EQ(r.slot, 1u);  // would insert before "d"
+  r = node_->Find("a");
+  EXPECT_EQ(r.slot, 0u);
+  r = node_->Find("z");
+  EXPECT_EQ(r.slot, 3u);
+}
+
+TEST_F(NodeTest, GhostBitAndAccounting) {
+  InitLeaf(KeyBound::NegInf(), KeyBound::PosInf());
+  node_->InsertLeafRecord("k1", "v1");
+  node_->InsertLeafRecord("k2", "v2");
+  EXPECT_EQ(node_->ghost_count(), 0u);
+  node_->SetGhost(0, true);
+  EXPECT_TRUE(node_->IsGhost(0));
+  EXPECT_FALSE(node_->IsGhost(1));
+  EXPECT_EQ(node_->ghost_count(), 1u);
+  node_->SetGhost(0, true);  // idempotent
+  EXPECT_EQ(node_->ghost_count(), 1u);
+  node_->SetGhost(0, false);
+  EXPECT_EQ(node_->ghost_count(), 0u);
+  EXPECT_TRUE(node_->VerifyInvariants().ok());
+  // Value is still readable while ghosted (needed for undo).
+  node_->SetGhost(1, true);
+  EXPECT_EQ(node_->ValueAt(1), "v2");
+}
+
+TEST_F(NodeTest, PrefixTruncationStoresSuffixes) {
+  InitLeaf(KeyBound::Finite("user12300"), KeyBound::Finite("user12399"));
+  EXPECT_EQ(node_->prefix_len(), 7u);  // "user123"
+  ASSERT_TRUE(node_->InsertLeafRecord("user12345", "v").ok());
+  EXPECT_EQ(node_->KeySuffixAt(0), "45");
+  EXPECT_EQ(node_->FullKeyAt(0), "user12345");
+  auto r = node_->Find("user12345");
+  EXPECT_TRUE(r.found);
+  EXPECT_TRUE(node_->VerifyInvariants().ok());
+}
+
+TEST_F(NodeTest, ReplaceValueShrinkGrow) {
+  InitLeaf(KeyBound::NegInf(), KeyBound::PosInf());
+  node_->InsertLeafRecord("key", std::string(100, 'a'));
+  ASSERT_TRUE(node_->ReplaceValue(0, "small").ok());
+  EXPECT_EQ(node_->ValueAt(0), "small");
+  ASSERT_TRUE(node_->ReplaceValue(0, std::string(500, 'b')).ok());
+  EXPECT_EQ(node_->ValueAt(0).size(), 500u);
+  EXPECT_TRUE(node_->VerifyInvariants().ok());
+}
+
+TEST_F(NodeTest, RemoveSlotShiftsOthers) {
+  InitLeaf(KeyBound::NegInf(), KeyBound::PosInf());
+  for (const char* k : {"a", "b", "c", "d"}) node_->InsertLeafRecord(k, k);
+  node_->RemoveSlot(1);  // remove "b"
+  ASSERT_EQ(node_->slot_count(), 3u);
+  EXPECT_EQ(node_->FullKeyAt(0), "a");
+  EXPECT_EQ(node_->FullKeyAt(1), "c");
+  EXPECT_EQ(node_->FullKeyAt(2), "d");
+  node_->RemoveSlot(0);
+  EXPECT_EQ(node_->FullKeyAt(0), "c");
+  node_->RemoveSlot(1);
+  EXPECT_EQ(node_->FullKeyAt(0), "c");
+  EXPECT_EQ(node_->slot_count(), 1u);
+  EXPECT_TRUE(node_->VerifyInvariants().ok());
+}
+
+TEST_F(NodeTest, CompactReclaimsHoles) {
+  InitLeaf(KeyBound::NegInf(), KeyBound::PosInf());
+  node_->InsertLeafRecord("a", std::string(1000, 'x'));
+  node_->InsertLeafRecord("b", std::string(1000, 'y'));
+  size_t before = node_->FreeSpace();
+  node_->RemoveSlot(0);  // heap hole of ~1000 bytes
+  node_->Compact();
+  EXPECT_GT(node_->FreeSpace(), before + 900);
+  EXPECT_EQ(node_->ValueAt(0), std::string(1000, 'y'));
+  EXPECT_TRUE(node_->VerifyInvariants().ok());
+}
+
+TEST_F(NodeTest, FillUntilFullThenReject) {
+  InitLeaf(KeyBound::NegInf(), KeyBound::PosInf());
+  int inserted = 0;
+  for (int i = 0; i < 10000; ++i) {
+    char key[16];
+    snprintf(key, sizeof(key), "key%06d", i);
+    Status s = node_->InsertLeafRecord(key, std::string(64, 'v'));
+    if (!s.ok()) {
+      EXPECT_TRUE(s.IsIOError());
+      break;
+    }
+    inserted++;
+  }
+  EXPECT_GT(inserted, 50);
+  EXPECT_LT(inserted, 200);  // 8 KiB / ~80 B per record
+  EXPECT_TRUE(node_->VerifyInvariants().ok());
+}
+
+TEST_F(NodeTest, ReclaimGhosts) {
+  InitLeaf(KeyBound::NegInf(), KeyBound::PosInf());
+  for (const char* k : {"a", "b", "c", "d"}) node_->InsertLeafRecord(k, k);
+  node_->SetGhost(1, true);
+  node_->SetGhost(3, true);
+  size_t n = node_->ReclaimGhosts({"b", "d", "zz"});
+  EXPECT_EQ(n, 2u);
+  EXPECT_EQ(node_->slot_count(), 2u);
+  EXPECT_EQ(node_->ghost_count(), 0u);
+  EXPECT_EQ(node_->FullKeyAt(0), "a");
+  EXPECT_EQ(node_->FullKeyAt(1), "c");
+  // Non-ghost records are never reclaimed.
+  EXPECT_EQ(node_->ReclaimGhosts({"a"}), 0u);
+  EXPECT_EQ(node_->slot_count(), 2u);
+}
+
+TEST_F(NodeTest, ChooseSeparatorSuffixTruncation) {
+  InitLeaf(KeyBound::NegInf(), KeyBound::PosInf());
+  node_->InsertLeafRecord("aaaa0001", "v");
+  node_->InsertLeafRecord("aaaa0002", "v");
+  node_->InsertLeafRecord("bbbb7777", "v");
+  node_->InsertLeafRecord("bbbb9999", "v");
+  // Mid slot = 2 ("bbbb7777"); left neighbor "aaaa0002". Shortest
+  // separator: "b".
+  std::string sep = node_->ChooseSeparator();
+  EXPECT_EQ(sep, "b");
+  EXPECT_GT(sep, node_->FullKeyAt(1));
+  EXPECT_LE(sep, node_->FullKeyAt(2));
+}
+
+TEST_F(NodeTest, ApplySplitTruncatesAndSetsFoster) {
+  InitLeaf(KeyBound::Finite("a"), KeyBound::Finite("z"));
+  for (const char* k : {"b", "d", "f", "h"}) node_->InsertLeafRecord(k, k);
+  node_->ApplySplit("e", /*new_child=*/99);
+  EXPECT_EQ(node_->slot_count(), 2u);
+  EXPECT_EQ(node_->FullKeyAt(0), "b");
+  EXPECT_EQ(node_->FullKeyAt(1), "d");
+  EXPECT_EQ(node_->high_fence().key, "e");
+  ASSERT_TRUE(node_->has_foster_child());
+  EXPECT_EQ(node_->foster_child(), 99u);
+  EXPECT_EQ(node_->foster_fence().key, "z");  // chain high preserved
+  EXPECT_EQ(node_->chain_high().key, "z");
+  EXPECT_TRUE(node_->VerifyInvariants().ok());
+}
+
+TEST_F(NodeTest, ApplySplitPreservesChainHighAcrossTwoSplits) {
+  InitLeaf(KeyBound::NegInf(), KeyBound::PosInf());
+  for (const char* k : {"b", "d", "f", "h"}) node_->InsertLeafRecord(k, k);
+  node_->ApplySplit("e", 99);
+  EXPECT_TRUE(node_->chain_high().infinite);
+  node_->ApplySplit("c", 100);
+  EXPECT_EQ(node_->foster_child(), 100u);
+  EXPECT_EQ(node_->high_fence().key, "c");
+  EXPECT_TRUE(node_->foster_fence().infinite);  // still the chain high
+  EXPECT_TRUE(node_->VerifyInvariants().ok());
+}
+
+TEST_F(NodeTest, ClearFosterKeepsRecordsValid) {
+  InitLeaf(KeyBound::Finite("a"), KeyBound::Finite("z"));
+  for (const char* k : {"b", "d", "f", "h"}) node_->InsertLeafRecord(k, k);
+  node_->ApplySplit("e", 99);
+  node_->ClearFoster();
+  EXPECT_FALSE(node_->has_foster_child());
+  EXPECT_EQ(node_->FullKeyAt(0), "b");
+  EXPECT_EQ(node_->FullKeyAt(1), "d");
+  EXPECT_EQ(node_->chain_high().key, "e");  // now the node's own high
+  EXPECT_TRUE(node_->VerifyInvariants().ok());
+}
+
+TEST_F(NodeTest, SerializeContentRoundTrip) {
+  InitLeaf(KeyBound::Finite("a"), KeyBound::Finite("z"));
+  node_->InsertLeafRecord("bb", "v1");
+  node_->InsertLeafRecord("cc", "v2");
+  node_->SetGhost(0, true);
+  std::string content = node_->SerializeContent();
+
+  PageBuffer buf2(kDefaultPageSize);
+  PageView page2 = buf2.view();
+  page2.Format(42, PageType::kBTreeLeaf);
+  ASSERT_TRUE(BTreeNode::InitFromContent(page2, content).ok());
+  BTreeNode node2(page2);
+  EXPECT_EQ(node2.slot_count(), 2u);
+  EXPECT_EQ(node2.FullKeyAt(0), "bb");
+  EXPECT_TRUE(node2.IsGhost(0));
+  EXPECT_EQ(node2.ValueAt(1), "v2");
+  EXPECT_EQ(node2.low_fence().key, "a");
+  EXPECT_EQ(node2.high_fence().key, "z");
+  EXPECT_TRUE(node2.VerifyInvariants().ok());
+  EXPECT_EQ(node2.SerializeContent(), content);
+}
+
+TEST_F(NodeTest, InitFromContentRejectsGarbage) {
+  PageBuffer buf2(kDefaultPageSize);
+  PageView page2 = buf2.view();
+  page2.Format(42, PageType::kBTreeLeaf);
+  EXPECT_TRUE(BTreeNode::InitFromContent(page2, "garbage").IsCorruption());
+}
+
+// --- branch nodes -------------------------------------------------------------
+
+class BranchNodeTest : public ::testing::Test {
+ protected:
+  BranchNodeTest() : buf_(kDefaultPageSize) {
+    page_ = std::make_unique<PageView>(buf_.view());
+    page_->Format(7, PageType::kBTreeBranch);
+    node_ = std::make_unique<BTreeNode>(*page_);
+    node_->Init(1, KeyBound::NegInf(), KeyBound::PosInf(), kInvalidPageId,
+                KeyBound::PosInf());
+    // Children: ["", "g") -> 10, ["g", "p") -> 11, ["p", inf) -> 12.
+    SPF_CHECK_OK(node_->InsertBranchRecord("", 10));
+    SPF_CHECK_OK(node_->InsertBranchRecord("g", 11));
+    SPF_CHECK_OK(node_->InsertBranchRecord("p", 12));
+  }
+
+  PageBuffer buf_;
+  std::unique_ptr<PageView> page_;
+  std::unique_ptr<BTreeNode> node_;
+};
+
+TEST_F(BranchNodeTest, FindChildSlotRoutesCorrectly) {
+  EXPECT_EQ(node_->ChildAt(node_->FindChildSlot("alpha")), 10u);
+  EXPECT_EQ(node_->ChildAt(node_->FindChildSlot("f")), 10u);
+  EXPECT_EQ(node_->ChildAt(node_->FindChildSlot("g")), 11u);
+  EXPECT_EQ(node_->ChildAt(node_->FindChildSlot("omega")), 11u);
+  EXPECT_EQ(node_->ChildAt(node_->FindChildSlot("p")), 12u);
+  EXPECT_EQ(node_->ChildAt(node_->FindChildSlot("zzz")), 12u);
+}
+
+TEST_F(BranchNodeTest, BranchInvariantsHold) {
+  EXPECT_TRUE(node_->VerifyInvariants().ok());
+  EXPECT_FALSE(node_->is_leaf());
+}
+
+TEST_F(BranchNodeTest, GhostInBranchIsCorruption) {
+  node_->SetGhost(1, true);
+  EXPECT_TRUE(node_->VerifyInvariants().IsCorruption());
+}
+
+TEST_F(BranchNodeTest, ReplaceChildPointer) {
+  node_->ReplaceChild(1, 99);
+  EXPECT_EQ(node_->ChildAt(1), 99u);
+}
+
+// --- parent/child verification (paper section 4.2) -----------------------------
+
+class EdgeVerifyTest : public ::testing::Test {
+ protected:
+  EdgeVerifyTest()
+      : parent_buf_(kDefaultPageSize), child_buf_(kDefaultPageSize) {
+    parent_page_ = std::make_unique<PageView>(parent_buf_.view());
+    parent_page_->Format(1, PageType::kBTreeBranch);
+    parent_ = std::make_unique<BTreeNode>(*parent_page_);
+    parent_->Init(1, KeyBound::NegInf(), KeyBound::PosInf(), kInvalidPageId,
+                  KeyBound::PosInf());
+    SPF_CHECK_OK(parent_->InsertBranchRecord("", 10));
+    SPF_CHECK_OK(parent_->InsertBranchRecord("m", 11));
+
+    child_page_ = std::make_unique<PageView>(child_buf_.view());
+    child_page_->Format(11, PageType::kBTreeLeaf);
+    child_ = std::make_unique<BTreeNode>(*child_page_);
+  }
+
+  PageBuffer parent_buf_, child_buf_;
+  std::unique_ptr<PageView> parent_page_, child_page_;
+  std::unique_ptr<BTreeNode> parent_, child_;
+};
+
+TEST_F(EdgeVerifyTest, MatchingFencesPass) {
+  child_->Init(0, KeyBound::Finite("m"), KeyBound::PosInf(), kInvalidPageId,
+               KeyBound::PosInf());
+  EXPECT_TRUE(child_->VerifyAsChildOf(*parent_, 1).ok());
+}
+
+TEST_F(EdgeVerifyTest, WrongLowFenceDetected) {
+  child_->Init(0, KeyBound::Finite("n"), KeyBound::PosInf(), kInvalidPageId,
+               KeyBound::PosInf());
+  EXPECT_TRUE(child_->VerifyAsChildOf(*parent_, 1).IsCorruption());
+}
+
+TEST_F(EdgeVerifyTest, WrongChainHighDetected) {
+  child_->Init(0, KeyBound::Finite("m"), KeyBound::Finite("q"), kInvalidPageId,
+               KeyBound::PosInf());
+  EXPECT_TRUE(child_->VerifyAsChildOf(*parent_, 1).IsCorruption());
+}
+
+TEST_F(EdgeVerifyTest, LeftmostChildNeedsInfiniteLow) {
+  child_->Init(0, KeyBound::NegInf(), KeyBound::Finite("m"), kInvalidPageId,
+               KeyBound::PosInf());
+  EXPECT_TRUE(child_->VerifyAsChildOf(*parent_, 0).ok());
+  child_->Init(0, KeyBound::Finite("a"), KeyBound::Finite("m"), kInvalidPageId,
+               KeyBound::PosInf());
+  EXPECT_TRUE(child_->VerifyAsChildOf(*parent_, 0).IsCorruption());
+}
+
+TEST_F(EdgeVerifyTest, FosterChainBoundsChecked) {
+  // Child [m, q) with foster child covering [q, inf): chain high = inf
+  // matches the parent separator pair (m, inf).
+  child_->Init(0, KeyBound::Finite("m"), KeyBound::Finite("q"), /*foster=*/77,
+               KeyBound::PosInf());
+  EXPECT_TRUE(child_->VerifyAsChildOf(*parent_, 1).ok());
+}
+
+TEST_F(EdgeVerifyTest, VestigialFosterEdgeTolerated) {
+  // Foster child already adopted by the parent: the node's own high fence
+  // matches the parent separator while the chain high does not.
+  child_->Init(0, KeyBound::Finite("m"), KeyBound::PosInf(), /*foster=*/77,
+               KeyBound::PosInf());
+  EXPECT_TRUE(child_->VerifyAsChildOf(*parent_, 1).ok());
+}
+
+TEST_F(EdgeVerifyTest, FosterChildVerification) {
+  // Foster parent [a, g) + foster fence z; foster child must be [g, z).
+  child_->Init(0, KeyBound::Finite("a"), KeyBound::Finite("g"), /*foster=*/50,
+               KeyBound::Finite("z"));
+  PageBuffer fc_buf(kDefaultPageSize);
+  PageView fc_page = fc_buf.view();
+  fc_page.Format(50, PageType::kBTreeLeaf);
+  BTreeNode fc(fc_page);
+  fc.Init(0, KeyBound::Finite("g"), KeyBound::Finite("z"), kInvalidPageId,
+          KeyBound::PosInf());
+  EXPECT_TRUE(fc.VerifyAsFosterChildOf(*child_).ok());
+
+  fc.Init(0, KeyBound::Finite("h"), KeyBound::Finite("z"), kInvalidPageId,
+          KeyBound::PosInf());
+  EXPECT_TRUE(fc.VerifyAsFosterChildOf(*child_).IsCorruption());
+
+  fc.Init(0, KeyBound::Finite("g"), KeyBound::Finite("y"), kInvalidPageId,
+          KeyBound::PosInf());
+  EXPECT_TRUE(fc.VerifyAsFosterChildOf(*child_).IsCorruption());
+}
+
+// --- randomized property test ---------------------------------------------------
+
+TEST(NodePropertyTest, RandomOpsMatchReferenceMap) {
+  PageBuffer buf(kDefaultPageSize);
+  PageView page = buf.view();
+  page.Format(5, PageType::kBTreeLeaf);
+  BTreeNode node(page);
+  node.Init(0, KeyBound::NegInf(), KeyBound::PosInf(), kInvalidPageId,
+            KeyBound::PosInf());
+  std::map<std::string, std::pair<std::string, bool>> ref;  // key -> (val, ghost)
+  Random rng(2024);
+
+  for (int op = 0; op < 3000; ++op) {
+    std::string key = "k" + std::to_string(rng.Uniform(60));
+    uint64_t action = rng.Uniform(4);
+    auto fr = node.Find(key);
+    if (action == 0 && !fr.found) {  // insert
+      std::string value = rng.NextString(rng.Uniform(40) + 1);
+      if (node.InsertLeafRecord(key, value).ok()) {
+        ref[key] = {value, false};
+      }
+    } else if (action == 1 && fr.found) {  // toggle ghost
+      bool g = !node.IsGhost(fr.slot);
+      node.SetGhost(fr.slot, g);
+      ref[key].second = g;
+    } else if (action == 2 && fr.found) {  // replace value
+      std::string value = rng.NextString(rng.Uniform(40) + 1);
+      if (node.ReplaceValue(fr.slot, value).ok()) {
+        ref[key].first = value;
+      }
+    } else if (action == 3 && fr.found && node.IsGhost(fr.slot)) {  // reclaim
+      node.ReclaimGhosts({key});
+      ref.erase(key);
+    }
+    if (op % 500 == 0) {
+      ASSERT_TRUE(node.VerifyInvariants().ok()) << "op " << op;
+    }
+  }
+  ASSERT_TRUE(node.VerifyInvariants().ok());
+  ASSERT_EQ(node.slot_count(), ref.size());
+  uint16_t s = 0;
+  for (const auto& [key, vg] : ref) {
+    EXPECT_EQ(node.FullKeyAt(s), key);
+    EXPECT_EQ(node.ValueAt(s), vg.first);
+    EXPECT_EQ(node.IsGhost(s), vg.second);
+    s++;
+  }
+}
+
+}  // namespace
+}  // namespace spf

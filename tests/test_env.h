@@ -1,0 +1,103 @@
+// Shared test fixture plumbing: assembles the full storage stack (clock,
+// devices, log, buffer pool, locks, transactions, allocator, meta page,
+// B-tree) the way the db facade does, but with every component exposed for
+// poking and fault injection.
+
+#pragma once
+
+#include <memory>
+
+#include "btree/btree.h"
+#include "buffer/buffer_pool.h"
+#include "common/sim_clock.h"
+#include "log/log_manager.h"
+#include "storage/allocation.h"
+#include "storage/db_meta.h"
+#include "storage/device_profile.h"
+#include "storage/sim_device.h"
+#include "txn/lock_manager.h"
+#include "txn/txn_manager.h"
+
+namespace spf {
+namespace testenv {
+
+struct EnvOptions {
+  uint32_t page_size = kDefaultPageSize;
+  uint64_t num_pages = 4096;
+  size_t buffer_frames = 512;
+  uint64_t reserved_pages = 1;  // meta page only (tests below the PRI layer)
+  DeviceProfile data_profile = DeviceProfile::Instant();
+  DeviceProfile log_profile = DeviceProfile::Instant();
+  bool verify_on_read = true;
+  bool verify_traversals = true;
+};
+
+/// The full stack below the db facade.
+class TestEnv {
+ public:
+  explicit TestEnv(EnvOptions opts = EnvOptions()) : opts_(opts) {
+    data = std::make_unique<SimDevice>("data", opts.page_size, opts.num_pages,
+                                       opts.data_profile, &clock);
+    wal = std::make_unique<SimLogDevice>("wal", opts.log_profile, &clock);
+    log = std::make_unique<LogManager>(wal.get());
+    BufferPoolOptions bp_opts;
+    bp_opts.page_size = opts.page_size;
+    bp_opts.num_frames = opts.buffer_frames;
+    bp_opts.verify_on_read = opts.verify_on_read;
+    pool = std::make_unique<BufferPool>(bp_opts, data.get(), log.get());
+    locks = std::make_unique<LockManager>();
+    txns = std::make_unique<TxnManager>(log.get(), locks.get());
+    alloc = std::make_unique<PageAllocator>(opts.num_pages, opts.reserved_pages);
+
+    FormatMetaPage();
+
+    BTreeOptions bt_opts;
+    bt_opts.verify_traversals = opts.verify_traversals;
+    tree = std::make_unique<BTree>(bt_opts, pool.get(), log.get(), txns.get(),
+                                   alloc.get(), /*meta_pid=*/0);
+    SPF_CHECK_OK(tree->Create());
+  }
+
+  /// Formats page 0 as the meta page, directly on the device (the db
+  /// facade logs this; tests don't need to).
+  void FormatMetaPage() {
+    PageBuffer buf(opts_.page_size);
+    PageView page = buf.view();
+    page.Format(0, PageType::kMeta);
+    MetaView meta(page);
+    DbMetaData* m = meta.mutable_meta();
+    m->magic = kDbMetaMagic;
+    m->root_pid = kInvalidPageId;
+    m->num_pages = opts_.num_pages;
+    m->reserved_pages = opts_.reserved_pages;
+    page.UpdateChecksum();
+    SPF_CHECK_OK(data->WritePage(0, buf.data()));
+  }
+
+  /// Convenience: run `fn(txn)` in a committed user transaction.
+  template <typename Fn>
+  Status WithTxn(Fn&& fn) {
+    Transaction* txn = txns->Begin();
+    Status s = fn(txn);
+    if (!s.ok()) {
+      txns->BeginAbort(txn);
+      txns->FinishAbort(txn);  // NOTE: without undo; use only in tests
+      return s;
+    }
+    return txns->Commit(txn);
+  }
+
+  EnvOptions opts_;
+  SimClock clock;
+  std::unique_ptr<SimDevice> data;
+  std::unique_ptr<SimLogDevice> wal;
+  std::unique_ptr<LogManager> log;
+  std::unique_ptr<BufferPool> pool;
+  std::unique_ptr<LockManager> locks;
+  std::unique_ptr<TxnManager> txns;
+  std::unique_ptr<PageAllocator> alloc;
+  std::unique_ptr<BTree> tree;
+};
+
+}  // namespace testenv
+}  // namespace spf
