@@ -16,10 +16,12 @@ namespace spf {
 namespace bench {
 namespace {
 
-constexpr uint64_t kPages = 8192;
-constexpr int kRecords = 10000;
+uint64_t Pages() { return Scaled<uint64_t>(8192, 2048); }
+int Records() { return Scaled(10000, 2000); }
 
 void Run() {
+  const uint64_t kPages = Pages();
+  const int kRecords = Records();
   printf("E10: one-page repair - per-page log chain vs. full-stream mirror\n");
 
   DatabaseOptions options = DiskOptions(kPages);
@@ -38,7 +40,7 @@ void Run() {
   // cope with — the mirror by applying all of it, single-page recovery by
   // walking one chain.
   Random rng(17);
-  for (int txn_i = 0; txn_i < 100; ++txn_i) {
+  for (int txn_i = 0; txn_i < Scaled(100, 20); ++txn_i) {
     Transaction* t = db->Begin();
     for (int op = 0; op < 20; ++op) {
       SPF_CHECK_OK(db->Update(t, Key(static_cast<int>(rng.Uniform(kRecords))),
@@ -46,10 +48,11 @@ void Run() {
     }
     SPF_CHECK_OK(db->Commit(t));
   }
-  UpdateKeyNTimes(db.get(), 4242, 30);  // the victim's chain: ~30 records
+  const int victim_key = kRecords / 2;
+  UpdateKeyNTimes(db.get(), victim_key, 30);  // the victim's chain: ~30 records
   SPF_CHECK_OK(db->FlushAll());
   db->log()->ForceAll();
-  auto victim_or = db->LeafPageOf(Key(4242));
+  auto victim_or = db->LeafPageOf(Key(victim_key));
   SPF_CHECK(victim_or.ok());
   PageId victim = *victim_or;
 
@@ -66,7 +69,7 @@ void Run() {
   db->data_device()->InjectSilentCorruption(victim);
   db->single_page_recovery()->ResetStats();
   SimTimer spr_timer(db->clock());
-  auto v = db->Get(nullptr, Key(4242));
+  auto v = db->Get(nullptr, Key(victim_key));
   double spr_seconds = spr_timer.ElapsedSeconds();
   SPF_CHECK(v.ok()) << v.status().ToString();
   auto spr = db->single_page_recovery()->stats();
@@ -95,7 +98,8 @@ void Run() {
 }  // namespace bench
 }  // namespace spf
 
-int main() {
+int main(int argc, char** argv) {
+  spf::bench::Init(argc, argv);
   spf::bench::Run();
   return 0;
 }

@@ -20,7 +20,9 @@ void Run() {
   Table table({"db pages", "records", "mode", "pages read (device)",
                "sim time", "result staleness"});
 
-  for (uint64_t pages : {2048ull, 8192ull, 32768ull}) {
+  std::vector<uint64_t> sizes{2048ull, 8192ull, 32768ull};
+  if (SmokeMode()) sizes = {2048ull};
+  for (uint64_t pages : sizes) {
     DatabaseOptions options = DiskOptions(pages);
     options.backup_policy.updates_threshold = 0;
     int records = static_cast<int>(pages * 2);
@@ -90,7 +92,8 @@ void Run() {
 }  // namespace bench
 }  // namespace spf
 
-int main() {
+int main(int argc, char** argv) {
+  spf::bench::Init(argc, argv);
   spf::bench::Run();
   return 0;
 }

@@ -20,10 +20,12 @@ namespace spf {
 namespace bench {
 namespace {
 
-constexpr uint64_t kPages = 16384;  // 128 MiB database
-constexpr int kRecords = 30000;
+uint64_t Pages() { return Scaled<uint64_t>(16384, 2048); }  // 128 MiB full
+int Records() { return Scaled(30000, 3000); }
 
 void Run() {
+  const uint64_t kPages = Pages();
+  const int kRecords = Records();
   printf("E1: recovery time by failure class (data+log on %s, %s database)\n",
          DeviceProfile::Hdd100().name.c_str(),
          FormatBytes(static_cast<double>(kPages) * kDefaultPageSize).c_str());
@@ -132,7 +134,8 @@ void Run() {
 }  // namespace bench
 }  // namespace spf
 
-int main() {
+int main(int argc, char** argv) {
+  spf::bench::Init(argc, argv);
   spf::bench::Run();
   return 0;
 }

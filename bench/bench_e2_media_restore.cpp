@@ -26,9 +26,11 @@ void Run() {
   printf("E2: media recovery time vs database size and transfer rate\n");
   Table table({"database", "rate", "restore", "replay", "total", "kind"});
 
-  for (const Row& row : {Row{8192, DeviceProfile::Hdd100()},
-                         Row{32768, DeviceProfile::Hdd100()},
-                         Row{32768, DeviceProfile::Hdd200()}}) {
+  std::vector<Row> rows{Row{8192, DeviceProfile::Hdd100()},
+                        Row{32768, DeviceProfile::Hdd100()},
+                        Row{32768, DeviceProfile::Hdd200()}};
+  if (SmokeMode()) rows = {Row{2048, DeviceProfile::Hdd100()}};
+  for (const Row& row : rows) {
     DatabaseOptions options = DiskOptions(row.pages);
     options.data_profile = row.profile;
     options.backup_profile = row.profile;
@@ -38,7 +40,7 @@ void Run() {
     SPF_CHECK_OK(db->TakeFullBackup().status());
     // Post-backup activity: the log tail media recovery must replay.
     Transaction* t = db->Begin();
-    for (int i = 0; i < 2000; ++i) {
+    for (int i = 0; i < Scaled(2000, 200); ++i) {
       SPF_CHECK_OK(db->Update(t, Key(i * 3 % records), "post-backup"));
     }
     SPF_CHECK_OK(db->Commit(t));
@@ -85,7 +87,8 @@ void Run() {
 }  // namespace bench
 }  // namespace spf
 
-int main() {
+int main(int argc, char** argv) {
+  spf::bench::Init(argc, argv);
   spf::bench::Run();
   return 0;
 }

@@ -30,7 +30,8 @@ ModeResult RunMode(WriteTrackingMode mode, const std::string& name) {
   DatabaseOptions options = InstantOptions(8192);
   options.tracking = mode;
   options.backup_policy.updates_threshold = 0;  // isolate tracking cost
-  auto db = MakeLoadedDb(options, 10000);
+  const int records = Scaled(10000, 2000);
+  auto db = MakeLoadedDb(options, records);
 
   LogStats before = db->log()->stats();
   uint64_t wb_before = db->pool()->stats().write_backs;
@@ -38,10 +39,10 @@ ModeResult RunMode(WriteTrackingMode mode, const std::string& name) {
   // 200 committed transactions of 20 updates, with periodic flushes so
   // write-backs (and their tracking records) actually happen.
   Random rng(7);
-  for (int txn_i = 0; txn_i < 200; ++txn_i) {
+  for (int txn_i = 0; txn_i < Scaled(200, 20); ++txn_i) {
     Transaction* t = db->Begin();
     for (int op = 0; op < 20; ++op) {
-      SPF_CHECK_OK(db->Update(t, Key(static_cast<int>(rng.Uniform(10000))),
+      SPF_CHECK_OK(db->Update(t, Key(static_cast<int>(rng.Uniform(records))),
                               "updated-" + std::to_string(op)));
     }
     SPF_CHECK_OK(db->Commit(t));
@@ -102,7 +103,8 @@ void Run() {
 }  // namespace bench
 }  // namespace spf
 
-int main() {
+int main(int argc, char** argv) {
+  spf::bench::Init(argc, argv);
   spf::bench::Run();
   return 0;
 }

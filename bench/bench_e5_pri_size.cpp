@@ -30,7 +30,9 @@ void Run() {
   Table table({"db pages", "db size", "pattern", "entries", "PRI bytes",
                "bytes/page", "permille of db"});
 
-  for (uint64_t pages : {16384ull, 131072ull, 1048576ull}) {
+  std::vector<uint64_t> sizes{16384ull, 131072ull, 1048576ull};
+  if (SmokeMode()) sizes = {16384ull};
+  for (uint64_t pages : sizes) {
     for (const Pattern& p :
          {Pattern{"fresh full backup", 0.0, false},
           Pattern{"1% updated, uniform", 0.01, false},
@@ -81,7 +83,8 @@ void Run() {
 }  // namespace bench
 }  // namespace spf
 
-int main() {
+int main(int argc, char** argv) {
+  spf::bench::Init(argc, argv);
   spf::bench::Run();
   return 0;
 }

@@ -25,17 +25,18 @@ struct Result {
 };
 
 Result RunMode(WriteTrackingMode mode, const std::string& name) {
-  DatabaseOptions options = DiskOptions(8192);
+  DatabaseOptions options = DiskOptions(Scaled<uint64_t>(8192, 2048));
   options.tracking = mode;
   options.backup_policy.updates_threshold = 0;
-  auto db = MakeLoadedDb(options, 15000);
+  const int records = Scaled(15000, 3000);
+  auto db = MakeLoadedDb(options, records);
   SPF_CHECK_OK(db->Checkpoint().status());
 
   // Post-checkpoint updates over many pages...
   Random rng(3);
   Transaction* t = db->Begin();
-  for (int i = 0; i < 3000; ++i) {
-    SPF_CHECK_OK(db->Update(t, Key(static_cast<int>(rng.Uniform(15000))),
+  for (int i = 0; i < Scaled(3000, 600); ++i) {
+    SPF_CHECK_OK(db->Update(t, Key(static_cast<int>(rng.Uniform(records))),
                             "post-checkpoint-update"));
   }
   SPF_CHECK_OK(db->Commit(t));
@@ -88,7 +89,8 @@ void Run() {
 }  // namespace bench
 }  // namespace spf
 
-int main() {
+int main(int argc, char** argv) {
+  spf::bench::Init(argc, argv);
   spf::bench::Run();
   return 0;
 }

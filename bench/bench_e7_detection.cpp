@@ -52,12 +52,12 @@ const char* LevelName(Level level) {
   return "?";
 }
 
-constexpr int kRecords = 50000;
+int Records() { return Scaled(50000, 5000); }
 
 Database* SharedDb(Level level) {
   static std::unique_ptr<Database> dbs[3];
   if (!dbs[level]) {
-    dbs[level] = MakeLoadedDb(LevelOptions(level), kRecords);
+    dbs[level] = MakeLoadedDb(LevelOptions(level), Records());
     SPF_CHECK_OK(dbs[level]->FlushAll());
   }
   return dbs[level].get();
@@ -68,7 +68,7 @@ void BM_PointLookup(benchmark::State& state) {
   Database* db = SharedDb(level);
   Random rng(1);
   for (auto _ : state) {
-    auto v = db->Get(nullptr, Key(static_cast<int>(rng.Uniform(kRecords))));
+    auto v = db->Get(nullptr, Key(static_cast<int>(rng.Uniform(Records()))));
     benchmark::DoNotOptimize(v);
     SPF_CHECK(v.ok());
   }
@@ -94,7 +94,7 @@ void BM_ScanRange(benchmark::State& state) {
   Database* db = SharedDb(level);
   Random rng(2);
   for (auto _ : state) {
-    int start = static_cast<int>(rng.Uniform(kRecords - 200));
+    int start = static_cast<int>(rng.Uniform(Records() - 200));
     uint64_t n = 0;
     SPF_CHECK_OK(db->Scan(Key(start), Key(start + 200),
                           [&n](std::string_view, std::string_view) {
@@ -122,6 +122,13 @@ int main(int argc, char** argv) {
       "Paper expectation: comprehensive verification as a side effect of\n"
       "standard processing is cheap (single-digit-percent for lookups;\n"
       "checksum cost appears only on buffer faults).\n\n");
+  spf::bench::Init(argc, argv);
+  // Strip --smoke so Google Benchmark does not reject it.
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") != 0) argv[kept++] = argv[i];
+  }
+  argc = kept;
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

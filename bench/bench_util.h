@@ -8,6 +8,9 @@
 
 #include <cinttypes>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -16,6 +19,29 @@
 
 namespace spf {
 namespace bench {
+
+/// Smoke mode: CI runs every bench with tiny parameters just to keep the
+/// binaries compiling and executing. Enabled by `--smoke` on the command
+/// line or the SPF_BENCH_SMOKE environment variable.
+inline bool& SmokeFlag() {
+  static bool smoke = std::getenv("SPF_BENCH_SMOKE") != nullptr;
+  return smoke;
+}
+
+inline bool SmokeMode() { return SmokeFlag(); }
+
+/// Call first in main(): enables smoke mode if --smoke is present.
+inline void Init(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) SmokeFlag() = true;
+  }
+}
+
+/// Full-size value normally, tiny value under --smoke.
+template <typename T>
+inline T Scaled(T full, T smoke) {
+  return SmokeMode() ? smoke : full;
+}
 
 inline std::string Key(int i) {
   char buf[20];
@@ -111,6 +137,35 @@ inline std::unique_ptr<Database> MakeLoadedDb(DatabaseOptions options, int n,
     }
     SPF_CHECK_OK(db->Commit(t));
   }
+  return db;
+}
+
+/// Builds a database with a full backup and interleaved per-page log
+/// chains, then collects up to `burst` victim leaf pages: each of
+/// `rounds` transactions updates one key per stride, so different pages'
+/// chains alternate within the same log region — the multi-page failure
+/// setup of the E8b/E9 serial-vs-batched axes. The pool is left empty.
+inline std::unique_ptr<Database> MakeChainedBurstDb(
+    DatabaseOptions options, int records, size_t burst,
+    std::vector<PageId>* victims, int rounds = 4, int stride = 97) {
+  auto db = MakeLoadedDb(options, records);
+  SPF_CHECK_OK(db->TakeFullBackup().status());
+  for (int round = 0; round < rounds; ++round) {
+    Transaction* t = db->Begin();
+    for (int i = 0; i < records; i += stride) {
+      SPF_CHECK_OK(db->Update(t, Key(i), "r" + std::to_string(round)));
+    }
+    SPF_CHECK_OK(db->Commit(t));
+  }
+  SPF_CHECK_OK(db->FlushAll());
+  std::set<PageId> leaves;
+  for (int i = 0; i < records && leaves.size() < burst; i += stride) {
+    auto leaf = db->LeafPageOf(Key(i));
+    SPF_CHECK(leaf.ok());
+    leaves.insert(*leaf);
+  }
+  victims->assign(leaves.begin(), leaves.end());
+  db->pool()->DiscardAll();
   return db;
 }
 

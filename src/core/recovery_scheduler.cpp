@@ -1,0 +1,410 @@
+#include "core/recovery_scheduler.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <queue>
+#include <thread>
+
+#include "btree/btree_log.h"
+
+namespace spf {
+
+// --- worker pool ------------------------------------------------------------
+
+/// Minimal persistent parallel-for pool. One job at a time (the scheduler
+/// serializes batches); the coordinating thread participates in the work,
+/// so num_workers == 0 degenerates to an inline loop.
+///
+/// Each job is its own heap object: a worker that wakes late snapshots
+/// whatever job_ points to under the mutex, and can only claim indices
+/// from THAT job's exhausted counter — never from a newer job — so a
+/// laggard neither dereferences a cleared function pointer nor steals
+/// work from the next ParallelFor.
+class RecoveryScheduler::WorkerPool {
+ public:
+  explicit WorkerPool(size_t n) {
+    threads_.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      threads_.emplace_back([this] { Loop(); });
+    }
+  }
+
+  ~WorkerPool() {
+    {
+      std::lock_guard<std::mutex> g(mu_);
+      shutdown_ = true;
+    }
+    cv_.notify_all();
+    for (auto& t : threads_) t.join();
+  }
+
+  void ParallelFor(size_t count, const std::function<void(size_t)>& fn) {
+    if (threads_.empty() || count <= 1) {
+      for (size_t i = 0; i < count; ++i) fn(i);
+      return;
+    }
+    auto job = std::make_shared<Job>();
+    job->fn = &fn;
+    job->count = count;
+
+    std::unique_lock<std::mutex> lk(mu_);
+    job_ = job;
+    generation_++;
+    cv_.notify_all();
+    lk.unlock();
+
+    Run(*job);
+
+    lk.lock();
+    done_cv_.wait(lk, [&] { return active_ == 0; });
+    // `fn` dies with this frame; laggards holding the old job see its
+    // counter exhausted and never touch fn again.
+  }
+
+ private:
+  struct Job {
+    const std::function<void(size_t)>* fn = nullptr;
+    size_t count = 0;
+    std::atomic<size_t> next{0};
+  };
+
+  static void Run(Job& job) {
+    size_t i;
+    while ((i = job.next.fetch_add(1, std::memory_order_relaxed)) <
+           job.count) {
+      (*job.fn)(i);
+    }
+  }
+
+  void Loop() {
+    uint64_t seen = 0;
+    std::unique_lock<std::mutex> lk(mu_);
+    while (true) {
+      cv_.wait(lk, [&] { return shutdown_ || generation_ != seen; });
+      if (shutdown_) return;
+      seen = generation_;
+      std::shared_ptr<Job> job = job_;
+      active_++;
+      lk.unlock();
+      Run(*job);
+      lk.lock();
+      if (--active_ == 0) done_cv_.notify_all();
+    }
+  }
+
+  std::vector<std::thread> threads_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::condition_variable done_cv_;
+  std::shared_ptr<Job> job_;  ///< current (or most recent) job
+  uint64_t generation_ = 0;
+  size_t active_ = 0;
+  bool shutdown_ = false;
+};
+
+// --- per-page task ----------------------------------------------------------
+
+struct RecoveryScheduler::PageTask {
+  PageId id = kInvalidPageId;
+  PriEntry entry;
+  std::unique_ptr<char[]> frame;
+  Lsn backup_lsn = kInvalidLsn;       ///< PageLSN of the loaded backup image
+  std::vector<LogRecord> chain;       ///< collected descending (LIFO stack)
+  Lsn next_lsn = kInvalidLsn;         ///< walk cursor (descending)
+  SinglePageRecoveryStats acc;        ///< batch-local counters
+  Status status;                      ///< first error, if any
+  bool done = false;                  ///< no further phases needed
+
+  void Fail(Status s) {
+    if (status.ok()) status = std::move(s);
+    done = true;
+  }
+};
+
+// --- scheduler --------------------------------------------------------------
+
+RecoveryScheduler::RecoveryScheduler(SinglePageRecovery* spr,
+                                     RecoverySchedulerOptions options)
+    : spr_(spr), options_(options) {}
+
+RecoveryScheduler::~RecoveryScheduler() = default;
+
+Status RecoveryScheduler::RepairPage(PageId id, char* frame) {
+  {
+    std::lock_guard<std::mutex> g(stats_mu_);
+    stats_.single_repairs++;
+  }
+  return spr_->RepairPage(id, frame);
+}
+
+void RecoveryScheduler::set_batch_repair(bool on) {
+  std::lock_guard<std::mutex> g(stats_mu_);
+  options_.batch_repair = on;
+}
+
+bool RecoveryScheduler::batch_repair() const {
+  std::lock_guard<std::mutex> g(stats_mu_);
+  return options_.batch_repair;
+}
+
+RecoverySchedulerStats RecoveryScheduler::stats() const {
+  std::lock_guard<std::mutex> g(stats_mu_);
+  return stats_;
+}
+
+void RecoveryScheduler::ResetStats() {
+  std::lock_guard<std::mutex> g(stats_mu_);
+  stats_ = RecoverySchedulerStats();
+}
+
+StatusOr<BatchRepairResult> RecoveryScheduler::RepairBatch(
+    std::vector<PageId> pages) {
+  std::lock_guard<std::mutex> batch_guard(batch_mu_);
+
+  std::sort(pages.begin(), pages.end());
+  pages.erase(std::unique(pages.begin(), pages.end()), pages.end());
+
+  std::vector<PageTask> tasks(pages.size());
+  for (size_t i = 0; i < pages.size(); ++i) {
+    tasks[i].id = pages[i];
+    tasks[i].acc.repairs_attempted++;
+  }
+
+  bool batched;
+  {
+    std::lock_guard<std::mutex> g(stats_mu_);
+    stats_.batches++;
+    stats_.pages_requested += pages.size();
+    batched = options_.batch_repair;
+  }
+
+  BatchRepairResult result =
+      batched ? RepairBatched(&tasks) : RepairSerial(&tasks);
+
+  {
+    std::lock_guard<std::mutex> g(stats_mu_);
+    stats_.pages_repaired += result.repaired;
+    stats_.pages_failed += result.failed;
+  }
+  return result;
+}
+
+BatchRepairResult RecoveryScheduler::RepairSerial(
+    std::vector<PageTask>* tasks) {
+  // The per-page baseline: each page pays its own backup read plus one
+  // random log read per chain record, exactly like a foreground repair.
+  BatchRepairResult result;
+  const uint32_t page_size = spr_->page_size();
+  for (PageTask& task : *tasks) {
+    task.frame = std::make_unique<char[]>(page_size);
+    Status s = spr_->RepairPage(task.id, task.frame.get());
+    if (s.ok()) {
+      result.repaired++;
+    } else {
+      result.failed++;
+      result.failures.push_back({task.id, std::move(s)});
+    }
+  }
+  return result;
+}
+
+BatchRepairResult RecoveryScheduler::RepairBatched(
+    std::vector<PageTask>* tasks) {
+  SimTimer timer(spr_->clock());
+  const uint32_t page_size = spr_->page_size();
+  // Spawn the worker threads on first batched use only: most Database
+  // instances (tests, crash/restart cycles) never repair a batch.
+  if (workers_ == nullptr) {
+    workers_ = std::make_unique<WorkerPool>(options_.num_workers);
+  }
+
+  // --- phase 0: PRI lookups (in-memory) -------------------------------------
+  for (PageTask& task : *tasks) {
+    auto entry_or = spr_->LookupEntry(task.id);
+    if (!entry_or.ok()) {
+      task.Fail(entry_or.status());
+      continue;
+    }
+    task.entry = *entry_or;
+    task.frame = std::make_unique<char[]>(page_size);
+  }
+
+  // --- phase 1: backup loads, grouped by backup source ----------------------
+  // Pages restored from the same source are read in ascending location
+  // order (for a full backup that is page-id order — sequential backup
+  // I/O, a partial restore). Groups fan out across the worker pool; each
+  // group runs in order on one worker to keep its access pattern.
+  std::vector<size_t> order;
+  for (size_t i = 0; i < tasks->size(); ++i) {
+    if (!(*tasks)[i].done) order.push_back(i);
+  }
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    const PriEntry& ea = (*tasks)[a].entry;
+    const PriEntry& eb = (*tasks)[b].entry;
+    if (ea.backup.kind != eb.backup.kind) return ea.backup.kind < eb.backup.kind;
+    if (ea.backup.value != eb.backup.value) return ea.backup.value < eb.backup.value;
+    return (*tasks)[a].id < (*tasks)[b].id;
+  });
+  std::vector<std::vector<size_t>> groups;
+  for (size_t idx : order) {
+    const BackupRef& ref = (*tasks)[idx].entry.backup;
+    // Pages restored from the SAME full backup stay in one group (in-order
+    // reads are sequential, a partial restore); every other backup kind is
+    // an independent point read, so each page fans out as its own group.
+    bool join = !groups.empty() && ref.kind == BackupKind::kFullBackup;
+    if (join) {
+      const BackupRef& prev = (*tasks)[groups.back().back()].entry.backup;
+      join = prev.kind == ref.kind && prev.value == ref.value;
+    }
+    if (!join) groups.emplace_back();
+    groups.back().push_back(idx);
+  }
+  workers_->ParallelFor(groups.size(), [&](size_t g) {
+    for (size_t idx : groups[g]) {
+      PageTask& task = (*tasks)[idx];
+      Status s = spr_->LoadBackupImage(task.id, task.entry, task.frame.get(),
+                                       &task.acc);
+      if (!s.ok()) {
+        task.Fail(std::move(s));
+        continue;
+      }
+      PageView page(task.frame.get(), page_size);
+      task.backup_lsn = page.page_lsn();
+      if (task.entry.last_lsn == kInvalidLsn ||
+          task.entry.last_lsn <= task.backup_lsn) {
+        // Not updated since the backup; skip the chain walk.
+        task.next_lsn = kInvalidLsn;
+      } else {
+        task.next_lsn = task.entry.last_lsn;
+      }
+    }
+  });
+
+  // --- phase 2: coordinated chain walk over shared log segments -------------
+  // Cluster pages whose chain ranges (backup_lsn, target] overlap; each
+  // cluster is walked once, popping records in descending LSN order so
+  // every shared log segment is fetched exactly once.
+  struct Range {
+    Lsn lo, hi;
+    size_t idx;
+  };
+  std::vector<Range> ranges;
+  for (size_t i = 0; i < tasks->size(); ++i) {
+    PageTask& task = (*tasks)[i];
+    if (task.done || task.next_lsn == kInvalidLsn) continue;
+    Lsn lo = task.backup_lsn == kInvalidLsn ? 0 : task.backup_lsn;
+    ranges.push_back({lo, task.entry.last_lsn, i});
+  }
+  std::sort(ranges.begin(), ranges.end(),
+            [](const Range& a, const Range& b) { return a.lo < b.lo; });
+  size_t cluster_count = 0;
+  size_t pos = 0;
+  while (pos < ranges.size()) {
+    std::vector<size_t> members{ranges[pos].idx};
+    Lsn hi = ranges[pos].hi;
+    size_t end = pos + 1;
+    while (end < ranges.size() && ranges[end].lo <= hi) {
+      hi = std::max(hi, ranges[end].hi);
+      members.push_back(ranges[end].idx);
+      end++;
+    }
+    WalkCluster(tasks, members);
+    cluster_count++;
+    pos = end;
+  }
+
+  // --- phase 3: apply chains + verify + heal, fanned out --------------------
+  workers_->ParallelFor(tasks->size(), [&](size_t i) {
+    PageTask& task = (*tasks)[i];
+    if (task.done) return;
+    Status s = spr_->ApplyChain(&task.chain, task.frame.get(), &task.acc);
+    if (s.ok()) {
+      s = spr_->FinishRepair(task.id, task.entry, task.frame.get(),
+                             &task.acc);
+    }
+    if (!s.ok()) task.Fail(std::move(s));
+  });
+
+  // --- collect outcomes, merge stats ----------------------------------------
+  // The batch shares one clock, so per-page timing is not separable;
+  // publish the amortized per-page cost as the last-repair snapshot.
+  BatchRepairResult result;
+  uint64_t succeeded = 0;
+  for (const PageTask& task : *tasks) {
+    if (task.status.ok()) succeeded++;
+  }
+  uint64_t per_page_ns = succeeded > 0 ? timer.ElapsedNanos() / succeeded : 0;
+  for (PageTask& task : *tasks) {
+    if (task.status.ok()) {
+      result.repaired++;
+      spr_->NoteLastRepair(task.acc.last_chain_length, per_page_ns,
+                           task.acc.last_backup_kind);
+    } else {
+      result.failed++;
+      task.acc.escalations++;
+      result.failures.push_back(
+          {task.id, SinglePageRecovery::Escalate(task.id, task.status)});
+    }
+    spr_->MergeStats(task.acc, task.id);
+  }
+  {
+    std::lock_guard<std::mutex> g(stats_mu_);
+    stats_.backup_groups += groups.size();
+    stats_.chain_clusters += cluster_count;
+  }
+  return result;
+}
+
+void RecoveryScheduler::WalkCluster(std::vector<PageTask>* tasks,
+                                    const std::vector<size_t>& members) {
+  // Max-heap over every member's next chain pointer: records pop in
+  // globally descending LSN order, so the segment reader's window slides
+  // monotonically backward through the log and fetches each segment once.
+  using HeapItem = std::pair<Lsn, size_t>;  // (next lsn, task index)
+  std::priority_queue<HeapItem> heap;
+  for (size_t idx : members) {
+    PageTask& task = (*tasks)[idx];
+    if (!task.done && task.next_lsn != kInvalidLsn) {
+      heap.push({task.next_lsn, idx});
+    }
+  }
+
+  LogSegmentReader reader(spr_->log(), options_.log_segment_bytes);
+  while (!heap.empty()) {
+    auto [lsn, idx] = heap.top();
+    heap.pop();
+    PageTask& task = (*tasks)[idx];
+    if (task.done) continue;
+    auto rec_or = reader.Read(lsn);
+    if (!rec_or.ok()) {
+      task.Fail(rec_or.status());
+      continue;
+    }
+    LogRecord rec = std::move(rec_or).value();
+    if (rec.page_id != task.id) {
+      task.Fail(Status::Corruption("per-page chain contains foreign record"));
+      continue;
+    }
+    Lsn prev = rec.page_prev_lsn;
+    task.chain.push_back(std::move(rec));
+    if (prev != kInvalidLsn && prev > task.backup_lsn) {
+      heap.push({prev, idx});
+    } else if (prev != task.backup_lsn && prev != kInvalidLsn) {
+      task.Fail(
+          Status::Corruption("per-page chain does not reach the backup"));
+    }
+  }
+
+  // Attribute the shared segment fetches to the cluster's first member's
+  // accumulator (the aggregate is what the counters are for).
+  if (!members.empty()) {
+    (*tasks)[members.front()].acc.log_reads += reader.segment_fetches();
+  }
+  {
+    std::lock_guard<std::mutex> g(stats_mu_);
+    stats_.segment_fetches += reader.segment_fetches();
+  }
+}
+
+}  // namespace spf

@@ -1,0 +1,122 @@
+// RecoveryScheduler: coordinated repair of MANY failed pages at once.
+//
+// The paper notes (section 5.2) that "it is perfectly possible that
+// multiple pages fail and that they be recovered at the same time", and
+// that coordinated recovery of a large failed set converges to the access
+// patterns of media recovery. Serial single-page recovery repairs a burst
+// of N latent faults with N independent walks of per-page log chains —
+// N × chain-length random log reads. "Instant restore after a media
+// failure" (Sauer, Graefe & Härder, 2017) shows the coordinated fix, which
+// this scheduler implements for batches:
+//
+//   1. group the failed pages by BACKUP SOURCE (all pages restored from
+//      the same full backup are read in page-id order — sequential backup
+//      I/O, like a partial restore);
+//   2. cluster the per-page chains by OVERLAPPING LOG RANGES
+//      (backup-LSN .. target-LSN) and walk each cluster's chains together:
+//      a max-heap over every page's next chain pointer pops records in
+//      globally descending LSN order, so the log is read in SEGMENTS, each
+//      fetched once per batch (LogSegmentReader) instead of once per
+//      record;
+//   3. apply each page's collected chain and heal the device copy, fanned
+//      out over a small worker pool (stats are sharded in
+//      SinglePageRecovery, so concurrent repairs do not serialize).
+//
+// The scheduler is also the PageRepairer installed in the buffer pool, so
+// foreground read-time detections (Figure 8), Database::Scrub(), the
+// background Scrubber, and escalation paths all funnel repair work through
+// one component.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "core/single_page_recovery.h"
+
+namespace spf {
+
+struct RecoverySchedulerOptions {
+  /// Worker threads for the fan-out phases. 0 runs every phase inline.
+  uint32_t num_workers = 4;
+  /// Coordinated batch repair. When false, RepairBatch degrades to the
+  /// serial per-page baseline (one independent chain walk per page) —
+  /// the comparison axis of bench E8.
+  bool batch_repair = true;
+  /// Segment size for shared log reads in the batched path.
+  uint64_t log_segment_bytes = 256 * 1024;
+};
+
+struct RecoverySchedulerStats {
+  uint64_t batches = 0;
+  uint64_t pages_requested = 0;
+  uint64_t pages_repaired = 0;
+  uint64_t pages_failed = 0;
+  uint64_t backup_groups = 0;       ///< backup-source groups formed
+  uint64_t chain_clusters = 0;      ///< overlapping-log-range clusters walked
+  uint64_t segment_fetches = 0;     ///< shared log segment reads
+  uint64_t single_repairs = 0;      ///< foreground (read-path) repairs
+};
+
+struct PageRepairOutcome {
+  PageId page_id = kInvalidPageId;
+  Status status;
+};
+
+struct BatchRepairResult {
+  uint64_t repaired = 0;
+  uint64_t failed = 0;
+  /// One entry per page that could not be repaired (escalations).
+  std::vector<PageRepairOutcome> failures;
+};
+
+class RecoveryScheduler : public PageRepairer {
+ public:
+  RecoveryScheduler(SinglePageRecovery* spr, RecoverySchedulerOptions options);
+  ~RecoveryScheduler() override;
+
+  SPF_DISALLOW_COPY(RecoveryScheduler);
+
+  /// PageRepairer hook (buffer pool read path): a foreground fault is a
+  /// batch of one — repaired immediately on the calling thread.
+  Status RepairPage(PageId id, char* frame) override;
+
+  /// Repairs every page in `pages` (deduplicated). Individual failures do
+  /// not abort the rest of the batch; they are reported in the result.
+  /// Thread-safe; concurrent batches are serialized.
+  StatusOr<BatchRepairResult> RepairBatch(std::vector<PageId> pages);
+
+  /// Runtime toggle for the batched-vs-serial comparison (bench E8/E9).
+  void set_batch_repair(bool on);
+  bool batch_repair() const;
+
+  RecoverySchedulerStats stats() const;
+  void ResetStats();
+
+ private:
+  struct PageTask;
+  class WorkerPool;
+
+  BatchRepairResult RepairSerial(std::vector<PageTask>* tasks);
+  BatchRepairResult RepairBatched(std::vector<PageTask>* tasks);
+
+  /// Phase 2 core: walks one cluster of overlapping chains via a max-heap
+  /// of per-page next pointers, reading shared log segments once each.
+  void WalkCluster(std::vector<PageTask>* tasks,
+                   const std::vector<size_t>& members);
+
+  SinglePageRecovery* const spr_;
+  RecoverySchedulerOptions options_;
+  /// Created on first batched repair (guarded by batch_mu_).
+  std::unique_ptr<WorkerPool> workers_;
+
+  std::mutex batch_mu_;  ///< one batch in flight at a time
+
+  mutable std::mutex stats_mu_;  ///< guards stats_ and options_.batch_repair
+  RecoverySchedulerStats stats_;
+};
+
+}  // namespace spf

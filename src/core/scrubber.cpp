@@ -1,0 +1,157 @@
+#include "core/scrubber.h"
+
+#include <chrono>
+
+namespace spf {
+
+Scrubber::Scrubber(RecoveryScheduler* scheduler, PageAllocator* alloc,
+                   BufferPool* pool, SimDevice* device, ReadVerifier* verifier,
+                   const BadBlockList* bad_blocks, PriLayout layout,
+                   SimClock* clock, ScrubberOptions options)
+    : scheduler_(scheduler),
+      alloc_(alloc),
+      pool_(pool),
+      device_(device),
+      verifier_(verifier),
+      bad_blocks_(bad_blocks),
+      layout_(layout),
+      clock_(clock),
+      options_(options) {}
+
+Scrubber::~Scrubber() { Stop(); }
+
+StatusOr<uint64_t> Scrubber::ScanLocked(uint64_t budget,
+                                        std::vector<PageId>* failed,
+                                        bool* wrapped) {
+  const uint64_t num_pages = device_->num_pages();
+  const uint32_t page_size = device_->page_size();
+  PageBuffer buf(page_size);
+  uint64_t scanned = 0;
+  *wrapped = false;
+
+  for (uint64_t step = 0; step < num_pages && scanned < budget; ++step) {
+    PageId p = cursor_;
+    cursor_++;
+    if (cursor_ >= num_pages) {
+      cursor_ = 0;
+      *wrapped = true;
+    }
+    if (!alloc_->IsAllocated(p)) continue;
+    if (layout_.IsPriPage(p)) continue;  // PRI pages have their own recovery
+    if (bad_blocks_->Contains(p)) continue;  // retired locations are not data
+    // A dirty buffered copy makes the device image legitimately stale.
+    if (pool_->IsDirty(p)) continue;
+
+    scanned++;
+    Status s = device_->ReadPage(p, buf.data());
+    if (s.IsMediaFailure()) return s;  // whole device gone: escalate now
+    if (s.ok() && options_.verify) {
+      PageView page = buf.view();
+      s = page.Verify(p);
+      if (s.ok() && verifier_ != nullptr) {
+        s = verifier_->VerifyOnRead(page);
+      }
+    }
+    if (!s.ok()) failed->push_back(p);
+
+    if (*wrapped) break;  // one full pass per call at most
+  }
+  return scanned;
+}
+
+StatusOr<ScrubStats> Scrubber::RunSpanLocked(uint64_t budget, bool is_tick) {
+  ScrubStats stats;
+  std::vector<PageId> failed;
+  bool wrapped = false;
+  SPF_ASSIGN_OR_RETURN(stats.pages_scanned,
+                       ScanLocked(budget, &failed, &wrapped));
+  stats.failures_detected = failed.size();
+
+  Status escalation = Status::OK();
+  if (!failed.empty() && !options_.repair) {
+    escalation = Status::MediaFailure(
+        "scrub detected a failed page (" + std::to_string(failed.front()) +
+        ") and single-page repair is disabled (escalated)");
+    std::lock_guard<std::mutex> g(totals_mu_);
+    totals_.escalations += failed.size();
+  } else if (!failed.empty()) {
+    SPF_ASSIGN_OR_RETURN(BatchRepairResult repaired,
+                         scheduler_->RepairBatch(std::move(failed)));
+    stats.pages_repaired = repaired.repaired;
+    if (!repaired.failures.empty()) {
+      escalation = repaired.failures.front().status;
+    }
+    std::lock_guard<std::mutex> g(totals_mu_);
+    totals_.escalations += repaired.failed;
+  }
+
+  {
+    std::lock_guard<std::mutex> g(totals_mu_);
+    if (is_tick) totals_.ticks++;
+    if (wrapped) totals_.sweeps_completed++;
+    totals_.pages_scanned += stats.pages_scanned;
+    totals_.failures_detected += stats.failures_detected;
+    totals_.pages_repaired += stats.pages_repaired;
+  }
+  if (!escalation.ok()) return escalation;
+  return stats;
+}
+
+StatusOr<ScrubStats> Scrubber::Tick() {
+  std::lock_guard<std::mutex> g(sweep_mu_);
+  return RunSpanLocked(options_.pages_per_tick, /*is_tick=*/true);
+}
+
+StatusOr<ScrubStats> Scrubber::SweepAll() {
+  std::lock_guard<std::mutex> g(sweep_mu_);
+  // A full pass from page 0; ScanLocked always wraps with this budget,
+  // which is what bumps sweeps_completed.
+  cursor_ = 0;
+  return RunSpanLocked(device_->num_pages(), /*is_tick=*/false);
+}
+
+void Scrubber::Start() {
+  if (running_.load()) return;
+  stop_.store(false);
+  running_.store(true);
+  last_tick_ns_ = 0;
+  thread_ = std::thread(&Scrubber::BackgroundLoop, this);
+}
+
+void Scrubber::Stop() {
+  if (!running_.load()) return;
+  stop_.store(true);
+  if (thread_.joinable()) thread_.join();
+  running_.store(false);
+}
+
+bool Scrubber::running() const { return running_.load(); }
+
+void Scrubber::BackgroundLoop() {
+  const uint64_t interval_ns = options_.interval_sim_ms * 1000ull * 1000ull;
+  bool first = true;
+  while (!stop_.load()) {
+    uint64_t now = clock_->NowNanos();
+    if (first || interval_ns == 0 || now - last_tick_ns_ >= interval_ns) {
+      first = false;
+      // Background errors don't kill the daemon: escalations are counted
+      // in totals() and the failed pages stay due for the next pass.
+      (void)Tick();
+      last_tick_ns_ = clock_->NowNanos();
+      if (interval_ns == 0) {
+        // Continuous mode: yield so foreground work can interleave.
+        std::this_thread::yield();
+      }
+    } else {
+      // Simulated time has not advanced far enough yet; poll gently.
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  }
+}
+
+ScrubberTotals Scrubber::totals() const {
+  std::lock_guard<std::mutex> g(totals_mu_);
+  return totals_;
+}
+
+}  // namespace spf

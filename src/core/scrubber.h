@@ -1,0 +1,127 @@
+// Background scrubber: proactive detection of latent single-page faults.
+//
+// Bairavasundaram et al. (the paper's [2]) found latent sector errors in
+// thousands of drives, a majority surfacing only during reads and "disk
+// scrubbing". Cold pages may sit corrupted for months before a foreground
+// read would notice — and by then the per-page log chain may be long and
+// the backup old. The scrubber sweeps allocated pages INCREMENTALLY in
+// the background: each tick verifies a budgeted number of pages directly
+// against the device (in-page checks plus the PageLSN-vs-PRI cross-check)
+// and hands every detected failure to the RecoveryScheduler as one batch.
+//
+// Cadence is measured against the simulated clock: a background thread
+// re-sweeps whenever `interval` of simulated time has passed since the
+// last tick (the tick's own device reads advance the clock). Foreground
+// use (Database::Scrub()) is a synchronous full sweep over the same
+// machinery.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "buffer/buffer_pool.h"
+#include "core/pri_manager.h"
+#include "core/recovery_scheduler.h"
+#include "storage/allocation.h"
+#include "storage/sim_device.h"
+
+namespace spf {
+
+/// One sweep's worth of counters (returned by Database::Scrub() and
+/// Scrubber::Tick()).
+struct ScrubStats {
+  uint64_t pages_scanned = 0;
+  uint64_t failures_detected = 0;
+  uint64_t pages_repaired = 0;
+};
+
+struct ScrubberOptions {
+  /// Page budget per tick (the incremental sweep quantum).
+  uint64_t pages_per_tick = 256;
+  /// Simulated-time cadence of the background loop; 0 ticks continuously.
+  uint64_t interval_sim_ms = 0;
+  /// Run in-page verification + cross-check (matches verify_on_read).
+  /// Hard read errors are detected either way.
+  bool verify = true;
+  /// When false (single-page repair disabled), a detected failure
+  /// escalates as a media failure instead of being repaired — the
+  /// "traditional system" baseline.
+  bool repair = true;
+};
+
+/// Lifetime totals across all ticks and sweeps.
+struct ScrubberTotals {
+  uint64_t ticks = 0;
+  uint64_t sweeps_completed = 0;  ///< full passes over the page space
+  uint64_t pages_scanned = 0;
+  uint64_t failures_detected = 0;
+  uint64_t pages_repaired = 0;
+  /// Escalation EVENTS: a page that stays unrepairable is re-detected and
+  /// re-counted on every subsequent sweep until it is healed or retired.
+  uint64_t escalations = 0;
+};
+
+class Scrubber {
+ public:
+  /// `verifier` may be null (no cross-check); `layout` is copied.
+  Scrubber(RecoveryScheduler* scheduler, PageAllocator* alloc,
+           BufferPool* pool, SimDevice* device, ReadVerifier* verifier,
+           const BadBlockList* bad_blocks, PriLayout layout, SimClock* clock,
+           ScrubberOptions options);
+  ~Scrubber();
+
+  SPF_DISALLOW_COPY(Scrubber);
+
+  /// One budgeted increment from the sweep cursor; detected failures are
+  /// repaired as one batch through the scheduler. Returns the tick's
+  /// stats; an unrepairable page surfaces as a MediaFailure status AFTER
+  /// the rest of the batch was still repaired.
+  StatusOr<ScrubStats> Tick();
+
+  /// Synchronous full pass over the whole page space (Database::Scrub()).
+  StatusOr<ScrubStats> SweepAll();
+
+  /// Starts/stops the background thread. Start is idempotent; Stop joins.
+  void Start();
+  void Stop();
+  bool running() const;
+
+  ScrubberTotals totals() const;
+
+ private:
+  /// Scans up to `budget` pages from the cursor; appends failed ids.
+  /// Returns pages scanned; sets *wrapped when the cursor completed a
+  /// full pass. Caller holds sweep_mu_.
+  StatusOr<uint64_t> ScanLocked(uint64_t budget, std::vector<PageId>* failed,
+                                bool* wrapped);
+  /// Scan + batch-repair + totals for one span (a tick or a full sweep).
+  StatusOr<ScrubStats> RunSpanLocked(uint64_t budget, bool is_tick);
+  void BackgroundLoop();
+
+  RecoveryScheduler* const scheduler_;
+  PageAllocator* const alloc_;
+  BufferPool* const pool_;
+  SimDevice* const device_;
+  ReadVerifier* const verifier_;
+  const BadBlockList* const bad_blocks_;
+  const PriLayout layout_;
+  SimClock* const clock_;
+  const ScrubberOptions options_;
+
+  std::mutex sweep_mu_;    ///< serializes ticks/sweeps (cursor owner)
+  PageId cursor_ = 0;
+
+  mutable std::mutex totals_mu_;
+  ScrubberTotals totals_;
+
+  std::thread thread_;
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> running_{false};
+  uint64_t last_tick_ns_ = 0;  ///< background thread only
+};
+
+}  // namespace spf

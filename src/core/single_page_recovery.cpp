@@ -17,8 +17,19 @@ SinglePageRecovery::SinglePageRecovery(PriManager* pri_manager,
       clock_(clock),
       page_size_(data_device->page_size()) {}
 
+StatusOr<PriEntry> SinglePageRecovery::LookupEntry(PageId id) const {
+  auto entry_or = pri_manager_->pri()->Lookup(id);
+  if (!entry_or.ok()) {
+    return Status::MediaFailure(
+        "page recovery index has no entry for page " + std::to_string(id) +
+        ": " + entry_or.status().ToString());
+  }
+  return *entry_or;
+}
+
 Status SinglePageRecovery::LoadBackupImage(PageId id, const PriEntry& entry,
-                                           char* frame) {
+                                           char* frame,
+                                           SinglePageRecoveryStats* acc) {
   switch (entry.backup.kind) {
     case BackupKind::kBackupPage: {
       SPF_RETURN_IF_ERROR(backups_->ReadPageBackup(entry.backup.value, frame));
@@ -43,10 +54,7 @@ Status SinglePageRecovery::LoadBackupImage(PageId id, const PriEntry& entry,
       // The formatting log record describes the initial page image
       // (section 5.2.1: it "may substitute for an explicit backup copy").
       SPF_ASSIGN_OR_RETURN(LogRecord rec, log_->Read(entry.backup.value));
-      {
-        std::lock_guard<std::mutex> g(mu_);
-        stats_.log_reads++;
-      }
+      acc->log_reads++;
       if (rec.type != LogRecordType::kPageFormat || rec.page_id != id) {
         return Status::Corruption("format-record backup reference is wrong");
       }
@@ -61,15 +69,13 @@ Status SinglePageRecovery::LoadBackupImage(PageId id, const PriEntry& entry,
       return Status::MediaFailure("no backup available for page " +
                                   std::to_string(id));
   }
-  {
-    std::lock_guard<std::mutex> g(mu_);
-    stats_.backup_reads++;
-  }
+  acc->backup_reads++;
   return Status::OK();
 }
 
 Status SinglePageRecovery::ReplayChain(PageId id, const PriEntry& entry,
-                                       char* frame) {
+                                       char* frame,
+                                       SinglePageRecoveryStats* acc) {
   PageView page(frame, page_size_);
   Lsn backup_lsn = page.page_lsn();
   Lsn target = entry.last_lsn;
@@ -84,10 +90,7 @@ Status SinglePageRecovery::ReplayChain(PageId id, const PriEntry& entry,
   Lsn cur = target;
   while (cur != kInvalidLsn && cur > backup_lsn) {
     SPF_ASSIGN_OR_RETURN(LogRecord rec, log_->Read(cur));
-    {
-      std::lock_guard<std::mutex> g(mu_);
-      stats_.log_reads++;
-    }
+    acc->log_reads++;
     if (rec.page_id != id) {
       return Status::Corruption("per-page chain contains foreign record");
     }
@@ -99,9 +102,16 @@ Status SinglePageRecovery::ReplayChain(PageId id, const PriEntry& entry,
     return Status::Corruption("per-page chain does not reach the backup");
   }
 
-  while (!stack.empty()) {
-    LogRecord rec = std::move(stack.back());
-    stack.pop_back();
+  return ApplyChain(&stack, frame, acc);
+}
+
+Status SinglePageRecovery::ApplyChain(std::vector<LogRecord>* chain,
+                                      char* frame,
+                                      SinglePageRecoveryStats* acc) {
+  PageView page(frame, page_size_);
+  while (!chain->empty()) {
+    LogRecord rec = std::move(chain->back());
+    chain->pop_back();
     // Defensive redo-sequence check (section 5.1.4): the chain pointer in
     // the record must equal the PageLSN the page has right now.
     if (rec.page_prev_lsn != page.page_lsn()) {
@@ -112,78 +122,112 @@ Status SinglePageRecovery::ReplayChain(PageId id, const PriEntry& entry,
     }
     SPF_RETURN_IF_ERROR(btree_log::RedoBTreeRecord(rec, page));
     page.set_page_lsn(rec.lsn);
-    {
-      std::lock_guard<std::mutex> g(mu_);
-      stats_.log_records_applied++;
-      stats_.last_chain_length++;
-    }
+    acc->log_records_applied++;
+    acc->last_chain_length++;
   }
+  return Status::OK();
+}
+
+Status SinglePageRecovery::Escalate(PageId id, const Status& s) {
+  if (s.ok() || s.IsMediaFailure()) return s;
+  // Escalate per Figure 10: "if anything fails ... the system can resort
+  // to a media failure and appropriate recovery".
+  return Status::MediaFailure("single-page recovery of page " +
+                              std::to_string(id) + " failed: " + s.ToString());
+}
+
+Status SinglePageRecovery::FinishRepair(PageId id, const PriEntry& entry,
+                                        char* frame,
+                                        SinglePageRecoveryStats* acc) {
+  // Final verification of the recovered image.
+  PageView page(frame, page_size_);
+  page.UpdateChecksum();
+  SPF_RETURN_IF_ERROR(page.Verify(id));
+  if (entry.last_lsn != kInvalidLsn && page.page_lsn() != entry.last_lsn) {
+    return Status::Corruption("recovered page does not reach target LSN");
+  }
+
+  // Heal the stored copy: rewrite the recovered image in place. (A
+  // permanently failed location would additionally be migrated and
+  // registered in the bad-block list by the repair manager.)
+  SPF_RETURN_IF_ERROR(data_device_->WritePage(id, frame));
+  acc->repairs_succeeded++;
+  acc->last_backup_kind = entry.backup.kind;
   return Status::OK();
 }
 
 Status SinglePageRecovery::RepairPage(PageId id, char* frame) {
   SimTimer timer(clock_);
-  {
-    std::lock_guard<std::mutex> g(mu_);
-    stats_.repairs_attempted++;
-    stats_.last_chain_length = 0;
-  }
+  SinglePageRecoveryStats acc;
+  acc.repairs_attempted++;
 
   auto run = [&]() -> Status {
-    auto entry_or = pri_manager_->pri()->Lookup(id);
-    if (!entry_or.ok()) {
-      return Status::MediaFailure(
-          "page recovery index has no entry for page " + std::to_string(id) +
-          ": " + entry_or.status().ToString());
-    }
-    const PriEntry entry = *entry_or;
-    SPF_RETURN_IF_ERROR(LoadBackupImage(id, entry, frame));
-    SPF_RETURN_IF_ERROR(ReplayChain(id, entry, frame));
-
-    // Final verification of the recovered image.
-    PageView page(frame, page_size_);
-    page.UpdateChecksum();
-    SPF_RETURN_IF_ERROR(page.Verify(id));
-    if (entry.last_lsn != kInvalidLsn && page.page_lsn() != entry.last_lsn) {
-      return Status::Corruption("recovered page does not reach target LSN");
-    }
-
-    // Heal the stored copy: rewrite the recovered image in place. (A
-    // permanently failed location would additionally be migrated and
-    // registered in the bad-block list by the repair manager.)
-    SPF_RETURN_IF_ERROR(data_device_->WritePage(id, frame));
-    {
-      std::lock_guard<std::mutex> g(mu_);
-      stats_.repairs_succeeded++;
-      stats_.last_backup_kind = entry.backup.kind;
-      stats_.last_sim_ns = timer.ElapsedNanos();
-    }
+    SPF_ASSIGN_OR_RETURN(PriEntry entry, LookupEntry(id));
+    SPF_RETURN_IF_ERROR(LoadBackupImage(id, entry, frame, &acc));
+    SPF_RETURN_IF_ERROR(ReplayChain(id, entry, frame, &acc));
+    SPF_RETURN_IF_ERROR(FinishRepair(id, entry, frame, &acc));
     return Status::OK();
   };
 
   Status s = run();
-  if (!s.ok()) {
-    std::lock_guard<std::mutex> g(mu_);
-    stats_.escalations++;
-    if (!s.IsMediaFailure()) {
-      // Escalate per Figure 10: "if anything fails ... the system can
-      // resort to a media failure and appropriate recovery".
-      return Status::MediaFailure("single-page recovery of page " +
-                                  std::to_string(id) +
-                                  " failed: " + s.ToString());
-    }
+  if (s.ok()) {
+    acc.last_sim_ns = timer.ElapsedNanos();
+    NoteLastRepair(acc.last_chain_length, acc.last_sim_ns,
+                   acc.last_backup_kind);
+  } else {
+    acc.escalations++;
   }
-  return s;
+  MergeStats(acc, id);
+  return Escalate(id, s);
+}
+
+void SinglePageRecovery::MergeStats(const SinglePageRecoveryStats& acc,
+                                    PageId shard_key) {
+  StatShard& shard = shards_[shard_key % kStatShards];
+  std::lock_guard<std::mutex> g(shard.mu);
+  shard.s.repairs_attempted += acc.repairs_attempted;
+  shard.s.repairs_succeeded += acc.repairs_succeeded;
+  shard.s.escalations += acc.escalations;
+  shard.s.log_records_applied += acc.log_records_applied;
+  shard.s.log_reads += acc.log_reads;
+  shard.s.backup_reads += acc.backup_reads;
+}
+
+void SinglePageRecovery::NoteLastRepair(uint64_t chain_length, uint64_t sim_ns,
+                                        BackupKind kind) {
+  std::lock_guard<std::mutex> g(last_mu_);
+  last_chain_length_ = chain_length;
+  last_sim_ns_ = sim_ns;
+  last_backup_kind_ = kind;
 }
 
 SinglePageRecoveryStats SinglePageRecovery::stats() const {
-  std::lock_guard<std::mutex> g(mu_);
-  return stats_;
+  SinglePageRecoveryStats out;
+  for (const StatShard& shard : shards_) {
+    std::lock_guard<std::mutex> g(shard.mu);
+    out.repairs_attempted += shard.s.repairs_attempted;
+    out.repairs_succeeded += shard.s.repairs_succeeded;
+    out.escalations += shard.s.escalations;
+    out.log_records_applied += shard.s.log_records_applied;
+    out.log_reads += shard.s.log_reads;
+    out.backup_reads += shard.s.backup_reads;
+  }
+  std::lock_guard<std::mutex> g(last_mu_);
+  out.last_chain_length = last_chain_length_;
+  out.last_sim_ns = last_sim_ns_;
+  out.last_backup_kind = last_backup_kind_;
+  return out;
 }
 
 void SinglePageRecovery::ResetStats() {
-  std::lock_guard<std::mutex> g(mu_);
-  stats_ = SinglePageRecoveryStats();
+  for (StatShard& shard : shards_) {
+    std::lock_guard<std::mutex> g(shard.mu);
+    shard.s = SinglePageRecoveryStats();
+  }
+  std::lock_guard<std::mutex> g(last_mu_);
+  last_chain_length_ = 0;
+  last_sim_ns_ = 0;
+  last_backup_kind_ = BackupKind::kNone;
 }
 
 // --- PageLSN cross-check ----------------------------------------------------------

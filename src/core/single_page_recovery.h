@@ -14,9 +14,17 @@
 //      the affected transaction merely waited — no abort.
 // If anything fails, the error escalates (the caller treats it as a media
 // failure, exactly the paper's fallback).
+//
+// Concurrency: the repair procedure itself only touches thread-safe
+// components (PRI, log, backups, device), so many repairs may run at
+// once. The cumulative counters are sharded by page id so concurrent
+// repairs do not serialize on one stats mutex; the RecoveryScheduler
+// drives the sharded pieces (LoadBackupImage / ReplayChain / FinishRepair)
+// directly when it repairs a whole batch of pages coordinately.
 
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <mutex>
 
@@ -56,15 +64,65 @@ class SinglePageRecovery : public PageRepairer {
   /// Rebuilds page `id` into `frame` from its backup plus the per-page
   /// log chain, then writes the healed image back to the device (healing
   /// transient faults in place). Returns MediaFailure when escalation is
-  /// the only option.
+  /// the only option. Thread-safe; concurrent repairs of distinct pages
+  /// proceed in parallel.
   Status RepairPage(PageId id, char* frame) override;
 
-  SinglePageRecoveryStats stats() const;
+  // --- building blocks for the batched RecoveryScheduler ---------------------
+  //
+  // Each accumulates its I/O counters into `*acc` (a caller-local stats
+  // struct) instead of the shared shards; the caller merges once with
+  // MergeStats. This keeps a batch's worth of repairs off any shared lock.
+
+  /// PRI lookup; MediaFailure if the index knows nothing about the page.
+  StatusOr<PriEntry> LookupEntry(PageId id) const;
+
+  /// Step 2: fetches the most recent backup image of `id` into `frame`.
+  Status LoadBackupImage(PageId id, const PriEntry& entry, char* frame,
+                         SinglePageRecoveryStats* acc);
+
+  /// Steps 3-4: walks and replays the per-page chain (per-record random
+  /// log reads — the serial baseline the batched scheduler improves on).
+  Status ReplayChain(PageId id, const PriEntry& entry, char* frame,
+                     SinglePageRecoveryStats* acc);
+
+  /// Step 4 alone: pops a collected chain (newest-first LIFO) and applies
+  /// the redo actions with the defensive redo-sequence check. Consumes
+  /// `*chain`. Shared by ReplayChain and the scheduler's batched walk so
+  /// serial and batched repair can never diverge here.
+  Status ApplyChain(std::vector<LogRecord>* chain, char* frame,
+                    SinglePageRecoveryStats* acc);
+
+  /// Figure 10's escalation wrap: any non-media failure becomes a
+  /// MediaFailure naming the page.
+  static Status Escalate(PageId id, const Status& s);
+
+  /// Step 5: verifies the recovered image against the PRI target LSN and
+  /// heals the stored copy (device write-back).
+  Status FinishRepair(PageId id, const PriEntry& entry, char* frame,
+                      SinglePageRecoveryStats* acc);
+
+  /// Adds a batch-local accumulator into the shard owning `shard_key`.
+  void MergeStats(const SinglePageRecoveryStats& acc, PageId shard_key);
+
+  /// Publishes the "most recent successful repair" snapshot.
+  void NoteLastRepair(uint64_t chain_length, uint64_t sim_ns, BackupKind kind);
+
+  SinglePageRecoveryStats stats() const;  ///< aggregated over all shards
   void ResetStats();
 
+  PriManager* pri_manager() const { return pri_manager_; }
+  LogManager* log() const { return log_; }
+  SimDevice* data_device() const { return data_device_; }
+  SimClock* clock() const { return clock_; }
+  uint32_t page_size() const { return page_size_; }
+
  private:
-  Status LoadBackupImage(PageId id, const PriEntry& entry, char* frame);
-  Status ReplayChain(PageId id, const PriEntry& entry, char* frame);
+  static constexpr size_t kStatShards = 8;
+  struct alignas(64) StatShard {
+    mutable std::mutex mu;
+    SinglePageRecoveryStats s;
+  };
 
   PriManager* const pri_manager_;
   LogManager* const log_;
@@ -73,8 +131,11 @@ class SinglePageRecovery : public PageRepairer {
   SimClock* const clock_;
   const uint32_t page_size_;
 
-  mutable std::mutex mu_;
-  SinglePageRecoveryStats stats_;
+  StatShard shards_[kStatShards];
+  mutable std::mutex last_mu_;  // guards only the last_* snapshot
+  uint64_t last_chain_length_ = 0;
+  uint64_t last_sim_ns_ = 0;
+  BackupKind last_backup_kind_ = BackupKind::kNone;
 };
 
 /// ReadVerifier implementation: the PageLSN-vs-PRI cross-check credited to

@@ -33,6 +33,12 @@ StatusOr<std::unique_ptr<Database>> Database::Create(DatabaseOptions options) {
 }
 
 void Database::BuildVolatileState() {
+  // The scrubber and scheduler reference everything below; take them down
+  // first (stopping any background sweep) before components are replaced.
+  if (scrubber_ != nullptr) scrubber_->Stop();
+  scrubber_.reset();
+  scheduler_.reset();
+
   log_ = std::make_unique<LogManager>(wal_.get());
   if (master_record_stash_ != kInvalidLsn) {
     log_->SetMasterRecord(master_record_stash_);
@@ -70,18 +76,42 @@ void Database::BuildVolatileState() {
                                               &clock_);
   cross_check_ = std::make_unique<PageLsnCrossCheck>(pri_manager_.get());
 
-  // Wire the hooks (Figure 8 read path; Figure 11 write path).
+  RecoverySchedulerOptions rs_opts;
+  rs_opts.num_workers = options_.recovery_workers;
+  rs_opts.batch_repair = options_.batch_repair;
+  scheduler_ = std::make_unique<RecoveryScheduler>(spr_.get(), rs_opts);
+
+  // Wire the hooks (Figure 8 read path; Figure 11 write path). All repair
+  // work — foreground read-path detections included — funnels through the
+  // scheduler.
   if (options_.tracking != WriteTrackingMode::kNone) {
     pool_->SetWriteCompletionListener(pri_manager_.get());
   }
+  bool repair_wired = false;
   if (options_.tracking == WriteTrackingMode::kPri) {
     if (options_.verify_on_read) {
       pool_->SetReadVerifier(cross_check_.get());
     }
     if (options_.enable_single_page_repair) {
-      pool_->SetPageRepairer(spr_.get());
+      pool_->SetPageRepairer(scheduler_.get());
+      repair_wired = true;
     }
   }
+
+  ScrubberOptions sc_opts;
+  sc_opts.pages_per_tick = options_.scrub_pages_per_tick;
+  sc_opts.interval_sim_ms =
+      static_cast<uint64_t>(options_.scrub_interval.count());
+  sc_opts.verify = options_.verify_on_read;
+  // Without the repair hook a detected failure escalates, matching the
+  // "traditional system" baseline of Figure 1.
+  sc_opts.repair = repair_wired;
+  scrubber_ = std::make_unique<Scrubber>(
+      scheduler_.get(), alloc_.get(), pool_.get(), data_.get(),
+      (options_.tracking == WriteTrackingMode::kPri && options_.verify_on_read)
+          ? cross_check_.get()
+          : nullptr,
+      &bbl_, layout_, &clock_, sc_opts);
 
   BTreeOptions bt;
   bt.verify_traversals = options_.verify_traversals;
@@ -249,21 +279,10 @@ StatusOr<MediaRecoveryStats> Database::RecoverMedia() {
   return stats;
 }
 
-StatusOr<ScrubStats> Database::Scrub() {
-  ScrubStats stats;
-  BufferPoolStats before = pool_->stats();
-  for (PageId p = 0; p < options_.num_pages; ++p) {
-    if (!alloc_->IsAllocated(p)) continue;
-    if (layout_.IsPriPage(p)) continue;  // PRI pages are not pool pages
-    if (bbl_.Contains(p)) continue;      // retired locations are not data
-    auto guard = pool_->FixPage(p, LatchMode::kShared);
-    stats.pages_scanned++;
-    if (!guard.ok()) return guard.status();  // unrepairable: escalate
-  }
-  BufferPoolStats after = pool_->stats();
-  stats.failures_detected = after.verify_failures - before.verify_failures;
-  stats.pages_repaired = after.repairs_succeeded - before.repairs_succeeded;
-  return stats;
+StatusOr<ScrubStats> Database::Scrub() { return scrubber_->SweepAll(); }
+
+StatusOr<BatchRepairResult> Database::RepairPages(std::vector<PageId> pages) {
+  return scheduler_->RepairBatch(std::move(pages));
 }
 
 Status Database::CheckOffline(uint64_t* pages_checked) {

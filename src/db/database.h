@@ -31,6 +31,8 @@
 #include "buffer/buffer_pool.h"
 #include "common/sim_clock.h"
 #include "core/pri_manager.h"
+#include "core/recovery_scheduler.h"
+#include "core/scrubber.h"
 #include "core/single_page_recovery.h"
 #include "log/log_manager.h"
 #include "recovery/checkpoint.h"
@@ -67,13 +69,24 @@ struct DatabaseOptions {
   /// baseline of Figure 1.
   bool enable_single_page_repair = true;
 
-  std::chrono::milliseconds lock_timeout{200};
-};
+  // --- recovery scheduler / scrubber knobs ------------------------------------
 
-struct ScrubStats {
-  uint64_t pages_scanned = 0;
-  uint64_t failures_detected = 0;
-  uint64_t pages_repaired = 0;
+  /// Worker threads the RecoveryScheduler fans batched repairs out to
+  /// (0 = repair inline on the requesting thread).
+  uint32_t recovery_workers = 4;
+  /// Coordinated batch repair: failed pages are grouped by backup source
+  /// and overlapping log-chain ranges, and shared log segments are read
+  /// once per batch instead of once per page. When false, a batch
+  /// degrades to serial per-page repair (bench E8's baseline axis).
+  bool batch_repair = true;
+  /// Background scrubber cadence in SIMULATED time: a started scrubber
+  /// (scrubber()->Start()) re-sweeps `scrub_pages_per_tick` pages whenever
+  /// this much simulated time has passed. Zero ticks continuously.
+  std::chrono::milliseconds scrub_interval{0};
+  /// Page budget per background scrub tick (the incremental quantum).
+  uint64_t scrub_pages_per_tick = 256;
+
+  std::chrono::milliseconds lock_timeout{200};
 };
 
 /// One database instance over simulated storage. Thread-safe for
@@ -129,10 +142,18 @@ class Database {
   /// log; aborts all active transactions first (section 5.1.3).
   StatusOr<MediaRecoveryStats> RecoverMedia();
 
-  /// Reads and verifies every allocated page THROUGH the repair path:
-  /// detected single-page failures are repaired inline ("disk scrubbing"
-  /// with automatic repair).
+  /// Synchronous whole-database scrub: reads and verifies every allocated
+  /// page against the device and repairs every detected single-page
+  /// failure as ONE coordinated batch through the RecoveryScheduler
+  /// ("disk scrubbing" with automatic repair). Thin wrapper over
+  /// scrubber()->SweepAll(); use scrubber()->Start() for the incremental
+  /// background variant.
   StatusOr<ScrubStats> Scrub();
+
+  /// Batched repair of an explicit set of failed pages (multi-page
+  /// failure bursts, escalation paths, benches). Pages the scheduler
+  /// cannot repair are reported in the result, not thrown.
+  StatusOr<BatchRepairResult> RepairPages(std::vector<PageId> pages);
 
   /// Offline verification utility (section 2 DBCC analog): reads every
   /// allocated page once directly from the device, verifies in-page
@@ -156,6 +177,8 @@ class Database {
   PriManager* pri_manager() { return pri_manager_.get(); }
   PageRecoveryIndex* pri() { return pri_index_.get(); }
   SinglePageRecovery* single_page_recovery() { return spr_.get(); }
+  RecoveryScheduler* recovery_scheduler() { return scheduler_.get(); }
+  Scrubber* scrubber() { return scrubber_.get(); }
   PageLsnCrossCheck* cross_check() { return cross_check_.get(); }
   const DatabaseOptions& options() const { return options_; }
 
@@ -205,6 +228,9 @@ class Database {
   std::unique_ptr<SinglePageRecovery> spr_;
   std::unique_ptr<PageLsnCrossCheck> cross_check_;
   std::unique_ptr<BTree> tree_;
+  // Declared after (so destroyed before) the components they drive.
+  std::unique_ptr<RecoveryScheduler> scheduler_;
+  std::unique_ptr<Scrubber> scrubber_;
   PriLayout layout_;
   Lsn master_record_stash_ = kInvalidLsn;  // survives crash (stable storage)
 };

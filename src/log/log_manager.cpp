@@ -1,5 +1,7 @@
 #include "log/log_manager.h"
 
+#include <algorithm>
+
 #include "common/coding.h"
 
 namespace spf {
@@ -121,6 +123,64 @@ void LogManager::Iterator::Next() {
 
 LogManager::Iterator LogManager::Scan(Lsn start, Lsn end) const {
   return Iterator(this, start, end == kInvalidLsn ? tail_lsn() : end);
+}
+
+Status LogManager::ReadRaw(uint64_t offset, uint64_t n, char* out) const {
+  return device_->ReadAt(offset, n, out);
+}
+
+// ---------------------------------------------------------------------------
+
+LogSegmentReader::LogSegmentReader(const LogManager* log,
+                                   uint64_t segment_bytes)
+    : log_(log), segment_bytes_(std::max<uint64_t>(segment_bytes, 4096)) {}
+
+Status LogSegmentReader::Fetch(uint64_t begin, uint64_t end) {
+  uint64_t tail = log_->tail_lsn();
+  if (end > tail) {
+    return Status::InvalidArgument("log segment read past tail");
+  }
+  // Place the window so `end` sits at its high edge: descending chain
+  // walks then keep hitting the buffer until they leave the segment.
+  uint64_t want = std::max(end - begin, segment_bytes_);
+  uint64_t start = end >= want ? end - want : 0;
+  start = std::min(start, begin);
+  uint64_t len = std::min(tail, start + want) - start;
+  buf_.resize(len);
+  SPF_RETURN_IF_ERROR(log_->ReadRaw(start, len, buf_.data()));
+  buf_start_ = start;
+  segment_fetches_++;
+  return Status::OK();
+}
+
+StatusOr<LogRecord> LogSegmentReader::Read(Lsn lsn) {
+  if (lsn < log_->first_lsn()) {
+    return Status::InvalidArgument("lsn before start of log");
+  }
+  if (lsn < buf_start_ || lsn + 4 > buf_start_ + buf_.size()) {
+    // Extend the window a typical record's length past `lsn` so the whole
+    // record usually lands in this one fetch (the refetch below is then
+    // only for records longer than the peek).
+    uint64_t peek = std::min<uint64_t>(kRecordPeekBytes, segment_bytes_);
+    uint64_t end = std::min(log_->tail_lsn(), lsn + peek);
+    if (end < lsn + 4) {
+      return Status::InvalidArgument("log segment read past tail");
+    }
+    SPF_RETURN_IF_ERROR(Fetch(lsn, end));
+  }
+  uint32_t total = DecodeFixed32(buf_.data() + (lsn - buf_start_));
+  if (total < kLogRecordHeaderSize || total > 64u * 1024 * 1024) {
+    return Status::Corruption("implausible log record length");
+  }
+  if (lsn + total > buf_start_ + buf_.size()) {
+    SPF_RETURN_IF_ERROR(Fetch(lsn, lsn + total));
+  }
+  SPF_ASSIGN_OR_RETURN(
+      LogRecord rec,
+      ParseLogRecord(std::string_view(buf_.data() + (lsn - buf_start_), total)));
+  rec.lsn = lsn;
+  records_served_++;
+  return rec;
 }
 
 }  // namespace spf
