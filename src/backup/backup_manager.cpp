@@ -70,6 +70,31 @@ StatusOr<uint64_t> BackupManager::RestoreFullBackup(BackupId backup,
   return data_pages_;
 }
 
+StatusOr<uint64_t> BackupManager::ReadPagesFromFullBackup(
+    BackupId backup, const std::vector<PageId>& pages, char* const* frames) {
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    if (!full_backup_ || full_backup_->id != backup) {
+      return Status::NotFound("full backup not available");
+    }
+    for (size_t i = 0; i < pages.size(); ++i) {
+      if (pages[i] >= data_pages_) {
+        return Status::InvalidArgument("page out of range");
+      }
+      if (i > 0 && pages[i] <= pages[i - 1]) {
+        return Status::InvalidArgument("pages must be ascending");
+      }
+    }
+    stats_.backup_reads += pages.size();
+  }
+  uint64_t runs = 0;
+  for (size_t i = 0; i < pages.size(); ++i) {
+    if (i == 0 || pages[i] != pages[i - 1] + 1) runs++;
+    SPF_RETURN_IF_ERROR(backup_device_->ReadPage(pages[i], frames[i]));
+  }
+  return runs;
+}
+
 StatusOr<PageId> BackupManager::TakePageBackup(PageId id,
                                                const char* page_data) {
   PageId new_slot;

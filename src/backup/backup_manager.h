@@ -88,6 +88,16 @@ class BackupManager {
   /// `target` (media recovery, section 5.1.3). Returns pages restored.
   StatusOr<uint64_t> RestoreFullBackup(BackupId backup, SimDevice* target);
 
+  /// Reads each page of `pages` (ascending, deduplicated) from full backup
+  /// `backup` into `frames[i]`. Runs of consecutive ids cost sequential
+  /// backup I/O, so a bounded damaged set is read as a handful of
+  /// sequential range scans instead of scattered point reads — the access
+  /// pattern of partial media restore ("instant restore", Sauer et al.).
+  /// Returns the number of contiguous runs (sequential read streams).
+  StatusOr<uint64_t> ReadPagesFromFullBackup(BackupId backup,
+                                             const std::vector<PageId>& pages,
+                                             char* const* frames);
+
   // --- per-page backup copies -------------------------------------------------
 
   /// Stores a copy of `page_data` for data page `id` on the backup device.

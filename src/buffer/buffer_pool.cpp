@@ -200,12 +200,17 @@ StatusOr<PageGuard> BufferPool::FixPage(PageId id, LatchMode mode) {
   SPF_ASSIGN_OR_RETURN(size_t index, FindVictim(&lock));
   Frame* f = frames_[index].get();
   // Reserve the frame under the pool mutex so concurrent fixes of the same
-  // page wait on the latch rather than double-loading.
+  // page wait on the latch rather than double-loading. The victim had
+  // pin_count 0 and every latch holder also holds a pin (guards,
+  // FlushPage, FindVictim's write-back), so the latch is necessarily
+  // free: try_lock cannot fail, and never blocking here keeps the
+  // mutex-then-latch order deadlock-free (write-back holds the latch
+  // while taking the mutex).
   f->page_id = id;
   f->pin_count++;
   f->referenced = true;
   page_table_[id] = index;
-  f->latch.lock();  // exclusive during load
+  SPF_CHECK(f->latch.try_lock()) << "victim frame latched without a pin";
   lock.unlock();
 
   Status s = LoadPage(id, f);
@@ -236,7 +241,8 @@ StatusOr<PageGuard> BufferPool::FixNewPage(PageId id) {
   f->referenced = true;
   page_table_[id] = index;
   std::memset(f->data.get(), 0, options_.page_size);
-  f->latch.lock();
+  // Free for the same reason as in FixPage: no pin, no latch holder.
+  SPF_CHECK(f->latch.try_lock()) << "victim frame latched without a pin";
   return PageGuard(this, index, id, LatchMode::kExclusive);
 }
 
@@ -332,6 +338,19 @@ bool BufferPool::IsDirty(PageId id) const {
   std::lock_guard<std::mutex> g(mu_);
   auto it = page_table_.find(id);
   return it != page_table_.end() && frames_[it->second]->dirty;
+}
+
+std::optional<Lsn> BufferPool::CachedPageLsn(PageId id) const {
+  std::lock_guard<std::mutex> g(mu_);
+  auto it = page_table_.find(id);
+  if (it == page_table_.end()) return std::nullopt;
+  Frame* f = frames_[it->second].get();
+  // try_lock only: never block a scrub scan on a latch, and never invert
+  // the latch-before-mutex order of the fix path (try never waits).
+  if (!f->latch.try_lock_shared()) return kInvalidLsn;  // in flux
+  Lsn lsn = PageView(f->data.get(), options_.page_size).page_lsn();
+  f->latch.unlock_shared();
+  return lsn;
 }
 
 BufferPoolStats BufferPool::stats() const {

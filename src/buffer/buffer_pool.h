@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <shared_mutex>
 #include <unordered_map>
 #include <vector>
@@ -181,6 +182,13 @@ class BufferPool {
 
   bool IsCached(PageId id) const;
   bool IsDirty(PageId id) const;
+
+  /// Best-effort PageLSN of the cached frame for `id`. Returns nullopt
+  /// when the page is not cached; returns kInvalidLsn when the frame is
+  /// exclusively latched (contents in flux). Never blocks. Used by the
+  /// scrubber to tell a transiently stale device image (write-back racing
+  /// the scan) from a genuinely damaged page.
+  std::optional<Lsn> CachedPageLsn(PageId id) const;
 
   BufferPoolStats stats() const;
   void ResetStats();

@@ -33,6 +33,21 @@ StatusOr<PriEntry> PageRecoveryIndex::Lookup(PageId id) const {
   return r->entry;
 }
 
+StatusOr<PriEntry> PageRecoveryIndex::LookupAnchor(PageId id) const {
+  std::lock_guard<std::mutex> g(mu_);
+  stats_.lookups++;
+  if (id >= num_pages_) return Status::InvalidArgument("page out of range");
+  const Window& w = windows_[WindowOf(id)];
+  const RangeEntry* r = FindLocked(w, id);
+  if (r == nullptr || (r->entry.backup.kind == BackupKind::kNone &&
+                       r->entry.last_lsn == kInvalidLsn)) {
+    stats_.lookup_misses++;
+    return Status::NotFound("no recovery information for page " +
+                            std::to_string(id));
+  }
+  return r->entry;
+}
+
 void PageRecoveryIndex::SetPointLocked(PageId id, const PriEntry& entry) {
   Window& w = windows_[WindowOf(id)];
   w.dirty = true;

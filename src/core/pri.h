@@ -101,6 +101,13 @@ class PageRecoveryIndex {
   /// (BackupKind::kNone territory — forces escalation to media recovery).
   StatusOr<PriEntry> Lookup(PageId id) const;
 
+  /// Like Lookup, but tolerates a LOST backup reference: returns the
+  /// entry as long as the index still holds the per-page chain anchor
+  /// (last_lsn), even when backup.kind is kNone. Partial media restore
+  /// uses this — it sources images from the full backup, so only the
+  /// chain anchor matters. NotFound when the index has nothing at all.
+  StatusOr<PriEntry> LookupAnchor(PageId id) const;
+
   /// Records a completed write of `id` at `page_lsn` (the PriUpdate's
   /// effect on the index).
   void RecordWrite(PageId id, Lsn page_lsn);

@@ -120,6 +120,18 @@ struct RecoveryScheduler::PageTask {
     if (status.ok()) status = std::move(s);
     done = true;
   }
+
+  /// Sets the chain-walk cursor once `frame` holds the backup image whose
+  /// PageLSN is `backup`. A page not updated since that image skips the
+  /// walk entirely.
+  void SetChainTarget(Lsn backup) {
+    backup_lsn = backup;
+    if (entry.last_lsn == kInvalidLsn || entry.last_lsn <= backup) {
+      next_lsn = kInvalidLsn;
+    } else {
+      next_lsn = entry.last_lsn;
+    }
+  }
 };
 
 // --- scheduler --------------------------------------------------------------
@@ -158,32 +170,52 @@ void RecoveryScheduler::ResetStats() {
   stats_ = RecoverySchedulerStats();
 }
 
+std::vector<RecoveryScheduler::PageTask> RecoveryScheduler::PrepareBatch(
+    std::vector<PageId>* pages, bool* batched) {
+  std::sort(pages->begin(), pages->end());
+  pages->erase(std::unique(pages->begin(), pages->end()), pages->end());
+
+  std::vector<PageTask> tasks(pages->size());
+  for (size_t i = 0; i < pages->size(); ++i) {
+    tasks[i].id = (*pages)[i];
+    tasks[i].acc.repairs_attempted++;
+  }
+
+  std::lock_guard<std::mutex> g(stats_mu_);
+  stats_.batches++;
+  stats_.pages_requested += pages->size();
+  if (batched != nullptr) *batched = options_.batch_repair;
+  return tasks;
+}
+
 StatusOr<BatchRepairResult> RecoveryScheduler::RepairBatch(
     std::vector<PageId> pages) {
   std::lock_guard<std::mutex> batch_guard(batch_mu_);
 
-  std::sort(pages.begin(), pages.end());
-  pages.erase(std::unique(pages.begin(), pages.end()), pages.end());
-
-  std::vector<PageTask> tasks(pages.size());
-  for (size_t i = 0; i < pages.size(); ++i) {
-    tasks[i].id = pages[i];
-    tasks[i].acc.repairs_attempted++;
-  }
-
   bool batched;
-  {
-    std::lock_guard<std::mutex> g(stats_mu_);
-    stats_.batches++;
-    stats_.pages_requested += pages.size();
-    batched = options_.batch_repair;
-  }
-
+  std::vector<PageTask> tasks = PrepareBatch(&pages, &batched);
   BatchRepairResult result =
       batched ? RepairBatched(&tasks) : RepairSerial(&tasks);
 
   {
     std::lock_guard<std::mutex> g(stats_mu_);
+    stats_.pages_repaired += result.repaired;
+    stats_.pages_failed += result.failed;
+  }
+  return result;
+}
+
+StatusOr<BatchRepairResult> RecoveryScheduler::RepairBatchFromBackup(
+    std::vector<PageId> pages, BackupId backup,
+    PartialRestoreBreakdown* breakdown) {
+  std::lock_guard<std::mutex> batch_guard(batch_mu_);
+
+  std::vector<PageTask> tasks = PrepareBatch(&pages, nullptr);
+  BatchRepairResult result = RestoreBatched(&tasks, backup, breakdown);
+
+  {
+    std::lock_guard<std::mutex> g(stats_mu_);
+    stats_.partial_restores++;
     stats_.pages_repaired += result.repaired;
     stats_.pages_failed += result.failed;
   }
@@ -209,19 +241,17 @@ BatchRepairResult RecoveryScheduler::RepairSerial(
   return result;
 }
 
-BatchRepairResult RecoveryScheduler::RepairBatched(
-    std::vector<PageTask>* tasks) {
-  SimTimer timer(spr_->clock());
-  const uint32_t page_size = spr_->page_size();
+void RecoveryScheduler::LookupPhase(std::vector<PageTask>* tasks,
+                                    bool anchor_only) {
   // Spawn the worker threads on first batched use only: most Database
   // instances (tests, crash/restart cycles) never repair a batch.
   if (workers_ == nullptr) {
     workers_ = std::make_unique<WorkerPool>(options_.num_workers);
   }
-
-  // --- phase 0: PRI lookups (in-memory) -------------------------------------
+  const uint32_t page_size = spr_->page_size();
   for (PageTask& task : *tasks) {
-    auto entry_or = spr_->LookupEntry(task.id);
+    auto entry_or = anchor_only ? spr_->LookupChainAnchor(task.id)
+                                : spr_->LookupEntry(task.id);
     if (!entry_or.ok()) {
       task.Fail(entry_or.status());
       continue;
@@ -229,6 +259,15 @@ BatchRepairResult RecoveryScheduler::RepairBatched(
     task.entry = *entry_or;
     task.frame = std::make_unique<char[]>(page_size);
   }
+}
+
+BatchRepairResult RecoveryScheduler::RepairBatched(
+    std::vector<PageTask>* tasks) {
+  SimTimer timer(spr_->clock());
+  const uint32_t page_size = spr_->page_size();
+
+  // --- phase 0: PRI lookups (in-memory) -------------------------------------
+  LookupPhase(tasks, /*anchor_only=*/false);
 
   // --- phase 1: backup loads, grouped by backup source ----------------------
   // Pages restored from the same source are read in ascending location
@@ -269,19 +308,116 @@ BatchRepairResult RecoveryScheduler::RepairBatched(
         task.Fail(std::move(s));
         continue;
       }
-      PageView page(task.frame.get(), page_size);
-      task.backup_lsn = page.page_lsn();
-      if (task.entry.last_lsn == kInvalidLsn ||
-          task.entry.last_lsn <= task.backup_lsn) {
-        // Not updated since the backup; skip the chain walk.
-        task.next_lsn = kInvalidLsn;
-      } else {
-        task.next_lsn = task.entry.last_lsn;
-      }
+      task.SetChainTarget(PageView(task.frame.get(), page_size).page_lsn());
     }
   });
+  {
+    std::lock_guard<std::mutex> g(stats_mu_);
+    stats_.backup_groups += groups.size();
+  }
 
   // --- phase 2: coordinated chain walk over shared log segments -------------
+  WalkClusters(tasks, nullptr);
+
+  // --- phase 3: apply chains + verify + heal, fanned out --------------------
+  ApplyPhase(tasks);
+
+  return CollectOutcomes(tasks, timer);
+}
+
+BatchRepairResult RecoveryScheduler::RestoreBatched(
+    std::vector<PageTask>* tasks, BackupId backup,
+    PartialRestoreBreakdown* breakdown) {
+  SimTimer timer(spr_->clock());
+  const uint32_t page_size = spr_->page_size();
+  PartialRestoreBreakdown local;
+  PartialRestoreBreakdown* bd = breakdown != nullptr ? breakdown : &local;
+
+  LookupPhase(tasks, /*anchor_only=*/true);
+
+  // --- restore phase: sequential range reads of the damaged set -------------
+  // Any per-page reference (individual copy, in-log image, format record)
+  // is NEWER than the full backup — the index collapses to kFullBackup at
+  // every OnFullBackup — and for a page born after the backup it is the
+  // ONLY valid source: the page's full-backup slot holds pre-birth bytes.
+  // Those load per-page. Pages still covered by the backup (kFullBackup)
+  // and pages whose reference was LOST (kNone — where RepairBatch has to
+  // escalate) take the sequential range read of the full backup.
+  SimTimer restore_timer(spr_->clock());
+  std::vector<size_t> from_backup;
+  std::vector<size_t> from_per_page;
+  for (size_t i = 0; i < tasks->size(); ++i) {
+    if ((*tasks)[i].done) continue;
+    BackupKind kind = (*tasks)[i].entry.backup.kind;
+    if (kind == BackupKind::kFullBackup || kind == BackupKind::kNone) {
+      from_backup.push_back(i);
+    } else {
+      from_per_page.push_back(i);
+    }
+  }
+  if (!from_backup.empty()) {
+    // Tasks are in ascending id order (PrepareBatch sorted the pages), so
+    // the backup is read in one ascending pass of sequential runs. Runs
+    // one thread: fanning ranges out would break the access pattern.
+    std::vector<PageId> ids;
+    std::vector<char*> frames;
+    for (size_t idx : from_backup) {
+      ids.push_back((*tasks)[idx].id);
+      frames.push_back((*tasks)[idx].frame.get());
+    }
+    auto runs_or =
+        spr_->backups()->ReadPagesFromFullBackup(backup, ids, frames.data());
+    if (!runs_or.ok()) {
+      for (size_t idx : from_backup) (*tasks)[idx].Fail(runs_or.status());
+    } else {
+      bd->backup_runs += *runs_or;
+      for (size_t idx : from_backup) {
+        PageTask& task = (*tasks)[idx];
+        task.acc.backup_reads++;
+        task.acc.last_backup_kind = BackupKind::kFullBackup;
+        PageView page(task.frame.get(), page_size);
+        Status s = page.Verify(task.id);
+        if (!s.ok()) {
+          task.Fail(std::move(s));
+          continue;
+        }
+        bd->backup_pages_loaded++;
+        task.SetChainTarget(page.page_lsn());
+      }
+    }
+  }
+  if (!from_per_page.empty()) {
+    workers_->ParallelFor(from_per_page.size(), [&](size_t i) {
+      PageTask& task = (*tasks)[from_per_page[i]];
+      Status s = spr_->LoadBackupImage(task.id, task.entry, task.frame.get(),
+                                       &task.acc);
+      if (!s.ok()) {
+        task.Fail(std::move(s));
+        return;
+      }
+      task.SetChainTarget(PageView(task.frame.get(), page_size).page_lsn());
+    });
+    for (size_t idx : from_per_page) {
+      if ((*tasks)[idx].status.ok()) bd->per_page_loads++;
+    }
+  }
+  bd->restore_sim_seconds = restore_timer.ElapsedSeconds();
+
+  // --- replay phase: shared-segment cluster walk + apply + heal -------------
+  SimTimer replay_timer(spr_->clock());
+  WalkClusters(tasks, &bd->segment_fetches);
+  ApplyPhase(tasks);
+  bd->replay_sim_seconds = replay_timer.ElapsedSeconds();
+
+  BatchRepairResult result = CollectOutcomes(tasks, timer);
+  for (const PageTask& task : *tasks) {
+    bd->records_applied += task.acc.log_records_applied;
+  }
+  return result;
+}
+
+size_t RecoveryScheduler::WalkClusters(std::vector<PageTask>* tasks,
+                                       uint64_t* fetches) {
   // Cluster pages whose chain ranges (backup_lsn, target] overlap; each
   // cluster is walked once, popping records in descending LSN order so
   // every shared log segment is fetched exactly once.
@@ -299,6 +435,7 @@ BatchRepairResult RecoveryScheduler::RepairBatched(
   std::sort(ranges.begin(), ranges.end(),
             [](const Range& a, const Range& b) { return a.lo < b.lo; });
   size_t cluster_count = 0;
+  uint64_t total_fetches = 0;
   size_t pos = 0;
   while (pos < ranges.size()) {
     std::vector<size_t> members{ranges[pos].idx};
@@ -309,12 +446,20 @@ BatchRepairResult RecoveryScheduler::RepairBatched(
       members.push_back(ranges[end].idx);
       end++;
     }
-    WalkCluster(tasks, members);
+    total_fetches += WalkCluster(tasks, members);
     cluster_count++;
     pos = end;
   }
+  if (fetches != nullptr) *fetches += total_fetches;
+  {
+    std::lock_guard<std::mutex> g(stats_mu_);
+    stats_.chain_clusters += cluster_count;
+    stats_.segment_fetches += total_fetches;
+  }
+  return cluster_count;
+}
 
-  // --- phase 3: apply chains + verify + heal, fanned out --------------------
+void RecoveryScheduler::ApplyPhase(std::vector<PageTask>* tasks) {
   workers_->ParallelFor(tasks->size(), [&](size_t i) {
     PageTask& task = (*tasks)[i];
     if (task.done) return;
@@ -325,8 +470,10 @@ BatchRepairResult RecoveryScheduler::RepairBatched(
     }
     if (!s.ok()) task.Fail(std::move(s));
   });
+}
 
-  // --- collect outcomes, merge stats ----------------------------------------
+BatchRepairResult RecoveryScheduler::CollectOutcomes(
+    std::vector<PageTask>* tasks, const SimTimer& timer) {
   // The batch shares one clock, so per-page timing is not separable;
   // publish the amortized per-page cost as the last-repair snapshot.
   BatchRepairResult result;
@@ -348,16 +495,11 @@ BatchRepairResult RecoveryScheduler::RepairBatched(
     }
     spr_->MergeStats(task.acc, task.id);
   }
-  {
-    std::lock_guard<std::mutex> g(stats_mu_);
-    stats_.backup_groups += groups.size();
-    stats_.chain_clusters += cluster_count;
-  }
   return result;
 }
 
-void RecoveryScheduler::WalkCluster(std::vector<PageTask>* tasks,
-                                    const std::vector<size_t>& members) {
+uint64_t RecoveryScheduler::WalkCluster(std::vector<PageTask>* tasks,
+                                        const std::vector<size_t>& members) {
   // Max-heap over every member's next chain pointer: records pop in
   // globally descending LSN order, so the segment reader's window slides
   // monotonically backward through the log and fetches each segment once.
@@ -401,10 +543,7 @@ void RecoveryScheduler::WalkCluster(std::vector<PageTask>* tasks,
   if (!members.empty()) {
     (*tasks)[members.front()].acc.log_reads += reader.segment_fetches();
   }
-  {
-    std::lock_guard<std::mutex> g(stats_mu_);
-    stats_.segment_fetches += reader.segment_fetches();
-  }
+  return reader.segment_fetches();
 }
 
 }  // namespace spf

@@ -59,6 +59,22 @@ struct RecoverySchedulerStats {
   uint64_t chain_clusters = 0;      ///< overlapping-log-range clusters walked
   uint64_t segment_fetches = 0;     ///< shared log segment reads
   uint64_t single_repairs = 0;      ///< foreground (read-path) repairs
+  uint64_t partial_restores = 0;    ///< RepairBatchFromBackup invocations
+};
+
+/// Phase breakdown of one RepairBatchFromBackup call (feeds the partial
+/// rows of MediaRecoveryStats).
+struct PartialRestoreBreakdown {
+  uint64_t backup_pages_loaded = 0;  ///< images read from the full backup
+  uint64_t backup_runs = 0;          ///< sequential backup read streams
+  /// Images loaded from a per-page source newer than the full backup
+  /// (individual copy, in-log image, or format record — the latter being
+  /// the only source for a page born after the backup).
+  uint64_t per_page_loads = 0;
+  uint64_t records_applied = 0;      ///< chain records replayed
+  uint64_t segment_fetches = 0;      ///< shared log segment reads
+  double restore_sim_seconds = 0;    ///< backup-read / rebuild phase
+  double replay_sim_seconds = 0;     ///< chain walk + apply + heal phase
 };
 
 struct PageRepairOutcome {
@@ -89,6 +105,21 @@ class RecoveryScheduler : public PageRepairer {
   /// Thread-safe; concurrent batches are serialized.
   StatusOr<BatchRepairResult> RepairBatch(std::vector<PageId> pages);
 
+  /// Partial media restore (the "instant restore" bridge between the
+  /// single-page path and full media recovery): repairs `pages` by reading
+  /// every page whose latest image source is full backup `backup` — or
+  /// whose PRI backup reference was LOST (BackupKind::kNone, where
+  /// RepairBatch must escalate) — with sequential scans of just the
+  /// damaged id ranges; pages with a newer per-page source (individual
+  /// copy, in-log image, or the format record of a page born after the
+  /// backup, which the backup does not contain) load from that source
+  /// instead. All per-page chains are then replayed through one
+  /// shared-segment cluster walk. Always runs batched regardless of the
+  /// batch_repair toggle.
+  StatusOr<BatchRepairResult> RepairBatchFromBackup(
+      std::vector<PageId> pages, BackupId backup,
+      PartialRestoreBreakdown* breakdown = nullptr);
+
   /// Runtime toggle for the batched-vs-serial comparison (bench E8/E9).
   void set_batch_repair(bool on);
   bool batch_repair() const;
@@ -100,13 +131,35 @@ class RecoveryScheduler : public PageRepairer {
   struct PageTask;
   class WorkerPool;
 
+  /// Builds the deduplicated task list and bumps the request counters.
+  /// Caller must hold batch_mu_.
+  std::vector<PageTask> PrepareBatch(std::vector<PageId>* pages, bool* batched);
+
   BatchRepairResult RepairSerial(std::vector<PageTask>* tasks);
   BatchRepairResult RepairBatched(std::vector<PageTask>* tasks);
+  BatchRepairResult RestoreBatched(std::vector<PageTask>* tasks,
+                                   BackupId backup,
+                                   PartialRestoreBreakdown* breakdown);
+
+  /// Phase 0 (shared): PRI lookups + frame allocation. `anchor_only`
+  /// (partial restore) tolerates entries whose backup reference was lost.
+  void LookupPhase(std::vector<PageTask>* tasks, bool anchor_only);
+  /// Phase 2 (shared): clusters overlapping chain ranges and walks each.
+  /// Adds this batch's segment fetch count to `*fetches` when non-null;
+  /// returns the number of clusters walked.
+  size_t WalkClusters(std::vector<PageTask>* tasks, uint64_t* fetches);
+  /// Phase 3 (shared): applies collected chains, verifies, heals.
+  void ApplyPhase(std::vector<PageTask>* tasks);
+  /// Outcome collection (shared): merges per-task stats, publishes the
+  /// amortized per-page cost, fills the result.
+  BatchRepairResult CollectOutcomes(std::vector<PageTask>* tasks,
+                                    const SimTimer& timer);
 
   /// Phase 2 core: walks one cluster of overlapping chains via a max-heap
   /// of per-page next pointers, reading shared log segments once each.
-  void WalkCluster(std::vector<PageTask>* tasks,
-                   const std::vector<size_t>& members);
+  /// Returns the cluster's segment fetch count.
+  uint64_t WalkCluster(std::vector<PageTask>* tasks,
+                       const std::vector<size_t>& members);
 
   SinglePageRecovery* const spr_;
   RecoverySchedulerOptions options_;

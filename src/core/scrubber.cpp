@@ -20,71 +20,100 @@ Scrubber::Scrubber(RecoveryScheduler* scheduler, PageAllocator* alloc,
 
 Scrubber::~Scrubber() { Stop(); }
 
-StatusOr<uint64_t> Scrubber::ScanLocked(uint64_t budget,
-                                        std::vector<PageId>* failed,
-                                        bool* wrapped) {
+Status Scrubber::ScanLocked(uint64_t budget, ScrubStats* stats,
+                            std::vector<PageId>* failed, bool* wrapped) {
   const uint64_t num_pages = device_->num_pages();
   const uint32_t page_size = device_->page_size();
   PageBuffer buf(page_size);
-  uint64_t scanned = 0;
   *wrapped = false;
 
-  for (uint64_t step = 0; step < num_pages && scanned < budget; ++step) {
+  for (uint64_t step = 0;
+       step < num_pages && stats->pages_scanned < budget && !*wrapped;
+       ++step) {
     PageId p = cursor_;
     cursor_++;
     if (cursor_ >= num_pages) {
       cursor_ = 0;
+      // One full pass per call at most: the bottom-of-loop check fires
+      // even when this wrap-around page is itself skipped below, so a
+      // tick can never run on into a second pass (and sweeps_completed
+      // counts exactly one pass per wrap).
       *wrapped = true;
     }
-    if (!alloc_->IsAllocated(p)) continue;
-    if (layout_.IsPriPage(p)) continue;  // PRI pages have their own recovery
-    if (bad_blocks_->Contains(p)) continue;  // retired locations are not data
-    // A dirty buffered copy makes the device image legitimately stale.
-    if (pool_->IsDirty(p)) continue;
+    const bool skip =
+        !alloc_->IsAllocated(p) ||
+        layout_.IsPriPage(p) ||        // PRI pages have their own recovery
+        bad_blocks_->Contains(p) ||    // retired locations are not data
+        pool_->IsDirty(p);  // a dirty buffered copy supersedes the device
+    if (skip) continue;
 
-    scanned++;
-    Status s = device_->ReadPage(p, buf.data());
-    if (s.IsMediaFailure()) return s;  // whole device gone: escalate now
-    if (s.ok() && options_.verify) {
+    stats->pages_scanned++;
+    Status rs = device_->ReadPage(p, buf.data());
+    if (rs.IsMediaFailure()) return rs;  // whole device gone: escalate now
+    Status vs = rs;
+    bool in_page_ok = false;
+    if (rs.ok() && options_.verify) {
       PageView page = buf.view();
-      s = page.Verify(p);
-      if (s.ok() && verifier_ != nullptr) {
-        s = verifier_->VerifyOnRead(page);
+      vs = page.Verify(p);
+      in_page_ok = vs.ok();
+      if (vs.ok() && verifier_ != nullptr) {
+        vs = verifier_->VerifyOnRead(page);
       }
     }
-    if (!s.ok()) failed->push_back(p);
-
-    if (*wrapped) break;  // one full pass per call at most
+    if (!vs.ok() && in_page_ok) {
+      // The image is internally consistent but failed the cross-check:
+      // either a genuinely stale page, or a write-back that completed
+      // between the dirty-check above and the device read (the ROADMAP
+      // TOCTOU). Re-check against the pool before declaring a failure: a
+      // newer (or exclusively latched, i.e. mid-write) buffered copy
+      // means the device image is a legitimate earlier state that the
+      // in-flight write overwrites — repairing it "backward" here would
+      // be wasted work.
+      std::optional<Lsn> cached = pool_->CachedPageLsn(p);
+      bool in_flux = pool_->IsDirty(p) ||
+                     (cached.has_value() &&
+                      (*cached == kInvalidLsn ||
+                       *cached >= buf.view().page_lsn()));
+      if (in_flux) {
+        stats->transient_skips++;
+        continue;
+      }
+    }
+    if (!vs.ok()) failed->push_back(p);
   }
-  return scanned;
+  return Status::OK();
 }
 
 StatusOr<ScrubStats> Scrubber::RunSpanLocked(uint64_t budget, bool is_tick) {
   ScrubStats stats;
   std::vector<PageId> failed;
   bool wrapped = false;
-  SPF_ASSIGN_OR_RETURN(stats.pages_scanned,
-                       ScanLocked(budget, &failed, &wrapped));
+  Status escalation = ScanLocked(budget, &stats, &failed, &wrapped);
   stats.failures_detected = failed.size();
 
-  Status escalation = Status::OK();
-  if (!failed.empty() && !options_.repair) {
+  if (escalation.ok() && !failed.empty() && !options_.repair) {
     escalation = Status::MediaFailure(
         "scrub detected a failed page (" + std::to_string(failed.front()) +
         ") and single-page repair is disabled (escalated)");
     std::lock_guard<std::mutex> g(totals_mu_);
     totals_.escalations += failed.size();
-  } else if (!failed.empty()) {
-    SPF_ASSIGN_OR_RETURN(BatchRepairResult repaired,
-                         scheduler_->RepairBatch(std::move(failed)));
-    stats.pages_repaired = repaired.repaired;
-    if (!repaired.failures.empty()) {
-      escalation = repaired.failures.front().status;
+  } else if (escalation.ok() && !failed.empty()) {
+    auto repaired_or = scheduler_->RepairBatch(std::move(failed));
+    if (repaired_or.ok()) {
+      stats.pages_repaired = repaired_or->repaired;
+      if (!repaired_or->failures.empty()) {
+        escalation = repaired_or->failures.front().status;
+      }
+      std::lock_guard<std::mutex> g(totals_mu_);
+      totals_.escalations += repaired_or->failed;
+    } else {
+      escalation = repaired_or.status();
     }
-    std::lock_guard<std::mutex> g(totals_mu_);
-    totals_.escalations += repaired.failed;
   }
 
+  // Record progress BEFORE surfacing any escalation: a whole-device
+  // failure mid-span must not silently drop the partially scanned pages
+  // or the tick from totals().
   {
     std::lock_guard<std::mutex> g(totals_mu_);
     if (is_tick) totals_.ticks++;
@@ -92,6 +121,7 @@ StatusOr<ScrubStats> Scrubber::RunSpanLocked(uint64_t budget, bool is_tick) {
     totals_.pages_scanned += stats.pages_scanned;
     totals_.failures_detected += stats.failures_detected;
     totals_.pages_repaired += stats.pages_repaired;
+    totals_.transient_skips += stats.transient_skips;
   }
   if (!escalation.ok()) return escalation;
   return stats;

@@ -37,6 +37,9 @@ struct ScrubStats {
   uint64_t pages_scanned = 0;
   uint64_t failures_detected = 0;
   uint64_t pages_repaired = 0;
+  /// Device images that failed only the cross-check while the pool held a
+  /// newer (or in-flux) copy: a write-back racing the scan, not damage.
+  uint64_t transient_skips = 0;
 };
 
 struct ScrubberOptions {
@@ -60,6 +63,7 @@ struct ScrubberTotals {
   uint64_t pages_scanned = 0;
   uint64_t failures_detected = 0;
   uint64_t pages_repaired = 0;
+  uint64_t transient_skips = 0;   ///< write-back races, not failures
   /// Escalation EVENTS: a page that stays unrepairable is re-detected and
   /// re-counted on every subsequent sweep until it is healed or retired.
   uint64_t escalations = 0;
@@ -93,11 +97,14 @@ class Scrubber {
   ScrubberTotals totals() const;
 
  private:
-  /// Scans up to `budget` pages from the cursor; appends failed ids.
-  /// Returns pages scanned; sets *wrapped when the cursor completed a
-  /// full pass. Caller holds sweep_mu_.
-  StatusOr<uint64_t> ScanLocked(uint64_t budget, std::vector<PageId>* failed,
-                                bool* wrapped);
+  /// Scans up to `budget` pages from the cursor, stopping at the wrap so
+  /// one call never exceeds one full pass; appends failed ids and fills
+  /// stats->pages_scanned / stats->transient_skips (kept valid even when
+  /// the scan aborts on a whole-device MediaFailure, so partial progress
+  /// is never lost). Sets *wrapped when the cursor completed a pass.
+  /// Caller holds sweep_mu_.
+  Status ScanLocked(uint64_t budget, ScrubStats* stats,
+                    std::vector<PageId>* failed, bool* wrapped);
   /// Scan + batch-repair + totals for one span (a tick or a full sweep).
   StatusOr<ScrubStats> RunSpanLocked(uint64_t budget, bool is_tick);
   void BackgroundLoop();

@@ -27,6 +27,16 @@ StatusOr<PriEntry> SinglePageRecovery::LookupEntry(PageId id) const {
   return *entry_or;
 }
 
+StatusOr<PriEntry> SinglePageRecovery::LookupChainAnchor(PageId id) const {
+  auto entry_or = pri_manager_->pri()->LookupAnchor(id);
+  if (!entry_or.ok()) {
+    return Status::MediaFailure(
+        "page recovery index has no chain anchor for page " +
+        std::to_string(id) + ": " + entry_or.status().ToString());
+  }
+  return *entry_or;
+}
+
 Status SinglePageRecovery::LoadBackupImage(PageId id, const PriEntry& entry,
                                            char* frame,
                                            SinglePageRecoveryStats* acc) {

@@ -77,6 +77,10 @@ class SinglePageRecovery : public PageRepairer {
   /// PRI lookup; MediaFailure if the index knows nothing about the page.
   StatusOr<PriEntry> LookupEntry(PageId id) const;
 
+  /// Chain-anchor lookup for partial restore: tolerates a lost backup
+  /// reference (the image comes from the full backup instead).
+  StatusOr<PriEntry> LookupChainAnchor(PageId id) const;
+
   /// Step 2: fetches the most recent backup image of `id` into `frame`.
   Status LoadBackupImage(PageId id, const PriEntry& entry, char* frame,
                          SinglePageRecoveryStats* acc);
@@ -113,6 +117,7 @@ class SinglePageRecovery : public PageRepairer {
 
   PriManager* pri_manager() const { return pri_manager_; }
   LogManager* log() const { return log_; }
+  BackupManager* backups() const { return backups_; }
   SimDevice* data_device() const { return data_device_; }
   SimClock* clock() const { return clock_; }
   uint32_t page_size() const { return page_size_; }

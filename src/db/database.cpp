@@ -1,5 +1,7 @@
 #include "db/database.h"
 
+#include <algorithm>
+
 namespace spf {
 
 Database::Database(DatabaseOptions options) : options_(options) {}
@@ -277,6 +279,67 @@ StatusOr<MediaRecoveryStats> Database::RecoverMedia() {
   }
   SPF_RETURN_IF_ERROR(Checkpoint().status());
   return stats;
+}
+
+StatusOr<RecoverPagesResult> Database::RecoverPages(std::vector<PageId> pages) {
+  RecoverPagesResult result;
+  std::sort(pages.begin(), pages.end());
+  pages.erase(std::unique(pages.begin(), pages.end()), pages.end());
+  result.pages_requested = pages.size();
+
+  // Unbounded damage: the device failed as a whole — there is nothing the
+  // page-wise rungs can even read back. Straight to the bottom rung.
+  if (data_->device_failed()) {
+    SPF_ASSIGN_OR_RETURN(result.media, RecoverMedia());
+    result.path = RecoveryPath::kFullRestore;
+    return result;
+  }
+
+  // A dirty buffered copy supersedes the device image; the "damage" is a
+  // stale-on-purpose device page that the next write-back overwrites.
+  auto dirty_end = std::remove_if(pages.begin(), pages.end(), [&](PageId p) {
+    return pool_->IsDirty(p);
+  });
+  result.skipped_dirty = static_cast<uint64_t>(pages.end() - dirty_end);
+  pages.erase(dirty_end, pages.end());
+  if (pages.empty()) return result;
+
+  // Rung 1: coordinated single-page repairs for small batches.
+  std::vector<PageId> remaining = pages;
+  if (options_.enable_single_page_repair &&
+      options_.tracking == WriteTrackingMode::kPri &&
+      pages.size() <= options_.spr_batch_limit) {
+    SPF_ASSIGN_OR_RETURN(BatchRepairResult batch,
+                         scheduler_->RepairBatch(std::move(pages)));
+    result.repaired_single_page = batch.repaired;
+    if (batch.failed == 0) {
+      result.path = RecoveryPath::kSinglePage;
+      return result;
+    }
+    remaining.clear();
+    for (const PageRepairOutcome& f : batch.failures) {
+      remaining.push_back(f.page_id);
+    }
+  }
+
+  // Rung 2: bounded media damage — partial restore through the scheduler.
+  result.escalated_to_partial = remaining.size();
+  MediaRecovery media(log_.get(), backups_.get(), data_.get(), pool_.get(),
+                      options_.tracking == WriteTrackingMode::kPri
+                          ? pri_manager_.get()
+                          : nullptr,
+                      &clock_);
+  auto partial = media.RunPartial(std::move(remaining), scheduler_.get());
+  if (partial.ok()) {
+    result.media = *partial;
+    result.path = RecoveryPath::kPartialRestore;
+    return result;
+  }
+
+  // Rung 3: partial restore could not certify the set — full restore.
+  SPF_ASSIGN_OR_RETURN(result.media, RecoverMedia());
+  result.path = RecoveryPath::kFullRestore;
+  return result;
 }
 
 StatusOr<ScrubStats> Database::Scrub() { return scrubber_->SweepAll(); }

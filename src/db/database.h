@@ -86,7 +86,38 @@ struct DatabaseOptions {
   /// Page budget per background scrub tick (the incremental quantum).
   uint64_t scrub_pages_per_tick = 256;
 
+  /// RecoverPages escalation policy: batches of at most this many pages
+  /// are first attempted as coordinated single-page repairs (per-page
+  /// backup sources); larger bounded batches go straight to partial media
+  /// restore, whose sequential backup-range reads win once the damaged
+  /// set is big enough. Pages single-page repair cannot handle (e.g. a
+  /// lost backup reference) also escalate to partial restore. 0 routes
+  /// every batch to partial restore directly.
+  uint64_t spr_batch_limit = 64;
+
   std::chrono::milliseconds lock_timeout{200};
+};
+
+/// Which rung of the recovery ladder ultimately healed a RecoverPages
+/// batch (in-place single-page repair → partial restore → full restore).
+enum class RecoveryPath : uint8_t {
+  kNone = 0,        ///< nothing to recover (empty batch / all dirty-skipped)
+  kSinglePage,      ///< coordinated single-page repairs sufficed
+  kPartialRestore,  ///< bounded media damage: partial restore-and-replay
+  kFullRestore,     ///< unbounded (or unrepairable) damage: full restore
+};
+
+struct RecoverPagesResult {
+  RecoveryPath path = RecoveryPath::kNone;
+  uint64_t pages_requested = 0;
+  /// Pages with a dirty buffered copy: nothing was lost, write-back will
+  /// overwrite the device image, so they are not "damaged" at all.
+  uint64_t skipped_dirty = 0;
+  uint64_t repaired_single_page = 0;
+  /// Pages routed to partial restore (whole batch or single-page leftovers).
+  uint64_t escalated_to_partial = 0;
+  /// Populated when the partial- or full-restore rung ran.
+  MediaRecoveryStats media;
 };
 
 /// One database instance over simulated storage. Thread-safe for
@@ -141,6 +172,18 @@ class Database {
   /// Full media recovery: restore the latest full backup and replay the
   /// log; aborts all active transactions first (section 5.1.3).
   StatusOr<MediaRecoveryStats> RecoverMedia();
+
+  /// Recovers an explicit damaged set by climbing the recovery ladder:
+  /// batches of at most `spr_batch_limit` pages are repaired in place
+  /// through the RecoveryScheduler (per-page backup sources); larger
+  /// bounded batches — and pages single-page repair could not heal — go
+  /// through partial media restore (sequential backup-range reads + one
+  /// shared-segment chain replay, device online); only unbounded damage
+  /// (the device failed as a whole, or partial restore itself failed)
+  /// falls back to full restore-and-replay. Pages with a dirty buffered
+  /// copy are skipped: nothing was lost, write-back overwrites the device
+  /// image. Administrative like RecoverMedia: must not race data ops.
+  StatusOr<RecoverPagesResult> RecoverPages(std::vector<PageId> pages);
 
   /// Synchronous whole-database scrub: reads and verifies every allocated
   /// page against the device and repairs every detected single-page

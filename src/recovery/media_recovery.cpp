@@ -90,4 +90,61 @@ StatusOr<MediaRecoveryStats> MediaRecovery::Run() {
   return stats;
 }
 
+StatusOr<MediaRecoveryStats> MediaRecovery::RunPartial(
+    std::vector<PageId> pages, RecoveryScheduler* scheduler) {
+  MediaRecoveryStats stats;
+  SimTimer total(clock_);
+
+  if (scheduler == nullptr) {
+    return Status::InvalidArgument("partial restore needs a scheduler");
+  }
+  if (pri_manager_ == nullptr) {
+    return Status::MediaFailure(
+        "partial restore needs the page recovery index for per-page chain "
+        "anchors; escalate to full media recovery");
+  }
+  auto backup = backups_->latest_full_backup();
+  if (!backup) {
+    return Status::MediaFailure("partial restore impossible: no full backup");
+  }
+  if (data_->device_failed()) {
+    return Status::MediaFailure(
+        "whole device failed: damage is unbounded, full restore required");
+  }
+  for (PageId p : pages) {
+    if (p >= data_->num_pages()) {
+      return Status::InvalidArgument("page id out of range");
+    }
+  }
+  if (pages.empty()) {
+    stats.total_sim_seconds = total.ElapsedSeconds();
+    return stats;
+  }
+
+  PartialRestoreBreakdown breakdown;
+  SPF_ASSIGN_OR_RETURN(
+      BatchRepairResult result,
+      scheduler->RepairBatchFromBackup(std::move(pages), backup->id,
+                                       &breakdown));
+  stats.pages_restored =
+      breakdown.backup_pages_loaded + breakdown.per_page_loads;
+  // Chain replay reads exactly the records it applies (the point of the
+  // partial path: no scan over unrelated log records).
+  stats.records_scanned = breakdown.records_applied;
+  stats.redo_applied = breakdown.records_applied;
+  stats.restore_sim_seconds = breakdown.restore_sim_seconds;
+  stats.replay_sim_seconds = breakdown.replay_sim_seconds;
+  stats.total_sim_seconds = total.ElapsedSeconds();
+
+  if (result.failed > 0) {
+    // All-or-escalate: pages already healed stay healed, but the ladder
+    // must fall through to a full restore for the remainder.
+    return Status::MediaFailure(
+        "partial restore could not heal " + std::to_string(result.failed) +
+        " of " + std::to_string(result.failed + result.repaired) +
+        " pages (first: " + result.failures.front().status.ToString() + ")");
+  }
+  return stats;
+}
+
 }  // namespace spf

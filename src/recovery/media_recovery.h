@@ -1,18 +1,28 @@
 // Media recovery (paper section 5.1.3) — the traditional baseline that
 // single-page recovery is measured against.
 //
-// Restores the full backup sequentially onto the data device, then scans
-// the recovery log forward from the backup LSN and re-applies every logged
-// update whose page does not yet reflect it. The restore is sequential
-// (device transfer rate bound: 100 GB at 100 MB/s = 1,000 s, section 6);
-// the replay is random-read bound. Active transactions touching the failed
-// media are aborted by the caller before invoking this.
+// Run() restores the full backup sequentially onto the data device, then
+// scans the recovery log forward from the backup LSN and re-applies every
+// logged update whose page does not yet reflect it. The restore is
+// sequential (device transfer rate bound: 100 GB at 100 MB/s = 1,000 s,
+// section 6); the replay is random-read bound. Active transactions
+// touching the failed media are aborted by the caller before invoking
+// this.
+//
+// RunPartial() is the "instant restore" variant (Sauer, Graefe & Härder,
+// arXiv:1702.08042) for a BOUNDED damaged set: only the damaged page-id
+// ranges are read from the full backup (sequential runs), and only those
+// pages' per-page log chains are replayed — through the batched
+// RecoveryScheduler's shared-segment cluster walk, one buffered log pass
+// instead of a full-log scan or one random read per record. The device
+// stays online and the rest of the buffer pool stays warm.
 
 #pragma once
 
 #include "backup/backup_manager.h"
 #include "buffer/buffer_pool.h"
 #include "core/pri_manager.h"
+#include "core/recovery_scheduler.h"
 #include "log/log_manager.h"
 #include "storage/sim_device.h"
 
@@ -44,6 +54,16 @@ class MediaRecovery {
   /// Full restore + replay. The device is revived first (simulating the
   /// replacement of the failed unit).
   StatusOr<MediaRecoveryStats> Run();
+
+  /// Partial restore-and-replay of a bounded damaged set through
+  /// `scheduler`. Either heals every listed page to its PRI-certified
+  /// state or returns an error for the caller to escalate to Run():
+  /// requires a full backup, a live PRI (`pri_manager` non-null), and a
+  /// device that is not failed as a whole. Pages with a dirty buffered
+  /// copy must NOT be passed (nothing was lost — write-back overwrites
+  /// the device image); Database::RecoverPages filters them.
+  StatusOr<MediaRecoveryStats> RunPartial(std::vector<PageId> pages,
+                                          RecoveryScheduler* scheduler);
 
  private:
   LogManager* const log_;

@@ -88,6 +88,10 @@ Status SimDevice::WritePage(PageId id, const char* data) {
     faults_.erase(it);
     return Status::OK();  // silent
   }
+  if (it != faults_.end() && it->second.kind == FaultKind::kReadError &&
+      it->second.cleared_by_write) {
+    faults_.erase(it);  // rewriting the failed sector remaps it
+  }
 
   std::memcpy(Slot(id), data, page_size_);
   return Status::OK();
@@ -125,6 +129,18 @@ void SimDevice::InjectReadError(PageId id, bool permanent) {
   f.kind = FaultKind::kReadError;
   f.permanent = permanent;
   faults_[id] = f;
+}
+
+void SimDevice::FailPageRange(PageId first, uint64_t count) {
+  std::lock_guard<std::mutex> g(mu_);
+  SPF_CHECK_LE(first + count, num_pages_);
+  for (PageId id = first; id < first + count; ++id) {
+    FaultState f;
+    f.kind = FaultKind::kReadError;
+    f.permanent = true;
+    f.cleared_by_write = true;
+    faults_[id] = f;
+  }
 }
 
 void SimDevice::CapturePageVersion(PageId id) {

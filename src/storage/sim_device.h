@@ -98,6 +98,13 @@ class SimDevice {
   /// again (transient fault, e.g. overloaded network storage, section 3.2).
   void InjectReadError(PageId id, bool permanent = true);
 
+  /// Fails every page in [first, first + count): reads return ReadFailure
+  /// until the page is next rewritten (a successful write maps in a
+  /// replacement sector and heals the location). A bounded multi-sector
+  /// media failure — the damage pattern partial restore targets, as
+  /// opposed to FailDevice()'s unbounded whole-device loss.
+  void FailPageRange(PageId first, uint64_t count);
+
   /// Reverts the stored image to the version captured by the most recent
   /// CapturePageVersion(id) call. The stale image carries a valid checksum,
   /// so only cross-page checks (PageLSN vs. page recovery index) detect it.
@@ -142,6 +149,7 @@ class SimDevice {
   struct FaultState {
     FaultKind kind = FaultKind::kNone;
     bool permanent = false;
+    bool cleared_by_write = false;  // a rewrite remaps the failed sector
     uint32_t torn_prefix = 0;
     uint64_t seed = 0;
     uint32_t corrupt_bytes = 0;
