@@ -1,16 +1,19 @@
-// Scrubber daemon: the first-class background scrubber healing latent
-// faults while foreground traffic keeps running.
+// Scrubber daemon: the self-healing pipeline end to end. A background
+// scrubber detects latent faults on an aging device and reports them into
+// the failure funnel (RecoveryCoordinator), whose worker drains them
+// through the recovery ladder — nothing in this program ever calls
+// RecoverPages, Scrub, or RepairPages.
 //
 // Bairavasundaram et al. (the paper's [2]) found latent sector errors in
 // thousands of drives, a majority surfacing during reads and "disk
 // scrubbing". Cold pages may sit corrupted for months before an
-// application read would notice. This example starts the Scrubber as a
-// real background thread (budgeted pages per tick, cadence measured in
-// simulated time) and ages the device while a foreground workload runs:
-// each round, random pages develop latent faults — a mix of silent
-// corruption and transient hard read errors. The background sweeps detect
-// them and hand each tick's haul to the RecoveryScheduler, which repairs
-// the batch coordinately (grouped backup reads + shared log segments).
+// application read would notice. Here the Scrubber runs as a real
+// background thread, paced on the WALL clock (the simulated clock never
+// advances under Instant-style profiles, so wall cadence is what a daemon
+// wants); each round, random pages develop latent faults — a mix of
+// silent corruption and transient hard read errors. The sweeps detect
+// them, the funnel coalesces and heals them, and foreground traffic keeps
+// flowing the whole time.
 
 #include <chrono>
 #include <cstdio>
@@ -44,9 +47,13 @@ int main() {
   DatabaseOptions options;
   options.num_pages = 4096;
   options.scrub_pages_per_tick = 512;  // incremental sweep quantum
-  options.scrub_interval = std::chrono::milliseconds(0);  // continuous
+  // Wall-clock cadence: tick every 2 ms of host time. (The simulated
+  // cadence would degrade to continuous ticking here, because scrub reads
+  // are the only thing advancing the simulated clock.)
+  options.scrub_wall_interval = std::chrono::milliseconds(2);
   options.recovery_workers = 4;
   options.batch_repair = true;
+  // auto_escalate defaults to true: detection sites feed the funnel.
   auto db = std::move(Database::Create(options)).value();
 
   Transaction* t = db->Begin();
@@ -59,8 +66,11 @@ int main() {
   printf("database loaded: %d records; full backup taken\n", kRecords);
 
   db->scrubber()->Start();
-  printf("background scrubber started (%llu pages/tick)\n\n",
-         static_cast<unsigned long long>(options.scrub_pages_per_tick));
+  printf(
+      "background scrubber started (%llu pages per tick, one tick per "
+      "%lld ms wall time)\n\n",
+      static_cast<unsigned long long>(options.scrub_pages_per_tick),
+      static_cast<long long>(options.scrub_wall_interval.count()));
 
   Random rng(777);
   uint64_t total_injected = 0;
@@ -88,42 +98,55 @@ int main() {
     // time may already be past the faulted pages, but the next full pass
     // starts after the faults exist, so it must cover them all. (+2, not
     // +1, is what guarantees the background daemon — not some foreground
-    // read — is the thing that heals.)
+    // read — is the thing that detects.) Then let the funnel finish
+    // draining what the sweeps reported.
     WaitForSweeps(db.get(), db->scrubber()->totals().sweeps_completed + 2);
+    db->funnel()->WaitIdle();
 
     // Foreground traffic keeps flowing against the healed database.
     for (int i = 0; i < 200; ++i) {
       int key = static_cast<int>(rng.Uniform(kRecords));
       SPF_CHECK_OK(db->Get(nullptr, Key(key)).status());
     }
-    ScrubberTotals totals = db->scrubber()->totals();
+    ScrubberTotals scrub = db->scrubber()->totals();
+    FunnelTotals funnel = db->funnel()->totals();
     printf(
         "round %d: injected %d fault(s); daemon so far: %llu sweeps, "
-        "%llu pages scanned, %llu detected, %llu repaired\n",
+        "%llu scanned, %llu detected -> funnel: %llu healed, %llu failed\n",
         round, injected,
-        static_cast<unsigned long long>(totals.sweeps_completed),
-        static_cast<unsigned long long>(totals.pages_scanned),
-        static_cast<unsigned long long>(totals.failures_detected),
-        static_cast<unsigned long long>(totals.pages_repaired));
+        static_cast<unsigned long long>(scrub.sweeps_completed),
+        static_cast<unsigned long long>(scrub.pages_scanned),
+        static_cast<unsigned long long>(scrub.failures_detected),
+        static_cast<unsigned long long>(
+            funnel.repaired_spr + funnel.repaired_partial +
+            funnel.repaired_full + funnel.skipped_dirty),
+        static_cast<unsigned long long>(funnel.failed));
   }
 
   db->scrubber()->Stop();
-  ScrubberTotals totals = db->scrubber()->totals();
-  RecoverySchedulerStats sched = db->recovery_scheduler()->stats();
+  db->funnel()->WaitIdle();
+  DatabaseStats stats = db->Stats();
   printf(
-      "\nlifetime: injected=%llu detected=%llu repaired=%llu "
-      "escalations=%llu\n",
+      "\nlifetime: injected=%llu detected=%llu reported=%llu\n",
       static_cast<unsigned long long>(total_injected),
-      static_cast<unsigned long long>(totals.failures_detected),
-      static_cast<unsigned long long>(totals.pages_repaired),
-      static_cast<unsigned long long>(totals.escalations));
+      static_cast<unsigned long long>(stats.scrubber.failures_detected),
+      static_cast<unsigned long long>(stats.scrubber.failures_reported));
+  printf(
+      "funnel: %llu enqueued, %llu coalesced, %llu batches -> %llu healed "
+      "in place, %llu via partial restore, %llu failed\n",
+      static_cast<unsigned long long>(stats.funnel.enqueued),
+      static_cast<unsigned long long>(stats.funnel.coalesced),
+      static_cast<unsigned long long>(stats.funnel.batches),
+      static_cast<unsigned long long>(stats.funnel.repaired_spr),
+      static_cast<unsigned long long>(stats.funnel.repaired_partial),
+      static_cast<unsigned long long>(stats.funnel.failed));
   printf(
       "scheduler: %llu batches, %llu pages repaired, %llu shared segment "
-      "fetches, %llu foreground repairs\n",
-      static_cast<unsigned long long>(sched.batches),
-      static_cast<unsigned long long>(sched.pages_repaired),
-      static_cast<unsigned long long>(sched.segment_fetches),
-      static_cast<unsigned long long>(sched.single_repairs));
+      "fetches, %llu foreground inline repairs\n",
+      static_cast<unsigned long long>(stats.scheduler.batches),
+      static_cast<unsigned long long>(stats.scheduler.pages_repaired),
+      static_cast<unsigned long long>(stats.scheduler.segment_fetches),
+      static_cast<unsigned long long>(stats.scheduler.single_repairs));
 
   // Final health check: everything readable and structurally sound.
   uint64_t count = 0;
@@ -134,7 +157,6 @@ int main() {
   SPF_CHECK_OK(db->CheckOffline(nullptr));
   printf("final state: %llu records readable, offline verification OK\n",
          static_cast<unsigned long long>(count));
-  return count == kRecords && totals.pages_repaired >= totals.failures_detected
-             ? 0
-             : 1;
+  FunnelTotals funnel = db->funnel()->totals();
+  return count == kRecords && funnel.failed == 0 ? 0 : 1;
 }

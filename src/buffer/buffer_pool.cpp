@@ -294,15 +294,25 @@ Status BufferPool::EvictPage(PageId id) {
 }
 
 void BufferPool::DiscardAll() {
+  SPF_CHECK_EQ(DiscardAllUnpinned(), 0u) << "DiscardAll with pinned frames";
+}
+
+size_t BufferPool::DiscardAllUnpinned() {
   std::lock_guard<std::mutex> g(mu_);
+  size_t kept = 0;
   for (auto& f : frames_) {
-    SPF_CHECK_EQ(f->pin_count, 0u);
+    if (f->page_id == kInvalidPageId) continue;
+    if (f->pin_count > 0) {
+      kept++;
+      continue;
+    }
+    page_table_.erase(f->page_id);
     f->page_id = kInvalidPageId;
     f->dirty = false;
     f->rec_lsn = kInvalidLsn;
     f->referenced = false;
   }
-  page_table_.clear();
+  return kept;
 }
 
 bool BufferPool::DiscardPage(PageId id) {

@@ -170,7 +170,15 @@ class BufferPool {
   Status EvictPage(PageId id);
 
   /// Simulated crash: discard all frames without writing anything.
+  /// CHECK-fails if any frame is pinned.
   void DiscardAll();
+
+  /// Discards every UNPINNED frame without writing anything; pinned
+  /// frames survive with their page-table entries. Full media recovery
+  /// uses this: a pinned frame there is a reader parked in the failure
+  /// funnel whose page is being rebuilt — it re-reads the restored device
+  /// copy once its repair resolves. Returns the number of frames kept.
+  size_t DiscardAllUnpinned();
 
   /// Drops a page from the pool WITHOUT flushing (test hook: lose the
   /// buffered copy of one page). Returns false (and does nothing) if the

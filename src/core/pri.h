@@ -49,10 +49,13 @@ enum class BackupKind : uint8_t {
   kFormatRecord = 4, ///< value = LSN of the page's kPageFormat record
 };
 
+/// Reference to one page's most recent backup: its kind plus a
+/// kind-dependent locator (Figure 7's "backup" field).
 struct BackupRef {
-  BackupKind kind = BackupKind::kNone;
-  uint64_t value = 0;
+  BackupKind kind = BackupKind::kNone;  ///< which backup form
+  uint64_t value = 0;  ///< locator: device location, backup id, or LSN
 
+  /// Field-wise equality.
   bool operator==(const BackupRef& o) const {
     return kind == o.kind && value == o.value;
   }
@@ -60,11 +63,12 @@ struct BackupRef {
 
 /// One page's recovery information (Figure 7's two fields).
 struct PriEntry {
-  BackupRef backup;
+  BackupRef backup;  ///< most recent backup of the page
   /// LSN of the page's most recent completed update; kInvalidLsn means
   /// "not updated since the backup was taken".
   Lsn last_lsn = kInvalidLsn;
 
+  /// Field-wise equality.
   bool operator==(const PriEntry& o) const {
     return backup == o.backup && last_lsn == o.last_lsn;
   }
@@ -79,12 +83,13 @@ constexpr uint64_t kPriEntriesPerWindow = 240;
 /// each) + kind (1 B).
 constexpr size_t kPriEntryWireSize = 33;
 
+/// Cumulative index-maintenance counters (PageRecoveryIndex::stats()).
 struct PriStats {
-  uint64_t lookups = 0;
-  uint64_t lookup_misses = 0;
-  uint64_t updates = 0;
-  uint64_t range_splits = 0;
-  uint64_t range_merges = 0;
+  uint64_t lookups = 0;        ///< Lookup/LookupAnchor calls
+  uint64_t lookup_misses = 0;  ///< lookups that found nothing
+  uint64_t updates = 0;        ///< RecordWrite/RecordBackup applications
+  uint64_t range_splits = 0;   ///< range entries split by point updates
+  uint64_t range_merges = 0;   ///< adjacent identical ranges re-merged
 };
 
 /// The in-memory PRI: authoritative at runtime, mirrored to PRI pages at
@@ -93,6 +98,7 @@ struct PriStats {
 /// index"). Thread-safe.
 class PageRecoveryIndex {
  public:
+  /// Builds an empty index covering page ids [0, num_pages).
   explicit PageRecoveryIndex(uint64_t num_pages);
 
   SPF_DISALLOW_COPY(PageRecoveryIndex);
@@ -126,7 +132,9 @@ class PageRecoveryIndex {
 
   // --- window/persistence interface -----------------------------------------
 
+  /// Number of fixed-size windows the page-id space is divided into.
   uint64_t num_windows() const { return num_windows_; }
+  /// The window covering page `id`.
   static uint64_t WindowOf(PageId id) { return id / kPriEntriesPerWindow; }
 
   /// Serializes one window's entries (the PRI page payload).
@@ -138,13 +146,16 @@ class PageRecoveryIndex {
   /// Windows touched since the last ClearDirtyWindows (checkpoint uses
   /// the snapshot-then-clear pattern of section 5.2.6).
   std::vector<uint64_t> DirtyWindows() const;
+  /// Marks one window clean again (after its PRI page was written).
   void ClearDirtyWindow(uint64_t window);
 
   // --- introspection (experiment E5) -----------------------------------------
 
+  /// Total range entries across all windows.
   uint64_t entry_count() const;
   /// Approximate in-memory footprint: entries * wire size.
   uint64_t approx_bytes() const;
+  /// Cumulative maintenance counters.
   PriStats stats() const;
 
  private:
@@ -179,13 +190,15 @@ class PageRecoveryIndex {
 /// record's page_id names the COVERING PRI PAGE (whose per-page chain it
 /// extends), which is how PRI pages themselves stay recoverable.
 struct PriUpdateBody {
-  PageId data_page_id = kInvalidPageId;
-  Lsn page_lsn = kInvalidLsn;
-  bool has_backup = false;
-  BackupRef backup;
+  PageId data_page_id = kInvalidPageId;  ///< data page whose write completed
+  Lsn page_lsn = kInvalidLsn;            ///< certified PageLSN of that write
+  bool has_backup = false;               ///< whether `backup` is meaningful
+  BackupRef backup;                      ///< new backup reference, if any
 };
 
+/// Serializes a PriUpdateBody into a log-record payload.
 std::string EncodePriUpdate(const PriUpdateBody& body);
+/// Parses an EncodePriUpdate payload; Corruption on malformed input.
 StatusOr<PriUpdateBody> DecodePriUpdate(std::string_view data);
 
 }  // namespace spf

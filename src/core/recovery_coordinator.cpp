@@ -1,0 +1,262 @@
+#include "core/recovery_coordinator.h"
+
+#include <algorithm>
+
+#include "core/single_page_recovery.h"
+#include "storage/page.h"
+
+namespace spf {
+
+RecoveryCoordinator::RecoveryCoordinator(RecoveryLadder ladder,
+                                         SimDevice* device,
+                                         RecoveryCoordinatorOptions options)
+    : ladder_(std::move(ladder)), device_(device), options_(options) {
+  SPF_CHECK(ladder_ != nullptr);
+}
+
+RecoveryCoordinator::~RecoveryCoordinator() { Stop(); }
+
+void RecoveryCoordinator::Start() {
+  std::lock_guard<std::mutex> lifecycle(lifecycle_mu_);
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    if (running_) return;
+    stop_ = false;
+    paused_ = false;  // a Pause from a previous run must not stall this one
+    running_ = true;
+  }
+  size_t n = std::max<uint32_t>(options_.num_workers, 1);
+  workers_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    workers_.emplace_back(&RecoveryCoordinator::WorkerLoop, this);
+  }
+}
+
+void RecoveryCoordinator::Stop() {
+  std::lock_guard<std::mutex> lifecycle(lifecycle_mu_);
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    if (!running_) return;
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& t : workers_) t.join();
+  workers_.clear();
+  {
+    // Fail whatever was still pending so no waiter hangs; in-flight
+    // batches completed before the joins above.
+    std::lock_guard<std::mutex> g(mu_);
+    for (PageId id : pending_) {
+      auto it = entries_.find(id);
+      if (it != entries_.end()) {
+        it->second->status = Status::Aborted("recovery funnel stopped");
+        it->second->done = true;
+        entries_.erase(it);
+      }
+      totals_.failed++;
+    }
+    pending_.clear();
+    running_ = false;
+  }
+  done_cv_.notify_all();
+}
+
+bool RecoveryCoordinator::running() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return running_;
+}
+
+ReportResult RecoveryCoordinator::ReportLocked(PageId id, FailureOrigin origin,
+                                               std::shared_ptr<Entry>* entry) {
+  auto bump_origin = [&] {
+    switch (origin) {
+      case FailureOrigin::kForegroundRead:
+        totals_.from_foreground++;
+        break;
+      case FailureOrigin::kScrubber:
+        totals_.from_scrubber++;
+        break;
+      case FailureOrigin::kEscalation:
+        totals_.from_escalation++;
+        break;
+      case FailureOrigin::kExplicit:
+        break;
+    }
+  };
+  auto it = entries_.find(id);
+  if (it != entries_.end()) {
+    // Already pending or in flight: one repair serves every reporter.
+    *entry = it->second;
+    totals_.coalesced++;
+    bump_origin();
+    return ReportResult::kCoalesced;
+  }
+  if (!running_ || stop_ || pending_.size() >= options_.queue_limit) {
+    totals_.rejected++;
+    return ReportResult::kRejected;
+  }
+  auto e = std::make_shared<Entry>();
+  entries_[id] = e;
+  pending_.push_back(id);
+  totals_.enqueued++;
+  bump_origin();
+  *entry = std::move(e);
+  return ReportResult::kAccepted;
+}
+
+ReportResult RecoveryCoordinator::Report(PageId id, FailureOrigin origin) {
+  std::shared_ptr<Entry> entry;
+  ReportResult r;
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    r = ReportLocked(id, origin, &entry);
+  }
+  if (r == ReportResult::kAccepted) work_cv_.notify_one();
+  return r;
+}
+
+Status RecoveryCoordinator::ReportAndWait(PageId id, FailureOrigin origin) {
+  std::shared_ptr<Entry> entry;
+  std::unique_lock<std::mutex> lk(mu_);
+  ReportResult r = ReportLocked(id, origin, &entry);
+  if (r == ReportResult::kRejected) {
+    return Status::Busy("recovery funnel backpressure: queue at limit");
+  }
+  if (r == ReportResult::kAccepted) work_cv_.notify_one();
+  done_cv_.wait(lk, [&] { return entry->done; });
+  return entry->status;
+}
+
+thread_local bool RecoveryCoordinator::draining_thread_ = false;
+
+Status RecoveryCoordinator::RepairPage(PageId id, char* frame) {
+  if (draining_thread_) {
+    // The ladder itself faulted on a page from this worker thread (e.g.
+    // the full-restore rung fixing pages during rollback/checkpoint):
+    // ReportAndWait would wait on ourselves forever. Repair inline.
+    if (fallback_ != nullptr) return fallback_->RepairPage(id, frame);
+    return SinglePageRecovery::Escalate(
+        id, Status::Busy("funnel worker re-entered the read-path repair"));
+  }
+  Status s = ReportAndWait(id, FailureOrigin::kForegroundRead);
+  if (s.IsBusy() && fallback_ != nullptr) {
+    // Backpressure (or stopped funnel): keep the read path alive with the
+    // pre-funnel inline repair.
+    return fallback_->RepairPage(id, frame);
+  }
+  if (s.ok()) {
+    // The ladder healed the DEVICE copy in place; refill the caller's
+    // frame from it. The caller holds the frame's exclusive latch and the
+    // page's buffer-pool slot, so no concurrent writer can have moved the
+    // page forward between the heal and this read.
+    s = device_->ReadPage(id, frame);
+    if (s.ok()) s = PageView(frame, device_->page_size()).Verify(id);
+    if (s.ok()) return s;
+  }
+  // The heal did not stick on the device (e.g. a worn-out location that
+  // scrambles every write, or a restore from a damaged backup): rebuild
+  // straight into the caller's frame as a last resort — the buffered
+  // copy, not the sick location, is what the application is served.
+  if (fallback_ != nullptr) {
+    Status inline_repair = fallback_->RepairPage(id, frame);
+    if (inline_repair.ok()) return inline_repair;
+    s = std::move(inline_repair);
+  }
+  // Figure 10's escalation wrap: the caller treats this as a media failure.
+  return SinglePageRecovery::Escalate(id, s);
+}
+
+void RecoveryCoordinator::Pause() {
+  std::lock_guard<std::mutex> g(mu_);
+  paused_ = true;
+}
+
+void RecoveryCoordinator::Resume() {
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    paused_ = false;
+  }
+  work_cv_.notify_all();
+}
+
+void RecoveryCoordinator::WaitIdle() {
+  std::unique_lock<std::mutex> lk(mu_);
+  done_cv_.wait(lk, [&] {
+    return (pending_.empty() || paused_ || !running_) && draining_ == 0;
+  });
+}
+
+FunnelTotals RecoveryCoordinator::totals() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return totals_;
+}
+
+void RecoveryCoordinator::ResolveBatchLocked(
+    const std::vector<PageId>& batch,
+    const StatusOr<FunnelBatchOutcome>& outcome) {
+  totals_.batches++;
+  if (!outcome.ok()) {
+    for (PageId id : batch) {
+      auto it = entries_.find(id);
+      if (it != entries_.end()) {
+        it->second->status = outcome.status();
+        it->second->done = true;
+        entries_.erase(it);
+      }
+      totals_.failed++;
+    }
+    return;
+  }
+  const FunnelBatchOutcome& out = *outcome;
+  totals_.repaired_spr += out.repaired_spr;
+  totals_.repaired_partial += out.repaired_partial;
+  totals_.repaired_full += out.repaired_full;
+  totals_.skipped_dirty += out.skipped_dirty;
+  totals_.escalated_full += out.full_restores;
+  totals_.failed += out.failures.size();
+  std::unordered_map<PageId, const Status*> failed;
+  for (const PageRepairOutcome& f : out.failures) {
+    failed[f.page_id] = &f.status;
+  }
+  for (PageId id : batch) {
+    auto it = entries_.find(id);
+    if (it == entries_.end()) continue;
+    auto fit = failed.find(id);
+    it->second->status = fit != failed.end() ? *fit->second : Status::OK();
+    it->second->done = true;
+    entries_.erase(it);
+  }
+}
+
+void RecoveryCoordinator::WorkerLoop() {
+  std::unique_lock<std::mutex> lk(mu_);
+  while (true) {
+    work_cv_.wait(lk, [&] { return stop_ || (!pending_.empty() && !paused_); });
+    if (stop_) return;
+    // Claim the WHOLE pending set: this is where a burst of independent
+    // reports coalesces into one sorted batch of contiguous ranges for
+    // the ladder's sequential rungs.
+    std::vector<PageId> batch = std::move(pending_);
+    pending_.clear();
+    draining_++;
+    lk.unlock();
+
+    std::sort(batch.begin(), batch.end());
+    StatusOr<FunnelBatchOutcome> outcome = [&] {
+      // One climb at a time: the ladder's bottom rungs (partial/full
+      // media recovery) are not safe against concurrent selves.
+      std::lock_guard<std::mutex> ladder_guard(ladder_mu_);
+      draining_thread_ = true;
+      auto out = ladder_(batch);
+      draining_thread_ = false;
+      return out;
+    }();
+
+    lk.lock();
+    ResolveBatchLocked(batch, outcome);
+    draining_--;
+    done_cv_.notify_all();
+  }
+}
+
+}  // namespace spf

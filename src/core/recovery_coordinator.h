@@ -1,0 +1,212 @@
+// RecoveryCoordinator — the failure funnel that makes the system
+// self-healing end to end.
+//
+// Every detection site reports damaged page ids into one place instead of
+// repairing (or escalating) on its own:
+//
+//   * BufferPool::FixPage read/verify failures (Figure 8's read path) —
+//     the coordinator is the pool's installed PageRepairer, so a
+//     foreground reader REPORTS its page and synchronously waits for the
+//     in-flight repair instead of repairing inline; N concurrent readers
+//     of one damaged page share ONE repair;
+//   * background Scrubber tick failures — reported fire-and-forget, the
+//     sweep moves on while the funnel heals;
+//   * RecoveryScheduler batch escalations — pages a direct RepairBatch
+//     could not heal are forwarded through the scheduler's escalation
+//     sink instead of being left for the caller.
+//
+// A background worker drains the funnel: the entire pending set is popped
+// as one deduplicated, sorted batch and pushed through the installed
+// RecoveryLadder (Database::RecoverPages — retry → single-page repair →
+// batched repair → partial media restore → full restore), so a burst of
+// reports coalesces into contiguous page-id ranges exactly where the
+// ladder's sequential-backup-read rungs want them. The queue is bounded:
+// when `queue_limit` pages are already pending, new reports are REJECTED
+// (backpressure) — a rejected scrubber report is simply re-detected on the
+// next sweep, and a rejected foreground reader falls back to an inline
+// repair — so a failing device can never grow the funnel without bound.
+
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "core/recovery_scheduler.h"
+#include "storage/sim_device.h"
+
+namespace spf {
+
+/// Which detection site reported a damaged page into the funnel.
+enum class FailureOrigin : uint8_t {
+  kForegroundRead = 0,  ///< buffer-pool read path (a waiting reader)
+  kScrubber = 1,        ///< background scrubber tick
+  kEscalation = 2,      ///< RecoveryScheduler batch-repair escalation
+  kExplicit = 3,        ///< direct caller (tests, tools)
+};
+
+/// Outcome of one Report call.
+enum class ReportResult : uint8_t {
+  kAccepted = 0,   ///< newly enqueued
+  kCoalesced = 1,  ///< merged into an already pending / in-flight repair
+  kRejected = 2,   ///< backpressure: queue at limit (or funnel stopped)
+};
+
+struct RecoveryCoordinatorOptions {
+  /// Worker threads draining the funnel. One worker maximizes coalescing
+  /// (each drain takes the whole pending set); more only help when
+  /// reports arrive faster than whole batches repair. Ladder invocations
+  /// are serialized regardless — the ladder's bottom rungs (media
+  /// recovery) must never run concurrently with themselves.
+  uint32_t num_workers = 1;
+  /// Maximum PENDING (not yet draining) page count; reports beyond it are
+  /// rejected (backpressure).
+  uint64_t queue_limit = 1024;
+};
+
+/// Lifetime counters (RecoveryCoordinator::totals()).
+struct FunnelTotals {
+  uint64_t enqueued = 0;          ///< reports accepted as new entries
+  uint64_t coalesced = 0;         ///< reports merged into an existing entry
+  uint64_t rejected = 0;          ///< reports refused by backpressure
+  uint64_t batches = 0;           ///< ladder invocations (drains)
+  uint64_t repaired_spr = 0;      ///< pages healed by the single-page rung
+  uint64_t repaired_partial = 0;  ///< pages healed by partial media restore
+  uint64_t repaired_full = 0;     ///< pages healed by the full-restore rung
+  uint64_t skipped_dirty = 0;     ///< pages superseded by a dirty pool copy
+  uint64_t escalated_full = 0;    ///< full-restore events (bottom rung)
+  uint64_t failed = 0;            ///< pages that stayed unhealed
+  uint64_t from_foreground = 0;   ///< non-rejected reports: read path
+  uint64_t from_scrubber = 0;     ///< non-rejected reports: scrubber
+  uint64_t from_escalation = 0;   ///< non-rejected reports: scheduler sink
+};
+
+/// What one drained batch's trip through the recovery ladder achieved.
+/// Produced by the installed RecoveryLadder (Database adapts its
+/// RecoverPagesResult); pages listed in `failures` stayed unhealed, every
+/// other page of the batch is considered repaired.
+struct FunnelBatchOutcome {
+  uint64_t repaired_spr = 0;      ///< healed by coordinated single-page repair
+  uint64_t repaired_partial = 0;  ///< healed by partial media restore
+  uint64_t repaired_full = 0;     ///< healed by a whole-device restore
+  uint64_t skipped_dirty = 0;     ///< dirty buffered copy — nothing was lost
+  uint64_t full_restores = 0;     ///< whole-device restore events
+  std::vector<PageRepairOutcome> failures;  ///< pages that stayed unhealed
+};
+
+/// The escalation ladder a drained batch is pushed through. Receives the
+/// deduplicated, sorted damaged set; returns the per-rung outcome, or an
+/// error when the whole batch failed (every page is then marked failed).
+using RecoveryLadder =
+    std::function<StatusOr<FunnelBatchOutcome>(std::vector<PageId>)>;
+
+/// The failure funnel. Thread-safe: any thread may Report; the worker
+/// threads drain. Also a PageRepairer so it can be installed directly as
+/// the buffer pool's read-path repair hook.
+class RecoveryCoordinator : public PageRepairer {
+ public:
+  /// `ladder` runs on the worker threads; `device` is re-read to refill a
+  /// waiting reader's frame after its page was healed in place.
+  RecoveryCoordinator(RecoveryLadder ladder, SimDevice* device,
+                      RecoveryCoordinatorOptions options);
+  /// Stops the workers if still running (failing any pending waiters).
+  ~RecoveryCoordinator() override;
+
+  SPF_DISALLOW_COPY(RecoveryCoordinator);
+
+  /// Spawns the worker threads. Idempotent.
+  void Start();
+
+  /// Joins the workers (the batch in flight completes first) and fails
+  /// every still-pending entry with Aborted so no waiter hangs.
+  void Stop();
+
+  /// True between Start and Stop.
+  bool running() const;
+
+  /// Reports a damaged page. Never blocks: the repair happens
+  /// asynchronously on a worker. kRejected means the queue is at
+  /// `queue_limit` (or the funnel is not running) — the caller keeps
+  /// ownership of the problem (retry later, repair inline, or escalate).
+  ReportResult Report(PageId id, FailureOrigin origin);
+
+  /// Reports `id` and blocks until its repair completes, returning the
+  /// repair's status. Concurrent callers for the same page coalesce onto
+  /// one in-flight repair. Returns Busy immediately when the report is
+  /// rejected by backpressure.
+  Status ReportAndWait(PageId id, FailureOrigin origin);
+
+  /// PageRepairer hook (buffer-pool read path): ReportAndWait, then
+  /// re-read the healed device copy into `frame` and verify it. Falls
+  /// back to the inline repairer (if installed) under backpressure.
+  Status RepairPage(PageId id, char* frame) override;
+
+  /// Inline repairer used when a foreground report is rejected by
+  /// backpressure (typically the RecoveryScheduler). Install at startup;
+  /// not thread-safe against concurrent RepairPage calls.
+  void SetInlineFallback(PageRepairer* fallback) { fallback_ = fallback; }
+
+  /// Holds all draining (pending reports accumulate and coalesce) until
+  /// Resume. Lets tests and benches build one deterministic batch.
+  void Pause();
+
+  /// Releases Pause; the workers drain everything pending as one batch.
+  void Resume();
+
+  /// Blocks until nothing is pending and no batch is in flight. The
+  /// funnel must be running (or the queue already empty), otherwise this
+  /// would wait forever — tests call it after Resume.
+  void WaitIdle();
+
+  /// Lifetime counters snapshot.
+  FunnelTotals totals() const;
+
+ private:
+  /// One reported page's lifecycle; waiters hold a shared_ptr so the map
+  /// entry may be erased while they still read the outcome.
+  struct Entry {
+    Status status;      ///< valid once done
+    bool done = false;  ///< repair finished (either way)
+  };
+
+  /// Report under mu_; fills *entry on kAccepted / kCoalesced.
+  ReportResult ReportLocked(PageId id, FailureOrigin origin,
+                            std::shared_ptr<Entry>* entry);
+
+  /// True on a worker thread while it runs the ladder: a page fault the
+  /// ladder itself hits (e.g. full restore fixing pages through the
+  /// buffer pool) must repair inline — waiting on this worker's own
+  /// queue would self-deadlock.
+  static thread_local bool draining_thread_;
+  void WorkerLoop();
+  /// Applies one ladder outcome to the batch's entries. Caller holds mu_.
+  void ResolveBatchLocked(const std::vector<PageId>& batch,
+                          const StatusOr<FunnelBatchOutcome>& outcome);
+
+  const RecoveryLadder ladder_;
+  SimDevice* const device_;
+  const RecoveryCoordinatorOptions options_;
+  PageRepairer* fallback_ = nullptr;
+
+  std::mutex lifecycle_mu_;  ///< serializes Start/Stop (thread join/spawn)
+  std::mutex ladder_mu_;     ///< one ladder climb at a time, across workers
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;   ///< wakes workers (reports, stop, resume)
+  std::condition_variable done_cv_;   ///< wakes waiters (entry done, idle)
+  std::unordered_map<PageId, std::shared_ptr<Entry>> entries_;  ///< pending+in-flight
+  std::vector<PageId> pending_;       ///< not yet claimed by a drain
+  size_t draining_ = 0;               ///< batches currently in the ladder
+  bool paused_ = false;
+  bool stop_ = false;
+  bool running_ = false;
+  FunnelTotals totals_;
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace spf

@@ -190,17 +190,41 @@ std::vector<RecoveryScheduler::PageTask> RecoveryScheduler::PrepareBatch(
 
 StatusOr<BatchRepairResult> RecoveryScheduler::RepairBatch(
     std::vector<PageId> pages) {
-  std::lock_guard<std::mutex> batch_guard(batch_mu_);
+  return RepairBatchImpl(std::move(pages), /*notify_sink=*/true);
+}
 
-  bool batched;
-  std::vector<PageTask> tasks = PrepareBatch(&pages, &batched);
-  BatchRepairResult result =
-      batched ? RepairBatched(&tasks) : RepairSerial(&tasks);
+StatusOr<BatchRepairResult> RecoveryScheduler::RepairBatchNoEscalation(
+    std::vector<PageId> pages) {
+  return RepairBatchImpl(std::move(pages), /*notify_sink=*/false);
+}
 
+void RecoveryScheduler::SetEscalationSink(
+    std::function<void(std::vector<PageId>)> sink) {
+  escalation_sink_ = std::move(sink);
+}
+
+StatusOr<BatchRepairResult> RecoveryScheduler::RepairBatchImpl(
+    std::vector<PageId> pages, bool notify_sink) {
+  BatchRepairResult result;
   {
+    std::lock_guard<std::mutex> batch_guard(batch_mu_);
+
+    bool batched;
+    std::vector<PageTask> tasks = PrepareBatch(&pages, &batched);
+    result = batched ? RepairBatched(&tasks) : RepairSerial(&tasks);
+
     std::lock_guard<std::mutex> g(stats_mu_);
     stats_.pages_repaired += result.repaired;
     stats_.pages_failed += result.failed;
+  }
+  // Sink outside batch_mu_: the funnel's drain may start another batch.
+  if (notify_sink && escalation_sink_ != nullptr && !result.failures.empty()) {
+    std::vector<PageId> unhealed;
+    unhealed.reserve(result.failures.size());
+    for (const PageRepairOutcome& f : result.failures) {
+      unhealed.push_back(f.page_id);
+    }
+    escalation_sink_(std::move(unhealed));
   }
   return result;
 }

@@ -39,6 +39,7 @@
 
 namespace spf {
 
+/// Tuning knobs for the RecoveryScheduler.
 struct RecoverySchedulerOptions {
   /// Worker threads for the fan-out phases. 0 runs every phase inline.
   uint32_t num_workers = 4;
@@ -50,11 +51,12 @@ struct RecoverySchedulerOptions {
   uint64_t log_segment_bytes = 256 * 1024;
 };
 
+/// Cumulative counters across all batches (RecoveryScheduler::stats()).
 struct RecoverySchedulerStats {
-  uint64_t batches = 0;
-  uint64_t pages_requested = 0;
-  uint64_t pages_repaired = 0;
-  uint64_t pages_failed = 0;
+  uint64_t batches = 0;             ///< RepairBatch invocations
+  uint64_t pages_requested = 0;     ///< distinct pages across all batches
+  uint64_t pages_repaired = 0;      ///< pages healed
+  uint64_t pages_failed = 0;        ///< pages that escalated
   uint64_t backup_groups = 0;       ///< backup-source groups formed
   uint64_t chain_clusters = 0;      ///< overlapping-log-range clusters walked
   uint64_t segment_fetches = 0;     ///< shared log segment reads
@@ -77,21 +79,28 @@ struct PartialRestoreBreakdown {
   double replay_sim_seconds = 0;     ///< chain walk + apply + heal phase
 };
 
+/// One page's terminal repair status within a batch.
 struct PageRepairOutcome {
-  PageId page_id = kInvalidPageId;
-  Status status;
+  PageId page_id = kInvalidPageId;  ///< the page
+  Status status;                    ///< why it could not be repaired
 };
 
+/// Result of one RepairBatch / RepairBatchFromBackup call.
 struct BatchRepairResult {
-  uint64_t repaired = 0;
-  uint64_t failed = 0;
+  uint64_t repaired = 0;  ///< pages healed
+  uint64_t failed = 0;    ///< pages that could not be healed
   /// One entry per page that could not be repaired (escalations).
   std::vector<PageRepairOutcome> failures;
 };
 
+/// Batched multi-page repair coordinator (see the file comment for the
+/// three-phase algorithm). Also the PageRepairer installed on the buffer
+/// pool when the failure funnel is disabled.
 class RecoveryScheduler : public PageRepairer {
  public:
+  /// `spr` provides the per-page building blocks; `options` is copied.
   RecoveryScheduler(SinglePageRecovery* spr, RecoverySchedulerOptions options);
+  /// Joins the worker pool (if one was ever spawned).
   ~RecoveryScheduler() override;
 
   SPF_DISALLOW_COPY(RecoveryScheduler);
@@ -101,9 +110,24 @@ class RecoveryScheduler : public PageRepairer {
   Status RepairPage(PageId id, char* frame) override;
 
   /// Repairs every page in `pages` (deduplicated). Individual failures do
-  /// not abort the rest of the batch; they are reported in the result.
+  /// not abort the rest of the batch; they are reported in the result —
+  /// and, when an escalation sink is installed, also handed to it so
+  /// unrepairable pages flow into the failure funnel automatically.
   /// Thread-safe; concurrent batches are serialized.
   StatusOr<BatchRepairResult> RepairBatch(std::vector<PageId> pages);
+
+  /// RepairBatch without notifying the escalation sink. The recovery
+  /// ladder (Database::RecoverPages) uses this: it escalates leftovers to
+  /// partial restore itself, and feeding them back into the funnel that
+  /// invoked the ladder would loop.
+  StatusOr<BatchRepairResult> RepairBatchNoEscalation(
+      std::vector<PageId> pages);
+
+  /// Installs the escalation sink (the failure funnel's Report). Called
+  /// with the page ids a RepairBatch could not heal, after the batch
+  /// completes. Install during startup; not thread-safe vs. in-flight
+  /// batches.
+  void SetEscalationSink(std::function<void(std::vector<PageId>)> sink);
 
   /// Partial media restore (the "instant restore" bridge between the
   /// single-page path and full media recovery): repairs `pages` by reading
@@ -122,9 +146,12 @@ class RecoveryScheduler : public PageRepairer {
 
   /// Runtime toggle for the batched-vs-serial comparison (bench E8/E9).
   void set_batch_repair(bool on);
+  /// Current value of the batched-repair toggle.
   bool batch_repair() const;
 
+  /// Cumulative counters snapshot.
   RecoverySchedulerStats stats() const;
+  /// Zeroes the cumulative counters.
   void ResetStats();
 
  private:
@@ -134,6 +161,9 @@ class RecoveryScheduler : public PageRepairer {
   /// Builds the deduplicated task list and bumps the request counters.
   /// Caller must hold batch_mu_.
   std::vector<PageTask> PrepareBatch(std::vector<PageId>* pages, bool* batched);
+
+  StatusOr<BatchRepairResult> RepairBatchImpl(std::vector<PageId> pages,
+                                              bool notify_sink);
 
   BatchRepairResult RepairSerial(std::vector<PageTask>* tasks);
   BatchRepairResult RepairBatched(std::vector<PageTask>* tasks);
@@ -163,6 +193,8 @@ class RecoveryScheduler : public PageRepairer {
 
   SinglePageRecovery* const spr_;
   RecoverySchedulerOptions options_;
+  /// Receives the unrepairable page ids of a completed RepairBatch.
+  std::function<void(std::vector<PageId>)> escalation_sink_;
   /// Created on first batched repair (guarded by batch_mu_).
   std::unique_ptr<WorkerPool> workers_;
 

@@ -2,6 +2,8 @@
 
 #include <chrono>
 
+#include "core/recovery_coordinator.h"
+
 namespace spf {
 
 Scrubber::Scrubber(RecoveryScheduler* scheduler, PageAllocator* alloc,
@@ -97,15 +99,45 @@ StatusOr<ScrubStats> Scrubber::RunSpanLocked(uint64_t budget, bool is_tick) {
         ") and single-page repair is disabled (escalated)");
     std::lock_guard<std::mutex> g(totals_mu_);
     totals_.escalations += failed.size();
+  } else if (escalation.ok() && !failed.empty() && is_tick &&
+             funnel_ != nullptr) {
+    // Self-healing path: an incremental tick hands its haul to the
+    // failure funnel and keeps sweeping; the funnel's worker drains the
+    // pages through the full recovery ladder. A rejected report
+    // (backpressure) is not an error — the page stays damaged and the
+    // next pass re-detects it.
+    for (PageId p : failed) {
+      if (funnel_->Report(p, FailureOrigin::kScrubber) !=
+          ReportResult::kRejected) {
+        stats.failures_reported++;
+      }
+    }
   } else if (escalation.ok() && !failed.empty()) {
-    auto repaired_or = scheduler_->RepairBatch(std::move(failed));
+    // Synchronous repair. With a funnel installed, report the batch's
+    // failures ourselves (NoEscalation avoids a duplicate report through
+    // the scheduler's sink) so each report's outcome is accounted
+    // exactly: accepted/coalesced pages are self-healing in the
+    // background, rejected ones (backpressure) stay damaged and count as
+    // escalations until a later sweep re-detects them.
+    auto repaired_or = funnel_ != nullptr
+                           ? scheduler_->RepairBatchNoEscalation(std::move(failed))
+                           : scheduler_->RepairBatch(std::move(failed));
     if (repaired_or.ok()) {
       stats.pages_repaired = repaired_or->repaired;
-      if (!repaired_or->failures.empty()) {
+      uint64_t unreported = repaired_or->failed;
+      if (funnel_ != nullptr) {
+        for (const PageRepairOutcome& f : repaired_or->failures) {
+          if (funnel_->Report(f.page_id, FailureOrigin::kScrubber) !=
+              ReportResult::kRejected) {
+            stats.failures_reported++;
+            unreported--;
+          }
+        }
+      } else if (!repaired_or->failures.empty()) {
         escalation = repaired_or->failures.front().status;
       }
       std::lock_guard<std::mutex> g(totals_mu_);
-      totals_.escalations += repaired_or->failed;
+      totals_.escalations += unreported;
     } else {
       escalation = repaired_or.status();
     }
@@ -121,6 +153,7 @@ StatusOr<ScrubStats> Scrubber::RunSpanLocked(uint64_t budget, bool is_tick) {
     totals_.pages_scanned += stats.pages_scanned;
     totals_.failures_detected += stats.failures_detected;
     totals_.pages_repaired += stats.pages_repaired;
+    totals_.failures_reported += stats.failures_reported;
     totals_.transient_skips += stats.transient_skips;
   }
   if (!escalation.ok()) return escalation;
@@ -159,21 +192,35 @@ bool Scrubber::running() const { return running_.load(); }
 
 void Scrubber::BackgroundLoop() {
   const uint64_t interval_ns = options_.interval_sim_ms * 1000ull * 1000ull;
+  // Wall-clock cadence (when set) overrides the simulated one: under
+  // Instant device profiles simulated time never advances, so the
+  // simulated cadence would degrade to continuous ticking (old ROADMAP
+  // note); the daemon example paces on the host clock instead.
+  const bool wall = options_.interval_wall_ms > 0;
+  const auto wall_interval = std::chrono::milliseconds(options_.interval_wall_ms);
+  auto last_wall = std::chrono::steady_clock::now();
   bool first = true;
   while (!stop_.load()) {
-    uint64_t now = clock_->NowNanos();
-    if (first || interval_ns == 0 || now - last_tick_ns_ >= interval_ns) {
+    bool due;
+    if (wall) {
+      due = first || std::chrono::steady_clock::now() - last_wall >= wall_interval;
+    } else {
+      due = first || interval_ns == 0 ||
+            clock_->NowNanos() - last_tick_ns_ >= interval_ns;
+    }
+    if (due) {
       first = false;
       // Background errors don't kill the daemon: escalations are counted
       // in totals() and the failed pages stay due for the next pass.
       (void)Tick();
       last_tick_ns_ = clock_->NowNanos();
-      if (interval_ns == 0) {
+      last_wall = std::chrono::steady_clock::now();
+      if (!wall && interval_ns == 0) {
         // Continuous mode: yield so foreground work can interleave.
         std::this_thread::yield();
       }
     } else {
-      // Simulated time has not advanced far enough yet; poll gently.
+      // The next tick is not due yet; poll gently.
       std::this_thread::sleep_for(std::chrono::microseconds(200));
     }
   }

@@ -9,11 +9,21 @@
 // against the device (in-page checks plus the PageLSN-vs-PRI cross-check)
 // and hands every detected failure to the RecoveryScheduler as one batch.
 //
-// Cadence is measured against the simulated clock: a background thread
-// re-sweeps whenever `interval` of simulated time has passed since the
-// last tick (the tick's own device reads advance the clock). Foreground
-// use (Database::Scrub()) is a synchronous full sweep over the same
-// machinery.
+// Cadence is measured against the simulated clock by default: a
+// background thread re-sweeps whenever `interval_sim_ms` of simulated
+// time has passed since the last tick (the tick's own device reads
+// advance the clock). Under Instant device profiles simulated time never
+// advances, so `interval_wall_ms` provides a WALL-clock cadence instead
+// (the daemon example paces this way). Foreground use (Database::Scrub())
+// is a synchronous full sweep over the same machinery.
+//
+// Repair routing: a synchronous sweep repairs its haul directly through
+// the RecoveryScheduler; failures the batch cannot heal are reported
+// into the funnel (when installed) so they self-heal in the background —
+// rejected reports (backpressure) count as escalations. BACKGROUND ticks
+// with a RecoveryCoordinator installed do not repair at all — they report
+// each detected page id into the funnel and keep sweeping; the funnel's
+// worker drains them through the full recovery ladder.
 
 #pragma once
 
@@ -31,22 +41,33 @@
 
 namespace spf {
 
+class RecoveryCoordinator;
+
 /// One sweep's worth of counters (returned by Database::Scrub() and
 /// Scrubber::Tick()).
 struct ScrubStats {
-  uint64_t pages_scanned = 0;
-  uint64_t failures_detected = 0;
-  uint64_t pages_repaired = 0;
+  uint64_t pages_scanned = 0;      ///< pages read and verified this span
+  uint64_t failures_detected = 0;  ///< single-page failures found
+  uint64_t pages_repaired = 0;     ///< healed synchronously (direct repair)
+  /// Detected failures handed to the failure funnel (background ticks with
+  /// a RecoveryCoordinator installed); repair happens asynchronously.
+  uint64_t failures_reported = 0;
   /// Device images that failed only the cross-check while the pool held a
   /// newer (or in-flux) copy: a write-back racing the scan, not damage.
   uint64_t transient_skips = 0;
 };
 
+/// Tuning knobs for the Scrubber.
 struct ScrubberOptions {
   /// Page budget per tick (the incremental sweep quantum).
   uint64_t pages_per_tick = 256;
   /// Simulated-time cadence of the background loop; 0 ticks continuously.
   uint64_t interval_sim_ms = 0;
+  /// WALL-clock cadence of the background loop; overrides the simulated
+  /// cadence when nonzero. Use under Instant device profiles, where
+  /// simulated time never advances and the simulated cadence would fall
+  /// back to continuous ticking.
+  uint64_t interval_wall_ms = 0;
   /// Run in-page verification + cross-check (matches verify_on_read).
   /// Hard read errors are detected either way.
   bool verify = true;
@@ -58,17 +79,21 @@ struct ScrubberOptions {
 
 /// Lifetime totals across all ticks and sweeps.
 struct ScrubberTotals {
-  uint64_t ticks = 0;
+  uint64_t ticks = 0;             ///< incremental spans run
   uint64_t sweeps_completed = 0;  ///< full passes over the page space
-  uint64_t pages_scanned = 0;
-  uint64_t failures_detected = 0;
-  uint64_t pages_repaired = 0;
+  uint64_t pages_scanned = 0;     ///< pages read and verified
+  uint64_t failures_detected = 0; ///< single-page failures found
+  uint64_t pages_repaired = 0;    ///< healed synchronously (direct repair)
+  uint64_t failures_reported = 0; ///< handed to the failure funnel
   uint64_t transient_skips = 0;   ///< write-back races, not failures
   /// Escalation EVENTS: a page that stays unrepairable is re-detected and
   /// re-counted on every subsequent sweep until it is healed or retired.
   uint64_t escalations = 0;
 };
 
+/// The background scrubber (see the file comment for detection/cadence
+/// semantics). Thread-safe: the background loop, foreground sweeps, and
+/// totals() readers may overlap.
 class Scrubber {
  public:
   /// `verifier` may be null (no cross-check); `layout` is copied.
@@ -76,6 +101,7 @@ class Scrubber {
            BufferPool* pool, SimDevice* device, ReadVerifier* verifier,
            const BadBlockList* bad_blocks, PriLayout layout, SimClock* clock,
            ScrubberOptions options);
+  /// Stops the background thread if it is still running.
   ~Scrubber();
 
   SPF_DISALLOW_COPY(Scrubber);
@@ -89,11 +115,20 @@ class Scrubber {
   /// Synchronous full pass over the whole page space (Database::Scrub()).
   StatusOr<ScrubStats> SweepAll();
 
-  /// Starts/stops the background thread. Start is idempotent; Stop joins.
+  /// Starts the background thread. Idempotent.
   void Start();
+  /// Stops the background thread (joins it).
   void Stop();
+  /// True between Start and Stop.
   bool running() const;
 
+  /// Installs the failure funnel: incremental ticks report detected page
+  /// ids into it instead of repairing synchronously; full sweeps repair
+  /// directly and report only the pages the batch could not heal.
+  /// Install before Start; may be null (direct repair everywhere).
+  void SetFunnel(RecoveryCoordinator* funnel) { funnel_ = funnel; }
+
+  /// Lifetime counters snapshot.
   ScrubberTotals totals() const;
 
  private:
@@ -110,6 +145,7 @@ class Scrubber {
   void BackgroundLoop();
 
   RecoveryScheduler* const scheduler_;
+  RecoveryCoordinator* funnel_ = nullptr;  ///< tick failures report here
   PageAllocator* const alloc_;
   BufferPool* const pool_;
   SimDevice* const device_;

@@ -73,6 +73,9 @@ Status SinglePageRecovery::LoadBackupImage(PageId id, const PriEntry& entry,
       SPF_RETURN_IF_ERROR(btree_log::RedoBTreeRecord(rec, page));
       // Formatting anchored the per-page chain at this record.
       page.set_page_lsn(rec.lsn);
+      // The live format bumped once when the record was logged; match it
+      // so the rebuilt image is byte-identical.
+      page.bump_update_count();
       break;
     }
     case BackupKind::kNone:
@@ -132,6 +135,9 @@ Status SinglePageRecovery::ApplyChain(std::vector<LogRecord>* chain,
     }
     SPF_RETURN_IF_ERROR(btree_log::RedoBTreeRecord(rec, page));
     page.set_page_lsn(rec.lsn);
+    // The live path bumps once per logged page record (AppendPageRecord);
+    // redo must do the same for the replayed image to be byte-identical.
+    page.bump_update_count();
     acc->log_records_applied++;
     acc->last_chain_length++;
   }

@@ -35,10 +35,14 @@ StatusOr<std::unique_ptr<Database>> Database::Create(DatabaseOptions options) {
 }
 
 void Database::BuildVolatileState() {
-  // The scrubber and scheduler reference everything below; take them down
-  // first (stopping any background sweep) before components are replaced.
+  // The scrubber, funnel, and scheduler reference everything below; take
+  // them down first — in that order (the scrubber reports into the
+  // funnel; the funnel's ladder drives the scheduler) — before any
+  // component is replaced.
   if (scrubber_ != nullptr) scrubber_->Stop();
   scrubber_.reset();
+  if (funnel_ != nullptr) funnel_->Stop();
+  funnel_.reset();
   scheduler_.reset();
 
   log_ = std::make_unique<LogManager>(wal_.get());
@@ -100,10 +104,54 @@ void Database::BuildVolatileState() {
     }
   }
 
+  // The failure funnel: every detection site reports damaged pages here,
+  // and its worker drains them through the RecoverPages ladder — the
+  // self-healing pipeline. The foreground read path goes through the
+  // funnel too (concurrent readers of one damaged page share a repair),
+  // falling back to an inline scheduler repair under backpressure.
+  if (repair_wired && options_.auto_escalate) {
+    RecoveryCoordinatorOptions fo;
+    fo.num_workers = options_.funnel_workers;
+    fo.queue_limit = options_.funnel_queue_limit;
+    funnel_ = std::make_unique<RecoveryCoordinator>(
+        [this](std::vector<PageId> pages) -> StatusOr<FunnelBatchOutcome> {
+          SPF_ASSIGN_OR_RETURN(RecoverPagesResult rec,
+                               RecoverPages(std::move(pages)));
+          FunnelBatchOutcome out;
+          out.repaired_spr = rec.repaired_single_page;
+          out.skipped_dirty = rec.skipped_dirty;
+          if (rec.path == RecoveryPath::kPartialRestore) {
+            out.repaired_partial = rec.escalated_to_partial;
+          } else if (rec.path == RecoveryPath::kFullRestore) {
+            out.full_restores = 1;
+            // The whole-device restore healed everything the upper rungs
+            // left over (the batch resolves OK; count the heals).
+            out.repaired_full = rec.pages_requested - rec.skipped_dirty -
+                                rec.repaired_single_page;
+          }
+          return out;
+        },
+        data_.get(), fo);
+    funnel_->SetInlineFallback(scheduler_.get());
+    funnel_->Start();
+    pool_->SetPageRepairer(funnel_.get());
+    // Pages a direct RepairBatch (sync scrub sweeps, Database::RepairPages)
+    // could not heal flow into the funnel instead of stopping at the
+    // caller. The ladder itself uses RepairBatchNoEscalation.
+    RecoveryCoordinator* funnel = funnel_.get();
+    scheduler_->SetEscalationSink([funnel](std::vector<PageId> pages) {
+      for (PageId p : pages) {
+        (void)funnel->Report(p, FailureOrigin::kEscalation);
+      }
+    });
+  }
+
   ScrubberOptions sc_opts;
   sc_opts.pages_per_tick = options_.scrub_pages_per_tick;
   sc_opts.interval_sim_ms =
       static_cast<uint64_t>(options_.scrub_interval.count());
+  sc_opts.interval_wall_ms =
+      static_cast<uint64_t>(options_.scrub_wall_interval.count());
   sc_opts.verify = options_.verify_on_read;
   // Without the repair hook a detected failure escalates, matching the
   // "traditional system" baseline of Figure 1.
@@ -114,6 +162,7 @@ void Database::BuildVolatileState() {
           ? cross_check_.get()
           : nullptr,
       &bbl_, layout_, &clock_, sc_opts);
+  if (funnel_ != nullptr) scrubber_->SetFunnel(funnel_.get());
 
   BTreeOptions bt;
   bt.verify_traversals = options_.verify_traversals;
@@ -309,8 +358,11 @@ StatusOr<RecoverPagesResult> Database::RecoverPages(std::vector<PageId> pages) {
   if (options_.enable_single_page_repair &&
       options_.tracking == WriteTrackingMode::kPri &&
       pages.size() <= options_.spr_batch_limit) {
+    // NoEscalation: this ladder escalates leftovers to partial restore
+    // itself; reporting them into the funnel (which calls this ladder)
+    // would loop.
     SPF_ASSIGN_OR_RETURN(BatchRepairResult batch,
-                         scheduler_->RepairBatch(std::move(pages)));
+                         scheduler_->RepairBatchNoEscalation(std::move(pages)));
     result.repaired_single_page = batch.repaired;
     if (batch.failed == 0) {
       result.path = RecoveryPath::kSinglePage;
@@ -508,6 +560,20 @@ StatusOr<PageId> Database::RelocatePage(PageId old_pid) {
   // Drop the stale frame for the retired location.
   pool_->DiscardPage(old_pid);
   return new_pid;
+}
+
+DatabaseStats Database::Stats() const {
+  DatabaseStats s;
+  s.pool = pool_->stats();
+  s.spr = spr_->stats();
+  s.scheduler = scheduler_->stats();
+  s.scrubber = scrubber_->totals();
+  if (funnel_ != nullptr) s.funnel = funnel_->totals();
+  if (cross_check_ != nullptr) {
+    s.cross_checks = cross_check_->checks();
+    s.cross_check_mismatches = cross_check_->mismatches();
+  }
+  return s;
 }
 
 StatusOr<PageId> Database::LeafPageOf(std::string_view key) {

@@ -31,6 +31,7 @@
 #include "buffer/buffer_pool.h"
 #include "common/sim_clock.h"
 #include "core/pri_manager.h"
+#include "core/recovery_coordinator.h"
 #include "core/recovery_scheduler.h"
 #include "core/scrubber.h"
 #include "core/single_page_recovery.h"
@@ -47,17 +48,20 @@
 
 namespace spf {
 
+/// Every tuning knob of a Database instance; see the README's options
+/// reference table for the full knob/default/consumer matrix.
 struct DatabaseOptions {
-  uint32_t page_size = kDefaultPageSize;
+  uint32_t page_size = kDefaultPageSize;  ///< bytes per page
   uint64_t num_pages = 16384;  ///< 128 MiB at the default page size
-  size_t buffer_frames = 1024;
+  size_t buffer_frames = 1024;  ///< buffer-pool capacity in frames
 
-  DeviceProfile data_profile = DeviceProfile::Ssd();
-  DeviceProfile log_profile = DeviceProfile::Ssd();
-  DeviceProfile backup_profile = DeviceProfile::Hdd100();
+  DeviceProfile data_profile = DeviceProfile::Ssd();      ///< data device timing
+  DeviceProfile log_profile = DeviceProfile::Ssd();       ///< log device timing
+  DeviceProfile backup_profile = DeviceProfile::Hdd100(); ///< backup device timing
 
   /// How completed writes are tracked (E4/E6 ablation axis).
   WriteTrackingMode tracking = WriteTrackingMode::kPri;
+  /// When per-page backup copies / in-log images are taken.
   BackupPolicy backup_policy;
 
   /// In-page verification + PageLSN cross-check on every buffer fault.
@@ -83,8 +87,31 @@ struct DatabaseOptions {
   /// (scrubber()->Start()) re-sweeps `scrub_pages_per_tick` pages whenever
   /// this much simulated time has passed. Zero ticks continuously.
   std::chrono::milliseconds scrub_interval{0};
+  /// Background scrubber cadence in WALL-CLOCK time; overrides
+  /// `scrub_interval` when nonzero. Use with Instant device profiles,
+  /// where simulated time never advances and the simulated cadence would
+  /// degrade to continuous ticking.
+  std::chrono::milliseconds scrub_wall_interval{0};
   /// Page budget per background scrub tick (the incremental quantum).
   uint64_t scrub_pages_per_tick = 256;
+
+  // --- failure funnel (self-healing) knobs ------------------------------------
+
+  /// Automatic escalation through the failure funnel: the buffer pool's
+  /// read path, background scrubber ticks, and batch-repair escalations
+  /// all report damaged pages into the RecoveryCoordinator, whose worker
+  /// drains them through the RecoverPages ladder — the system heals
+  /// itself end to end with no caller involvement. When false, each
+  /// detection site repairs inline and escalation beyond batched repair
+  /// is the caller's job (the pre-funnel behavior). Only effective when
+  /// single-page repair is wired (PRI tracking + enable_single_page_repair).
+  bool auto_escalate = true;
+  /// Worker threads draining the funnel. One maximizes batch coalescing.
+  uint32_t funnel_workers = 1;
+  /// Pending-queue bound of the funnel: reports beyond it are rejected
+  /// (backpressure). A rejected scrubber report is re-detected on the
+  /// next sweep; a rejected foreground reader repairs inline.
+  uint64_t funnel_queue_limit = 1024;
 
   /// RecoverPages escalation policy: batches of at most this many pages
   /// are first attempted as coordinated single-page repairs (per-page
@@ -95,6 +122,8 @@ struct DatabaseOptions {
   /// every batch to partial restore directly.
   uint64_t spr_batch_limit = 64;
 
+  /// Lock-acquisition timeout before a transaction gives up (deadlock
+  /// avoidance by timeout).
   std::chrono::milliseconds lock_timeout{200};
 };
 
@@ -107,12 +136,16 @@ enum class RecoveryPath : uint8_t {
   kFullRestore,     ///< unbounded (or unrepairable) damage: full restore
 };
 
+/// Outcome of one RecoverPages climb.
 struct RecoverPagesResult {
+  /// The rung that ultimately certified the batch.
   RecoveryPath path = RecoveryPath::kNone;
+  /// Distinct pages in the request.
   uint64_t pages_requested = 0;
   /// Pages with a dirty buffered copy: nothing was lost, write-back will
   /// overwrite the device image, so they are not "damaged" at all.
   uint64_t skipped_dirty = 0;
+  /// Pages healed by the coordinated single-page rung.
   uint64_t repaired_single_page = 0;
   /// Pages routed to partial restore (whole batch or single-page leftovers).
   uint64_t escalated_to_partial = 0;
@@ -120,19 +153,37 @@ struct RecoverPagesResult {
   MediaRecoveryStats media;
 };
 
+/// One-stop counter snapshot across the stack (Database::Stats()):
+/// detection (pool, cross-check), repair machinery (single-page recovery,
+/// scheduler), and the background healers (scrubber, failure funnel).
+struct DatabaseStats {
+  BufferPoolStats pool;            ///< fixes, verify failures, repairs
+  SinglePageRecoveryStats spr;     ///< per-page repair counters
+  RecoverySchedulerStats scheduler;///< batches, groups, segment fetches
+  ScrubberTotals scrubber;         ///< sweeps, detections, reports
+  FunnelTotals funnel;             ///< enqueue/coalesce/per-rung repairs
+  uint64_t cross_checks = 0;       ///< PageLSN-vs-PRI comparisons run
+  uint64_t cross_check_mismatches = 0;  ///< stale pages caught
+};
+
 /// One database instance over simulated storage. Thread-safe for
 /// concurrent transactions; Create/SimulateCrash/Restart/RecoverMedia are
 /// administrative and must not race data operations.
 class Database {
  public:
+  /// Builds the full stack over fresh simulated devices, formats the meta
+  /// page, creates the B-tree, and takes the first checkpoint.
   static StatusOr<std::unique_ptr<Database>> Create(DatabaseOptions options);
+  /// Stops the background components (scrubber, funnel) and tears down.
   ~Database();
 
   SPF_DISALLOW_COPY(Database);
 
   // --- transactions -----------------------------------------------------------
 
+  /// Starts a user transaction (owned by the TxnManager).
   Transaction* Begin();
+  /// Commits: forces the log through the commit record.
   Status Commit(Transaction* txn);
   /// Rolls back via the per-transaction chain (compensation records).
   Status Abort(Transaction* txn);
@@ -145,18 +196,24 @@ class Database {
   Status Update(Transaction* txn, std::string_view key, std::string_view value);
   /// Insert-or-update.
   Status Put(Transaction* txn, std::string_view key, std::string_view value);
+  /// Removes `key`; NotFound if absent.
   Status Delete(Transaction* txn, std::string_view key);
   /// Pass txn = nullptr for an unlocked read.
   StatusOr<std::string> Get(Transaction* txn, std::string_view key);
+  /// Visits [start, end) in key order until `fn` returns false; an empty
+  /// `end` means "to the last key".
   Status Scan(std::string_view start, std::string_view end,
               const std::function<bool(std::string_view, std::string_view)>& fn);
 
   // --- operations ---------------------------------------------------------------
 
+  /// Takes a fuzzy checkpoint (dirty pages, dirty PRI windows, active
+  /// transactions, allocator + bad-block snapshots; master record).
   StatusOr<CheckpointStats> Checkpoint();
   /// Flushes everything and takes a full backup (media recovery baseline +
   /// PRI range compression).
   StatusOr<FullBackupInfo> TakeFullBackup();
+  /// Writes every dirty buffered page back to the device.
   Status FlushAll() { return pool_->FlushAll(); }
 
   // --- failure & recovery ---------------------------------------------------------
@@ -182,7 +239,11 @@ class Database {
   /// (the device failed as a whole, or partial restore itself failed)
   /// falls back to full restore-and-replay. Pages with a dirty buffered
   /// copy are skipped: nothing was lost, write-back overwrites the device
-  /// image. Administrative like RecoverMedia: must not race data ops.
+  /// image. This is also the ladder the failure funnel's worker drains
+  /// into, so with auto_escalate on, calling it by hand is rarely needed;
+  /// the page-wise rungs tolerate concurrent traffic, but the bottom
+  /// (full-restore) rung aborts every active transaction like
+  /// RecoverMedia does.
   StatusOr<RecoverPagesResult> RecoverPages(std::vector<PageId> pages);
 
   /// Synchronous whole-database scrub: reads and verifies every allocated
@@ -206,24 +267,31 @@ class Database {
 
   // --- introspection (benches, tests, examples) -----------------------------------
 
-  SimClock* clock() { return &clock_; }
-  SimDevice* data_device() { return data_.get(); }
-  SimDevice* backup_device() { return backup_dev_.get(); }
-  SimLogDevice* log_device() { return wal_.get(); }
-  LogManager* log() { return log_.get(); }
-  BufferPool* pool() { return pool_.get(); }
-  BTree* tree() { return tree_.get(); }
-  TxnManager* txns() { return txns_.get(); }
-  PageAllocator* allocator() { return alloc_.get(); }
-  BadBlockList* bad_blocks() { return &bbl_; }
-  BackupManager* backups() { return backups_.get(); }
-  PriManager* pri_manager() { return pri_manager_.get(); }
-  PageRecoveryIndex* pri() { return pri_index_.get(); }
-  SinglePageRecovery* single_page_recovery() { return spr_.get(); }
-  RecoveryScheduler* recovery_scheduler() { return scheduler_.get(); }
-  Scrubber* scrubber() { return scrubber_.get(); }
-  PageLsnCrossCheck* cross_check() { return cross_check_.get(); }
-  const DatabaseOptions& options() const { return options_; }
+  SimClock* clock() { return &clock_; }                  ///< simulated clock
+  SimDevice* data_device() { return data_.get(); }       ///< data device (fault injection)
+  SimDevice* backup_device() { return backup_dev_.get(); }  ///< backup device
+  SimLogDevice* log_device() { return wal_.get(); }      ///< log device
+  LogManager* log() { return log_.get(); }               ///< recovery log
+  BufferPool* pool() { return pool_.get(); }             ///< buffer pool
+  BTree* tree() { return tree_.get(); }                  ///< Foster B-tree
+  TxnManager* txns() { return txns_.get(); }             ///< transaction manager
+  PageAllocator* allocator() { return alloc_.get(); }    ///< page allocator
+  BadBlockList* bad_blocks() { return &bbl_; }           ///< retired locations
+  BackupManager* backups() { return backups_.get(); }    ///< backup subsystem
+  PriManager* pri_manager() { return pri_manager_.get(); }  ///< PRI maintenance
+  PageRecoveryIndex* pri() { return pri_index_.get(); }  ///< the PRI itself
+  SinglePageRecovery* single_page_recovery() { return spr_.get(); }  ///< per-page repair
+  RecoveryScheduler* recovery_scheduler() { return scheduler_.get(); }  ///< batch repair
+  Scrubber* scrubber() { return scrubber_.get(); }       ///< background scrubber
+  /// The failure funnel; null when auto_escalate is off (or single-page
+  /// repair is not wired).
+  RecoveryCoordinator* funnel() { return funnel_.get(); }
+  PageLsnCrossCheck* cross_check() { return cross_check_.get(); }  ///< read-time cross-check
+  const DatabaseOptions& options() const { return options_; }  ///< effective options
+
+  /// Aggregated counters across the whole stack (pool, repair machinery,
+  /// scrubber, funnel, cross-check).
+  DatabaseStats Stats() const;
 
   /// Leaf page currently holding `key` (test/bench helper for targeting
   /// fault injection).
@@ -271,8 +339,10 @@ class Database {
   std::unique_ptr<SinglePageRecovery> spr_;
   std::unique_ptr<PageLsnCrossCheck> cross_check_;
   std::unique_ptr<BTree> tree_;
-  // Declared after (so destroyed before) the components they drive.
+  // Declared after (so destroyed before) the components they drive; the
+  // scrubber reports into the funnel, so it is destroyed first.
   std::unique_ptr<RecoveryScheduler> scheduler_;
+  std::unique_ptr<RecoveryCoordinator> funnel_;
   std::unique_ptr<Scrubber> scrubber_;
   PriLayout layout_;
   Lsn master_record_stash_ = kInvalidLsn;  // survives crash (stable storage)

@@ -16,7 +16,10 @@ StatusOr<MediaRecoveryStats> MediaRecovery::Run() {
   }
 
   // Every buffered page belonged to the failed device; drop them all.
-  pool_->DiscardAll();
+  // Pinned frames are kept: those are readers parked in the failure
+  // funnel whose damaged page escalated to this full restore — they
+  // re-read the restored device copy once their repair resolves.
+  pool_->DiscardAllUnpinned();
   data_->ReviveDevice();
 
   {
@@ -66,6 +69,9 @@ StatusOr<MediaRecoveryStats> MediaRecovery::Run() {
       }
       SPF_RETURN_IF_ERROR(btree_log::RedoBTreeRecord(rec, page));
       page.set_page_lsn(rec.lsn);
+      // Match the live path's per-record bump so the replayed image is
+      // byte-identical to the lost one.
+      page.bump_update_count();
       page.UpdateChecksum();
       SPF_RETURN_IF_ERROR(data_->WritePage(rec.page_id, buf.data()));
       final_lsn[rec.page_id] = rec.lsn;

@@ -148,16 +148,36 @@ TEST(RecoverySchedulerTest, EmptyAndDuplicateBatches) {
 }
 
 TEST(RecoverySchedulerTest, ForegroundReadsStillFunnelThroughScheduler) {
+  // With auto-escalation OFF the pre-funnel wiring applies: a foreground
+  // read of the corrupted page repairs inline (Figure 8) and is accounted
+  // as a single-page request on the scheduler.
+  DatabaseOptions options = FastOptions();
+  options.auto_escalate = false;
   std::vector<PageId> victims;
-  auto db = MakeChainedDb(FastOptions(), &victims);
+  auto db = MakeChainedDb(options, &victims);
   CorruptAll(db.get(), {victims[0]});
 
-  // A foreground read of the corrupted page repairs inline (Figure 8)
-  // and is accounted as a single-page request on the scheduler.
   auto v = db->Get(nullptr, Key(0));
   ASSERT_TRUE(v.ok()) << v.status().ToString();
   EXPECT_GT(db->recovery_scheduler()->stats().single_repairs, 0u);
   EXPECT_GT(db->single_page_recovery()->stats().repairs_succeeded, 0u);
+}
+
+TEST(RecoverySchedulerTest, ForegroundReadsRouteThroughTheFunnelByDefault) {
+  // Default wiring: the read path reports into the failure funnel and
+  // waits; the repair still runs through the scheduler's batch machinery
+  // (RecoverPages' single-page rung), not the inline single_repairs hook.
+  std::vector<PageId> victims;
+  auto db = MakeChainedDb(FastOptions(), &victims);
+  CorruptAll(db.get(), {victims[0]});
+
+  auto v = db->Get(nullptr, Key(0));
+  ASSERT_TRUE(v.ok()) << v.status().ToString();
+  DatabaseStats stats = db->Stats();
+  EXPECT_EQ(stats.scheduler.single_repairs, 0u);
+  EXPECT_GE(stats.funnel.from_foreground, 1u);
+  EXPECT_GE(stats.funnel.repaired_spr, 1u);
+  EXPECT_GT(stats.spr.repairs_succeeded, 0u);
 }
 
 TEST(ScrubberTest, IncrementalTicksCoverTheWholeDevice) {
@@ -166,16 +186,21 @@ TEST(ScrubberTest, IncrementalTicksCoverTheWholeDevice) {
   CorruptAll(db.get(), victims);
 
   // Tick with a small budget until one full sweep completed; every
-  // injected fault must be found and healed without any foreground read.
-  uint64_t repaired = 0;
+  // injected fault must be found and reported into the failure funnel,
+  // which heals it without any foreground read.
+  uint64_t reported = 0;
   for (int i = 0; i < 1000; ++i) {
     auto tick = db->scrubber()->Tick();
     ASSERT_TRUE(tick.ok()) << tick.status().ToString();
-    repaired += tick->pages_repaired;
+    reported += tick->failures_reported;
     if (db->scrubber()->totals().sweeps_completed >= 1) break;
   }
   EXPECT_EQ(db->scrubber()->totals().sweeps_completed, 1u);
-  EXPECT_GE(repaired, victims.size());
+  EXPECT_GE(reported, victims.size());
+  db->funnel()->WaitIdle();
+  FunnelTotals funnel = db->funnel()->totals();
+  EXPECT_GE(funnel.repaired_spr + funnel.repaired_partial, victims.size());
+  EXPECT_EQ(funnel.failed, 0u);
   ASSERT_TRUE(db->CheckOffline(nullptr).ok());
 }
 
@@ -192,20 +217,25 @@ TEST(ScrubberTest, BackgroundScrubHealsColdPageWithoutForegroundRead) {
   db->scrubber()->Start();
   ASSERT_TRUE(db->scrubber()->running());
   // Wall-clock bound; simulated time advances through the sweep's own
-  // device reads.
+  // device reads. Wait for the funnel to have HEALED the report, not
+  // just for the sweep to pass over it.
   auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(30);
-  while (db->scrubber()->totals().sweeps_completed < 1 &&
+  while (db->funnel()->totals().repaired_spr < 1 &&
          std::chrono::steady_clock::now() < deadline) {
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
   }
   db->scrubber()->Stop();
   ASSERT_FALSE(db->scrubber()->running());
+  db->funnel()->WaitIdle();
 
   ScrubberTotals totals = db->scrubber()->totals();
-  EXPECT_GE(totals.sweeps_completed, 1u);
   EXPECT_GE(totals.failures_detected, 1u);
-  EXPECT_GE(totals.pages_repaired, 1u);
+  EXPECT_GE(totals.failures_reported, 1u);
   EXPECT_EQ(totals.escalations, 0u);
+  FunnelTotals funnel = db->funnel()->totals();
+  EXPECT_GE(funnel.from_scrubber, 1u);
+  EXPECT_GE(funnel.repaired_spr, 1u);
+  EXPECT_EQ(funnel.failed, 0u);
 
   // The device copy is healed in place — verified WITHOUT any database
   // read path.
