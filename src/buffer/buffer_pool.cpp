@@ -72,6 +72,14 @@ BufferPool::BufferPool(BufferPoolOptions options, SimDevice* device,
 BufferPool::~BufferPool() = default;
 
 Status BufferPool::LoadPage(PageId id, Frame* f) {
+  if (admission_ != nullptr) {
+    // Incremental full restore in progress: park until this page's
+    // segment is back on the device (on-demand restores serve it ahead of
+    // the sweep). An admission error is the restore's failure, not a
+    // page failure — propagate it without attempting repair.
+    Status adm = admission_->AwaitRestored(id);
+    if (!adm.ok()) return adm;
+  }
   Status read_status = device_->ReadPage(id, f->data.get());
   if (read_status.ok() && options_.verify_on_read) {
     PageView page(f->data.get(), options_.page_size);
@@ -230,6 +238,12 @@ StatusOr<PageGuard> BufferPool::FixPage(PageId id, LatchMode mode) {
 }
 
 StatusOr<PageGuard> BufferPool::FixNewPage(PageId id) {
+  if (admission_ != nullptr) {
+    // A freshly allocated page may land in a device region an incremental
+    // restore has not reached yet; wait the sweep out for its segment so
+    // a later segment restore cannot clobber this page's write-back.
+    SPF_RETURN_IF_ERROR(admission_->AwaitRestored(id));
+  }
   std::unique_lock<std::mutex> lock(mu_);
   stats_.fixes++;
   SPF_CHECK(page_table_.find(id) == page_table_.end())
@@ -342,6 +356,15 @@ std::vector<DirtyPageEntry> BufferPool::DirtyPages() const {
 bool BufferPool::IsCached(PageId id) const {
   std::lock_guard<std::mutex> g(mu_);
   return page_table_.count(id) > 0;
+}
+
+size_t BufferPool::PinnedFrames() const {
+  std::lock_guard<std::mutex> g(mu_);
+  size_t pinned = 0;
+  for (const auto& f : frames_) {
+    if (f->page_id != kInvalidPageId && f->pin_count > 0) pinned++;
+  }
+  return pinned;
 }
 
 bool BufferPool::IsDirty(PageId id) const {

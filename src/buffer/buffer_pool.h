@@ -68,6 +68,23 @@ class WriteCompletionListener {
                              const char* page_data) = 0;
 };
 
+/// Admission check consulted on every buffer fault — and every fresh-page
+/// fix — BEFORE the device is touched. During an incremental full restore
+/// the recovery module's RestoreGate implements this: a fault on a page
+/// the restore sweep has not reached yet blocks until that page's segment
+/// is back (and is registered for on-demand service so hot pages jump the
+/// sweep queue), so readers resume as soon as THEIR page is restored
+/// instead of when the whole device is. Outside a restore the check is a
+/// single relaxed atomic load.
+class RestoreAdmission {
+ public:
+  virtual ~RestoreAdmission() = default;
+  /// Returns once page `id` may safely be read from (or written back to)
+  /// the device; an error means the restore failed and the fault must
+  /// propagate it instead of retrying or repairing.
+  virtual Status AwaitRestored(PageId id) = 0;
+};
+
 /// Latch mode for fixing a page in the pool.
 enum class LatchMode { kShared, kExclusive };
 
@@ -149,6 +166,7 @@ class BufferPool {
   void SetReadVerifier(ReadVerifier* v) { verifier_ = v; }
   void SetPageRepairer(PageRepairer* r) { repairer_ = r; }
   void SetWriteCompletionListener(WriteCompletionListener* l) { listener_ = l; }
+  void SetRestoreAdmission(RestoreAdmission* a) { admission_ = a; }
 
   /// Fixes page `id` in the pool, reading (and verifying, and if necessary
   /// repairing) it on a miss. Figure 8's retrieval logic.
@@ -190,6 +208,11 @@ class BufferPool {
 
   bool IsCached(PageId id) const;
   bool IsDirty(PageId id) const;
+
+  /// Number of frames currently pinned. During a full restore these are
+  /// the readers parked in the failure funnel whose frames survive
+  /// DiscardAllUnpinned (the pinned-frame drain).
+  size_t PinnedFrames() const;
 
   /// Best-effort PageLSN of the cached frame for `id`. Returns nullopt
   /// when the page is not cached; returns kInvalidLsn when the frame is
@@ -238,6 +261,7 @@ class BufferPool {
   ReadVerifier* verifier_ = nullptr;
   PageRepairer* repairer_ = nullptr;
   WriteCompletionListener* listener_ = nullptr;
+  RestoreAdmission* admission_ = nullptr;
 
   mutable std::mutex mu_;
   std::vector<std::unique_ptr<Frame>> frames_;

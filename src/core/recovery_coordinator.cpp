@@ -186,6 +186,15 @@ void RecoveryCoordinator::WaitIdle() {
   });
 }
 
+void RecoveryCoordinator::NoteGatedRestore(const RestorePhases& phases) {
+  std::lock_guard<std::mutex> g(mu_);
+  totals_.gated_restores++;
+  totals_.txns_drained += phases.drained;
+  totals_.txns_doomed += phases.doomed;
+  totals_.admission_waits += phases.admission_waits;
+  totals_.on_demand_segments += phases.on_demand_segments;
+}
+
 FunnelTotals RecoveryCoordinator::totals() const {
   std::lock_guard<std::mutex> g(mu_);
   return totals_;

@@ -38,6 +38,7 @@
 #include <vector>
 
 #include "core/recovery_scheduler.h"
+#include "recovery/restore_gate.h"
 #include "storage/sim_device.h"
 
 namespace spf {
@@ -84,6 +85,15 @@ struct FunnelTotals {
   uint64_t from_foreground = 0;   ///< non-rejected reports: read path
   uint64_t from_scrubber = 0;     ///< non-rejected reports: scrubber
   uint64_t from_escalation = 0;   ///< non-rejected reports: scheduler sink
+
+  // Per-phase totals of the rung-5 restore-gate protocol (gate → drain →
+  // segmented restore → early readmission), accumulated from every gated
+  // full restore via NoteGatedRestore — funnel-driven and manual alike.
+  uint64_t gated_restores = 0;      ///< full restores run under the gate
+  uint64_t txns_drained = 0;        ///< in-flight txns that ran to commit
+  uint64_t txns_doomed = 0;         ///< stragglers force-aborted at deadline
+  uint64_t admission_waits = 0;     ///< faults parked on per-page admission
+  uint64_t on_demand_segments = 0;  ///< segments served ahead of the sweep
 };
 
 /// What one drained batch's trip through the recovery ladder achieved.
@@ -162,6 +172,12 @@ class RecoveryCoordinator : public PageRepairer {
   /// funnel must be running (or the queue already empty), otherwise this
   /// would wait forever — tests call it after Resume.
   void WaitIdle();
+
+  /// Accumulates one gated full restore's per-phase outcome (drained /
+  /// doomed transactions, admission waits, on-demand segments) into the
+  /// totals. Called by the database facade after every rung-5 climb, so
+  /// the funnel's counters cover manual RecoverMedia calls too.
+  void NoteGatedRestore(const RestorePhases& phases);
 
   /// Lifetime counters snapshot.
   FunnelTotals totals() const;

@@ -161,6 +161,15 @@ StatusOr<ScrubStats> Scrubber::RunSpanLocked(uint64_t budget, bool is_tick) {
 }
 
 StatusOr<ScrubStats> Scrubber::Tick() {
+  if (restore_gate_ != nullptr && restore_gate_->active()) {
+    // An incremental full restore owns the device: half-restored pages
+    // would all "fail" verification and flood the funnel with reports the
+    // restore is about to make moot. Skip the span; the cadence retries
+    // after the sweep finishes.
+    std::lock_guard<std::mutex> t(totals_mu_);
+    totals_.restore_skips++;
+    return ScrubStats{};
+  }
   std::lock_guard<std::mutex> g(sweep_mu_);
   return RunSpanLocked(options_.pages_per_tick, /*is_tick=*/true);
 }

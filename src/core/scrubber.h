@@ -36,6 +36,7 @@
 #include "buffer/buffer_pool.h"
 #include "core/pri_manager.h"
 #include "core/recovery_scheduler.h"
+#include "recovery/restore_gate.h"
 #include "storage/allocation.h"
 #include "storage/sim_device.h"
 
@@ -89,6 +90,9 @@ struct ScrubberTotals {
   /// Escalation EVENTS: a page that stays unrepairable is re-detected and
   /// re-counted on every subsequent sweep until it is healed or retired.
   uint64_t escalations = 0;
+  /// Ticks skipped because an incremental full restore owned the device
+  /// (half-restored pages would flood the funnel with moot reports).
+  uint64_t restore_skips = 0;
 };
 
 /// The background scrubber (see the file comment for detection/cadence
@@ -128,6 +132,12 @@ class Scrubber {
   /// Install before Start; may be null (direct repair everywhere).
   void SetFunnel(RecoveryCoordinator* funnel) { funnel_ = funnel; }
 
+  /// Installs the restore gate: background ticks are skipped while an
+  /// incremental full restore is active (counted as `restore_skips`).
+  /// Synchronous SweepAll() is not gated — it is an administrative call
+  /// whose caller owns the timing. Install before Start; may be null.
+  void SetRestoreGate(const RestoreGate* gate) { restore_gate_ = gate; }
+
   /// Lifetime counters snapshot.
   ScrubberTotals totals() const;
 
@@ -146,6 +156,7 @@ class Scrubber {
 
   RecoveryScheduler* const scheduler_;
   RecoveryCoordinator* funnel_ = nullptr;  ///< tick failures report here
+  const RestoreGate* restore_gate_ = nullptr;  ///< ticks pause while active
   PageAllocator* const alloc_;
   BufferPool* const pool_;
   SimDevice* const device_;

@@ -1,8 +1,41 @@
 #include "db/database.h"
 
 #include <algorithm>
+#include <chrono>
+#include <thread>
 
 namespace spf {
+
+namespace {
+
+/// The status every operation on a doomed (drain-deadline force-aborted)
+/// transaction handle returns. The restore owns the rollback; the owner
+/// must drop the handle.
+Status DoomedTxnStatus() {
+  return Status::Aborted(
+      "transaction was force-aborted by a full-restore drain deadline");
+}
+
+bool TxnDoomed(Transaction* txn) { return txn != nullptr && txn->doomed(); }
+
+/// Brackets one facade data operation on `txn` (null-safe) so the
+/// restore's fallback rollback can wait out an operation that was
+/// already executing when the drain deadline fired.
+class TxnOpGuard {
+ public:
+  explicit TxnOpGuard(Transaction* txn) : txn_(txn) {
+    if (txn_ != nullptr) txn_->BeginOp();
+  }
+  ~TxnOpGuard() {
+    if (txn_ != nullptr) txn_->EndOp();
+  }
+  SPF_DISALLOW_COPY(TxnOpGuard);
+
+ private:
+  Transaction* const txn_;
+};
+
+}  // namespace
 
 Database::Database(DatabaseOptions options) : options_(options) {}
 
@@ -55,6 +88,11 @@ void Database::BuildVolatileState() {
   bp.num_frames = options_.buffer_frames;
   bp.verify_on_read = options_.verify_on_read;
   pool_ = std::make_unique<BufferPool>(bp, data_.get(), log_.get());
+
+  // Restore gate (rung-5 protocol): installed on the pool permanently;
+  // inactive (one atomic load per fault) outside full restores.
+  restore_gate_ = std::make_unique<RestoreGate>(&clock_);
+  pool_->SetRestoreAdmission(restore_gate_.get());
 
   locks_ = std::make_unique<LockManager>(options_.lock_timeout);
   txns_ = std::make_unique<TxnManager>(log_.get(), locks_.get());
@@ -163,6 +201,7 @@ void Database::BuildVolatileState() {
           : nullptr,
       &bbl_, layout_, &clock_, sc_opts);
   if (funnel_ != nullptr) scrubber_->SetFunnel(funnel_.get());
+  scrubber_->SetRestoreGate(restore_gate_.get());
 
   BTreeOptions bt;
   bt.verify_traversals = options_.verify_traversals;
@@ -205,12 +244,31 @@ Status Database::Bootstrap() {
 
 Transaction* Database::Begin() { return txns_->Begin(); }
 
-Status Database::Commit(Transaction* txn) { return txns_->Commit(txn); }
+Status Database::Commit(Transaction* txn) {
+  if (TxnDoomed(txn)) return DoomedTxnStatus();
+  return txns_->Commit(txn);
+}
 
 Status Database::Abort(Transaction* txn) {
+  if (txn != nullptr && !txn->is_system() && !txn->TryClaimFinalize()) {
+    if (txn->doomed()) {
+      // The drain deadline doomed this transaction first; the restore
+      // owns its rollback.
+      return DoomedTxnStatus();
+    }
+    return Status::Aborted("transaction finalization already in progress");
+  }
   RollbackExecutor rollback(log_.get(), tree_.get(), txns_.get());
-  SPF_ASSIGN_OR_RETURN(RollbackStats stats, rollback.Rollback(txn));
-  (void)stats;
+  auto stats = rollback.Rollback(txn);
+  if (!stats.ok()) {
+    // The rollback could not run to completion (e.g. the device died
+    // mid-undo). Release the claim so the owner can retry once the
+    // device heals — or so the next full restore's doom phase picks the
+    // transaction up and compensates it (CLR chains make the resumed
+    // rollback skip what this attempt already undid).
+    if (txn != nullptr && !txn->is_system()) txn->RevertFinalizeClaim();
+    return stats.status();
+  }
   return Status::OK();
 }
 
@@ -218,16 +276,22 @@ Status Database::Abort(Transaction* txn) {
 
 Status Database::Insert(Transaction* txn, std::string_view key,
                         std::string_view value) {
+  if (TxnDoomed(txn)) return DoomedTxnStatus();
+  TxnOpGuard op(txn);
   return tree_->Insert(txn, key, value);
 }
 
 Status Database::Update(Transaction* txn, std::string_view key,
                         std::string_view value) {
+  if (TxnDoomed(txn)) return DoomedTxnStatus();
+  TxnOpGuard op(txn);
   return tree_->Update(txn, key, value);
 }
 
 Status Database::Put(Transaction* txn, std::string_view key,
                      std::string_view value) {
+  if (TxnDoomed(txn)) return DoomedTxnStatus();
+  TxnOpGuard op(txn);
   Status s = tree_->Insert(txn, key, value);
   if (s.IsFailedPrecondition()) {
     return tree_->Update(txn, key, value);
@@ -236,10 +300,14 @@ Status Database::Put(Transaction* txn, std::string_view key,
 }
 
 Status Database::Delete(Transaction* txn, std::string_view key) {
+  if (TxnDoomed(txn)) return DoomedTxnStatus();
+  TxnOpGuard op(txn);
   return tree_->Delete(txn, key);
 }
 
 StatusOr<std::string> Database::Get(Transaction* txn, std::string_view key) {
+  if (TxnDoomed(txn)) return DoomedTxnStatus();
+  TxnOpGuard op(txn);
   return tree_->Get(txn, key);
 }
 
@@ -301,32 +369,107 @@ StatusOr<RestartStats> Database::Restart() {
 }
 
 StatusOr<MediaRecoveryStats> Database::RecoverMedia() {
-  // Media recovery aborts the transactions that touched (or would touch)
-  // the failed device — with a single data device, all of them
-  // (section 5.1.3). They cannot roll back while the device is down, so
-  // drop their state and let the restore + replay + undo-style pass
-  // below bring the database to a consistent committed state.
-  //
-  // Implementation: losers' updates were replayed from the log during
-  // media recovery; compensate them by running restart-style undo after
-  // the replay — achieved by reusing the rollback executor for every
-  // transaction active right now.
-  std::vector<ActiveTxnEntry> active = txns_->ActiveTxns();
+  // The restore-gate protocol (gate → drain → segmented restore →
+  // readmit): instead of aborting every active transaction up front
+  // (section 5.1.3's baseline, the pre-gate behavior), in-flight
+  // transactions run to commit on their cached working sets while new
+  // ones park at the admission gate; only the stragglers a bounded drain
+  // deadline catches take the old forced-abort path. Their updates were
+  // replayed from the log during the restore, so they are compensated by
+  // restart-style undo after the replay.
 
+  // One sweep at a time: the funnel's ladder serializes its own climbs,
+  // but a manual call must not overlap a funnel-driven one. If another
+  // restore completed while this call waited for the lock and the device
+  // came back healthy, the damage this climb was escalating is already
+  // healed (or will re-detect through the ladder's cheaper rungs) — do
+  // not run a second whole-device restore back to back.
+  uint64_t generation = restore_generation_.load(std::memory_order_acquire);
+  std::lock_guard<std::mutex> restore_lock(recover_media_mu_);
+  if (restore_generation_.load(std::memory_order_acquire) != generation &&
+      !data_->device_failed()) {
+    return MediaRecoveryStats{};
+  }
+
+  // Mark the whole protocol on the gate so the background scrubber
+  // pauses through the gate/drain window too, not just the sweep.
+  restore_gate_->BeginProtocol();
+
+  // Phase 1 — gate: park new user transactions. Scope order matters at
+  // exit: EndProtocol runs BEFORE OpenGate (protocol declared later =
+  // destroyed first), so a transaction released by the reopening gate
+  // never observes a stale "restore in progress".
+  txns_->CloseGate();
+  struct GateReopener {
+    TxnManager* txns;
+    ~GateReopener() { txns->OpenGate(); }
+  } reopener{txns_.get()};  // every exit path readmits
+  struct ProtocolScope {
+    RestoreGate* gate;
+    ~ProtocolScope() { gate->EndProtocol(); }
+  } protocol{restore_gate_.get()};
+
+  RestorePhases phases;
+  phases.early_admission = options_.restore_early_admission;
+  phases.active_at_gate = txns_->ActiveUserCount();
+
+  // Phase 2 — drain: let in-flight transactions finish on cached pages.
+  auto drain_start = std::chrono::steady_clock::now();
+  size_t remaining = txns_->WaitForUserDrain(options_.restore_drain_timeout);
+  phases.drain_wall_ms =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                drain_start)
+          .count();
+  std::vector<Transaction*> doomed;
+  if (remaining > 0) doomed = txns_->DoomActiveUserTxns();
+  phases.doomed = doomed.size();
+  phases.drained = phases.active_at_gate - phases.doomed;
+
+  // Phase 3 — segmented restore, publishing progress through the gate;
+  // phase 4 — early readmission happens inside the sweep (on_sweep_begin)
+  // so transactions resume while the restore is still running.
   MediaRecovery media(log_.get(), backups_.get(), data_.get(), pool_.get(),
                       options_.tracking == WriteTrackingMode::kPri
                           ? pri_manager_.get()
                           : nullptr,
                       &clock_);
-  SPF_ASSIGN_OR_RETURN(MediaRecoveryStats stats, media.Run());
+  FullRestoreOptions fr;
+  fr.gate = restore_gate_.get();
+  fr.segment_pages = options_.restore_segment_pages;
+  if (options_.restore_early_admission) {
+    TxnManager* txns = txns_.get();
+    fr.on_sweep_begin = [txns] { txns->OpenGate(); };
+  }
+  SPF_ASSIGN_OR_RETURN(MediaRecoveryStats stats, media.Run(fr));
 
+  // Fallback branch: compensate the replayed updates of the stragglers
+  // the drain deadline caught. Their objects survive as zombies so the
+  // owners' handles stay valid (and only ever return Aborted). An
+  // operation that was already executing inside the tree when the
+  // deadline fired may still be draining out (it resumes via early
+  // admission); wait it out — bounded — so the rollback never races the
+  // owner's last operation.
   RollbackExecutor rollback(log_.get(), tree_.get(), txns_.get());
-  for (const auto& e : active) {
-    if (e.is_system) continue;
-    Transaction* txn = txns_->AdoptLoser(e.txn_id, e.last_lsn, e.last_lsn);
+  auto busy_deadline =
+      std::chrono::steady_clock::now() + options_.restore_drain_timeout;
+  for (Transaction* txn : doomed) {
+    // One shared bound across all stragglers: the wait exists to drain a
+    // last in-flight operation, not to serialize N full timeouts.
+    while (txn->busy() && std::chrono::steady_clock::now() < busy_deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
     SPF_RETURN_IF_ERROR(rollback.Rollback(txn).status());
   }
+
+  phases.segments = stats.segments;
+  phases.on_demand_segments = stats.on_demand_segments;
+  phases.admission_waits = restore_gate_->admission_waits();
+  phases.first_admission_sim_s = restore_gate_->first_admission_sim_seconds();
+  stats.phases = phases;
+  if (funnel_ != nullptr) funnel_->NoteGatedRestore(phases);
+
   SPF_RETURN_IF_ERROR(Checkpoint().status());
+  restore_generation_.fetch_add(1, std::memory_order_acq_rel);
   return stats;
 }
 

@@ -22,8 +22,10 @@
 
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "backup/backup_manager.h"
@@ -39,6 +41,7 @@
 #include "recovery/checkpoint.h"
 #include "recovery/media_recovery.h"
 #include "recovery/restart_recovery.h"
+#include "recovery/restore_gate.h"
 #include "recovery/rollback.h"
 #include "storage/allocation.h"
 #include "storage/db_meta.h"
@@ -112,6 +115,26 @@ struct DatabaseOptions {
   /// (backpressure). A rejected scrubber report is re-detected on the
   /// next sweep; a rejected foreground reader repairs inline.
   uint64_t funnel_queue_limit = 1024;
+
+  // --- full-restore gate (rung 5 under live traffic) ---------------------------
+
+  /// Drain deadline of the restore-gate protocol: when a full restore
+  /// starts, new transactions park at the admission gate and in-flight
+  /// transactions get this much wall time to run to commit on their
+  /// cached working sets. Stragglers still active at the deadline are
+  /// force-aborted (the pre-gate abort-everything path, now a fallback
+  /// branch; their handles stay valid but only ever return Aborted).
+  std::chrono::milliseconds restore_drain_timeout{200};
+  /// Pages per full-restore segment: the sweep restores the device in
+  /// page-id segments of this size, publishing progress through the
+  /// RestoreGate so parked readers resume as soon as THEIR segment is
+  /// back. 0 restores the whole device as one segment (no incremental
+  /// admission).
+  uint64_t restore_segment_pages = 256;
+  /// Early readmission: reopen the transaction admission gate as soon as
+  /// the restore sweep starts (reads wait per page, hot pages restore on
+  /// demand ahead of the sweep) instead of when the whole device is back.
+  bool restore_early_admission = true;
 
   /// RecoverPages escalation policy: batches of at most this many pages
   /// are first attempted as coordinated single-page repairs (per-page
@@ -226,8 +249,20 @@ class Database {
   /// ARIES restart recovery (analysis / redo / undo) + a fresh checkpoint.
   StatusOr<RestartStats> Restart();
 
-  /// Full media recovery: restore the latest full backup and replay the
-  /// log; aborts all active transactions first (section 5.1.3).
+  /// Full media recovery under the restore-gate protocol (rung 5 of the
+  /// ladder, live-traffic safe): (1) gate — new transactions park at the
+  /// TxnManager's admission gate; (2) drain — in-flight transactions run
+  /// to commit on their cached working sets within
+  /// `restore_drain_timeout`, stragglers are force-aborted (the old
+  /// abort-everything behavior, now the fallback branch; their handles
+  /// stay valid but return Aborted forever after); (3) restore — the
+  /// device is restored from the latest full backup in
+  /// `restore_segment_pages`-sized segments with per-segment log-chain
+  /// replay, progress published through the RestoreGate; (4) readmit —
+  /// with `restore_early_admission` the gate reopens at sweep start and a
+  /// buffer fault waits only for ITS page's segment (restored on demand
+  /// ahead of the sweep), otherwise at completion. Per-phase counters
+  /// land in the returned stats' `phases` and in the funnel's totals.
   StatusOr<MediaRecoveryStats> RecoverMedia();
 
   /// Recovers an explicit damaged set by climbing the recovery ladder:
@@ -241,9 +276,10 @@ class Database {
   /// copy are skipped: nothing was lost, write-back overwrites the device
   /// image. This is also the ladder the failure funnel's worker drains
   /// into, so with auto_escalate on, calling it by hand is rarely needed;
-  /// the page-wise rungs tolerate concurrent traffic, but the bottom
-  /// (full-restore) rung aborts every active transaction like
-  /// RecoverMedia does.
+  /// the page-wise rungs tolerate concurrent traffic, and the bottom
+  /// (full-restore) rung runs the RecoverMedia restore-gate protocol —
+  /// in-flight transactions drain to commit and traffic readmits while
+  /// the restore sweep is still running.
   StatusOr<RecoverPagesResult> RecoverPages(std::vector<PageId> pages);
 
   /// Synchronous whole-database scrub: reads and verifies every allocated
@@ -286,6 +322,9 @@ class Database {
   /// The failure funnel; null when auto_escalate is off (or single-page
   /// repair is not wired).
   RecoveryCoordinator* funnel() { return funnel_.get(); }
+  /// Restore-progress gate of the rung-5 protocol (always wired; active
+  /// only while a full restore sweep runs).
+  RestoreGate* restore_gate() { return restore_gate_.get(); }
   PageLsnCrossCheck* cross_check() { return cross_check_.get(); }  ///< read-time cross-check
   const DatabaseOptions& options() const { return options_; }  ///< effective options
 
@@ -334,6 +373,7 @@ class Database {
   std::unique_ptr<TxnManager> txns_;
   std::unique_ptr<PageAllocator> alloc_;
   std::unique_ptr<BackupManager> backups_;
+  std::unique_ptr<RestoreGate> restore_gate_;
   std::unique_ptr<PageRecoveryIndex> pri_index_;
   std::unique_ptr<PriManager> pri_manager_;
   std::unique_ptr<SinglePageRecovery> spr_;
@@ -345,6 +385,12 @@ class Database {
   std::unique_ptr<RecoveryCoordinator> funnel_;
   std::unique_ptr<Scrubber> scrubber_;
   PriLayout layout_;
+  // Serializes rung-5 climbs: a manual RecoverMedia must not overlap a
+  // funnel-driven one (the RestoreGate supports one sweep at a time).
+  // The generation counter lets a climb that blocked behind a completed
+  // restore skip re-restoring a healthy device.
+  std::mutex recover_media_mu_;
+  std::atomic<uint64_t> restore_generation_{0};
   Lsn master_record_stash_ = kInvalidLsn;  // survives crash (stable storage)
 };
 

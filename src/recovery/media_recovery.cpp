@@ -1,12 +1,104 @@
 #include "recovery/media_recovery.h"
 
-#include <map>
+#include <algorithm>
+#include <numeric>
 
 #include "btree/btree_log.h"
 
 namespace spf {
 
-StatusOr<MediaRecoveryStats> MediaRecovery::Run() {
+namespace {
+
+/// Record types a media replay re-applies (page-modifying redo).
+bool IsReplayType(LogRecordType type) {
+  switch (type) {
+    case LogRecordType::kPageFormat:
+    case LogRecordType::kBTreeInsert:
+    case LogRecordType::kBTreeMarkGhost:
+    case LogRecordType::kBTreeUpdate:
+    case LogRecordType::kBTreeReclaimGhost:
+    case LogRecordType::kBTreeSplit:
+    case LogRecordType::kBTreeAdopt:
+    case LogRecordType::kBTreeGrowRoot:
+    case LogRecordType::kPageMigrate:
+    case LogRecordType::kCompensation:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+Status MediaRecovery::RestoreSegment(
+    BackupId backup, uint64_t first, uint64_t count,
+    const std::unordered_map<PageId, std::vector<Lsn>>& plan, char* seg_buf,
+    MediaRecoveryStats* stats) {
+  const uint32_t page_size = data_->page_size();
+  std::vector<PageId> ids(count);
+  std::iota(ids.begin(), ids.end(), first);
+  std::vector<char*> frames(count);
+  for (uint64_t i = 0; i < count; ++i) frames[i] = seg_buf + i * page_size;
+
+  {
+    SimTimer t(clock_);
+    SPF_RETURN_IF_ERROR(
+        backups_->ReadPagesFromFullBackup(backup, ids, frames.data()).status());
+    stats->restore_sim_seconds += t.ElapsedSeconds();
+  }
+
+  SimTimer t(clock_);
+  for (uint64_t i = 0; i < count; ++i) {
+    PageId pid = first + i;
+    PageView page(frames[i], page_size);
+    Lsn format_lsn = kInvalidLsn;
+    Lsn final_lsn = kInvalidLsn;
+    bool modified = false;
+    auto pit = plan.find(pid);
+    if (pit != plan.end()) {
+      for (Lsn lsn : pit->second) {
+        // Re-read each plan record (random log read): the replay stays
+        // random-log-read bound like the paper's baseline, and the plan
+        // itself holds only LSNs, not record payloads.
+        SPF_ASSIGN_OR_RETURN(LogRecord rec, log_->Read(lsn));
+        if (rec.type == LogRecordType::kPageFormat) {
+          // Pages born after the backup: the format record is the backup
+          // (section 5.2.1) — rebuild from scratch by redo.
+          page.Format(pid, PageType::kRaw);
+          format_lsn = lsn;
+        } else if (page.page_lsn() >= lsn) {
+          stats->redo_skipped++;
+          continue;
+        }
+        SPF_RETURN_IF_ERROR(btree_log::RedoBTreeRecord(rec, page));
+        page.set_page_lsn(lsn);
+        // Match the live path's per-record bump so the replayed image is
+        // byte-identical to the lost one.
+        page.bump_update_count();
+        modified = true;
+        final_lsn = lsn;
+        stats->redo_applied++;
+      }
+    }
+    if (modified) page.UpdateChecksum();
+    SPF_RETURN_IF_ERROR(data_->WritePage(pid, frames[i]));
+    stats->pages_restored++;
+    if (pri_manager_ != nullptr) {
+      if (format_lsn != kInvalidLsn) {
+        pri_manager_->pri()->RecordBackup(
+            pid, {BackupKind::kFormatRecord, format_lsn});
+      }
+      if (final_lsn != kInvalidLsn) {
+        pri_manager_->pri()->RecordWrite(pid, final_lsn);
+      }
+    }
+  }
+  stats->replay_sim_seconds += t.ElapsedSeconds();
+  return Status::OK();
+}
+
+StatusOr<MediaRecoveryStats> MediaRecovery::Run(
+    const FullRestoreOptions& options) {
   MediaRecoveryStats stats;
   SimTimer total(clock_);
 
@@ -22,76 +114,69 @@ StatusOr<MediaRecoveryStats> MediaRecovery::Run() {
   pool_->DiscardAllUnpinned();
   data_->ReviveDevice();
 
-  {
-    SimTimer t(clock_);
-    SPF_ASSIGN_OR_RETURN(stats.pages_restored,
-                         backups_->RestoreFullBackup(backup->id, data_));
-    stats.restore_sim_seconds = t.ElapsedSeconds();
-  }
+  const uint64_t num_pages = data_->num_pages();
+  const uint64_t seg_pages =
+      options.segment_pages == 0 ? num_pages
+                                 : std::min(options.segment_pages, num_pages);
+  const uint64_t num_segments = (num_pages + seg_pages - 1) / seg_pages;
 
-  // Replay the log from the backup LSN, page-at-a-time with PageLSN
-  // decisions (random reads dominate — section 5.1.3).
+  // One sequential log pass builds the per-page replay plan (the LSNs
+  // each page needs, in log order). Traffic is still quiesced here, so
+  // the plan is complete: records appended by early-admitted transactions
+  // later only ever touch pages that were already restored.
+  std::unordered_map<PageId, std::vector<Lsn>> plan;
   {
     SimTimer t(clock_);
-    PageBuffer buf(data_->page_size());
-    std::map<PageId, Lsn> final_lsn;
-    std::map<PageId, Lsn> formats_seen;  // pages born after the backup
     for (auto it = log_->Scan(backup->backup_lsn); it.Valid(); it.Next()) {
       const LogRecord& rec = it.record();
       stats.records_scanned++;
-      switch (rec.type) {
-        case LogRecordType::kPageFormat:
-        case LogRecordType::kBTreeInsert:
-        case LogRecordType::kBTreeMarkGhost:
-        case LogRecordType::kBTreeUpdate:
-        case LogRecordType::kBTreeReclaimGhost:
-        case LogRecordType::kBTreeSplit:
-        case LogRecordType::kBTreeAdopt:
-        case LogRecordType::kBTreeGrowRoot:
-        case LogRecordType::kPageMigrate:
-        case LogRecordType::kCompensation:
-          break;
-        default:
-          continue;
-      }
+      if (!IsReplayType(rec.type)) continue;
       if (rec.page_id == kInvalidPageId) continue;
-
-      PageView page = buf.view();
-      if (rec.type == LogRecordType::kPageFormat) {
-        formats_seen[rec.page_id] = rec.lsn;
-        page.Format(rec.page_id, PageType::kRaw);  // rebuilt by redo below
-      } else {
-        SPF_RETURN_IF_ERROR(data_->ReadPage(rec.page_id, buf.data()));
-        if (page.page_lsn() >= rec.lsn) {
-          stats.redo_skipped++;
-          continue;
-        }
-      }
-      SPF_RETURN_IF_ERROR(btree_log::RedoBTreeRecord(rec, page));
-      page.set_page_lsn(rec.lsn);
-      // Match the live path's per-record bump so the replayed image is
-      // byte-identical to the lost one.
-      page.bump_update_count();
-      page.UpdateChecksum();
-      SPF_RETURN_IF_ERROR(data_->WritePage(rec.page_id, buf.data()));
-      final_lsn[rec.page_id] = rec.lsn;
-      stats.redo_applied++;
+      plan[rec.page_id].push_back(rec.lsn);
     }
-    stats.replay_sim_seconds = t.ElapsedSeconds();
-
-    if (pri_manager_ != nullptr) {
-      pri_manager_->OnFullBackup(backup->id);
-      // Pages formatted after the backup are not in it; their format
-      // records are their backups (section 5.2.1).
-      for (const auto& [pid, lsn] : formats_seen) {
-        pri_manager_->pri()->RecordBackup(pid,
-                                          {BackupKind::kFormatRecord, lsn});
-      }
-      for (const auto& [pid, lsn] : final_lsn) {
-        pri_manager_->pri()->RecordWrite(pid, lsn);
-      }
-    }
+    stats.replay_sim_seconds += t.ElapsedSeconds();
   }
+
+  // Rebuild the PRI's baseline to the restored full backup up front;
+  // per-page entries (format-record backups, final replayed LSNs) are
+  // published per segment BEFORE the segment is admitted.
+  if (pri_manager_ != nullptr) {
+    pri_manager_->OnFullBackup(backup->id);
+  }
+
+  RestoreGate* gate = options.gate;
+  if (gate != nullptr) gate->BeginRestore(num_pages, seg_pages);
+  if (options.on_sweep_begin) options.on_sweep_begin();
+
+  // One loop for both modes: with a gate, the claim order honors the
+  // on-demand queue; without one, it degrades to the sequential cursor.
+  std::vector<char> seg_buf(seg_pages * data_->page_size());
+  uint64_t seq = 0;
+  for (;;) {
+    uint64_t seg = 0;
+    bool on_demand = false;
+    if (gate != nullptr) {
+      if (!gate->ClaimNextSegment(&seg, &on_demand)) break;
+    } else {
+      if (seq >= num_segments) break;
+      seg = seq++;
+    }
+    uint64_t first = seg * seg_pages;
+    uint64_t count = std::min(seg_pages, num_pages - first);
+    Status s =
+        RestoreSegment(backup->id, first, count, plan, seg_buf.data(), &stats);
+    if (!s.ok()) {
+      // Fail every still-parked fault with the sweep's error instead of
+      // hanging it; the caller escalates.
+      if (gate != nullptr) gate->EndRestore(s);
+      return s;
+    }
+    if (gate != nullptr) gate->MarkSegmentRestored(seg);
+    stats.segments++;
+    if (on_demand) stats.on_demand_segments++;
+  }
+  if (gate != nullptr) gate->EndRestore(Status::OK());
+
   stats.total_sim_seconds = total.ElapsedSeconds();
   return stats;
 }

@@ -1,16 +1,21 @@
 // Media recovery (paper section 5.1.3) — the traditional baseline that
-// single-page recovery is measured against.
+// single-page recovery is measured against, upgraded to an INCREMENTAL
+// ("instant", Sauer, Graefe & Härder, arXiv:1702.08042) protocol.
 //
-// Run() restores the full backup sequentially onto the data device, then
-// scans the recovery log forward from the backup LSN and re-applies every
-// logged update whose page does not yet reflect it. The restore is
-// sequential (device transfer rate bound: 100 GB at 100 MB/s = 1,000 s,
-// section 6); the replay is random-read bound. Active transactions
-// touching the failed media are aborted by the caller before invoking
-// this.
+// Run() restores the device from the latest full backup in page-id
+// SEGMENTS: one sequential log pass builds a per-page replay plan (the
+// LSNs each page needs — re-read per segment at apply time, modeling the
+// partitioned log runs of instant restore), then every segment is served
+// as one sequential backup range read, an in-memory per-page chain apply,
+// and one sequential device write-back. Progress is published through an
+// optional RestoreGate: parked buffer faults are admitted as soon as
+// THEIR segment is back, and a waiting fault's segment is restored on
+// demand ahead of the sequential sweep. Without a gate the sweep is a
+// plain sequential restore with the same cost model as the paper's
+// baseline (device transfer rate bound: 100 GB at 100 MB/s = 1,000 s,
+// section 6; the replay is random-log-read bound).
 //
-// RunPartial() is the "instant restore" variant (Sauer, Graefe & Härder,
-// arXiv:1702.08042) for a BOUNDED damaged set: only the damaged page-id
+// RunPartial() is the bounded-damage variant: only the damaged page-id
 // ranges are read from the full backup (sequential runs), and only those
 // pages' per-page log chains are replayed — through the batched
 // RecoveryScheduler's shared-segment cluster walk, one buffered log pass
@@ -19,11 +24,16 @@
 
 #pragma once
 
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
 #include "backup/backup_manager.h"
 #include "buffer/buffer_pool.h"
 #include "core/pri_manager.h"
 #include "core/recovery_scheduler.h"
 #include "log/log_manager.h"
+#include "recovery/restore_gate.h"
 #include "storage/sim_device.h"
 
 namespace spf {
@@ -33,15 +43,35 @@ struct MediaRecoveryStats {
   uint64_t records_scanned = 0;
   uint64_t redo_applied = 0;
   uint64_t redo_skipped = 0;
+  uint64_t segments = 0;            ///< page-id segments the sweep served
+  uint64_t on_demand_segments = 0;  ///< served ahead of the sweep order
   double restore_sim_seconds = 0;
   double replay_sim_seconds = 0;
   double total_sim_seconds = 0;
+  /// Per-phase outcome of the gated protocol (Database::RecoverMedia
+  /// fills the drain-side fields; zeroed for partial restores).
+  RestorePhases phases;
+};
+
+/// How a full restore runs (MediaRecovery::Run overload).
+struct FullRestoreOptions {
+  /// Progress publication + per-page admission; null = no publication
+  /// (plain offline restore).
+  RestoreGate* gate = nullptr;
+  /// Pages per restore segment; 0 = the whole device in one segment.
+  uint64_t segment_pages = 0;
+  /// Invoked once the replay plan is built and the sweep is about to
+  /// start — the early-readmission hook (Database reopens the transaction
+  /// admission gate here, while the restore is still running).
+  std::function<void()> on_sweep_begin;
 };
 
 class MediaRecovery {
  public:
   /// `pri_manager` may be null; when present, the PRI is rebuilt to
-  /// reference the restored full backup.
+  /// reference the restored full backup — per segment, BEFORE the segment
+  /// is published as restored, so early-admitted readers never see a PRI
+  /// entry that lags the restored image.
   MediaRecovery(LogManager* log, BackupManager* backups, SimDevice* data,
                 BufferPool* pool, PriManager* pri_manager, SimClock* clock)
       : log_(log),
@@ -51,9 +81,14 @@ class MediaRecovery {
         pri_manager_(pri_manager),
         clock_(clock) {}
 
-  /// Full restore + replay. The device is revived first (simulating the
-  /// replacement of the failed unit).
-  StatusOr<MediaRecoveryStats> Run();
+  /// Full restore + replay with default options (one segment, no gate).
+  /// The device is revived first (simulating the replacement of the
+  /// failed unit).
+  StatusOr<MediaRecoveryStats> Run() { return Run(FullRestoreOptions()); }
+
+  /// Incremental full restore + replay; see the file comment for the
+  /// segment protocol.
+  StatusOr<MediaRecoveryStats> Run(const FullRestoreOptions& options);
 
   /// Partial restore-and-replay of a bounded damaged set through
   /// `scheduler`. Either heals every listed page to its PRI-certified
@@ -66,6 +101,14 @@ class MediaRecovery {
                                           RecoveryScheduler* scheduler);
 
  private:
+  /// Restores pages [first, first+count): sequential backup range read,
+  /// per-page chain apply from `plan`, sequential device write-back, then
+  /// per-page PRI publication. Buffers through `seg_buf` (count *
+  /// page_size bytes).
+  Status RestoreSegment(BackupId backup, uint64_t first, uint64_t count,
+                        const std::unordered_map<PageId, std::vector<Lsn>>& plan,
+                        char* seg_buf, MediaRecoveryStats* stats);
+
   LogManager* const log_;
   BackupManager* const backups_;
   SimDevice* const data_;

@@ -1,0 +1,146 @@
+#include "recovery/restore_gate.h"
+
+namespace spf {
+
+void RestoreGate::BeginProtocol() {
+  std::lock_guard<std::mutex> g(mu_);
+  protocol_ = true;
+  active_.store(true, std::memory_order_release);
+}
+
+void RestoreGate::EndProtocol() {
+  std::lock_guard<std::mutex> g(mu_);
+  protocol_ = false;
+  active_.store(running_, std::memory_order_release);
+}
+
+void RestoreGate::BeginRestore(uint64_t num_pages, uint64_t segment_pages) {
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    SPF_CHECK(!running_) << "nested BeginRestore";
+    num_pages_ = num_pages;
+    segment_pages_ = std::max<uint64_t>(segment_pages, 1);
+    num_segments_ = (num_pages_ + segment_pages_ - 1) / segment_pages_;
+    seg_state_.assign(num_segments_, kPending);
+    demanded_.assign(num_segments_, 0);
+    demand_.clear();
+    next_seq_ = 0;
+    segments_done_ = 0;
+    final_status_ = Status::OK();
+    stat_on_demand_ = 0;
+    stat_waits_ = 0;
+    first_admission_sim_s_ = -1;
+    restore_start_sim_s_ = clock_->NowSeconds();
+    running_ = true;
+    active_.store(true, std::memory_order_release);
+  }
+}
+
+bool RestoreGate::ClaimNextSegment(uint64_t* segment, bool* on_demand) {
+  std::lock_guard<std::mutex> g(mu_);
+  while (!demand_.empty()) {
+    uint64_t s = demand_.front();
+    demand_.pop_front();
+    if (seg_state_[s] == kPending) {
+      seg_state_[s] = kClaimed;
+      stat_on_demand_++;
+      *segment = s;
+      *on_demand = true;
+      return true;
+    }
+  }
+  while (next_seq_ < num_segments_ && seg_state_[next_seq_] != kPending) {
+    next_seq_++;
+  }
+  if (next_seq_ >= num_segments_) return false;
+  seg_state_[next_seq_] = kClaimed;
+  *segment = next_seq_;
+  *on_demand = false;
+  return true;
+}
+
+void RestoreGate::MarkSegmentRestored(uint64_t segment) {
+  uint64_t done, total;
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    SPF_CHECK_LT(segment, num_segments_);
+    seg_state_[segment] = kRestored;
+    segments_done_++;
+    if (demanded_[segment] && first_admission_sim_s_ < 0) {
+      // The sweep-side timestamp, not the waiter's wake-up time: the
+      // admission decision is deterministic even when the woken thread is
+      // scheduled late.
+      first_admission_sim_s_ = clock_->NowSeconds() - restore_start_sim_s_;
+    }
+    done = segments_done_;
+    total = num_segments_;
+  }
+  restored_cv_.notify_all();
+  if (observer_) observer_(done, total);
+}
+
+void RestoreGate::EndRestore(Status final_status) {
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    running_ = false;
+    final_status_ = std::move(final_status);
+    active_.store(protocol_, std::memory_order_release);
+  }
+  restored_cv_.notify_all();
+}
+
+Status RestoreGate::AwaitRestored(PageId id) {
+  if (!active_.load(std::memory_order_acquire)) return Status::OK();
+  std::unique_lock<std::mutex> lk(mu_);
+  if (!running_) return Status::OK();
+  if (id >= num_pages_) return Status::OK();
+  uint64_t seg = id / segment_pages_;
+  if (seg_state_[seg] == kRestored) return Status::OK();
+  stat_waits_++;
+  if (!demanded_[seg]) {
+    demanded_[seg] = 1;
+    demand_.push_back(seg);
+  }
+  restored_cv_.wait(lk, [&] { return seg_state_[seg] == kRestored || !running_; });
+  if (seg_state_[seg] == kRestored) return Status::OK();
+  // The restore ended without reaching this segment: propagate its error
+  // (a successful EndRestore implies every segment was restored first).
+  if (final_status_.ok()) {
+    return Status::MediaFailure("restore ended before page " +
+                                std::to_string(id) + " was recovered");
+  }
+  return final_status_;
+}
+
+PageId RestoreGate::watermark() const {
+  std::lock_guard<std::mutex> g(mu_);
+  if (num_segments_ == 0) return kInvalidPageId;
+  for (uint64_t s = 0; s < num_segments_; ++s) {
+    if (seg_state_[s] != kRestored) return s * segment_pages_;
+  }
+  return num_pages_;
+}
+
+bool RestoreGate::IsRestored(PageId id) const {
+  if (!active_.load(std::memory_order_acquire)) return true;
+  std::lock_guard<std::mutex> g(mu_);
+  if (!running_ || id >= num_pages_) return true;
+  return seg_state_[id / segment_pages_] == kRestored;
+}
+
+uint64_t RestoreGate::on_demand_segments() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return stat_on_demand_;
+}
+
+uint64_t RestoreGate::admission_waits() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return stat_waits_;
+}
+
+double RestoreGate::first_admission_sim_seconds() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return first_admission_sim_s_;
+}
+
+}  // namespace spf

@@ -1,0 +1,184 @@
+// RestoreGate — restore-progress publication and per-page admission for
+// the incremental ("instant", Sauer, Graefe & Härder, arXiv:1702.08042)
+// full-restore protocol.
+//
+// A full media restore used to be all-or-nothing: the device came back
+// only when every page had been restored and replayed, and every active
+// transaction was aborted up front. The RestoreGate turns rung 5 of the
+// recovery ladder into a staged protocol under live traffic:
+//
+//   gate    — the TxnManager closes its admission gate; new user
+//             transactions park instead of starting against a dead device;
+//   drain   — in-flight transactions run to commit on their cached working
+//             sets, up to a bounded deadline (stragglers are force-aborted
+//             — the old abort-everything path, now a fallback branch);
+//   restore — MediaRecovery::Run sweeps the device in page-id segments,
+//             publishing a restored watermark plus an out-of-order
+//             restored-segment set through this class;
+//   readmit — with early admission, the transaction gate reopens as soon
+//             as the sweep starts: a reader resumes as soon as ITS page is
+//             back (AwaitRestored), not when the whole device is, and hot
+//             pages are restored on demand ahead of the sequential sweep.
+//
+// The gate is installed on the BufferPool as its RestoreAdmission hook at
+// wiring time and stays inactive (one relaxed atomic load per buffer
+// fault) outside restores.
+
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+#include "buffer/buffer_pool.h"
+#include "common/sim_clock.h"
+#include "common/status.h"
+#include "storage/page.h"
+
+namespace spf {
+
+/// Per-phase outcome of one gated full restore (rung 5 under live
+/// traffic). Filled by Database::RecoverMedia and accumulated into the
+/// failure funnel's totals (RecoveryCoordinator::NoteGatedRestore).
+struct RestorePhases {
+  /// User transactions in flight when the admission gate closed.
+  uint64_t active_at_gate = 0;
+  /// In-flight transactions that ran to commit/abort within the drain
+  /// deadline (no forced abort).
+  uint64_t drained = 0;
+  /// Stragglers force-aborted when the drain deadline fired (the old
+  /// abort-everything path, now scoped to these).
+  uint64_t doomed = 0;
+  /// Wall-clock milliseconds spent in the drain phase.
+  double drain_wall_ms = 0;
+  /// Page-id segments the restore sweep served.
+  uint64_t segments = 0;
+  /// Segments served on demand (a waiting reader's page) ahead of the
+  /// sequential sweep order.
+  uint64_t on_demand_segments = 0;
+  /// Buffer faults that parked on the per-page admission check.
+  uint64_t admission_waits = 0;
+  /// Simulated seconds from restore start until the first parked fault
+  /// was admitted (negative when nothing waited). The headline number:
+  /// with early admission this is one segment, not the whole device.
+  double first_admission_sim_s = -1;
+  /// Whether the transaction gate reopened at sweep start (early
+  /// admission) instead of at restore completion.
+  bool early_admission = false;
+};
+
+/// Restore-progress tracker and RestoreAdmission implementation. One
+/// instance lives for the database's lifetime; BeginRestore/EndRestore
+/// bracket each full restore. Thread-safe: the sweep thread claims and
+/// marks segments while reader threads wait in AwaitRestored.
+class RestoreGate : public RestoreAdmission {
+ public:
+  /// `clock` stamps admission latencies in simulated time; not owned.
+  explicit RestoreGate(SimClock* clock) : clock_(clock) {}
+
+  SPF_DISALLOW_COPY(RestoreGate);
+
+  // --- protocol scope (Database::RecoverMedia) -------------------------------
+
+  /// Marks the whole rung-5 protocol (gate → drain → sweep → rollback)
+  /// as in progress, before the sweep itself starts. active() holds from
+  /// here so the background scrubber pauses during the gate/drain window
+  /// too — the device is already dead there, and every scanned page
+  /// would flood the funnel with reports the restore makes moot.
+  void BeginProtocol();
+
+  /// Ends the protocol scope opened by BeginProtocol.
+  void EndProtocol();
+
+  // --- sweep side (MediaRecovery::Run) ---------------------------------------
+
+  /// Activates the sweep over `num_pages` pages in segments of
+  /// `segment_pages` (clamped to at least 1). Resets the per-restore
+  /// admission statistics.
+  void BeginRestore(uint64_t num_pages, uint64_t segment_pages);
+
+  /// Claims the next segment to restore: a demanded segment (one a parked
+  /// fault is waiting on) if any, else the next unserved segment in
+  /// sequential order. Returns false when every segment has been claimed.
+  /// `*on_demand` reports which path chose the segment.
+  bool ClaimNextSegment(uint64_t* segment, bool* on_demand);
+
+  /// Publishes segment `segment` as restored: waiting faults on its pages
+  /// are admitted. Invokes the observer (if any) outside the lock.
+  void MarkSegmentRestored(uint64_t segment);
+
+  /// Deactivates the gate. On an error status, every still-parked fault
+  /// is released with that status instead of hanging.
+  void EndRestore(Status final_status);
+
+  // --- reader side (BufferPool::LoadPage / FixNewPage) -----------------------
+
+  /// Blocks a buffer fault until page `id`'s segment has been restored
+  /// (no-op outside an active restore). Registers the segment for
+  /// on-demand service so hot pages jump the sweep queue.
+  Status AwaitRestored(PageId id) override;
+
+  // --- introspection ----------------------------------------------------------
+
+  /// True while a rung-5 protocol or its restore sweep is in progress
+  /// (between BeginProtocol/BeginRestore and EndRestore/EndProtocol).
+  bool active() const { return active_.load(std::memory_order_acquire); }
+
+  /// First page id not yet covered by the restored prefix (all pages
+  /// below it are back). kInvalidPageId when no restore ran yet.
+  PageId watermark() const;
+
+  /// True when `id`'s segment has been restored (always true outside an
+  /// active restore).
+  bool IsRestored(PageId id) const;
+
+  /// Segments served on demand during the current/last restore.
+  uint64_t on_demand_segments() const;
+
+  /// Buffer faults that parked during the current/last restore.
+  uint64_t admission_waits() const;
+
+  /// Simulated seconds from restore start to the first admitted parked
+  /// fault; negative when nothing waited.
+  double first_admission_sim_seconds() const;
+
+  /// Test/bench instrumentation: invoked after every MarkSegmentRestored
+  /// with (segments_done, segments_total), on the sweep thread, outside
+  /// the gate lock. Install while no restore is active.
+  void SetObserver(std::function<void(uint64_t, uint64_t)> observer) {
+    observer_ = std::move(observer);
+  }
+
+ private:
+  enum SegState : uint8_t { kPending = 0, kClaimed = 1, kRestored = 2 };
+
+  SimClock* const clock_;
+
+  mutable std::mutex mu_;
+  std::condition_variable restored_cv_;  ///< wakes parked faults
+  std::atomic<bool> active_{false};      ///< protocol_ || running_ (fast path)
+  bool protocol_ = false;                ///< inside BeginProtocol/EndProtocol
+  bool running_ = false;                 ///< inside BeginRestore/EndRestore
+  uint64_t num_pages_ = 0;
+  uint64_t segment_pages_ = 1;
+  uint64_t num_segments_ = 0;
+  uint64_t segments_done_ = 0;
+  std::vector<uint8_t> seg_state_;
+  std::vector<uint8_t> demanded_;   ///< segment already queued for demand
+  std::deque<uint64_t> demand_;     ///< on-demand queue (hot segments)
+  uint64_t next_seq_ = 0;           ///< sequential sweep cursor
+  Status final_status_;             ///< set by EndRestore
+  double restore_start_sim_s_ = 0;
+
+  // Per-restore admission stats (reset by BeginRestore).
+  uint64_t stat_on_demand_ = 0;
+  uint64_t stat_waits_ = 0;
+  double first_admission_sim_s_ = -1;
+
+  std::function<void(uint64_t, uint64_t)> observer_;
+};
+
+}  // namespace spf

@@ -15,6 +15,7 @@
 
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <unordered_set>
@@ -46,6 +47,57 @@ class Transaction {
   /// moved backward by compensation records' undo_next_lsn.
   Lsn undo_next_lsn() const { return undo_next_lsn_; }
   void set_undo_next_lsn(Lsn lsn) { undo_next_lsn_ = lsn; }
+
+  /// True once a full-restore drain deadline force-aborted this
+  /// transaction (TxnManager::DoomActiveUserTxns). The restore rolls the
+  /// transaction back on its own thread afterwards; the owner's handle
+  /// stays valid (the object is retained as a zombie) but every Database
+  /// operation on it returns Aborted — the owner must drop the handle.
+  bool doomed() const {
+    return fate_.load(std::memory_order_acquire) == kFateDoomed;
+  }
+
+  /// Claims the transaction for owner-driven finalization (commit or
+  /// explicit abort). Exactly one of {finalize, doom} wins: once claimed,
+  /// a drain deadline can no longer doom the transaction, and once
+  /// doomed, commit/abort return Aborted instead of racing the restore's
+  /// rollback. Returns false when the doom won.
+  bool TryClaimFinalize() {
+    uint8_t expected = kFateOpen;
+    return fate_.compare_exchange_strong(expected, kFateFinalizing,
+                                         std::memory_order_acq_rel);
+  }
+
+  /// Dooms the transaction (restore drain deadline). Fails — and leaves
+  /// the transaction alone — when the owner already claimed finalization
+  /// (a commit or abort is in flight and will complete normally).
+  bool TryDoom() {
+    uint8_t expected = kFateOpen;
+    return fate_.compare_exchange_strong(expected, kFateDoomed,
+                                         std::memory_order_acq_rel);
+  }
+
+  /// Releases a TryClaimFinalize claim after the finalization FAILED
+  /// mid-way (e.g. an abort's rollback hit a dead device): the owner may
+  /// retry, or a later restore's doom phase picks the transaction up and
+  /// compensates it. No-op unless currently claimed.
+  void RevertFinalizeClaim() {
+    uint8_t expected = kFateFinalizing;
+    fate_.compare_exchange_strong(expected, kFateOpen,
+                                  std::memory_order_acq_rel);
+  }
+
+  /// Facade-operation bracket: the database facade counts every data
+  /// operation run on this transaction so the restore's fallback
+  /// rollback can wait out an operation that was already executing when
+  /// the drain deadline fired, instead of racing it.
+  void BeginOp() { ops_in_flight_.fetch_add(1, std::memory_order_acq_rel); }
+  /// Closes a BeginOp bracket.
+  void EndOp() { ops_in_flight_.fetch_sub(1, std::memory_order_acq_rel); }
+  /// True while a facade operation is executing on this transaction.
+  bool busy() const {
+    return ops_in_flight_.load(std::memory_order_acquire) > 0;
+  }
 
   /// Appends a record on this transaction's behalf: stamps txn id, the
   /// per-transaction chain pointer, and the system-transaction flag, then
@@ -92,8 +144,17 @@ class Transaction {
     undo_next_lsn_ = lsn;
   }
 
+  // One-shot finalization claim: open until either the owner's
+  // commit/abort (kFateFinalizing) or a restore drain deadline
+  // (kFateDoomed) wins the CAS.
+  static constexpr uint8_t kFateOpen = 0;
+  static constexpr uint8_t kFateFinalizing = 1;
+  static constexpr uint8_t kFateDoomed = 2;
+
   const TxnId id_;
   const bool system_;
+  std::atomic<uint8_t> fate_{kFateOpen};
+  std::atomic<uint32_t> ops_in_flight_{0};
   TxnState state_ = TxnState::kActive;
   Lsn first_lsn_ = kInvalidLsn;
   Lsn last_lsn_ = kInvalidLsn;

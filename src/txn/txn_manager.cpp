@@ -3,7 +3,13 @@
 namespace spf {
 
 Transaction* TxnManager::BeginInternal(bool system) {
-  std::lock_guard<std::mutex> g(mu_);
+  std::unique_lock<std::mutex> g(mu_);
+  if (!system && gate_closed_) {
+    // Rung-5 quiesce: park at the admission gate until the restore
+    // readmits (with early admission, as soon as the sweep starts).
+    stats_.gate_parked++;
+    gate_cv_.wait(g, [&] { return !gate_closed_; });
+  }
   TxnId id = next_id_++;
   auto txn = std::make_unique<Transaction>(id, system);
   Transaction* ptr = txn.get();
@@ -21,6 +27,13 @@ Transaction* TxnManager::Begin() { return BeginInternal(false); }
 Transaction* TxnManager::BeginSystem() { return BeginInternal(true); }
 
 Status TxnManager::Commit(Transaction* txn) {
+  if (!txn->is_system() && !txn->TryClaimFinalize()) {
+    // A restore drain deadline doomed this transaction before the commit
+    // could claim it — the restore owns its rollback now, and committing
+    // would log a commit record for updates the restore compensates.
+    return Status::Aborted(
+        "transaction was force-aborted by a full-restore drain deadline");
+  }
   SPF_CHECK(txn->state() == TxnState::kActive);
   if (txn->last_lsn() != kInvalidLsn) {
     // Read-only transactions commit without logging anything.
@@ -88,6 +101,63 @@ Transaction* TxnManager::AdoptLoser(TxnId id, Lsn last_lsn, Lsn undo_next) {
   return ptr;
 }
 
+void TxnManager::CloseGate() {
+  std::lock_guard<std::mutex> g(mu_);
+  gate_closed_ = true;
+}
+
+void TxnManager::OpenGate() {
+  {
+    std::lock_guard<std::mutex> g(mu_);
+      gate_closed_ = false;
+  }
+  gate_cv_.notify_all();
+}
+
+bool TxnManager::gate_closed() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return gate_closed_;
+}
+
+size_t TxnManager::ActiveUserCountLocked() const {
+  size_t n = 0;
+  for (const auto& [id, txn] : active_) {
+    if (!txn->is_system()) n++;
+  }
+  return n;
+}
+
+size_t TxnManager::ActiveUserCount() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return ActiveUserCountLocked();
+}
+
+size_t TxnManager::WaitForUserDrain(std::chrono::milliseconds timeout) {
+  std::unique_lock<std::mutex> g(mu_);
+  drain_cv_.wait_for(g, timeout, [&] { return ActiveUserCountLocked() == 0; });
+  return ActiveUserCountLocked();
+}
+
+std::vector<Transaction*> TxnManager::DoomActiveUserTxns() {
+  std::lock_guard<std::mutex> g(mu_);
+  std::vector<Transaction*> doomed;
+  for (const auto& [id, txn] : active_) {
+    if (txn->is_system()) continue;
+    if (txn->TryDoom()) {
+      doomed.push_back(txn.get());
+      stats_.doomed++;
+    } else if (txn->doomed()) {
+      // Doomed by an earlier restore whose sweep then failed before the
+      // fallback rollback ran: still active, still the restore's to roll
+      // back — hand it to this attempt too.
+      doomed.push_back(txn.get());
+    }
+    // A failed TryDoom on a non-doomed transaction means the owner's
+    // commit/abort claimed it first; it finalizes normally.
+  }
+  return doomed;
+}
+
 std::vector<ActiveTxnEntry> TxnManager::ActiveTxns() const {
   std::lock_guard<std::mutex> g(mu_);
   std::vector<ActiveTxnEntry> out;
@@ -119,8 +189,21 @@ TxnStats TxnManager::stats() const {
 
 void TxnManager::Retire(Transaction* txn) {
   locks_->ReleaseAll(txn->id());
-  std::lock_guard<std::mutex> g(mu_);
-  active_.erase(txn->id());
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    auto it = active_.find(txn->id());
+    if (it != active_.end()) {
+      if (txn->doomed()) {
+        // The owner thread may still hold the handle (it was past the
+        // drain deadline, not necessarily gone); keep the object alive so
+        // its next facade call reads the doomed flag instead of freed
+        // memory.
+        zombies_.push_back(std::move(it->second));
+      }
+      active_.erase(it);
+    }
+  }
+  drain_cv_.notify_all();
 }
 
 }  // namespace spf

@@ -1,7 +1,10 @@
-// Transaction manager: lifecycle, commit protocols, active-txn table.
+// Transaction manager: lifecycle, commit protocols, active-txn table, and
+// the full-restore admission gate (quiesce → drain → doom → readmit).
 
 #pragma once
 
+#include <chrono>
+#include <condition_variable>
 #include <memory>
 #include <mutex>
 #include <unordered_map>
@@ -18,34 +21,49 @@ namespace spf {
 /// Snapshot row of the active-transaction table (checkpoint payload and
 /// restart analysis seed).
 struct ActiveTxnEntry {
-  TxnId txn_id;
-  Lsn last_lsn;
-  bool is_system;
+  TxnId txn_id;    ///< transaction identifier
+  Lsn last_lsn;    ///< head of the per-transaction log chain
+  bool is_system;  ///< system transaction (section 5.1.5)?
 };
 
+/// Lifetime counters (TxnManager::stats()).
 struct TxnStats {
-  uint64_t user_begun = 0;
-  uint64_t user_committed = 0;
-  uint64_t user_aborted = 0;
-  uint64_t system_begun = 0;
-  uint64_t system_committed = 0;
+  uint64_t user_begun = 0;        ///< user transactions started
+  uint64_t user_committed = 0;    ///< user transactions committed
+  uint64_t user_aborted = 0;      ///< user transactions rolled back
+  uint64_t system_begun = 0;      ///< system transactions started
+  uint64_t system_committed = 0;  ///< system transactions committed
+  uint64_t gate_parked = 0;       ///< Begins that parked at a closed gate
+  uint64_t doomed = 0;            ///< stragglers force-aborted by a drain deadline
 };
 
 /// Creates, commits, and finalizes transactions. Rollback is executed by
 /// the recovery module (it owns undo); TxnManager provides the hooks the
 /// roll-back executor needs (FinishAbort).
+///
+/// For rung 5 of the recovery ladder (full media restore under live
+/// traffic) the manager doubles as the transactional quiesce point:
+/// CloseGate() parks new user transactions at the admission gate,
+/// WaitForUserDrain() lets in-flight transactions run to commit on their
+/// cached working sets up to a bounded deadline, DoomActiveUserTxns()
+/// force-aborts the stragglers (the pre-gate abort-everything path, now a
+/// fallback branch), and OpenGate() readmits — with early admission,
+/// while the restore sweep is still running.
 class TxnManager {
  public:
+  /// `log` and `locks` are borrowed for the manager's lifetime.
   TxnManager(LogManager* log, LockManager* locks) : log_(log), locks_(locks) {}
 
   SPF_DISALLOW_COPY(TxnManager);
 
   /// Begins a user transaction. A Begin record is logged lazily — the
   /// first update record identifies the transaction; pure readers leave no
-  /// trace in the log.
+  /// trace in the log. Parks (blocks) while the admission gate is closed.
   Transaction* Begin();
 
-  /// Begins a system transaction (section 5.1.5): no locks, unforced commit.
+  /// Begins a system transaction (section 5.1.5): no locks, unforced
+  /// commit, never parked at the admission gate (system transactions are
+  /// contents-neutral and never span user interaction).
   Transaction* BeginSystem();
 
   /// Commits: logs the commit record; forces the log for user
@@ -65,30 +83,75 @@ class TxnManager {
   /// in-flight at the crash (a "loser" to be rolled back).
   Transaction* AdoptLoser(TxnId id, Lsn last_lsn, Lsn undo_next);
 
+  // --- full-restore admission gate -------------------------------------------
+
+  /// Closes the admission gate: subsequent user Begin() calls park until
+  /// OpenGate(). Idempotent.
+  void CloseGate();
+
+  /// Reopens the admission gate and releases every parked Begin().
+  /// Idempotent.
+  void OpenGate();
+
+  /// True between CloseGate and OpenGate.
+  bool gate_closed() const;
+
+  /// Active USER transactions (system transactions never outlive one call
+  /// and are not drained).
+  size_t ActiveUserCount() const;
+
+  /// Drain phase: blocks until no user transaction is active or `timeout`
+  /// wall time elapsed, whichever is first. Returns the number of user
+  /// transactions still active (0 = fully drained). Call with the gate
+  /// closed, or new transactions keep the count alive.
+  size_t WaitForUserDrain(std::chrono::milliseconds timeout);
+
+  /// Fallback-abort phase: dooms every still-active user transaction and
+  /// returns them for the caller (the restore) to roll back after the
+  /// replay. A transaction whose owner already claimed finalization (a
+  /// commit/abort in flight) is left alone and completes normally; a
+  /// transaction doomed by an earlier restore whose rollback never ran
+  /// (the sweep failed) is re-collected. A doomed transaction's handle
+  /// stays valid forever (the object is retained as a zombie after
+  /// retirement) but the owner only ever sees Aborted from it again.
+  std::vector<Transaction*> DoomActiveUserTxns();
+
   /// Snapshot of active transactions (checkpoint payload).
   std::vector<ActiveTxnEntry> ActiveTxns() const;
 
+  /// Number of transactions in the active table (user + system).
   size_t active_count() const;
 
   /// Highest txn id handed out; checkpointed so restart continues the
   /// sequence without reuse.
   TxnId next_txn_id() const;
+  /// Restores the id sequence from a checkpoint image.
   void SetNextTxnId(TxnId id);
 
+  /// Lifetime counters snapshot.
   TxnStats stats() const;
+  /// The lock manager user transactions acquire through.
   LockManager* lock_manager() { return locks_; }
+  /// The recovery log commits force.
   LogManager* log() { return log_; }
 
  private:
   Transaction* BeginInternal(bool system);
   void Retire(Transaction* txn);
+  size_t ActiveUserCountLocked() const;
 
   LogManager* const log_;
   LockManager* const locks_;
 
   mutable std::mutex mu_;
+  std::condition_variable gate_cv_;   ///< wakes parked Begins (gate opened)
+  std::condition_variable drain_cv_;  ///< wakes WaitForUserDrain (retirements)
+  bool gate_closed_ = false;
   TxnId next_id_ = 1;
   std::unordered_map<TxnId, std::unique_ptr<Transaction>> active_;
+  /// Doomed transactions retired by the restore's rollback: kept alive so
+  /// the owner's handle never dangles (bounded by stragglers per restore).
+  std::vector<std::unique_ptr<Transaction>> zombies_;
   TxnStats stats_;
 };
 

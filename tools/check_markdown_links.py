@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Offline markdown link checker for this repository's docs.
+
+Validates, for every markdown file passed on the command line:
+
+  * relative file links ``[text](path)`` resolve to an existing file or
+    directory (relative to the linking file);
+  * intra-document and cross-document anchors ``[text](path#anchor)``
+    match a heading in the target file (GitHub-style slugs);
+  * reference-style definitions ``[label]: path`` get the same checks.
+
+External links (http/https/mailto) are only syntax-checked — CI must
+stay deterministic and offline. Exits non-zero with one line per broken
+link.
+
+Usage:  python3 tools/check_markdown_links.py README.md docs/*.md
+"""
+
+import re
+import sys
+from pathlib import Path
+
+INLINE_LINK = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+IMAGE_LINK = re.compile(r"\!\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+REF_DEF = re.compile(r"^\s*\[[^\]]+\]:\s+(\S+)", re.MULTILINE)
+HEADING = re.compile(r"^#{1,6}\s+(.+?)\s*#*\s*$", re.MULTILINE)
+CODE_FENCE = re.compile(r"```.*?```", re.DOTALL)
+EXTERNAL = re.compile(r"^(https?|mailto|ftp):", re.IGNORECASE)
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug: lowercase, drop punctuation, spaces to '-'."""
+    heading = re.sub(r"`([^`]*)`", r"\1", heading)  # unwrap inline code
+    heading = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", heading)  # unwrap links
+    slug = heading.strip().lower()
+    slug = re.sub(r"[^\w\- ]", "", slug, flags=re.UNICODE)
+    return slug.replace(" ", "-")
+
+
+def anchors_of(path: Path) -> set:
+    text = CODE_FENCE.sub("", path.read_text(encoding="utf-8"))
+    slugs = {}
+    out = set()
+    for m in HEADING.finditer(text):
+        slug = github_slug(m.group(1))
+        n = slugs.get(slug, 0)
+        slugs[slug] = n + 1
+        out.add(slug if n == 0 else f"{slug}-{n}")
+    return out
+
+
+def check_file(md: Path) -> list:
+    errors = []
+    text = md.read_text(encoding="utf-8")
+    stripped = CODE_FENCE.sub("", text)
+    targets = (
+        [m.group(1) for m in INLINE_LINK.finditer(stripped)]
+        + [m.group(1) for m in IMAGE_LINK.finditer(stripped)]
+        + [m.group(1) for m in REF_DEF.finditer(stripped)]
+    )
+    for target in targets:
+        if EXTERNAL.match(target):
+            continue  # offline checker: syntax only
+        path_part, _, anchor = target.partition("#")
+        if path_part:
+            dest = (md.parent / path_part).resolve()
+            if not dest.exists():
+                errors.append(f"{md}: broken link -> {target}")
+                continue
+        else:
+            dest = md.resolve()
+        if anchor:
+            if dest.is_dir() or dest.suffix.lower() not in (".md", ".markdown"):
+                continue  # anchors into non-markdown files: skip
+            if anchor.lower() not in anchors_of(dest):
+                errors.append(f"{md}: missing anchor -> {target}")
+    return errors
+
+
+def main(argv: list) -> int:
+    if len(argv) < 2:
+        print("usage: check_markdown_links.py FILE.md [FILE.md ...]")
+        return 2
+    all_errors = []
+    checked = 0
+    for arg in argv[1:]:
+        md = Path(arg)
+        if not md.exists():
+            all_errors.append(f"{md}: file not found")
+            continue
+        checked += 1
+        all_errors.extend(check_file(md))
+    for e in all_errors:
+        print(e)
+    print(f"checked {checked} file(s): "
+          f"{'OK' if not all_errors else f'{len(all_errors)} problem(s)'}")
+    return 1 if all_errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
