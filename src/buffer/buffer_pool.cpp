@@ -25,6 +25,17 @@ void PageGuard::MarkDirty() {
   SPF_CHECK(valid());
   SPF_CHECK(mode_ == LatchMode::kExclusive)
       << "MarkDirty requires an exclusive latch";
+  if (pool_->admission_ != nullptr) {
+    // Last-line write-seal re-check under the exclusive latch: a fix
+    // admitted just before a restore sealed writes could otherwise dirty
+    // the frame and log a record the replay-plan scan already passed.
+    // Parking here is safe — the restore sweep needs neither this latch
+    // nor the pool mutex to make progress and wake us. An admission
+    // error is deliberately ignored: a FAILED restore never admitted
+    // anyone, so the record logged now is covered by the next restore's
+    // fresh plan scan.
+    (void)pool_->admission_->AwaitRestored(page_id_);
+  }
   std::lock_guard<std::mutex> g(pool_->mu_);
   BufferPool::Frame* f = pool_->frames_[frame_].get();
   if (!f->dirty) {
@@ -72,23 +83,36 @@ BufferPool::BufferPool(BufferPoolOptions options, SimDevice* device,
 BufferPool::~BufferPool() = default;
 
 Status BufferPool::LoadPage(PageId id, Frame* f) {
-  if (admission_ != nullptr) {
-    // Incremental full restore in progress: park until this page's
-    // segment is back on the device (on-demand restores serve it ahead of
-    // the sweep). An admission error is the restore's failure, not a
-    // page failure — propagate it without attempting repair.
-    Status adm = admission_->AwaitRestored(id);
-    if (!adm.ok()) return adm;
-  }
-  Status read_status = device_->ReadPage(id, f->data.get());
-  if (read_status.ok() && options_.verify_on_read) {
-    PageView page(f->data.get(), options_.page_size);
-    read_status = page.Verify(id);
-    if (read_status.ok() && verifier_ != nullptr) {
-      read_status = verifier_->VerifyOnRead(page);
+  Status read_status;
+  for (;;) {
+    if (admission_ != nullptr) {
+      // Incremental full restore in progress: park until this page's
+      // segment is back on the device (on-demand restores serve it ahead
+      // of the sweep). An admission error is the restore's failure, not
+      // a page failure — propagate it without attempting repair.
+      Status adm = admission_->AwaitRestored(id);
+      if (!adm.ok()) return adm;
     }
+    read_status = device_->ReadPage(id, f->data.get());
+    if (read_status.ok() && options_.verify_on_read) {
+      PageView page(f->data.get(), options_.page_size);
+      read_status = page.Verify(id);
+      if (read_status.ok() && verifier_ != nullptr) {
+        read_status = verifier_->VerifyOnRead(page);
+      }
+    }
+    if (!read_status.ok()) break;
+    if (admission_ != nullptr && !admission_->IsRestored(id)) {
+      // A restore sealed admission while we were reading: the image may
+      // be a checksum-valid but STALE pre-failure copy served by the
+      // revived device (its newest updates exist only in the log until
+      // the sweep replays them). The device-level synchronization makes
+      // the seal visible here whenever that could have happened —
+      // re-admit and re-read the restored image.
+      continue;
+    }
+    return read_status;
   }
-  if (read_status.ok()) return read_status;
   if (read_status.IsMediaFailure()) return read_status;
 
   // Single-page failure detected (Figure 8): the page could not be read
@@ -196,6 +220,20 @@ StatusOr<PageGuard> BufferPool::FixPage(PageId id, LatchMode mode) {
     f->pin_count++;
     f->referenced = true;
     lock.unlock();
+    if (mode == LatchMode::kExclusive && admission_ != nullptr) {
+      // Write admission covers cache hits too: a frame kept across the
+      // restore's pool discard must not take a logged update the replay
+      // plan never saw while its segment is unswept — the sweep would
+      // overwrite the eventual write-back with the pre-update image. The
+      // pin taken above keeps the frame cached while we park; shared
+      // fixes stay unthrottled (the cached copy is the current image).
+      Status adm = admission_->AwaitRestored(id);
+      if (!adm.ok()) {
+        std::lock_guard<std::mutex> g(mu_);
+        f->pin_count--;
+        return adm;
+      }
+    }
     if (mode == LatchMode::kShared) {
       f->latch.lock_shared();
     } else {

@@ -68,21 +68,36 @@ class WriteCompletionListener {
                              const char* page_data) = 0;
 };
 
-/// Admission check consulted on every buffer fault — and every fresh-page
-/// fix — BEFORE the device is touched. During an incremental full restore
-/// the recovery module's RestoreGate implements this: a fault on a page
-/// the restore sweep has not reached yet blocks until that page's segment
-/// is back (and is registered for on-demand service so hot pages jump the
-/// sweep queue), so readers resume as soon as THEIR page is restored
-/// instead of when the whole device is. Outside a restore the check is a
-/// single relaxed atomic load.
+/// Admission check consulted on every buffer fault, every fresh-page fix,
+/// every EXCLUSIVE cache hit, and MarkDirty's last-line re-check — before
+/// the device is touched or the cached frame may be modified. During an
+/// incremental full restore the recovery module's RestoreGate implements
+/// this: a fault on a page the restore sweep has not reached yet blocks
+/// until that page's segment is back (and is registered for on-demand
+/// service so hot pages jump the sweep queue), so readers resume as soon
+/// as THEIR page is restored instead of when the whole device is. The
+/// exclusive-cache-hit checks also cover frames that survived the
+/// restore's pool discard: a logged update the restore's replay plan
+/// never saw must not land on a page whose segment the sweep will still
+/// overwrite. Outside a restore the check is a single relaxed atomic
+/// load.
 class RestoreAdmission {
  public:
   virtual ~RestoreAdmission() = default;
   /// Returns once page `id` may safely be read from (or written back to)
-  /// the device; an error means the restore failed and the fault must
-  /// propagate it instead of retrying or repairing.
+  /// the device and modifying it cannot race the restore sweep; an error
+  /// means the restore failed and the fault must propagate it instead of
+  /// retrying or repairing.
   virtual Status AwaitRestored(PageId id) = 0;
+  /// True when `id`'s device copy is final w.r.t. any restore in
+  /// progress (no restore, or `id`'s segment already restored); false
+  /// from the moment a restore seals admission until the sweep restores
+  /// the segment. LoadPage re-checks this AFTER a successful device read
+  /// and re-reads on false: a read that raced the seal may have returned
+  /// a checksum-valid but stale pre-failure image from the revived
+  /// device, and the device-level synchronization guarantees the seal is
+  /// visible here whenever that could have happened.
+  virtual bool IsRestored(PageId id) const = 0;
 };
 
 /// Latch mode for fixing a page in the pool.
@@ -132,6 +147,9 @@ class PageGuard {
 
   /// Marks the frame dirty. Must be called (before logging the change)
   /// whenever the caller modifies page bytes. Requires kExclusive mode.
+  /// Re-checks write admission (restore seal) under the latch, so a fix
+  /// admitted just before a restore sealed writes still cannot slip a
+  /// logged update past the restore's replay-plan scan.
   void MarkDirty();
 
   /// Restart-redo variant: marks dirty with an explicit recLSN (the redone

@@ -191,6 +191,7 @@ void RecoveryCoordinator::NoteGatedRestore(const RestorePhases& phases) {
   totals_.gated_restores++;
   totals_.txns_drained += phases.drained;
   totals_.txns_doomed += phases.doomed;
+  totals_.deferred_rollbacks += phases.deferred_rollbacks;
   totals_.admission_waits += phases.admission_waits;
   totals_.on_demand_segments += phases.on_demand_segments;
 }

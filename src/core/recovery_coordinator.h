@@ -92,6 +92,7 @@ struct FunnelTotals {
   uint64_t gated_restores = 0;      ///< full restores run under the gate
   uint64_t txns_drained = 0;        ///< in-flight txns that ran to commit
   uint64_t txns_doomed = 0;         ///< stragglers force-aborted at deadline
+  uint64_t deferred_rollbacks = 0;  ///< straggler undos deferred to owners
   uint64_t admission_waits = 0;     ///< faults parked on per-page admission
   uint64_t on_demand_segments = 0;  ///< segments served ahead of the sweep
 };

@@ -244,16 +244,35 @@ Status Database::Bootstrap() {
 
 Transaction* Database::Begin() { return txns_->Begin(); }
 
+void Database::ReapDoomedTxn(Transaction* txn) {
+  if (txn == nullptr || !txn->doomed() || txn->busy()) return;
+  // busy() above: a sibling operation still in flight on this handle
+  // defers the reap to that operation's own trailing reap — the rollback
+  // must never run concurrently with forward work on the same chain.
+  if (!txn->TryClaimRollback()) return;
+  RollbackExecutor rollback(log_.get(), tree_.get(), txns_.get());
+  if (!rollback.Rollback(txn).ok()) {
+    // Mid-undo failure (e.g. the device died again): release the claim
+    // so the next restore's doom phase — or the owner's next call —
+    // resumes the compensation (CLR chains skip what was already undone).
+    txn->RevertRollbackClaim();
+  }
+}
+
 Status Database::Commit(Transaction* txn) {
-  if (TxnDoomed(txn)) return DoomedTxnStatus();
+  if (TxnDoomed(txn)) {
+    ReapDoomedTxn(txn);
+    return DoomedTxnStatus();
+  }
   return txns_->Commit(txn);
 }
 
 Status Database::Abort(Transaction* txn) {
   if (txn != nullptr && !txn->is_system() && !txn->TryClaimFinalize()) {
     if (txn->doomed()) {
-      // The drain deadline doomed this transaction first; the restore
-      // owns its rollback.
+      // The drain deadline doomed this transaction first; its rollback
+      // belongs to the restore — or, if that deferred, runs right here.
+      ReapDoomedTxn(txn);
       return DoomedTxnStatus();
     }
     return Status::Aborted("transaction finalization already in progress");
@@ -274,41 +293,52 @@ Status Database::Abort(Transaction* txn) {
 
 // --- data -----------------------------------------------------------------------
 
+template <typename Fn>
+auto Database::RunTxnOp(Transaction* txn, Fn&& fn) -> decltype(fn()) {
+  auto result = [&]() -> decltype(fn()) {
+    // Bracket BEFORE the doomed check: once this operation is visible in
+    // ops_in_flight_ (sequentially consistent against TryDoom), a doom
+    // that lands after the check can no longer let the restore's
+    // rollback phase treat the transaction as idle and race this forward
+    // operation — its busy() wait covers the whole window.
+    TxnOpGuard op(txn);
+    if (TxnDoomed(txn)) return DoomedTxnStatus();
+    return fn();
+  }();
+  // Doomed mid-operation, past the restore's rollback deadline: this
+  // thread compensates now that its operation has drained out.
+  ReapDoomedTxn(txn);
+  return result;
+}
+
 Status Database::Insert(Transaction* txn, std::string_view key,
                         std::string_view value) {
-  if (TxnDoomed(txn)) return DoomedTxnStatus();
-  TxnOpGuard op(txn);
-  return tree_->Insert(txn, key, value);
+  return RunTxnOp(txn, [&] { return tree_->Insert(txn, key, value); });
 }
 
 Status Database::Update(Transaction* txn, std::string_view key,
                         std::string_view value) {
-  if (TxnDoomed(txn)) return DoomedTxnStatus();
-  TxnOpGuard op(txn);
-  return tree_->Update(txn, key, value);
+  return RunTxnOp(txn, [&] { return tree_->Update(txn, key, value); });
 }
 
 Status Database::Put(Transaction* txn, std::string_view key,
                      std::string_view value) {
-  if (TxnDoomed(txn)) return DoomedTxnStatus();
-  TxnOpGuard op(txn);
-  Status s = tree_->Insert(txn, key, value);
-  if (s.IsFailedPrecondition()) {
-    return tree_->Update(txn, key, value);
-  }
-  return s;
+  return RunTxnOp(txn, [&] {
+    Status s = tree_->Insert(txn, key, value);
+    if (s.IsFailedPrecondition()) {
+      return tree_->Update(txn, key, value);
+    }
+    return s;
+  });
 }
 
 Status Database::Delete(Transaction* txn, std::string_view key) {
-  if (TxnDoomed(txn)) return DoomedTxnStatus();
-  TxnOpGuard op(txn);
-  return tree_->Delete(txn, key);
+  return RunTxnOp(txn, [&] { return tree_->Delete(txn, key); });
 }
 
 StatusOr<std::string> Database::Get(Transaction* txn, std::string_view key) {
-  if (TxnDoomed(txn)) return DoomedTxnStatus();
-  TxnOpGuard op(txn);
-  return tree_->Get(txn, key);
+  return RunTxnOp(
+      txn, [&]() -> StatusOr<std::string> { return tree_->Get(txn, key); });
 }
 
 Status Database::Scan(
@@ -391,6 +421,12 @@ StatusOr<MediaRecoveryStats> Database::RecoverMedia() {
     return MediaRecoveryStats{};
   }
 
+  // Zombies of stragglers doomed two restores ago are safe to free now
+  // (their owners have long since observed Aborted and dropped the
+  // handles); without this, a long-lived database leaks one object per
+  // straggler ever doomed.
+  txns_->ReclaimZombies();
+
   // Mark the whole protocol on the gate so the background scrubber
   // pauses through the gate/drain window too, not just the sweep.
   restore_gate_->BeginProtocol();
@@ -448,7 +484,12 @@ StatusOr<MediaRecoveryStats> Database::RecoverMedia() {
   // operation that was already executing inside the tree when the
   // deadline fired may still be draining out (it resumes via early
   // admission); wait it out — bounded — so the rollback never races the
-  // owner's last operation.
+  // owner's last operation. A straggler still busy past the deadline
+  // (e.g. parked in the failure funnel on a batch that resolves only
+  // when THIS call returns) is not rolled back concurrently: its
+  // compensation defers to the owner's thread, which runs it the moment
+  // the operation drains out of the facade (ReapDoomedTxn). The one-shot
+  // rollback claim makes the two agents mutually exclusive.
   RollbackExecutor rollback(log_.get(), tree_.get(), txns_.get());
   auto busy_deadline =
       std::chrono::steady_clock::now() + options_.restore_drain_timeout;
@@ -458,7 +499,16 @@ StatusOr<MediaRecoveryStats> Database::RecoverMedia() {
     while (txn->busy() && std::chrono::steady_clock::now() < busy_deadline) {
       std::this_thread::sleep_for(std::chrono::milliseconds(1));
     }
-    SPF_RETURN_IF_ERROR(rollback.Rollback(txn).status());
+    if (txn->busy()) {
+      phases.deferred_rollbacks++;
+      continue;
+    }
+    if (!txn->TryClaimRollback()) continue;  // owner already compensated
+    auto rb = rollback.Rollback(txn);
+    if (!rb.ok()) {
+      txn->RevertRollbackClaim();  // next doom phase resumes via CLRs
+      return rb.status();
+    }
   }
 
   phases.segments = stats.segments;

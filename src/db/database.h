@@ -357,6 +357,24 @@ class Database {
 
   Status Bootstrap();  // format meta page, create tree, first checkpoint
 
+  /// Runs the deferred compensating rollback of a doomed straggler on
+  /// the owner's thread, if this transaction still needs one (one-shot
+  /// claim — never races the restore's own rollback phase). Called from
+  /// every facade entry that observes a doomed handle and after every
+  /// data operation, so a straggler whose in-flight operation outlived
+  /// the restore's rollback deadline is compensated the moment that
+  /// operation drains out of the facade.
+  void ReapDoomedTxn(Transaction* txn);
+
+  /// The facade bracket every data operation runs through: rejects
+  /// doomed handles, counts the operation in flight on `txn` so a
+  /// restore's rollback phase can see and wait out a straggler's last
+  /// operation (Transaction::busy()), and reaps a deferred rollback on
+  /// the way out. `fn` returns Status or StatusOr<...>. Defined in
+  /// database.cpp (used only there).
+  template <typename Fn>
+  auto RunTxnOp(Transaction* txn, Fn&& fn) -> decltype(fn());
+
   DatabaseOptions options_;
   SimClock clock_;
 

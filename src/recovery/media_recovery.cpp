@@ -107,6 +107,22 @@ StatusOr<MediaRecoveryStats> MediaRecovery::Run(
     return Status::MediaFailure("media recovery impossible: no full backup");
   }
 
+  RestoreGate* gate = options.gate;
+  // Seal admission BEFORE dropping the pool and scanning the log. Writes
+  // (exclusive fixes, cache hits included): frames that stay cached
+  // across DiscardAllUnpinned (pinned by parked readers, or re-fixed by
+  // a doomed straggler's in-flight operation) must not take new logged
+  // updates after the plan scan while their segment is unswept — the
+  // sweep would overwrite an eventual write-back with the pre-update
+  // image, or the post-sweep rollback would compensate a record the
+  // restored page never received. Reads (buffer faults): the revived
+  // device serves checksum-valid pre-failure images whose latest updates
+  // may exist only in the log (dirty frames were just discarded, not
+  // written back) — loading one would poison the cache with a stale copy
+  // that outlives the restore. Every exit below goes through EndRestore,
+  // which lifts the seal.
+  if (gate != nullptr) gate->SealAdmission();
+
   // Every buffered page belonged to the failed device; drop them all.
   // Pinned frames are kept: those are readers parked in the failure
   // funnel whose damaged page escalated to this full restore — they
@@ -121,9 +137,11 @@ StatusOr<MediaRecoveryStats> MediaRecovery::Run(
   const uint64_t num_segments = (num_pages + seg_pages - 1) / seg_pages;
 
   // One sequential log pass builds the per-page replay plan (the LSNs
-  // each page needs, in log order). Traffic is still quiesced here, so
-  // the plan is complete: records appended by early-admitted transactions
-  // later only ever touch pages that were already restored.
+  // each page needs, in log order). New transactions are still parked at
+  // the admission gate here and page admission is sealed (buffer misses
+  // AND exclusive cache hits), so the plan is complete: records appended
+  // by early-admitted transactions later only ever touch pages that were
+  // already restored.
   std::unordered_map<PageId, std::vector<Lsn>> plan;
   {
     SimTimer t(clock_);
@@ -144,7 +162,6 @@ StatusOr<MediaRecoveryStats> MediaRecovery::Run(
     pri_manager_->OnFullBackup(backup->id);
   }
 
-  RestoreGate* gate = options.gate;
   if (gate != nullptr) gate->BeginRestore(num_pages, seg_pages);
   if (options.on_sweep_begin) options.on_sweep_begin();
 

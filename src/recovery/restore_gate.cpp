@@ -11,13 +11,20 @@ void RestoreGate::BeginProtocol() {
 void RestoreGate::EndProtocol() {
   std::lock_guard<std::mutex> g(mu_);
   protocol_ = false;
-  active_.store(running_, std::memory_order_release);
+  active_.store(running_ || sealed_, std::memory_order_release);
+}
+
+void RestoreGate::SealAdmission() {
+  std::lock_guard<std::mutex> g(mu_);
+  sealed_ = true;
+  active_.store(true, std::memory_order_release);
 }
 
 void RestoreGate::BeginRestore(uint64_t num_pages, uint64_t segment_pages) {
   {
     std::lock_guard<std::mutex> g(mu_);
     SPF_CHECK(!running_) << "nested BeginRestore";
+    epoch_++;
     num_pages_ = num_pages;
     segment_pages_ = std::max<uint64_t>(segment_pages, 1);
     num_segments_ = (num_pages_ + segment_pages_ - 1) / segment_pages_;
@@ -34,6 +41,9 @@ void RestoreGate::BeginRestore(uint64_t num_pages, uint64_t segment_pages) {
     running_ = true;
     active_.store(true, std::memory_order_release);
   }
+  // Faults parked on the seal move on to their segment waits (and
+  // register their segments for on-demand service).
+  restored_cv_.notify_all();
 }
 
 bool RestoreGate::ClaimNextSegment(uint64_t* segment, bool* on_demand) {
@@ -83,6 +93,7 @@ void RestoreGate::EndRestore(Status final_status) {
   {
     std::lock_guard<std::mutex> g(mu_);
     running_ = false;
+    sealed_ = false;
     final_status_ = std::move(final_status);
     active_.store(protocol_, std::memory_order_release);
   }
@@ -92,24 +103,49 @@ void RestoreGate::EndRestore(Status final_status) {
 Status RestoreGate::AwaitRestored(PageId id) {
   if (!active_.load(std::memory_order_acquire)) return Status::OK();
   std::unique_lock<std::mutex> lk(mu_);
-  if (!running_) return Status::OK();
-  if (id >= num_pages_) return Status::OK();
-  uint64_t seg = id / segment_pages_;
-  if (seg_state_[seg] == kRestored) return Status::OK();
-  stat_waits_++;
-  if (!demanded_[seg]) {
-    demanded_[seg] = 1;
-    demand_.push_back(seg);
+  for (;;) {
+    const uint64_t epoch = epoch_;
+    if (running_) {
+      if (id >= num_pages_) return Status::OK();
+      const uint64_t seg = id / segment_pages_;
+      if (seg_state_[seg] == kRestored) return Status::OK();
+      stat_waits_++;
+      if (!demanded_[seg]) {
+        demanded_[seg] = 1;
+        demand_.push_back(seg);
+      }
+      // The epoch guards the predicate: a waiter that loses its wake-up
+      // race to the NEXT restore's BeginRestore must not index the
+      // reassigned seg_state_ (the new restore may have fewer segments).
+      restored_cv_.wait(lk, [&] {
+        return epoch_ != epoch || !running_ || seg_state_[seg] == kRestored;
+      });
+      if (epoch_ != epoch) continue;  // a new restore took over; re-evaluate
+      if (seg_state_[seg] == kRestored) return Status::OK();
+      // The restore ended without reaching this segment: propagate its
+      // error (a successful EndRestore implies every segment was restored
+      // first).
+      if (final_status_.ok()) {
+        return Status::MediaFailure("restore ended before page " +
+                                    std::to_string(id) + " was recovered");
+      }
+      return final_status_;
+    }
+    if (sealed_) {
+      // Admission is sealed between the replay-plan scan and the sweep
+      // start. A record logged here would be missing from the plan while
+      // its page's segment still gets overwritten by the sweep; a read
+      // here would load a checksum-valid but STALE image from the
+      // revived device (updates that lived only in discarded dirty
+      // frames exist solely in the log until the sweep replays them) and
+      // poison the cache past the restore. Park until the sweep begins
+      // (then wait for the segment above) or the restore gives up.
+      restored_cv_.wait(
+          lk, [&] { return epoch_ != epoch || running_ || !sealed_; });
+      continue;
+    }
+    return Status::OK();
   }
-  restored_cv_.wait(lk, [&] { return seg_state_[seg] == kRestored || !running_; });
-  if (seg_state_[seg] == kRestored) return Status::OK();
-  // The restore ended without reaching this segment: propagate its error
-  // (a successful EndRestore implies every segment was restored first).
-  if (final_status_.ok()) {
-    return Status::MediaFailure("restore ended before page " +
-                                std::to_string(id) + " was recovered");
-  }
-  return final_status_;
 }
 
 PageId RestoreGate::watermark() const {
@@ -124,6 +160,9 @@ PageId RestoreGate::watermark() const {
 bool RestoreGate::IsRestored(PageId id) const {
   if (!active_.load(std::memory_order_acquire)) return true;
   std::lock_guard<std::mutex> g(mu_);
+  // Sealed but not yet sweeping: no page is trustworthy (the revived
+  // device serves pre-failure images the plan scan has yet to replay).
+  if (sealed_ && !running_) return false;
   if (!running_ || id >= num_pages_) return true;
   return seg_state_[id / segment_pages_] == kRestored;
 }

@@ -52,6 +52,11 @@ struct RestorePhases {
   /// Stragglers force-aborted when the drain deadline fired (the old
   /// abort-everything path, now scoped to these).
   uint64_t doomed = 0;
+  /// Doomed stragglers whose in-flight operation was still executing
+  /// past the restore's bounded rollback wait: their compensating
+  /// rollback was deferred to the owner's thread
+  /// (Database::ReapDoomedTxn) instead of racing the operation.
+  uint64_t deferred_rollbacks = 0;
   /// Wall-clock milliseconds spent in the drain phase.
   double drain_wall_ms = 0;
   /// Page-id segments the restore sweep served.
@@ -95,6 +100,21 @@ class RestoreGate : public RestoreAdmission {
 
   // --- sweep side (MediaRecovery::Run) ---------------------------------------
 
+  /// Seals admission, called immediately before the restore's
+  /// replay-plan log scan: from here until a page's segment is published
+  /// as restored, AwaitRestored parks. Two hazards close at once. Writes
+  /// (exclusive fixes — cache hits included — and MarkDirty's re-check):
+  /// a frame kept across the restore's pool discard could otherwise take
+  /// a logged update AFTER the plan scan while its segment is unswept —
+  /// the sweep would then overwrite an eventual write-back with the
+  /// pre-update image, or the post-sweep rollback would compensate a
+  /// record the restored page never received. Reads (buffer faults): the
+  /// revived device serves pre-failure images that are checksum-valid
+  /// but may miss updates that lived only in discarded dirty frames and
+  /// the log — loading one would poison the cache with a stale copy that
+  /// survives past the restore. Cleared by EndRestore.
+  void SealAdmission();
+
   /// Activates the sweep over `num_pages` pages in segments of
   /// `segment_pages` (clamped to at least 1). Resets the per-restore
   /// admission statistics.
@@ -114,11 +134,17 @@ class RestoreGate : public RestoreAdmission {
   /// is released with that status instead of hanging.
   void EndRestore(Status final_status);
 
-  // --- reader side (BufferPool::LoadPage / FixNewPage) -----------------------
+  // --- reader side (BufferPool::FixPage / FixNewPage) ------------------------
 
-  /// Blocks a buffer fault until page `id`'s segment has been restored
-  /// (no-op outside an active restore). Registers the segment for
-  /// on-demand service so hot pages jump the sweep queue.
+  /// Blocks a buffer fault — or an exclusive cache hit, or MarkDirty's
+  /// re-check — until page `id`'s segment has been restored (no-op
+  /// outside an active restore; parks unconditionally while admission is
+  /// sealed, between SealAdmission and the sweep start). Registers the
+  /// segment for on-demand service so hot pages jump the sweep queue. A
+  /// waiter that loses its wake-up race to the NEXT restore's
+  /// BeginRestore re-evaluates against the new restore's segment
+  /// geometry (epoch check) instead of indexing the reassigned segment
+  /// state.
   Status AwaitRestored(PageId id) override;
 
   // --- introspection ----------------------------------------------------------
@@ -132,8 +158,10 @@ class RestoreGate : public RestoreAdmission {
   PageId watermark() const;
 
   /// True when `id`'s segment has been restored (always true outside an
-  /// active restore).
-  bool IsRestored(PageId id) const;
+  /// active restore; false for EVERY page while admission is sealed but
+  /// the sweep has not started — the buffer pool's post-read staleness
+  /// re-check relies on this).
+  bool IsRestored(PageId id) const override;
 
   /// Segments served on demand during the current/last restore.
   uint64_t on_demand_segments() const;
@@ -159,9 +187,14 @@ class RestoreGate : public RestoreAdmission {
 
   mutable std::mutex mu_;
   std::condition_variable restored_cv_;  ///< wakes parked faults
-  std::atomic<bool> active_{false};      ///< protocol_ || running_ (fast path)
-  bool protocol_ = false;                ///< inside BeginProtocol/EndProtocol
-  bool running_ = false;                 ///< inside BeginRestore/EndRestore
+  /// protocol_ || sealed_ || running_ (fast path).
+  std::atomic<bool> active_{false};
+  bool protocol_ = false;  ///< inside BeginProtocol/EndProtocol
+  bool sealed_ = false;    ///< inside SealAdmission/EndRestore
+  bool running_ = false;   ///< inside BeginRestore/EndRestore
+  /// Bumped by BeginRestore so a waiter from a previous restore never
+  /// indexes the reassigned seg_state_/demanded_ vectors.
+  uint64_t epoch_ = 0;
   uint64_t num_pages_ = 0;
   uint64_t segment_pages_ = 1;
   uint64_t num_segments_ = 0;

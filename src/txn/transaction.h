@@ -51,11 +51,11 @@ class Transaction {
   /// True once a full-restore drain deadline force-aborted this
   /// transaction (TxnManager::DoomActiveUserTxns). The restore rolls the
   /// transaction back on its own thread afterwards; the owner's handle
-  /// stays valid (the object is retained as a zombie) but every Database
-  /// operation on it returns Aborted — the owner must drop the handle.
-  bool doomed() const {
-    return fate_.load(std::memory_order_acquire) == kFateDoomed;
-  }
+  /// stays valid (the object is retained as a zombie until the second
+  /// subsequent full-restore protocol begins — see
+  /// TxnManager::ReclaimZombies) but every Database operation on it
+  /// returns Aborted — the owner must drop the handle.
+  bool doomed() const { return fate_.load() == kFateDoomed; }
 
   /// Claims the transaction for owner-driven finalization (commit or
   /// explicit abort). Exactly one of {finalize, doom} wins: once claimed,
@@ -64,8 +64,7 @@ class Transaction {
   /// rollback. Returns false when the doom won.
   bool TryClaimFinalize() {
     uint8_t expected = kFateOpen;
-    return fate_.compare_exchange_strong(expected, kFateFinalizing,
-                                         std::memory_order_acq_rel);
+    return fate_.compare_exchange_strong(expected, kFateFinalizing);
   }
 
   /// Dooms the transaction (restore drain deadline). Fails — and leaves
@@ -73,8 +72,7 @@ class Transaction {
   /// (a commit or abort is in flight and will complete normally).
   bool TryDoom() {
     uint8_t expected = kFateOpen;
-    return fate_.compare_exchange_strong(expected, kFateDoomed,
-                                         std::memory_order_acq_rel);
+    return fate_.compare_exchange_strong(expected, kFateDoomed);
   }
 
   /// Releases a TryClaimFinalize claim after the finalization FAILED
@@ -83,21 +81,43 @@ class Transaction {
   /// compensates it. No-op unless currently claimed.
   void RevertFinalizeClaim() {
     uint8_t expected = kFateFinalizing;
-    fate_.compare_exchange_strong(expected, kFateOpen,
-                                  std::memory_order_acq_rel);
+    fate_.compare_exchange_strong(expected, kFateOpen);
   }
+
+  /// One-shot claim for executing a DOOMED transaction's compensating
+  /// rollback. Two agents may want it: the dooming restore's rollback
+  /// phase (once the transaction is no longer busy()), and the owner's
+  /// own thread when its last in-flight operation drains out of the
+  /// facade after the restore deferred the rollback
+  /// (Database::ReapDoomedTxn). Exactly one wins, so concurrent undo of
+  /// the same chain is impossible. Returns false when already claimed.
+  bool TryClaimRollback() {
+    bool expected = false;
+    return rollback_claimed_.compare_exchange_strong(expected, true);
+  }
+
+  /// Releases a TryClaimRollback claim after the rollback FAILED mid-way
+  /// (e.g. the device died again mid-undo): the next restore's doom
+  /// phase — or the owner's next facade call — re-claims and resumes
+  /// (CLR chains skip what this attempt already undid). No-op unless
+  /// currently claimed.
+  void RevertRollbackClaim() { rollback_claimed_.store(false); }
 
   /// Facade-operation bracket: the database facade counts every data
   /// operation run on this transaction so the restore's fallback
   /// rollback can wait out an operation that was already executing when
-  /// the drain deadline fired, instead of racing it.
-  void BeginOp() { ops_in_flight_.fetch_add(1, std::memory_order_acq_rel); }
+  /// the drain deadline fired, instead of racing it. Sequentially
+  /// consistent (as are the fate accessors): the facade's
+  /// {BeginOp; doomed?} handshake against the restore's
+  /// {TryDoom; busy?} must not allow BOTH sides to read the stale value
+  /// (the classic store-buffer outcome under weaker orderings), or an
+  /// operation invisible to busy() could run forward while the restore
+  /// rolls the same chain back.
+  void BeginOp() { ops_in_flight_.fetch_add(1); }
   /// Closes a BeginOp bracket.
-  void EndOp() { ops_in_flight_.fetch_sub(1, std::memory_order_acq_rel); }
+  void EndOp() { ops_in_flight_.fetch_sub(1); }
   /// True while a facade operation is executing on this transaction.
-  bool busy() const {
-    return ops_in_flight_.load(std::memory_order_acquire) > 0;
-  }
+  bool busy() const { return ops_in_flight_.load() > 0; }
 
   /// Appends a record on this transaction's behalf: stamps txn id, the
   /// per-transaction chain pointer, and the system-transaction flag, then
@@ -154,6 +174,7 @@ class Transaction {
   const TxnId id_;
   const bool system_;
   std::atomic<uint8_t> fate_{kFateOpen};
+  std::atomic<bool> rollback_claimed_{false};
   std::atomic<uint32_t> ops_in_flight_{0};
   TxnState state_ = TxnState::kActive;
   Lsn first_lsn_ = kInvalidLsn;

@@ -158,6 +158,22 @@ std::vector<Transaction*> TxnManager::DoomActiveUserTxns() {
   return doomed;
 }
 
+void TxnManager::ReclaimZombies() {
+  std::vector<std::unique_ptr<Transaction>> tenured;
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    tenured.swap(graveyard_);
+    graveyard_.swap(zombies_);
+  }
+  // `tenured` — zombies doomed two restore protocols ago — is destroyed
+  // here, outside the lock.
+}
+
+size_t TxnManager::zombie_count() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return zombies_.size() + graveyard_.size();
+}
+
 std::vector<ActiveTxnEntry> TxnManager::ActiveTxns() const {
   std::lock_guard<std::mutex> g(mu_);
   std::vector<ActiveTxnEntry> out;
@@ -197,7 +213,7 @@ void TxnManager::Retire(Transaction* txn) {
         // The owner thread may still hold the handle (it was past the
         // drain deadline, not necessarily gone); keep the object alive so
         // its next facade call reads the doomed flag instead of freed
-        // memory.
+        // memory. ReclaimZombies frees it two restore protocols later.
         zombies_.push_back(std::move(it->second));
       }
       active_.erase(it);

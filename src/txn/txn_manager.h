@@ -112,9 +112,24 @@ class TxnManager {
   /// commit/abort in flight) is left alone and completes normally; a
   /// transaction doomed by an earlier restore whose rollback never ran
   /// (the sweep failed) is re-collected. A doomed transaction's handle
-  /// stays valid forever (the object is retained as a zombie after
-  /// retirement) but the owner only ever sees Aborted from it again.
+  /// stays valid (the object is retained as a zombie after retirement,
+  /// reclaimed by the second subsequent ReclaimZombies call) but the
+  /// owner only ever sees Aborted from it again.
   std::vector<Transaction*> DoomActiveUserTxns();
+
+  /// Frees the zombie objects of doomed transactions from PREVIOUS
+  /// restores, so a long-lived database does not accumulate one object
+  /// per straggler ever doomed. Database::RecoverMedia calls this at the
+  /// start of each full-restore protocol; the two-generation scheme means
+  /// a doomed handle stays valid until the SECOND restore protocol after
+  /// the one that doomed the transaction begins — owners observe Aborted
+  /// on their next operation and must drop the handle, which every
+  /// realistic owner has done long before two further media failures.
+  void ReclaimZombies();
+
+  /// Doomed transaction objects currently retained for owner handles
+  /// (both reclamation generations).
+  size_t zombie_count() const;
 
   /// Snapshot of active transactions (checkpoint payload).
   std::vector<ActiveTxnEntry> ActiveTxns() const;
@@ -150,8 +165,12 @@ class TxnManager {
   TxnId next_id_ = 1;
   std::unordered_map<TxnId, std::unique_ptr<Transaction>> active_;
   /// Doomed transactions retired by the restore's rollback: kept alive so
-  /// the owner's handle never dangles (bounded by stragglers per restore).
+  /// the owner's handle never dangles. ReclaimZombies ages zombies_ into
+  /// graveyard_ and frees the previous graveyard_, bounding retained
+  /// memory to the stragglers of the last two restores instead of the
+  /// database's lifetime.
   std::vector<std::unique_ptr<Transaction>> zombies_;
+  std::vector<std::unique_ptr<Transaction>> graveyard_;
   TxnStats stats_;
 };
 

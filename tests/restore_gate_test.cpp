@@ -15,7 +15,9 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "common/sim_clock.h"
 #include "db/database.h"
+#include "recovery/restore_gate.h"
 
 namespace spf {
 namespace {
@@ -216,9 +218,23 @@ TEST(RestoreGateTest, DrainDeadlineDoomsStragglers) {
   EXPECT_TRUE(db->Abort(straggler).IsAborted());
   EXPECT_EQ(db->txns()->active_count(), 0u);
   EXPECT_EQ(db->txns()->stats().doomed, 1u);
+  EXPECT_EQ(db->txns()->zombie_count(), 1u);
 
   EXPECT_EQ(*db->Get(nullptr, Key(0)), "r3");
   ASSERT_TRUE(db->CheckOffline(nullptr).ok());
+
+  // Zombie reclamation: the object survives the NEXT restore protocol
+  // (handles may still be probed until it begins) and is freed when the
+  // second one starts — retained memory is bounded by the stragglers of
+  // the last two restores, not the database's lifetime. The straggler
+  // handle must not be touched past this point.
+  straggler = nullptr;
+  db->data_device()->FailDevice();
+  ASSERT_TRUE(db->RecoverMedia().ok());
+  EXPECT_EQ(db->txns()->zombie_count(), 1u);
+  db->data_device()->FailDevice();
+  ASSERT_TRUE(db->RecoverMedia().ok());
+  EXPECT_EQ(db->txns()->zombie_count(), 0u);
 }
 
 // restore_early_admission=false: the admission gate stays closed for the
@@ -268,6 +284,133 @@ TEST(RestoreGateTest, EarlyAdmissionOffParksUntilRestoreCompletes) {
   EXPECT_EQ(result->phases.admission_waits, 0u);
   EXPECT_GE(db->txns()->stats().gate_parked, 1u);
   ASSERT_TRUE(db->CheckOffline(nullptr).ok());
+}
+
+// A straggler whose in-flight operation is still executing when the
+// restore's bounded rollback wait expires is NOT rolled back
+// concurrently with that operation: the compensation defers to the
+// owner's thread, which runs it as soon as the operation drains out of
+// the facade. The op-in-flight state is pinned with the transaction's
+// own facade bracket (Transaction::BeginOp/EndOp — exactly what
+// Database's TxnOpGuard uses), which keeps busy() true across the whole
+// restore deterministically.
+TEST(RestoreGateTest, BusyStragglerRollbackDefersToOwnerThread) {
+  DatabaseOptions options = FastOptions();
+  options.restore_drain_timeout = std::chrono::milliseconds(50);
+  std::vector<PageId> victims;
+  auto db = MakeChainedDb(options, &victims);
+
+  Transaction* straggler = db->Begin();
+  ASSERT_TRUE(db->Insert(straggler, "in-flight", "x").ok());
+  db->log()->ForceAll();  // durable, but never committed
+  straggler->BeginOp();   // an operation that outlives every deadline
+
+  db->data_device()->FailDevice();
+  auto stats = db->RecoverMedia();
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->phases.doomed, 1u);
+  EXPECT_EQ(stats->phases.deferred_rollbacks, 1u);
+  EXPECT_EQ(db->funnel()->totals().deferred_rollbacks, 1u);
+
+  // The restore completed its protocol without racing the busy op: the
+  // straggler's replayed update is still on the restored device (its
+  // locks are still held), pending the owner-side compensation.
+  EXPECT_EQ(*db->Get(nullptr, "in-flight"), "x");
+  EXPECT_EQ(db->txns()->active_count(), 1u);
+
+  // The op drains; the owner's next facade call runs the deferred
+  // rollback before reporting the forced abort.
+  straggler->EndOp();
+  EXPECT_TRUE(db->Commit(straggler).IsAborted());
+  EXPECT_TRUE(db->Get(nullptr, "in-flight").status().IsNotFound());
+  EXPECT_EQ(db->txns()->active_count(), 0u);
+  EXPECT_EQ(db->txns()->zombie_count(), 1u);
+  EXPECT_EQ(*db->Get(nullptr, Key(0)), "r3");
+  ASSERT_TRUE(db->CheckOffline(nullptr).ok());
+}
+
+// Admission is sealed from the replay-plan scan until a page's segment
+// is restored: the check parks even though no restore sweep has begun —
+// this covers both the exclusive cache hit that would otherwise log an
+// update the plan never saw, and the buffer fault that would load a
+// stale pre-failure image from the revived device. During the earlier
+// gate/drain phases (protocol active, nothing sealed) admission is
+// free. The parked fault demands its segment, which jumps the sweep
+// queue.
+TEST(RestoreGateTest, AdmissionSealedUntilSegmentRestored) {
+  SimClock clock;
+  RestoreGate gate(&clock);
+  gate.BeginProtocol();
+  ASSERT_TRUE(gate.active());
+  // Drain window: in-flight transactions still run on their cached
+  // working sets unthrottled.
+  EXPECT_TRUE(gate.AwaitRestored(5).ok());
+
+  gate.SealAdmission();
+  std::atomic<bool> admitted{false};
+  std::thread fault([&] {
+    Status s = gate.AwaitRestored(5);
+    EXPECT_TRUE(s.ok()) << s.ToString();
+    admitted.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_FALSE(admitted.load());
+
+  // The sweep starts: still parked — segment 1 (page 5, 4-page segments)
+  // is not restored yet — but now registered as demanded.
+  gate.BeginRestore(/*num_pages=*/64, /*segment_pages=*/4);
+  ASSERT_TRUE(WaitFor([&] { return gate.admission_waits() >= 1; }));
+  EXPECT_FALSE(admitted.load());
+
+  uint64_t seg = 0;
+  bool on_demand = false;
+  ASSERT_TRUE(gate.ClaimNextSegment(&seg, &on_demand));
+  EXPECT_EQ(seg, 1u);  // the demanded segment jumps the queue
+  EXPECT_TRUE(on_demand);
+  gate.MarkSegmentRestored(seg);
+  fault.join();
+  EXPECT_TRUE(admitted.load());
+  // Once restored, further admissions on the segment are free.
+  EXPECT_TRUE(gate.AwaitRestored(5).ok());
+
+  while (gate.ClaimNextSegment(&seg, &on_demand)) gate.MarkSegmentRestored(seg);
+  gate.EndRestore(Status::OK());
+  gate.EndProtocol();
+  EXPECT_FALSE(gate.active());
+}
+
+// Back-to-back restores with different segment geometries: a waiter from
+// the first restore whose wake-up races the second BeginRestore must
+// re-evaluate against the new geometry (epoch check) instead of indexing
+// the first restore's (larger) segment state.
+TEST(RestoreGateTest, WaiterSurvivesBackToBackRestores) {
+  SimClock clock;
+  RestoreGate gate(&clock);
+  for (int round = 0; round < 50; ++round) {
+    gate.BeginRestore(/*num_pages=*/1024, /*segment_pages=*/1);
+    std::thread waiter([&] {
+      // Parks on segment 1000 of the first restore; wakes somewhere
+      // across EndRestore → BeginRestore. Either outcome is legal —
+      // the old restore's "ended before the page was recovered" error
+      // or admission against the new 2-segment geometry (page 1000 is
+      // beyond it) — but indexing freed/shrunk state is not, which
+      // ASan/TSan runs of this loop would catch.
+      Status s = gate.AwaitRestored(1000);
+      EXPECT_TRUE(s.ok() || s.IsMediaFailure()) << s.ToString();
+    });
+    while (gate.admission_waits() < 1) {
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+    gate.EndRestore(Status::OK());
+    gate.BeginRestore(/*num_pages=*/8, /*segment_pages=*/4);
+    waiter.join();
+    uint64_t seg = 0;
+    bool on_demand = false;
+    while (gate.ClaimNextSegment(&seg, &on_demand)) {
+      gate.MarkSegmentRestored(seg);
+    }
+    gate.EndRestore(Status::OK());
+  }
 }
 
 // A funnel-driven rung-5 climb records the protocol's per-phase totals
