@@ -41,12 +41,12 @@ void Run() {
   // walking one chain.
   Random rng(17);
   for (int txn_i = 0; txn_i < Scaled(100, 20); ++txn_i) {
-    Transaction* t = db->Begin();
+    Txn t = db->BeginTxn();
     for (int op = 0; op < 20; ++op) {
-      SPF_CHECK_OK(db->Update(t, Key(static_cast<int>(rng.Uniform(kRecords))),
+      SPF_CHECK_OK(t.Update(Key(static_cast<int>(rng.Uniform(kRecords))),
                               "mirror-era-update"));
     }
-    SPF_CHECK_OK(db->Commit(t));
+    SPF_CHECK_OK(t.Commit());
   }
   const int victim_key = kRecords / 2;
   UpdateKeyNTimes(db.get(), victim_key, 30);  // the victim's chain: ~30 records
@@ -69,7 +69,7 @@ void Run() {
   db->data_device()->InjectSilentCorruption(victim);
   db->single_page_recovery()->ResetStats();
   SimTimer spr_timer(db->clock());
-  auto v = db->Get(nullptr, Key(victim_key));
+  auto v = db->Get(Key(victim_key));
   double spr_seconds = spr_timer.ElapsedSeconds();
   SPF_CHECK(v.ok()) << v.status().ToString();
   auto spr = db->single_page_recovery()->stats();

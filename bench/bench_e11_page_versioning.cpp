@@ -35,10 +35,10 @@ void Run() {
     PageId victim = *victim_or;
     std::vector<std::pair<Lsn, std::string>> history;  // (page_lsn, value)
     for (int i = 0; i <= distance; ++i) {
-      Transaction* t = db->Begin();
+      Txn t = db->BeginTxn();
       std::string value = "version-" + std::to_string(i);
-      SPF_CHECK_OK(db->Update(t, Key(500), value));
-      SPF_CHECK_OK(db->Commit(t));
+      SPF_CHECK_OK(t.Update(Key(500), value));
+      SPF_CHECK_OK(t.Commit());
       auto guard = db->pool()->FixPage(victim, LatchMode::kShared);
       SPF_CHECK(guard.ok());
       history.emplace_back(guard->view().page_lsn(), value);

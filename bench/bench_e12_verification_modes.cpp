@@ -66,7 +66,7 @@ void Run() {
       // Point lookups across the key space: the traversals the application
       // performs anyway; every hop is fence-verified.
       for (int i = 0; i < records; i += 50) {
-        SPF_CHECK_OK(db->Get(nullptr, Key(i)).status());
+        SPF_CHECK_OK(db->Get(Key(i)).status());
       }
       DeviceStats after = db->data_device()->stats();
       uint64_t verifications =

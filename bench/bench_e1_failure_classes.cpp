@@ -41,12 +41,12 @@ void Run() {
 
   // --- transaction failure: rollback of one 40-update transaction ------------
   {
-    Transaction* t = db->Begin();
+    Txn t = db->BeginTxn();
     for (int i = 0; i < 40; ++i) {
-      SPF_CHECK_OK(db->Update(t, Key(i * 13 + 1), "doomed"));
+      SPF_CHECK_OK(t.Update(Key(i * 13 + 1), "doomed"));
     }
     SimTimer timer(db->clock());
-    SPF_CHECK_OK(db->Abort(t));
+    SPF_CHECK_OK(t.Abort());
     table.AddRow({"transaction", "1 transaction", "1",
                   FormatSeconds(timer.ElapsedSeconds()),
                   "per-txn chain + compensation"});
@@ -63,12 +63,12 @@ void Run() {
     db->pool()->DiscardAll();
     db->data_device()->InjectSilentCorruption(*victim);
 
-    Transaction* reader = db->Begin();
+    Txn reader = db->BeginTxn();
     SimTimer timer(db->clock());
-    auto v = db->Get(reader, Key(777));
+    auto v = reader.Get(Key(777));
     double elapsed = timer.ElapsedSeconds();
     SPF_CHECK(v.ok()) << v.status().ToString();
-    SPF_CHECK_OK(db->Commit(reader));
+    SPF_CHECK_OK(reader.Commit());
     auto spr = db->single_page_recovery()->stats();
     table.AddRow({"single-page", "1 page", "0",
                   FormatSeconds(elapsed),
@@ -79,14 +79,14 @@ void Run() {
   // --- system failure: crash + ARIES restart ---------------------------------
   {
     // Post-checkpoint activity so restart has real analysis/redo/undo work.
-    Transaction* t = db->Begin();
+    Txn t = db->BeginTxn();
     for (int i = 0; i < 2000; ++i) {
-      SPF_CHECK_OK(db->Put(t, Key(kRecords + i), "post-ckpt"));
+      SPF_CHECK_OK(t.Put(Key(kRecords + i), "post-ckpt"));
     }
-    SPF_CHECK_OK(db->Commit(t));
-    Transaction* loser = db->Begin();
+    SPF_CHECK_OK(t.Commit());
+    Txn loser = db->BeginTxn();
     for (int i = 0; i < 50; ++i) {
-      SPF_CHECK_OK(db->Update(loser, Key(i * 7 + 3), "loser"));
+      SPF_CHECK_OK(loser.Update(Key(i * 7 + 3), "loser"));
     }
     db->log()->ForceAll();
     size_t active = db->txns()->active_count();
@@ -104,8 +104,8 @@ void Run() {
 
   // --- media failure: restore full backup + replay ----------------------------
   {
-    Transaction* active1 = db->Begin();
-    SPF_CHECK_OK(db->Update(active1, Key(1), "in-flight"));
+    Txn active1 = db->BeginTxn();
+    SPF_CHECK_OK(active1.Update(Key(1), "in-flight"));
     db->log()->ForceAll();
     size_t active = db->txns()->active_count();
     db->data_device()->FailDevice();

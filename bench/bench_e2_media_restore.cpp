@@ -42,11 +42,11 @@ void Run() {
     auto db = MakeLoadedDb(options, records);
     SPF_CHECK_OK(db->TakeFullBackup().status());
     // Post-backup activity: the log tail media recovery must replay.
-    Transaction* t = db->Begin();
+    Txn t = db->BeginTxn();
     for (int i = 0; i < Scaled(2000, 200); ++i) {
-      SPF_CHECK_OK(db->Update(t, Key(i * 3 % records), "post-backup"));
+      SPF_CHECK_OK(t.Update(Key(i * 3 % records), "post-backup"));
     }
-    SPF_CHECK_OK(db->Commit(t));
+    SPF_CHECK_OK(t.Commit());
     db->log()->ForceAll();
 
     db->data_device()->FailDevice();
@@ -174,11 +174,11 @@ void RunRestoreUnderLoadAxis() {
     auto db = MakeLoadedDb(options, records);
     SPF_CHECK_OK(db->TakeFullBackup().status());
     // Post-backup log tail the restore must replay.
-    Transaction* t = db->Begin();
+    Txn t = db->BeginTxn();
     for (int i = 0; i < Scaled(1000, 200); ++i) {
-      SPF_CHECK_OK(db->Update(t, Key(i * 3 % records), "post-backup"));
+      SPF_CHECK_OK(t.Update(Key(i * 3 % records), "post-backup"));
     }
-    SPF_CHECK_OK(db->Commit(t));
+    SPF_CHECK_OK(t.Commit());
 
     std::atomic<bool> stop{false};
     std::atomic<bool> failed{false};
@@ -194,13 +194,13 @@ void RunRestoreUnderLoadAxis() {
         uint64_t i = 0;
         while (!stop.load(std::memory_order_relaxed)) {
           bool began_post_failure = failed.load(std::memory_order_acquire);
-          Transaction* txn = db->Begin();  // parks while the gate is closed
+          Txn txn = db->BeginTxn();  // parks while the gate is closed
           int key = static_cast<int>((w * 1000 + i++) % records);
-          Status s = db->Update(txn, Key(key), "live");
+          Status s = txn.Update(Key(key), "live");
           bool swept = db->restore_gate()->active();
-          if (s.ok()) s = db->Commit(txn);
+          if (s.ok()) s = txn.Commit();
           if (!s.ok()) {
-            (void)db->Abort(txn);  // single-op txn: nothing logged yet
+            (void)txn.Abort();  // single-op txn: nothing logged yet
             continue;
           }
           if (began_post_failure) {

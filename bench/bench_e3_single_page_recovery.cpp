@@ -45,7 +45,7 @@ void Run() {
     db->single_page_recovery()->ResetStats();
 
     SimTimer timer(db->clock());
-    auto v = db->Get(nullptr, Key(1000));
+    auto v = db->Get(Key(1000));
     double elapsed = timer.ElapsedSeconds();
     SPF_CHECK(v.ok()) << v.status().ToString();
 

@@ -40,12 +40,12 @@ ModeResult RunMode(WriteTrackingMode mode, const std::string& name) {
   // write-backs (and their tracking records) actually happen.
   Random rng(7);
   for (int txn_i = 0; txn_i < Scaled(200, 20); ++txn_i) {
-    Transaction* t = db->Begin();
+    Txn t = db->BeginTxn();
     for (int op = 0; op < 20; ++op) {
-      SPF_CHECK_OK(db->Update(t, Key(static_cast<int>(rng.Uniform(records))),
+      SPF_CHECK_OK(t.Update(Key(static_cast<int>(rng.Uniform(records))),
                               "updated-" + std::to_string(op)));
     }
-    SPF_CHECK_OK(db->Commit(t));
+    SPF_CHECK_OK(t.Commit());
     if (txn_i % 20 == 19) SPF_CHECK_OK(db->FlushAll());
   }
 

@@ -34,21 +34,21 @@ Result RunMode(WriteTrackingMode mode, const std::string& name) {
 
   // Post-checkpoint updates over many pages...
   Random rng(3);
-  Transaction* t = db->Begin();
+  Txn t = db->BeginTxn();
   for (int i = 0; i < Scaled(3000, 600); ++i) {
-    SPF_CHECK_OK(db->Update(t, Key(static_cast<int>(rng.Uniform(records))),
+    SPF_CHECK_OK(t.Update(Key(static_cast<int>(rng.Uniform(records))),
                             "post-checkpoint-update"));
   }
-  SPF_CHECK_OK(db->Commit(t));
+  SPF_CHECK_OK(t.Commit());
   // ...all flushed (their writes complete and, depending on mode, get
   // certified in the log), plus a burst of unflushed updates that redo
   // must genuinely replay.
   SPF_CHECK_OK(db->FlushAll());
-  Transaction* t2 = db->Begin();
+  Txn t2 = db->BeginTxn();
   for (int i = 0; i < 300; ++i) {
-    SPF_CHECK_OK(db->Update(t2, Key(i), "unflushed"));
+    SPF_CHECK_OK(t2.Update(Key(i), "unflushed"));
   }
-  SPF_CHECK_OK(db->Commit(t2));
+  SPF_CHECK_OK(t2.Commit());
 
   db->SimulateCrash();
   auto stats = db->Restart();

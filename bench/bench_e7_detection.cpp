@@ -68,7 +68,7 @@ void BM_PointLookup(benchmark::State& state) {
   Database* db = SharedDb(level);
   Random rng(1);
   for (auto _ : state) {
-    auto v = db->Get(nullptr, Key(static_cast<int>(rng.Uniform(Records()))));
+    auto v = db->Get(Key(static_cast<int>(rng.Uniform(Records()))));
     benchmark::DoNotOptimize(v);
     SPF_CHECK(v.ok());
   }
@@ -81,9 +81,9 @@ void BM_Insert(benchmark::State& state) {
   Database* db = SharedDb(level);
   static int next_key[3] = {10000000, 20000000, 30000000};
   for (auto _ : state) {
-    Transaction* t = db->Begin();
-    SPF_CHECK_OK(db->Insert(t, Key(next_key[level]++), "bench-value"));
-    SPF_CHECK_OK(db->Commit(t));
+    Txn t = db->BeginTxn();
+    SPF_CHECK_OK(t.Insert(Key(next_key[level]++), "bench-value"));
+    SPF_CHECK_OK(t.Commit());
   }
   state.SetLabel(LevelName(level));
   state.SetItemsProcessed(state.iterations());

@@ -115,11 +115,11 @@ void Run() {
     options.backup_policy.updates_threshold = 0;
     auto db = MakeLoadedDb(options, kRecords);
     SPF_CHECK_OK(db->TakeFullBackup().status());
-    Transaction* t = db->Begin();
+    Txn t = db->BeginTxn();
     for (int i = 0; i < 1000; ++i) {
-      SPF_CHECK_OK(db->Update(t, Key(i * 7 % kRecords), "post-backup"));
+      SPF_CHECK_OK(t.Update(Key(i * 7 % kRecords), "post-backup"));
     }
-    SPF_CHECK_OK(db->Commit(t));
+    SPF_CHECK_OK(t.Commit());
     db->log()->ForceAll();
     db->data_device()->FailDevice();
     db->pool()->DiscardAll();

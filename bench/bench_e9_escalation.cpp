@@ -58,19 +58,19 @@ void Run() {
     PageId victim;
     auto db = Setup(/*repair_enabled=*/true, &victim);
     // Five concurrent-ish transactions in flight.
-    std::vector<Transaction*> active;
+    std::vector<Txn> active;
     for (int i = 0; i < 5; ++i) {
-      Transaction* t = db->Begin();
+      Txn t = db->BeginTxn();
       // Far from the victim's leaf so the victim stays uncached.
-      SPF_CHECK_OK(db->Put(t, Key(900000 + i), "in-flight"));
-      active.push_back(t);
+      SPF_CHECK_OK(t.Put(Key(900000 + i), "in-flight"));
+      active.push_back(std::move(t));
     }
     db->data_device()->InjectSilentCorruption(victim);
     SimTimer timer(db->clock());
-    auto v = db->Get(active[0], Key(500));  // hits the failure, waits
+    auto v = active[0].Get(Key(500));  // hits the failure, waits
     double downtime = timer.ElapsedSeconds();
     SPF_CHECK(v.ok()) << v.status().ToString();
-    for (Transaction* t : active) SPF_CHECK_OK(db->Commit(t));
+    for (Txn& t : active) SPF_CHECK_OK(t.Commit());
     rows.push_back({"single-page recovery", downtime, 0,
                     "reader merely delayed; all 5 txns commit"});
   }
@@ -79,16 +79,16 @@ void Run() {
   {
     PageId victim;
     auto db = Setup(/*repair_enabled=*/false, &victim);
-    std::vector<Transaction*> active;
+    std::vector<Txn> active;
     for (int i = 0; i < 5; ++i) {
-      Transaction* t = db->Begin();
-      SPF_CHECK_OK(db->Put(t, Key(900000 + i), "in-flight"));
-      active.push_back(t);
+      Txn t = db->BeginTxn();
+      SPF_CHECK_OK(t.Put(Key(900000 + i), "in-flight"));
+      active.push_back(std::move(t));
     }
     db->log()->ForceAll();
     db->data_device()->InjectSilentCorruption(victim);
     SimTimer timer(db->clock());
-    auto v = db->Get(active[0], Key(500));
+    auto v = active[0].Get(Key(500));
     SPF_CHECK(v.status().IsMediaFailure()) << v.status().ToString();
     uint64_t aborted = db->txns()->active_count();
     auto stats = db->RecoverMedia();  // aborts active txns internally
@@ -102,8 +102,8 @@ void Run() {
   {
     PageId victim;
     auto db = Setup(/*repair_enabled=*/false, &victim);
-    Transaction* t = db->Begin();
-    SPF_CHECK_OK(db->Put(t, Key(900001), "in-flight"));
+    Txn t = db->BeginTxn();
+    SPF_CHECK_OK(t.Put(Key(900001), "in-flight"));
     db->log()->ForceAll();
     uint64_t aborted = db->txns()->active_count();
     db->data_device()->InjectSilentCorruption(victim);
@@ -114,7 +114,7 @@ void Run() {
     db->SimulateCrash();
     auto restart = db->Restart();
     SPF_CHECK(restart.ok()) << restart.status().ToString();
-    auto v = db->Get(nullptr, Key(500));
+    auto v = db->Get(Key(500));
     SPF_CHECK(v.status().IsMediaFailure()) << v.status().ToString();
     auto media = db->RecoverMedia();
     SPF_CHECK(media.ok()) << media.status().ToString();
@@ -186,7 +186,7 @@ void Run() {
       threads.emplace_back([&] {
         size_t i;
         while ((i = next.fetch_add(1)) < keys.size()) {
-          SPF_CHECK_OK(db->Get(nullptr, keys[i]).status());
+          SPF_CHECK_OK(db->Get(keys[i]).status());
         }
       });
     }

@@ -131,11 +131,11 @@ inline std::unique_ptr<Database> MakeLoadedDb(DatabaseOptions options, int n,
   auto db = std::move(db_or).value();
   const int kBatch = 1000;
   for (int base = 0; base < n; base += kBatch) {
-    Transaction* t = db->Begin();
+    Txn t = db->BeginTxn();
     for (int i = base; i < std::min(base + kBatch, n); ++i) {
-      SPF_CHECK_OK(db->Insert(t, Key(i), value + "-" + std::to_string(i)));
+      SPF_CHECK_OK(t.Insert(Key(i), value + "-" + std::to_string(i)));
     }
-    SPF_CHECK_OK(db->Commit(t));
+    SPF_CHECK_OK(t.Commit());
   }
   return db;
 }
@@ -151,11 +151,11 @@ inline std::unique_ptr<Database> MakeChainedBurstDb(
   auto db = MakeLoadedDb(options, records);
   SPF_CHECK_OK(db->TakeFullBackup().status());
   for (int round = 0; round < rounds; ++round) {
-    Transaction* t = db->Begin();
+    Txn t = db->BeginTxn();
     for (int i = 0; i < records; i += stride) {
-      SPF_CHECK_OK(db->Update(t, Key(i), "r" + std::to_string(round)));
+      SPF_CHECK_OK(t.Update(Key(i), "r" + std::to_string(round)));
     }
-    SPF_CHECK_OK(db->Commit(t));
+    SPF_CHECK_OK(t.Commit());
   }
   SPF_CHECK_OK(db->FlushAll());
   std::set<PageId> leaves;
@@ -173,9 +173,9 @@ inline std::unique_ptr<Database> MakeChainedBurstDb(
 /// key's per-page chain).
 inline void UpdateKeyNTimes(Database* db, int key, int n) {
   for (int i = 0; i < n; ++i) {
-    Transaction* t = db->Begin();
-    SPF_CHECK_OK(db->Update(t, Key(key), "u" + std::to_string(i)));
-    SPF_CHECK_OK(db->Commit(t));
+    Txn t = db->BeginTxn();
+    SPF_CHECK_OK(t.Update(Key(key), "u" + std::to_string(i)));
+    SPF_CHECK_OK(t.Commit());
   }
 }
 

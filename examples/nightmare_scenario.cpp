@@ -52,9 +52,9 @@ Outcome RunScenario(bool with_cross_check_and_repair) {
   }
   auto db = std::move(Database::Create(options)).value();
 
-  Transaction* t = db->Begin();
-  SPF_CHECK_OK(db->Insert(t, "sensor:42", "reading=OLD"));
-  SPF_CHECK_OK(db->Commit(t));
+  Txn t = db->BeginTxn();
+  SPF_CHECK_OK(t.Insert("sensor:42", "reading=OLD"));
+  SPF_CHECK_OK(t.Commit());
   SPF_CHECK_OK(db->FlushAll());
 
   // The device quietly remembers the old image...
@@ -62,9 +62,9 @@ Outcome RunScenario(bool with_cross_check_and_repair) {
   db->data_device()->CapturePageVersion(victim);
 
   // ...the application updates the value and the page reaches the disk...
-  t = db->Begin();
-  SPF_CHECK_OK(db->Update(t, "sensor:42", "reading=CURRENT"));
-  SPF_CHECK_OK(db->Commit(t));
+  t = db->BeginTxn();
+  SPF_CHECK_OK(t.Update("sensor:42", "reading=CURRENT"));
+  SPF_CHECK_OK(t.Commit());
   SPF_CHECK_OK(db->FlushAll());
 
   // ...and then the device starts returning the STALE image: valid
@@ -79,7 +79,7 @@ Outcome RunScenario(bool with_cross_check_and_repair) {
   std::vector<std::thread> readers;
   for (int i = 0; i < kReaders; ++i) {
     readers.emplace_back([&, i] {
-      auto v = db->Get(nullptr, "sensor:42");
+      auto v = db->Get("sensor:42");
       seen[i] = v.ok() ? *v : "<read failed: " + v.status().ToString() + ">";
     });
   }

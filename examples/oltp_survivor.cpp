@@ -29,8 +29,8 @@ std::string AccountKey(int i) {
   return buf;
 }
 
-int64_t ReadBalance(Database* db, Transaction* txn, int acct) {
-  auto v = db->Get(txn, AccountKey(acct));
+int64_t ReadBalance(Txn& txn, int acct) {
+  auto v = txn.Get(AccountKey(acct));
   SPF_CHECK(v.ok()) << v.status().ToString();
   return std::stoll(*v);
 }
@@ -45,12 +45,12 @@ int main() {
 
   // Open accounts.
   {
-    Transaction* txn = db->Begin();
+    Txn txn = db->BeginTxn();
     for (int i = 0; i < kAccounts; ++i) {
-      SPF_CHECK_OK(db->Insert(txn, AccountKey(i),
+      SPF_CHECK_OK(txn.Insert(AccountKey(i),
                               std::to_string(kInitialBalance)));
     }
-    SPF_CHECK_OK(db->Commit(txn));
+    SPF_CHECK_OK(txn.Commit());
   }
   SPF_CHECK_OK(db->TakeFullBackup().status());
   printf("opened %d accounts, took a full backup\n", kAccounts);
@@ -71,26 +71,34 @@ int main() {
       }
     }
 
-    // Business as usual: money moves between random account pairs.
+    // Business as usual: money moves between random account pairs. The
+    // v2 error taxonomy drives the retry loop: transient conflicts
+    // (lock timeouts) re-run the transfer, storage failures must never
+    // surface at all — the funnel repairs them under the read.
     for (int i = 0; i < kTransfersPerBatch; ++i) {
       int from = static_cast<int>(rng.Uniform(kAccounts));
       int to = static_cast<int>(rng.Uniform(kAccounts));
       if (from == to) continue;
-      Transaction* txn = db->Begin();
-      int64_t from_balance = ReadBalance(db.get(), txn, from);
-      int64_t to_balance = ReadBalance(db.get(), txn, to);
-      int64_t amount = 1 + static_cast<int64_t>(rng.Uniform(100));
-      Status s1 = db->Update(txn, AccountKey(from),
-                             std::to_string(from_balance - amount));
-      Status s2 = db->Update(txn, AccountKey(to),
-                             std::to_string(to_balance + amount));
-      if (s1.ok() && s2.ok()) {
-        SPF_CHECK_OK(db->Commit(txn));
-        committed++;
-      } else {
-        // Lock timeouts would land here; storage failures must not.
-        if (s1.IsMediaFailure() || s2.IsMediaFailure()) storage_aborts++;
-        SPF_CHECK_OK(db->Abort(txn));
+      for (int attempt = 0; attempt < 3; ++attempt) {
+        Txn txn = db->BeginTxn();
+        int64_t from_balance = ReadBalance(txn, from);
+        int64_t to_balance = ReadBalance(txn, to);
+        int64_t amount = 1 + static_cast<int64_t>(rng.Uniform(100));
+        // Both sides of the transfer move atomically, in one batch.
+        WriteBatch transfer;
+        transfer.Update(AccountKey(from), std::to_string(from_balance - amount));
+        transfer.Update(AccountKey(to), std::to_string(to_balance + amount));
+        TxnError err = txn.Apply(std::move(transfer));
+        if (err.ok()) err = txn.Commit();
+        if (err.ok()) {
+          committed++;
+          break;
+        }
+        if (err.kind() == TxnError::Kind::kStorage ||
+            err.kind() == TxnError::Kind::kFatal) {
+          storage_aborts++;  // the paper's claim is that this stays 0
+        }
+        if (!err.retryable()) break;  // dropping txn auto-aborts
       }
     }
   }

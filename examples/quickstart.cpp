@@ -23,18 +23,18 @@ int main() {
   auto db = std::move(db_or).value();
 
   // 2. Write some data in a transaction.
-  Transaction* txn = db->Begin();
+  Txn txn = db->BeginTxn();
   for (int i = 0; i < 1000; ++i) {
     char key[32], value[32];
     snprintf(key, sizeof(key), "user:%05d", i);
     snprintf(value, sizeof(value), "balance=%d", i * 10);
-    SPF_CHECK_OK(db->Insert(txn, key, value));
+    SPF_CHECK_OK(txn.Insert(key, value));
   }
-  SPF_CHECK_OK(db->Commit(txn));
+  SPF_CHECK_OK(txn.Commit());
   printf("inserted 1000 records\n");
 
   // 3. Read one back.
-  auto v = db->Get(nullptr, "user:00500");
+  auto v = db->Get("user:00500");
   printf("user:00500 -> %s\n", v->c_str());
 
   // 4. Flush to "disk", then corrupt the page holding that record —
@@ -50,7 +50,7 @@ int main() {
   //    page recovery index locates a backup, the per-page log chain
   //    replays the updates (Figure 10), and the read SUCCEEDS. No
   //    transaction aborted; the read was merely delayed.
-  v = db->Get(nullptr, "user:00500");
+  v = db->Get("user:00500");
   printf("after failure, user:00500 -> %s\n", v->c_str());
 
   auto stats = db->single_page_recovery()->stats();

@@ -56,11 +56,11 @@ int main() {
   // auto_escalate defaults to true: detection sites feed the funnel.
   auto db = std::move(Database::Create(options)).value();
 
-  Transaction* t = db->Begin();
+  Txn t = db->BeginTxn();
   for (int i = 0; i < kRecords; ++i) {
-    SPF_CHECK_OK(db->Insert(t, Key(i), "payload-" + std::to_string(i)));
+    SPF_CHECK_OK(t.Insert(Key(i), "payload-" + std::to_string(i)));
   }
-  SPF_CHECK_OK(db->Commit(t));
+  SPF_CHECK_OK(t.Commit());
   SPF_CHECK_OK(db->TakeFullBackup().status());
   SPF_CHECK_OK(db->FlushAll());
   printf("database loaded: %d records; full backup taken\n", kRecords);
@@ -106,7 +106,7 @@ int main() {
     // Foreground traffic keeps flowing against the healed database.
     for (int i = 0; i < 200; ++i) {
       int key = static_cast<int>(rng.Uniform(kRecords));
-      SPF_CHECK_OK(db->Get(nullptr, Key(key)).status());
+      SPF_CHECK_OK(db->Get(Key(key)).status());
     }
     ScrubberTotals scrub = db->scrubber()->totals();
     FunnelTotals funnel = db->funnel()->totals();

@@ -639,7 +639,7 @@ StatusOr<std::string> BTree::Get(Transaction* txn, std::string_view key) {
 }
 
 Status BTree::Scan(
-    std::string_view start, std::string_view end,
+    Transaction* txn, std::string_view start, std::string_view end,
     const std::function<bool(std::string_view, std::string_view)>& fn) {
   std::string cursor(start);
   bool first = true;
@@ -654,6 +654,11 @@ Status BTree::Scan(
       if (node.IsGhost(s)) continue;
       std::string key = node.FullKeyAt(s);
       if (!end.empty() && key >= end) return Status::OK();
+      // Lock-before-deliver, with the leaf latch held: a conflicting
+      // writer backs off through its lock timeout, and if WE time out
+      // instead, the Deadlock status aborts the scan cleanly (the
+      // latch releases with `d`).
+      SPF_RETURN_IF_ERROR(LockKey(txn, key, LockMode::kShared));
       if (!fn(key, node.ValueAt(s))) return Status::OK();
       cursor = key;
       first = false;

@@ -90,10 +90,20 @@ class BTree {
   StatusOr<std::string> Get(Transaction* txn, std::string_view key);
 
   /// Ordered scan over [start, end); invokes `fn(key, value)` for each
-  /// live record; stops early if `fn` returns false. Unlocked read
-  /// (read-committed at page granularity).
-  Status Scan(std::string_view start, std::string_view end,
+  /// live record; stops early if `fn` returns false. With a transaction,
+  /// takes a shared lock on every delivered key (held to commit) — the
+  /// same consistency story as Get; a lock wait that times out while the
+  /// leaf latch is held resolves as Deadlock (the scan is the victim —
+  /// retry it). With txn == nullptr, an unlocked read (read-committed at
+  /// page granularity).
+  Status Scan(Transaction* txn, std::string_view start, std::string_view end,
               const std::function<bool(std::string_view, std::string_view)>& fn);
+
+  /// Unlocked-scan shorthand (txn == nullptr).
+  Status Scan(std::string_view start, std::string_view end,
+              const std::function<bool(std::string_view, std::string_view)>& fn) {
+    return Scan(nullptr, start, end, fn);
+  }
 
   /// Number of live (non-ghost) records, by full scan.
   StatusOr<uint64_t> Count();

@@ -175,6 +175,17 @@ StatusOr<ScrubStats> Scrubber::Tick() {
 }
 
 StatusOr<ScrubStats> Scrubber::SweepAll() {
+  if (restore_gate_ != nullptr && restore_gate_->active()) {
+    // An incremental full restore owns the device. Unlike a background
+    // tick (which skips — the cadence retries), a synchronous sweep is
+    // a caller waiting for a verification result, so wait the protocol
+    // out and then sweep the fully restored device.
+    {
+      std::lock_guard<std::mutex> t(totals_mu_);
+      totals_.restore_waits++;
+    }
+    restore_gate_->AwaitIdle();
+  }
   std::lock_guard<std::mutex> g(sweep_mu_);
   // A full pass from page 0; ScanLocked always wraps with this budget,
   // which is what bumps sweeps_completed.

@@ -93,6 +93,9 @@ struct ScrubberTotals {
   /// Ticks skipped because an incremental full restore owned the device
   /// (half-restored pages would flood the funnel with moot reports).
   uint64_t restore_skips = 0;
+  /// Synchronous SweepAll() calls that had to wait out an active
+  /// restore protocol before sweeping (they wait; ticks skip).
+  uint64_t restore_waits = 0;
 };
 
 /// The background scrubber (see the file comment for detection/cadence
@@ -133,9 +136,11 @@ class Scrubber {
   void SetFunnel(RecoveryCoordinator* funnel) { funnel_ = funnel; }
 
   /// Installs the restore gate: background ticks are skipped while an
-  /// incremental full restore is active (counted as `restore_skips`).
-  /// Synchronous SweepAll() is not gated — it is an administrative call
-  /// whose caller owns the timing. Install before Start; may be null.
+  /// incremental full restore is active (counted as `restore_skips`),
+  /// and a synchronous SweepAll() waits the protocol out before
+  /// sweeping (counted as `restore_waits`) — verifying a half-restored
+  /// device would flood the funnel with reports the restore makes moot.
+  /// Install before Start; may be null.
   void SetRestoreGate(const RestoreGate* gate) { restore_gate_ = gate; }
 
   /// Lifetime counters snapshot.

@@ -3,22 +3,27 @@
 // subsystem, page recovery index, single-page detection and recovery, and
 // the restart / media recovery machinery.
 //
-// Typical use:
+// Typical use (the v2 client API — RAII handles, see db/session.h):
 //
 //   DatabaseOptions options;
 //   auto db = Database::Create(options).value();
-//   Transaction* txn = db->Begin();
-//   db->Insert(txn, "key", "value");
-//   db->Commit(txn);
+//   Txn txn = db->BeginTxn();
+//   txn.Insert("key", "value");
+//   txn.Commit();              // dropping an uncommitted txn auto-aborts
 //
 //   // Inject a single-page failure and watch it heal on the next read:
 //   db->data_device()->InjectSilentCorruption(page_id);
-//   db->Get(nullptr, "key");   // detected + repaired inline (Figure 8/10)
+//   db->Get("key");            // detected + repaired inline (Figure 8/10)
 //
 // Crash testing:
 //
 //   db->SimulateCrash();       // loses buffer pool + unforced log tail
 //   db->Restart();             // ARIES analysis / redo / undo
+//
+// The v1 raw-pointer entry points (Begin() -> Transaction*, Commit(txn),
+// Insert(txn, ...)) remain as deprecated shims for one release; new code
+// must use the Txn handle (CI's deprecation firewall enforces this for
+// in-tree tests, examples, and benches).
 
 #pragma once
 
@@ -27,6 +32,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <unordered_map>
 
 #include "backup/backup_manager.h"
 #include "btree/btree.h"
@@ -41,6 +47,9 @@
 #include "recovery/checkpoint.h"
 #include "recovery/media_recovery.h"
 #include "recovery/restart_recovery.h"
+#include "db/session.h"
+#include "db/txn_error.h"
+#include "db/write_batch.h"
 #include "recovery/restore_gate.h"
 #include "recovery/rollback.h"
 #include "storage/allocation.h"
@@ -202,31 +211,50 @@ class Database {
 
   SPF_DISALLOW_COPY(Database);
 
-  // --- transactions -----------------------------------------------------------
+  // --- transactions (v2: RAII handles) -----------------------------------------
 
-  /// Starts a user transaction (owned by the TxnManager).
-  Transaction* Begin();
-  /// Commits: forces the log through the commit record.
-  Status Commit(Transaction* txn);
-  /// Rolls back via the per-transaction chain (compensation records).
-  Status Abort(Transaction* txn);
+  /// Starts a user transaction and returns the owning RAII handle:
+  /// member Put/Get/Insert/Update/Delete/Scan/Apply/Commit, auto-abort
+  /// on destruction, and the retry-aware TxnError taxonomy. Parks while
+  /// a full restore holds the admission gate closed (with early
+  /// admission, only until the restore sweep starts).
+  Txn BeginTxn();
 
-  // --- data (keys and values are byte strings) ---------------------------------
+  // --- non-transactional reads --------------------------------------------------
 
-  /// Insert-only; FailedPrecondition if present.
-  Status Insert(Transaction* txn, std::string_view key, std::string_view value);
-  /// Update-only; NotFound if absent.
-  Status Update(Transaction* txn, std::string_view key, std::string_view value);
-  /// Insert-or-update.
-  Status Put(Transaction* txn, std::string_view key, std::string_view value);
-  /// Removes `key`; NotFound if absent.
-  Status Delete(Transaction* txn, std::string_view key);
-  /// Pass txn = nullptr for an unlocked read.
-  StatusOr<std::string> Get(Transaction* txn, std::string_view key);
-  /// Visits [start, end) in key order until `fn` returns false; an empty
-  /// `end` means "to the last key".
+  /// Unlocked point read (no transaction, no locks): sees the latest
+  /// committed-or-in-flight value. Use Txn::Get for a locked read.
+  StatusOr<std::string> Get(std::string_view key);
+  /// Unlocked range scan: visits [start, end) in key order until `fn`
+  /// returns false; an empty `end` means "to the last key". Use
+  /// Txn::Scan for the locked, transaction-consistent variant.
   Status Scan(std::string_view start, std::string_view end,
               const std::function<bool(std::string_view, std::string_view)>& fn);
+
+  // --- v1 raw-pointer facade (deprecated shims) ---------------------------------
+  //
+  // One-release compatibility layer over the v2 internals. The legacy
+  // lifetime contract is narrowed: a handle returned by Begin() stays
+  // valid until Commit()/Abort() completes; a handle whose transaction a
+  // full restore doomed stays valid (returning Aborted) until the
+  // Database is destroyed. Do not mix the two APIs on one transaction.
+
+  [[deprecated("use BeginTxn() — RAII Txn handle")]]
+  Transaction* Begin();
+  [[deprecated("use Txn::Commit()")]]
+  Status Commit(Transaction* txn);
+  [[deprecated("use Txn::Abort() or drop the Txn handle")]]
+  Status Abort(Transaction* txn);
+  [[deprecated("use Txn::Insert()")]]
+  Status Insert(Transaction* txn, std::string_view key, std::string_view value);
+  [[deprecated("use Txn::Update()")]]
+  Status Update(Transaction* txn, std::string_view key, std::string_view value);
+  [[deprecated("use Txn::Put()")]]
+  Status Put(Transaction* txn, std::string_view key, std::string_view value);
+  [[deprecated("use Txn::Delete()")]]
+  Status Delete(Transaction* txn, std::string_view key);
+  [[deprecated("use Txn::Get() (locked) or Get(key) (unlocked)")]]
+  StatusOr<std::string> Get(Transaction* txn, std::string_view key);
 
   // --- operations ---------------------------------------------------------------
 
@@ -242,8 +270,10 @@ class Database {
   // --- failure & recovery ---------------------------------------------------------
 
   /// Simulated system failure: the buffer pool and all in-memory state
-  /// vanish; the unforced log tail is lost. All Transaction* handles
-  /// become invalid. Follow with Restart().
+  /// vanish; the unforced log tail is lost. Outstanding Txn handles are
+  /// doomed (every operation returns kDoomed; restart undo — not the
+  /// handle — owns the rollback) and should be dropped. Follow with
+  /// Restart().
   void SimulateCrash();
 
   /// ARIES restart recovery (analysis / redo / undo) + a fresh checkpoint.
@@ -349,11 +379,45 @@ class Database {
   StatusOr<PageId> RelocatePage(PageId old_pid);
 
  private:
+  friend class Txn;  // the RAII handle drives the *Op internals below
+
   explicit Database(DatabaseOptions options);
 
   /// Builds all volatile components (everything lost in a crash) and
   /// wires the hooks. Called at Create and again inside SimulateCrash.
   void BuildVolatileState();
+
+  // --- v2 internals (shared by the Txn handle and the deprecated shims) --------
+
+  /// Begins a user transaction, returning its shared control block. The
+  /// TxnManager's active table holds a second reference; whichever side
+  /// lets go last frees the object — there is no zombie retention.
+  std::shared_ptr<Transaction> BeginShared();
+  Status CommitTxn(Transaction* txn);
+  Status AbortTxn(Transaction* txn);
+  Status InsertOp(Transaction* txn, std::string_view key, std::string_view value);
+  Status UpdateOp(Transaction* txn, std::string_view key, std::string_view value);
+  Status PutOp(Transaction* txn, std::string_view key, std::string_view value);
+  /// Insert-or-update against the tree, outside any facade bracket —
+  /// the single home of the upsert fallback rule (PutOp + batches).
+  Status PutTree(Transaction* txn, std::string_view key, std::string_view value);
+  Status DeleteOp(Transaction* txn, std::string_view key);
+  StatusOr<std::string> GetOp(Transaction* txn, std::string_view key);
+  Status ScanOp(Transaction* txn, std::string_view start, std::string_view end,
+                const std::function<bool(std::string_view, std::string_view)>& fn);
+  /// Applies the whole batch under ONE facade bracket; a mid-batch
+  /// failure rolls the chain back to the pre-batch savepoint
+  /// (RollbackExecutor::RollbackTo) and leaves the transaction active.
+  Status ApplyBatchOp(Transaction* txn, const WriteBatch& batch);
+
+  /// True when the self-healing read path is wired (PRI tracking +
+  /// single-page repair): a single-page-failure candidate surfacing to a
+  /// client is then transient — the funnel heals it, a retry rides the
+  /// repaired page. Feeds TxnError::Classify.
+  bool repair_wired() const {
+    return options_.tracking == WriteTrackingMode::kPri &&
+           options_.enable_single_page_repair;
+  }
 
   Status Bootstrap();  // format meta page, create tree, first checkpoint
 
@@ -410,6 +474,15 @@ class Database {
   std::mutex recover_media_mu_;
   std::atomic<uint64_t> restore_generation_{0};
   Lsn master_record_stash_ = kInvalidLsn;  // survives crash (stable storage)
+
+  // Legacy-shim bookkeeping: raw Begin() handles pin their control block
+  // here so the v1 borrow contract (the manager outlives the pointer)
+  // keeps holding over the shared-ownership transaction table. Erased
+  // when the legacy Commit/Abort finishes the transaction; a doomed
+  // legacy handle stays pinned (valid, returning Aborted) until the
+  // Database is destroyed — the v2 RAII handle has no such tail.
+  std::mutex legacy_mu_;
+  std::unordered_map<Transaction*, std::shared_ptr<Transaction>> legacy_handles_;
 };
 
 }  // namespace spf

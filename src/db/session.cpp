@@ -1,0 +1,164 @@
+#include "db/session.h"
+
+#include "db/database.h"
+#include "txn/transaction.h"
+
+namespace spf {
+
+Txn& Txn::operator=(Txn&& other) noexcept {
+  if (this != &other) {
+    Release();  // auto-abort whatever this handle currently owns
+    db_ = other.db_;
+    txn_ = std::move(other.txn_);
+    finished_ = other.finished_;
+    last_error_ = other.last_error_;
+    other.db_ = nullptr;
+    other.txn_ = nullptr;
+    other.finished_ = false;
+  }
+  return *this;
+}
+
+Txn::~Txn() { Release(); }
+
+void Txn::Release() {
+  if (txn_ == nullptr || db_ == nullptr) return;
+  if (!finished_) {
+    if (txn_->doomed()) {
+      // The restore (or crash) owns this rollback unless it explicitly
+      // deferred it to the owner — in which case dropping the handle is
+      // the owner's last chance to run it. One-shot claims make the
+      // reap a no-op everywhere else.
+      db_->ReapDoomedTxn(txn_.get());
+    } else if (txn_->state() == TxnState::kActive) {
+      // RAII auto-abort: an un-finished transaction rolls back and
+      // releases its locks. A rollback failure (device died mid-undo)
+      // leaves the transaction for the next restore's doom phase, which
+      // resumes the compensation via the CLR chain.
+      (void)db_->AbortTxn(txn_.get());
+    }
+  }
+  // Dropping txn_ releases the handle's share of the control block; the
+  // TxnManager's active-table reference (if the transaction has not
+  // retired yet) or this one — whichever dies last — frees the object.
+  txn_ = nullptr;
+  db_ = nullptr;
+  finished_ = false;
+}
+
+TxnError Txn::CheckUsable() {
+  if (txn_ == nullptr) {
+    return TxnError(TxnError::Kind::kUser,
+                    Status::FailedPrecondition("empty Txn handle"));
+  }
+  if (finished_) {
+    if (txn_->doomed()) {
+      // A doomed handle keeps reporting the forced abort, not a usage
+      // error — the caller's re-begin logic keys off kDoomed.
+      return TxnError(TxnError::Kind::kDoomed,
+                      Status::Aborted("transaction was force-aborted by a "
+                                      "full-restore drain deadline"));
+    }
+    return TxnError(TxnError::Kind::kUser,
+                    Status::FailedPrecondition(
+                        "transaction already committed or aborted"));
+  }
+  return TxnError();
+}
+
+TxnError Txn::Finish(Status status) {
+  last_error_ = TxnError::Classify(std::move(status), txn_->doomed(),
+                                   db_->repair_wired());
+  return last_error_;
+}
+
+TxnError Txn::Put(std::string_view key, std::string_view value) {
+  TxnError guard = CheckUsable();
+  if (!guard.ok()) return last_error_ = guard;
+  return Finish(db_->PutOp(txn_.get(), key, value));
+}
+
+TxnError Txn::Insert(std::string_view key, std::string_view value) {
+  TxnError guard = CheckUsable();
+  if (!guard.ok()) return last_error_ = guard;
+  return Finish(db_->InsertOp(txn_.get(), key, value));
+}
+
+TxnError Txn::Update(std::string_view key, std::string_view value) {
+  TxnError guard = CheckUsable();
+  if (!guard.ok()) return last_error_ = guard;
+  return Finish(db_->UpdateOp(txn_.get(), key, value));
+}
+
+TxnError Txn::Delete(std::string_view key) {
+  TxnError guard = CheckUsable();
+  if (!guard.ok()) return last_error_ = guard;
+  return Finish(db_->DeleteOp(txn_.get(), key));
+}
+
+StatusOr<std::string> Txn::Get(std::string_view key) {
+  TxnError guard = CheckUsable();
+  if (!guard.ok()) {
+    last_error_ = guard;
+    return guard.status();
+  }
+  StatusOr<std::string> value = db_->GetOp(txn_.get(), key);
+  Finish(value.status());
+  return value;
+}
+
+Status Txn::Scan(
+    std::string_view start, std::string_view end,
+    const std::function<bool(std::string_view, std::string_view)>& fn) {
+  TxnError guard = CheckUsable();
+  if (!guard.ok()) {
+    last_error_ = guard;
+    return guard.status();
+  }
+  return Finish(db_->ScanOp(txn_.get(), start, end, fn));
+}
+
+TxnError Txn::Apply(WriteBatch&& batch) {
+  TxnError guard = CheckUsable();
+  if (!guard.ok()) return last_error_ = guard;
+  WriteBatch consumed = std::move(batch);
+  TxnError err = Finish(db_->ApplyBatchOp(txn_.get(), consumed));
+  if (txn_->state() != TxnState::kActive) {
+    // The savepoint rollback itself failed and the batch had to take
+    // the whole transaction down to preserve atomicity.
+    finished_ = true;
+  }
+  return err;
+}
+
+TxnError Txn::Commit() {
+  TxnError guard = CheckUsable();
+  if (!guard.ok()) return last_error_ = guard;
+  Status s = db_->CommitTxn(txn_.get());
+  // Success and doomed both end the handle's life; there is no
+  // commit outcome that leaves the transaction resumable.
+  finished_ = true;
+  return Finish(std::move(s));
+}
+
+TxnError Txn::Abort() {
+  TxnError guard = CheckUsable();
+  if (!guard.ok()) return last_error_ = guard;
+  Status s = db_->AbortTxn(txn_.get());
+  // A failed non-doomed abort (device dead mid-undo) stays un-finished:
+  // the owner may retry (the CLR chain resumes where this attempt
+  // stopped), and the destructor retries once more as a last resort.
+  if (s.ok() || txn_->doomed()) finished_ = true;
+  return Finish(std::move(s));
+}
+
+bool Txn::active() const {
+  return txn_ != nullptr && !finished_ && !txn_->doomed() &&
+         txn_->state() == TxnState::kActive;
+}
+
+bool Txn::doomed() const { return txn_ != nullptr && txn_->doomed(); }
+
+TxnId Txn::id() const { return txn_ == nullptr ? 0 : txn_->id(); }
+
+}  // namespace spf

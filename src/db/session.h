@@ -1,0 +1,162 @@
+// Txn — the move-only RAII transaction handle of the v2 client API.
+//
+//   spf::Txn txn = db->BeginTxn();
+//   SPF_CHECK_OK(txn.Put("key", "value"));
+//   auto v = txn.Get("key");
+//   WriteBatch batch;
+//   batch.Put("a", "1"); batch.Put("b", "2");
+//   SPF_CHECK_OK(txn.Apply(std::move(batch)));   // atomic, one bracket
+//   SPF_CHECK_OK(txn.Commit());
+//
+// Lifetime contract (v2): the handle OWNS the transaction. Destroying an
+// uncommitted handle aborts the transaction and releases its locks —
+// forgetting to finish a transaction can no longer leak locks or memory.
+// The transaction object itself is a control block shared between the
+// handle and the TxnManager's active table, so a handle outliving the
+// engine-side retirement (e.g. a transaction force-aborted by a
+// full-restore drain deadline) reads the doomed flag from live memory
+// instead of a dangling pointer — the v1 zombie-retention machinery this
+// replaces is gone. The one remaining rule: handles must not outlive the
+// Database that issued them.
+//
+// Error reporting: write operations return TxnError (implicitly
+// convertible to Status), whose kind()/retryable() tell the caller
+// whether to retry the transaction, re-begin, or give up — see
+// txn_error.h. Get/Scan return StatusOr/Status for value plumbing;
+// last_error() carries their classification.
+//
+// Thread-safety: like any single transaction, a Txn handle is confined
+// to one thread at a time (different Txns are fully concurrent).
+
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/statusor.h"
+#include "db/txn_error.h"
+#include "db/write_batch.h"
+#include "log/log_record.h"
+
+namespace spf {
+
+class Database;
+class Transaction;
+
+/// Move-only RAII handle over one user transaction (see file comment).
+class Txn {
+ public:
+  /// Empty handle (valid() == false); assign from Database::BeginTxn().
+  Txn() = default;
+
+  /// Move: `other` becomes an empty handle.
+  Txn(Txn&& other) noexcept { *this = std::move(other); }
+  /// Move-assign: auto-aborts whatever this handle owned, then steals.
+  Txn& operator=(Txn&& other) noexcept;
+
+  Txn(const Txn&) = delete;             ///< move-only
+  Txn& operator=(const Txn&) = delete;  ///< move-only
+
+  /// Auto-abort: an active (un-finished) transaction is rolled back and
+  /// its locks released. Never throws; a rollback failure (device dead
+  /// mid-undo) leaves the transaction for the next restore's doom phase
+  /// to compensate — exactly where an explicit failed Abort leaves it.
+  ~Txn();
+
+  // --- data (keys and values are byte strings) -------------------------------
+
+  /// Insert-or-update.
+  TxnError Put(std::string_view key, std::string_view value);
+  /// Insert-only; kUser/FailedPrecondition if present.
+  TxnError Insert(std::string_view key, std::string_view value);
+  /// Update-only; kUser/NotFound if absent.
+  TxnError Update(std::string_view key, std::string_view value);
+  /// Removes `key`; kUser/NotFound if absent.
+  TxnError Delete(std::string_view key);
+  /// Locked (shared) read; classification lands in last_error().
+  StatusOr<std::string> Get(std::string_view key);
+  /// Transactional range scan: visits [start, end) in key order until
+  /// `fn` returns false (empty `end` = to the last key), acquiring a
+  /// shared lock on every delivered key — the same consistency story as
+  /// the point reads (locks held to commit). `fn` must not re-enter the
+  /// database.
+  Status Scan(std::string_view start, std::string_view end,
+              const std::function<bool(std::string_view, std::string_view)>& fn);
+
+  /// Applies every staged operation in order under ONE facade bracket
+  /// (one in-flight registration, one doomed-handle check — the
+  /// per-operation overhead is paid once per batch; bench E13).
+  /// All-or-nothing: on a mid-batch failure the transaction is rolled
+  /// back to its pre-batch state through the per-transaction log chain
+  /// and STAYS ACTIVE — earlier batches and point operations survive,
+  /// nothing of this batch does. A transparent single-page repair under
+  /// a mid-batch operation is not a failure (the operation merely
+  /// waited). The batch is consumed.
+  TxnError Apply(WriteBatch&& batch);
+
+  // --- finalization -----------------------------------------------------------
+
+  /// Commits (forces the log through the commit record) and finishes the
+  /// handle. kDoomed if a full-restore drain deadline force-aborted the
+  /// transaction first.
+  TxnError Commit();
+
+  /// Rolls back via the per-transaction chain and finishes the handle.
+  /// Calling Abort on an already-finished handle is an error (kUser);
+  /// simply destroying an active handle aborts implicitly.
+  TxnError Abort();
+
+  // --- introspection ----------------------------------------------------------
+
+  /// True while the handle owns a transaction (begun, not yet moved
+  /// away; it may already be finished or doomed).
+  bool valid() const { return txn_ != nullptr; }
+
+  /// True while operations can still be issued: valid, not finished by
+  /// Commit/Abort, not doomed by a restore.
+  bool active() const;
+
+  /// True once a full-restore drain deadline force-aborted the
+  /// transaction. Every operation returns kDoomed; begin a fresh
+  /// transaction.
+  bool doomed() const;
+
+  /// Transaction id (0 for an empty handle).
+  TxnId id() const;
+
+  /// Classification of the most recent operation's outcome (including
+  /// Get/Scan, whose return channel is Status-shaped).
+  const TxnError& last_error() const { return last_error_; }
+
+  /// Engine-internal escape hatch (tests, benches, recovery drills): the
+  /// underlying transaction control block. Does NOT transfer ownership;
+  /// a transaction finalized through the engine directly leaves the
+  /// handle inert (its destructor sees the finished state and does
+  /// nothing). Not part of the stable client API.
+  Transaction* handle() const { return txn_.get(); }
+
+ private:
+  friend class Database;
+  Txn(Database* db, std::shared_ptr<Transaction> txn)
+      : db_(db), txn_(std::move(txn)) {}
+
+  /// Classifies + records `status` and returns the classification.
+  TxnError Finish(Status status);
+
+  /// Destructor/move-assign body: auto-abort (or reap) an un-finished
+  /// transaction, then drop the control-block reference.
+  void Release();
+
+  /// Shared guard: kUser error for ops on an empty/finished handle,
+  /// kDoomed for a doomed one. Returns OK to proceed.
+  TxnError CheckUsable();
+
+  Database* db_ = nullptr;
+  std::shared_ptr<Transaction> txn_;
+  bool finished_ = false;  ///< Commit/Abort completed (or doomed observed)
+  TxnError last_error_;
+};
+
+}  // namespace spf

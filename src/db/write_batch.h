@@ -1,0 +1,77 @@
+// WriteBatch — an atomic group of write operations applied through one
+// facade bracket.
+//
+// Building a batch is pure in-memory staging (no locks, no log records,
+// no tree access); Txn::Apply executes the staged operations in order
+// under a SINGLE facade operation bracket, so the per-operation costs of
+// the v2 facade — the in-flight bracket the restore-gate protocol uses
+// to wait out stragglers (two sequentially-consistent atomics), the
+// doomed-handle admission check, and the deferred-rollback reap — are
+// paid once per batch instead of once per operation (bench E13 measures
+// the win). Apply is all-or-nothing: a mid-batch failure rolls the
+// transaction back to its pre-batch state via the per-transaction log
+// chain (compensation records), the batch's locks notwithstanding, and
+// the transaction stays active.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace spf {
+
+/// Staged, reusable group of write operations. Not thread-safe; cheap to
+/// move. Apply consumes it (Txn::Apply takes it by rvalue).
+class WriteBatch {
+ public:
+  /// One staged operation's verb. Semantics match the point ops: kInsert
+  /// fails on a present key, kUpdate on an absent one, kPut never on
+  /// either, kDelete on an absent key.
+  enum class OpKind : uint8_t { kPut, kInsert, kUpdate, kDelete };
+
+  /// One staged operation.
+  struct Op {
+    OpKind kind;        ///< the verb
+    std::string key;    ///< target key
+    std::string value;  ///< empty (unused) for kDelete
+  };
+
+  WriteBatch() = default;  ///< empty batch
+
+  /// Stages an insert-or-update.
+  void Put(std::string_view key, std::string_view value) {
+    ops_.push_back({OpKind::kPut, std::string(key), std::string(value)});
+  }
+  /// Stages an insert-only (FailedPrecondition at Apply if present).
+  void Insert(std::string_view key, std::string_view value) {
+    ops_.push_back({OpKind::kInsert, std::string(key), std::string(value)});
+  }
+  /// Stages an update-only (NotFound at Apply if absent).
+  void Update(std::string_view key, std::string_view value) {
+    ops_.push_back({OpKind::kUpdate, std::string(key), std::string(value)});
+  }
+  /// Stages a delete (NotFound at Apply if absent).
+  void Delete(std::string_view key) {
+    ops_.push_back({OpKind::kDelete, std::string(key), std::string()});
+  }
+
+  /// Staged operations in Apply order.
+  const std::vector<Op>& ops() const { return ops_; }
+
+  /// Number of staged operations.
+  size_t size() const { return ops_.size(); }
+  /// True when nothing is staged.
+  bool empty() const { return ops_.empty(); }
+
+  /// Forgets every staged operation (the batch can be rebuilt and
+  /// re-applied).
+  void Clear() { ops_.clear(); }
+
+ private:
+  std::vector<Op> ops_;
+};
+
+}  // namespace spf

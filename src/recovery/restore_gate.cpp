@@ -9,9 +9,18 @@ void RestoreGate::BeginProtocol() {
 }
 
 void RestoreGate::EndProtocol() {
-  std::lock_guard<std::mutex> g(mu_);
-  protocol_ = false;
-  active_.store(running_ || sealed_, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    protocol_ = false;
+    active_.store(running_ || sealed_, std::memory_order_release);
+  }
+  // Wake AwaitIdle waiters (the synchronous scrubber sweep).
+  restored_cv_.notify_all();
+}
+
+void RestoreGate::AwaitIdle() const {
+  std::unique_lock<std::mutex> g(mu_);
+  restored_cv_.wait(g, [&] { return !protocol_ && !sealed_ && !running_; });
 }
 
 void RestoreGate::SealAdmission() {

@@ -153,6 +153,13 @@ class RestoreGate : public RestoreAdmission {
   /// (between BeginProtocol/BeginRestore and EndRestore/EndProtocol).
   bool active() const { return active_.load(std::memory_order_acquire); }
 
+  /// Blocks until no rung-5 protocol, seal, or restore sweep is in
+  /// progress (returns immediately when idle). Used by the synchronous
+  /// scrubber sweep: a full verification pass over a half-restored
+  /// device would flood the funnel with reports the restore is about to
+  /// make moot, so the sweep waits the protocol out instead.
+  void AwaitIdle() const;
+
   /// First page id not yet covered by the restored prefix (all pages
   /// below it are back). kInvalidPageId when no restore ran yet.
   PageId watermark() const;
@@ -186,7 +193,7 @@ class RestoreGate : public RestoreAdmission {
   SimClock* const clock_;
 
   mutable std::mutex mu_;
-  std::condition_variable restored_cv_;  ///< wakes parked faults
+  mutable std::condition_variable restored_cv_;  ///< wakes parked faults + AwaitIdle
   /// protocol_ || sealed_ || running_ (fast path).
   std::atomic<bool> active_{false};
   bool protocol_ = false;  ///< inside BeginProtocol/EndProtocol

@@ -36,4 +36,37 @@ StatusOr<RollbackStats> RollbackExecutor::Rollback(Transaction* txn) {
   return stats;
 }
 
+StatusOr<RollbackStats> RollbackExecutor::RollbackTo(Transaction* txn,
+                                                     Lsn savepoint) {
+  RollbackStats stats;
+  // LSNs grow monotonically, so "after the savepoint" is a simple
+  // comparison; kInvalidLsn (0) makes the condition "the whole chain".
+  Lsn cur = txn->undo_next_lsn();
+  while (cur != kInvalidLsn && cur > savepoint) {
+    SPF_ASSIGN_OR_RETURN(LogRecord rec, log_->Read(cur));
+    stats.records_visited++;
+    switch (rec.type) {
+      case LogRecordType::kCompensation:
+        cur = rec.undo_next_lsn;
+        stats.clr_skips++;
+        break;
+      case LogRecordType::kBTreeInsert:
+      case LogRecordType::kBTreeMarkGhost:
+      case LogRecordType::kBTreeUpdate:
+        SPF_RETURN_IF_ERROR(tree_->UndoRecord(txn, rec));
+        stats.records_undone++;
+        cur = rec.prev_lsn;
+        break;
+      default:
+        cur = rec.prev_lsn;
+        break;
+    }
+  }
+  // Re-anchor the undo cursor at the savepoint: a later full rollback
+  // starts below the compensated suffix directly (the CLR chain would
+  // skip it anyway — this just avoids the walk).
+  txn->set_undo_next_lsn(cur);
+  return stats;
+}
+
 }  // namespace spf

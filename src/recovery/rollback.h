@@ -28,6 +28,15 @@ class RollbackExecutor {
   /// logs the end record, releases locks, retires the transaction.
   StatusOr<RollbackStats> Rollback(Transaction* txn);
 
+  /// Partial rollback to a savepoint (WriteBatch atomicity): undoes the
+  /// chain suffix strictly AFTER `savepoint` (a previous last_lsn of
+  /// `txn`; kInvalidLsn = everything), logging compensation records, and
+  /// leaves the transaction ACTIVE with its locks — no abort record, no
+  /// retirement. The CLRs' undo_next chain jumps over the compensated
+  /// suffix, so a later full rollback or restart undo never compensates
+  /// it twice.
+  StatusOr<RollbackStats> RollbackTo(Transaction* txn, Lsn savepoint);
+
  private:
   LogManager* const log_;
   BTree* const tree_;

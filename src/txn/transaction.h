@@ -48,13 +48,14 @@ class Transaction {
   Lsn undo_next_lsn() const { return undo_next_lsn_; }
   void set_undo_next_lsn(Lsn lsn) { undo_next_lsn_ = lsn; }
 
-  /// True once a full-restore drain deadline force-aborted this
-  /// transaction (TxnManager::DoomActiveUserTxns). The restore rolls the
-  /// transaction back on its own thread afterwards; the owner's handle
-  /// stays valid (the object is retained as a zombie until the second
-  /// subsequent full-restore protocol begins — see
-  /// TxnManager::ReclaimZombies) but every Database operation on it
-  /// returns Aborted — the owner must drop the handle.
+  /// True once a full-restore drain deadline (or a simulated crash)
+  /// force-aborted this transaction (TxnManager::DoomActiveUserTxns /
+  /// DoomAllForCrash). The restore rolls the transaction back on its own
+  /// thread afterwards; the owner's Txn handle stays readable for as
+  /// long as it is held — the transaction object is a control block
+  /// shared between the handle and the manager's active table — but
+  /// every operation on it reports kDoomed/Aborted. Dropping the handle
+  /// frees the owner's share; no zombie retention is involved.
   bool doomed() const { return fate_.load() == kFateDoomed; }
 
   /// Claims the transaction for owner-driven finalization (commit or

@@ -2,7 +2,7 @@
 
 namespace spf {
 
-Transaction* TxnManager::BeginInternal(bool system) {
+std::shared_ptr<Transaction> TxnManager::BeginInternal(bool system) {
   std::unique_lock<std::mutex> g(mu_);
   if (!system && gate_closed_) {
     // Rung-5 quiesce: park at the admission gate until the restore
@@ -11,20 +11,25 @@ Transaction* TxnManager::BeginInternal(bool system) {
     gate_cv_.wait(g, [&] { return !gate_closed_; });
   }
   TxnId id = next_id_++;
-  auto txn = std::make_unique<Transaction>(id, system);
-  Transaction* ptr = txn.get();
-  active_[id] = std::move(txn);
+  auto txn = std::make_shared<Transaction>(id, system);
+  active_[id] = txn;
   if (system) {
     stats_.system_begun++;
   } else {
     stats_.user_begun++;
   }
-  return ptr;
+  return txn;
 }
 
-Transaction* TxnManager::Begin() { return BeginInternal(false); }
+std::shared_ptr<Transaction> TxnManager::Begin() {
+  return BeginInternal(false);
+}
 
-Transaction* TxnManager::BeginSystem() { return BeginInternal(true); }
+Transaction* TxnManager::BeginSystem() {
+  // System transactions never span a call: the raw borrow is always
+  // backed by the active table until the same call commits it.
+  return BeginInternal(true).get();
+}
 
 Status TxnManager::Commit(Transaction* txn) {
   if (!txn->is_system() && !txn->TryClaimFinalize()) {
@@ -88,7 +93,7 @@ void TxnManager::FinishAbort(Transaction* txn) {
 
 Transaction* TxnManager::AdoptLoser(TxnId id, Lsn last_lsn, Lsn undo_next) {
   std::lock_guard<std::mutex> g(mu_);
-  auto txn = std::make_unique<Transaction>(id, /*is_system=*/false);
+  auto txn = std::make_shared<Transaction>(id, /*is_system=*/false);
   // Reconstruct the chain head without logging.
   txn->set_state(TxnState::kActive);
   // The loser's chain is re-anchored via undo_next; last_lsn is used for
@@ -138,19 +143,19 @@ size_t TxnManager::WaitForUserDrain(std::chrono::milliseconds timeout) {
   return ActiveUserCountLocked();
 }
 
-std::vector<Transaction*> TxnManager::DoomActiveUserTxns() {
+std::vector<std::shared_ptr<Transaction>> TxnManager::DoomActiveUserTxns() {
   std::lock_guard<std::mutex> g(mu_);
-  std::vector<Transaction*> doomed;
+  std::vector<std::shared_ptr<Transaction>> doomed;
   for (const auto& [id, txn] : active_) {
     if (txn->is_system()) continue;
     if (txn->TryDoom()) {
-      doomed.push_back(txn.get());
+      doomed.push_back(txn);
       stats_.doomed++;
     } else if (txn->doomed()) {
       // Doomed by an earlier restore whose sweep then failed before the
       // fallback rollback ran: still active, still the restore's to roll
       // back — hand it to this attempt too.
-      doomed.push_back(txn.get());
+      doomed.push_back(txn);
     }
     // A failed TryDoom on a non-doomed transaction means the owner's
     // commit/abort claimed it first; it finalizes normally.
@@ -158,20 +163,15 @@ std::vector<Transaction*> TxnManager::DoomActiveUserTxns() {
   return doomed;
 }
 
-void TxnManager::ReclaimZombies() {
-  std::vector<std::unique_ptr<Transaction>> tenured;
-  {
-    std::lock_guard<std::mutex> g(mu_);
-    tenured.swap(graveyard_);
-    graveyard_.swap(zombies_);
-  }
-  // `tenured` — zombies doomed two restore protocols ago — is destroyed
-  // here, outside the lock.
-}
-
-size_t TxnManager::zombie_count() const {
+void TxnManager::DoomAllForCrash() {
   std::lock_guard<std::mutex> g(mu_);
-  return zombies_.size() + graveyard_.size();
+  for (const auto& [id, txn] : active_) {
+    if (txn->is_system()) continue;
+    if (txn->TryDoom()) stats_.doomed++;
+    // Restart undo owns the compensation (it replays the LOG); claiming
+    // the rollback here makes every handle-side reap a no-op.
+    (void)txn->TryClaimRollback();
+  }
 }
 
 std::vector<ActiveTxnEntry> TxnManager::ActiveTxns() const {
@@ -205,17 +205,16 @@ TxnStats TxnManager::stats() const {
 
 void TxnManager::Retire(Transaction* txn) {
   locks_->ReleaseAll(txn->id());
+  std::shared_ptr<Transaction> dropped;
   {
     std::lock_guard<std::mutex> g(mu_);
     auto it = active_.find(txn->id());
     if (it != active_.end()) {
-      if (txn->doomed()) {
-        // The owner thread may still hold the handle (it was past the
-        // drain deadline, not necessarily gone); keep the object alive so
-        // its next facade call reads the doomed flag instead of freed
-        // memory. ReclaimZombies frees it two restore protocols later.
-        zombies_.push_back(std::move(it->second));
-      }
+      // Move the table's reference out so a last-reference destruction
+      // happens outside the lock. An owner still holding a handle (e.g.
+      // to a doomed straggler) keeps the object alive on its own — the
+      // shared control block replaces the old zombie-retention scheme.
+      dropped = std::move(it->second);
       active_.erase(it);
     }
   }

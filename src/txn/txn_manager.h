@@ -56,10 +56,16 @@ class TxnManager {
 
   SPF_DISALLOW_COPY(TxnManager);
 
-  /// Begins a user transaction. A Begin record is logged lazily — the
-  /// first update record identifies the transaction; pure readers leave no
-  /// trace in the log. Parks (blocks) while the admission gate is closed.
-  Transaction* Begin();
+  /// Begins a user transaction, returning its shared control block: the
+  /// active table holds one reference, the caller (normally a Txn
+  /// handle) the other, and whichever side lets go last frees the
+  /// object. A handle that outlives the engine-side retirement — e.g. a
+  /// transaction force-aborted by a restore's drain deadline — therefore
+  /// reads live memory with no zombie-retention scheme behind it. A
+  /// Begin record is logged lazily — the first update record identifies
+  /// the transaction; pure readers leave no trace in the log. Parks
+  /// (blocks) while the admission gate is closed.
+  std::shared_ptr<Transaction> Begin();
 
   /// Begins a system transaction (section 5.1.5): no locks, unforced
   /// commit, never parked at the admission gate (system transactions are
@@ -107,29 +113,23 @@ class TxnManager {
   size_t WaitForUserDrain(std::chrono::milliseconds timeout);
 
   /// Fallback-abort phase: dooms every still-active user transaction and
-  /// returns them for the caller (the restore) to roll back after the
-  /// replay. A transaction whose owner already claimed finalization (a
-  /// commit/abort in flight) is left alone and completes normally; a
-  /// transaction doomed by an earlier restore whose rollback never ran
-  /// (the sweep failed) is re-collected. A doomed transaction's handle
-  /// stays valid (the object is retained as a zombie after retirement,
-  /// reclaimed by the second subsequent ReclaimZombies call) but the
-  /// owner only ever sees Aborted from it again.
-  std::vector<Transaction*> DoomActiveUserTxns();
+  /// returns their control blocks for the caller (the restore) to roll
+  /// back after the replay — the returned references keep the objects
+  /// alive through that loop even if the owners drop their handles
+  /// concurrently. A transaction whose owner already claimed
+  /// finalization (a commit/abort in flight) is left alone and completes
+  /// normally; a transaction doomed by an earlier restore whose rollback
+  /// never ran (the sweep failed) is re-collected. A doomed
+  /// transaction's handle stays valid for as long as the owner holds it
+  /// (shared ownership), but only ever reports Aborted/kDoomed again.
+  std::vector<std::shared_ptr<Transaction>> DoomActiveUserTxns();
 
-  /// Frees the zombie objects of doomed transactions from PREVIOUS
-  /// restores, so a long-lived database does not accumulate one object
-  /// per straggler ever doomed. Database::RecoverMedia calls this at the
-  /// start of each full-restore protocol; the two-generation scheme means
-  /// a doomed handle stays valid until the SECOND restore protocol after
-  /// the one that doomed the transaction begins — owners observe Aborted
-  /// on their next operation and must drop the handle, which every
-  /// realistic owner has done long before two further media failures.
-  void ReclaimZombies();
-
-  /// Doomed transaction objects currently retained for owner handles
-  /// (both reclamation generations).
-  size_t zombie_count() const;
+  /// Crash semantics (Database::SimulateCrash): dooms every active user
+  /// transaction so stale handles report kDoomed instead of touching
+  /// rebuilt state, and pre-claims their rollbacks — after a crash the
+  /// compensation belongs to restart undo (driven by the LOG), never to
+  /// a handle or a restore.
+  void DoomAllForCrash();
 
   /// Snapshot of active transactions (checkpoint payload).
   std::vector<ActiveTxnEntry> ActiveTxns() const;
@@ -151,7 +151,7 @@ class TxnManager {
   LogManager* log() { return log_; }
 
  private:
-  Transaction* BeginInternal(bool system);
+  std::shared_ptr<Transaction> BeginInternal(bool system);
   void Retire(Transaction* txn);
   size_t ActiveUserCountLocked() const;
 
@@ -163,14 +163,9 @@ class TxnManager {
   std::condition_variable drain_cv_;  ///< wakes WaitForUserDrain (retirements)
   bool gate_closed_ = false;
   TxnId next_id_ = 1;
-  std::unordered_map<TxnId, std::unique_ptr<Transaction>> active_;
-  /// Doomed transactions retired by the restore's rollback: kept alive so
-  /// the owner's handle never dangles. ReclaimZombies ages zombies_ into
-  /// graveyard_ and frees the previous graveyard_, bounding retained
-  /// memory to the stragglers of the last two restores instead of the
-  /// database's lifetime.
-  std::vector<std::unique_ptr<Transaction>> zombies_;
-  std::vector<std::unique_ptr<Transaction>> graveyard_;
+  /// Shared control blocks: retirement drops the table's reference; any
+  /// outstanding owner handle keeps the object alive on its own.
+  std::unordered_map<TxnId, std::shared_ptr<Transaction>> active_;
   TxnStats stats_;
 };
 

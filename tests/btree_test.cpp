@@ -107,7 +107,7 @@ TEST_F(BTreeTest, OversizedKeyValueRejected) {
 
 TEST_F(BTreeTest, ManyInsertsForceSplitsAndGrowth) {
   const int kN = 5000;
-  Transaction* t = env_.txns->Begin();
+  Transaction* t = env_.txns->Begin().get();
   for (int i = 0; i < kN; ++i) {
     ASSERT_TRUE(env_.tree->Insert(t, Key(i), "value-" + std::to_string(i)).ok())
         << i;
@@ -138,7 +138,7 @@ TEST_F(BTreeTest, ManyInsertsForceSplitsAndGrowth) {
 }
 
 TEST_F(BTreeTest, ReverseOrderInsertsWork) {
-  Transaction* t = env_.txns->Begin();
+  Transaction* t = env_.txns->Begin().get();
   for (int i = 2000; i > 0; --i) {
     ASSERT_TRUE(env_.tree->Insert(t, Key(i), "v").ok()) << i;
   }
@@ -150,7 +150,7 @@ TEST_F(BTreeTest, ReverseOrderInsertsWork) {
 TEST_F(BTreeTest, RandomOrderInsertsWork) {
   Random rng(7);
   std::set<int> keys;
-  Transaction* t = env_.txns->Begin();
+  Transaction* t = env_.txns->Begin().get();
   while (keys.size() < 3000) {
     int i = static_cast<int>(rng.Uniform(1000000));
     if (!keys.insert(i).second) continue;
@@ -162,7 +162,7 @@ TEST_F(BTreeTest, RandomOrderInsertsWork) {
 }
 
 TEST_F(BTreeTest, ScanReturnsSortedRange) {
-  Transaction* t = env_.txns->Begin();
+  Transaction* t = env_.txns->Begin().get();
   for (int i = 0; i < 500; ++i) {
     ASSERT_TRUE(env_.tree->Insert(t, Key(i), std::to_string(i)).ok());
   }
@@ -185,7 +185,7 @@ TEST_F(BTreeTest, ScanReturnsSortedRange) {
 }
 
 TEST_F(BTreeTest, ScanSkipsGhosts) {
-  Transaction* t = env_.txns->Begin();
+  Transaction* t = env_.txns->Begin().get();
   for (int i = 0; i < 20; ++i) {
     ASSERT_TRUE(env_.tree->Insert(t, Key(i), "v").ok());
   }
@@ -203,7 +203,7 @@ TEST_F(BTreeTest, ScanSkipsGhosts) {
 }
 
 TEST_F(BTreeTest, ScanEarlyTermination) {
-  Transaction* t = env_.txns->Begin();
+  Transaction* t = env_.txns->Begin().get();
   for (int i = 0; i < 50; ++i) env_.tree->Insert(t, Key(i), "v");
   env_.txns->Commit(t);
   int n = 0;
@@ -214,10 +214,10 @@ TEST_F(BTreeTest, ScanEarlyTermination) {
 }
 
 TEST_F(BTreeTest, LocksConflictAcrossTransactions) {
-  Transaction* t1 = env_.txns->Begin();
+  Transaction* t1 = env_.txns->Begin().get();
   ASSERT_TRUE(env_.tree->Insert(t1, "contended", "v1").ok());
   // t2 cannot write the same key while t1 holds the X lock.
-  Transaction* t2 = env_.txns->Begin();
+  Transaction* t2 = env_.txns->Begin().get();
   Status s = env_.tree->Update(t2, "contended", "v2");
   EXPECT_TRUE(s.IsDeadlock()) << s.ToString();
   env_.txns->BeginAbort(t2);
@@ -231,8 +231,8 @@ TEST_F(BTreeTest, LocksConflictAcrossTransactions) {
 
 TEST_F(BTreeTest, SharedLocksCompatible) {
   env_.WithTxn([&](Transaction* t) { return env_.tree->Insert(t, "k", "v"); });
-  Transaction* t1 = env_.txns->Begin();
-  Transaction* t2 = env_.txns->Begin();
+  Transaction* t1 = env_.txns->Begin().get();
+  Transaction* t2 = env_.txns->Begin().get();
   EXPECT_TRUE(env_.tree->Get(t1, "k").ok());
   EXPECT_TRUE(env_.tree->Get(t2, "k").ok());
   env_.txns->Commit(t1);
@@ -242,16 +242,16 @@ TEST_F(BTreeTest, SharedLocksCompatible) {
 TEST_F(BTreeTest, GhostsLockedByActiveTxnNotReclaimed) {
   // Fill a leaf, delete a key but keep the txn active, then force splits:
   // reclamation must skip the locked ghost.
-  Transaction* t = env_.txns->Begin();
+  Transaction* t = env_.txns->Begin().get();
   for (int i = 0; i < 50; ++i) {
     ASSERT_TRUE(env_.tree->Insert(t, Key(i), std::string(100, 'v')).ok());
   }
   env_.txns->Commit(t);
 
-  Transaction* deleter = env_.txns->Begin();
+  Transaction* deleter = env_.txns->Begin().get();
   ASSERT_TRUE(env_.tree->Delete(deleter, Key(10)).ok());
 
-  Transaction* filler = env_.txns->Begin();
+  Transaction* filler = env_.txns->Begin().get();
   for (int i = 1000; i < 1100; ++i) {
     ASSERT_TRUE(env_.tree->Insert(filler, Key(i), std::string(100, 'v')).ok());
   }
@@ -264,7 +264,7 @@ TEST_F(BTreeTest, GhostsLockedByActiveTxnNotReclaimed) {
 }
 
 TEST_F(BTreeTest, TraversalVerificationCountsWork) {
-  Transaction* t = env_.txns->Begin();
+  Transaction* t = env_.txns->Begin().get();
   for (int i = 0; i < 2000; ++i) env_.tree->Insert(t, Key(i), "v");
   env_.txns->Commit(t);
   BTreeStats before = env_.tree->stats();
@@ -277,7 +277,7 @@ TEST_F(BTreeTest, TraversalVerificationCountsWork) {
 
 TEST_F(BTreeTest, TraversalDetectsDoctoredChildFence) {
   // Section 4.2: corrupting a fence is caught on the very next traversal.
-  Transaction* t = env_.txns->Begin();
+  Transaction* t = env_.txns->Begin().get();
   for (int i = 0; i < 2000; ++i) env_.tree->Insert(t, Key(i), "v");
   env_.txns->Commit(t);
   SPF_CHECK_OK(env_.pool->FlushAll());
@@ -314,7 +314,7 @@ TEST_F(BTreeTest, TraversalDetectsDoctoredChildFence) {
 }
 
 TEST_F(BTreeTest, VerifyAllDetectsDoctoredPointer) {
-  Transaction* t = env_.txns->Begin();
+  Transaction* t = env_.txns->Begin().get();
   for (int i = 0; i < 3000; ++i) env_.tree->Insert(t, Key(i), "v");
   env_.txns->Commit(t);
   ASSERT_TRUE(env_.tree->VerifyAll(nullptr).ok());
@@ -335,7 +335,7 @@ TEST_F(BTreeTest, VerifyAllDetectsDoctoredPointer) {
 }
 
 TEST_F(BTreeTest, UndoRecordCompensatesInsert) {
-  Transaction* t = env_.txns->Begin();
+  Transaction* t = env_.txns->Begin().get();
   ASSERT_TRUE(env_.tree->Insert(t, "k", "v").ok());
   // Roll back manually: read the insert record via the txn chain.
   auto rec = env_.log->Read(t->last_lsn());
@@ -350,7 +350,7 @@ TEST_F(BTreeTest, UndoRecordCompensatesInsert) {
 TEST_F(BTreeTest, UndoRecordCompensatesDeleteAndUpdate) {
   env_.WithTxn([&](Transaction* t) { return env_.tree->Insert(t, "k", "v1"); });
 
-  Transaction* t = env_.txns->Begin();
+  Transaction* t = env_.txns->Begin().get();
   ASSERT_TRUE(env_.tree->Update(t, "k", "v2").ok());
   auto upd = env_.log->Read(t->last_lsn());
   ASSERT_TRUE(env_.tree->Delete(t, "k").ok());
@@ -368,7 +368,7 @@ TEST_F(BTreeTest, UndoRecordCompensatesDeleteAndUpdate) {
 TEST_F(BTreeTest, PerPageChainReachesEveryUpdate) {
   // Figure 6: the per-page chain anchored at the PageLSN enumerates all
   // updates of that page, newest first.
-  Transaction* t = env_.txns->Begin();
+  Transaction* t = env_.txns->Begin().get();
   for (int i = 0; i < 10; ++i) {
     ASSERT_TRUE(env_.tree->Insert(t, Key(i), "v").ok());
   }
@@ -408,7 +408,7 @@ TEST(BTreePropertyTest, RandomWorkloadMatchesReference) {
   std::map<std::string, std::string> ref;
   Random rng(99);
 
-  Transaction* t = env.txns->Begin();
+  Transaction* t = env.txns->Begin().get();
   for (int op = 0; op < 12000; ++op) {
     std::string key = Key(static_cast<int>(rng.Uniform(2500)));
     uint64_t action = rng.Uniform(10);

@@ -39,13 +39,13 @@ TEST(ConcurrencyTest, ParallelDisjointWriters) {
   for (int t = 0; t < kThreads; ++t) {
     threads.emplace_back([&db, &failures, t] {
       for (int i = 0; i < kPerThread; ++i) {
-        Transaction* txn = db->Begin();
-        Status s = db->Insert(txn, Key(t * 1000000 + i),
+        Txn txn = db->BeginTxn();
+        Status s = txn.Insert(Key(t * 1000000 + i),
                               "thread-" + std::to_string(t));
         if (s.ok()) {
-          s = db->Commit(txn);
+          s = txn.Commit();
         } else {
-          db->Abort(txn);
+          txn.Abort();
         }
         if (!s.ok()) failures.fetch_add(1);
       }
@@ -66,11 +66,11 @@ TEST(ConcurrencyTest, ParallelDisjointWriters) {
 TEST(ConcurrencyTest, ContendedKeysSerializeOrTimeout) {
   auto db = std::move(Database::Create(FastOptions())).value();
   {
-    Transaction* t = db->Begin();
+    Txn t = db->BeginTxn();
     for (int i = 0; i < 50; ++i) {
-      SPF_CHECK_OK(db->Insert(t, Key(i), "0"));
+      SPF_CHECK_OK(t.Insert(Key(i), "0"));
     }
-    SPF_CHECK_OK(db->Commit(t));
+    SPF_CHECK_OK(t.Commit());
   }
   constexpr int kThreads = 4;
   std::atomic<int> committed{0}, deadlocks{0};
@@ -79,16 +79,16 @@ TEST(ConcurrencyTest, ContendedKeysSerializeOrTimeout) {
     threads.emplace_back([&db, &committed, &deadlocks, t] {
       Random rng(t + 1);
       for (int i = 0; i < 150; ++i) {
-        Transaction* txn = db->Begin();
-        Status s = db->Update(txn, Key(static_cast<int>(rng.Uniform(50))),
+        Txn txn = db->BeginTxn();
+        Status s = txn.Update(Key(static_cast<int>(rng.Uniform(50))),
                               "t" + std::to_string(t));
         if (s.ok()) {
-          SPF_CHECK_OK(db->Commit(txn));
+          SPF_CHECK_OK(txn.Commit());
           committed.fetch_add(1);
         } else {
           SPF_CHECK(s.IsDeadlock()) << s.ToString();
           deadlocks.fetch_add(1);
-          SPF_CHECK_OK(db->Abort(txn));
+          SPF_CHECK_OK(txn.Abort());
         }
       }
     });
@@ -104,9 +104,9 @@ TEST(ConcurrencyTest, ContendedKeysSerializeOrTimeout) {
 TEST(ConcurrencyTest, ReadersWritersAndRepairsInterleave) {
   auto db = std::move(Database::Create(FastOptions())).value();
   {
-    Transaction* t = db->Begin();
-    for (int i = 0; i < 3000; ++i) SPF_CHECK_OK(db->Insert(t, Key(i), "v"));
-    SPF_CHECK_OK(db->Commit(t));
+    Txn t = db->BeginTxn();
+    for (int i = 0; i < 3000; ++i) SPF_CHECK_OK(t.Insert(Key(i), "v"));
+    SPF_CHECK_OK(t.Commit());
   }
   SPF_CHECK_OK(db->TakeFullBackup().status());
   SPF_CHECK_OK(db->FlushAll());
@@ -135,7 +135,7 @@ TEST(ConcurrencyTest, ReadersWritersAndRepairsInterleave) {
     readers.emplace_back([&db, &read_errors, t] {
       Random rng(t + 7);
       for (int i = 0; i < 2000; ++i) {
-        auto v = db->Get(nullptr, Key(static_cast<int>(rng.Uniform(3000))));
+        auto v = db->Get(Key(static_cast<int>(rng.Uniform(3000))));
         if (!v.ok()) read_errors.fetch_add(1);
       }
     });

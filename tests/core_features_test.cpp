@@ -40,17 +40,17 @@ std::unique_ptr<Database> MakeDb() {
 class PageVersioningTest : public ::testing::Test {
  protected:
   PageVersioningTest() : db_(MakeDb()) {
-    Transaction* t = db_->Begin();
-    SPF_CHECK_OK(db_->Insert(t, "versioned", "v0"));
-    SPF_CHECK_OK(db_->Commit(t));
+    Txn t = db_->BeginTxn();
+    SPF_CHECK_OK(t.Insert("versioned", "v0"));
+    SPF_CHECK_OK(t.Commit());
     victim_ = *db_->LeafPageOf("versioned");
   }
 
   // Updates the key and returns the page's LSN after the update.
   Lsn UpdateTo(const std::string& value) {
-    Transaction* t = db_->Begin();
-    SPF_CHECK_OK(db_->Update(t, "versioned", value));
-    SPF_CHECK_OK(db_->Commit(t));
+    Txn t = db_->BeginTxn();
+    SPF_CHECK_OK(t.Update("versioned", value));
+    SPF_CHECK_OK(t.Commit());
     auto g = db_->pool()->FixPage(victim_, LatchMode::kShared);
     SPF_CHECK(g.ok());
     return g->view().page_lsn();
@@ -93,15 +93,15 @@ TEST_F(PageVersioningTest, RollsBackThroughUpdates) {
 
 TEST_F(PageVersioningTest, RollsBackInsertAndDelete) {
   // Insert a second key, roll back: it must vanish from the version.
-  Transaction* t = db_->Begin();
+  Txn t = db_->BeginTxn();
   Lsn before;
   {
     auto g = db_->pool()->FixPage(victim_, LatchMode::kShared);
     before = g->view().page_lsn();
   }
-  SPF_CHECK_OK(db_->Insert(t, "versioned2", "x"));
-  SPF_CHECK_OK(db_->Delete(t, "versioned"));
-  SPF_CHECK_OK(db_->Commit(t));
+  SPF_CHECK_OK(t.Insert("versioned2", "x"));
+  SPF_CHECK_OK(t.Delete("versioned"));
+  SPF_CHECK_OK(t.Commit());
 
   PageBuffer copy = CopyCurrentPage();
   PageVersioning versioning(db_->log());
@@ -134,11 +134,11 @@ TEST_F(PageVersioningTest, StructuralRecordEndsTheWindow) {
     auto g = db_->pool()->FixPage(victim_, LatchMode::kShared);
     before = g->view().page_lsn();
   }
-  Transaction* t = db_->Begin();
+  Txn t = db_->BeginTxn();
   for (int i = 0; i < 300; ++i) {
-    SPF_CHECK_OK(db_->Insert(t, Key(i), std::string(200, 'z')));
+    SPF_CHECK_OK(t.Insert(Key(i), std::string(200, 'z')));
   }
-  SPF_CHECK_OK(db_->Commit(t));
+  SPF_CHECK_OK(t.Commit());
 
   // The victim leaf must have split by now; find its current page and
   // roll back across the split record.
@@ -162,9 +162,9 @@ TEST_F(PageVersioningTest, StructuralRecordEndsTheWindow) {
 
 TEST(MirrorBaselineTest, CatchUpTracksPrincipal) {
   auto db = MakeDb();
-  Transaction* t = db->Begin();
-  for (int i = 0; i < 300; ++i) SPF_CHECK_OK(db->Insert(t, Key(i), "v1"));
-  SPF_CHECK_OK(db->Commit(t));
+  Txn t = db->BeginTxn();
+  for (int i = 0; i < 300; ++i) SPF_CHECK_OK(t.Insert(Key(i), "v1"));
+  SPF_CHECK_OK(t.Commit());
   SPF_CHECK_OK(db->FlushAll());
 
   SimDevice mirror_dev("mirror", kDefaultPageSize, 2048,
@@ -173,9 +173,9 @@ TEST(MirrorBaselineTest, CatchUpTracksPrincipal) {
   ASSERT_TRUE(mirror.SeedFromPrincipal(db->data_device()).ok());
 
   // Updates after the seed: the mirror catches up by applying the stream.
-  t = db->Begin();
-  for (int i = 0; i < 300; ++i) SPF_CHECK_OK(db->Update(t, Key(i), "v2"));
-  SPF_CHECK_OK(db->Commit(t));
+  t = db->BeginTxn();
+  for (int i = 0; i < 300; ++i) SPF_CHECK_OK(t.Update(Key(i), "v2"));
+  SPF_CHECK_OK(t.Commit());
   db->log()->ForceAll();
   ASSERT_TRUE(mirror.CatchUp().ok());
   EXPECT_GT(mirror.stats().records_applied, 0u);
@@ -204,9 +204,9 @@ TEST(MirrorBaselineTest, MirrorAppliesWholeStreamForOnePage) {
   // The paper's criticism, as a testable property: repairing ONE page
   // forces the mirror to process the ENTIRE pending stream.
   auto db = MakeDb();
-  Transaction* t = db->Begin();
-  for (int i = 0; i < 200; ++i) SPF_CHECK_OK(db->Insert(t, Key(i), "v"));
-  SPF_CHECK_OK(db->Commit(t));
+  Txn t = db->BeginTxn();
+  for (int i = 0; i < 200; ++i) SPF_CHECK_OK(t.Insert(Key(i), "v"));
+  SPF_CHECK_OK(t.Commit());
   SPF_CHECK_OK(db->FlushAll());
 
   SimDevice mirror_dev("mirror", kDefaultPageSize, 2048,
@@ -214,9 +214,9 @@ TEST(MirrorBaselineTest, MirrorAppliesWholeStreamForOnePage) {
   MirrorBaseline mirror(db->log(), &mirror_dev, db->clock());
   ASSERT_TRUE(mirror.SeedFromPrincipal(db->data_device()).ok());
 
-  t = db->Begin();
-  for (int i = 0; i < 200; ++i) SPF_CHECK_OK(db->Update(t, Key(i), "w"));
-  SPF_CHECK_OK(db->Commit(t));
+  t = db->BeginTxn();
+  for (int i = 0; i < 200; ++i) SPF_CHECK_OK(t.Update(Key(i), "w"));
+  SPF_CHECK_OK(t.Commit());
   db->log()->ForceAll();
 
   PageId leaf = *db->LeafPageOf(Key(0));
@@ -239,16 +239,16 @@ TEST(SinglePageRecoveryEdgeTest, UnknownPageEscalates) {
 
 TEST(SinglePageRecoveryEdgeTest, CleanPageSinceBackupNeedsNoChain) {
   auto db = MakeDb();
-  Transaction* t = db->Begin();
-  for (int i = 0; i < 100; ++i) SPF_CHECK_OK(db->Insert(t, Key(i), "v"));
-  SPF_CHECK_OK(db->Commit(t));
+  Txn t = db->BeginTxn();
+  for (int i = 0; i < 100; ++i) SPF_CHECK_OK(t.Insert(Key(i), "v"));
+  SPF_CHECK_OK(t.Commit());
   SPF_CHECK_OK(db->TakeFullBackup().status());  // clean relative to backup
 
   PageId leaf = *db->LeafPageOf(Key(50));
   db->pool()->DiscardAll();
   db->data_device()->InjectSilentCorruption(leaf);
   db->single_page_recovery()->ResetStats();
-  EXPECT_EQ(*db->Get(nullptr, Key(50)), "v");
+  EXPECT_EQ(*db->Get(Key(50)), "v");
   auto stats = db->single_page_recovery()->stats();
   EXPECT_EQ(stats.last_chain_length, 0u);  // backup image alone sufficed
   EXPECT_EQ(stats.repairs_succeeded, 1u);
@@ -256,9 +256,9 @@ TEST(SinglePageRecoveryEdgeTest, CleanPageSinceBackupNeedsNoChain) {
 
 TEST(SinglePageRecoveryEdgeTest, CorruptBackupEscalates) {
   auto db = MakeDb();
-  Transaction* t = db->Begin();
-  for (int i = 0; i < 100; ++i) SPF_CHECK_OK(db->Insert(t, Key(i), "v"));
-  SPF_CHECK_OK(db->Commit(t));
+  Txn t = db->BeginTxn();
+  for (int i = 0; i < 100; ++i) SPF_CHECK_OK(t.Insert(Key(i), "v"));
+  SPF_CHECK_OK(t.Commit());
   SPF_CHECK_OK(db->TakeFullBackup().status());
 
   PageId leaf = *db->LeafPageOf(Key(50));
@@ -267,7 +267,7 @@ TEST(SinglePageRecoveryEdgeTest, CorruptBackupEscalates) {
   db->data_device()->InjectSilentCorruption(leaf);
   db->backup_device()->InjectSilentCorruption(leaf);  // full-backup region
 
-  auto v = db->Get(nullptr, Key(50));
+  auto v = db->Get(Key(50));
   EXPECT_TRUE(v.status().IsMediaFailure()) << v.status().ToString();
   EXPECT_GE(db->single_page_recovery()->stats().escalations, 1u);
 
@@ -279,46 +279,46 @@ TEST(SinglePageRecoveryEdgeTest, CorruptBackupEscalates) {
 
 TEST(SinglePageRecoveryEdgeTest, TornWriteDetectedAndRepaired) {
   auto db = MakeDb();
-  Transaction* t = db->Begin();
-  for (int i = 0; i < 100; ++i) SPF_CHECK_OK(db->Insert(t, Key(i), "v"));
-  SPF_CHECK_OK(db->Commit(t));
+  Txn t = db->BeginTxn();
+  for (int i = 0; i < 100; ++i) SPF_CHECK_OK(t.Insert(Key(i), "v"));
+  SPF_CHECK_OK(t.Commit());
   SPF_CHECK_OK(db->TakeFullBackup().status());
 
   PageId leaf = *db->LeafPageOf(Key(50));
   // The NEXT write of this page is torn.
   db->data_device()->InjectTornWrite(leaf, kDefaultPageSize / 3);
-  t = db->Begin();
-  SPF_CHECK_OK(db->Update(t, Key(50), "post-torn"));
-  SPF_CHECK_OK(db->Commit(t));
+  t = db->BeginTxn();
+  SPF_CHECK_OK(t.Update(Key(50), "post-torn"));
+  SPF_CHECK_OK(t.Commit());
   SPF_CHECK_OK(db->FlushAll());  // this write is torn on the device
   db->pool()->DiscardAll();
 
-  EXPECT_EQ(*db->Get(nullptr, Key(50)), "post-torn");
+  EXPECT_EQ(*db->Get(Key(50)), "post-torn");
   EXPECT_GE(db->single_page_recovery()->stats().repairs_succeeded, 1u);
 }
 
 TEST(SinglePageRecoveryEdgeTest, WearOutHealedUntilRelocated) {
   auto db = MakeDb();
-  Transaction* t = db->Begin();
-  for (int i = 0; i < 100; ++i) SPF_CHECK_OK(db->Insert(t, Key(i), "v"));
-  SPF_CHECK_OK(db->Commit(t));
+  Txn t = db->BeginTxn();
+  for (int i = 0; i < 100; ++i) SPF_CHECK_OK(t.Insert(Key(i), "v"));
+  SPF_CHECK_OK(t.Commit());
   SPF_CHECK_OK(db->TakeFullBackup().status());
 
   PageId leaf = *db->LeafPageOf(Key(50));
   db->data_device()->SetWearOutLimit(leaf, 0);  // worn out NOW
-  t = db->Begin();
-  SPF_CHECK_OK(db->Update(t, Key(50), "on-worn-page"));
-  SPF_CHECK_OK(db->Commit(t));
+  t = db->BeginTxn();
+  SPF_CHECK_OK(t.Update(Key(50), "on-worn-page"));
+  SPF_CHECK_OK(t.Commit());
   SPF_CHECK_OK(db->FlushAll());  // write lands scrambled
   db->pool()->DiscardAll();
 
   // Repair succeeds (the healing write is scrambled again on the device,
   // but the BUFFERED copy is correct and served to the application).
-  EXPECT_EQ(*db->Get(nullptr, Key(50)), "on-worn-page");
+  EXPECT_EQ(*db->Get(Key(50)), "on-worn-page");
   // The location remains sick: a later re-read repairs again — this is
   // the case for relocation + the bad block list (section 5.2.3).
   db->pool()->DiscardAll();
-  EXPECT_EQ(*db->Get(nullptr, Key(50)), "on-worn-page");
+  EXPECT_EQ(*db->Get(Key(50)), "on-worn-page");
   EXPECT_GE(db->single_page_recovery()->stats().repairs_succeeded, 2u);
   db->bad_blocks()->Add(leaf);
   EXPECT_TRUE(db->bad_blocks()->Contains(leaf));
@@ -330,21 +330,21 @@ TEST(WriteTrackingModeTest, NoneModeStillRecoversFromCrash) {
   DatabaseOptions o = FastOptions();
   o.tracking = WriteTrackingMode::kNone;
   auto db = std::move(Database::Create(o)).value();
-  Transaction* t = db->Begin();
-  for (int i = 0; i < 300; ++i) SPF_CHECK_OK(db->Insert(t, Key(i), "v"));
-  SPF_CHECK_OK(db->Commit(t));
+  Txn t = db->BeginTxn();
+  for (int i = 0; i < 300; ++i) SPF_CHECK_OK(t.Insert(Key(i), "v"));
+  SPF_CHECK_OK(t.Commit());
   db->SimulateCrash();
   ASSERT_TRUE(db->Restart().ok());
-  EXPECT_EQ(*db->Get(nullptr, Key(299)), "v");
+  EXPECT_EQ(*db->Get(Key(299)), "v");
 }
 
 TEST(WriteTrackingModeTest, CompletedWritesModeLogsThem) {
   DatabaseOptions o = FastOptions();
   o.tracking = WriteTrackingMode::kCompletedWrites;
   auto db = std::move(Database::Create(o)).value();
-  Transaction* t = db->Begin();
-  for (int i = 0; i < 300; ++i) SPF_CHECK_OK(db->Insert(t, Key(i), "v"));
-  SPF_CHECK_OK(db->Commit(t));
+  Txn t = db->BeginTxn();
+  for (int i = 0; i < 300; ++i) SPF_CHECK_OK(t.Insert(Key(i), "v"));
+  SPF_CHECK_OK(t.Commit());
   SPF_CHECK_OK(db->FlushAll());
   auto stats = db->log()->stats();
   EXPECT_GT(stats.per_type[LogRecordType::kPageWriteCompleted], 0u);
@@ -355,9 +355,9 @@ TEST(WriteTrackingModeTest, CompletedWritesModeLogsThem) {
 
 TEST(RelocationTest, MovesLeafAndBansOldLocation) {
   auto db = MakeDb();
-  Transaction* t = db->Begin();
-  for (int i = 0; i < 1000; ++i) SPF_CHECK_OK(db->Insert(t, Key(i), "v"));
-  SPF_CHECK_OK(db->Commit(t));
+  Txn t = db->BeginTxn();
+  for (int i = 0; i < 1000; ++i) SPF_CHECK_OK(t.Insert(Key(i), "v"));
+  SPF_CHECK_OK(t.Commit());
 
   PageId old_pid = *db->LeafPageOf(Key(500));
   auto new_pid = db->RelocatePage(old_pid);
@@ -365,7 +365,7 @@ TEST(RelocationTest, MovesLeafAndBansOldLocation) {
   EXPECT_NE(*new_pid, old_pid);
 
   // Data intact, old location banned, new leaf serves the key.
-  EXPECT_EQ(*db->Get(nullptr, Key(500)), "v");
+  EXPECT_EQ(*db->Get(Key(500)), "v");
   EXPECT_TRUE(db->bad_blocks()->Contains(old_pid));
   EXPECT_EQ(*db->LeafPageOf(Key(500)), *new_pid);
   ASSERT_TRUE(db->CheckOffline(nullptr).ok());
@@ -375,9 +375,9 @@ TEST(RelocationTest, RelocatedPageRepairableFromFormatRecord) {
   // The migration's format record doubles as the new page's backup
   // (section 5.2.1): corrupt the new location and repair from it.
   auto db = MakeDb();
-  Transaction* t = db->Begin();
-  for (int i = 0; i < 500; ++i) SPF_CHECK_OK(db->Insert(t, Key(i), "v"));
-  SPF_CHECK_OK(db->Commit(t));
+  Txn t = db->BeginTxn();
+  for (int i = 0; i < 500; ++i) SPF_CHECK_OK(t.Insert(Key(i), "v"));
+  SPF_CHECK_OK(t.Commit());
 
   PageId old_pid = *db->LeafPageOf(Key(100));
   PageId new_pid = *db->RelocatePage(old_pid);
@@ -386,7 +386,7 @@ TEST(RelocationTest, RelocatedPageRepairableFromFormatRecord) {
   db->data_device()->InjectSilentCorruption(new_pid);
   db->single_page_recovery()->ResetStats();
 
-  EXPECT_EQ(*db->Get(nullptr, Key(100)), "v");
+  EXPECT_EQ(*db->Get(Key(100)), "v");
   auto spr = db->single_page_recovery()->stats();
   EXPECT_EQ(spr.repairs_succeeded, 1u);
   EXPECT_EQ(spr.last_backup_kind, BackupKind::kFormatRecord);
@@ -394,21 +394,21 @@ TEST(RelocationTest, RelocatedPageRepairableFromFormatRecord) {
 
 TEST(RelocationTest, SurvivesCrashAndRestart) {
   auto db = MakeDb();
-  Transaction* t = db->Begin();
-  for (int i = 0; i < 1000; ++i) SPF_CHECK_OK(db->Insert(t, Key(i), "v"));
-  SPF_CHECK_OK(db->Commit(t));
+  Txn t = db->BeginTxn();
+  for (int i = 0; i < 1000; ++i) SPF_CHECK_OK(t.Insert(Key(i), "v"));
+  SPF_CHECK_OK(t.Commit());
   SPF_CHECK_OK(db->Checkpoint().status());
 
   PageId old_pid = *db->LeafPageOf(Key(500));
   PageId new_pid = *db->RelocatePage(old_pid);
   // Post-relocation committed update (goes to the NEW page's chain).
-  t = db->Begin();
-  SPF_CHECK_OK(db->Update(t, Key(500), "post-move"));
-  SPF_CHECK_OK(db->Commit(t));
+  t = db->BeginTxn();
+  SPF_CHECK_OK(t.Update(Key(500), "post-move"));
+  SPF_CHECK_OK(t.Commit());
 
   db->SimulateCrash();
   ASSERT_TRUE(db->Restart().ok());
-  EXPECT_EQ(*db->Get(nullptr, Key(500)), "post-move");
+  EXPECT_EQ(*db->Get(Key(500)), "post-move");
   EXPECT_EQ(*db->LeafPageOf(Key(500)), new_pid);
   EXPECT_TRUE(db->bad_blocks()->Contains(old_pid));
   ASSERT_TRUE(db->CheckOffline(nullptr).ok());
@@ -418,17 +418,17 @@ TEST(RelocationTest, WornOutLocationWorkflow) {
   // The full section 5.2.3 workflow: a location wears out, reads keep
   // triggering repairs, so the page is moved and the location banned.
   auto db = MakeDb();
-  Transaction* t = db->Begin();
+  Txn t = db->BeginTxn();
   // Enough records that the tree has real leaves below the root.
-  for (int i = 0; i < 2000; ++i) SPF_CHECK_OK(db->Insert(t, Key(i), "v"));
-  SPF_CHECK_OK(db->Commit(t));
+  for (int i = 0; i < 2000; ++i) SPF_CHECK_OK(t.Insert(Key(i), "v"));
+  SPF_CHECK_OK(t.Commit());
   SPF_CHECK_OK(db->TakeFullBackup().status());
 
   PageId sick = *db->LeafPageOf(Key(100));
   db->data_device()->SetWearOutLimit(sick, 0);
   SPF_CHECK_OK(db->FlushAll());  // lands scrambled
   db->pool()->DiscardAll();
-  EXPECT_EQ(*db->Get(nullptr, Key(100)), "v");  // repair #1
+  EXPECT_EQ(*db->Get(Key(100)), "v");  // repair #1
 
   // Operator (or a policy) relocates the sick page.
   auto new_pid = db->RelocatePage(sick);
@@ -438,16 +438,16 @@ TEST(RelocationTest, WornOutLocationWorkflow) {
   db->single_page_recovery()->ResetStats();
 
   // Reads now hit the healthy location: no more repairs.
-  EXPECT_EQ(*db->Get(nullptr, Key(100)), "v");
+  EXPECT_EQ(*db->Get(Key(100)), "v");
   EXPECT_EQ(db->single_page_recovery()->stats().repairs_attempted, 0u);
   EXPECT_TRUE(db->bad_blocks()->Contains(sick));
 }
 
 TEST(RelocationTest, RootAndNonTreePagesRejected) {
   auto db = MakeDb();
-  Transaction* t = db->Begin();
-  SPF_CHECK_OK(db->Insert(t, "k", "v"));
-  SPF_CHECK_OK(db->Commit(t));
+  Txn t = db->BeginTxn();
+  SPF_CHECK_OK(t.Insert("k", "v"));
+  SPF_CHECK_OK(t.Commit());
   PageId root = *db->tree()->root_pid();
   EXPECT_TRUE(db->RelocatePage(root).status().IsNotSupported());
   EXPECT_TRUE(db->RelocatePage(0).status().IsNotSupported());  // meta page

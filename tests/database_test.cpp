@@ -38,11 +38,11 @@ std::unique_ptr<Database> MakeDb(DatabaseOptions o = FastOptions()) {
 }
 
 void Load(Database* db, int from, int to, const std::string& value = "v") {
-  Transaction* t = db->Begin();
+  Txn t = db->BeginTxn();
   for (int i = from; i < to; ++i) {
-    SPF_CHECK_OK(db->Insert(t, Key(i), value + "-" + std::to_string(i)));
+    SPF_CHECK_OK(t.Insert(Key(i), value + "-" + std::to_string(i)));
   }
-  SPF_CHECK_OK(db->Commit(t));
+  SPF_CHECK_OK(t.Commit());
 }
 
 TEST(DatabaseTest, CreateRejectsTinyDevice) {
@@ -53,27 +53,27 @@ TEST(DatabaseTest, CreateRejectsTinyDevice) {
 
 TEST(DatabaseTest, BasicCrud) {
   auto db = MakeDb();
-  Transaction* t = db->Begin();
-  ASSERT_TRUE(db->Insert(t, "a", "1").ok());
-  ASSERT_TRUE(db->Put(t, "a", "2").ok());   // upsert over existing
-  ASSERT_TRUE(db->Put(t, "b", "3").ok());   // upsert as insert
-  ASSERT_TRUE(db->Commit(t).ok());
-  EXPECT_EQ(*db->Get(nullptr, "a"), "2");
-  EXPECT_EQ(*db->Get(nullptr, "b"), "3");
+  Txn t = db->BeginTxn();
+  ASSERT_TRUE(t.Insert("a", "1").ok());
+  ASSERT_TRUE(t.Put("a", "2").ok());   // upsert over existing
+  ASSERT_TRUE(t.Put("b", "3").ok());   // upsert as insert
+  ASSERT_TRUE(t.Commit().ok());
+  EXPECT_EQ(*db->Get("a"), "2");
+  EXPECT_EQ(*db->Get("b"), "3");
 }
 
 TEST(DatabaseTest, AbortRollsBackAllUpdates) {
   auto db = MakeDb();
   Load(db.get(), 0, 10);
-  Transaction* t = db->Begin();
-  ASSERT_TRUE(db->Insert(t, Key(100), "new").ok());
-  ASSERT_TRUE(db->Update(t, Key(5), "changed").ok());
-  ASSERT_TRUE(db->Delete(t, Key(7)).ok());
-  ASSERT_TRUE(db->Abort(t).ok());
+  Txn t = db->BeginTxn();
+  ASSERT_TRUE(t.Insert(Key(100), "new").ok());
+  ASSERT_TRUE(t.Update(Key(5), "changed").ok());
+  ASSERT_TRUE(t.Delete(Key(7)).ok());
+  ASSERT_TRUE(t.Abort().ok());
 
-  EXPECT_TRUE(db->Get(nullptr, Key(100)).status().IsNotFound());
-  EXPECT_EQ(*db->Get(nullptr, Key(5)), "v-5");
-  EXPECT_EQ(*db->Get(nullptr, Key(7)), "v-7");
+  EXPECT_TRUE(db->Get(Key(100)).status().IsNotFound());
+  EXPECT_EQ(*db->Get(Key(5)), "v-5");
+  EXPECT_EQ(*db->Get(Key(7)), "v-7");
   ASSERT_TRUE(db->CheckOffline(nullptr).ok());
 }
 
@@ -98,9 +98,9 @@ TEST_P(SinglePageFailureTest, DetectAndRepairWithoutAbort) {
     db->data_device()->CapturePageVersion(victim);
   }
   // More committed updates so the per-page chain is non-trivial.
-  Transaction* t = db->Begin();
-  ASSERT_TRUE(db->Update(t, Key(1000), "after-fault-value").ok());
-  ASSERT_TRUE(db->Commit(t).ok());
+  Txn t = db->BeginTxn();
+  ASSERT_TRUE(t.Update(Key(1000), "after-fault-value").ok());
+  ASSERT_TRUE(t.Commit().ok());
   ASSERT_TRUE(db->FlushAll().ok());
   db->pool()->DiscardAll();  // force the next access to fault from device
 
@@ -118,11 +118,11 @@ TEST_P(SinglePageFailureTest, DetectAndRepairWithoutAbort) {
 
   // The transaction reading through the failure is merely delayed — no
   // abort, correct data (section 5.2.7).
-  Transaction* reader = db->Begin();
-  auto v = db->Get(reader, Key(1000));
+  Txn reader = db->BeginTxn();
+  auto v = reader.Get(Key(1000));
   ASSERT_TRUE(v.ok()) << v.status().ToString();
   EXPECT_EQ(*v, "after-fault-value");
-  ASSERT_TRUE(db->Commit(reader).ok());
+  ASSERT_TRUE(reader.Commit().ok());
 
   auto spr = db->single_page_recovery()->stats();
   EXPECT_EQ(spr.repairs_succeeded, 1u);
@@ -134,7 +134,7 @@ TEST_P(SinglePageFailureTest, DetectAndRepairWithoutAbort) {
   // The device copy was healed in place.
   db->pool()->DiscardAll();
   db->data_device()->ClearFault(victim);
-  EXPECT_EQ(*db->Get(nullptr, Key(1000)), "after-fault-value");
+  EXPECT_EQ(*db->Get(Key(1000)), "after-fault-value");
   ASSERT_TRUE(db->CheckOffline(nullptr).ok());
 }
 
@@ -154,7 +154,7 @@ TEST(DatabaseTest, RepairUsesFormatRecordForYoungPages) {
   db->pool()->DiscardAll();
   db->data_device()->InjectSilentCorruption(*leaf);
 
-  EXPECT_EQ(*db->Get(nullptr, Key(10)), "v-10");
+  EXPECT_EQ(*db->Get(Key(10)), "v-10");
   auto spr = db->single_page_recovery()->stats();
   EXPECT_EQ(spr.repairs_succeeded, 1u);
   EXPECT_EQ(spr.last_backup_kind, BackupKind::kFormatRecord);
@@ -165,9 +165,9 @@ TEST(DatabaseTest, RepairUsesFullBackup) {
   Load(db.get(), 0, 500);
   ASSERT_TRUE(db->TakeFullBackup().ok());
   // A couple of updates after the backup.
-  Transaction* t = db->Begin();
-  ASSERT_TRUE(db->Update(t, Key(42), "post-backup").ok());
-  ASSERT_TRUE(db->Commit(t).ok());
+  Txn t = db->BeginTxn();
+  ASSERT_TRUE(t.Update(Key(42), "post-backup").ok());
+  ASSERT_TRUE(t.Commit().ok());
   ASSERT_TRUE(db->FlushAll().ok());
 
   auto leaf = db->LeafPageOf(Key(42));
@@ -175,7 +175,7 @@ TEST(DatabaseTest, RepairUsesFullBackup) {
   db->pool()->DiscardAll();
   db->data_device()->InjectSilentCorruption(*leaf);
 
-  EXPECT_EQ(*db->Get(nullptr, Key(42)), "post-backup");
+  EXPECT_EQ(*db->Get(Key(42)), "post-backup");
   auto spr = db->single_page_recovery()->stats();
   EXPECT_EQ(spr.repairs_succeeded, 1u);
   EXPECT_EQ(spr.last_backup_kind, BackupKind::kFullBackup);
@@ -189,11 +189,11 @@ TEST(DatabaseTest, RepairUsesPerPageBackupAfterThreshold) {
   Load(db.get(), 0, 100);
   // Hammer one key so its leaf crosses the backup threshold on write-back.
   for (int round = 0; round < 5; ++round) {
-    Transaction* t = db->Begin();
+    Txn t = db->BeginTxn();
     for (int i = 0; i < 20; ++i) {
-      ASSERT_TRUE(db->Update(t, Key(50), "round-" + std::to_string(round)).ok());
+      ASSERT_TRUE(t.Update(Key(50), "round-" + std::to_string(round)).ok());
     }
-    ASSERT_TRUE(db->Commit(t).ok());
+    ASSERT_TRUE(t.Commit().ok());
     ASSERT_TRUE(db->FlushAll().ok());
   }
   EXPECT_GT(db->pri_manager()->stats().page_backups_triggered, 0u);
@@ -202,7 +202,7 @@ TEST(DatabaseTest, RepairUsesPerPageBackupAfterThreshold) {
   ASSERT_TRUE(leaf.ok());
   db->pool()->DiscardAll();
   db->data_device()->InjectSilentCorruption(*leaf);
-  EXPECT_EQ(*db->Get(nullptr, Key(50)), "round-4");
+  EXPECT_EQ(*db->Get(Key(50)), "round-4");
   EXPECT_EQ(db->single_page_recovery()->stats().last_backup_kind,
             BackupKind::kBackupPage);
 }
@@ -220,7 +220,7 @@ TEST(DatabaseTest, WithoutRepairSupportFailureEscalates) {
   db->pool()->DiscardAll();
   db->data_device()->InjectSilentCorruption(*leaf);
 
-  auto v = db->Get(nullptr, Key(100));
+  auto v = db->Get(Key(100));
   ASSERT_FALSE(v.ok());
   EXPECT_TRUE(v.status().IsMediaFailure()) << v.status().ToString();
 }
@@ -243,7 +243,7 @@ TEST(DatabaseTest, MultiPageFailureAllRepaired) {
   for (PageId v : victims) db->data_device()->InjectSilentCorruption(v);
 
   for (int i = 0; i < 3000; i += 100) {
-    auto v = db->Get(nullptr, Key(i));
+    auto v = db->Get(Key(i));
     ASSERT_TRUE(v.ok()) << i << ": " << v.status().ToString();
   }
   EXPECT_GE(db->single_page_recovery()->stats().repairs_succeeded,
@@ -261,9 +261,9 @@ TEST(DatabaseTest, PriEntryLagsWhileBufferedAndExactAfterWriteBack) {
 
   // Update while buffered: the PRI's information is allowed to lag
   // (Figure 6 dashed line).
-  Transaction* t = db->Begin();
-  ASSERT_TRUE(db->Update(t, Key(5), "x").ok());
-  ASSERT_TRUE(db->Commit(t).ok());
+  Txn t = db->BeginTxn();
+  ASSERT_TRUE(t.Update(Key(5), "x").ok());
+  ASSERT_TRUE(t.Commit().ok());
   Lsn buffered_lsn;
   {
     auto g = db->pool()->FixPage(*leaf, LatchMode::kShared);
@@ -307,16 +307,16 @@ TEST(DatabaseTest, RestartRecoversCommittedLosesUncommitted) {
   ASSERT_TRUE(db->Checkpoint().ok());
 
   // Committed after the checkpoint: must survive.
-  Transaction* committed = db->Begin();
-  ASSERT_TRUE(db->Insert(committed, "committed-key", "yes").ok());
-  ASSERT_TRUE(db->Update(committed, Key(10), "updated").ok());
-  ASSERT_TRUE(db->Commit(committed).ok());
+  Txn committed = db->BeginTxn();
+  ASSERT_TRUE(committed.Insert("committed-key", "yes").ok());
+  ASSERT_TRUE(committed.Update(Key(10), "updated").ok());
+  ASSERT_TRUE(committed.Commit().ok());
 
   // Uncommitted at crash: must vanish.
-  Transaction* loser = db->Begin();
-  ASSERT_TRUE(db->Insert(loser, "loser-key", "no").ok());
-  ASSERT_TRUE(db->Update(loser, Key(20), "loser-change").ok());
-  ASSERT_TRUE(db->Delete(loser, Key(30)).ok());
+  Txn loser = db->BeginTxn();
+  ASSERT_TRUE(loser.Insert("loser-key", "no").ok());
+  ASSERT_TRUE(loser.Update(Key(20), "loser-change").ok());
+  ASSERT_TRUE(loser.Delete(Key(30)).ok());
   // Concurrent activity forces the log: the loser's records are durable
   // even though it never commits — exactly the loser a restart must undo.
   db->log()->ForceAll();
@@ -327,11 +327,11 @@ TEST(DatabaseTest, RestartRecoversCommittedLosesUncommitted) {
   EXPECT_EQ(stats->losers, 1u);
   EXPECT_GT(stats->undo_records, 0u);
 
-  EXPECT_EQ(*db->Get(nullptr, "committed-key"), "yes");
-  EXPECT_EQ(*db->Get(nullptr, Key(10)), "updated");
-  EXPECT_TRUE(db->Get(nullptr, "loser-key").status().IsNotFound());
-  EXPECT_EQ(*db->Get(nullptr, Key(20)), "v-20");
-  EXPECT_EQ(*db->Get(nullptr, Key(30)), "v-30");
+  EXPECT_EQ(*db->Get("committed-key"), "yes");
+  EXPECT_EQ(*db->Get(Key(10)), "updated");
+  EXPECT_TRUE(db->Get("loser-key").status().IsNotFound());
+  EXPECT_EQ(*db->Get(Key(20)), "v-20");
+  EXPECT_EQ(*db->Get(Key(30)), "v-30");
   ASSERT_TRUE(db->CheckOffline(nullptr).ok());
 }
 
@@ -339,14 +339,14 @@ TEST(DatabaseTest, RestartIsIdempotent) {
   // Crash during recovery -> rerun is safe (invariant R1).
   auto db = MakeDb();
   Load(db.get(), 0, 300);
-  Transaction* loser = db->Begin();
-  ASSERT_TRUE(db->Insert(loser, "loser", "x").ok());
+  Txn loser = db->BeginTxn();
+  ASSERT_TRUE(loser.Insert("loser", "x").ok());
   db->SimulateCrash();
   ASSERT_TRUE(db->Restart().ok());
   db->SimulateCrash();  // crash right after recovery
   ASSERT_TRUE(db->Restart().ok());
-  EXPECT_TRUE(db->Get(nullptr, "loser").status().IsNotFound());
-  EXPECT_EQ(*db->Get(nullptr, Key(0)), "v-0");
+  EXPECT_TRUE(db->Get("loser").status().IsNotFound());
+  EXPECT_EQ(*db->Get(Key(0)), "v-0");
   ASSERT_TRUE(db->CheckOffline(nullptr).ok());
 }
 
@@ -367,7 +367,7 @@ TEST(DatabaseTest, RestartUsesWriteCertificationsToSkipReads) {
   // Every write was certified: redo has nothing to read at all — the
   // full payoff of Figure 4's optimization.
   EXPECT_EQ(stats->redo_page_reads, 0u);
-  EXPECT_EQ(*db->Get(nullptr, Key(2499)), "v-2499");
+  EXPECT_EQ(*db->Get(Key(2499)), "v-2499");
 }
 
 TEST(DatabaseTest, RestartRegeneratesLostPriUpdates) {
@@ -377,9 +377,9 @@ TEST(DatabaseTest, RestartRegeneratesLostPriUpdates) {
   Load(db.get(), 0, 100);
   ASSERT_TRUE(db->Checkpoint().ok());
 
-  Transaction* t = db->Begin();
-  ASSERT_TRUE(db->Update(t, Key(50), "post-ckpt").ok());
-  ASSERT_TRUE(db->Commit(t).ok());
+  Txn t = db->BeginTxn();
+  ASSERT_TRUE(t.Update(Key(50), "post-ckpt").ok());
+  ASSERT_TRUE(t.Commit().ok());
   // Flush the page: the data write completes; the PriUpdate record sits in
   // the unforced log tail and is lost by the crash.
   auto leaf = db->LeafPageOf(Key(50));
@@ -390,7 +390,7 @@ TEST(DatabaseTest, RestartRegeneratesLostPriUpdates) {
   auto stats = db->Restart();
   ASSERT_TRUE(stats.ok());
   EXPECT_GE(stats->lost_pri_updates_regenerated, 1u);
-  EXPECT_EQ(*db->Get(nullptr, Key(50)), "post-ckpt");
+  EXPECT_EQ(*db->Get(Key(50)), "post-ckpt");
 }
 
 TEST(DatabaseTest, RestartRedoesRecordsAfterMidWorkloadFlush) {
@@ -404,24 +404,24 @@ TEST(DatabaseTest, RestartRedoesRecordsAfterMidWorkloadFlush) {
 
   // Update + flush one page: its certification becomes the smallest
   // raised recLSN in the DPT.
-  Transaction* t1 = db->Begin();
-  ASSERT_TRUE(db->Update(t1, Key(10), "flushed-update").ok());
-  ASSERT_TRUE(db->Commit(t1).ok());
+  Txn t1 = db->BeginTxn();
+  ASSERT_TRUE(t1.Update(Key(10), "flushed-update").ok());
+  ASSERT_TRUE(t1.Commit().ok());
   ASSERT_TRUE(db->FlushAll().ok());
 
   // Then plenty of unflushed committed updates elsewhere.
-  Transaction* t2 = db->Begin();
+  Txn t2 = db->BeginTxn();
   for (int i = 1000; i < 1800; ++i) {
-    ASSERT_TRUE(db->Insert(t2, Key(i), "must-survive").ok());
+    ASSERT_TRUE(t2.Insert(Key(i), "must-survive").ok());
   }
-  ASSERT_TRUE(db->Commit(t2).ok());
+  ASSERT_TRUE(t2.Commit().ok());
 
   db->SimulateCrash();
   auto stats = db->Restart();
   ASSERT_TRUE(stats.ok()) << stats.status().ToString();
   EXPECT_GT(stats->redo_applied, 100u);
-  EXPECT_EQ(*db->Get(nullptr, Key(10)), "flushed-update");
-  EXPECT_EQ(*db->Get(nullptr, Key(1799)), "must-survive");
+  EXPECT_EQ(*db->Get(Key(10)), "flushed-update");
+  EXPECT_EQ(*db->Get(Key(1799)), "must-survive");
   ASSERT_TRUE(db->CheckOffline(nullptr).ok());
 }
 
@@ -441,7 +441,7 @@ TEST(DatabaseTest, RepairWorksAfterRestart) {
   ASSERT_TRUE(leaf.ok());
   db->pool()->DiscardAll();
   db->data_device()->InjectSilentCorruption(*leaf);
-  EXPECT_EQ(*db->Get(nullptr, Key(500)), "v-500");
+  EXPECT_EQ(*db->Get(Key(500)), "v-500");
   EXPECT_EQ(db->single_page_recovery()->stats().repairs_succeeded, 1u);
 }
 
@@ -464,7 +464,7 @@ TEST(DatabaseTest, PriPageFailureRecoveredFromOtherPartition) {
   auto stats = db->Restart();
   ASSERT_TRUE(stats.ok()) << stats.status().ToString();
   EXPECT_GE(db->pri_manager()->stats().pri_pages_recovered, 1u);
-  EXPECT_EQ(*db->Get(nullptr, Key(1050)), "v-1050");
+  EXPECT_EQ(*db->Get(Key(1050)), "v-1050");
   ASSERT_TRUE(db->CheckOffline(nullptr).ok());
 }
 
@@ -475,16 +475,16 @@ TEST(DatabaseTest, MediaRecoveryRestoresEverythingCommitted) {
   Load(db.get(), 0, 800);
   ASSERT_TRUE(db->TakeFullBackup().ok());
   Load(db.get(), 800, 1200);
-  Transaction* t = db->Begin();
-  ASSERT_TRUE(db->Update(t, Key(100), "after-backup").ok());
-  ASSERT_TRUE(db->Commit(t).ok());
+  Txn t = db->BeginTxn();
+  ASSERT_TRUE(t.Update(Key(100), "after-backup").ok());
+  ASSERT_TRUE(t.Commit().ok());
   db->log()->ForceAll();
 
   db->data_device()->FailDevice();
   {
     // Everything fails while the device is down.
     db->pool()->DiscardAll();
-    auto v = db->Get(nullptr, Key(100));
+    auto v = db->Get(Key(100));
     EXPECT_TRUE(v.status().IsMediaFailure());
   }
 
@@ -493,8 +493,8 @@ TEST(DatabaseTest, MediaRecoveryRestoresEverythingCommitted) {
   EXPECT_EQ(stats->pages_restored, db->options().num_pages);
   EXPECT_GT(stats->redo_applied, 0u);
 
-  EXPECT_EQ(*db->Get(nullptr, Key(100)), "after-backup");
-  EXPECT_EQ(*db->Get(nullptr, Key(1100)), "v-1100");
+  EXPECT_EQ(*db->Get(Key(100)), "after-backup");
+  EXPECT_EQ(*db->Get(Key(1100)), "v-1100");
   ASSERT_TRUE(db->CheckOffline(nullptr).ok());
 }
 
@@ -503,16 +503,16 @@ TEST(DatabaseTest, MediaRecoveryAbortsActiveTransactions) {
   Load(db.get(), 0, 300);
   ASSERT_TRUE(db->TakeFullBackup().ok());
 
-  Transaction* active = db->Begin();
-  ASSERT_TRUE(db->Insert(active, "in-flight", "x").ok());
+  Txn active = db->BeginTxn();
+  ASSERT_TRUE(active.Insert("in-flight", "x").ok());
   db->log()->ForceAll();  // its records are durable, but it never commits
 
   db->data_device()->FailDevice();
   db->pool()->DiscardAll();
   ASSERT_TRUE(db->RecoverMedia().ok());
 
-  EXPECT_TRUE(db->Get(nullptr, "in-flight").status().IsNotFound());
-  EXPECT_EQ(*db->Get(nullptr, Key(0)), "v-0");
+  EXPECT_TRUE(db->Get("in-flight").status().IsNotFound());
+  EXPECT_EQ(*db->Get(Key(0)), "v-0");
 }
 
 // --- scrubbing & offline checks --------------------------------------------------------
@@ -572,30 +572,30 @@ TEST(DatabaseCrashPropertyTest, RandomWorkloadRandomCrashes) {
   for (int round = 0; round < 8; ++round) {
     // A few committed transactions.
     for (int txn_i = 0; txn_i < 5; ++txn_i) {
-      Transaction* t = db->Begin();
+      Txn t = db->BeginTxn();
       std::map<std::string, std::string> local = committed;
       for (int op = 0; op < 30; ++op) {
         std::string key = Key(static_cast<int>(rng.Uniform(400)));
         if (rng.Bernoulli(0.7)) {
           std::string value = rng.NextString(20);
-          ASSERT_TRUE(db->Put(t, key, value).ok());
+          ASSERT_TRUE(t.Put(key, value).ok());
           local[key] = value;
         } else if (local.count(key)) {
-          ASSERT_TRUE(db->Delete(t, key).ok());
+          ASSERT_TRUE(t.Delete(key).ok());
           local.erase(key);
         }
       }
       if (rng.Bernoulli(0.75)) {
-        ASSERT_TRUE(db->Commit(t).ok());
+        ASSERT_TRUE(t.Commit().ok());
         committed = local;
       } else {
-        ASSERT_TRUE(db->Abort(t).ok());
+        ASSERT_TRUE(t.Abort().ok());
       }
     }
     // One in-flight transaction that dies with the crash.
-    Transaction* loser = db->Begin();
+    Txn loser = db->BeginTxn();
     for (int op = 0; op < 10; ++op) {
-      db->Put(loser, Key(static_cast<int>(rng.Uniform(400))), "loser");
+      loser.Put(Key(static_cast<int>(rng.Uniform(400))), "loser");
     }
     // Random operational events.
     if (rng.Bernoulli(0.5)) {
@@ -612,7 +612,7 @@ TEST(DatabaseCrashPropertyTest, RandomWorkloadRandomCrashes) {
 
     // R2: exactly the committed state, tree invariants intact.
     for (const auto& [k, v] : committed) {
-      auto got = db->Get(nullptr, k);
+      auto got = db->Get(k);
       ASSERT_TRUE(got.ok()) << "round " << round << " key " << k;
       EXPECT_EQ(*got, v);
     }

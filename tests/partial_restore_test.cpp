@@ -198,11 +198,11 @@ TEST(PartialRestoreTest, PageBornAfterBackupLoadsFromItsPerPageSource) {
   // tiny per-page backup threshold upgrades their PRI references from
   // the format record to an individual copy on first write-back.
   for (int base = 1500; base < 3000; base += 500) {
-    Transaction* t = db->Begin();
+    Txn t = db->BeginTxn();
     for (int i = base; i < base + 500; ++i) {
-      ASSERT_TRUE(db->Insert(t, Key(i), "post-backup").ok());
+      ASSERT_TRUE(t.Insert(Key(i), "post-backup").ok());
     }
-    ASSERT_TRUE(db->Commit(t).ok());
+    ASSERT_TRUE(t.Commit().ok());
   }
   ASSERT_TRUE(db->FlushAll().ok());
   int young_key = -1;
@@ -230,7 +230,7 @@ TEST(PartialRestoreTest, PageBornAfterBackupLoadsFromItsPerPageSource) {
   ASSERT_TRUE(rec.ok()) << rec.status().ToString();
   EXPECT_EQ(rec->path, RecoveryPath::kPartialRestore);
   EXPECT_EQ(rec->media.pages_restored, 1u);
-  auto v = db->Get(nullptr, Key(young_key));
+  auto v = db->Get(Key(young_key));
   ASSERT_TRUE(v.ok()) << v.status().ToString();
   EXPECT_EQ(*v, "u3");
   ASSERT_TRUE(db->CheckOffline(nullptr).ok());
@@ -242,9 +242,9 @@ TEST(PartialRestoreTest, DirtyBufferedPagesAreSkippedNotRestored) {
 
   // Dirty a leaf in the pool; its device image is legitimately stale and
   // must NOT be "recovered" backward under the in-memory copy.
-  Transaction* t = db->Begin();
-  ASSERT_TRUE(db->Update(t, Key(0), "dirty-in-pool").ok());
-  ASSERT_TRUE(db->Commit(t).ok());
+  Txn t = db->BeginTxn();
+  ASSERT_TRUE(t.Update(Key(0), "dirty-in-pool").ok());
+  ASSERT_TRUE(t.Commit().ok());
   auto leaf = db->LeafPageOf(Key(0));
   ASSERT_TRUE(leaf.ok());
   ASSERT_TRUE(db->pool()->IsDirty(*leaf));
@@ -253,7 +253,7 @@ TEST(PartialRestoreTest, DirtyBufferedPagesAreSkippedNotRestored) {
   ASSERT_TRUE(rec.ok()) << rec.status().ToString();
   EXPECT_EQ(rec->path, RecoveryPath::kNone);
   EXPECT_EQ(rec->skipped_dirty, 1u);
-  auto v = db->Get(nullptr, Key(0));
+  auto v = db->Get(Key(0));
   ASSERT_TRUE(v.ok());
   EXPECT_EQ(*v, "dirty-in-pool");
 }
@@ -384,9 +384,9 @@ TEST(ScrubberAccountingTest, WriteBackRaceIsSkippedNotRepairedBackward) {
   }
   ASSERT_FALSE(key.empty());
   db->data_device()->CapturePageVersion(victim);
-  Transaction* t = db->Begin();
-  ASSERT_TRUE(db->Update(t, key, "newer").ok());
-  ASSERT_TRUE(db->Commit(t).ok());
+  Txn t = db->BeginTxn();
+  ASSERT_TRUE(t.Update(key, "newer").ok());
+  ASSERT_TRUE(t.Commit().ok());
   ASSERT_TRUE(db->pool()->FlushPage(victim).ok());
   ASSERT_TRUE(db->pool()->IsCached(victim));
   ASSERT_FALSE(db->pool()->IsDirty(victim));

@@ -127,7 +127,7 @@ TEST(RecoveryCoordinatorTest, ForegroundReadSelfHeals) {
   std::string before = SnapshotPages(db.get(), {victim}).front();
   db->data_device()->InjectSilentCorruption(victim);
 
-  auto v = db->Get(nullptr, key);
+  auto v = db->Get(key);
   ASSERT_TRUE(v.ok()) << v.status().ToString();
   EXPECT_EQ(*v, "r3");  // MakeChainedBurstDb's last round
 
@@ -170,7 +170,7 @@ TEST(RecoveryCoordinatorTest, ConcurrentReadersShareOneRepair) {
   readers.reserve(kReaders);
   for (int i = 0; i < kReaders; ++i) {
     readers.emplace_back([&] {
-      auto v = db->Get(nullptr, key);
+      auto v = db->Get(key);
       if (v.ok() && *v == "r3") ok_reads.fetch_add(1);
     });
   }

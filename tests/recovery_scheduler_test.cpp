@@ -157,7 +157,7 @@ TEST(RecoverySchedulerTest, ForegroundReadsStillFunnelThroughScheduler) {
   auto db = MakeChainedDb(options, &victims);
   CorruptAll(db.get(), {victims[0]});
 
-  auto v = db->Get(nullptr, Key(0));
+  auto v = db->Get(Key(0));
   ASSERT_TRUE(v.ok()) << v.status().ToString();
   EXPECT_GT(db->recovery_scheduler()->stats().single_repairs, 0u);
   EXPECT_GT(db->single_page_recovery()->stats().repairs_succeeded, 0u);
@@ -171,7 +171,7 @@ TEST(RecoverySchedulerTest, ForegroundReadsRouteThroughTheFunnelByDefault) {
   auto db = MakeChainedDb(FastOptions(), &victims);
   CorruptAll(db.get(), {victims[0]});
 
-  auto v = db->Get(nullptr, Key(0));
+  auto v = db->Get(Key(0));
   ASSERT_TRUE(v.ok()) << v.status().ToString();
   DatabaseStats stats = db->Stats();
   EXPECT_EQ(stats.scheduler.single_repairs, 0u);

@@ -63,9 +63,9 @@ TEST(CheckpointBodyTest, DecodeRejectsTruncation) {
 
 TEST(CheckpointTest, FlushesDirtyPagesAndWritesEndRecord) {
   auto db = std::move(Database::Create(FastOptions())).value();
-  Transaction* t = db->Begin();
-  for (int i = 0; i < 500; ++i) SPF_CHECK_OK(db->Insert(t, Key(i), "v"));
-  SPF_CHECK_OK(db->Commit(t));
+  Txn t = db->BeginTxn();
+  for (int i = 0; i < 500; ++i) SPF_CHECK_OK(t.Insert(Key(i), "v"));
+  SPF_CHECK_OK(t.Commit());
   ASSERT_GT(db->pool()->DirtyPages().size(), 0u);
 
   auto stats = db->Checkpoint();
@@ -82,8 +82,8 @@ TEST(CheckpointTest, FlushesDirtyPagesAndWritesEndRecord) {
 
 TEST(CheckpointTest, ActiveTxnAppearsInEndRecord) {
   auto db = std::move(Database::Create(FastOptions())).value();
-  Transaction* active = db->Begin();
-  SPF_CHECK_OK(db->Insert(active, "live", "x"));
+  Txn active = db->BeginTxn();
+  SPF_CHECK_OK(active.Insert("live", "x"));
   auto stats = db->Checkpoint();
   ASSERT_TRUE(stats.ok());
 
@@ -93,19 +93,19 @@ TEST(CheckpointTest, ActiveTxnAppearsInEndRecord) {
   ASSERT_TRUE(body.ok());
   bool found = false;
   for (const auto& e : body->txn_table) {
-    if (e.txn_id == active->id()) found = true;
+    if (e.txn_id == active.id()) found = true;
   }
   EXPECT_TRUE(found);
-  SPF_CHECK_OK(db->Commit(active));
+  SPF_CHECK_OK(active.Commit());
 }
 
 TEST(CheckpointTest, PriTailDoesNotCascadeWithinOneCheckpoint) {
   // Section 5.2.6: writing PRI pages dirties OTHER PRI windows; those are
   // deliberately left for the next checkpoint rather than chased.
   auto db = std::move(Database::Create(FastOptions())).value();
-  Transaction* t = db->Begin();
-  for (int i = 0; i < 500; ++i) SPF_CHECK_OK(db->Insert(t, Key(i), "v"));
-  SPF_CHECK_OK(db->Commit(t));
+  Txn t = db->BeginTxn();
+  for (int i = 0; i < 500; ++i) SPF_CHECK_OK(t.Insert(Key(i), "v"));
+  SPF_CHECK_OK(t.Commit());
   ASSERT_TRUE(db->Checkpoint().ok());
   // The cascade leaves some window dirty — and the next checkpoint picks
   // it up without needing data-page work.
@@ -116,24 +116,24 @@ TEST(CheckpointTest, PriTailDoesNotCascadeWithinOneCheckpoint) {
 
 TEST(RollbackTest, FullRollbackCompensatesEverything) {
   auto db = std::move(Database::Create(FastOptions())).value();
-  Transaction* setup = db->Begin();
-  SPF_CHECK_OK(db->Insert(setup, "a", "1"));
-  SPF_CHECK_OK(db->Insert(setup, "b", "2"));
-  SPF_CHECK_OK(db->Commit(setup));
+  Txn setup = db->BeginTxn();
+  SPF_CHECK_OK(setup.Insert("a", "1"));
+  SPF_CHECK_OK(setup.Insert("b", "2"));
+  SPF_CHECK_OK(setup.Commit());
 
-  Transaction* t = db->Begin();
-  SPF_CHECK_OK(db->Insert(t, "c", "3"));
-  SPF_CHECK_OK(db->Update(t, "a", "1b"));
-  SPF_CHECK_OK(db->Delete(t, "b"));
+  Txn t = db->BeginTxn();
+  SPF_CHECK_OK(t.Insert("c", "3"));
+  SPF_CHECK_OK(t.Update("a", "1b"));
+  SPF_CHECK_OK(t.Delete("b"));
 
   RollbackExecutor exec(db->log(), db->tree(), db->txns());
-  auto stats = exec.Rollback(t);
+  auto stats = exec.Rollback(t.handle());
   ASSERT_TRUE(stats.ok());
   EXPECT_EQ(stats->records_undone, 3u);
 
-  EXPECT_TRUE(db->Get(nullptr, "c").status().IsNotFound());
-  EXPECT_EQ(*db->Get(nullptr, "a"), "1");
-  EXPECT_EQ(*db->Get(nullptr, "b"), "2");
+  EXPECT_TRUE(db->Get("c").status().IsNotFound());
+  EXPECT_EQ(*db->Get("a"), "1");
+  EXPECT_EQ(*db->Get("b"), "2");
 }
 
 TEST(RollbackTest, ClrChainSkipsAlreadyCompensatedWork) {
@@ -141,44 +141,44 @@ TEST(RollbackTest, ClrChainSkipsAlreadyCompensatedWork) {
   // (logging a CLR), then run the executor — it must skip the already-
   // compensated record via undo_next and not compensate twice.
   auto db = std::move(Database::Create(FastOptions())).value();
-  Transaction* setup = db->Begin();
-  SPF_CHECK_OK(db->Insert(setup, "x", "orig"));
-  SPF_CHECK_OK(db->Commit(setup));
+  Txn setup = db->BeginTxn();
+  SPF_CHECK_OK(setup.Insert("x", "orig"));
+  SPF_CHECK_OK(setup.Commit());
 
-  Transaction* t = db->Begin();
-  SPF_CHECK_OK(db->Update(t, "x", "v1"));
-  SPF_CHECK_OK(db->Update(t, "x", "v2"));
+  Txn t = db->BeginTxn();
+  SPF_CHECK_OK(t.Update("x", "v1"));
+  SPF_CHECK_OK(t.Update("x", "v2"));
 
   // Manual partial undo of the SECOND update.
-  auto rec2 = db->log()->Read(t->last_lsn());
+  auto rec2 = db->log()->Read(t.handle()->last_lsn());
   ASSERT_TRUE(rec2.ok());
-  ASSERT_TRUE(db->tree()->UndoRecord(t, *rec2).ok());
-  EXPECT_EQ(*db->Get(nullptr, "x"), "v1");
+  ASSERT_TRUE(db->tree()->UndoRecord(t.handle(), *rec2).ok());
+  EXPECT_EQ(*db->Get("x"), "v1");
 
   RollbackExecutor exec(db->log(), db->tree(), db->txns());
-  auto stats = exec.Rollback(t);
+  auto stats = exec.Rollback(t.handle());
   ASSERT_TRUE(stats.ok());
   EXPECT_EQ(stats->records_undone, 1u);  // only the FIRST update remained
   EXPECT_GE(stats->clr_skips, 1u);
-  EXPECT_EQ(*db->Get(nullptr, "x"), "orig");
+  EXPECT_EQ(*db->Get("x"), "orig");
 }
 
 TEST(RollbackTest, RollbackAfterSplitFindsMovedKeys) {
   // Logical undo must re-locate keys that splits moved to other pages.
   auto db = std::move(Database::Create(FastOptions())).value();
-  Transaction* t = db->Begin();
-  SPF_CHECK_OK(db->Insert(t, Key(0), std::string(400, 'a')));
+  Txn t = db->BeginTxn();
+  SPF_CHECK_OK(t.Insert(Key(0), std::string(400, 'a')));
   // Big inserts force splits while t is still active; t's first insert
   // may migrate to a different leaf.
   for (int i = 1; i < 200; ++i) {
-    SPF_CHECK_OK(db->Insert(t, Key(i), std::string(400, 'b')));
+    SPF_CHECK_OK(t.Insert(Key(i), std::string(400, 'b')));
   }
   RollbackExecutor exec(db->log(), db->tree(), db->txns());
-  auto stats = exec.Rollback(t);
+  auto stats = exec.Rollback(t.handle());
   ASSERT_TRUE(stats.ok());
   EXPECT_EQ(stats->records_undone, 200u);
   for (int i = 0; i < 200; i += 20) {
-    EXPECT_TRUE(db->Get(nullptr, Key(i)).status().IsNotFound()) << i;
+    EXPECT_TRUE(db->Get(Key(i)).status().IsNotFound()) << i;
   }
   ASSERT_TRUE(db->CheckOffline(nullptr).ok());
 }
@@ -196,9 +196,9 @@ TEST(UpdateCountCadenceTest, PerPageCopyReplayRestartsCadenceFromCopy) {
   options.backup_policy.updates_threshold = 3;
   auto db = std::move(Database::Create(options)).value();
 
-  Transaction* t = db->Begin();
-  SPF_CHECK_OK(db->Insert(t, "k", "v0"));
-  SPF_CHECK_OK(db->Commit(t));
+  Txn t = db->BeginTxn();
+  SPF_CHECK_OK(t.Insert("k", "v0"));
+  SPF_CHECK_OK(t.Commit());
   auto leaf = db->LeafPageOf("k");
   ASSERT_TRUE(leaf.ok());
   PageId p = *leaf;
@@ -208,14 +208,14 @@ TEST(UpdateCountCadenceTest, PerPageCopyReplayRestartsCadenceFromCopy) {
   ASSERT_TRUE(db->FlushAll().ok());
   // Write-back 2: image carries count 3 — per-page copy taken of that
   // image, frame counter resets to 0.
-  t = db->Begin();
-  SPF_CHECK_OK(db->Update(t, "k", "v1"));
-  SPF_CHECK_OK(db->Commit(t));
+  t = db->BeginTxn();
+  SPF_CHECK_OK(t.Update("k", "v1"));
+  SPF_CHECK_OK(t.Commit());
   ASSERT_TRUE(db->FlushAll().ok());
   // Write-back 3: one update since the copy — image carries count 1.
-  t = db->Begin();
-  SPF_CHECK_OK(db->Update(t, "k", "v2"));
-  SPF_CHECK_OK(db->Commit(t));
+  t = db->BeginTxn();
+  SPF_CHECK_OK(t.Update("k", "v2"));
+  SPF_CHECK_OK(t.Commit());
   ASSERT_TRUE(db->FlushAll().ok());
 
   auto entry = db->pri()->Lookup(p);
@@ -242,15 +242,15 @@ TEST(UpdateCountCadenceTest, PerPageCopyReplayRestartsCadenceFromCopy) {
   EXPECT_TRUE(after.view().Verify(p).ok());
   EXPECT_EQ(after.view().update_count(), 4u);
   EXPECT_NE(after.view().update_count(), before.view().update_count());
-  EXPECT_EQ(*db->Get(nullptr, "k"), "v2");
+  EXPECT_EQ(*db->Get("k"), "v2");
 }
 
 TEST(RollbackTest, ReadOnlyTransactionRollbackIsTrivial) {
   auto db = std::move(Database::Create(FastOptions())).value();
-  Transaction* t = db->Begin();
-  EXPECT_TRUE(db->Get(t, "nothing").status().IsNotFound());
+  Txn t = db->BeginTxn();
+  EXPECT_TRUE(t.Get("nothing").status().IsNotFound());
   RollbackExecutor exec(db->log(), db->tree(), db->txns());
-  auto stats = exec.Rollback(t);
+  auto stats = exec.Rollback(t.handle());
   ASSERT_TRUE(stats.ok());
   EXPECT_EQ(stats->records_undone, 0u);
   EXPECT_EQ(db->txns()->active_count(), 0u);

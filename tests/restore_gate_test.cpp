@@ -101,8 +101,8 @@ TEST(RestoreGateTest, LiveTrafficCommitsThroughFullRestore) {
   std::vector<std::string> before = SnapshotPages(db.get(), victims);
 
   // Transaction A: in flight at failure time, working set cached.
-  Transaction* a = db->Begin();
-  ASSERT_TRUE(db->Update(a, key_a, "live-a").ok());
+  Txn a = db->BeginTxn();
+  ASSERT_TRUE(a.Update(key_a, "live-a").ok());
 
   db->data_device()->FailDevice();
 
@@ -130,26 +130,26 @@ TEST(RestoreGateTest, LiveTrafficCommitsThroughFullRestore) {
 
   // A commits during the drain phase — the restore waits for it.
   ASSERT_TRUE(WaitFor([&] { return db->txns()->gate_closed(); }));
-  EXPECT_TRUE(db->Commit(a).ok());
+  EXPECT_TRUE(a.Commit().ok());
 
   // Transaction B: begun during the restore, admitted early; its reads
   // fault on pages the sweep has not reached and come back on demand.
   ASSERT_TRUE(WaitFor([&] { return restore_running.load(); }));
-  Transaction* b = db->Begin();
-  auto vb = db->Get(b, key_b);
+  Txn b = db->BeginTxn();
+  auto vb = b.Get(key_b);
   ASSERT_TRUE(vb.ok()) << vb.status().ToString();
   EXPECT_EQ(*vb, "r3");  // MakeChainedBurstDb's last round
-  ASSERT_TRUE(db->Update(b, key_b, "live-b").ok());
-  EXPECT_TRUE(db->Commit(b).ok());
+  ASSERT_TRUE(b.Update(key_b, "live-b").ok());
+  EXPECT_TRUE(b.Commit().ok());
   bool committed_mid_restore = !restore_done.load();
 
   restorer.join();
   ASSERT_TRUE(result.ok()) << result.status().ToString();
 
   // Transaction C: after the restore, business as usual.
-  Transaction* c = db->Begin();
-  ASSERT_TRUE(db->Update(c, key_a, "post-restore").ok());
-  EXPECT_TRUE(db->Commit(c).ok());
+  Txn c = db->BeginTxn();
+  ASSERT_TRUE(c.Update(key_a, "post-restore").ok());
+  EXPECT_TRUE(c.Commit().ok());
 
   // Nothing was aborted: A drained, B was admitted early, C is ordinary.
   EXPECT_EQ(result->phases.doomed, 0u);
@@ -184,8 +184,8 @@ TEST(RestoreGateTest, LiveTrafficCommitsThroughFullRestore) {
   EXPECT_EQ(db->pool()->PinnedFrames(), 0u);
 
   // And the committed live traffic is durable and consistent.
-  EXPECT_EQ(*db->Get(nullptr, key_a), "post-restore");
-  EXPECT_EQ(*db->Get(nullptr, key_b), "live-b");
+  EXPECT_EQ(*db->Get(key_a), "post-restore");
+  EXPECT_EQ(*db->Get(key_b), "live-b");
   ASSERT_TRUE(db->CheckOffline(nullptr).ok());
 }
 
@@ -198,8 +198,8 @@ TEST(RestoreGateTest, DrainDeadlineDoomsStragglers) {
   std::vector<PageId> victims;
   auto db = MakeChainedDb(options, &victims);
 
-  Transaction* straggler = db->Begin();
-  ASSERT_TRUE(db->Insert(straggler, "in-flight", "x").ok());
+  Txn straggler = db->BeginTxn();
+  ASSERT_TRUE(straggler.Insert("in-flight", "x").ok());
   db->log()->ForceAll();  // durable, but never committed
 
   db->data_device()->FailDevice();
@@ -210,31 +210,35 @@ TEST(RestoreGateTest, DrainDeadlineDoomsStragglers) {
   EXPECT_GE(stats->phases.drain_wall_ms, 40.0);
 
   // The straggler's replayed update was compensated.
-  EXPECT_TRUE(db->Get(nullptr, "in-flight").status().IsNotFound());
-  // The zombie handle is safe: every operation reports the forced abort.
-  EXPECT_TRUE(db->Commit(straggler).IsAborted());
-  EXPECT_TRUE(db->Update(straggler, "y", "z").IsAborted());
-  EXPECT_TRUE(db->Get(straggler, Key(0)).status().IsAborted());
-  EXPECT_TRUE(db->Abort(straggler).IsAborted());
+  EXPECT_TRUE(db->Get("in-flight").status().IsNotFound());
+  // The doomed handle is safe and classified: every operation reports
+  // the forced abort as kDoomed (dead handle, database healing — begin a
+  // fresh transaction), never as a retryable error.
+  TxnError commit_err = straggler.Commit();
+  EXPECT_EQ(commit_err.kind(), TxnError::Kind::kDoomed);
+  EXPECT_FALSE(commit_err.retryable());
+  EXPECT_TRUE(commit_err.status().IsAborted());
+  EXPECT_EQ(straggler.Update("y", "z").kind(), TxnError::Kind::kDoomed);
+  EXPECT_TRUE(straggler.Get(Key(0)).status().IsAborted());
+  EXPECT_EQ(straggler.last_error().kind(), TxnError::Kind::kDoomed);
+  EXPECT_FALSE(straggler.active());
+  EXPECT_TRUE(straggler.doomed());
   EXPECT_EQ(db->txns()->active_count(), 0u);
   EXPECT_EQ(db->txns()->stats().doomed, 1u);
-  EXPECT_EQ(db->txns()->zombie_count(), 1u);
 
-  EXPECT_EQ(*db->Get(nullptr, Key(0)), "r3");
+  EXPECT_EQ(*db->Get(Key(0)), "r3");
   ASSERT_TRUE(db->CheckOffline(nullptr).ok());
 
-  // Zombie reclamation: the object survives the NEXT restore protocol
-  // (handles may still be probed until it begins) and is freed when the
-  // second one starts — retained memory is bounded by the stragglers of
-  // the last two restores, not the database's lifetime. The straggler
-  // handle must not be touched past this point.
-  straggler = nullptr;
+  // Shared-state teardown replaces the old zombie-retention scheme: the
+  // engine retired the transaction during the restore, so the handle
+  // holds the LAST reference; dropping it frees the object immediately
+  // (ASan owns the leak check), and the next restores owe it nothing.
+  straggler = Txn();
   db->data_device()->FailDevice();
   ASSERT_TRUE(db->RecoverMedia().ok());
-  EXPECT_EQ(db->txns()->zombie_count(), 1u);
   db->data_device()->FailDevice();
   ASSERT_TRUE(db->RecoverMedia().ok());
-  EXPECT_EQ(db->txns()->zombie_count(), 0u);
+  EXPECT_EQ(db->txns()->active_count(), 0u);
 }
 
 // restore_early_admission=false: the admission gate stays closed for the
@@ -266,9 +270,9 @@ TEST(RestoreGateTest, EarlyAdmissionOffParksUntilRestoreCompletes) {
   ASSERT_TRUE(WaitFor([&] { return restore_running.load(); }));
   std::atomic<bool> b_committed{false};
   std::thread parked([&] {
-    Transaction* b = db->Begin();  // parks at the closed gate
-    auto v = db->Get(b, key);
-    if (v.ok()) (void)db->Commit(b);
+    Txn b = db->BeginTxn();  // parks at the closed gate
+    auto v = b.Get(key);
+    if (v.ok()) (void)b.Commit();
     b_committed.store(true);
   });
 
@@ -300,10 +304,10 @@ TEST(RestoreGateTest, BusyStragglerRollbackDefersToOwnerThread) {
   std::vector<PageId> victims;
   auto db = MakeChainedDb(options, &victims);
 
-  Transaction* straggler = db->Begin();
-  ASSERT_TRUE(db->Insert(straggler, "in-flight", "x").ok());
+  Txn straggler = db->BeginTxn();
+  ASSERT_TRUE(straggler.Insert("in-flight", "x").ok());
   db->log()->ForceAll();  // durable, but never committed
-  straggler->BeginOp();   // an operation that outlives every deadline
+  straggler.handle()->BeginOp();  // an operation outliving every deadline
 
   db->data_device()->FailDevice();
   auto stats = db->RecoverMedia();
@@ -315,17 +319,16 @@ TEST(RestoreGateTest, BusyStragglerRollbackDefersToOwnerThread) {
   // The restore completed its protocol without racing the busy op: the
   // straggler's replayed update is still on the restored device (its
   // locks are still held), pending the owner-side compensation.
-  EXPECT_EQ(*db->Get(nullptr, "in-flight"), "x");
+  EXPECT_EQ(*db->Get("in-flight"), "x");
   EXPECT_EQ(db->txns()->active_count(), 1u);
 
   // The op drains; the owner's next facade call runs the deferred
   // rollback before reporting the forced abort.
-  straggler->EndOp();
-  EXPECT_TRUE(db->Commit(straggler).IsAborted());
-  EXPECT_TRUE(db->Get(nullptr, "in-flight").status().IsNotFound());
+  straggler.handle()->EndOp();
+  EXPECT_EQ(straggler.Commit().kind(), TxnError::Kind::kDoomed);
+  EXPECT_TRUE(db->Get("in-flight").status().IsNotFound());
   EXPECT_EQ(db->txns()->active_count(), 0u);
-  EXPECT_EQ(db->txns()->zombie_count(), 1u);
-  EXPECT_EQ(*db->Get(nullptr, Key(0)), "r3");
+  EXPECT_EQ(*db->Get(Key(0)), "r3");
   ASSERT_TRUE(db->CheckOffline(nullptr).ok());
 }
 
@@ -459,6 +462,39 @@ TEST(RestoreGateTest, ScrubberSkipsTicksDuringRestore) {
   db->scrubber()->Stop();
 
   EXPECT_GE(db->scrubber()->totals().restore_skips, 1u);
+  ASSERT_TRUE(db->CheckOffline(nullptr).ok());
+}
+
+// A synchronous SweepAll issued while a full restore is running does not
+// race the half-restored device (which would flood the funnel with moot
+// reports): it waits the protocol out, then sweeps the restored device
+// clean — counted as a restore_wait, unlike the background ticks' skips.
+TEST(RestoreGateTest, SyncSweepWaitsOutActiveRestore) {
+  DatabaseOptions options = FastOptions();
+  options.restore_segment_pages = 64;
+  std::vector<PageId> victims;
+  auto db = MakeChainedDb(options, &victims);
+
+  std::atomic<bool> restore_running{false};
+  db->restore_gate()->SetObserver([&](uint64_t, uint64_t) {
+    restore_running.store(true);
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  });
+
+  db->data_device()->FailDevice();
+  StatusOr<MediaRecoveryStats> restore_result = Status::Internal("not run");
+  std::thread restorer([&] { restore_result = db->RecoverMedia(); });
+  ASSERT_TRUE(WaitFor([&] { return restore_running.load(); }));
+
+  // Issued mid-restore: must block until the protocol ends, then find a
+  // fully restored, failure-free device.
+  auto sweep = db->Scrub();
+  restorer.join();
+  ASSERT_TRUE(restore_result.ok()) << restore_result.status().ToString();
+  ASSERT_TRUE(sweep.ok()) << sweep.status().ToString();
+  EXPECT_EQ(sweep->failures_detected, 0u);
+  EXPECT_GE(db->scrubber()->totals().restore_waits, 1u);
+  EXPECT_FALSE(db->restore_gate()->active());
   ASSERT_TRUE(db->CheckOffline(nullptr).ok());
 }
 

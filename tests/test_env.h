@@ -77,14 +77,14 @@ class TestEnv {
   /// Convenience: run `fn(txn)` in a committed user transaction.
   template <typename Fn>
   Status WithTxn(Fn&& fn) {
-    Transaction* txn = txns->Begin();
-    Status s = fn(txn);
+    std::shared_ptr<Transaction> txn = txns->Begin();
+    Status s = fn(txn.get());
     if (!s.ok()) {
-      txns->BeginAbort(txn);
-      txns->FinishAbort(txn);  // NOTE: without undo; use only in tests
+      txns->BeginAbort(txn.get());
+      txns->FinishAbort(txn.get());  // NOTE: without undo; use only in tests
       return s;
     }
-    return txns->Commit(txn);
+    return txns->Commit(txn.get());
   }
 
   EnvOptions opts_;

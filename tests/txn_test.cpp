@@ -35,8 +35,8 @@ class TxnTest : public ::testing::Test {
 };
 
 TEST_F(TxnTest, IdsAreUniqueAndMonotonic) {
-  Transaction* a = txns_.Begin();
-  Transaction* b = txns_.Begin();
+  Transaction* a = txns_.Begin().get();
+  Transaction* b = txns_.Begin().get();
   EXPECT_LT(a->id(), b->id());
   EXPECT_NE(a->id(), kInvalidTxnId);
   EXPECT_EQ(txns_.active_count(), 2u);
@@ -46,7 +46,7 @@ TEST_F(TxnTest, IdsAreUniqueAndMonotonic) {
 }
 
 TEST_F(TxnTest, UserCommitForcesLog) {
-  Transaction* t = txns_.Begin();
+  Transaction* t = txns_.Begin().get();
   LogRecord rec = ContentRecord("x");
   t->Log(&log_, &rec);
   EXPECT_LT(log_.durable_lsn(), log_.tail_lsn());
@@ -78,13 +78,13 @@ TEST_F(TxnTest, SystemCommitDoesNotForce) {
 
 TEST_F(TxnTest, ReadOnlyCommitLogsNothing) {
   Lsn before = log_.tail_lsn();
-  Transaction* t = txns_.Begin();
+  Transaction* t = txns_.Begin().get();
   ASSERT_TRUE(txns_.Commit(t).ok());
   EXPECT_EQ(log_.tail_lsn(), before);
 }
 
 TEST_F(TxnTest, PerTxnChainLinksRecords) {
-  Transaction* t = txns_.Begin();
+  Transaction* t = txns_.Begin().get();
   LogRecord r1 = ContentRecord("a");
   LogRecord r2 = ContentRecord("b");
   LogRecord r3 = ContentRecord("c");
@@ -100,14 +100,14 @@ TEST_F(TxnTest, PerTxnChainLinksRecords) {
 }
 
 TEST_F(TxnTest, CommitReleasesLocks) {
-  Transaction* t = txns_.Begin();
+  Transaction* t = txns_.Begin().get();
   ASSERT_TRUE(locks_.Lock(t->id(), "key", LockMode::kExclusive).ok());
   txns_.Commit(t);
   EXPECT_FALSE(locks_.IsLocked("key"));
 }
 
 TEST_F(TxnTest, AbortPathLogsAbortAndEnd) {
-  Transaction* t = txns_.Begin();
+  Transaction* t = txns_.Begin().get();
   LogRecord rec = ContentRecord("x");
   t->Log(&log_, &rec);
   ASSERT_TRUE(txns_.BeginAbort(t).ok());
@@ -124,7 +124,7 @@ TEST_F(TxnTest, AbortPathLogsAbortAndEnd) {
 }
 
 TEST_F(TxnTest, ActiveTxnTableSnapshot) {
-  Transaction* a = txns_.Begin();
+  Transaction* a = txns_.Begin().get();
   Transaction* sys = txns_.BeginSystem();
   LogRecord rec = ContentRecord("x");
   a->Log(&log_, &rec);
@@ -155,7 +155,7 @@ TEST_F(TxnTest, AdoptLoserRestoresChain) {
   EXPECT_EQ(loser->undo_next_lsn(), 1234u);
   EXPECT_EQ(loser->state(), TxnState::kActive);
   // Ids continue beyond the adopted one.
-  Transaction* next = txns_.Begin();
+  Transaction* next = txns_.Begin().get();
   EXPECT_GT(next->id(), 77u);
   txns_.Commit(next);
   txns_.BeginAbort(loser);
@@ -163,11 +163,11 @@ TEST_F(TxnTest, AdoptLoserRestoresChain) {
 }
 
 TEST_F(TxnTest, StatsTrackOutcomes) {
-  Transaction* a = txns_.Begin();
+  Transaction* a = txns_.Begin().get();
   LogRecord rec = ContentRecord("x");
   a->Log(&log_, &rec);
   txns_.Commit(a);
-  Transaction* b = txns_.Begin();
+  Transaction* b = txns_.Begin().get();
   txns_.BeginAbort(b);
   txns_.FinishAbort(b);
   Transaction* s = txns_.BeginSystem();
@@ -181,7 +181,7 @@ TEST_F(TxnTest, StatsTrackOutcomes) {
 }
 
 TEST_F(TxnTest, LoggingOnFinishedTxnAborts) {
-  Transaction* t = txns_.Begin();
+  Transaction* t = txns_.Begin().get();
   txns_.Commit(t);
   // t is retired; using it again is a programming error (death test).
   // (Covered by the CHECK in Transaction::Stamp; not exercised here to

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Deprecation firewall: keep the legacy v1 facade out of new code.
+
+Greps tests/, examples/, and bench/ for the deprecated raw-pointer entry
+points of the pre-v2 client API (Database::Begin() -> Transaction*,
+facade ops taking a Transaction*, unlocked reads spelled Get(nullptr, ...))
+so they cannot creep back in. The engine-internal TxnManager surface
+(txns->Begin(), BeginSystem) is allowed — tests below the facade use it
+legitimately; examples and benches are pure facade clients and may not
+mention Transaction* at all.
+
+Exits non-zero listing every violation. Run from the repo root:
+
+    python3 tools/check_deprecated_api.py
+"""
+import re
+import sys
+from pathlib import Path
+
+# Patterns that always mark legacy-facade usage, in any scanned tree.
+FACADE_VIOLATIONS = [
+    # db->Begin() / db.Begin() — the legacy entry point. The TxnManager's
+    # own Begin (txns->Begin / txns()->Begin / txns_.Begin) is engine
+    # surface, not the deprecated facade.
+    re.compile(r'(?<!txns)(?<!txns\(\))(?:->|\.)\s*Begin\s*\(\s*\)'),
+    re.compile(r'\bDatabase::Begin\b'),
+    # Legacy facade ops taking the transaction first: db->Insert(t, ...).
+    re.compile(r'\bdb\w*(?:->|\.)(?:Insert|Update|Put|Delete|Get|Commit|Abort)'
+               r'\(\s*(?!")[A-Za-z_]\w*\s*,'),
+    # Unlocked reads spelled the v1 way (the BTree's own
+    # tree->Get(nullptr, ...) is below-facade surface and stays).
+    re.compile(r'\bdb\w*(?:->|\.)Get\(\s*nullptr\s*,'),
+]
+
+# Raw Transaction* handles: forbidden in the pure facade clients.
+RAW_HANDLE = re.compile(r'\bTransaction\s*\*')
+
+# Engine-internal lines the TxnManager rule must not flag.
+ALLOWED = re.compile(r'txns(?:\(\)|_)?\s*(?:->|\.)\s*Begin|BeginSystem')
+
+
+def scan(path: Path, forbid_raw_handle: bool) -> list:
+    violations = []
+    for lineno, line in enumerate(path.read_text().splitlines(), 1):
+        stripped = line.strip()
+        if stripped.startswith('//'):
+            continue
+        checkable = ALLOWED.sub('', line)
+        for pattern in FACADE_VIOLATIONS:
+            if pattern.search(checkable):
+                violations.append((path, lineno, stripped))
+                break
+        else:
+            if forbid_raw_handle and RAW_HANDLE.search(checkable):
+                violations.append((path, lineno, stripped))
+    return violations
+
+
+def main() -> int:
+    root = Path(__file__).resolve().parent.parent
+    trees = [
+        (root / 'tests', False),     # below-facade tests may borrow Transaction*
+        (root / 'examples', True),   # pure facade clients: no raw handles at all
+        (root / 'bench', True),
+    ]
+    violations = []
+    for tree, forbid_raw in trees:
+        for path in sorted(tree.rglob('*.h')) + sorted(tree.rglob('*.cpp')):
+            violations.extend(scan(path, forbid_raw))
+    if violations:
+        print('deprecated v1 facade usage found '
+              '(use Txn/WriteBatch — see db/session.h):')
+        for path, lineno, line in violations:
+            print(f'  {path.relative_to(root)}:{lineno}: {line}')
+        return 1
+    print('deprecation firewall: clean '
+          f'({sum(1 for t, _ in trees for _ in t.rglob("*.[hc]*"))} files)')
+    return 0
+
+
+if __name__ == '__main__':
+    sys.exit(main())

@@ -1,0 +1,41 @@
+#!/usr/bin/env python3
+"""One-shot mechanical migration of facade call sites to the v2 Txn API.
+
+Not installed anywhere; kept for the PR record and deleted call sites'
+archaeology. Handles the regular patterns; semantic call sites
+(restore-gate dooming, crash losers) are fixed by hand.
+"""
+import re
+import sys
+
+RULES = [
+    # Transaction* t = db->Begin();  ->  Txn t = db->BeginTxn();
+    (re.compile(r'Transaction\*\s+(\w+)\s*=\s*(\bdb\w*(?:->|\.))Begin\(\)'),
+     r'Txn \1 = \2BeginTxn()'),
+    # db->Get(nullptr, k)  ->  db->Get(k)
+    (re.compile(r'(\bdb\w*(?:->|\.))Get\(\s*nullptr\s*,\s*'), r'\1Get('),
+    # db->Insert(t, ...) etc  ->  t.Insert(...)
+    (re.compile(r'\bdb\w*(?:->|\.)(Insert|Update|Put|Delete|Get)\(\s*(\w+)\s*,\s*'),
+     lambda m: f'{m.group(2)}.{m.group(1)}('),
+    # db->Commit(t) / db->Abort(t)  ->  t.Commit() / t.Abort()
+    (re.compile(r'\bdb\w*(?:->|\.)(Commit|Abort)\(\s*(\w+)\s*\)'),
+     lambda m: f'{m.group(2)}.{m.group(1)}()'),
+]
+
+
+def migrate(path: str) -> bool:
+    with open(path) as f:
+        text = f.read()
+    orig = text
+    for pattern, repl in RULES:
+        text = pattern.sub(repl, text)
+    if text != orig:
+        with open(path, 'w') as f:
+            f.write(text)
+        return True
+    return False
+
+
+if __name__ == '__main__':
+    for p in sys.argv[1:]:
+        print(('migrated ' if migrate(p) else 'unchanged ') + p)
