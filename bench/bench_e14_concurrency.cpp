@@ -1,0 +1,155 @@
+// E14: multi-threaded OLTP commit throughput through the sharded hot path
+// and the group-commit log.
+//
+// Configuration: Instant data/backup devices and an Hdd100 log device, so
+// the ONLY simulated cost in the workload is the log's commit sync — the
+// axis the paper's section-6 arithmetic prices transaction durability on.
+// Throughput is therefore reported in SIMULATED time: with one writer,
+// every user commit pays its own device sync; with N writers, group
+// commit coalesces concurrent committers into one sync per batch, and the
+// simulated commits-per-second scale with the average group size. Host
+// wall-clock time plays no part in the numbers (the host may have any
+// number of cores); the linger window (`group_commit_interval`) only
+// gives concurrent committers wall time to join a batch.
+//
+// Axes: writer-thread count {1, 2, 4, 8} x {uncontended, contended}.
+// Uncontended writers own disjoint key ranges (different lock shards,
+// different B-tree leaves); contended writers fight over 8 hot keys, so
+// lock waits/timeouts throttle how many committers can overlap.
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/sim_clock.h"
+
+using namespace spf;
+using namespace spf::bench;
+
+namespace {
+
+struct CellResult {
+  uint64_t commits = 0;       // acknowledged commits across all threads
+  uint64_t attempts = 0;      // commit attempts (contended cells lose some)
+  double sim_seconds = 0;     // simulated time spent in the writer phase
+  uint64_t syncs = 0;         // log device syncs (LogStats::forces)
+  double avg_group = 0;       // committers released per sync
+  uint64_t lock_waits = 0;    // requests that blocked
+  uint64_t lock_timeouts = 0; // waits resolved as deadlock
+};
+
+CellResult RunCell(int threads, int txns_per_thread, bool contended) {
+  DatabaseOptions options;
+  options.num_pages = 16384;
+  options.buffer_frames = 4096;
+  options.data_profile = DeviceProfile::Instant();
+  options.backup_profile = DeviceProfile::Instant();
+  options.log_profile = DeviceProfile::Hdd100();
+  // The linger window lets concurrent committers coalesce: the drainer
+  // holds a batch open this much wall time after the first Force arrives.
+  options.group_commit_interval = std::chrono::microseconds(500);
+  auto db_or = Database::Create(options);
+  SPF_CHECK(db_or.ok()) << db_or.status().ToString();
+  auto db = std::move(db_or).value();
+
+  constexpr int kHotKeys = 8;
+  constexpr int kKeysPerTxn = 2;
+
+  // Seed the contended hot set so every writer updates existing keys.
+  if (contended) {
+    Txn t = db->BeginTxn();
+    for (int k = 0; k < kHotKeys; ++k) SPF_CHECK_OK(t.Put(Key(k), "seed"));
+    SPF_CHECK_OK(t.Commit());
+  }
+
+  std::atomic<uint64_t> commits{0};
+  std::atomic<uint64_t> attempts{0};
+  LogStats log_before = db->log()->stats();
+  LockManagerStats locks_before = db->Stats().locks;
+  SimTimer timer(db->clock());
+
+  std::vector<std::thread> writers;
+  for (int w = 0; w < threads; ++w) {
+    writers.emplace_back([&, w] {
+      for (int t = 0; t < txns_per_thread; ++t) {
+        Txn txn = db->BeginTxn();
+        bool ok = true;
+        for (int k = 0; k < kKeysPerTxn; ++k) {
+          int key = contended ? (w + t + k) % kHotKeys
+                              : w * 1000000 + (t * kKeysPerTxn + k) % 500;
+          if (!txn.Put(Key(key), "e14").ok()) {
+            ok = false;  // lock timeout under contention; txn auto-aborts
+            break;
+          }
+        }
+        attempts++;
+        if (ok && txn.Commit().ok()) commits++;
+      }
+    });
+  }
+  for (auto& th : writers) th.join();
+
+  CellResult r;
+  r.commits = commits.load();
+  r.attempts = attempts.load();
+  r.sim_seconds = timer.ElapsedSeconds();
+  LogStats log_after = db->log()->stats();
+  LockManagerStats locks_after = db->Stats().locks;
+  r.syncs = log_after.forces - log_before.forces;
+  uint64_t batches = log_after.group_commit_batches - log_before.group_commit_batches;
+  uint64_t grouped = log_after.group_commit_commits - log_before.group_commit_commits;
+  r.avg_group = batches > 0 ? static_cast<double>(grouped) / batches : 0.0;
+  r.lock_waits = locks_after.waits - locks_before.waits;
+  r.lock_timeouts = locks_after.timeouts - locks_before.timeouts;
+  return r;
+}
+
+std::string Fmt(const char* fmt, double v) {
+  char buf[64];
+  snprintf(buf, sizeof(buf), fmt, v);
+  return buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Init(argc, argv);
+  const int txns_per_thread = Scaled(400, 25);
+  const std::vector<int> thread_axis = {1, 2, 4, 8};
+
+  printf("E14: multi-threaded commit throughput, sharded locks + group commit\n");
+  printf("(Instant data device, Hdd100 log device: simulated time = commit\n"
+         " syncs only; %d transactions x %d-key writes per thread; group-\n"
+         " commit linger 500 us; throughput in SIMULATED commits/second)\n\n",
+         txns_per_thread, 2);
+
+  for (bool contended : {false, true}) {
+    Table table({"axis", "threads", "commits", "sim time", "commits/sim-s",
+                 "speedup", "log syncs", "avg group", "lock waits",
+                 "timeouts"});
+    double base_tput = 0;
+    for (int threads : thread_axis) {
+      CellResult r = RunCell(threads, txns_per_thread, contended);
+      double tput = r.sim_seconds > 0 ? r.commits / r.sim_seconds : 0;
+      if (threads == 1) base_tput = tput;
+      table.AddRow({contended ? "contended" : "uncontended",
+                    std::to_string(threads), std::to_string(r.commits),
+                    FormatSeconds(r.sim_seconds), Fmt("%.0f", tput),
+                    Fmt("%.2fx", base_tput > 0 ? tput / base_tput : 0),
+                    std::to_string(r.syncs), Fmt("%.2f", r.avg_group),
+                    std::to_string(r.lock_waits),
+                    std::to_string(r.lock_timeouts)});
+    }
+    table.Print();
+    printf("\n");
+  }
+
+  printf("Reading: uncontended writers hit disjoint lock shards and leaves,\n"
+         "so the only shared resource is the log tail — group commit turns\n"
+         "N concurrent forces into one device sync and simulated throughput\n"
+         "scales with the average group size. Contended writers serialize on\n"
+         "8 hot keys: lock waits cap how many committers overlap, and the\n"
+         "group size (and speedup) saturates accordingly.\n");
+  return 0;
+}

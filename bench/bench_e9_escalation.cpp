@@ -194,7 +194,7 @@ void Run() {
     if (funnel) db->funnel()->WaitIdle();
     double downtime = timer.ElapsedSeconds();
 
-    DatabaseStats stats = db->Stats();
+    StatsSnapshot stats = db->Stats();
     std::string label = std::to_string(victims.size()) +
                         "-page burst, 8 readers: " +
                         (funnel ? "funnel-coalesced" : "inline repair");

@@ -125,7 +125,7 @@ int main() {
 
   db->scrubber()->Stop();
   db->funnel()->WaitIdle();
-  DatabaseStats stats = db->Stats();
+  StatsSnapshot stats = db->Stats();
   printf(
       "\nlifetime: injected=%llu detected=%llu reported=%llu\n",
       static_cast<unsigned long long>(total_injected),

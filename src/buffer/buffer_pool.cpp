@@ -30,32 +30,33 @@ void PageGuard::MarkDirty() {
     // admitted just before a restore sealed writes could otherwise dirty
     // the frame and log a record the replay-plan scan already passed.
     // Parking here is safe — the restore sweep needs neither this latch
-    // nor the pool mutex to make progress and wake us. An admission
+    // nor any pool mutex to make progress and wake us. An admission
     // error is deliberately ignored: a FAILED restore never admitted
     // anyone, so the record logged now is covered by the next restore's
     // fresh plan scan.
     (void)pool_->admission_->AwaitRestored(page_id_);
   }
-  std::lock_guard<std::mutex> g(pool_->mu_);
   BufferPool::Frame* f = pool_->frames_[frame_].get();
-  if (!f->dirty) {
-    f->dirty = true;
+  // The exclusive latch serializes this against WriteBack; the store
+  // order (rec_lsn, then dirty with release) is what DirtyPages pairs
+  // its acquire load with.
+  if (!f->dirty.load(std::memory_order_relaxed)) {
     // recLSN: the first record that will dirty this page is the next one
     // appended, i.e. the current log tail.
-    f->rec_lsn = pool_->log_->tail_lsn();
+    f->rec_lsn.store(pool_->log_->tail_lsn(), std::memory_order_relaxed);
+    f->dirty.store(true, std::memory_order_release);
   }
 }
 
 void PageGuard::MarkDirtyForRedo(Lsn rec_lsn) {
   SPF_CHECK(valid());
   SPF_CHECK(mode_ == LatchMode::kExclusive);
-  std::lock_guard<std::mutex> g(pool_->mu_);
   BufferPool::Frame* f = pool_->frames_[frame_].get();
-  if (!f->dirty) {
-    f->dirty = true;
-    f->rec_lsn = rec_lsn;
-  } else if (rec_lsn < f->rec_lsn) {
-    f->rec_lsn = rec_lsn;
+  if (!f->dirty.load(std::memory_order_relaxed)) {
+    f->rec_lsn.store(rec_lsn, std::memory_order_relaxed);
+    f->dirty.store(true, std::memory_order_release);
+  } else if (rec_lsn < f->rec_lsn.load(std::memory_order_relaxed)) {
+    f->rec_lsn.store(rec_lsn, std::memory_order_relaxed);
   }
 }
 
@@ -69,7 +70,10 @@ void PageGuard::Release() {
 
 BufferPool::BufferPool(BufferPoolOptions options, SimDevice* device,
                        LogManager* log)
-    : options_(options), device_(device), log_(log) {
+    : options_(options),
+      device_(device),
+      log_(log),
+      shards_(options.table_shards == 0 ? 1 : options.table_shards) {
   SPF_CHECK_EQ(options_.page_size, device->page_size());
   SPF_CHECK_GT(options_.num_frames, 1u);
   frames_.reserve(options_.num_frames);
@@ -117,10 +121,7 @@ Status BufferPool::LoadPage(PageId id, Frame* f) {
 
   // Single-page failure detected (Figure 8): the page could not be read
   // correctly and with plausible contents. Attempt online repair.
-  {
-    std::lock_guard<std::mutex> g(mu_);
-    stats_.verify_failures++;
-  }
+  stats_.verify_failures.fetch_add(1, std::memory_order_relaxed);
   if (repairer_ == nullptr) {
     // Without single-page recovery support, the failure escalates: the
     // traditional system has no choice but to declare a media failure.
@@ -129,52 +130,65 @@ Status BufferPool::LoadPage(PageId id, Frame* f) {
         " failed verification and no repair is available (escalated): " +
         read_status.ToString());
   }
-  {
-    std::lock_guard<std::mutex> g(mu_);
-    stats_.repairs_attempted++;
-  }
+  stats_.repairs_attempted.fetch_add(1, std::memory_order_relaxed);
   Status repair_status = repairer_->RepairPage(id, f->data.get());
   if (!repair_status.ok()) return repair_status;
-  {
-    std::lock_guard<std::mutex> g(mu_);
-    stats_.repairs_succeeded++;
-  }
+  stats_.repairs_succeeded.fetch_add(1, std::memory_order_relaxed);
   return Status::OK();
 }
 
-StatusOr<size_t> BufferPool::FindVictim(std::unique_lock<std::mutex>* lock) {
+StatusOr<size_t> BufferPool::FindVictim(
+    std::unique_lock<std::mutex>* victim_lock) {
   // Clock sweep; at most two full rounds (first clears reference bits).
   for (size_t step = 0; step < 2 * frames_.size() + 1; ++step) {
     Frame* f = frames_[clock_hand_].get();
     size_t index = clock_hand_;
     clock_hand_ = (clock_hand_ + 1) % frames_.size();
-    if (f->pin_count > 0) continue;
-    if (f->referenced) {
-      f->referenced = false;
+    if (f->pin_count.load(std::memory_order_relaxed) > 0) continue;
+    if (f->referenced.load(std::memory_order_relaxed)) {
+      f->referenced.store(false, std::memory_order_relaxed);
       continue;
     }
     if (f->page_id != kInvalidPageId) {
-      if (f->dirty) {
-        // Write back before eviction. Pin privately so no one else grabs
-        // the frame while we drop the pool mutex for I/O.
-        f->pin_count++;
-        lock->unlock();
+      if (f->dirty.load(std::memory_order_acquire)) {
+        // Write back before eviction. Pin privately (under victim_mu_)
+        // so no concurrent evict/discard grabs the frame, then drop
+        // victim_mu_ for the blocking latch + I/O: the latch holder may
+        // itself be faulting another page and need the victim chooser.
+        f->pin_count.fetch_add(1, std::memory_order_relaxed);
+        victim_lock->unlock();
         Status s;
         {
           std::unique_lock<std::shared_mutex> latch(f->latch);
           s = WriteBack(f);
         }
-        lock->lock();
-        f->pin_count--;
+        victim_lock->lock();
+        f->pin_count.fetch_sub(1, std::memory_order_relaxed);
         if (!s.ok()) return s;
-        if (f->pin_count > 0 || f->dirty) continue;  // raced; try another
+        if (f->pin_count.load(std::memory_order_relaxed) > 0 ||
+            f->dirty.load(std::memory_order_acquire)) {
+          continue;  // raced; try another
+        }
       }
-      page_table_.erase(f->page_id);
-      stats_.evictions++;
+      // Unmap under the owning shard's mutex. Hit pins go 0→1 only under
+      // that mutex while the mapping exists, so a pin==0 re-check there
+      // is authoritative.
+      Shard& sh = ShardFor(f->page_id);
+      bool raced;
+      {
+        std::lock_guard<std::mutex> g(sh.mu);
+        raced = f->pin_count.load(std::memory_order_relaxed) > 0 ||
+                f->dirty.load(std::memory_order_acquire);
+        if (!raced) {
+          sh.map.erase(f->page_id);
+          stats_.evictions.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+      if (raced) continue;
+      f->page_id = kInvalidPageId;
     }
-    f->page_id = kInvalidPageId;
-    f->dirty = false;
-    f->rec_lsn = kInvalidLsn;
+    f->dirty.store(false, std::memory_order_relaxed);
+    f->rec_lsn.store(kInvalidLsn, std::memory_order_relaxed);
     return index;
   }
   return Status::Busy("buffer pool exhausted: all frames pinned");
@@ -184,6 +198,8 @@ Status BufferPool::WriteBack(Frame* f) {
   // Figure 11 sequence: (1) WAL — force the log up to the PageLSN;
   // (2) write the data page; (3) log the PRI update (listener) so the
   // write's completion is recorded before the page can be evicted.
+  // The caller holds the exclusive latch, which serializes this against
+  // MarkDirty and other write-backs of the same frame.
   PageView page(f->data.get(), options_.page_size);
   Lsn page_lsn = page.page_lsn();
   if (page_lsn != kInvalidLsn) {
@@ -191,12 +207,12 @@ Status BufferPool::WriteBack(Frame* f) {
   }
   page.UpdateChecksum();
   SPF_RETURN_IF_ERROR(device_->WritePage(f->page_id, f->data.get()));
-  {
-    std::lock_guard<std::mutex> g(mu_);
-    f->dirty = false;
-    f->rec_lsn = kInvalidLsn;
-    stats_.write_backs++;
-  }
+  // Clear rec_lsn BEFORE dirty: a DirtyPages reader that still observes
+  // dirty==true but rec_lsn==kInvalidLsn knows the image just reached
+  // the device and skips the frame.
+  f->rec_lsn.store(kInvalidLsn, std::memory_order_relaxed);
+  f->dirty.store(false, std::memory_order_release);
+  stats_.write_backs.fetch_add(1, std::memory_order_relaxed);
   if (listener_ != nullptr) {
     bool took_backup = listener_->OnPageWritten(f->page_id, page_lsn,
                                                 page.update_count(),
@@ -209,63 +225,86 @@ Status BufferPool::WriteBack(Frame* f) {
   return Status::OK();
 }
 
+BufferPool::Frame* BufferPool::TryPin(PageId id, size_t* index) {
+  Shard& sh = ShardFor(id);
+  std::lock_guard<std::mutex> g(sh.mu);
+  auto it = sh.map.find(id);
+  if (it == sh.map.end()) return nullptr;
+  Frame* f = frames_[it->second].get();
+  f->pin_count.fetch_add(1, std::memory_order_relaxed);
+  f->referenced.store(true, std::memory_order_relaxed);
+  *index = it->second;
+  return f;
+}
+
+StatusOr<PageGuard> BufferPool::FinishHit(Frame* f, size_t index, PageId id,
+                                          LatchMode mode) {
+  stats_.hits.fetch_add(1, std::memory_order_relaxed);
+  if (mode == LatchMode::kExclusive && admission_ != nullptr) {
+    // Write admission covers cache hits too: a frame kept across the
+    // restore's pool discard must not take a logged update the replay
+    // plan never saw while its segment is unswept — the sweep would
+    // overwrite the eventual write-back with the pre-update image. The
+    // pin taken by TryPin keeps the frame cached while we park; shared
+    // fixes stay unthrottled (the cached copy is the current image).
+    Status adm = admission_->AwaitRestored(id);
+    if (!adm.ok()) {
+      f->pin_count.fetch_sub(1, std::memory_order_relaxed);
+      return adm;
+    }
+  }
+  if (mode == LatchMode::kShared) {
+    f->latch.lock_shared();
+  } else {
+    f->latch.lock();
+  }
+  return PageGuard(this, index, id, mode);
+}
+
 StatusOr<PageGuard> BufferPool::FixPage(PageId id, LatchMode mode) {
-  std::unique_lock<std::mutex> lock(mu_);
-  stats_.fixes++;
-  auto it = page_table_.find(id);
-  if (it != page_table_.end()) {
-    stats_.hits++;
-    size_t index = it->second;
-    Frame* f = frames_[index].get();
-    f->pin_count++;
-    f->referenced = true;
-    lock.unlock();
-    if (mode == LatchMode::kExclusive && admission_ != nullptr) {
-      // Write admission covers cache hits too: a frame kept across the
-      // restore's pool discard must not take a logged update the replay
-      // plan never saw while its segment is unswept — the sweep would
-      // overwrite the eventual write-back with the pre-update image. The
-      // pin taken above keeps the frame cached while we park; shared
-      // fixes stay unthrottled (the cached copy is the current image).
-      Status adm = admission_->AwaitRestored(id);
-      if (!adm.ok()) {
-        std::lock_guard<std::mutex> g(mu_);
-        f->pin_count--;
-        return adm;
-      }
-    }
-    if (mode == LatchMode::kShared) {
-      f->latch.lock_shared();
-    } else {
-      f->latch.lock();
-    }
-    return PageGuard(this, index, id, mode);
+  stats_.fixes.fetch_add(1, std::memory_order_relaxed);
+  size_t index = 0;
+  if (Frame* f = TryPin(id, &index)) {
+    return FinishHit(f, index, id, mode);
   }
 
-  stats_.misses++;
-  SPF_ASSIGN_OR_RETURN(size_t index, FindVictim(&lock));
+  std::unique_lock<std::mutex> victim_lock(victim_mu_);
+  // Another fault may have loaded the page while we queued for the
+  // victim chooser — re-check before consuming a victim frame.
+  if (Frame* f = TryPin(id, &index)) {
+    victim_lock.unlock();
+    return FinishHit(f, index, id, mode);
+  }
+  stats_.misses.fetch_add(1, std::memory_order_relaxed);
+  SPF_ASSIGN_OR_RETURN(index, FindVictim(&victim_lock));
   Frame* f = frames_[index].get();
-  // Reserve the frame under the pool mutex so concurrent fixes of the same
-  // page wait on the latch rather than double-loading. The victim had
-  // pin_count 0 and every latch holder also holds a pin (guards,
+  // Reserve the frame under the shard mutex so concurrent fixes of the
+  // same page wait on the latch rather than double-loading. The victim
+  // had pin_count 0 and every latch holder also holds a pin (guards,
   // FlushPage, FindVictim's write-back), so the latch is necessarily
   // free: try_lock cannot fail, and never blocking here keeps the
   // mutex-then-latch order deadlock-free (write-back holds the latch
-  // while taking the mutex).
-  f->page_id = id;
-  f->pin_count++;
-  f->referenced = true;
-  page_table_[id] = index;
-  SPF_CHECK(f->latch.try_lock()) << "victim frame latched without a pin";
-  lock.unlock();
+  // while taking mutexes).
+  {
+    Shard& sh = ShardFor(id);
+    std::lock_guard<std::mutex> g(sh.mu);
+    f->page_id = id;
+    f->pin_count.fetch_add(1, std::memory_order_relaxed);
+    f->referenced.store(true, std::memory_order_relaxed);
+    sh.map[id] = index;
+    SPF_CHECK(f->latch.try_lock()) << "victim frame latched without a pin";
+  }
+  victim_lock.unlock();
 
   Status s = LoadPage(id, f);
   if (!s.ok()) {
     f->latch.unlock();
-    std::lock_guard<std::mutex> g(mu_);
-    page_table_.erase(id);
+    std::lock_guard<std::mutex> vg(victim_mu_);
+    Shard& sh = ShardFor(id);
+    std::lock_guard<std::mutex> g(sh.mu);
+    sh.map.erase(id);
     f->page_id = kInvalidPageId;
-    f->pin_count--;
+    f->pin_count.fetch_sub(1, std::memory_order_relaxed);
     return s;
   }
   if (mode == LatchMode::kShared) {
@@ -282,46 +321,55 @@ StatusOr<PageGuard> BufferPool::FixNewPage(PageId id) {
     // a later segment restore cannot clobber this page's write-back.
     SPF_RETURN_IF_ERROR(admission_->AwaitRestored(id));
   }
-  std::unique_lock<std::mutex> lock(mu_);
-  stats_.fixes++;
-  SPF_CHECK(page_table_.find(id) == page_table_.end())
-      << "FixNewPage of already-cached page " << id;
-  SPF_ASSIGN_OR_RETURN(size_t index, FindVictim(&lock));
+  stats_.fixes.fetch_add(1, std::memory_order_relaxed);
+  std::unique_lock<std::mutex> victim_lock(victim_mu_);
+  SPF_ASSIGN_OR_RETURN(size_t index, FindVictim(&victim_lock));
   Frame* f = frames_[index].get();
-  f->page_id = id;
-  f->pin_count++;
-  f->referenced = true;
-  page_table_[id] = index;
+  {
+    Shard& sh = ShardFor(id);
+    std::lock_guard<std::mutex> g(sh.mu);
+    SPF_CHECK(sh.map.find(id) == sh.map.end())
+        << "FixNewPage of already-cached page " << id;
+    f->page_id = id;
+    f->pin_count.fetch_add(1, std::memory_order_relaxed);
+    f->referenced.store(true, std::memory_order_relaxed);
+    sh.map[id] = index;
+    // Free for the same reason as in FixPage: no pin, no latch holder.
+    SPF_CHECK(f->latch.try_lock()) << "victim frame latched without a pin";
+  }
   std::memset(f->data.get(), 0, options_.page_size);
-  // Free for the same reason as in FixPage: no pin, no latch holder.
-  SPF_CHECK(f->latch.try_lock()) << "victim frame latched without a pin";
   return PageGuard(this, index, id, LatchMode::kExclusive);
 }
 
 Status BufferPool::FlushPage(PageId id) {
-  std::unique_lock<std::mutex> lock(mu_);
-  auto it = page_table_.find(id);
-  if (it == page_table_.end()) return Status::OK();
-  Frame* f = frames_[it->second].get();
-  if (!f->dirty) return Status::OK();
-  f->pin_count++;
-  lock.unlock();
+  Frame* f;
+  {
+    Shard& sh = ShardFor(id);
+    std::lock_guard<std::mutex> g(sh.mu);
+    auto it = sh.map.find(id);
+    if (it == sh.map.end()) return Status::OK();
+    f = frames_[it->second].get();
+    if (!f->dirty.load(std::memory_order_acquire)) return Status::OK();
+    f->pin_count.fetch_add(1, std::memory_order_relaxed);
+  }
   Status s;
   {
     std::unique_lock<std::shared_mutex> latch(f->latch);
     s = WriteBack(f);
   }
-  lock.lock();
-  f->pin_count--;
+  f->pin_count.fetch_sub(1, std::memory_order_relaxed);
   return s;
 }
 
 Status BufferPool::FlushAll() {
   std::vector<PageId> dirty;
   {
-    std::lock_guard<std::mutex> g(mu_);
+    std::lock_guard<std::mutex> g(victim_mu_);
     for (auto& f : frames_) {
-      if (f->page_id != kInvalidPageId && f->dirty) dirty.push_back(f->page_id);
+      if (f->page_id != kInvalidPageId &&
+          f->dirty.load(std::memory_order_acquire)) {
+        dirty.push_back(f->page_id);
+      }
     }
   }
   for (PageId id : dirty) {
@@ -332,16 +380,22 @@ Status BufferPool::FlushAll() {
 
 Status BufferPool::EvictPage(PageId id) {
   SPF_RETURN_IF_ERROR(FlushPage(id));
-  std::lock_guard<std::mutex> g(mu_);
-  auto it = page_table_.find(id);
-  if (it == page_table_.end()) return Status::OK();
+  std::lock_guard<std::mutex> vg(victim_mu_);
+  Shard& sh = ShardFor(id);
+  std::lock_guard<std::mutex> g(sh.mu);
+  auto it = sh.map.find(id);
+  if (it == sh.map.end()) return Status::OK();
   Frame* f = frames_[it->second].get();
-  if (f->pin_count > 0) return Status::Busy("page pinned");
-  if (f->dirty) return Status::Busy("page re-dirtied during eviction");
-  page_table_.erase(it);
+  if (f->pin_count.load(std::memory_order_relaxed) > 0) {
+    return Status::Busy("page pinned");
+  }
+  if (f->dirty.load(std::memory_order_acquire)) {
+    return Status::Busy("page re-dirtied during eviction");
+  }
+  sh.map.erase(it);
   f->page_id = kInvalidPageId;
-  f->rec_lsn = kInvalidLsn;
-  stats_.evictions++;
+  f->rec_lsn.store(kInvalidLsn, std::memory_order_relaxed);
+  stats_.evictions.fetch_add(1, std::memory_order_relaxed);
   return Status::OK();
 }
 
@@ -350,71 +404,89 @@ void BufferPool::DiscardAll() {
 }
 
 size_t BufferPool::DiscardAllUnpinned() {
-  std::lock_guard<std::mutex> g(mu_);
+  std::lock_guard<std::mutex> vg(victim_mu_);
   size_t kept = 0;
   for (auto& f : frames_) {
     if (f->page_id == kInvalidPageId) continue;
-    if (f->pin_count > 0) {
+    Shard& sh = ShardFor(f->page_id);
+    std::lock_guard<std::mutex> g(sh.mu);
+    if (f->pin_count.load(std::memory_order_relaxed) > 0) {
       kept++;
       continue;
     }
-    page_table_.erase(f->page_id);
+    sh.map.erase(f->page_id);
     f->page_id = kInvalidPageId;
-    f->dirty = false;
-    f->rec_lsn = kInvalidLsn;
-    f->referenced = false;
+    f->dirty.store(false, std::memory_order_relaxed);
+    f->rec_lsn.store(kInvalidLsn, std::memory_order_relaxed);
+    f->referenced.store(false, std::memory_order_relaxed);
   }
   return kept;
 }
 
 bool BufferPool::DiscardPage(PageId id) {
-  std::lock_guard<std::mutex> g(mu_);
-  auto it = page_table_.find(id);
-  if (it == page_table_.end()) return true;
+  std::lock_guard<std::mutex> vg(victim_mu_);
+  Shard& sh = ShardFor(id);
+  std::lock_guard<std::mutex> g(sh.mu);
+  auto it = sh.map.find(id);
+  if (it == sh.map.end()) return true;
   Frame* f = frames_[it->second].get();
-  if (f->pin_count > 0) return false;  // in use; caller may retry
-  page_table_.erase(it);
+  if (f->pin_count.load(std::memory_order_relaxed) > 0) {
+    return false;  // in use; caller may retry
+  }
+  sh.map.erase(it);
   f->page_id = kInvalidPageId;
-  f->dirty = false;
-  f->rec_lsn = kInvalidLsn;
+  f->dirty.store(false, std::memory_order_relaxed);
+  f->rec_lsn.store(kInvalidLsn, std::memory_order_relaxed);
   return true;
 }
 
 std::vector<DirtyPageEntry> BufferPool::DirtyPages() const {
-  std::lock_guard<std::mutex> g(mu_);
+  std::lock_guard<std::mutex> g(victim_mu_);
   std::vector<DirtyPageEntry> out;
   for (const auto& f : frames_) {
-    if (f->page_id != kInvalidPageId && f->dirty) {
-      out.push_back({f->page_id, f->rec_lsn});
-    }
+    if (f->page_id == kInvalidPageId) continue;
+    if (!f->dirty.load(std::memory_order_acquire)) continue;
+    Lsn rec_lsn = f->rec_lsn.load(std::memory_order_relaxed);
+    // dirty==true with an invalid recLSN means a concurrent write-back
+    // already put the image on the device (it clears rec_lsn first) —
+    // the frame is clean for this snapshot's purposes.
+    if (rec_lsn == kInvalidLsn) continue;
+    out.push_back({f->page_id, rec_lsn});
   }
   return out;
 }
 
 bool BufferPool::IsCached(PageId id) const {
-  std::lock_guard<std::mutex> g(mu_);
-  return page_table_.count(id) > 0;
+  Shard& sh = ShardFor(id);
+  std::lock_guard<std::mutex> g(sh.mu);
+  return sh.map.count(id) > 0;
 }
 
 size_t BufferPool::PinnedFrames() const {
-  std::lock_guard<std::mutex> g(mu_);
+  std::lock_guard<std::mutex> g(victim_mu_);
   size_t pinned = 0;
   for (const auto& f : frames_) {
-    if (f->page_id != kInvalidPageId && f->pin_count > 0) pinned++;
+    if (f->page_id != kInvalidPageId &&
+        f->pin_count.load(std::memory_order_relaxed) > 0) {
+      pinned++;
+    }
   }
   return pinned;
 }
 
 bool BufferPool::IsDirty(PageId id) const {
-  std::lock_guard<std::mutex> g(mu_);
-  auto it = page_table_.find(id);
-  return it != page_table_.end() && frames_[it->second]->dirty;
+  Shard& sh = ShardFor(id);
+  std::lock_guard<std::mutex> g(sh.mu);
+  auto it = sh.map.find(id);
+  return it != sh.map.end() &&
+         frames_[it->second]->dirty.load(std::memory_order_acquire);
 }
 
 std::optional<Lsn> BufferPool::CachedPageLsn(PageId id) const {
-  std::lock_guard<std::mutex> g(mu_);
-  auto it = page_table_.find(id);
-  if (it == page_table_.end()) return std::nullopt;
+  Shard& sh = ShardFor(id);
+  std::lock_guard<std::mutex> g(sh.mu);
+  auto it = sh.map.find(id);
+  if (it == sh.map.end()) return std::nullopt;
   Frame* f = frames_[it->second].get();
   // try_lock only: never block a scrub scan on a latch, and never invert
   // the latch-before-mutex order of the fix path (try never waits).
@@ -425,13 +497,29 @@ std::optional<Lsn> BufferPool::CachedPageLsn(PageId id) const {
 }
 
 BufferPoolStats BufferPool::stats() const {
-  std::lock_guard<std::mutex> g(mu_);
-  return stats_;
+  BufferPoolStats out;
+  out.fixes = stats_.fixes.load(std::memory_order_relaxed);
+  out.hits = stats_.hits.load(std::memory_order_relaxed);
+  out.misses = stats_.misses.load(std::memory_order_relaxed);
+  out.evictions = stats_.evictions.load(std::memory_order_relaxed);
+  out.write_backs = stats_.write_backs.load(std::memory_order_relaxed);
+  out.verify_failures = stats_.verify_failures.load(std::memory_order_relaxed);
+  out.repairs_attempted =
+      stats_.repairs_attempted.load(std::memory_order_relaxed);
+  out.repairs_succeeded =
+      stats_.repairs_succeeded.load(std::memory_order_relaxed);
+  return out;
 }
 
 void BufferPool::ResetStats() {
-  std::lock_guard<std::mutex> g(mu_);
-  stats_ = BufferPoolStats();
+  stats_.fixes.store(0, std::memory_order_relaxed);
+  stats_.hits.store(0, std::memory_order_relaxed);
+  stats_.misses.store(0, std::memory_order_relaxed);
+  stats_.evictions.store(0, std::memory_order_relaxed);
+  stats_.write_backs.store(0, std::memory_order_relaxed);
+  stats_.verify_failures.store(0, std::memory_order_relaxed);
+  stats_.repairs_attempted.store(0, std::memory_order_relaxed);
+  stats_.repairs_succeeded.store(0, std::memory_order_relaxed);
 }
 
 void BufferPool::Unfix(size_t frame_index, LatchMode mode) {
@@ -441,9 +529,8 @@ void BufferPool::Unfix(size_t frame_index, LatchMode mode) {
   } else {
     f->latch.unlock();
   }
-  std::lock_guard<std::mutex> g(mu_);
-  SPF_CHECK_GT(f->pin_count, 0u);
-  f->pin_count--;
+  uint32_t prev = f->pin_count.fetch_sub(1, std::memory_order_relaxed);
+  SPF_CHECK_GT(prev, 0u);
 }
 
 }  // namespace spf

@@ -13,9 +13,23 @@
 //    WriteCompletionListener runs, which is where PRI maintenance logs its
 //    PriUpdate record (section 5.2.4). The WAL rule (force log up to
 //    PageLSN before the write) is enforced here as well.
+//
+// Concurrency layout: the id→frame mapping is sharded by page id, so the
+// hot path (a cache hit) takes only its shard's mutex for the lookup+pin
+// and then the per-frame latch — two fixes of pages in different shards
+// share no lock at all. The miss/eviction path additionally serializes on
+// a single victim_mu_ that owns the clock hand; faults are device-bound
+// anyway, so one victim chooser costs nothing and keeps the clock sweep
+// race-free. Per-frame metadata read outside any mutex (pin_count, dirty,
+// referenced, rec_lsn) is atomic; page_id mutates only under victim_mu_
+// plus the owning shard's mutex, so either lock (or a held pin) makes it
+// stable. A pin can go 0→1 only under the shard mutex while the mapping
+// exists (hits) or under victim_mu_ (the evictor's private write-back
+// pin), which is what makes the evictor's pin==0 checks sound.
 
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -29,6 +43,7 @@
 #include "common/statusor.h"
 #include "log/log_manager.h"
 #include "storage/page.h"
+#include "storage/restore_admission.h"
 #include "storage/sim_device.h"
 
 namespace spf {
@@ -68,38 +83,6 @@ class WriteCompletionListener {
                              const char* page_data) = 0;
 };
 
-/// Admission check consulted on every buffer fault, every fresh-page fix,
-/// every EXCLUSIVE cache hit, and MarkDirty's last-line re-check — before
-/// the device is touched or the cached frame may be modified. During an
-/// incremental full restore the recovery module's RestoreGate implements
-/// this: a fault on a page the restore sweep has not reached yet blocks
-/// until that page's segment is back (and is registered for on-demand
-/// service so hot pages jump the sweep queue), so readers resume as soon
-/// as THEIR page is restored instead of when the whole device is. The
-/// exclusive-cache-hit checks also cover frames that survived the
-/// restore's pool discard: a logged update the restore's replay plan
-/// never saw must not land on a page whose segment the sweep will still
-/// overwrite. Outside a restore the check is a single relaxed atomic
-/// load.
-class RestoreAdmission {
- public:
-  virtual ~RestoreAdmission() = default;
-  /// Returns once page `id` may safely be read from (or written back to)
-  /// the device and modifying it cannot race the restore sweep; an error
-  /// means the restore failed and the fault must propagate it instead of
-  /// retrying or repairing.
-  virtual Status AwaitRestored(PageId id) = 0;
-  /// True when `id`'s device copy is final w.r.t. any restore in
-  /// progress (no restore, or `id`'s segment already restored); false
-  /// from the moment a restore seals admission until the sweep restores
-  /// the segment. LoadPage re-checks this AFTER a successful device read
-  /// and re-reads on false: a read that raced the seal may have returned
-  /// a checksum-valid but stale pre-failure image from the revived
-  /// device, and the device-level synchronization guarantees the seal is
-  /// visible here whenever that could have happened.
-  virtual bool IsRestored(PageId id) const = 0;
-};
-
 /// Latch mode for fixing a page in the pool.
 enum class LatchMode { kShared, kExclusive };
 
@@ -125,6 +108,8 @@ struct BufferPoolOptions {
   size_t num_frames = 256;
   /// Run in-page verification plus the ReadVerifier on every buffer fault.
   bool verify_on_read = true;
+  /// Shards of the id→frame mapping (hit-path concurrency).
+  size_t table_shards = 16;
 };
 
 class BufferPool;
@@ -250,24 +235,49 @@ class BufferPool {
 
   struct Frame {
     std::unique_ptr<char[]> data;
+    /// Mutated only under victim_mu_ + the owning shard's mutex; stable
+    /// while either is held or while the reader holds a pin.
     PageId page_id = kInvalidPageId;
-    bool dirty = false;
-    bool referenced = false;  // clock bit
-    uint32_t pin_count = 0;
-    Lsn rec_lsn = kInvalidLsn;
+    /// MarkDirty stores rec_lsn BEFORE the dirty release-store; readers
+    /// pair an acquire load of dirty with the rec_lsn load, and treat
+    /// dirty==true with rec_lsn==kInvalidLsn as a write-back race (the
+    /// page just reached the device — skip it).
+    std::atomic<bool> dirty{false};
+    std::atomic<bool> referenced{false};  // clock bit
+    std::atomic<uint32_t> pin_count{0};
+    std::atomic<Lsn> rec_lsn{kInvalidLsn};
     std::shared_mutex latch;
   };
 
+  /// One slice of the id→frame mapping.
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<PageId, size_t> map;
+  };
+
+  Shard& ShardFor(PageId id) const { return shards_[id % shards_.size()]; }
+
+  /// Looks `id` up in its shard and, if mapped, pins the frame and sets
+  /// its reference bit. Returns the frame or nullptr.
+  Frame* TryPin(PageId id, size_t* index);
+
+  /// Completes a cache hit after TryPin: exclusive-mode admission, then
+  /// the latch. On admission failure the pin is dropped.
+  StatusOr<PageGuard> FinishHit(Frame* f, size_t index, PageId id,
+                                LatchMode mode);
+
   /// Reads + verifies + (if needed) repairs page `id` into frame `f`.
-  /// Pool mutex must NOT be held (device I/O and repair are slow).
+  /// No pool mutex may be held (device I/O and repair are slow).
   Status LoadPage(PageId id, Frame* f);
 
   /// Finds a victim frame with pin_count == 0 (clock); flushes it if
-  /// dirty. Returns frame index. Pool mutex held on entry and exit but
-  /// released around I/O.
-  StatusOr<size_t> FindVictim(std::unique_lock<std::mutex>* lock);
+  /// dirty. Returns the frame index with the frame unmapped and reset.
+  /// victim_mu_ held on entry and exit but released around write-back
+  /// I/O (an evictor blocking on a latch while holding victim_mu_ could
+  /// deadlock against a latch holder faulting another page).
+  StatusOr<size_t> FindVictim(std::unique_lock<std::mutex>* victim_lock);
 
-  /// Write-back of frame `f` (assumed latched or otherwise private):
+  /// Write-back of frame `f` (caller holds the exclusive latch):
   /// checksum, WAL force, device write, completion listener, mark clean.
   Status WriteBack(Frame* f);
 
@@ -281,11 +291,26 @@ class BufferPool {
   WriteCompletionListener* listener_ = nullptr;
   RestoreAdmission* admission_ = nullptr;
 
-  mutable std::mutex mu_;
   std::vector<std::unique_ptr<Frame>> frames_;
-  std::unordered_map<PageId, size_t> page_table_;
-  size_t clock_hand_ = 0;
-  BufferPoolStats stats_;
+  mutable std::vector<Shard> shards_;
+
+  /// Serializes victim choice, page_id reassignment, and whole-pool
+  /// sweeps (DirtyPages, DiscardAll*, PinnedFrames). Never held across
+  /// device I/O; acquired BEFORE any shard mutex, never after.
+  mutable std::mutex victim_mu_;
+  size_t clock_hand_ = 0;  // under victim_mu_
+
+  struct AtomicStats {
+    std::atomic<uint64_t> fixes{0};
+    std::atomic<uint64_t> hits{0};
+    std::atomic<uint64_t> misses{0};
+    std::atomic<uint64_t> evictions{0};
+    std::atomic<uint64_t> write_backs{0};
+    std::atomic<uint64_t> verify_failures{0};
+    std::atomic<uint64_t> repairs_attempted{0};
+    std::atomic<uint64_t> repairs_succeeded{0};
+  };
+  mutable AtomicStats stats_;
 };
 
 }  // namespace spf

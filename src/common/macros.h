@@ -84,12 +84,3 @@ class Voidify {
 #define SPF_DISALLOW_COPY(cls) \
   cls(const cls&) = delete;    \
   cls& operator=(const cls&) = delete
-
-/// Brackets code that intentionally uses [[deprecated]] declarations —
-/// the v1 facade shims forwarding onto the v2 internals — so the
-/// deprecation firewall (-Werror builds) stays clean without blessing
-/// any OTHER use.
-#define SPF_SUPPRESS_DEPRECATED_BEGIN \
-  _Pragma("GCC diagnostic push")      \
-  _Pragma("GCC diagnostic ignored \"-Wdeprecated-declarations\"")
-#define SPF_SUPPRESS_DEPRECATED_END _Pragma("GCC diagnostic pop")

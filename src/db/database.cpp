@@ -78,7 +78,15 @@ void Database::BuildVolatileState() {
   funnel_.reset();
   scheduler_.reset();
 
-  log_ = std::make_unique<LogManager>(wal_.get());
+  // Destroy the old manager FIRST: its destructor publishes any staged
+  // bytes onto the device, and the new manager reads the device size as
+  // its starting LSN — constructing before destroying would corrupt the
+  // LSN space.
+  log_.reset();
+  GroupCommitOptions gc;
+  gc.max_batch_bytes = options_.group_commit_bytes;
+  gc.max_wait = options_.group_commit_interval;
+  log_ = std::make_unique<LogManager>(wal_.get(), gc);
   if (master_record_stash_ != kInvalidLsn) {
     log_->SetMasterRecord(master_record_stash_);
   }
@@ -87,14 +95,20 @@ void Database::BuildVolatileState() {
   bp.page_size = options_.page_size;
   bp.num_frames = options_.buffer_frames;
   bp.verify_on_read = options_.verify_on_read;
+  bp.table_shards = options_.pool_shards;
   pool_ = std::make_unique<BufferPool>(bp, data_.get(), log_.get());
 
   // Restore gate (rung-5 protocol): installed on the pool permanently;
-  // inactive (one atomic load per fault) outside full restores.
+  // inactive (one atomic load per fault) outside full restores. The log
+  // manager's write path parks on the same gate AFTER reserving its log
+  // slot, which is what closes the admission-seal TOCTOU (see
+  // LogManager::AppendPageRecord).
   restore_gate_ = std::make_unique<RestoreGate>(&clock_);
   pool_->SetRestoreAdmission(restore_gate_.get());
+  log_->SetWriteAdmission(restore_gate_.get());
 
-  locks_ = std::make_unique<LockManager>(options_.lock_timeout);
+  locks_ = std::make_unique<LockManager>(options_.lock_timeout,
+                                         options_.lock_shards);
   txns_ = std::make_unique<TxnManager>(log_.get(), locks_.get());
 
   alloc_ = std::make_unique<PageAllocator>(options_.num_pages,
@@ -246,14 +260,6 @@ Txn Database::BeginTxn() { return Txn(this, BeginShared()); }
 
 std::shared_ptr<Transaction> Database::BeginShared() { return txns_->Begin(); }
 
-Transaction* Database::Begin() {
-  std::shared_ptr<Transaction> txn = BeginShared();
-  Transaction* raw = txn.get();
-  std::lock_guard<std::mutex> g(legacy_mu_);
-  legacy_handles_[raw] = std::move(txn);
-  return raw;
-}
-
 void Database::ReapDoomedTxn(Transaction* txn) {
   if (txn == nullptr || !txn->doomed() || txn->busy()) return;
   // busy() above: a sibling operation still in flight on this handle
@@ -300,58 +306,6 @@ Status Database::AbortTxn(Transaction* txn) {
   }
   return Status::OK();
 }
-
-// --- v1 shims (deprecated; thin forwards onto the v2 internals) -----------------
-
-// The shims themselves may reference each other and the deprecated
-// surface without tripping the firewall build (-Werror=deprecated).
-SPF_SUPPRESS_DEPRECATED_BEGIN
-
-Status Database::Commit(Transaction* txn) {
-  Status s = CommitTxn(txn);
-  // The legacy contract ends the handle's life at a finished
-  // finalization; a doomed handle stays pinned so later calls keep
-  // returning Aborted instead of reading freed memory.
-  if (txn != nullptr && !txn->doomed()) {
-    std::lock_guard<std::mutex> g(legacy_mu_);
-    legacy_handles_.erase(txn);
-  }
-  return s;
-}
-
-Status Database::Abort(Transaction* txn) {
-  Status s = AbortTxn(txn);
-  if (txn != nullptr && !txn->doomed() && s.ok()) {
-    std::lock_guard<std::mutex> g(legacy_mu_);
-    legacy_handles_.erase(txn);
-  }
-  return s;
-}
-
-Status Database::Insert(Transaction* txn, std::string_view key,
-                        std::string_view value) {
-  return InsertOp(txn, key, value);
-}
-
-Status Database::Update(Transaction* txn, std::string_view key,
-                        std::string_view value) {
-  return UpdateOp(txn, key, value);
-}
-
-Status Database::Put(Transaction* txn, std::string_view key,
-                     std::string_view value) {
-  return PutOp(txn, key, value);
-}
-
-Status Database::Delete(Transaction* txn, std::string_view key) {
-  return DeleteOp(txn, key);
-}
-
-StatusOr<std::string> Database::Get(Transaction* txn, std::string_view key) {
-  return GetOp(txn, key);
-}
-
-SPF_SUPPRESS_DEPRECATED_END
 
 // --- data -----------------------------------------------------------------------
 
@@ -498,6 +452,11 @@ StatusOr<FullBackupInfo> Database::TakeFullBackup() {
 // --- failure & recovery ---------------------------------------------------------------
 
 void Database::SimulateCrash() {
+  // Kill the group-commit drainer FIRST and discard its staged (never
+  // published) records: staged bytes are strictly more volatile than the
+  // unforced device tail, and a drainer still running would republish
+  // them after the DropUnsynced below.
+  log_->Crash();
   // The unforced log tail is lost; devices keep their contents.
   wal_->DropUnsynced();
   pool_->DiscardAll();
@@ -505,11 +464,7 @@ void Database::SimulateCrash() {
   // blocks are shared), but their transactions die with the volatile
   // state: doom them so every later call on a stale handle reports
   // kDoomed, and claim their rollbacks — restart undo owns the
-  // compensation via the LOG, not via these in-memory chains. Legacy
-  // Begin() handles keep their pins in legacy_handles_ (the v1 contract:
-  // a doomed handle stays valid, returning Aborted, until the Database
-  // is destroyed), so their raw pointers read the doomed flag from live
-  // memory too.
+  // compensation via the LOG, not via these in-memory chains.
   txns_->DoomAllForCrash();
   // All in-memory state vanishes; rebuild empty shells. The master record
   // survives in master_record_stash_ (it models stable storage).
@@ -884,13 +839,16 @@ StatusOr<PageId> Database::RelocatePage(PageId old_pid) {
   return new_pid;
 }
 
-DatabaseStats Database::Stats() const {
-  DatabaseStats s;
+StatsSnapshot Database::Stats() const {
+  StatsSnapshot s;
   s.pool = pool_->stats();
   s.spr = spr_->stats();
   s.scheduler = scheduler_->stats();
   s.scrubber = scrubber_->totals();
   if (funnel_ != nullptr) s.funnel = funnel_->totals();
+  s.locks = locks_->stats();
+  s.log = log_->stats();
+  s.restore_admission_waits = restore_gate_->admission_waits();
   if (cross_check_ != nullptr) {
     s.cross_checks = cross_check_->checks();
     s.cross_check_mismatches = cross_check_->mismatches();

@@ -21,9 +21,10 @@
 //   db->Restart();             // ARIES analysis / redo / undo
 //
 // The v1 raw-pointer entry points (Begin() -> Transaction*, Commit(txn),
-// Insert(txn, ...)) remain as deprecated shims for one release; new code
-// must use the Txn handle (CI's deprecation firewall enforces this for
-// in-tree tests, examples, and benches).
+// Insert(txn, ...)) are gone: the one-release deprecation window closed
+// and the shims were deleted. CI's deprecation firewall now fails on any
+// reintroduced raw-pointer entry point, in src/db as well as in tests,
+// examples, and benches.
 
 #pragma once
 
@@ -32,7 +33,6 @@
 #include <memory>
 #include <mutex>
 #include <string>
-#include <unordered_map>
 
 #include "backup/backup_manager.h"
 #include "btree/btree.h"
@@ -48,6 +48,7 @@
 #include "recovery/media_recovery.h"
 #include "recovery/restart_recovery.h"
 #include "db/session.h"
+#include "db/stats_snapshot.h"
 #include "db/txn_error.h"
 #include "db/write_batch.h"
 #include "recovery/restore_gate.h"
@@ -157,6 +158,23 @@ struct DatabaseOptions {
   /// Lock-acquisition timeout before a transaction gives up (deadlock
   /// avoidance by timeout).
   std::chrono::milliseconds lock_timeout{200};
+
+  // --- hot-path concurrency knobs ----------------------------------------------
+
+  /// Shards of the lock manager's key table (per-shard mutex + wait list);
+  /// disjoint-key writers on different shards never contend. 0 means 1.
+  size_t lock_shards = 16;
+  /// Shards of the buffer pool's page-table mapping (per-shard mutex over
+  /// the id→frame map; frame latches are separate). 0 means 1.
+  size_t pool_shards = 16;
+  /// Group commit: the log drainer publishes+syncs a staged batch once it
+  /// reaches this many bytes even with no committer waiting.
+  uint64_t group_commit_bytes = 64 * 1024;
+  /// Group commit linger: with committers waiting, the drainer holds the
+  /// batch open this long (from the oldest waiter's arrival) so more
+  /// commits can join one device sync. 0 syncs as soon as a waiter
+  /// appears — the right default for single-threaded callers.
+  std::chrono::microseconds group_commit_interval{0};
 };
 
 /// Which rung of the recovery ladder ultimately healed a RecoverPages
@@ -183,19 +201,6 @@ struct RecoverPagesResult {
   uint64_t escalated_to_partial = 0;
   /// Populated when the partial- or full-restore rung ran.
   MediaRecoveryStats media;
-};
-
-/// One-stop counter snapshot across the stack (Database::Stats()):
-/// detection (pool, cross-check), repair machinery (single-page recovery,
-/// scheduler), and the background healers (scrubber, failure funnel).
-struct DatabaseStats {
-  BufferPoolStats pool;            ///< fixes, verify failures, repairs
-  SinglePageRecoveryStats spr;     ///< per-page repair counters
-  RecoverySchedulerStats scheduler;///< batches, groups, segment fetches
-  ScrubberTotals scrubber;         ///< sweeps, detections, reports
-  FunnelTotals funnel;             ///< enqueue/coalesce/per-rung repairs
-  uint64_t cross_checks = 0;       ///< PageLSN-vs-PRI comparisons run
-  uint64_t cross_check_mismatches = 0;  ///< stale pages caught
 };
 
 /// One database instance over simulated storage. Thread-safe for
@@ -230,31 +235,6 @@ class Database {
   /// Txn::Scan for the locked, transaction-consistent variant.
   Status Scan(std::string_view start, std::string_view end,
               const std::function<bool(std::string_view, std::string_view)>& fn);
-
-  // --- v1 raw-pointer facade (deprecated shims) ---------------------------------
-  //
-  // One-release compatibility layer over the v2 internals. The legacy
-  // lifetime contract is narrowed: a handle returned by Begin() stays
-  // valid until Commit()/Abort() completes; a handle whose transaction a
-  // full restore doomed stays valid (returning Aborted) until the
-  // Database is destroyed. Do not mix the two APIs on one transaction.
-
-  [[deprecated("use BeginTxn() — RAII Txn handle")]]
-  Transaction* Begin();
-  [[deprecated("use Txn::Commit()")]]
-  Status Commit(Transaction* txn);
-  [[deprecated("use Txn::Abort() or drop the Txn handle")]]
-  Status Abort(Transaction* txn);
-  [[deprecated("use Txn::Insert()")]]
-  Status Insert(Transaction* txn, std::string_view key, std::string_view value);
-  [[deprecated("use Txn::Update()")]]
-  Status Update(Transaction* txn, std::string_view key, std::string_view value);
-  [[deprecated("use Txn::Put()")]]
-  Status Put(Transaction* txn, std::string_view key, std::string_view value);
-  [[deprecated("use Txn::Delete()")]]
-  Status Delete(Transaction* txn, std::string_view key);
-  [[deprecated("use Txn::Get() (locked) or Get(key) (unlocked)")]]
-  StatusOr<std::string> Get(Transaction* txn, std::string_view key);
 
   // --- operations ---------------------------------------------------------------
 
@@ -358,9 +338,10 @@ class Database {
   PageLsnCrossCheck* cross_check() { return cross_check_.get(); }  ///< read-time cross-check
   const DatabaseOptions& options() const { return options_; }  ///< effective options
 
-  /// Aggregated counters across the whole stack (pool, repair machinery,
-  /// scrubber, funnel, cross-check).
-  DatabaseStats Stats() const;
+  /// Aggregated counters across the whole stack in one versioned struct
+  /// (pool, repair machinery, scrubber, funnel, lock shards, group-commit
+  /// log, restore gate, cross-check). See db/stats_snapshot.h.
+  StatsSnapshot Stats() const;
 
   /// Leaf page currently holding `key` (test/bench helper for targeting
   /// fault injection).
@@ -387,7 +368,7 @@ class Database {
   /// wires the hooks. Called at Create and again inside SimulateCrash.
   void BuildVolatileState();
 
-  // --- v2 internals (shared by the Txn handle and the deprecated shims) --------
+  // --- v2 internals (driven by the Txn handle) ---------------------------------
 
   /// Begins a user transaction, returning its shared control block. The
   /// TxnManager's active table holds a second reference; whichever side
@@ -474,15 +455,6 @@ class Database {
   std::mutex recover_media_mu_;
   std::atomic<uint64_t> restore_generation_{0};
   Lsn master_record_stash_ = kInvalidLsn;  // survives crash (stable storage)
-
-  // Legacy-shim bookkeeping: raw Begin() handles pin their control block
-  // here so the v1 borrow contract (the manager outlives the pointer)
-  // keeps holding over the shared-ownership transaction table. Erased
-  // when the legacy Commit/Abort finishes the transaction; a doomed
-  // legacy handle stays pinned (valid, returning Aborted) until the
-  // Database is destroyed — the v2 RAII handle has no such tail.
-  std::mutex legacy_mu_;
-  std::unordered_map<Transaction*, std::shared_ptr<Transaction>> legacy_handles_;
 };
 
 }  // namespace spf

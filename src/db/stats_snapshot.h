@@ -1,0 +1,56 @@
+// StatsSnapshot: the one observability surface of a Database.
+//
+// Database::Stats() fills this struct from every counter-bearing component
+// in one call — detection (buffer pool, cross-check), repair machinery
+// (single-page recovery, scheduler), background healers (scrubber,
+// failure funnel, gated-restore phase totals inside the funnel), and the
+// hot-path concurrency layers (lock shards, group-commit log). Component
+// accessors (funnel(), scrubber(), ...) remain for CONTROL (Start, Stop,
+// WaitIdle, fault injection); counters all come from here, so a future
+// network INFO command has a single source of truth.
+//
+// The struct is versioned: any field removal or meaning change bumps
+// kVersion so external consumers (dashboards, the INFO command) can detect
+// a mismatch instead of misreading counters.
+
+#pragma once
+
+#include <cstdint>
+
+#include "buffer/buffer_pool.h"
+#include "core/recovery_coordinator.h"
+#include "core/recovery_scheduler.h"
+#include "core/scrubber.h"
+#include "core/single_page_recovery.h"
+#include "log/log_manager.h"
+#include "txn/lock_manager.h"
+
+namespace spf {
+
+/// One-stop counter snapshot across the stack (Database::Stats()).
+struct StatsSnapshot {
+  /// Layout/meaning version of this struct; bumped on any incompatible
+  /// change.
+  static constexpr uint32_t kVersion = 1;
+  uint32_t version = kVersion;
+
+  BufferPoolStats pool;             ///< fixes, verify failures, repairs
+  SinglePageRecoveryStats spr;      ///< per-page repair counters
+  RecoverySchedulerStats scheduler; ///< batches, groups, segment fetches
+  ScrubberTotals scrubber;          ///< sweeps, detections, reports
+  /// Enqueue/coalesce/per-rung repairs; gated-restore phase totals
+  /// (drained/doomed, segments, admission waits per restore) accumulate
+  /// here too via NoteGatedRestore.
+  FunnelTotals funnel;
+  LockManagerStats locks;           ///< per-shard contention, aggregated
+  /// Appends, forces, and the group-commit batch counters
+  /// (group_commit_commits / group_commit_batches = mean group size).
+  LogStats log;
+  /// Admission waits parked at the restore gate since the last
+  /// BuildVolatileState (covers the current/most recent restore).
+  uint64_t restore_admission_waits = 0;
+  uint64_t cross_checks = 0;            ///< PageLSN-vs-PRI comparisons run
+  uint64_t cross_check_mismatches = 0;  ///< stale pages caught
+};
+
+}  // namespace spf

@@ -8,19 +8,36 @@
 //
 // LSNs are byte offsets into the log; the log starts with a small file
 // header so that no valid record has LSN 0 (= kInvalidLsn).
+//
+// Group commit: Append only RESERVES the record's LSN — a brief critical
+// section advances the reserved tail and stages the pre-serialized payload
+// in an in-memory queue. A background drainer publishes staged batches to
+// the device and syncs them when committers are waiting, so N concurrent
+// Force(commit_lsn) calls are amortized into one device sync instead of N.
+// Readers (Read/Scan/ReadRaw) first publish any staged bytes they need, so
+// the log's contents are always observable at the reserved tail; only
+// durability lags, exactly as with an OS page cache. DropUnsynced at a
+// simulated crash still loses everything past the last sync — staged bytes
+// are strictly MORE volatile than published-unsynced bytes, and Crash()
+// discards them without publishing so a crash cannot resurrect them.
 
 #pragma once
 
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
 #include <map>
 #include <mutex>
 #include <string>
+#include <thread>
 
 #include "common/macros.h"
 #include "common/status.h"
 #include "common/statusor.h"
 #include "log/log_record.h"
 #include "storage/page.h"
+#include "storage/restore_admission.h"
 #include "storage/sim_device.h"
 
 namespace spf {
@@ -29,21 +46,55 @@ namespace spf {
 struct LogStats {
   uint64_t records_appended = 0;
   uint64_t bytes_appended = 0;
+  /// Device syncs (each is one log-device round trip in simulated time).
   uint64_t forces = 0;
   uint64_t records_read = 0;
+  /// Staged-batch publications to the device (>= forces; size-threshold
+  /// publishes need no sync).
+  uint64_t publishes = 0;
+  /// Syncs that released at least one Force waiter — the group-commit
+  /// batches of E14.
+  uint64_t group_commit_batches = 0;
+  /// Force waiters released by those syncs; the mean group size is
+  /// group_commit_commits / group_commit_batches.
+  uint64_t group_commit_commits = 0;
   /// Per-type record counts, keyed by LogRecordType.
   std::map<LogRecordType, uint64_t> per_type;
+};
+
+/// Batching knobs for the drainer. The defaults publish-and-sync as soon
+/// as a committer waits (no added latency — right for the single-threaded
+/// paths); multi-writer workloads set max_wait to a small window so
+/// concurrent commits coalesce into one sync.
+struct GroupCommitOptions {
+  /// Publish the staged queue once it holds this many bytes, even with no
+  /// committer waiting.
+  uint64_t max_batch_bytes = 64 * 1024;
+  /// With committers waiting, linger up to this long for more of them
+  /// before syncing. Zero = sync immediately.
+  std::chrono::microseconds max_wait{0};
 };
 
 /// Append/force/read interface over the recovery log. Thread-safe.
 class LogManager {
  public:
-  explicit LogManager(SimLogDevice* device);
+  explicit LogManager(SimLogDevice* device,
+                      GroupCommitOptions gc = GroupCommitOptions());
+  /// Joins the drainer and publishes (without syncing) any staged bytes,
+  /// preserving the pre-group-commit invariant that a destroyed manager's
+  /// appends are all on the device. Call Crash() first to model a failure.
+  ~LogManager();
 
   SPF_DISALLOW_COPY(LogManager);
 
-  /// Appends `rec`, assigning rec.lsn and rec.length. The record is in the
-  /// log buffer after this call; it is durable only after Force(rec.lsn).
+  /// Optional write-side restore admission; may be null. Install during
+  /// startup (not thread-safe vs. concurrent appends). See
+  /// AppendPageRecord for the seal interaction.
+  void SetWriteAdmission(RestoreAdmission* a) { write_admission_ = a; }
+
+  /// Appends `rec`, assigning rec.lsn and rec.length. The record is staged
+  /// in the log buffer after this call; it is durable only after
+  /// Force(rec.lsn).
   Lsn Append(LogRecord* rec);
 
   /// Helper for records that modify a page: fills the per-page chain from
@@ -51,20 +102,43 @@ class LogManager {
   /// to the new record's LSN and bumps its update counter. This is the one
   /// place invariant L1 (PageLSN anchors the per-page chain, Figure 6) is
   /// maintained.
+  ///
+  /// Seal interaction (closes the write-side TOCTOU the MarkDirty re-check
+  /// only narrowed): after reserving the record's slot, this call parks on
+  /// the write admission until the page's segment is restored. The
+  /// reservation fixes which side of a restore's replay-plan scan the
+  /// record falls on — a record reserved before the scan reads the tail is
+  /// staged by then and the scan's publish-on-read covers it; a record
+  /// reserved after the tail read happens-after the seal (both orders run
+  /// under this manager's reservation mutex) and therefore observes
+  /// sealed admission HERE, parking until the segment is final. Either
+  /// way no logged update can slip between the plan and the sweep.
+  /// Parking holds no log-manager lock; the caller's exclusive page latch
+  /// keeps the updated frame pinned and un-evictable, and the sweep needs
+  /// neither that latch nor any pool or log mutex to make progress.
   Lsn AppendPageRecord(LogRecord* rec, PageView page);
 
-  /// Forces the log to stable storage up to and including `lsn`.
+  /// Forces the log to stable storage up to and including `lsn`: wakes the
+  /// drainer and waits until the batch containing `lsn` is synced. With
+  /// concurrent callers this is the group-commit wait.
   void Force(Lsn lsn);
 
   /// Forces everything appended so far.
   void ForceAll();
 
+  /// Simulated crash: stops the drainer and DISCARDS all staged-but-
+  /// unpublished records. Staged bytes are more volatile than the device's
+  /// unsynced tail, so they must never reach the device once the crash is
+  /// declared — the caller drops the device's unsynced tail afterwards.
+  void Crash();
+
   /// Reads and parses the record at `lsn`. Charges log-device I/O
   /// (one random access per record — the dominant cost of single-page
-  /// recovery, section 6).
+  /// recovery, section 6). Publishes staged bytes first if `lsn` has not
+  /// reached the device yet.
   StatusOr<LogRecord> Read(Lsn lsn) const;
 
-  /// LSN one past the last appended byte (the next record's LSN).
+  /// LSN one past the last reserved byte (the next record's LSN).
   Lsn tail_lsn() const;
 
   /// Highest LSN known durable.
@@ -109,14 +183,53 @@ class LogManager {
   static constexpr uint64_t kLogFileHeaderSize = 8;
 
   /// Raw byte read from the underlying log device (charged like any other
-  /// log read). Building block for LogSegmentReader.
+  /// log read). Building block for LogSegmentReader. Publishes staged
+  /// bytes first when the range extends past the device's current end.
   Status ReadRaw(uint64_t offset, uint64_t n, char* out) const;
 
  private:
+  /// Publishes every staged record to the device, in reservation order.
+  /// flush_mu_ serializes publishers (the drainer and publish-on-read
+  /// callers) so batches land at their reserved offsets; mu_ is taken only
+  /// to detach the queue, never across device I/O.
+  void Publish() const;
+
+  /// Makes [0, end) of the log readable from the device, publishing the
+  /// staged queue if the reserved-but-unpublished region overlaps it.
+  void EnsureReadable(uint64_t end) const;
+
+  void DrainerLoop();
+
   SimLogDevice* const device_;
-  mutable std::mutex mu_;
+  const GroupCommitOptions gc_;
+  RestoreAdmission* write_admission_ = nullptr;
+
+  mutable std::mutex mu_;  // reservation + staging + waiter state
+  Lsn next_lsn_ = 0;       // reserved tail (device end + staged bytes)
+  mutable std::deque<std::string> staged_;  // serialized, in LSN order
+  mutable uint64_t staged_bytes_ = 0;
+  uint64_t synced_ = 0;  // durable watermark (== device synced_size)
+  uint64_t force_waiters_ = 0;
+  /// Highest LSN any Force waiter has asked for. The drainer treats
+  /// waiters as pending only while `synced_ <= force_target_`: a
+  /// satisfied waiter decrements force_waiters_ only after re-acquiring
+  /// mu_, and without the target check the drainer could read the stale
+  /// count and run a spurious publish+sync — which, racing a crash,
+  /// would resurrect staged records the crash is about to discard.
+  Lsn force_target_ = 0;
+  std::chrono::steady_clock::time_point oldest_force_{};
+  bool stop_ = false;
+  mutable std::condition_variable drain_cv_;    // wakes the drainer
+  mutable std::condition_variable durable_cv_;  // wakes Force waiters
   Lsn master_record_ = kInvalidLsn;  // modeled as separate stable storage
   mutable LogStats stats_;
+
+  /// Publisher order lock: held across detach-and-append so staged batches
+  /// cannot land on the device out of reservation order. Always acquired
+  /// BEFORE mu_; never held while parking.
+  mutable std::mutex flush_mu_;
+
+  std::thread drainer_;
 };
 
 /// Buffered record reader for coordinated multi-page chain walks.

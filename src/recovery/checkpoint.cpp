@@ -80,16 +80,26 @@ StatusOr<CheckpointStats> Checkpointer::Take() {
 
   CheckpointEndBody body;
   body.dpt = pool_->DirtyPages();  // pages (re)dirtied during the checkpoint
-  body.txn_table = txns_->ActiveTxns();
   body.allocator_image = alloc_->Serialize();
   body.bad_blocks_image = bbl_->Serialize();
-  body.next_txn_id = txns_->next_txn_id();
   stats.dirty_at_end = body.dpt.size();
 
   LogRecord end;
   end.type = LogRecordType::kCheckpointEnd;
-  end.body = body.Encode();
-  stats.end_lsn = log_->Append(&end);
+  {
+    // Exclusive commit-gate section: the txn-table snapshot and the
+    // end-record append must be atomic against concurrent finish-record
+    // appends, or a commit record can land BEFORE the checkpoint-end
+    // record while its transaction still shows as active in the table —
+    // restart analysis would then resurrect the committed transaction as
+    // a loser and undo acknowledged writes (see
+    // TxnManager::LockCommitsForCheckpoint).
+    auto gate = txns_->LockCommitsForCheckpoint();
+    body.txn_table = txns_->ActiveTxns();
+    body.next_txn_id = txns_->next_txn_id();
+    end.body = body.Encode();
+    stats.end_lsn = log_->Append(&end);
+  }
 
   log_->ForceAll();
   log_->SetMasterRecord(stats.begin_lsn);

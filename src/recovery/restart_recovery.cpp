@@ -1,5 +1,7 @@
 #include "recovery/restart_recovery.h"
 
+#include <unordered_set>
+
 #include "btree/btree_log.h"
 #include "common/coding.h"
 
@@ -59,6 +61,14 @@ Status RestartRecovery::Analysis(RestartStats* stats) {
   if (start == kInvalidLsn) start = log_->first_lsn();
   stats->analysis_start = start;
 
+  // Transactions whose finish record (commit, or an abort's end) the scan
+  // has already passed. A checkpoint's txn table is snapshotted before its
+  // end record is appended, so a transaction that finished in that window
+  // can appear in the table even though its finish record precedes the
+  // checkpoint record — without this set, the table would resurrect it as
+  // a loser and undo a committed transaction.
+  std::unordered_set<TxnId> finished;
+
   for (auto it = log_->Scan(start); it.Valid(); it.Next()) {
     const LogRecord& rec = it.record();
     stats->analysis_records++;
@@ -70,6 +80,7 @@ Status RestartRecovery::Analysis(RestartStats* stats) {
         case LogRecordType::kCommitTxn:
         case LogRecordType::kEndTxn:
           losers_.erase(rec.txn_id);
+          finished.insert(rec.txn_id);
           break;
         default: {
           LoserInfo& info = losers_[rec.txn_id];
@@ -100,6 +111,7 @@ Status RestartRecovery::Analysis(RestartStats* stats) {
         }
         for (const auto& t : body.txn_table) {
           if (t.is_system) continue;
+          if (finished.count(t.txn_id)) continue;
           if (losers_.find(t.txn_id) == losers_.end()) {
             LoserInfo info;
             info.last_lsn = t.last_lsn;

@@ -1,0 +1,51 @@
+// RestoreAdmission: the gate interface an incremental full restore uses to
+// throttle the rest of the engine while segments stream back from backup.
+//
+// It lives here (below both the buffer pool and the log manager) because
+// two independent layers consult it:
+//
+//  * the buffer pool, on every fault / fresh-page fix / exclusive cache
+//    hit / MarkDirty re-check (see buffer_pool.h for the per-call-site
+//    rationale), and
+//  * the log manager, on every page-modifying append — the slot the record
+//    reserved decides on which side of the restore's replay-plan scan it
+//    falls, and AppendPageRecord parks records that landed past the scan
+//    until their page's segment is final (see log_manager.h).
+
+#pragma once
+
+#include "common/status.h"
+#include "storage/page.h"
+
+namespace spf {
+
+/// Admission check consulted on every buffer fault, every fresh-page fix,
+/// every EXCLUSIVE cache hit, MarkDirty's last-line re-check, and every
+/// page-modifying log append — before the device is touched or the cached
+/// frame's update can become durable state. During an incremental full
+/// restore the recovery module's RestoreGate implements this: a fault on a
+/// page the restore sweep has not reached yet blocks until that page's
+/// segment is back (and is registered for on-demand service so hot pages
+/// jump the sweep queue), so readers resume as soon as THEIR page is
+/// restored instead of when the whole device is. Outside a restore the
+/// check is a single relaxed atomic load.
+class RestoreAdmission {
+ public:
+  virtual ~RestoreAdmission() = default;
+  /// Returns once page `id` may safely be read from (or written back to)
+  /// the device and modifying it cannot race the restore sweep; an error
+  /// means the restore failed and the fault must propagate it instead of
+  /// retrying or repairing.
+  virtual Status AwaitRestored(PageId id) = 0;
+  /// True when `id`'s device copy is final w.r.t. any restore in
+  /// progress (no restore, or `id`'s segment already restored); false
+  /// from the moment a restore seals admission until the sweep restores
+  /// the segment. LoadPage re-checks this AFTER a successful device read
+  /// and re-reads on false: a read that raced the seal may have returned
+  /// a checksum-valid but stale pre-failure image from the revived
+  /// device, and the device-level synchronization guarantees the seal is
+  /// visible here whenever that could have happened.
+  virtual bool IsRestored(PageId id) const = 0;
+};
+
+}  // namespace spf

@@ -204,21 +204,25 @@ uint64_t SimLogDevice::Append(std::string_view data) {
 
 void SimLogDevice::Sync() {
   std::lock_guard<std::mutex> g(mu_);
+  // Every sync is one device round-trip: the unsynced tail transfers at
+  // the sequential rate, but completing the force still pays the
+  // profile's positioning overhead (rotational delay on disk, flush
+  // latency on flash) no matter how few bytes it carries. This fixed
+  // per-sync cost is exactly what group commit amortizes: N committers
+  // sharing one sync split one positioning charge instead of paying N.
   if (data_.size() == synced_size_) {
-    // Even an empty force pays one device round-trip (group commit's cost).
-    uint64_t ns = profile_.AccessNanos(0, /*sequential=*/true);
+    uint64_t ns = profile_.AccessNanos(0, /*sequential=*/false);
     clock_->AdvanceNanos(ns);
     stats_.sim_ns_charged += ns;
     return;
   }
   uint64_t tail = data_.size() - synced_size_;
-  // Log appends are sequential at the device; charge transfer only.
-  uint64_t ns = profile_.AccessNanos(tail, /*sequential=*/true);
+  uint64_t ns = profile_.AccessNanos(tail, /*sequential=*/false);
   clock_->AdvanceNanos(ns);
   stats_.sim_ns_charged += ns;
   stats_.page_writes++;
   stats_.bytes_written += tail;
-  stats_.sequential_accesses++;
+  stats_.random_accesses++;
   synced_size_ = data_.size();
 }
 

@@ -2,8 +2,7 @@
 
 namespace spf {
 
-bool LockManager::Compatible(const LockState& s, TxnId txn,
-                             LockMode mode) const {
+bool LockManager::Compatible(const LockState& s, TxnId txn, LockMode mode) {
   for (const auto& [holder, held_mode] : s.holders) {
     if (holder == txn) continue;  // self-compatibility handled by caller
     if (mode == LockMode::kExclusive || held_mode == LockMode::kExclusive) {
@@ -14,8 +13,9 @@ bool LockManager::Compatible(const LockState& s, TxnId txn,
 }
 
 Status LockManager::Lock(TxnId txn, const std::string& key, LockMode mode) {
-  std::unique_lock<std::mutex> lock(mu_);
-  LockState& s = locks_[key];
+  Shard& sh = ShardFor(key);
+  std::unique_lock<std::mutex> lock(sh.mu);
+  LockState& s = sh.locks[key];
 
   auto self = s.holders.find(txn);
   if (self != s.holders.end()) {
@@ -28,57 +28,89 @@ Status LockManager::Lock(TxnId txn, const std::string& key, LockMode mode) {
 
   auto deadline = std::chrono::steady_clock::now() + timeout_;
   s.waiters++;
+  bool waited = false;
   while (!Compatible(s, txn, mode)) {
-    if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+    waited = true;
+    if (sh.cv.wait_until(lock, deadline) == std::cv_status::timeout) {
       s.waiters--;
-      timeouts_++;
-      if (s.holders.empty() && s.waiters == 0) locks_.erase(key);
+      sh.timeouts++;
+      if (waited) sh.waits++;
+      if (s.holders.empty() && s.waiters == 0) sh.locks.erase(key);
       return Status::Deadlock("lock wait timeout on key '" + key + "'");
     }
   }
   s.waiters--;
   s.holders[txn] = mode;
+  sh.acquisitions++;
+  if (waited) sh.waits++;
   return Status::OK();
 }
 
 void LockManager::Unlock(TxnId txn, const std::string& key) {
-  std::lock_guard<std::mutex> g(mu_);
-  auto it = locks_.find(key);
-  if (it == locks_.end()) return;
+  Shard& sh = ShardFor(key);
+  std::lock_guard<std::mutex> g(sh.mu);
+  auto it = sh.locks.find(key);
+  if (it == sh.locks.end()) return;
   it->second.holders.erase(txn);
   if (it->second.holders.empty() && it->second.waiters == 0) {
-    locks_.erase(it);
+    sh.locks.erase(it);
   }
-  cv_.notify_all();
+  sh.cv.notify_all();
 }
 
 void LockManager::ReleaseAll(TxnId txn) {
-  std::lock_guard<std::mutex> g(mu_);
-  for (auto it = locks_.begin(); it != locks_.end();) {
-    it->second.holders.erase(txn);
-    if (it->second.holders.empty() && it->second.waiters == 0) {
-      it = locks_.erase(it);
-    } else {
-      ++it;
+  for (Shard& sh : shards_) {
+    std::lock_guard<std::mutex> g(sh.mu);
+    bool released = false;
+    for (auto it = sh.locks.begin(); it != sh.locks.end();) {
+      released |= it->second.holders.erase(txn) > 0;
+      if (it->second.holders.empty() && it->second.waiters == 0) {
+        it = sh.locks.erase(it);
+      } else {
+        ++it;
+      }
     }
+    if (released) sh.cv.notify_all();
   }
-  cv_.notify_all();
 }
 
 bool LockManager::IsLocked(const std::string& key) const {
-  std::lock_guard<std::mutex> g(mu_);
-  auto it = locks_.find(key);
-  return it != locks_.end() && !it->second.holders.empty();
+  Shard& sh = ShardFor(key);
+  std::lock_guard<std::mutex> g(sh.mu);
+  auto it = sh.locks.find(key);
+  return it != sh.locks.end() && !it->second.holders.empty();
 }
 
 bool LockManager::Holds(TxnId txn, const std::string& key,
                         LockMode mode) const {
-  std::lock_guard<std::mutex> g(mu_);
-  auto it = locks_.find(key);
-  if (it == locks_.end()) return false;
+  Shard& sh = ShardFor(key);
+  std::lock_guard<std::mutex> g(sh.mu);
+  auto it = sh.locks.find(key);
+  if (it == sh.locks.end()) return false;
   auto h = it->second.holders.find(txn);
   if (h == it->second.holders.end()) return false;
   return mode == LockMode::kShared || h->second == LockMode::kExclusive;
+}
+
+uint64_t LockManager::timeouts() const {
+  uint64_t total = 0;
+  for (const Shard& sh : shards_) {
+    std::lock_guard<std::mutex> g(sh.mu);
+    total += sh.timeouts;
+  }
+  return total;
+}
+
+LockManagerStats LockManager::stats() const {
+  LockManagerStats out;
+  for (const Shard& sh : shards_) {
+    std::lock_guard<std::mutex> g(sh.mu);
+    out.acquisitions += sh.acquisitions;
+    out.waits += sh.waits;
+    out.timeouts += sh.timeouts;
+    out.keys_tracked += sh.locks.size();
+  }
+  return out;
 }
 
 }  // namespace spf

@@ -5,17 +5,25 @@
 // treated as deadlocked and receives Status::Deadlock, which the caller
 // turns into a transaction failure (rollback) — the cheapest of the
 // paper's failure classes and the baseline for experiment E1.
+//
+// The lock table is sharded by key hash so disjoint-key writers never
+// touch the same mutex: each shard owns its own map, mutex, and condition
+// variable, and the wait/timeout logic runs entirely within one shard
+// (a lock names exactly one key, so no operation ever holds two shard
+// mutexes). Only ReleaseAll visits every shard, once per commit/abort.
 
 #pragma once
 
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/macros.h"
 #include "common/status.h"
 #include "log/log_record.h"
 
@@ -23,11 +31,26 @@ namespace spf {
 
 enum class LockMode : uint8_t { kShared, kExclusive };
 
+/// Counters aggregated over all shards.
+struct LockManagerStats {
+  uint64_t acquisitions = 0;  ///< granted lock requests
+  uint64_t waits = 0;         ///< requests that blocked at least once
+  uint64_t timeouts = 0;      ///< waits resolved as deadlock
+  /// Keys with a holder or waiter right now; zero after all transactions
+  /// retire (the stress tests' lock-leak probe).
+  uint64_t keys_tracked = 0;
+};
+
 class LockManager {
  public:
+  static constexpr size_t kDefaultShards = 16;
+
   explicit LockManager(std::chrono::milliseconds wait_timeout =
-                           std::chrono::milliseconds(200))
-      : timeout_(wait_timeout) {}
+                           std::chrono::milliseconds(200),
+                       size_t shards = kDefaultShards)
+      : timeout_(wait_timeout), shards_(shards == 0 ? 1 : shards) {}
+
+  SPF_DISALLOW_COPY(LockManager);
 
   /// Acquires `mode` on `key` for `txn`. Re-entrant; upgrades a shared
   /// lock to exclusive when `txn` is the only holder. Returns Deadlock on
@@ -48,10 +71,9 @@ class LockManager {
   /// rollback and must not be removed.
   bool IsLocked(const std::string& key) const;
 
-  uint64_t timeouts() const {
-    std::lock_guard<std::mutex> g(mu_);
-    return timeouts_;
-  }
+  uint64_t timeouts() const;
+
+  LockManagerStats stats() const;
 
  private:
   struct LockState {
@@ -60,13 +82,23 @@ class LockManager {
     uint64_t waiters = 0;
   };
 
-  bool Compatible(const LockState& s, TxnId txn, LockMode mode) const;
+  struct Shard {
+    mutable std::mutex mu;
+    std::condition_variable cv;
+    std::map<std::string, LockState> locks;
+    uint64_t acquisitions = 0;
+    uint64_t waits = 0;
+    uint64_t timeouts = 0;
+  };
+
+  Shard& ShardFor(const std::string& key) const {
+    return shards_[std::hash<std::string>{}(key) % shards_.size()];
+  }
+
+  static bool Compatible(const LockState& s, TxnId txn, LockMode mode);
 
   const std::chrono::milliseconds timeout_;
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::map<std::string, LockState> locks_;
-  uint64_t timeouts_ = 0;
+  mutable std::vector<Shard> shards_;
 };
 
 }  // namespace spf

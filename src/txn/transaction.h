@@ -104,6 +104,20 @@ class Transaction {
   /// currently claimed.
   void RevertRollbackClaim() { rollback_claimed_.store(false); }
 
+  /// Marks that this transaction's finish record (kCommitTxn, or the
+  /// kEndTxn closing an abort) has been appended to the log. Set inside
+  /// the TxnManager commit gate's shared section, so a checkpoint's
+  /// exclusive {snapshot + append} section observes it for exactly the
+  /// transactions whose finish record precedes the checkpoint-end record
+  /// in the log. ActiveTxns() excludes marked transactions from the
+  /// checkpoint's txn table: they are finished as far as the log is
+  /// concerned (the checkpoint forces the log past their finish record
+  /// before publishing the master record), and seeding them as restart
+  /// losers would roll back a committed transaction.
+  void mark_finish_logged() { finish_logged_.store(true); }
+  /// True once the finish record has been appended (see above).
+  bool finish_logged() const { return finish_logged_.load(); }
+
   /// Facade-operation bracket: the database facade counts every data
   /// operation run on this transaction so the restore's fallback
   /// rollback can wait out an operation that was already executing when
@@ -176,6 +190,7 @@ class Transaction {
   const bool system_;
   std::atomic<uint8_t> fate_{kFateOpen};
   std::atomic<bool> rollback_claimed_{false};
+  std::atomic<bool> finish_logged_{false};
   std::atomic<uint32_t> ops_in_flight_{0};
   TxnState state_ = TxnState::kActive;
   Lsn first_lsn_ = kInvalidLsn;

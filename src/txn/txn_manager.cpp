@@ -44,7 +44,16 @@ Status TxnManager::Commit(Transaction* txn) {
     // Read-only transactions commit without logging anything.
     LogRecord commit;
     commit.type = LogRecordType::kCommitTxn;
-    Lsn commit_lsn = txn->Log(log_, &commit);
+    Lsn commit_lsn;
+    {
+      // Shared commit-gate section: the append and the finish-logged mark
+      // are atomic with respect to a checkpoint's {snapshot + append}
+      // exclusive section, so a checkpoint whose end record follows this
+      // commit record never lists this transaction as active.
+      std::shared_lock<std::shared_mutex> gate(commit_gate_);
+      commit_lsn = txn->Log(log_, &commit);
+      txn->mark_finish_logged();
+    }
     if (!txn->is_system()) {
       // Durability for user commits requires forcing the log
       // (section 5.1.5 / Figure 5). This also carries any earlier
@@ -81,7 +90,12 @@ void TxnManager::FinishAbort(Transaction* txn) {
   if (txn->last_lsn() != kInvalidLsn) {
     LogRecord end;
     end.type = LogRecordType::kEndTxn;
+    // Same commit-gate discipline as Commit: once the end record is in
+    // the log, a later checkpoint must not list this transaction as
+    // active (restart would re-undo an already-compensated chain).
+    std::shared_lock<std::shared_mutex> gate(commit_gate_);
     txn->Log(log_, &end);
+    txn->mark_finish_logged();
   }
   txn->set_state(TxnState::kAborted);
   {
@@ -178,6 +192,12 @@ std::vector<ActiveTxnEntry> TxnManager::ActiveTxns() const {
   std::lock_guard<std::mutex> g(mu_);
   std::vector<ActiveTxnEntry> out;
   for (const auto& [id, txn] : active_) {
+    // A transaction whose finish record is already in the log is done as
+    // far as recovery is concerned; it merely has not retired from the
+    // table yet (commit is still waiting on the group-commit force, or
+    // the aborter is releasing locks). Listing it would seed it as a
+    // restart loser and undo a committed transaction.
+    if (txn->finish_logged()) continue;
     out.push_back({id, txn->last_lsn(), txn->is_system()});
   }
   return out;

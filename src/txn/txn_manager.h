@@ -7,6 +7,7 @@
 #include <condition_variable>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -131,8 +132,28 @@ class TxnManager {
   /// a handle or a restore.
   void DoomAllForCrash();
 
-  /// Snapshot of active transactions (checkpoint payload).
+  /// Snapshot of active transactions (checkpoint payload). Excludes
+  /// transactions whose finish record (commit, or an abort's end) is
+  /// already in the log — seeding those as restart losers would undo a
+  /// committed transaction. Call under LockCommitsForCheckpoint() when
+  /// the snapshot must be ordered against a log append (see below).
   std::vector<ActiveTxnEntry> ActiveTxns() const;
+
+  /// Commit-gate exclusive section for checkpoints. Finish-record appends
+  /// (Commit's kCommitTxn, FinishAbort's kEndTxn) run inside a SHARED
+  /// section of this gate and mark the transaction finish-logged before
+  /// leaving it. A checkpoint holds the EXCLUSIVE section across
+  /// {ActiveTxns snapshot + kCheckpointEnd append}, which makes snapshot
+  /// visibility agree with log order: a finish record ordered before the
+  /// checkpoint-end record is always visible to the snapshot (its
+  /// transaction is excluded), and one ordered after is not (its
+  /// transaction appears in the table and analysis erases it when the
+  /// scan reaches the finish record). Without this ordering, restart
+  /// analysis can resurrect a committed transaction from a checkpoint's
+  /// txn table and roll back acknowledged writes.
+  std::unique_lock<std::shared_mutex> LockCommitsForCheckpoint() {
+    return std::unique_lock<std::shared_mutex>(commit_gate_);
+  }
 
   /// Number of transactions in the active table (user + system).
   size_t active_count() const;
@@ -159,6 +180,9 @@ class TxnManager {
   LockManager* const locks_;
 
   mutable std::mutex mu_;
+  /// Orders finish-record appends against checkpoint snapshots — see
+  /// LockCommitsForCheckpoint().
+  mutable std::shared_mutex commit_gate_;
   std::condition_variable gate_cv_;   ///< wakes parked Begins (gate opened)
   std::condition_variable drain_cv_;  ///< wakes WaitForUserDrain (retirements)
   bool gate_closed_ = false;

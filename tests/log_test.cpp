@@ -100,7 +100,11 @@ TEST_F(LogTest, CrashDropsUnforcedRecords) {
   LogRecord b = MakeRecord(LogRecordType::kCommitTxn, 1, "");
   Lsn lb = log_.Append(&b);
 
-  device_.DropUnsynced();  // crash
+  // Crash: staged records die with the manager, then the device loses its
+  // unsynced tail (staged bytes are strictly MORE volatile than published
+  // ones, so the order mirrors Database::SimulateCrash).
+  log_.Crash();
+  device_.DropUnsynced();
 
   EXPECT_TRUE(log_.Read(lb).status().IsIOError());
   auto still = log_.Read(a.lsn);
@@ -189,6 +193,10 @@ TEST_F(LogTest, ScanFromMidpoint) {
 TEST_F(LogTest, ScanStopsAtCorruptTail) {
   LogRecord a = MakeRecord(LogRecordType::kBeginTxn, 1, "");
   log_.Append(&a);
+  // Publish the staged record first so the garbage below lands AFTER it
+  // on the device (group commit stages appends off-device until a force
+  // or batch threshold).
+  log_.ForceAll();
   // Simulate a torn tail: append garbage directly to the device.
   device_.Append("\x40\x00\x00\x00garbage-that-is-not-a-record");
   int count = 0;

@@ -135,7 +135,7 @@ TEST(RecoveryCoordinatorTest, ForegroundReadSelfHeals) {
   std::string after = SnapshotPages(db.get(), {victim}).front();
   EXPECT_EQ(before, after) << "device copy not byte-identical after heal";
 
-  DatabaseStats stats = db->Stats();
+  StatsSnapshot stats = db->Stats();
   EXPECT_GE(stats.funnel.from_foreground, 1u);
   EXPECT_GE(stats.funnel.repaired_spr, 1u);
   EXPECT_EQ(stats.funnel.failed, 0u);
@@ -178,7 +178,7 @@ TEST(RecoveryCoordinatorTest, ConcurrentReadersShareOneRepair) {
   db->funnel()->WaitIdle();
 
   EXPECT_EQ(ok_reads.load(), kReaders);
-  DatabaseStats stats = db->Stats();
+  StatsSnapshot stats = db->Stats();
   EXPECT_EQ(stats.spr.repairs_attempted, 1u);
   EXPECT_EQ(stats.spr.repairs_succeeded, 1u);
   EXPECT_EQ(stats.funnel.enqueued, 1u);

@@ -173,7 +173,7 @@ TEST(RecoverySchedulerTest, ForegroundReadsRouteThroughTheFunnelByDefault) {
 
   auto v = db->Get(Key(0));
   ASSERT_TRUE(v.ok()) << v.status().ToString();
-  DatabaseStats stats = db->Stats();
+  StatsSnapshot stats = db->Stats();
   EXPECT_EQ(stats.scheduler.single_repairs, 0u);
   EXPECT_GE(stats.funnel.from_foreground, 1u);
   EXPECT_GE(stats.funnel.repaired_spr, 1u);

@@ -99,6 +99,53 @@ TEST(CheckpointTest, ActiveTxnAppearsInEndRecord) {
   SPF_CHECK_OK(active.Commit());
 }
 
+TEST(CheckpointTest, RestartDoesNotResurrectCommittedTxnFromCheckpointTable) {
+  // Regression: a checkpoint snapshots its txn table before appending the
+  // end record, so a transaction that commits in that window can appear
+  // in the table even though its commit record PRECEDES the checkpoint
+  // record in the log. The writer side now closes the window with the
+  // commit gate, and restart analysis independently refuses to re-seed a
+  // transaction whose finish record the scan already passed. This test
+  // forges the hazardous log shape directly (commit record, then a
+  // checkpoint-end record still listing the txn as active) and checks
+  // that restart leaves the committed write in place.
+  auto db = std::move(Database::Create(FastOptions())).value();
+  {
+    Txn seed = db->BeginTxn();
+    SPF_CHECK_OK(seed.Insert(Key(1), "v1"));
+    SPF_CHECK_OK(seed.Commit());
+  }
+  auto ckpt = db->Checkpoint();
+  ASSERT_TRUE(ckpt.ok());
+  auto real_end = db->log()->Read(ckpt->end_lsn);
+  ASSERT_TRUE(real_end.ok());
+  auto real_body = CheckpointEndBody::Decode(real_end->body);
+  ASSERT_TRUE(real_body.ok());
+
+  // The victim: updates an existing key (no page allocation, so the real
+  // checkpoint's allocator image stays accurate) and commits durably.
+  Txn victim = db->BeginTxn();
+  SPF_CHECK_OK(victim.Put(Key(1), "v2"));
+  TxnId victim_id = victim.id();
+  SPF_CHECK_OK(victim.Commit());
+
+  // Forge the race: a checkpoint-end record appended AFTER the commit
+  // record whose table claims the victim is still active.
+  CheckpointEndBody forged = *real_body;
+  forged.txn_table.push_back({victim_id, db->log()->tail_lsn(), false});
+  LogRecord end;
+  end.type = LogRecordType::kCheckpointEnd;
+  end.body = forged.Encode();
+  db->log()->Append(&end);
+  db->log()->ForceAll();
+
+  db->SimulateCrash();
+  ASSERT_TRUE(db->Restart().ok());
+  auto got = db->Get(Key(1));
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, "v2");  // the committed write survived restart undo
+}
+
 TEST(CheckpointTest, PriTailDoesNotCascadeWithinOneCheckpoint) {
   // Section 5.2.6: writing PRI pages dirties OTHER PRI windows; those are
   // deliberately left for the next checkpoint rather than chased.

@@ -1,13 +1,20 @@
 #!/usr/bin/env python3
-"""Deprecation firewall: keep the legacy v1 facade out of new code.
+"""Deprecation firewall: keep the deleted v1 facade from coming back.
 
-Greps tests/, examples/, and bench/ for the deprecated raw-pointer entry
+Greps tests/, examples/, and bench/ for the removed raw-pointer entry
 points of the pre-v2 client API (Database::Begin() -> Transaction*,
 facade ops taking a Transaction*, unlocked reads spelled Get(nullptr, ...))
 so they cannot creep back in. The engine-internal TxnManager surface
 (txns->Begin(), BeginSystem) is allowed — tests below the facade use it
 legitimately; examples and benches are pure facade clients and may not
 mention Transaction* at all.
+
+Since the shims were deleted, src/db is scanned too: any PUBLIC
+raw-pointer entry point on the Database facade (a `Transaction* Begin`
+declaration, or a facade verb taking `Transaction*` first) fails the
+check, so the v1 surface cannot be reintroduced. The private *Op
+internals (CommitTxn, InsertOp, ...) the Txn handle drives are exempt by
+name.
 
 Exits non-zero listing every violation. Run from the repo root:
 
@@ -38,6 +45,30 @@ RAW_HANDLE = re.compile(r'\bTransaction\s*\*')
 # Engine-internal lines the TxnManager rule must not flag.
 ALLOWED = re.compile(r'txns(?:\(\)|_)?\s*(?:->|\.)\s*Begin|BeginSystem')
 
+# src/db: declarations that would resurrect the v1 facade surface. The
+# *Op/*Txn internals (InsertOp, CommitTxn, ...) do not match — only the
+# bare facade verbs taking a leading Transaction* do.
+REINTRODUCED_ENTRY_POINTS = [
+    # Transaction* Begin(  — the raw-handle factory.
+    re.compile(r'\bTransaction\s*\*\s*(?:Database\s*::\s*)?Begin\s*\('),
+    # Status Commit(Transaction* ...), Get(Transaction* ...), etc.
+    re.compile(r'\b(?:Commit|Abort|Insert|Update|Put|Delete|Get)\s*'
+               r'\(\s*Transaction\s*\*'),
+]
+
+
+def scan_facade_source(path: Path) -> list:
+    violations = []
+    for lineno, line in enumerate(path.read_text().splitlines(), 1):
+        stripped = line.strip()
+        if stripped.startswith('//') or stripped.startswith('///'):
+            continue
+        for pattern in REINTRODUCED_ENTRY_POINTS:
+            if pattern.search(line):
+                violations.append((path, lineno, stripped))
+                break
+    return violations
+
 
 def scan(path: Path, forbid_raw_handle: bool) -> list:
     violations = []
@@ -67,6 +98,9 @@ def main() -> int:
     for tree, forbid_raw in trees:
         for path in sorted(tree.rglob('*.h')) + sorted(tree.rglob('*.cpp')):
             violations.extend(scan(path, forbid_raw))
+    facade_src = root / 'src' / 'db'
+    for path in sorted(facade_src.rglob('*.h')) + sorted(facade_src.rglob('*.cpp')):
+        violations.extend(scan_facade_source(path))
     if violations:
         print('deprecated v1 facade usage found '
               '(use Txn/WriteBatch — see db/session.h):')

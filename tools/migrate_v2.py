@@ -1,41 +1,25 @@
 #!/usr/bin/env python3
-"""One-shot mechanical migration of facade call sites to the v2 Txn API.
+"""Historical: one-shot migration of v1 facade call sites to the v2 Txn API.
 
-Not installed anywhere; kept for the PR record and deleted call sites'
-archaeology. Handles the regular patterns; semantic call sites
-(restore-gate dooming, crash losers) are fixed by hand.
+The v1 raw-pointer facade (Database::Begin() -> Transaction*, Commit(txn),
+Insert(txn, ...)) has been DELETED — the one-release deprecation window is
+over, so there is nothing left to migrate and the rewrite rules are gone
+with the shims. The script is kept only so old PR discussions that
+reference it still resolve; running it is now a no-op that says so.
+
+If you are holding out-of-tree v1 call sites, migrate by hand:
+
+    Transaction* t = db->Begin();     ->  Txn t = db->BeginTxn();
+    db->Insert(t, k, v) / Commit(t)   ->  t.Insert(k, v) / t.Commit()
+    db->Get(nullptr, k)               ->  db->Get(k)
+
+and see db/session.h for the Txn handle's full surface (WriteBatch,
+TxnError taxonomy, auto-abort on drop).
 """
-import re
 import sys
 
-RULES = [
-    # Transaction* t = db->Begin();  ->  Txn t = db->BeginTxn();
-    (re.compile(r'Transaction\*\s+(\w+)\s*=\s*(\bdb\w*(?:->|\.))Begin\(\)'),
-     r'Txn \1 = \2BeginTxn()'),
-    # db->Get(nullptr, k)  ->  db->Get(k)
-    (re.compile(r'(\bdb\w*(?:->|\.))Get\(\s*nullptr\s*,\s*'), r'\1Get('),
-    # db->Insert(t, ...) etc  ->  t.Insert(...)
-    (re.compile(r'\bdb\w*(?:->|\.)(Insert|Update|Put|Delete|Get)\(\s*(\w+)\s*,\s*'),
-     lambda m: f'{m.group(2)}.{m.group(1)}('),
-    # db->Commit(t) / db->Abort(t)  ->  t.Commit() / t.Abort()
-    (re.compile(r'\bdb\w*(?:->|\.)(Commit|Abort)\(\s*(\w+)\s*\)'),
-     lambda m: f'{m.group(2)}.{m.group(1)}()'),
-]
-
-
-def migrate(path: str) -> bool:
-    with open(path) as f:
-        text = f.read()
-    orig = text
-    for pattern, repl in RULES:
-        text = pattern.sub(repl, text)
-    if text != orig:
-        with open(path, 'w') as f:
-            f.write(text)
-        return True
-    return False
-
-
 if __name__ == '__main__':
-    for p in sys.argv[1:]:
-        print(('migrated ' if migrate(p) else 'unchanged ') + p)
+    print('migrate_v2: the v1 facade was removed; nothing to migrate.')
+    print('See the docstring for the hand-migration table '
+          '(Begin() -> BeginTxn(), facade ops -> Txn members).')
+    sys.exit(0)
