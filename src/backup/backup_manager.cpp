@@ -133,6 +133,12 @@ StatusOr<PageId> BackupManager::TakePageBackup(PageId id,
   return new_slot;
 }
 
+PageId BackupManager::CurrentPageBackupSlot(PageId id) const {
+  std::lock_guard<std::mutex> g(mu_);
+  auto it = current_slot_.find(id);
+  return it == current_slot_.end() ? kInvalidPageId : it->second;
+}
+
 Status BackupManager::ReadPageBackup(PageId loc, char* out) {
   {
     std::lock_guard<std::mutex> g(mu_);

@@ -109,6 +109,12 @@ class BackupManager {
   /// Reads the per-page backup at backup-device location `loc` into `out`.
   Status ReadPageBackup(PageId loc, char* out);
 
+  /// Authoritative slot of `id`'s newest per-page copy, straight from the
+  /// (stable-storage) catalog; kInvalidPageId if the page has no copy.
+  /// A PRI backup ref is only as durable as the log tail — after a crash
+  /// it can point at a recycled slot — so repair falls back to this.
+  PageId CurrentPageBackupSlot(PageId id) const;
+
   /// Appends the page image to the recovery log (kFullPageImage) and
   /// returns the record's LSN for the PRI's backup reference.
   StatusOr<Lsn> LogPageImage(PageId id, const char* page_data);

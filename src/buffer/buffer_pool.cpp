@@ -205,6 +205,14 @@ Status BufferPool::WriteBack(Frame* f) {
   if (page_lsn != kInvalidLsn) {
     log_->Force(page_lsn);
   }
+  // When this write will take a per-page backup copy, restart the cadence
+  // BEFORE checksumming: the copy then carries the reset count, so a later
+  // repair (copy + k replayed records = count k) reproduces the live
+  // frame exactly instead of the copy's stale pre-reset cadence.
+  const uint32_t update_count = page.update_count();
+  const bool backup_imminent =
+      listener_ != nullptr && listener_->BackupImminent(update_count);
+  if (backup_imminent) page.reset_update_count();
   page.UpdateChecksum();
   SPF_RETURN_IF_ERROR(device_->WritePage(f->page_id, f->data.get()));
   // Clear rec_lsn BEFORE dirty: a DirtyPages reader that still observes
@@ -215,11 +223,17 @@ Status BufferPool::WriteBack(Frame* f) {
   stats_.write_backs.fetch_add(1, std::memory_order_relaxed);
   if (listener_ != nullptr) {
     bool took_backup = listener_->OnPageWritten(f->page_id, page_lsn,
-                                                page.update_count(),
-                                                f->data.get());
-    if (took_backup) {
-      // A fresh backup restarts the per-page update count (section 6).
+                                                update_count, f->data.get());
+    if (took_backup && !backup_imminent) {
+      // Listener took a copy it did not announce (no BackupImminent
+      // override): restart the cadence after the fact, as before. The
+      // copy then predates the reset — acceptable for such listeners.
       page.reset_update_count();
+    } else if (!took_backup && backup_imminent) {
+      // Announced copy failed (e.g. backup device full): undo the
+      // optimistic reset so the next write-back retries the backup at
+      // the true count.
+      while (page.update_count() < update_count) page.bump_update_count();
     }
   }
   return Status::OK();

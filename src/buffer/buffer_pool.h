@@ -81,6 +81,19 @@ class WriteCompletionListener {
   virtual ~WriteCompletionListener() = default;
   virtual bool OnPageWritten(PageId id, Lsn page_lsn, uint32_t update_count,
                              const char* page_data) = 0;
+
+  /// Asked just before the device write when the frame's counter stands at
+  /// `update_count`: return true when the upcoming OnPageWritten would take
+  /// a new per-page backup copy at this count. The pool then resets the
+  /// frame's counter BEFORE checksumming and writing, so the device image,
+  /// the backup copy, and the live frame all record the cadence restart at
+  /// this write — a repair that replays k chain records on top of the copy
+  /// lands on exactly the live frame's count k, keeping repaired images
+  /// byte-identical to never-failed ones.
+  virtual bool BackupImminent(uint32_t update_count) const {
+    (void)update_count;
+    return false;
+  }
 };
 
 /// Latch mode for fixing a page in the pool.

@@ -83,6 +83,16 @@ class PriManager : public WriteCompletionListener {
   bool OnPageWritten(PageId id, Lsn page_lsn, uint32_t update_count,
                      const char* page_data) override;
 
+  /// Announces the backup policy's decision ahead of the device write so
+  /// the pool can restart the per-page cadence BEFORE the image (and the
+  /// copy OnPageWritten takes from it) is materialized — a repaired page
+  /// then carries the same update count as the live frame it replaces.
+  bool BackupImminent(uint32_t update_count) const override {
+    return mode_ == WriteTrackingMode::kPri &&
+           policy_.updates_threshold > 0 &&
+           update_count >= policy_.updates_threshold;
+  }
+
   // --- lookups ----------------------------------------------------------------
 
   PageRecoveryIndex* pri() { return pri_; }

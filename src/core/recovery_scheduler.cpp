@@ -5,6 +5,7 @@
 #include <condition_variable>
 #include <queue>
 #include <thread>
+#include <unordered_map>
 
 #include "btree/btree_log.h"
 
@@ -524,23 +525,35 @@ BatchRepairResult RecoveryScheduler::CollectOutcomes(
 
 uint64_t RecoveryScheduler::WalkCluster(std::vector<PageTask>* tasks,
                                         const std::vector<size_t>& members) {
+  // Snapshot the archive watermark once per cluster: it only advances, so
+  // every chain pointer below it is guaranteed to be in a published run.
+  const Lsn archived_upto =
+      archive_ != nullptr ? archive_->archived_upto() : 0;
+  // Per-member newest archived chain LSN, kInvalidLsn while the walk is
+  // still in the tail. Set when a chain pointer drops below the watermark;
+  // the archived remainder is fetched in one batch after the heap drains.
+  std::vector<Lsn> archived_hi(members.size(), kInvalidLsn);
+
   // Max-heap over every member's next chain pointer: records pop in
   // globally descending LSN order, so the segment reader's window slides
   // monotonically backward through the log and fetches each segment once.
-  using HeapItem = std::pair<Lsn, size_t>;  // (next lsn, task index)
+  using HeapItem = std::pair<Lsn, size_t>;  // (next lsn, member position)
   std::priority_queue<HeapItem> heap;
-  for (size_t idx : members) {
-    PageTask& task = (*tasks)[idx];
-    if (!task.done && task.next_lsn != kInvalidLsn) {
-      heap.push({task.next_lsn, idx});
+  for (size_t m = 0; m < members.size(); ++m) {
+    PageTask& task = (*tasks)[members[m]];
+    if (task.done || task.next_lsn == kInvalidLsn) continue;
+    if (task.next_lsn < archived_upto) {
+      archived_hi[m] = task.next_lsn;
+    } else {
+      heap.push({task.next_lsn, m});
     }
   }
 
   LogSegmentReader reader(spr_->log(), options_.log_segment_bytes);
   while (!heap.empty()) {
-    auto [lsn, idx] = heap.top();
+    auto [lsn, m] = heap.top();
     heap.pop();
-    PageTask& task = (*tasks)[idx];
+    PageTask& task = (*tasks)[members[m]];
     if (task.done) continue;
     auto rec_or = reader.Read(lsn);
     if (!rec_or.ok()) {
@@ -555,19 +568,99 @@ uint64_t RecoveryScheduler::WalkCluster(std::vector<PageTask>* tasks,
     Lsn prev = rec.page_prev_lsn;
     task.chain.push_back(std::move(rec));
     if (prev != kInvalidLsn && prev > task.backup_lsn) {
-      heap.push({prev, idx});
+      if (prev < archived_upto) {
+        archived_hi[m] = prev;  // leave the tail; finish from sorted runs
+      } else {
+        heap.push({prev, m});
+      }
     } else if (prev != task.backup_lsn && prev != kInvalidLsn) {
       task.Fail(
           Status::Corruption("per-page chain does not reach the backup"));
     }
   }
 
-  // Attribute the shared segment fetches to the cluster's first member's
-  // accumulator (the aggregate is what the counters are for).
+  uint64_t archive_pages = 0;
+  FetchArchivedChains(tasks, members, archived_hi, &archive_pages);
+
+  // Attribute the shared segment fetches (and the cluster's archive range
+  // fetch) to the cluster's first member's accumulator (the aggregate is
+  // what the counters are for).
   if (!members.empty()) {
     (*tasks)[members.front()].acc.log_reads += reader.segment_fetches();
+    (*tasks)[members.front()].acc.archive_reads += archive_pages;
   }
   return reader.segment_fetches();
+}
+
+void RecoveryScheduler::FetchArchivedChains(
+    std::vector<PageTask>* tasks, const std::vector<size_t>& members,
+    const std::vector<Lsn>& archived_hi, uint64_t* archive_pages) {
+  // Completes every cluster member whose chain walk crossed the archive
+  // watermark: ONE k-way range fetch over the sorted runs covers the whole
+  // cluster's archived remainders — the run store's analogue of the shared
+  // segment reads above.
+  std::unordered_map<PageId, size_t> want;  // page id -> member position
+  PageId lo = kInvalidPageId, hi = 0;
+  Lsn min_ex = kInvalidLsn;
+  for (size_t m = 0; m < members.size(); ++m) {
+    if (archived_hi[m] == kInvalidLsn) continue;
+    PageTask& task = (*tasks)[members[m]];
+    if (task.done) continue;
+    want.emplace(task.id, m);
+    lo = std::min(lo, task.id);
+    hi = std::max(hi, task.id);
+    min_ex = min_ex == kInvalidLsn ? task.backup_lsn
+                                   : std::min(min_ex, task.backup_lsn);
+  }
+  if (want.empty()) return;
+  SPF_CHECK(archive_ != nullptr) << "archived chain without an archive";
+
+  // Run-major emission in log order means each page's records arrive
+  // ascending by LSN.
+  std::vector<std::vector<LogRecord>> got(members.size());
+  auto pages_or = archive_->FetchRange(
+      lo, hi, min_ex, [&](LogRecord&& rec) {
+        auto it = want.find(rec.page_id);
+        if (it == want.end()) return;  // foreign page caught in the range
+        const size_t m = it->second;
+        const PageTask& task = (*tasks)[members[m]];
+        if (rec.lsn > task.backup_lsn && rec.lsn <= archived_hi[m]) {
+          got[m].push_back(std::move(rec));
+        }
+      });
+  if (!pages_or.ok()) {
+    for (const auto& [id, m] : want) {
+      (void)id;
+      (*tasks)[members[m]].Fail(pages_or.status());
+    }
+    return;
+  }
+  *archive_pages += pages_or.value();
+
+  for (const auto& [id, m] : want) {
+    (void)id;
+    PageTask& task = (*tasks)[members[m]];
+    std::vector<LogRecord>& recs = got[m];
+    if (recs.empty() || recs.back().lsn != archived_hi[m]) {
+      task.Fail(Status::Corruption(
+          "archived per-page chain is missing its newest record"));
+      continue;
+    }
+    const Lsn anchor = recs.front().page_prev_lsn;
+    if (anchor != task.backup_lsn && anchor != kInvalidLsn) {
+      task.Fail(
+          Status::Corruption("per-page chain does not reach the backup"));
+      continue;
+    }
+    // task.chain is newest-first; the archived records are older than
+    // everything already collected, so append them reversed.
+    for (auto it = recs.rbegin(); it != recs.rend(); ++it) {
+      task.chain.push_back(std::move(*it));
+    }
+  }
+
+  std::lock_guard<std::mutex> g(stats_mu_);
+  stats_.archive_fetches++;
 }
 
 }  // namespace spf

@@ -60,6 +60,7 @@ struct RecoverySchedulerStats {
   uint64_t backup_groups = 0;       ///< backup-source groups formed
   uint64_t chain_clusters = 0;      ///< overlapping-log-range clusters walked
   uint64_t segment_fetches = 0;     ///< shared log segment reads
+  uint64_t archive_fetches = 0;     ///< batched sorted-run range fetches
   uint64_t single_repairs = 0;      ///< foreground (read-path) repairs
   uint64_t partial_restores = 0;    ///< RepairBatchFromBackup invocations
 };
@@ -144,6 +145,13 @@ class RecoveryScheduler : public PageRepairer {
       std::vector<PageId> pages, BackupId backup,
       PartialRestoreBreakdown* breakdown = nullptr);
 
+  /// Wires the sorted log archive in: cluster walks then stop their tail
+  /// reads at the archiver's watermark and fetch the archived remainder
+  /// of every chain in the cluster as one k-way range fetch over the
+  /// runs. nullptr (the default) keeps the pure tail walk. Install during
+  /// startup; not thread-safe vs. in-flight batches.
+  void SetArchive(LogArchiver* archive) { archive_ = archive; }
+
   /// Runtime toggle for the batched-vs-serial comparison (bench E8/E9).
   void set_batch_repair(bool on);
   /// Current value of the batched-repair toggle.
@@ -187,11 +195,22 @@ class RecoveryScheduler : public PageRepairer {
 
   /// Phase 2 core: walks one cluster of overlapping chains via a max-heap
   /// of per-page next pointers, reading shared log segments once each.
-  /// Returns the cluster's segment fetch count.
+  /// With an archive wired in, the walk stops at the watermark and the
+  /// archived remainders arrive via FetchArchivedChains. Returns the
+  /// cluster's segment fetch count.
   uint64_t WalkCluster(std::vector<PageTask>* tasks,
                        const std::vector<size_t>& members);
 
+  /// One k-way sorted-run range fetch completing every cluster member
+  /// whose chain crossed the archive watermark (archived_hi[m] set).
+  /// Adds the archive data pages read to `*archive_pages`.
+  void FetchArchivedChains(std::vector<PageTask>* tasks,
+                           const std::vector<size_t>& members,
+                           const std::vector<Lsn>& archived_hi,
+                           uint64_t* archive_pages);
+
   SinglePageRecovery* const spr_;
+  LogArchiver* archive_ = nullptr;  ///< optional sorted-run chain source
   RecoverySchedulerOptions options_;
   /// Receives the unrepairable page ids of a completed RepairBatch.
   std::function<void(std::vector<PageId>)> escalation_sink_;

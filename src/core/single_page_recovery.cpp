@@ -15,7 +15,9 @@ SinglePageRecovery::SinglePageRecovery(PriManager* pri_manager,
       backups_(backups),
       data_device_(data_device),
       clock_(clock),
-      page_size_(data_device->page_size()) {}
+      page_size_(data_device->page_size()),
+      default_source_(std::make_unique<TailLogSource>(log)),
+      source_(default_source_.get()) {}
 
 StatusOr<PriEntry> SinglePageRecovery::LookupEntry(PageId id) const {
   auto entry_or = pri_manager_->pri()->Lookup(id);
@@ -42,9 +44,22 @@ Status SinglePageRecovery::LoadBackupImage(PageId id, const PriEntry& entry,
                                            SinglePageRecoveryStats* acc) {
   switch (entry.backup.kind) {
     case BackupKind::kBackupPage: {
-      SPF_RETURN_IF_ERROR(backups_->ReadPageBackup(entry.backup.value, frame));
-      PageView page(frame, page_size_);
-      SPF_RETURN_IF_ERROR(page.Verify(id));
+      Status s = backups_->ReadPageBackup(entry.backup.value, frame);
+      if (s.ok()) s = PageView(frame, page_size_).Verify(id);
+      if (!s.ok()) {
+        // The PRI's slot ref is only as durable as the log tail: a crash
+        // can lose the PriUpdate that superseded it, leaving the ref
+        // pointing at a recycled slot that now holds another page's
+        // copy. The backup catalog models stable storage and is
+        // authoritative — retry through it. (The catalog's copy is never
+        // newer than the restart-reconstructed chain target: write-back
+        // forces the log before the copy is taken.)
+        PageId slot = backups_->CurrentPageBackupSlot(id);
+        if (slot == kInvalidPageId || slot == entry.backup.value) return s;
+        SPF_RETURN_IF_ERROR(backups_->ReadPageBackup(slot, frame));
+        PageView page(frame, page_size_);
+        SPF_RETURN_IF_ERROR(page.Verify(id));
+      }
       break;
     }
     case BackupKind::kFullBackup: {
@@ -97,23 +112,15 @@ Status SinglePageRecovery::ReplayChain(PageId id, const PriEntry& entry,
     return Status::OK();
   }
 
-  // Figure 10 steps 3-4: walk the per-page chain backward collecting
-  // records on a LIFO stack, then pop and apply their redo actions.
+  // Figure 10 steps 3-4: collect the chain on a LIFO stack (from the
+  // wired LogSource — tail walk, or tail walk + sorted-run probe), then
+  // pop and apply the redo actions.
   std::vector<LogRecord> stack;
-  Lsn cur = target;
-  while (cur != kInvalidLsn && cur > backup_lsn) {
-    SPF_ASSIGN_OR_RETURN(LogRecord rec, log_->Read(cur));
-    acc->log_reads++;
-    if (rec.page_id != id) {
-      return Status::Corruption("per-page chain contains foreign record");
-    }
-    cur = rec.page_prev_lsn;
-    stack.push_back(std::move(rec));
-  }
-  if (cur != backup_lsn && cur != kInvalidLsn) {
-    // The chain bypassed the backup LSN — inconsistent chain/backup pair.
-    return Status::Corruption("per-page chain does not reach the backup");
-  }
+  LogSourceStats fetch;
+  SPF_RETURN_IF_ERROR(source_->FetchChain(id, backup_lsn, target, &stack,
+                                          &fetch));
+  acc->log_reads += fetch.log_reads;
+  acc->archive_reads += fetch.archive_reads;
 
   return ApplyChain(&stack, frame, acc);
 }
@@ -160,7 +167,15 @@ Status SinglePageRecovery::FinishRepair(PageId id, const PriEntry& entry,
   page.UpdateChecksum();
   SPF_RETURN_IF_ERROR(page.Verify(id));
   if (entry.last_lsn != kInvalidLsn && page.page_lsn() != entry.last_lsn) {
-    return Status::Corruption("recovered page does not reach target LSN");
+    if (page.page_lsn() < entry.last_lsn) {
+      return Status::Corruption("recovered page does not reach target LSN");
+    }
+    // The (stable-storage) backup catalog handed us a copy NEWER than the
+    // PRI certifies: the crash lost the PriUpdate of a completed write.
+    // Figure 12, third case — the repair just produced the evidence, so
+    // regenerate the missing record now; the certification catches up and
+    // subsequent cross-checks accept the page.
+    pri_manager_->RecordLostWrite(id, page.page_lsn());
   }
 
   // Heal the stored copy: rewrite the recovered image in place. (A
@@ -206,6 +221,7 @@ void SinglePageRecovery::MergeStats(const SinglePageRecoveryStats& acc,
   shard.s.escalations += acc.escalations;
   shard.s.log_records_applied += acc.log_records_applied;
   shard.s.log_reads += acc.log_reads;
+  shard.s.archive_reads += acc.archive_reads;
   shard.s.backup_reads += acc.backup_reads;
 }
 
@@ -226,6 +242,7 @@ SinglePageRecoveryStats SinglePageRecovery::stats() const {
     out.escalations += shard.s.escalations;
     out.log_records_applied += shard.s.log_records_applied;
     out.log_reads += shard.s.log_reads;
+    out.archive_reads += shard.s.archive_reads;
     out.backup_reads += shard.s.backup_reads;
   }
   std::lock_guard<std::mutex> g(last_mu_);

@@ -26,12 +26,14 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 
 #include "backup/backup_manager.h"
 #include "buffer/buffer_pool.h"
 #include "core/pri_manager.h"
 #include "log/log_manager.h"
+#include "log/log_source.h"
 #include "storage/sim_device.h"
 
 namespace spf {
@@ -44,6 +46,7 @@ struct SinglePageRecoveryStats {
   uint64_t escalations = 0;
   uint64_t log_records_applied = 0;
   uint64_t log_reads = 0;
+  uint64_t archive_reads = 0;  ///< sequential archive data pages read
   uint64_t backup_reads = 0;
 
   // Most recent successful repair:
@@ -85,10 +88,18 @@ class SinglePageRecovery : public PageRepairer {
   Status LoadBackupImage(PageId id, const PriEntry& entry, char* frame,
                          SinglePageRecoveryStats* acc);
 
-  /// Steps 3-4: walks and replays the per-page chain (per-record random
-  /// log reads — the serial baseline the batched scheduler improves on).
+  /// Steps 3-4: fetches the per-page chain from the wired LogSource and
+  /// replays it. With the default TailLogSource this is the serial
+  /// per-record random-read baseline; with an ArchiveLogSource the
+  /// archived prefix arrives as sequential run reads.
   Status ReplayChain(PageId id, const PriEntry& entry, char* frame,
                      SinglePageRecoveryStats* acc);
+
+  /// Rewires where chains come from (nullptr restores the built-in tail
+  /// walk). Call during database assembly, before repairs can run.
+  void SetLogSource(LogSource* source) {
+    source_ = source != nullptr ? source : default_source_.get();
+  }
 
   /// Step 4 alone: pops a collected chain (newest-first LIFO) and applies
   /// the redo actions with the defensive redo-sequence check. Consumes
@@ -135,6 +146,9 @@ class SinglePageRecovery : public PageRepairer {
   SimDevice* const data_device_;
   SimClock* const clock_;
   const uint32_t page_size_;
+
+  std::unique_ptr<TailLogSource> default_source_;
+  LogSource* source_;  // never null; defaults to default_source_
 
   StatShard shards_[kStatShards];
   mutable std::mutex last_mu_;  // guards only the last_* snapshot

@@ -56,6 +56,14 @@ StatusOr<std::unique_ptr<Database>> Database::Create(DatabaseOptions options) {
   db->backup_dev_ = std::make_unique<SimDevice>(
       "backup", options.page_size, options.num_pages + options.num_pages / 2 + 64,
       options.backup_profile, &db->clock_);
+  // Archive volume: the sorted-run log archive (same device class as the
+  // log — sequential writes, sequential merge reads). Sized for the full
+  // archived history plus merge headroom: a merge writes its output
+  // before freeing its inputs.
+  db->archive_dev_ = std::make_unique<SimDevice>(
+      "archive", options.page_size,
+      options.num_pages + options.num_pages / 2 + 64, options.log_profile,
+      &db->clock_);
   db->wal_ =
       std::make_unique<SimLogDevice>("wal", options.log_profile, &db->clock_);
   db->layout_ = PriLayout::Compute(options.num_pages);
@@ -77,6 +85,11 @@ void Database::BuildVolatileState() {
   if (funnel_ != nullptr) funnel_->Stop();
   funnel_.reset();
   scheduler_.reset();
+  // The archiver's drain thread reads the old log manager; stop and drop
+  // it (and the LogSource over it) before the log is replaced below.
+  if (archiver_ != nullptr) archiver_->Stop();
+  log_source_.reset();
+  archiver_.reset();
 
   // Destroy the old manager FIRST: its destructor publishes any staged
   // bytes onto the device, and the new manager reads the device size as
@@ -138,6 +151,26 @@ void Database::BuildVolatileState() {
   rs_opts.num_workers = options_.recovery_workers;
   rs_opts.batch_repair = options_.batch_repair;
   scheduler_ = std::make_unique<RecoveryScheduler>(spr_.get(), rs_opts);
+
+  // Sorted log archive: the background drain of the durable log into
+  // (page-id, LSN)-sorted runs. The archive volume models stable storage
+  // (it survives crashes); Recover() re-reads its directory so runs
+  // published before the crash keep serving repairs. Every log consumer
+  // below reads archived history through it: single-page repair via the
+  // ArchiveLogSource, batch repair via the scheduler's range merge, and
+  // full restore via MediaRecovery's per-segment run fetch.
+  ArchiverOptions ar;
+  ar.run_bytes = options_.archive_run_bytes;
+  ar.interval_wall_ms =
+      static_cast<uint64_t>(options_.archive_interval.count());
+  ar.merge_fanin = options_.archive_merge_fanin;
+  archiver_ = std::make_unique<LogArchiver>(archive_dev_.get(), log_.get(), ar);
+  RestoreGate* gate = restore_gate_.get();
+  archiver_->SetRestorePause([gate] { return gate->active(); });
+  SPF_CHECK_OK(archiver_->Recover());
+  log_source_ = std::make_unique<ArchiveLogSource>(archiver_.get(), log_.get());
+  spr_->SetLogSource(log_source_.get());
+  scheduler_->SetArchive(archiver_.get());
 
   // Wire the hooks (Figure 8 read path; Figure 11 write path). All repair
   // work — foreground read-path detections included — funnels through the
@@ -549,7 +582,7 @@ StatusOr<MediaRecoveryStats> Database::RecoverMedia() {
                       options_.tracking == WriteTrackingMode::kPri
                           ? pri_manager_.get()
                           : nullptr,
-                      &clock_);
+                      &clock_, archiver_.get());
   FullRestoreOptions fr;
   fr.gate = restore_gate_.get();
   fr.segment_pages = options_.restore_segment_pages;
@@ -657,7 +690,7 @@ StatusOr<RecoverPagesResult> Database::RecoverPages(std::vector<PageId> pages) {
                       options_.tracking == WriteTrackingMode::kPri
                           ? pri_manager_.get()
                           : nullptr,
-                      &clock_);
+                      &clock_, archiver_.get());
   auto partial = media.RunPartial(std::move(remaining), scheduler_.get());
   if (partial.ok()) {
     result.media = *partial;
@@ -848,6 +881,7 @@ StatsSnapshot Database::Stats() const {
   if (funnel_ != nullptr) s.funnel = funnel_->totals();
   s.locks = locks_->stats();
   s.log = log_->stats();
+  s.archive = archiver_->stats();
   s.restore_admission_waits = restore_gate_->admission_waits();
   if (cross_check_ != nullptr) {
     s.cross_checks = cross_check_->checks();

@@ -43,7 +43,9 @@
 #include "core/recovery_scheduler.h"
 #include "core/scrubber.h"
 #include "core/single_page_recovery.h"
+#include "log/log_archive.h"
 #include "log/log_manager.h"
+#include "log/log_source.h"
 #include "recovery/checkpoint.h"
 #include "recovery/media_recovery.h"
 #include "recovery/restart_recovery.h"
@@ -154,6 +156,23 @@ struct DatabaseOptions {
   /// lost backup reference) also escalate to partial restore. 0 routes
   /// every batch to partial restore directly.
   uint64_t spr_batch_limit = 64;
+
+  // --- sorted log archive knobs -------------------------------------------------
+
+  /// Target payload bytes per level-0 archive run: each archiver tick
+  /// drains about this much durable log into one (page-id, LSN)-sorted
+  /// run. Smaller runs archive sooner; larger runs merge less often.
+  uint64_t archive_run_bytes = 256 * 1024;
+  /// Background archiver cadence in WALL-CLOCK time (the log is a
+  /// wall-clock artifact; there is no simulated-time variant). Zero ticks
+  /// continuously while the archiver is started. The archiver never runs
+  /// unless archiver()->Start() is called (or ArchiveAll() is driven by
+  /// hand), so the default costs nothing.
+  std::chrono::milliseconds archive_interval{0};
+  /// Merge fan-in of the archive's compaction ladder: when a level
+  /// accumulates this many runs, its oldest `archive_merge_fanin` runs
+  /// merge into one run on the next level — run count stays O(log N).
+  uint32_t archive_merge_fanin = 8;
 
   /// Lock-acquisition timeout before a transaction gives up (deadlock
   /// avoidance by timeout).
@@ -332,6 +351,10 @@ class Database {
   /// The failure funnel; null when auto_escalate is off (or single-page
   /// repair is not wired).
   RecoveryCoordinator* funnel() { return funnel_.get(); }
+  /// The sorted log archive (always wired; its background drain only runs
+  /// between archiver()->Start()/Stop() or explicit ArchiveAll() calls).
+  LogArchiver* archiver() { return archiver_.get(); }
+  SimDevice* archive_device() { return archive_dev_.get(); }  ///< archive volume
   /// Restore-progress gate of the rung-5 protocol (always wired; active
   /// only while a full restore sweep runs).
   RestoreGate* restore_gate() { return restore_gate_.get(); }
@@ -426,6 +449,7 @@ class Database {
   // Non-volatile: simulated devices survive crashes.
   std::unique_ptr<SimDevice> data_;
   std::unique_ptr<SimDevice> backup_dev_;
+  std::unique_ptr<SimDevice> archive_dev_;  ///< sorted-run archive volume
   std::unique_ptr<SimLogDevice> wal_;
   BadBlockList bbl_;
 
@@ -447,6 +471,11 @@ class Database {
   std::unique_ptr<RecoveryScheduler> scheduler_;
   std::unique_ptr<RecoveryCoordinator> funnel_;
   std::unique_ptr<Scrubber> scrubber_;
+  // The archiver drains log_, so it is declared after it (destroyed
+  // first); the ArchiveLogSource is what spr_ reads archived history
+  // through.
+  std::unique_ptr<LogArchiver> archiver_;
+  std::unique_ptr<ArchiveLogSource> log_source_;
   PriLayout layout_;
   // Serializes rung-5 climbs: a manual RecoverMedia must not overlap a
   // funnel-driven one (the RestoreGate supports one sweep at a time).

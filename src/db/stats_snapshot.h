@@ -22,6 +22,7 @@
 #include "core/recovery_scheduler.h"
 #include "core/scrubber.h"
 #include "core/single_page_recovery.h"
+#include "log/log_archive.h"
 #include "log/log_manager.h"
 #include "txn/lock_manager.h"
 
@@ -30,8 +31,8 @@ namespace spf {
 /// One-stop counter snapshot across the stack (Database::Stats()).
 struct StatsSnapshot {
   /// Layout/meaning version of this struct; bumped on any incompatible
-  /// change.
-  static constexpr uint32_t kVersion = 1;
+  /// change. v2 added the sorted-log-archive block (`archive`).
+  static constexpr uint32_t kVersion = 2;
   uint32_t version = kVersion;
 
   BufferPoolStats pool;             ///< fixes, verify failures, repairs
@@ -46,6 +47,10 @@ struct StatsSnapshot {
   /// Appends, forces, and the group-commit batch counters
   /// (group_commit_commits / group_commit_batches = mean group size).
   LogStats log;
+  /// Sorted log archive: runs written/merged, archived bytes, merge-read
+  /// pages, tail bytes scanned, log bytes made recyclable by the
+  /// archive-truncation watermark, and the current watermark/run count.
+  ArchiveStats archive;
   /// Admission waits parked at the restore gate since the last
   /// BuildVolatileState (covers the current/most recent restore).
   uint64_t restore_admission_waits = 0;

@@ -222,6 +222,19 @@ Lsn LogManager::GetMasterRecord() const {
   return master_record_;
 }
 
+void LogManager::AdvanceTruncationWatermark(Lsn lsn) {
+  std::lock_guard<std::mutex> g(mu_);
+  if (lsn <= truncation_watermark_) return;
+  truncation_watermark_ = lsn;
+  stats_.truncated_log_bytes =
+      lsn > kLogFileHeaderSize ? lsn - kLogFileHeaderSize : 0;
+}
+
+Lsn LogManager::truncation_watermark() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return truncation_watermark_;
+}
+
 LogStats LogManager::stats() const {
   std::lock_guard<std::mutex> g(mu_);
   return stats_;

@@ -58,6 +58,11 @@ struct LogStats {
   /// Force waiters released by those syncs; the mean group size is
   /// group_commit_commits / group_commit_batches.
   uint64_t group_commit_commits = 0;
+  /// Bytes below the archive-truncation watermark (archived AND covered
+  /// by the most recent checkpoint ⇒ recyclable). Bookkeeping only: the
+  /// simulated device never actually shrinks, so late readers (PRI window
+  /// recovery, in-log page images) keep working.
+  uint64_t truncated_log_bytes = 0;
   /// Per-type record counts, keyed by LogRecordType.
   std::map<LogRecordType, uint64_t> per_type;
 };
@@ -152,6 +157,19 @@ class LogManager {
   void SetMasterRecord(Lsn checkpoint_begin_lsn);
   Lsn GetMasterRecord() const;
 
+  /// Archive-truncation watermark: every byte below it is both archived
+  /// (the log archiver's sorted runs cover it) and checkpointed (the
+  /// master record points past it), so the prefix is recyclable. Advances
+  /// monotonically; regress attempts are ignored. Bookkeeping only — the
+  /// simulated log device keeps its bytes, so consumers that legitimately
+  /// reach below the watermark (PRI window recovery of kPriUpdate chains,
+  /// in-log kFullPageImage backups, format-record backup sources) still
+  /// read fine; a production system would pin the watermark below such
+  /// references (and below the checkpoint's oldest dirty-page rec_lsn)
+  /// before reclaiming segments.
+  void AdvanceTruncationWatermark(Lsn lsn);
+  Lsn truncation_watermark() const;
+
   LogStats stats() const;
   void ResetStats();
 
@@ -222,6 +240,7 @@ class LogManager {
   mutable std::condition_variable drain_cv_;    // wakes the drainer
   mutable std::condition_variable durable_cv_;  // wakes Force waiters
   Lsn master_record_ = kInvalidLsn;  // modeled as separate stable storage
+  Lsn truncation_watermark_ = 0;     // archived + checkpointed prefix end
   mutable LogStats stats_;
 
   /// Publisher order lock: held across detach-and-append so staged batches

@@ -98,6 +98,32 @@ struct LogRecord {
   std::string DebugString() const;
 };
 
+/// True for the record types that modify a data page through the per-page
+/// chain (logged via LogManager::AppendPageRecord): exactly the redo set a
+/// media replay re-applies and the entry set the log archiver partitions
+/// into sorted runs. kPriUpdate (PRI-page chains, consumed only by
+/// RecoverPriWindow), kFullPageImage, and kBadBlock carry a page_id but
+/// are deliberately NOT on the per-page chain — including them in a chain
+/// fetch would break the redo-sequence check. One shared predicate so the
+/// media replay plan and the archive can never diverge.
+inline bool IsPageReplayRecord(LogRecordType type) {
+  switch (type) {
+    case LogRecordType::kPageFormat:
+    case LogRecordType::kBTreeInsert:
+    case LogRecordType::kBTreeMarkGhost:
+    case LogRecordType::kBTreeUpdate:
+    case LogRecordType::kBTreeReclaimGhost:
+    case LogRecordType::kBTreeSplit:
+    case LogRecordType::kBTreeAdopt:
+    case LogRecordType::kBTreeGrowRoot:
+    case LogRecordType::kPageMigrate:
+    case LogRecordType::kCompensation:
+      return true;
+    default:
+      return false;
+  }
+}
+
 /// Size of the fixed serialized header that precedes the body.
 constexpr uint32_t kLogRecordHeaderSize =
     4 /*length*/ + 4 /*crc*/ + 1 /*type*/ + 1 /*flags*/ + 2 /*pad*/ +

@@ -7,31 +7,9 @@
 
 namespace spf {
 
-namespace {
-
-/// Record types a media replay re-applies (page-modifying redo).
-bool IsReplayType(LogRecordType type) {
-  switch (type) {
-    case LogRecordType::kPageFormat:
-    case LogRecordType::kBTreeInsert:
-    case LogRecordType::kBTreeMarkGhost:
-    case LogRecordType::kBTreeUpdate:
-    case LogRecordType::kBTreeReclaimGhost:
-    case LogRecordType::kBTreeSplit:
-    case LogRecordType::kBTreeAdopt:
-    case LogRecordType::kBTreeGrowRoot:
-    case LogRecordType::kPageMigrate:
-    case LogRecordType::kCompensation:
-      return true;
-    default:
-      return false;
-  }
-}
-
-}  // namespace
-
 Status MediaRecovery::RestoreSegment(
-    BackupId backup, uint64_t first, uint64_t count,
+    BackupId backup, uint64_t first, uint64_t count, Lsn backup_lsn,
+    Lsn tail_plan_start,
     const std::unordered_map<PageId, std::vector<Lsn>>& plan, char* seg_buf,
     MediaRecoveryStats* stats) {
   const uint32_t page_size = data_->page_size();
@@ -48,36 +26,74 @@ Status MediaRecovery::RestoreSegment(
   }
 
   SimTimer t(clock_);
+
+  // Archived history for this segment's page range arrives as one k-way
+  // range fetch over the sorted runs — sequential archive reads carrying
+  // full payloads, so nothing below tail_plan_start is re-read from the
+  // log. Run-major emission in log order keeps each page's records
+  // ascending by LSN. The cap at tail_plan_start keeps this disjoint from
+  // the tail plan even if the archiver advanced mid-restore.
+  std::unordered_map<PageId, std::vector<LogRecord>> archived;
+  if (archive_ != nullptr && tail_plan_start > backup_lsn) {
+    const Lsn min_ex = backup_lsn > 0 ? backup_lsn - 1 : 0;  // include ==
+    SPF_RETURN_IF_ERROR(archive_
+                            ->FetchRange(first, first + count - 1, min_ex,
+                                         [&](LogRecord&& rec) {
+                                           if (rec.lsn < tail_plan_start) {
+                                             archived[rec.page_id].push_back(
+                                                 std::move(rec));
+                                           }
+                                         })
+                            .status());
+  }
+
   for (uint64_t i = 0; i < count; ++i) {
     PageId pid = first + i;
     PageView page(frames[i], page_size);
     Lsn format_lsn = kInvalidLsn;
     Lsn final_lsn = kInvalidLsn;
     bool modified = false;
+
+    auto apply_one = [&](const LogRecord& rec) -> Status {
+      if (page.page_lsn() >= rec.lsn) {
+        // Image already reflects this record (also makes a re-served
+        // segment idempotent).
+        stats->redo_skipped++;
+        return Status::OK();
+      }
+      if (rec.type == LogRecordType::kPageFormat) {
+        // Pages born after the backup: the format record is the backup
+        // (section 5.2.1) — rebuild from scratch by redo.
+        page.Format(pid, PageType::kRaw);
+        format_lsn = rec.lsn;
+      }
+      SPF_RETURN_IF_ERROR(btree_log::RedoBTreeRecord(rec, page));
+      page.set_page_lsn(rec.lsn);
+      // Match the live path's per-record bump so the replayed image is
+      // byte-identical to the lost one.
+      page.bump_update_count();
+      modified = true;
+      final_lsn = rec.lsn;
+      stats->redo_applied++;
+      return Status::OK();
+    };
+
+    // Archived records first (all strictly below tail_plan_start), then
+    // the unarchived tail plan — one globally ascending redo pass.
+    auto ait = archived.find(pid);
+    if (ait != archived.end()) {
+      for (const LogRecord& rec : ait->second) {
+        SPF_RETURN_IF_ERROR(apply_one(rec));
+      }
+    }
     auto pit = plan.find(pid);
     if (pit != plan.end()) {
       for (Lsn lsn : pit->second) {
-        // Re-read each plan record (random log read): the replay stays
-        // random-log-read bound like the paper's baseline, and the plan
-        // itself holds only LSNs, not record payloads.
+        // Re-read each tail plan record (random log read): the unarchived
+        // remainder stays random-log-read bound like the paper's
+        // baseline, and the plan itself holds only LSNs, not payloads.
         SPF_ASSIGN_OR_RETURN(LogRecord rec, log_->Read(lsn));
-        if (rec.type == LogRecordType::kPageFormat) {
-          // Pages born after the backup: the format record is the backup
-          // (section 5.2.1) — rebuild from scratch by redo.
-          page.Format(pid, PageType::kRaw);
-          format_lsn = lsn;
-        } else if (page.page_lsn() >= lsn) {
-          stats->redo_skipped++;
-          continue;
-        }
-        SPF_RETURN_IF_ERROR(btree_log::RedoBTreeRecord(rec, page));
-        page.set_page_lsn(lsn);
-        // Match the live path's per-record bump so the replayed image is
-        // byte-identical to the lost one.
-        page.bump_update_count();
-        modified = true;
-        final_lsn = lsn;
-        stats->redo_applied++;
+        SPF_RETURN_IF_ERROR(apply_one(rec));
       }
     }
     if (modified) page.UpdateChecksum();
@@ -137,18 +153,26 @@ StatusOr<MediaRecoveryStats> MediaRecovery::Run(
   const uint64_t num_segments = (num_pages + seg_pages - 1) / seg_pages;
 
   // One sequential log pass builds the per-page replay plan (the LSNs
-  // each page needs, in log order). New transactions are still parked at
-  // the admission gate here and page admission is sealed (buffer misses
-  // AND exclusive cache hits), so the plan is complete: records appended
-  // by early-admitted transactions later only ever touch pages that were
+  // each page needs, in log order). With an archiver wired in, the scan
+  // covers only the UNARCHIVED tail: everything below the watermark is
+  // served per segment from the sorted runs (the instant-restore design
+  // proper), so the scan — and the random re-reads at apply time — shrink
+  // as the archive catches up. New transactions are still parked at the
+  // admission gate here and page admission is sealed (buffer misses AND
+  // exclusive cache hits), so the plan is complete: records appended by
+  // early-admitted transactions later only ever touch pages that were
   // already restored.
+  const Lsn tail_plan_start =
+      archive_ != nullptr
+          ? std::max(backup->backup_lsn, archive_->archived_upto())
+          : backup->backup_lsn;
   std::unordered_map<PageId, std::vector<Lsn>> plan;
   {
     SimTimer t(clock_);
-    for (auto it = log_->Scan(backup->backup_lsn); it.Valid(); it.Next()) {
+    for (auto it = log_->Scan(tail_plan_start); it.Valid(); it.Next()) {
       const LogRecord& rec = it.record();
       stats.records_scanned++;
-      if (!IsReplayType(rec.type)) continue;
+      if (!IsPageReplayRecord(rec.type)) continue;
       if (rec.page_id == kInvalidPageId) continue;
       plan[rec.page_id].push_back(rec.lsn);
     }
@@ -180,8 +204,8 @@ StatusOr<MediaRecoveryStats> MediaRecovery::Run(
     }
     uint64_t first = seg * seg_pages;
     uint64_t count = std::min(seg_pages, num_pages - first);
-    Status s =
-        RestoreSegment(backup->id, first, count, plan, seg_buf.data(), &stats);
+    Status s = RestoreSegment(backup->id, first, count, backup->backup_lsn,
+                              tail_plan_start, plan, seg_buf.data(), &stats);
     if (!s.ok()) {
       // Fail every still-parked fault with the sweep's error instead of
       // hanging it; the caller escalates.

@@ -71,15 +71,20 @@ class MediaRecovery {
   /// `pri_manager` may be null; when present, the PRI is rebuilt to
   /// reference the restored full backup — per segment, BEFORE the segment
   /// is published as restored, so early-admitted readers never see a PRI
-  /// entry that lags the restored image.
+  /// entry that lags the restored image. `archive` may be null; when
+  /// present, Run()'s replay-plan scan covers only the unarchived log
+  /// tail and each segment's older history is served as a merge of
+  /// sequential sorted-run reads.
   MediaRecovery(LogManager* log, BackupManager* backups, SimDevice* data,
-                BufferPool* pool, PriManager* pri_manager, SimClock* clock)
+                BufferPool* pool, PriManager* pri_manager, SimClock* clock,
+                LogArchiver* archive = nullptr)
       : log_(log),
         backups_(backups),
         data_(data),
         pool_(pool),
         pri_manager_(pri_manager),
-        clock_(clock) {}
+        clock_(clock),
+        archive_(archive) {}
 
   /// Full restore + replay with default options (one segment, no gate).
   /// The device is revived first (simulating the replacement of the
@@ -102,10 +107,12 @@ class MediaRecovery {
 
  private:
   /// Restores pages [first, first+count): sequential backup range read,
-  /// per-page chain apply from `plan`, sequential device write-back, then
-  /// per-page PRI publication. Buffers through `seg_buf` (count *
-  /// page_size bytes).
+  /// archived history via one sorted-run range fetch (records at or above
+  /// `backup_lsn` and below `tail_plan_start`), per-page tail apply from
+  /// `plan`, sequential device write-back, then per-page PRI publication.
+  /// Buffers through `seg_buf` (count * page_size bytes).
   Status RestoreSegment(BackupId backup, uint64_t first, uint64_t count,
+                        Lsn backup_lsn, Lsn tail_plan_start,
                         const std::unordered_map<PageId, std::vector<Lsn>>& plan,
                         char* seg_buf, MediaRecoveryStats* stats);
 
@@ -115,6 +122,7 @@ class MediaRecovery {
   BufferPool* const pool_;
   PriManager* const pri_manager_;
   SimClock* const clock_;
+  LogArchiver* const archive_;
 };
 
 }  // namespace spf

@@ -12,7 +12,10 @@
 //
 // The last test drives both through the worst of it: a silent page
 // corruption healing mid-stream, then a whole-device failure and a rung-5
-// full restore (restore-gate protocol) while the writers keep going.
+// full restore (restore-gate protocol) while the writers keep going — all
+// with the background log archiver draining the durable log into sorted
+// runs concurrently (it must pause for the restore and never trip over
+// the group-commit publisher; TSan watches).
 
 #include <gtest/gtest.h>
 
@@ -178,6 +181,11 @@ TEST(ConcurrencyStressTest, WritersRideOutPageFailureAndFullRestore) {
   ASSERT_TRUE(db->FlushAll().ok());
   ASSERT_TRUE(db->TakeFullBackup().ok());
 
+  // Background archiver alongside the writers: sorted runs are cut from
+  // the durable log while commits stream in, and ticks pause while the
+  // restore below owns the device.
+  db->archiver()->Start();
+
   constexpr int kWriters = 4;
   constexpr int kTxns = 80;
   std::mutex mu;
@@ -210,10 +218,13 @@ TEST(ConcurrencyStressTest, WritersRideOutPageFailureAndFullRestore) {
   for (auto& th : writers) th.join();
   ASSERT_TRUE(restore.ok()) << restore.status().ToString();
 
+  db->archiver()->Stop();
+
   // Lock-leak freedom after commits, timeouts, dooming, and a restore.
   StatsSnapshot stats = db->Stats();
   EXPECT_EQ(stats.locks.keys_tracked, 0u);
   EXPECT_GT(acked.size(), 0u);
+  EXPECT_GT(stats.archive.ticks, 0u);  // the archiver really ran
 
   // Crash + restart: every acknowledged commit — before, during, or after
   // the restore — must still be there.

@@ -230,15 +230,14 @@ TEST(RollbackTest, RollbackAfterSplitFindsMovedKeys) {
   ASSERT_TRUE(db->CheckOffline(nullptr).ok());
 }
 
-// Pins the documented PR-3 residual: a repair whose backup source is an
-// individual per-page copy replays the page's update_count from the
-// copy's PRE-RESET value, so the repaired image's count differs from the
-// live cadence (which restarted at zero when the copy was taken). The
-// image is consistent — contents, PageLSN, and checksum all match — but
-// the count's backup cadence restarts differently than the live frame's.
-// If this assertion starts failing, the residual was fixed: update the
-// ARCHITECTURE.md "known residuals" note instead of loosening the test.
-TEST(UpdateCountCadenceTest, PerPageCopyReplayRestartsCadenceFromCopy) {
+// A repair whose backup source is an individual per-page copy must
+// reproduce the live frame's update-count cadence exactly. The pool asks
+// the listener BackupImminent() before the device write and restarts the
+// counter BEFORE checksumming, so the device image, the per-page copy,
+// and the live frame all record the cadence restart at the same write —
+// and copy + k replayed chain records lands on exactly count k. The
+// repaired image is byte-identical to the never-failed one.
+TEST(UpdateCountCadenceTest, PerPageCopyReplayMatchesLiveCadence) {
   DatabaseOptions options = FastOptions();
   options.backup_policy.updates_threshold = 3;
   auto db = std::move(Database::Create(options)).value();
@@ -253,8 +252,9 @@ TEST(UpdateCountCadenceTest, PerPageCopyReplayRestartsCadenceFromCopy) {
   // Write-back 1: image carries count 2 (format + insert, < threshold) —
   // no copy.
   ASSERT_TRUE(db->FlushAll().ok());
-  // Write-back 2: image carries count 3 — per-page copy taken of that
-  // image, frame counter resets to 0.
+  // Write-back 2: counter crossed the threshold (3) — the cadence
+  // restarts BEFORE the write, so the image AND the per-page copy carry
+  // count 0.
   t = db->BeginTxn();
   SPF_CHECK_OK(t.Update("k", "v1"));
   SPF_CHECK_OK(t.Commit());
@@ -282,13 +282,15 @@ TEST(UpdateCountCadenceTest, PerPageCopyReplayRestartsCadenceFromCopy) {
 
   PageBuffer after(db->options().page_size);
   db->data_device()->RawRead(p, after.data());
-  // Contents and PageLSN are exact; the count is the residual: the copy
-  // stored the pre-reset value 3, plus the 1-record chain replay = 4,
-  // where the live cadence had restarted at 1.
+  // The copy stored count 0 (cadence restarted at the copy-taking write),
+  // plus the 1-record chain replay = 1 — exactly the live cadence. The
+  // whole image round-trips byte-for-byte.
   EXPECT_EQ(after.view().page_lsn(), lsn_before);
   EXPECT_TRUE(after.view().Verify(p).ok());
-  EXPECT_EQ(after.view().update_count(), 4u);
-  EXPECT_NE(after.view().update_count(), before.view().update_count());
+  EXPECT_EQ(after.view().update_count(), 1u);
+  EXPECT_EQ(after.view().update_count(), before.view().update_count());
+  EXPECT_EQ(std::memcmp(before.data(), after.data(), db->options().page_size),
+            0);
   EXPECT_EQ(*db->Get("k"), "v2");
 }
 

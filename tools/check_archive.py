@@ -1,0 +1,271 @@
+#!/usr/bin/env python3
+"""Offline fsck for a dumped sorted-log-archive volume.
+
+Reads a raw image of the archive device (every page verbatim, as written
+by `bench_e15_log_archive --dump-archive PATH`) and re-validates the
+on-disk format of src/log/log_archive.cpp from nothing but the bytes:
+
+  * the double-buffered directory (pages 0/1): magic, CRC, epoch choice;
+  * every published run: header CRC, extent bounds, the data-stream CRC,
+    entry framing, each record's own masked CRC, strict (page id, LSN)
+    ordering, header fences landing exactly on entry boundaries, and the
+    header's record-count / page-id / LSN bounds matching the stream;
+  * run extents not overlapping each other or the directory;
+  * the tiling invariant: the runs' [log_start, log_end) intervals cover
+    [first-lsn, archived_upto) contiguously, no gaps, no overlaps.
+
+Exits 0 if the archive is well formed, 1 with a report otherwise. The
+checker is deliberately independent of the C++ code so a format
+regression cannot hide behind its own reader.
+"""
+
+import argparse
+import struct
+import sys
+
+# ---------------------------------------------------------------------------
+# CRC32C (Castagnoli, reflected 0x82f63b78) — matches src/common/crc32c.cpp.
+
+_TABLE = []
+for _i in range(256):
+    _crc = _i
+    for _ in range(8):
+        _crc = (_crc >> 1) ^ 0x82F63B78 if _crc & 1 else _crc >> 1
+    _TABLE.append(_crc)
+
+
+def crc32c(data: bytes, init: int = 0) -> int:
+    crc = init ^ 0xFFFFFFFF
+    for b in data:
+        crc = _TABLE[(crc ^ b) & 0xFF] ^ (crc >> 8)
+    return crc ^ 0xFFFFFFFF
+
+
+def mask_crc(crc: int) -> int:
+    """RocksDB/LevelDB idiom used for the per-record CRC field."""
+    return (((crc >> 15) | (crc << 17)) + 0xA282EAD8) & 0xFFFFFFFF
+
+
+# ---------------------------------------------------------------------------
+# Format constants (log_archive.cpp / log_record.h).
+
+DIRECTORY_MAGIC = b"SPFARCHV"
+RUN_MAGIC = b"SPFARUN1"
+DIRECTORY_PAGES = 2
+DIRECTORY_FIXED = 8 + 8 + 8 + 8 + 4          # magic, epoch, upto, seq, count
+DIRECTORY_RUN = 8 + 4                        # start_page u64, data_pages u32
+RUN_FIXED = 8 + 8 + 4 + 4 + 8 * 8 + 4 + 4    # magic..log_end, data_crc, fences
+FENCE = 8 + 8 + 8                            # page_id, lsn, offset
+ENTRY_FRAME = 8 + 4                          # lsn u64, payload len u32
+RECORD_HEADER = 56                           # kLogRecordHeaderSize
+PAGE_ID_OFFSET = 28                          # within the serialized record
+INVALID_PAGE_ID = 0xFFFFFFFFFFFFFFFF
+
+
+class Fsck:
+    def __init__(self):
+        self.errors = []
+        self.checks = 0
+
+    def expect(self, ok, what):
+        self.checks += 1
+        if not ok:
+            self.errors.append(what)
+        return ok
+
+
+def parse_directory(image, page_size, fsck):
+    """Returns (archived_upto, [(start_page, data_pages)...]) of the best
+    epoch, exactly like LogArchiver::Recover."""
+    best = None
+    best_epoch = -1
+    saw_magic = False
+    for p in range(DIRECTORY_PAGES):
+        page = image[p * page_size:(p + 1) * page_size]
+        if page[:8] != DIRECTORY_MAGIC:
+            continue
+        saw_magic = True
+        epoch, upto, next_seq, count = struct.unpack_from("<QQQI", page, 8)
+        end = DIRECTORY_FIXED + count * DIRECTORY_RUN
+        if end + 4 > page_size:
+            fsck.errors.append(f"directory page {p}: run list overflows page")
+            continue
+        (stored,) = struct.unpack_from("<I", page, end)
+        if stored != crc32c(page[:end]):
+            fsck.errors.append(f"directory page {p}: checksum mismatch")
+            continue
+        if epoch > best_epoch:
+            best_epoch = epoch
+            runs = [struct.unpack_from("<QI", page, DIRECTORY_FIXED + i * DIRECTORY_RUN)
+                    for i in range(count)]
+            best = (upto, next_seq, runs)
+    fsck.expect(saw_magic, "no directory page carries the archive magic")
+    fsck.expect(best is not None, "no directory epoch is valid")
+    return best
+
+
+def check_run(image, page_size, start_page, dir_data_pages, fsck):
+    """Validates one run extent; returns its header fields or None."""
+    tag = f"run@{start_page}"
+    hdr = image[start_page * page_size:(start_page + 1) * page_size]
+    if not fsck.expect(hdr[:8] == RUN_MAGIC, f"{tag}: bad run magic"):
+        return None
+    (seq, level, data_pages, data_bytes, record_count, min_page, max_page,
+     min_lsn, max_lsn, log_start, log_end, data_crc, fence_count) = \
+        struct.unpack_from("<QIIQQQQQQQQII", hdr, 8)
+    fsck.expect(data_pages == dir_data_pages,
+                f"{tag}: directory extent size {dir_data_pages} != header "
+                f"{data_pages}")
+    fence_end = RUN_FIXED + fence_count * FENCE
+    if not fsck.expect(fence_end + 4 <= page_size,
+                       f"{tag}: fence list overflows the header page"):
+        return None
+    (stored,) = struct.unpack_from("<I", hdr, fence_end)
+    fsck.expect(stored == crc32c(hdr[:fence_end]),
+                f"{tag}: header checksum mismatch")
+    fences = [struct.unpack_from("<QQQ", hdr, RUN_FIXED + i * FENCE)
+              for i in range(fence_count)]
+
+    data_start = (start_page + 1) * page_size
+    stream = image[data_start:data_start + data_pages * page_size][:data_bytes]
+    if not fsck.expect(len(stream) == data_bytes,
+                       f"{tag}: data extent shorter than data_bytes"):
+        return None
+    fsck.expect(data_crc == crc32c(stream), f"{tag}: data stream CRC mismatch")
+
+    # Walk the entry frames: framing, per-record CRC, strict ordering.
+    off = 0
+    count = 0
+    prev = None
+    seen_min_page = seen_max_page = None
+    seen_min_lsn = seen_max_lsn = None
+    fence_iter = iter(fences)
+    next_fence = next(fence_iter, None)
+    while off < data_bytes:
+        if not fsck.expect(off + ENTRY_FRAME <= data_bytes,
+                           f"{tag}: entry frame at {off} truncated"):
+            return None
+        lsn, length = struct.unpack_from("<QI", stream, off)
+        payload = stream[off + ENTRY_FRAME:off + ENTRY_FRAME + length]
+        if not fsck.expect(length >= RECORD_HEADER and len(payload) == length,
+                           f"{tag}: entry at {off} overruns the run"):
+            return None
+        (rec_len, rec_crc) = struct.unpack_from("<II", payload, 0)
+        fsck.expect(rec_len == length,
+                    f"{tag}: entry at {off}: length field {rec_len} != "
+                    f"frame {length}")
+        fsck.expect(rec_crc == mask_crc(crc32c(payload[8:])),
+                    f"{tag}: entry at {off}: record CRC mismatch")
+        (page_id,) = struct.unpack_from("<Q", payload, PAGE_ID_OFFSET)
+        if prev is not None:
+            fsck.expect(prev < (page_id, lsn),
+                        f"{tag}: entries out of (page, LSN) order at {off}")
+        prev = (page_id, lsn)
+        fsck.expect(log_start <= lsn < log_end,
+                    f"{tag}: entry LSN {lsn} outside "
+                    f"[{log_start}, {log_end})")
+        if next_fence is not None and next_fence[2] == off:
+            fsck.expect(next_fence[0] == page_id and next_fence[1] == lsn,
+                        f"{tag}: fence at offset {off} names "
+                        f"({next_fence[0]}, {next_fence[1]}), entry is "
+                        f"({page_id}, {lsn})")
+            next_fence = next(fence_iter, None)
+        seen_min_page = page_id if seen_min_page is None else min(seen_min_page, page_id)
+        seen_max_page = page_id if seen_max_page is None else max(seen_max_page, page_id)
+        seen_min_lsn = lsn if seen_min_lsn is None else min(seen_min_lsn, lsn)
+        seen_max_lsn = lsn if seen_max_lsn is None else max(seen_max_lsn, lsn)
+        count += 1
+        off += ENTRY_FRAME + length
+    fsck.expect(next_fence is None,
+                f"{tag}: fence offset {next_fence and next_fence[2]} lands "
+                f"between entries")
+    fsck.expect(count == record_count,
+                f"{tag}: walked {count} entries, header says {record_count}")
+    if record_count > 0:
+        fsck.expect((seen_min_page, seen_max_page) == (min_page, max_page),
+                    f"{tag}: page-id fences [{min_page}, {max_page}] != "
+                    f"observed [{seen_min_page}, {seen_max_page}]")
+        fsck.expect((seen_min_lsn, seen_max_lsn) == (min_lsn, max_lsn),
+                    f"{tag}: LSN bounds [{min_lsn}, {max_lsn}] != observed "
+                    f"[{seen_min_lsn}, {seen_max_lsn}]")
+    else:
+        fsck.expect(min_page == INVALID_PAGE_ID and max_page == INVALID_PAGE_ID,
+                    f"{tag}: empty run carries page-id fences")
+    return {"start": start_page, "pages": 1 + data_pages, "seq": seq,
+            "level": level, "records": record_count,
+            "log_start": log_start, "log_end": log_end}
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("image", help="raw archive volume dump")
+    ap.add_argument("--page-size", type=int, default=8192)
+    ap.add_argument("--log-first-lsn", type=int, default=8,
+                    help="LSN of the first log record (the log file header "
+                    "size); the run tiling must start here")
+    args = ap.parse_args()
+
+    with open(args.image, "rb") as f:
+        image = f.read()
+    fsck = Fsck()
+    if len(image) % args.page_size != 0:
+        print(f"FAIL: image size {len(image)} is not a multiple of the page "
+              f"size {args.page_size}")
+        return 1
+    num_pages = len(image) // args.page_size
+
+    directory = parse_directory(image, args.page_size, fsck)
+    runs = []
+    if directory is not None:
+        archived_upto, next_seq, extents = directory
+        for start_page, data_pages in extents:
+            fsck.expect(start_page >= DIRECTORY_PAGES and
+                        start_page + 1 + data_pages <= num_pages,
+                        f"run@{start_page}: extent outside the volume")
+            run = check_run(image, args.page_size, start_page, data_pages,
+                            fsck)
+            if run is not None:
+                runs.append(run)
+
+        # Extents are disjoint.
+        by_start = sorted(runs, key=lambda r: r["start"])
+        for a, b in zip(by_start, by_start[1:]):
+            fsck.expect(a["start"] + a["pages"] <= b["start"],
+                        f"run@{a['start']} overlaps run@{b['start']}")
+        for r in runs:
+            fsck.expect(r["seq"] < next_seq,
+                        f"run@{r['start']}: seq {r['seq']} >= directory "
+                        f"next_seq {next_seq}")
+
+        # The tiling invariant over the log dimension.
+        by_log = sorted(runs, key=lambda r: r["log_start"])
+        if by_log:
+            fsck.expect(by_log[0]["log_start"] == args.log_first_lsn,
+                        f"first run starts at LSN {by_log[0]['log_start']}, "
+                        f"expected {args.log_first_lsn}")
+            for a, b in zip(by_log, by_log[1:]):
+                fsck.expect(a["log_end"] == b["log_start"],
+                            f"log-range gap/overlap between run@{a['start']} "
+                            f"(ends {a['log_end']}) and run@{b['start']} "
+                            f"(starts {b['log_start']})")
+            fsck.expect(by_log[-1]["log_end"] == archived_upto,
+                        f"last run ends at LSN {by_log[-1]['log_end']}, "
+                        f"directory archived_upto is {archived_upto}")
+        else:
+            fsck.expect(archived_upto == 0,
+                        "directory claims archived history but lists no runs")
+
+    if fsck.errors:
+        print(f"FAIL: {len(fsck.errors)} problem(s) in {args.image}:")
+        for e in fsck.errors:
+            print(f"  - {e}")
+        return 1
+    total = sum(r["records"] for r in runs)
+    levels = sorted({r["level"] for r in runs})
+    print(f"OK: {args.image}: {len(runs)} run(s), {total} record(s), "
+          f"levels {levels or '[]'}, {fsck.checks} checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
