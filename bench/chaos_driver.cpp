@@ -1,0 +1,187 @@
+// chaos_driver: seed-replayable randomized torture driver (tools/chaos).
+//
+//   chaos_driver --seed 42 --trace-out run.chaos   # generate + run + record
+//   chaos_driver --replay run.chaos                # byte-exact re-run
+//   chaos_driver --schedule mix.chaos              # pinned scenario mix
+//
+// Exit status: 0 = clean run (and, under --replay with a recorded result
+// footer, digests matched); 1 = invariant violations or digest mismatch;
+// 2 = usage / I/O error.
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "chaos/chaos_driver.h"
+#include "chaos/chaos_schedule.h"
+
+namespace {
+
+using spf::chaos::ChaosDriver;
+using spf::chaos::ChaosReport;
+using spf::chaos::ChaosSchedule;
+using spf::chaos::TraceResult;
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--seed N | --schedule FILE | --replay FILE]\n"
+               "          [--trace-out FILE] [--writers N] [--txns N]\n"
+               "          [--smoke] [--quiet]\n",
+               argv0);
+  return 2;
+}
+
+bool ReadFile(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  *out = buf.str();
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  uint64_t seed = 1;
+  bool have_seed = false;
+  std::string schedule_path;
+  std::string replay_path;
+  std::string trace_out;
+  uint64_t writers_override = 0;
+  uint64_t txns_override = 0;
+  bool smoke = false;
+  bool quiet = false;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--seed") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      seed = std::strtoull(v, nullptr, 0);
+      have_seed = true;
+    } else if (arg == "--schedule") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      schedule_path = v;
+    } else if (arg == "--replay") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      replay_path = v;
+    } else if (arg == "--trace-out") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      trace_out = v;
+    } else if (arg == "--writers") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      writers_override = std::strtoull(v, nullptr, 0);
+    } else if (arg == "--txns") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      txns_override = std::strtoull(v, nullptr, 0);
+    } else if (arg == "--smoke") {
+      smoke = true;
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+  if ((have_seed ? 1 : 0) + (schedule_path.empty() ? 0 : 1) +
+          (replay_path.empty() ? 0 : 1) >
+      1) {
+    std::fprintf(stderr, "--seed, --schedule, and --replay are exclusive\n");
+    return 2;
+  }
+
+  ChaosSchedule sched;
+  TraceResult recorded;
+  if (!schedule_path.empty() || !replay_path.empty()) {
+    const std::string& path =
+        replay_path.empty() ? schedule_path : replay_path;
+    std::string text;
+    if (!ReadFile(path, &text)) {
+      std::fprintf(stderr, "cannot read %s\n", path.c_str());
+      return 2;
+    }
+    auto parsed = spf::chaos::ParseSchedule(text, &recorded);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "bad schedule %s: %s\n", path.c_str(),
+                   parsed.status().ToString().c_str());
+      return 2;
+    }
+    sched = std::move(parsed).value();
+  } else {
+    sched = spf::chaos::GenerateSchedule(seed);
+  }
+  if (writers_override != 0) {
+    sched.writers = uint32_t(writers_override);
+  }
+  if (txns_override != 0) {
+    sched.txns_per_writer = uint32_t(txns_override);
+  }
+  if (smoke) {
+    // Bounded variant for per-PR CI: same schedule shape, shorter run.
+    sched.txns_per_writer = std::min<uint32_t>(sched.txns_per_writer, 24);
+    sched.seed_records = std::min<uint32_t>(sched.seed_records, 600);
+  }
+
+  ChaosDriver driver(sched);
+  ChaosReport report = driver.Run(/*verbose=*/!quiet);
+
+  if (!trace_out.empty()) {
+    std::ofstream out(trace_out, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", trace_out.c_str());
+      return 2;
+    }
+    out << spf::chaos::SerializeTrace(sched, report.ToTraceResult());
+  }
+
+  std::printf("schedule-digest=%llu shadow-digest=%llu committed=%llu "
+              "events=%llu violations=%zu\n",
+              (unsigned long long)report.schedule_digest,
+              (unsigned long long)report.shadow_digest,
+              (unsigned long long)report.committed_txns,
+              (unsigned long long)report.events_fired,
+              report.violations.size());
+  for (const std::string& v : report.violations) {
+    std::printf("VIOLATION: %s\n", v.c_str());
+  }
+
+  bool ok = report.ok();
+  // Replay contract: when the trace carries a recorded result and the
+  // workload shape was not overridden, the re-run must land on the very
+  // same digests.
+  if (!replay_path.empty() && recorded.present && writers_override == 0 &&
+      txns_override == 0 && !smoke) {
+    if (recorded.schedule_digest != report.schedule_digest) {
+      std::printf("REPLAY MISMATCH: schedule digest %llu != recorded %llu\n",
+                  (unsigned long long)report.schedule_digest,
+                  (unsigned long long)recorded.schedule_digest);
+      ok = false;
+    }
+    if (recorded.shadow_digest != report.shadow_digest) {
+      std::printf("REPLAY MISMATCH: shadow digest %llu != recorded %llu\n",
+                  (unsigned long long)report.shadow_digest,
+                  (unsigned long long)recorded.shadow_digest);
+      ok = false;
+    }
+    if (recorded.committed_txns != report.committed_txns) {
+      std::printf("REPLAY MISMATCH: committed %llu != recorded %llu\n",
+                  (unsigned long long)report.committed_txns,
+                  (unsigned long long)recorded.committed_txns);
+      ok = false;
+    }
+  }
+  return ok ? 0 : 1;
+}

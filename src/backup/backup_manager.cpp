@@ -19,14 +19,37 @@ BackupManager::BackupManager(SimDevice* data_device, SimDevice* backup_device,
       << "backup device needs room for a full backup plus page copies";
 }
 
-StatusOr<FullBackupInfo> BackupManager::TakeFullBackup() {
+void BackupManager::SetFullBackupVerification(
+    std::function<bool(PageId)> verifiable,
+    std::function<Status(PageId)> repair) {
+  verifiable_ = std::move(verifiable);
+  repair_ = std::move(repair);
+}
+
+StatusOr<FullBackupInfo> BackupManager::TakeFullBackup(Lsn backup_lsn) {
   // Backup LSN first: the log from here forward, plus this image, can
   // reconstruct any later state.
   log_->ForceAll();
-  Lsn backup_lsn = log_->durable_lsn();
+  if (backup_lsn == kInvalidLsn) backup_lsn = log_->durable_lsn();
   std::vector<char> buf(page_size_);
   for (PageId p = 0; p < data_pages_; ++p) {
-    SPF_RETURN_IF_ERROR(data_device_->ReadPage(p, buf.data()));
+    // Never copy a bad image over the only backup of this page: a read
+    // failure or a failed in-page verification routes the page through
+    // repair (which may itself consult the page's old backup image —
+    // still intact, it has not been overwritten yet) and re-reads. Only
+    // when the page stays bad does the backup abort, with every image
+    // written so far verified-valid.
+    const bool check = verifiable_ != nullptr && verifiable_(p);
+    Status page_status;
+    for (int attempt = 0; ; ++attempt) {
+      page_status = data_device_->ReadPage(p, buf.data());
+      if (page_status.ok() && check) {
+        page_status = PageView(buf.data(), page_size_).Verify(p);
+      }
+      if (page_status.ok() || repair_ == nullptr || attempt >= 2) break;
+      SPF_RETURN_IF_ERROR(repair_(p));
+    }
+    SPF_RETURN_IF_ERROR(page_status);
     SPF_RETURN_IF_ERROR(backup_device_->WritePage(p, buf.data()));
   }
   std::lock_guard<std::mutex> g(mu_);

@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <mutex>
 #include <optional>
 #include <unordered_map>
@@ -76,7 +77,32 @@ class BackupManager {
   /// Takes a full backup: sequentially copies every data page to the
   /// backup device. The caller must have flushed the buffer pool (sharp
   /// backup). Returns the backup descriptor.
-  StatusOr<FullBackupInfo> TakeFullBackup();
+  ///
+  /// The old backup is overwritten in place, one page at a time, so the
+  /// "never overwrite the old backup page before the new one exists" rule
+  /// (section 5.2.2) holds per page only if every image written is valid:
+  /// with verification hooks installed (SetFullBackupVerification), a page
+  /// that reads bad is repaired and re-read — never copied as garbage —
+  /// and a backup that fails partway leaves a backup device holding only
+  /// valid images (a newer-valid prefix over the old backup), which the
+  /// unchanged catalog entry still describes correctly for conditional
+  /// replay. Without hooks, images are copied blind (legacy behavior).
+  ///
+  /// `backup_lsn` is the position restores will replay from; every update
+  /// at or below it must already be reflected on the data device when the
+  /// copy starts. A caller that flushes a buffer pool must capture this
+  /// BEFORE the flush and pass it in (Database::TakeFullBackup) — with
+  /// kInvalidLsn the manager captures the durable LSN itself, which is
+  /// only correct when no write-back cache sits above the data device.
+  StatusOr<FullBackupInfo> TakeFullBackup(Lsn backup_lsn = kInvalidLsn);
+
+  /// Installs full-backup page verification. `verifiable` selects pages
+  /// that carry the standard page format (allocated, not PRI, not
+  /// retired); `repair` is called when such a page fails to read or fails
+  /// in-page verification and must leave the device copy readable (route
+  /// it through the recovery ladder). Either may be null to disable.
+  void SetFullBackupVerification(std::function<bool(PageId)> verifiable,
+                                 std::function<Status(PageId)> repair);
 
   /// Latest full backup, if any.
   std::optional<FullBackupInfo> latest_full_backup() const;
@@ -136,6 +162,11 @@ class BackupManager {
   LogManager* log_;
   const uint32_t page_size_;
   const uint64_t data_pages_;  // full-backup region size on backup device
+
+  // Full-backup verification hooks (SetFullBackupVerification). Set once
+  // at wiring time, before any concurrent use.
+  std::function<bool(PageId)> verifiable_;
+  std::function<Status(PageId)> repair_;
 
   mutable std::mutex mu_;
   std::optional<FullBackupInfo> full_backup_;

@@ -1,0 +1,113 @@
+#include "chaos/invariants.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace spf {
+namespace chaos {
+
+namespace {
+
+void RequireMonotone(const char* name, uint64_t prev, uint64_t cur,
+                     std::vector<std::string>* out) {
+  if (cur < prev) {
+    std::ostringstream msg;
+    msg << "monotonicity: " << name << " regressed " << prev << " -> "
+        << cur;
+    out->push_back(msg.str());
+  }
+}
+
+}  // namespace
+
+std::vector<std::string> SnapshotMonotonicity::Check(const StatsSnapshot& s) {
+  std::vector<std::string> v;
+  if (have_prev_) {
+    // The archive watermark survives crashes (recovered from the
+    // directory), so it is checked across resets unconditionally.
+    RequireMonotone("archive.archived_upto", prev_.archive.archived_upto,
+                    s.archive.archived_upto, &v);
+    if (!reset_pending_) {
+      RequireMonotone("funnel.enqueued", prev_.funnel.enqueued,
+                      s.funnel.enqueued, &v);
+      RequireMonotone("funnel.batches", prev_.funnel.batches,
+                      s.funnel.batches, &v);
+      RequireMonotone("funnel.repaired_spr", prev_.funnel.repaired_spr,
+                      s.funnel.repaired_spr, &v);
+      RequireMonotone("funnel.repaired_partial",
+                      prev_.funnel.repaired_partial,
+                      s.funnel.repaired_partial, &v);
+      RequireMonotone("funnel.repaired_full", prev_.funnel.repaired_full,
+                      s.funnel.repaired_full, &v);
+      RequireMonotone("funnel.gated_restores", prev_.funnel.gated_restores,
+                      s.funnel.gated_restores, &v);
+      RequireMonotone("locks.acquisitions", prev_.locks.acquisitions,
+                      s.locks.acquisitions, &v);
+      RequireMonotone("log.group_commit_batches",
+                      prev_.log.group_commit_batches,
+                      s.log.group_commit_batches, &v);
+      RequireMonotone("log.group_commit_commits",
+                      prev_.log.group_commit_commits,
+                      s.log.group_commit_commits, &v);
+      RequireMonotone("cross_checks", prev_.cross_checks, s.cross_checks, &v);
+      RequireMonotone("cross_check_mismatches", prev_.cross_check_mismatches,
+                      s.cross_check_mismatches, &v);
+      RequireMonotone("archive.ticks", prev_.archive.ticks, s.archive.ticks,
+                      &v);
+      RequireMonotone("archive.runs_written", prev_.archive.runs_written,
+                      s.archive.runs_written, &v);
+      RequireMonotone("archive.records_archived",
+                      prev_.archive.records_archived,
+                      s.archive.records_archived, &v);
+    }
+  }
+  prev_ = s;
+  have_prev_ = true;
+  reset_pending_ = false;
+  return v;
+}
+
+std::vector<std::string> CheckFunnelConservation(const FunnelTotals& f) {
+  std::vector<std::string> v;
+  const uint64_t resolved = f.repaired_spr + f.repaired_partial +
+                            f.repaired_full + f.skipped_dirty + f.failed;
+  if (f.enqueued != resolved) {
+    std::ostringstream msg;
+    msg << "funnel conservation: enqueued=" << f.enqueued
+        << " != spr=" << f.repaired_spr << " + partial=" << f.repaired_partial
+        << " + full=" << f.repaired_full << " + dirty=" << f.skipped_dirty
+        << " + failed=" << f.failed << " (= " << resolved << ")";
+    v.push_back(msg.str());
+  }
+  return v;
+}
+
+std::vector<std::string> CheckArchiveTiling(
+    const std::vector<ArchiveRunInfo>& runs, Lsn archived_upto) {
+  std::vector<std::string> v;
+  if (runs.empty()) return v;
+  std::vector<ArchiveRunInfo> sorted = runs;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const ArchiveRunInfo& a, const ArchiveRunInfo& b) {
+              return a.log_start < b.log_start;
+            });
+  for (size_t i = 0; i + 1 < sorted.size(); ++i) {
+    if (sorted[i].log_end != sorted[i + 1].log_start) {
+      std::ostringstream msg;
+      msg << "archive tiling: run seq " << sorted[i].seq << " ends at "
+          << sorted[i].log_end << " but run seq " << sorted[i + 1].seq
+          << " starts at " << sorted[i + 1].log_start;
+      v.push_back(msg.str());
+    }
+  }
+  if (sorted.back().log_end != archived_upto) {
+    std::ostringstream msg;
+    msg << "archive tiling: last run ends at " << sorted.back().log_end
+        << " but archived_upto=" << archived_upto;
+    v.push_back(msg.str());
+  }
+  return v;
+}
+
+}  // namespace chaos
+}  // namespace spf

@@ -1,0 +1,55 @@
+// Online invariant checks the chaos driver runs against StatsSnapshot and
+// the archiver directory. Each check returns human-readable violation
+// strings (empty = clean); the driver aggregates them into its report.
+//
+// What each check pins (see docs/ARCHITECTURE.md "Chaos harness"):
+//   * funnel conservation — every page the RecoveryCoordinator accepted
+//     ends in exactly one outcome bucket once the funnel is idle;
+//   * snapshot monotonicity — cumulative counters never regress within a
+//     volatile-state epoch, and the archive watermark never regresses at
+//     all (it is recovered from the on-volume directory across crashes);
+//   * archive tiling — the directory's runs tile one contiguous log
+//     interval ending exactly at archived_upto (the same invariant
+//     tools/check_archive.py re-verifies offline from raw bytes).
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "db/stats_snapshot.h"
+#include "log/log_archive.h"
+
+namespace spf {
+namespace chaos {
+
+/// Stateful monotonicity tracker. NoteReset() after every SimulateCrash
+/// (volatile components are rebuilt, counters legally restart from zero);
+/// the archive watermark is exempt and must survive the reset.
+class SnapshotMonotonicity {
+ public:
+  /// Compares against the previous snapshot and adopts `s` as the new
+  /// baseline. First call only records.
+  std::vector<std::string> Check(const StatsSnapshot& s);
+
+  /// Forgives the next regression of the volatile counters (crash).
+  void NoteReset() { reset_pending_ = true; }
+
+ private:
+  StatsSnapshot prev_;
+  bool have_prev_ = false;
+  bool reset_pending_ = false;
+};
+
+/// Funnel conservation: enqueued == repaired_spr + repaired_partial +
+/// repaired_full + skipped_dirty + failed. Valid only while the funnel is
+/// idle (drained, no batch in flight) — call after WaitIdle.
+std::vector<std::string> CheckFunnelConservation(const FunnelTotals& f);
+
+/// Archive tiling: runs sorted by log_start must be gap- and
+/// overlap-free and end exactly at `archived_upto`.
+std::vector<std::string> CheckArchiveTiling(
+    const std::vector<ArchiveRunInfo>& runs, Lsn archived_upto);
+
+}  // namespace chaos
+}  // namespace spf

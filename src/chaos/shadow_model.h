@@ -1,0 +1,58 @@
+// Shadow model: the chaos driver's in-memory ground truth.
+//
+// A ShadowMap holds the committed key→value state one owner (a writer's
+// private range, the shared hot-key set, the immutable seed records) is
+// REQUIRED to observe from the engine: only acknowledged commits are
+// applied, so any divergence — wrong bytes, a lost key, a resurrected
+// delete — is an engine bug, never a harness artifact. Maps are owned
+// single-threaded (per-writer) or under an explicit external mutex (hot
+// keys); the driver merges them for digesting only at pause barriers,
+// whose mutex provides the happens-before edge.
+
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "chaos/chaos_schedule.h"
+
+namespace spf {
+namespace chaos {
+
+/// Committed key→value state for one key-space owner.
+class ShadowMap {
+ public:
+  void Put(std::string_view key, std::string_view value) {
+    live_[std::string(key)] = std::string(value);
+  }
+  void Delete(std::string_view key) { live_.erase(std::string(key)); }
+
+  /// Current committed value, or null when absent (deleted / never put).
+  const std::string* Find(std::string_view key) const {
+    auto it = live_.find(std::string(key));
+    return it == live_.end() ? nullptr : &it->second;
+  }
+
+  bool Has(std::string_view key) const { return Find(key) != nullptr; }
+  size_t size() const { return live_.size(); }
+
+  const std::map<std::string, std::string>& entries() const { return live_; }
+
+  /// Chains every "key=value\n" pair (sorted — std::map order) into `h`.
+  uint64_t Digest(uint64_t h) const {
+    for (const auto& [k, v] : live_) {
+      h = DigestBytes(k, h);
+      h = DigestBytes("=", h);
+      h = DigestBytes(v, h);
+      h = DigestBytes("\n", h);
+    }
+    return h;
+  }
+
+ private:
+  std::map<std::string, std::string> live_;
+};
+
+}  // namespace chaos
+}  // namespace spf

@@ -135,6 +135,21 @@ void Database::BuildVolatileState() {
   if (backups_ == nullptr) {
     backups_ = std::make_unique<BackupManager>(data_.get(), backup_dev_.get(),
                                                log_.get());
+    // Full backups must never copy a broken page image over the only
+    // backup of that page (section 5.2.2): verify every data page that
+    // carries the standard page format, and heal the ones that read bad
+    // through the repair ladder before copying. The hooks capture only
+    // `this` — the components they touch are the current volatile set.
+    backups_->SetFullBackupVerification(
+        [this](PageId p) {
+          return alloc_->IsAllocated(p) && !layout_.IsPriPage(p) &&
+                 !bbl_.Contains(p) && !pool_->IsDirty(p);
+        },
+        [this](PageId p) {
+          SPF_ASSIGN_OR_RETURN(BatchRepairResult r, RepairPages({p}));
+          if (!r.failures.empty()) return r.failures.front().status;
+          return Status::OK();
+        });
   } else {
     backups_->RewireLog(log_.get());
   }
@@ -471,11 +486,21 @@ StatusOr<CheckpointStats> Database::Checkpoint() {
 }
 
 StatusOr<FullBackupInfo> Database::TakeFullBackup() {
+  // Capture the backup LSN BEFORE the flush: restores replay the log from
+  // this point, so every update at or below it must be in the image —
+  // which the flush guarantees only for updates that existed when it
+  // began. Capturing after the flush leaves a window where a commit lands
+  // below the backup LSN on an already-flushed page; its effect would
+  // then be in neither the image nor the replayed log range. Updates
+  // racing in after this capture carry higher LSNs and are covered by
+  // replay (conditional redo makes the flushed ones no-ops).
+  log_->ForceAll();
+  const Lsn backup_lsn = log_->durable_lsn();
   SPF_RETURN_IF_ERROR(pool_->FlushAll());
   if (options_.tracking == WriteTrackingMode::kPri) {
     SPF_RETURN_IF_ERROR(pri_manager_->WriteDirtyWindows());
   }
-  SPF_ASSIGN_OR_RETURN(FullBackupInfo info, backups_->TakeFullBackup());
+  SPF_ASSIGN_OR_RETURN(FullBackupInfo info, backups_->TakeFullBackup(backup_lsn));
   if (options_.tracking == WriteTrackingMode::kPri) {
     pri_manager_->OnFullBackup(info.id);
   }

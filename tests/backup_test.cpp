@@ -163,5 +163,70 @@ TEST_F(BackupTest, BackupLsnCoversSubsequentLog) {
   EXPECT_GE(info->backup_lsn, rec.lsn + rec.length);
 }
 
+TEST_F(BackupTest, ExplicitBackupLsnIsRecorded) {
+  // A caller with a write-back cache above the data device captures the
+  // backup LSN BEFORE flushing the cache and passes it in (a commit landing
+  // between the flush and a later capture would sit below the backup LSN
+  // yet inside neither the image nor the replay range — a lost update).
+  // The manager must record the passed LSN verbatim, not the durable LSN
+  // at copy time.
+  for (PageId p = 0; p < kDataPages; ++p) {
+    std::string img = MakePage(p, 'x', 5);
+    ASSERT_TRUE(data_.WritePage(p, img.data()).ok());
+  }
+  LogRecord rec;
+  rec.type = LogRecordType::kBeginTxn;
+  rec.txn_id = 1;
+  Lsn before = log_.Append(&rec);
+  rec.txn_id = 2;
+  log_.Append(&rec);  // durable LSN moves past `before`
+
+  auto info = mgr_.TakeFullBackup(/*backup_lsn=*/before);
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->backup_lsn, before);
+
+  // Without an explicit LSN the manager captures the durable LSN itself.
+  auto info2 = mgr_.TakeFullBackup();
+  ASSERT_TRUE(info2.ok());
+  EXPECT_GT(info2->backup_lsn, before);
+}
+
+TEST_F(BackupTest, VerificationHooksHealBeforeCopyOrAbort) {
+  // Regression (chaos harness, seed 5): with verification hooks installed,
+  // a page that fails in-page verification is routed through repair and
+  // re-read — never copied as garbage over the only backup of that page —
+  // and a page that stays bad aborts the backup without publishing it.
+  for (PageId p = 0; p < kDataPages; ++p) {
+    std::string img = MakePage(p, static_cast<char>('a' + p % 26), 9);
+    ASSERT_TRUE(data_.WritePage(p, img.data()).ok());
+  }
+  data_.InjectSilentCorruption(9);
+
+  int repairs = 0;
+  mgr_.SetFullBackupVerification(
+      [](PageId) { return true; },
+      [&](PageId p) {
+        repairs++;
+        std::string good = MakePage(p, 'g', 9);
+        return data_.WritePage(p, good.data());
+      });
+  auto info = mgr_.TakeFullBackup();
+  ASSERT_TRUE(info.ok()) << info.status().ToString();
+  EXPECT_EQ(repairs, 1);
+  std::string out(kPS, '\0');
+  ASSERT_TRUE(mgr_.ReadFromFullBackup(info->id, 9, out.data()).ok());
+  EXPECT_TRUE(PageView(out.data(), kPS).Verify(9).ok());
+
+  // A "repair" that fixes nothing: the backup must abort and the catalog
+  // must keep pointing at the last good backup.
+  data_.InjectSilentCorruption(20);
+  mgr_.SetFullBackupVerification([](PageId) { return true; },
+                                 [](PageId) { return Status::OK(); });
+  EXPECT_FALSE(mgr_.TakeFullBackup().ok());
+  auto latest = mgr_.latest_full_backup();
+  ASSERT_TRUE(latest.has_value());
+  EXPECT_EQ(latest->id, info->id);
+}
+
 }  // namespace
 }  // namespace spf

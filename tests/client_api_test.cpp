@@ -8,6 +8,8 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <map>
+#include <random>
 #include <string>
 #include <utility>
 #include <vector>
@@ -290,6 +292,130 @@ TEST(WriteBatchTest, AtomicAcrossMidBatchPageFailure) {
   EXPECT_GT(db->single_page_recovery()->stats().repairs_succeeded,
             repairs_before);
   for (int i = 200; i < 300; ++i) EXPECT_EQ(*db->Get(Key(i)), "post-failure");
+  ASSERT_TRUE(db->CheckOffline(nullptr).ok());
+}
+
+TEST(WriteBatchTest, RandomizedSavepointRollbackProperty) {
+  // Seeded property test of the batch savepoint contract: a batch either
+  // applies ALL its ops or NONE of them, and a failed batch leaves the
+  // enclosing transaction fully usable. A shadow map tracks what the
+  // engine must contain; poisoned batches (a deliberately invalid op at a
+  // random position) must leave the shadow state untouched, and rounds
+  // that corrupt a page under the batch must succeed transparently via
+  // single-page repair.
+  auto db = MakeDb();
+  std::mt19937_64 rng(20260808);
+  std::map<std::string, std::string> shadow;
+  {
+    Txn setup = db->BeginTxn();
+    for (int i = 0; i < 150; ++i) {
+      std::string v = "seed-" + std::to_string(i);
+      ASSERT_TRUE(setup.Insert(Key(i), v).ok());
+      shadow[Key(i)] = v;
+    }
+    ASSERT_TRUE(setup.Commit().ok());
+  }
+  ASSERT_TRUE(db->TakeFullBackup().status().ok());
+
+  int poisoned_rounds = 0;
+  const uint64_t repairs_before =
+      db->single_page_recovery()->stats().repairs_succeeded;
+  for (int round = 0; round < 120; ++round) {
+    if (round % 17 == 5) {
+      // Latent corruption under a key this round's batch may touch.
+      ASSERT_TRUE(db->FlushAll().ok());
+      auto leaf = db->LeafPageOf(Key(static_cast<int>(rng() % 150)));
+      ASSERT_TRUE(leaf.ok());
+      db->pool()->DiscardAll();
+      db->data_device()->InjectSilentCorruption(*leaf);
+    }
+
+    // Build a batch that is valid against `overlay` (the shadow plus this
+    // batch's earlier ops — in-batch effects are visible to later ops).
+    std::map<std::string, std::string> overlay = shadow;
+    const size_t n_ops = 1 + rng() % 12;
+    const bool poison = rng() % 4 == 0;
+    const size_t poison_at = rng() % n_ops;
+    WriteBatch batch;
+    for (size_t j = 0; j < n_ops; ++j) {
+      std::string key = Key(static_cast<int>(rng() % 240));
+      std::string val = "r" + std::to_string(round) + "-" + std::to_string(j);
+      if (poison && j == poison_at) {
+        // An op that must fail at this position: Insert over a present
+        // key, or Delete of an absent one.
+        if (overlay.count(key)) {
+          batch.Insert(key, val);
+        } else {
+          batch.Delete(key);
+        }
+        continue;  // ops after the poison are never reached; any mix is fine
+      }
+      const bool present = overlay.count(key) != 0;
+      switch (rng() % 3) {
+        case 0:
+          batch.Put(key, val);
+          overlay[key] = val;
+          break;
+        case 1:
+          if (present) {
+            batch.Delete(key);
+            overlay.erase(key);
+          } else {
+            batch.Insert(key, val);
+            overlay[key] = val;
+          }
+          break;
+        default:
+          if (present) {
+            batch.Update(key, val);
+            overlay[key] = val;
+          } else {
+            batch.Put(key, val);
+            overlay[key] = val;
+          }
+          break;
+      }
+    }
+
+    Txn t = db->BeginTxn();
+    // A point op before the batch must survive the batch's failure.
+    std::string marker = "marker-" + std::to_string(round);
+    ASSERT_TRUE(t.Put(marker, "kept").ok());
+    TxnError err = t.Apply(std::move(batch));
+    if (poison) {
+      poisoned_rounds++;
+      EXPECT_EQ(err.kind(), TxnError::Kind::kUser) << err.ToString();
+    } else {
+      ASSERT_TRUE(err.ok()) << err.ToString();
+      shadow = overlay;
+    }
+    ASSERT_TRUE(t.Commit().ok());
+    shadow[marker] = "kept";
+
+    // Spot-check a few keys against the shadow every round.
+    for (int probe = 0; probe < 3; ++probe) {
+      std::string key = Key(static_cast<int>(rng() % 240));
+      auto it = shadow.find(key);
+      auto got = db->Get(key);
+      if (it == shadow.end()) {
+        EXPECT_TRUE(got.status().IsNotFound()) << key;
+      } else {
+        ASSERT_TRUE(got.ok()) << got.status().ToString();
+        EXPECT_EQ(*got, it->second) << key;
+      }
+    }
+  }
+  EXPECT_GT(poisoned_rounds, 10);
+  EXPECT_GT(db->single_page_recovery()->stats().repairs_succeeded,
+            repairs_before);
+
+  // Full sweep: the engine holds exactly the shadow state.
+  for (const auto& [key, val] : shadow) EXPECT_EQ(*db->Get(key), val);
+  for (int i = 0; i < 240; ++i) {
+    if (!shadow.count(Key(i))) {
+      EXPECT_TRUE(db->Get(Key(i)).status().IsNotFound());
+    }
+  }
   ASSERT_TRUE(db->CheckOffline(nullptr).ok());
 }
 

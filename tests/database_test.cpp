@@ -515,6 +515,72 @@ TEST(DatabaseTest, MediaRecoveryAbortsActiveTransactions) {
   EXPECT_EQ(*db->Get(Key(0)), "v-0");
 }
 
+// Regression (found by the chaos harness, seed 5): a full backup must not
+// copy a broken page image over the only good backup of that page. The
+// page is repaired first — consulting the still-intact old backup — and
+// the verified image is what lands on the backup device.
+TEST(DatabaseTest, FullBackupHealsBrokenPageInsteadOfCopyingIt) {
+  auto db = MakeDb();
+  Load(db.get(), 0, 2000);
+  ASSERT_TRUE(db->TakeFullBackup().ok());  // good backup #1
+  Load(db.get(), 2000, 2200);
+  ASSERT_TRUE(db->FlushAll().ok());
+
+  auto leaf = db->LeafPageOf(Key(100));
+  ASSERT_TRUE(leaf.ok());
+  db->pool()->DiscardPage(*leaf);
+  db->data_device()->InjectSilentCorruption(*leaf);
+
+  // Backup #2 hits the corrupt image, routes it through single-page
+  // repair, and copies the healed page.
+  auto b2 = db->TakeFullBackup();
+  ASSERT_TRUE(b2.ok()) << b2.status().ToString();
+
+  // Backup #2 is now the only basis for media recovery; if it had copied
+  // the garbage image, the restore (or the offline check after it) fails.
+  db->data_device()->FailDevice();
+  db->pool()->DiscardAll();
+  ASSERT_TRUE(db->RecoverMedia().ok());
+  EXPECT_EQ(*db->Get(Key(100)), "v-100");
+  EXPECT_EQ(*db->Get(Key(2100)), "v-2100");
+  ASSERT_TRUE(db->CheckOffline(nullptr).ok());
+}
+
+// Companion regression: when the broken page cannot be healed (a worn
+// location re-corrupts every repair write), the backup must ABORT rather
+// than publish a catalog entry whose image set contains garbage — and the
+// previous backup must remain usable.
+TEST(DatabaseTest, FullBackupAbortsOnUnhealablePageKeepingOldBackup) {
+  auto db = MakeDb();
+  Load(db.get(), 0, 2000);
+  ASSERT_TRUE(db->TakeFullBackup().ok());
+  auto first = db->backups()->latest_full_backup();
+  ASSERT_TRUE(first.has_value());
+  Load(db.get(), 2000, 2200);
+  ASSERT_TRUE(db->FlushAll().ok());
+
+  auto leaf = db->LeafPageOf(Key(1500));
+  ASSERT_TRUE(leaf.ok());
+  db->pool()->DiscardPage(*leaf);
+  // Exhausted wear budget: every repair write lands scrambled, so the
+  // page can never be brought to a verified state in place.
+  db->data_device()->SetWearOutLimit(*leaf, 0);
+  db->data_device()->InjectSilentCorruption(*leaf);
+
+  EXPECT_FALSE(db->TakeFullBackup().ok());
+  auto latest = db->backups()->latest_full_backup();
+  ASSERT_TRUE(latest.has_value());
+  EXPECT_EQ(latest->id, first->id);  // catalog still points at backup #1
+
+  // Retire the worn location; backup #1 plus the log heals the page.
+  db->data_device()->ClearFault(*leaf);
+  auto healed = db->RecoverPages({*leaf});
+  ASSERT_TRUE(healed.ok()) << healed.status().ToString();
+  EXPECT_EQ(*db->Get(Key(1500)), "v-1500");
+  EXPECT_EQ(*db->Get(Key(2100)), "v-2100");
+  ASSERT_TRUE(db->CheckOffline(nullptr).ok());
+}
+
 // --- scrubbing & offline checks --------------------------------------------------------
 
 TEST(DatabaseTest, ScrubFindsAndHealsLatentErrors) {
