@@ -1,0 +1,99 @@
+// spf_server: the network serving layer end to end — start a TCP server
+// over a database, speak the binary wire protocol to it, and watch a
+// single-page failure heal underneath a live client connection.
+//
+// Build & run:  cmake -B build -G Ninja && cmake --build build
+//               ./build/examples/spf_server              (self-demo, exits)
+//               ./build/examples/spf_server --listen 7878 (serve until EOF)
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "db/database.h"
+#include "server/client.h"
+#include "server/network_server.h"
+
+using namespace spf;
+
+int main(int argc, char** argv) {
+  DatabaseOptions options;
+  options.num_pages = 4096;
+  auto db_or = Database::Create(options);
+  if (!db_or.ok()) {
+    fprintf(stderr, "create failed: %s\n", db_or.status().ToString().c_str());
+    return 1;
+  }
+  auto db = std::move(db_or).value();
+
+  ServerOptions sopts;
+  sopts.workers = 4;
+  bool listen_mode = false;
+  if (argc >= 3 && std::strcmp(argv[1], "--listen") == 0) {
+    listen_mode = true;
+    sopts.port = static_cast<uint16_t>(std::atoi(argv[2]));
+  }
+  NetworkServer server(db.get(), sopts);
+  SPF_CHECK_OK(server.Start());
+  printf("serving on 127.0.0.1:%u with %u workers\n", server.port(),
+         sopts.workers);
+
+  if (listen_mode) {
+    // Serve until stdin closes (Ctrl-D). Talk to it with another
+    // spf_server process or any wire-protocol client.
+    printf("press Ctrl-D to stop\n");
+    while (getchar() != EOF) {
+    }
+    server.Stop();
+    return 0;
+  }
+
+  // Self-demo: a client connection doing real work over the wire.
+  Client client;
+  SPF_CHECK_OK(client.Connect("127.0.0.1", server.port()));
+
+  // 1. One frame = one transaction: three writes commit atomically.
+  wire::TxnRequest deposit;
+  deposit.Put("account:alice", "balance=900");
+  deposit.Put("account:bob", "balance=1100");
+  deposit.Put("audit:transfer:1", "alice->bob:100");
+  wire::TxnReply reply;
+  SPF_CHECK_OK(client.ExecuteWithRetry(deposit, &reply));
+  printf("transfer frame: %s\n", reply.ok() ? "committed" : "failed");
+
+  // 2. Point read through the wire.
+  auto v = client.Get("account:bob");
+  printf("account:bob -> %s\n", v->c_str());
+
+  // 3. Silently corrupt the page under bob's record, the way a failing
+  //    device would — then read again through the SAME connection. The
+  //    server-side read trips the checksum, single-page recovery replays
+  //    the per-page log chain, and the client just sees its answer.
+  SPF_CHECK_OK(db->FlushAll());
+  PageId victim = *db->LeafPageOf("account:bob");
+  db->pool()->DiscardAll();
+  db->data_device()->InjectSilentCorruption(victim);
+  v = client.Get("account:bob");
+  printf("after page failure, account:bob -> %s\n", v->c_str());
+
+  // 4. INFO: the engine's stats snapshot plus the server's own counters.
+  wire::InfoReply info;
+  SPF_CHECK_OK(client.Info(&info));
+  printf("INFO (stats v%u): frames_decoded=%llu txns_committed=%llu "
+         "repairs=%llu\n",
+         info.stats_version,
+         static_cast<unsigned long long>(info.Counter("server.frames_decoded")),
+         static_cast<unsigned long long>(info.Counter("server.txns_committed")),
+         static_cast<unsigned long long>(info.Counter("spr.repairs_succeeded")));
+
+  // 5. A scan, wire-side.
+  wire::TxnRequest scan;
+  scan.Scan("account:", "account:~", 10);
+  SPF_CHECK_OK(client.ExecuteWithRetry(scan, &reply));
+  printf("scan delivered %zu pairs\n", reply.results[0].pairs.size());
+
+  client.Close();
+  server.Stop();
+  printf("server stopped cleanly\n");
+  return 0;
+}

@@ -360,6 +360,9 @@ void ChaosDriver::QuiescePaused() {
   if (db_->funnel() != nullptr) {
     for (auto& v : CheckFunnelConservation(s.funnel)) AddViolation(std::move(v));
   }
+  // Trivially clean on a db-only snapshot (all-zero server block), but a
+  // future serving-layer chaos scenario inherits the law for free.
+  for (auto& v : CheckServerConservation(s.server)) AddViolation(std::move(v));
   if (s.locks.keys_tracked != 0) {
     AddViolation("lock leak at quiesce: keys_tracked=" +
                  std::to_string(s.locks.keys_tracked));

@@ -22,6 +22,12 @@ void RequireMonotone(const char* name, uint64_t prev, uint64_t cur,
 
 std::vector<std::string> SnapshotMonotonicity::Check(const StatsSnapshot& s) {
   std::vector<std::string> v;
+  if (s.version != StatsSnapshot::kVersion) {
+    std::ostringstream msg;
+    msg << "snapshot version: expected " << StatsSnapshot::kVersion
+        << ", snapshot stamped " << s.version;
+    v.push_back(msg.str());
+  }
   if (have_prev_) {
     // The archive watermark survives crashes (recovered from the
     // directory), so it is checked across resets unconditionally.
@@ -59,6 +65,30 @@ std::vector<std::string> SnapshotMonotonicity::Check(const StatsSnapshot& s) {
       RequireMonotone("archive.records_archived",
                       prev_.archive.records_archived,
                       s.archive.records_archived, &v);
+      // v3: the network-server block. Cumulative like everything else;
+      // all-zero (snapshot not taken through a server) is trivially
+      // monotone against all-zero.
+      RequireMonotone("server.connections_accepted",
+                      prev_.server.connections_accepted,
+                      s.server.connections_accepted, &v);
+      RequireMonotone("server.connections_closed",
+                      prev_.server.connections_closed,
+                      s.server.connections_closed, &v);
+      RequireMonotone("server.frames_decoded", prev_.server.frames_decoded,
+                      s.server.frames_decoded, &v);
+      RequireMonotone("server.frames_rejected", prev_.server.frames_rejected,
+                      s.server.frames_rejected, &v);
+      RequireMonotone("server.ops_served", prev_.server.ops_served,
+                      s.server.ops_served, &v);
+      RequireMonotone("server.txns_committed", prev_.server.txns_committed,
+                      s.server.txns_committed, &v);
+      RequireMonotone("server.txns_failed", prev_.server.txns_failed,
+                      s.server.txns_failed, &v);
+      RequireMonotone("server.info_requests", prev_.server.info_requests,
+                      s.server.info_requests, &v);
+      RequireMonotone("server.gate_parked_commits",
+                      prev_.server.gate_parked_commits,
+                      s.server.gate_parked_commits, &v);
     }
   }
   prev_ = s;
@@ -104,6 +134,34 @@ std::vector<std::string> CheckArchiveTiling(
     std::ostringstream msg;
     msg << "archive tiling: last run ends at " << sorted.back().log_end
         << " but archived_upto=" << archived_upto;
+    v.push_back(msg.str());
+  }
+  return v;
+}
+
+std::vector<std::string> CheckServerConservation(const ServerStats& s) {
+  std::vector<std::string> v;
+  const uint64_t outcomes = s.txns_committed + s.txns_failed + s.info_requests;
+  if (s.frames_decoded != outcomes) {
+    std::ostringstream msg;
+    msg << "server conservation: frames_decoded=" << s.frames_decoded
+        << " != committed=" << s.txns_committed
+        << " + failed=" << s.txns_failed << " + info=" << s.info_requests
+        << " (= " << outcomes << ")";
+    v.push_back(msg.str());
+  }
+  if (s.connections_closed > s.connections_accepted) {
+    std::ostringstream msg;
+    msg << "server conservation: connections_closed=" << s.connections_closed
+        << " > connections_accepted=" << s.connections_accepted;
+    v.push_back(msg.str());
+  }
+  const uint64_t txn_frames = s.txns_committed + s.txns_failed;
+  if (s.gate_parked_commits > txn_frames) {
+    std::ostringstream msg;
+    msg << "server conservation: gate_parked_commits="
+        << s.gate_parked_commits << " > transaction frames (" << txn_frames
+        << ")";
     v.push_back(msg.str());
   }
   return v;

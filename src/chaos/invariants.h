@@ -25,7 +25,11 @@ namespace chaos {
 
 /// Stateful monotonicity tracker. NoteReset() after every SimulateCrash
 /// (volatile components are rebuilt, counters legally restart from zero);
-/// the archive watermark is exempt and must survive the reset.
+/// the archive watermark is exempt and must survive the reset. Also pins
+/// the snapshot's version stamp to StatsSnapshot::kVersion on every call
+/// (a component filling an outdated struct would silently misreport). As
+/// of v3 the network-server block (`server`) is covered: its cumulative
+/// counters must never regress within an epoch.
 class SnapshotMonotonicity {
  public:
   /// Compares against the previous snapshot and adopts `s` as the new
@@ -50,6 +54,13 @@ std::vector<std::string> CheckFunnelConservation(const FunnelTotals& f);
 /// overlap-free and end exactly at `archived_upto`.
 std::vector<std::string> CheckArchiveTiling(
     const std::vector<ArchiveRunInfo>& runs, Lsn archived_upto);
+
+/// Server conservation (StatsSnapshot v3): with no frame in flight,
+/// every decoded frame landed in exactly one outcome bucket
+/// (frames_decoded == txns_committed + txns_failed + info_requests),
+/// connections never close more than they accept, and gate-parked
+/// commits never exceed the transaction frames that could have parked.
+std::vector<std::string> CheckServerConservation(const ServerStats& s);
 
 }  // namespace chaos
 }  // namespace spf

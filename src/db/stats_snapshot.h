@@ -28,11 +28,30 @@
 
 namespace spf {
 
+/// Counters of the network serving layer (src/server/). Filled in by
+/// NetworkServer::Stats() — a snapshot taken through Database::Stats()
+/// directly leaves the block zeroed (the engine does not know about the
+/// server above it). Serialized verbatim by the INFO command.
+struct ServerStats {
+  uint64_t connections_accepted = 0;  ///< client connections accepted
+  uint64_t connections_closed = 0;    ///< connections torn down (EOF, error, Stop)
+  uint64_t frames_decoded = 0;        ///< well-formed frames dispatched
+  uint64_t frames_rejected = 0;       ///< malformed frames answered with a protocol error
+  uint64_t ops_served = 0;            ///< ops executed inside transaction frames
+  uint64_t txns_committed = 0;        ///< transaction frames acked as committed
+  uint64_t txns_failed = 0;           ///< transaction frames answered with a TxnError
+  uint64_t info_requests = 0;         ///< INFO frames served
+  /// Transaction frames whose Begin observed an active rung-5 restore
+  /// protocol: the commit parked at the restore gate instead of failing.
+  uint64_t gate_parked_commits = 0;
+};
+
 /// One-stop counter snapshot across the stack (Database::Stats()).
 struct StatsSnapshot {
   /// Layout/meaning version of this struct; bumped on any incompatible
-  /// change. v2 added the sorted-log-archive block (`archive`).
-  static constexpr uint32_t kVersion = 2;
+  /// change. v2 added the sorted-log-archive block (`archive`); v3 added
+  /// the network-server block (`server`).
+  static constexpr uint32_t kVersion = 3;
   uint32_t version = kVersion;
 
   BufferPoolStats pool;             ///< fixes, verify failures, repairs
@@ -56,6 +75,10 @@ struct StatsSnapshot {
   uint64_t restore_admission_waits = 0;
   uint64_t cross_checks = 0;            ///< PageLSN-vs-PRI comparisons run
   uint64_t cross_check_mismatches = 0;  ///< stale pages caught
+  /// Network serving layer (zero unless the snapshot came through
+  /// NetworkServer::Stats()): connections, frames decoded/rejected, ops
+  /// served, commits parked on the restore gate.
+  ServerStats server;
 };
 
 }  // namespace spf

@@ -1,0 +1,182 @@
+#include "server/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include "common/coding.h"
+
+namespace spf {
+
+Client::~Client() { Close(); }
+
+Status Client::Connect(const std::string& host, uint16_t port,
+                       int recv_timeout_ms) {
+  if (fd_ >= 0) return Status::FailedPrecondition("already connected");
+  int fd = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return Status::IOError("socket() failed");
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    close(fd);
+    return Status::InvalidArgument("bad host address");
+  }
+  if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    close(fd);
+    return Status::IOError("connect failed");
+  }
+  int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  if (recv_timeout_ms > 0) {
+    timeval tv;
+    tv.tv_sec = recv_timeout_ms / 1000;
+    tv.tv_usec = (recv_timeout_ms % 1000) * 1000;
+    setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  }
+  fd_ = fd;
+  return Status::OK();
+}
+
+void Client::Close() {
+  if (fd_ >= 0) {
+    close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status Client::Execute(const wire::TxnRequest& req, wire::TxnReply* out) {
+  Status s = SendFrame(wire::EncodeTxnRequest(req));
+  if (!s.ok()) return s;
+  wire::Reply reply;
+  s = ReadReply(&reply);
+  if (!s.ok()) return s;
+  if (reply.type == wire::FrameType::kErrorReply) {
+    return Status::InvalidArgument(std::string("protocol error: ") +
+                                   std::string(wire::WireErrorName(reply.error)) +
+                                   " " + reply.error_detail);
+  }
+  if (reply.type != wire::FrameType::kTxnReply) {
+    return Status::Internal("unexpected reply type");
+  }
+  *out = std::move(reply.txn);
+  return Status::OK();
+}
+
+Status Client::ExecuteWithRetry(const wire::TxnRequest& req,
+                                wire::TxnReply* out, int max_attempts) {
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    Status s = Execute(req, out);
+    if (!s.ok()) return s;
+    if (!out->retryable()) return Status::OK();
+    // Linear-capped backoff: contention clears in microseconds, a gated
+    // restore in milliseconds; sleeping long helps neither.
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(std::min(attempt + 1, 10)));
+  }
+  return Status::OK();  // out holds the last (still retryable) reply
+}
+
+Status Client::Info(wire::InfoReply* out) {
+  Status s = SendFrame(wire::EncodeInfoRequest());
+  if (!s.ok()) return s;
+  wire::Reply reply;
+  s = ReadReply(&reply);
+  if (!s.ok()) return s;
+  if (reply.type != wire::FrameType::kInfoReply) {
+    return Status::Internal("unexpected reply type");
+  }
+  *out = std::move(reply.info);
+  return Status::OK();
+}
+
+Status Client::Put(std::string_view key, std::string_view value) {
+  wire::TxnRequest req;
+  req.Put(key, value);
+  wire::TxnReply reply;
+  Status s = ExecuteWithRetry(req, &reply);
+  if (!s.ok()) return s;
+  if (!reply.ok()) return Status::Internal("put failed: " + reply.message);
+  return Status::OK();
+}
+
+StatusOr<std::string> Client::Get(std::string_view key) {
+  wire::TxnRequest req;
+  req.Get(key);
+  wire::TxnReply reply;
+  Status s = ExecuteWithRetry(req, &reply);
+  if (!s.ok()) return s;
+  if (!reply.ok()) {
+    if (reply.code == Status::Code::kNotFound) {
+      return Status::NotFound("key not found");
+    }
+    return Status::Internal("get failed: " + reply.message);
+  }
+  return std::move(reply.results[0].value);
+}
+
+Status Client::SendRaw(std::string_view bytes) { return SendFrame(bytes); }
+
+Status Client::ReadReply(wire::Reply* out) {
+  std::string prefix;
+  Status s = ReadExact(wire::kFramingBytes, &prefix);
+  if (!s.ok()) return s;
+  uint32_t len = DecodeFixed32(prefix.data());
+  if (len > wire::kMaxFrameBytes) {
+    return Status::Corruption("oversized reply frame");
+  }
+  std::string payload;
+  payload.reserve(len);
+  s = ReadExact(len, &payload);
+  if (!s.ok()) return s;
+  std::string detail;
+  wire::WireError err = wire::DecodeReply(payload, out, &detail);
+  if (err != wire::WireError::kNone) {
+    return Status::Corruption("undecodable reply: " + detail);
+  }
+  return Status::OK();
+}
+
+Status Client::SendFrame(std::string_view frame) {
+  if (fd_ < 0) return Status::FailedPrecondition("not connected");
+  size_t sent = 0;
+  while (sent < frame.size()) {
+    ssize_t n = send(fd_, frame.data() + sent, frame.size() - sent,
+                     MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return Status::IOError("send failed (connection lost)");
+  }
+  return Status::OK();
+}
+
+Status Client::ReadExact(size_t n, std::string* out) {
+  if (fd_ < 0) return Status::FailedPrecondition("not connected");
+  char buf[4096];
+  while (n > 0) {
+    ssize_t got = recv(fd_, buf, std::min(n, sizeof(buf)), 0);
+    if (got > 0) {
+      out->append(buf, static_cast<size_t>(got));
+      n -= static_cast<size_t>(got);
+      continue;
+    }
+    if (got < 0 && errno == EINTR) continue;
+    if (got == 0) return Status::IOError("connection closed by server");
+    return Status::IOError("recv failed or timed out");
+  }
+  return Status::OK();
+}
+
+}  // namespace spf

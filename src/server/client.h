@@ -1,0 +1,87 @@
+// Client: a minimal blocking TCP client for the wire protocol.
+//
+// One Client is one connection issuing one frame at a time (request,
+// then response — the server guarantees in-order replies, and a
+// single-shot frame never interleaves). Not thread-safe: give each
+// client thread its own Client. ExecuteWithRetry implements the
+// protocol's retry contract: resend the frame while the reply is
+// retryable() (transient contention, or a transaction doomed by a
+// restore — the resent frame is a fresh transaction admitted once the
+// gate reopens).
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "server/wire.h"
+
+namespace spf {
+
+/// Blocking wire-protocol client over one TCP connection.
+class Client {
+ public:
+  /// An unconnected client; call Connect().
+  Client() = default;
+  /// Closes the connection if still open.
+  ~Client();
+
+  Client(const Client&) = delete;             ///< not copyable
+  Client& operator=(const Client&) = delete;  ///< not copyable
+
+  /// Connects to host:port. `recv_timeout_ms` bounds every response wait
+  /// (0 = wait forever); generous by default so tests never hang.
+  Status Connect(const std::string& host, uint16_t port,
+                 int recv_timeout_ms = 30000);
+
+  /// Closes the connection. Idempotent.
+  void Close();
+
+  /// True between a successful Connect and Close.
+  bool connected() const { return fd_ >= 0; }
+
+  /// The connection's socket (tests use it to kill a client mid-frame).
+  int fd() const { return fd_; }
+
+  /// Executes one transaction frame. Returns non-OK only on transport or
+  /// protocol failure (connection lost, malformed reply, kErrorReply);
+  /// a transaction that executed and FAILED is an OK return with the
+  /// failure classified in `out` (check out->ok() / out->retryable()).
+  Status Execute(const wire::TxnRequest& req, wire::TxnReply* out);
+
+  /// Execute with the protocol's frame-level retry loop: resends the
+  /// frame while the reply is retryable(), backing off a few ms between
+  /// attempts. Returns OK once a non-retryable reply lands (committed or
+  /// hard failure — inspect `out`); IOError/protocol errors propagate.
+  Status ExecuteWithRetry(const wire::TxnRequest& req, wire::TxnReply* out,
+                          int max_attempts = 256);
+
+  /// Fetches the server's stats snapshot via the INFO command.
+  Status Info(wire::InfoReply* out);
+
+  /// Convenience single-op frame: Put(key, value) with retry.
+  Status Put(std::string_view key, std::string_view value);
+
+  /// Convenience single-op frame: Get(key) with retry. NotFound when the
+  /// key does not exist (the server classifies that as kUser).
+  StatusOr<std::string> Get(std::string_view key);
+
+  /// Ships raw bytes verbatim (fuzz tests use this to send garbage that
+  /// the encode API cannot produce).
+  Status SendRaw(std::string_view bytes);
+
+  /// Reads one complete reply frame and decodes it. IOError when the
+  /// server closed the connection or the response wait timed out.
+  Status ReadReply(wire::Reply* out);
+
+ private:
+  Status SendFrame(std::string_view frame);
+  /// Reads exactly `n` bytes into `out` (appending).
+  Status ReadExact(size_t n, std::string* out);
+
+  int fd_ = -1;
+};
+
+}  // namespace spf

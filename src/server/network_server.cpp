@@ -1,0 +1,466 @@
+#include "server/network_server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include "common/coding.h"
+#include "db/database.h"
+
+namespace spf {
+
+namespace {
+
+constexpr int kEpollTimeoutMs = 100;   // stop-flag poll cadence
+constexpr int kSendTimeoutMs = 5000;   // bound on a stalled response write
+constexpr int kListenBacklog = 128;
+
+void SetNonBlocking(int fd) {
+  int flags = fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+}  // namespace
+
+NetworkServer::NetworkServer(Database* db, ServerOptions options)
+    : db_(db), options_(std::move(options)), adopted_fd_(options_.listen_fd) {}
+
+NetworkServer::~NetworkServer() { Stop(); }
+
+Status NetworkServer::Start() {
+  if (running_) return Status::FailedPrecondition("server already running");
+
+  if (adopted_fd_ >= 0) {
+    listen_fd_ = adopted_fd_;
+    adopted_fd_ = -1;  // Stop closes it; a later Start binds fresh
+    SetNonBlocking(listen_fd_);
+  } else {
+    listen_fd_ = socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+    if (listen_fd_ < 0) return Status::IOError("socket() failed");
+    int one = 1;
+    setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(options_.port);
+    if (inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+      close(listen_fd_);
+      listen_fd_ = -1;
+      return Status::InvalidArgument("bad host address");
+    }
+    if (bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+        listen(listen_fd_, kListenBacklog) != 0) {
+      close(listen_fd_);
+      listen_fd_ = -1;
+      return Status::IOError("bind/listen failed");
+    }
+  }
+
+  sockaddr_in bound;
+  socklen_t len = sizeof(bound);
+  if (getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) == 0) {
+    port_ = ntohs(bound.sin_port);
+  }
+
+  epoll_fd_ = epoll_create1(EPOLL_CLOEXEC);
+  event_fd_ = eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (epoll_fd_ < 0 || event_fd_ < 0) {
+    if (epoll_fd_ >= 0) close(epoll_fd_);
+    if (event_fd_ >= 0) close(event_fd_);
+    close(listen_fd_);
+    listen_fd_ = epoll_fd_ = event_fd_ = -1;
+    return Status::IOError("epoll/eventfd setup failed");
+  }
+  epoll_event ev;
+  std::memset(&ev, 0, sizeof(ev));
+  ev.events = EPOLLIN;
+  ev.data.fd = listen_fd_;
+  epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev);
+  ev.data.fd = event_fd_;
+  epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, event_fd_, &ev);
+
+  {
+    std::lock_guard<std::mutex> g(work_mu_);
+    stopping_ = false;
+    work_queue_.clear();
+  }
+  {
+    std::lock_guard<std::mutex> g(rearm_mu_);
+    rearm_queue_.clear();
+  }
+  io_stop_ = false;
+
+  uint32_t workers = std::max<uint32_t>(1, options_.workers);
+  for (uint32_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+  io_thread_ = std::thread([this] { IoLoop(); });
+  running_ = true;
+  return Status::OK();
+}
+
+void NetworkServer::Stop() {
+  if (!running_) return;
+  // Drain order: workers finish every queued frame first (so accepted
+  // frames are still answered), then the IO thread closes the sockets.
+  {
+    std::lock_guard<std::mutex> g(work_mu_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+  workers_.clear();
+  io_stop_ = true;
+  uint64_t one = 1;
+  ssize_t ignored = write(event_fd_, &one, sizeof(one));
+  (void)ignored;
+  io_thread_.join();
+  close(listen_fd_);
+  close(epoll_fd_);
+  close(event_fd_);
+  listen_fd_ = epoll_fd_ = event_fd_ = -1;
+  running_ = false;
+}
+
+ServerStats NetworkServer::server_stats() const {
+  ServerStats s;
+  s.connections_accepted = connections_accepted_.load();
+  s.connections_closed = connections_closed_.load();
+  s.frames_decoded = frames_decoded_.load();
+  s.frames_rejected = frames_rejected_.load();
+  s.ops_served = ops_served_.load();
+  s.txns_committed = txns_committed_.load();
+  s.txns_failed = txns_failed_.load();
+  s.info_requests = info_requests_.load();
+  s.gate_parked_commits = gate_parked_commits_.load();
+  return s;
+}
+
+StatsSnapshot NetworkServer::Stats() const {
+  StatsSnapshot s = db_->Stats();
+  s.server = server_stats();
+  return s;
+}
+
+// --- IO thread ---------------------------------------------------------------
+
+void NetworkServer::IoLoop() {
+  constexpr int kMaxEvents = 64;
+  epoll_event events[kMaxEvents];
+  while (!io_stop_) {
+    int n = epoll_wait(epoll_fd_, events, kMaxEvents, kEpollTimeoutMs);
+    for (int i = 0; i < n && !io_stop_; ++i) {
+      int fd = events[i].data.fd;
+      if (fd == listen_fd_) {
+        AcceptNewConnections();
+      } else if (fd == event_fd_) {
+        uint64_t drained;
+        while (read(event_fd_, &drained, sizeof(drained)) > 0) {
+        }
+        RearmReturnedConnections();
+      } else {
+        auto it = conns_.find(fd);
+        if (it == conns_.end()) continue;  // closed earlier this batch
+        std::shared_ptr<Connection> conn = it->second;
+        ReadFromConnection(conn);
+        if (conns_.count(fd) != 0 && !conn->peer_gone) PumpConnection(conn);
+      }
+    }
+  }
+  // Teardown: every remaining connection closes with the server. Workers
+  // are already joined, so no connection is busy anymore.
+  std::vector<std::shared_ptr<Connection>> remaining;
+  remaining.reserve(conns_.size());
+  for (auto& [fd, conn] : conns_) remaining.push_back(conn);
+  for (auto& conn : remaining) CloseConnection(conn);
+}
+
+void NetworkServer::AcceptNewConnections() {
+  while (true) {
+    int fd = accept4(listen_fd_, nullptr, nullptr,
+                     SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) return;  // EAGAIN, or a transient accept error: retry later
+    int one = 1;
+    setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    auto conn = std::make_shared<Connection>();
+    conn->fd = fd;
+    conns_[fd] = conn;
+    connections_accepted_++;
+    Register(conn);
+  }
+}
+
+void NetworkServer::ReadFromConnection(const std::shared_ptr<Connection>& conn) {
+  char buf[4096];
+  while (true) {
+    ssize_t n = read(conn->fd, buf, sizeof(buf));
+    if (n > 0) {
+      conn->inbuf.append(buf, static_cast<size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+    // EOF or hard error. Honor the half-close: complete frames already
+    // buffered still execute and get their replies (a client may shut
+    // down its write side and read the acks). Deregister so
+    // level-triggered EPOLLIN stops firing; the re-arm path closes the
+    // connection once the buffered frames drain.
+    Deregister(conn);
+    conn->peer_gone = true;
+    if (!conn->busy) {
+      PumpConnection(conn);
+      if (conns_.count(conn->fd) != 0 && !conn->busy) CloseConnection(conn);
+    }
+    return;
+  }
+}
+
+void NetworkServer::PumpConnection(const std::shared_ptr<Connection>& conn) {
+  while (!conn->busy) {
+    if (conn->inbuf.size() < wire::kFramingBytes) return;
+    uint32_t len = DecodeFixed32(conn->inbuf.data());
+    if (len > wire::kMaxFrameBytes) {
+      // Unframeable stream: no way to resynchronize past a lying length
+      // prefix. Answer (best effort — the connection is idle, so the IO
+      // thread owns the write side) and close.
+      frames_rejected_++;
+      std::string reply = wire::EncodeErrorReply(wire::WireError::kOversized,
+                                                 "frame exceeds size ceiling");
+      SendAll(conn.get(), reply);
+      CloseConnection(conn);
+      return;
+    }
+    if (conn->inbuf.size() < wire::kFramingBytes + len) return;
+    std::string payload = conn->inbuf.substr(wire::kFramingBytes, len);
+    conn->inbuf.erase(0, wire::kFramingBytes + len);
+    conn->busy = true;  // one frame in flight per connection
+    {
+      std::lock_guard<std::mutex> g(work_mu_);
+      if (stopping_) return;  // frame dropped with the socket at teardown
+      work_queue_.push_back(WorkItem{conn, std::move(payload)});
+    }
+    work_cv_.notify_one();
+  }
+}
+
+void NetworkServer::RearmReturnedConnections() {
+  std::vector<int> returned;
+  {
+    std::lock_guard<std::mutex> g(rearm_mu_);
+    returned.swap(rearm_queue_);
+  }
+  for (int fd : returned) {
+    auto it = conns_.find(fd);
+    if (it == conns_.end()) continue;
+    std::shared_ptr<Connection> conn = it->second;
+    conn->busy = false;
+    if (conn->dead.load()) {
+      CloseConnection(conn);
+      continue;
+    }
+    // Pipelined frames already buffered dispatch immediately (including
+    // the half-close drain of a departed peer); otherwise re-arm in the
+    // epoll set — or finish closing if the peer is gone and drained.
+    PumpConnection(conn);
+    if (conns_.count(fd) == 0 || conn->busy) continue;
+    if (conn->peer_gone) {
+      CloseConnection(conn);
+    } else {
+      Register(conn);
+    }
+  }
+}
+
+void NetworkServer::Register(const std::shared_ptr<Connection>& conn) {
+  if (conn->registered) return;
+  epoll_event ev;
+  std::memset(&ev, 0, sizeof(ev));
+  ev.events = EPOLLIN;
+  ev.data.fd = conn->fd;
+  if (epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, conn->fd, &ev) == 0) {
+    conn->registered = true;
+  }
+}
+
+void NetworkServer::Deregister(const std::shared_ptr<Connection>& conn) {
+  if (!conn->registered) return;
+  epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn->fd, nullptr);
+  conn->registered = false;
+}
+
+void NetworkServer::CloseConnection(const std::shared_ptr<Connection>& conn) {
+  Deregister(conn);
+  close(conn->fd);
+  conns_.erase(conn->fd);
+  connections_closed_++;
+}
+
+// --- workers ----------------------------------------------------------------
+
+void NetworkServer::WorkerLoop() {
+  while (true) {
+    WorkItem item;
+    {
+      std::unique_lock<std::mutex> g(work_mu_);
+      work_cv_.wait(g, [this] { return stopping_ || !work_queue_.empty(); });
+      if (work_queue_.empty()) return;  // stopping_ && drained
+      item = std::move(work_queue_.front());
+      work_queue_.pop_front();
+    }
+    HandleFrame(item.conn, std::move(item.payload));
+  }
+}
+
+void NetworkServer::HandleFrame(const std::shared_ptr<Connection>& conn,
+                                std::string payload) {
+  wire::Request req;
+  std::string detail;
+  wire::WireError err = wire::DecodeRequest(payload, &req, &detail);
+  std::string reply;
+  if (err != wire::WireError::kNone) {
+    frames_rejected_++;
+    reply = wire::EncodeErrorReply(err, detail);
+  } else {
+    frames_decoded_++;
+    if (req.type == wire::FrameType::kInfoRequest) {
+      info_requests_++;
+      reply = wire::EncodeInfoReply(BuildInfo());
+    } else {
+      reply = wire::EncodeTxnReply(ExecuteTxn(req.txn));
+    }
+  }
+  if (!SendAll(conn.get(), reply)) conn->dead.store(true);
+  ReturnToIo(conn->fd);  // last use of the connection on this thread
+}
+
+wire::TxnReply NetworkServer::ExecuteTxn(const wire::TxnRequest& req) {
+  wire::TxnReply reply;
+  // Approximate but load-bearing observability: a Begin issued while the
+  // rung-5 protocol is active parks at the admission gate (with early
+  // admission, only until the restore sweep starts).
+  if (db_->restore_gate()->active()) gate_parked_commits_++;
+
+  Txn txn = db_->BeginTxn();
+  auto fail = [&](uint16_t op_idx, const TxnError& e) {
+    reply.kind = e.kind();
+    reply.code = e.status().code();
+    reply.failed_op = op_idx;
+    reply.message = std::string(e.status().message());
+    txns_failed_++;
+  };
+
+  for (size_t i = 0; i < req.ops.size(); ++i) {
+    const wire::TxnOp& op = req.ops[i];
+    ops_served_++;
+    const std::string& key = req.keys[op.key];
+    TxnError e;
+    wire::OpResult result;
+    result.kind = op.kind;
+    switch (op.kind) {
+      case wire::WireOp::kPut:
+        e = txn.Put(key, op.value);
+        break;
+      case wire::WireOp::kInsert:
+        e = txn.Insert(key, op.value);
+        break;
+      case wire::WireOp::kUpdate:
+        e = txn.Update(key, op.value);
+        break;
+      case wire::WireOp::kDelete:
+        e = txn.Delete(key);
+        break;
+      case wire::WireOp::kGet: {
+        StatusOr<std::string> v = txn.Get(key);
+        if (v.ok()) {
+          result.value = std::move(*v);
+        } else {
+          e = txn.last_error();
+          if (e.ok()) e = TxnError::Classify(v.status(), txn.doomed(), false);
+        }
+        break;
+      }
+      case wire::WireOp::kScan: {
+        uint32_t limit = op.limit == 0
+                             ? wire::kMaxScanResults
+                             : std::min(op.limit, wire::kMaxScanResults);
+        std::string_view end = op.end_key == wire::kNoKey
+                                   ? std::string_view()
+                                   : std::string_view(req.keys[op.end_key]);
+        Status s = txn.Scan(key, end,
+                            [&result, limit](std::string_view k,
+                                             std::string_view v) {
+                              result.pairs.emplace_back(std::string(k),
+                                                        std::string(v));
+                              return result.pairs.size() < limit;
+                            });
+        if (!s.ok()) {
+          e = txn.last_error();
+          if (e.ok()) e = TxnError::Classify(s, txn.doomed(), false);
+        }
+        break;
+      }
+    }
+    if (!e.ok()) {
+      fail(static_cast<uint16_t>(i), e);
+      return reply;  // dropping `txn` auto-aborts and releases its locks
+    }
+    reply.results.push_back(std::move(result));
+  }
+
+  TxnError commit = txn.Commit();
+  if (!commit.ok()) {
+    fail(wire::kNoFailedOp, commit);
+    return reply;
+  }
+  txns_committed_++;
+  return reply;
+}
+
+wire::InfoReply NetworkServer::BuildInfo() const {
+  wire::InfoReply info;
+  info.stats_version = StatsSnapshot::kVersion;
+  info.counters = wire::FlattenStats(Stats());
+  return info;
+}
+
+bool NetworkServer::SendAll(Connection* conn, std::string_view frame) {
+  size_t sent = 0;
+  while (sent < frame.size()) {
+    ssize_t n = send(conn->fd, frame.data() + sent, frame.size() - sent,
+                     MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      pollfd p{conn->fd, POLLOUT, 0};
+      if (poll(&p, 1, kSendTimeoutMs) <= 0) return false;
+      continue;
+    }
+    return false;  // peer gone (EPIPE, ECONNRESET, ...)
+  }
+  return true;
+}
+
+void NetworkServer::ReturnToIo(int fd) {
+  {
+    std::lock_guard<std::mutex> g(rearm_mu_);
+    rearm_queue_.push_back(fd);
+  }
+  uint64_t one = 1;
+  ssize_t ignored = write(event_fd_, &one, sizeof(one));
+  (void)ignored;
+}
+
+}  // namespace spf

@@ -1,0 +1,197 @@
+// NetworkServer: the TCP serving layer over one Database.
+//
+// Architecture (one IO thread + a fixed worker pool):
+//
+//   accept loop ──► epoll IO thread ──► frame queue ──► worker pool
+//        │                │                                  │
+//        │                │  (outer framing only: length     │ decode frame
+//        │                │   prefix + size ceiling; bytes   │ begin txn
+//        │                │   buffered per connection)       │ apply op list
+//        │                │                                  │ commit
+//        │                ◄───────── re-arm queue ───────────┘ send reply
+//
+// The IO thread owns every socket: it accepts connections, reads bytes
+// into per-connection buffers, extracts length-prefixed frames, and
+// dispatches at most ONE frame per connection at a time to the worker
+// queue (responses therefore come back in request order without any
+// per-connection locking). A worker decodes the payload, runs the frame
+// as one transaction against the Database (see wire.h for the protocol),
+// writes the response on the connection's socket, and hands the
+// connection back to the IO thread through the re-arm queue — all socket
+// registration, deregistration, and closing happens on the IO thread.
+//
+// Malformed input never kills the server: a payload the decoder rejects
+// is answered with a kErrorReply and the connection stays usable (the
+// outer framing is still aligned); only an unframeable stream — a length
+// prefix beyond kMaxFrameBytes — is answered and then closed, because
+// there is no safe way to resynchronize. tests/wire_fuzz_test.cpp and
+// tests/server_test.cpp hold the server to this under the sanitizers.
+//
+// During a rung-5 restore the server needs no special handling: BeginTxn
+// parks at the restore gate (counted in ServerStats::gate_parked_commits)
+// and with early admission resumes as soon as the sweep starts — clients
+// observe a latency bump, not an outage (bench_e16_server measures it).
+
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "db/stats_snapshot.h"
+#include "server/wire.h"
+
+namespace spf {
+
+class Database;
+
+/// Tuning knobs of a NetworkServer instance.
+struct ServerOptions {
+  /// Loopback/interface address to bind (tests and benches use loopback).
+  std::string host = "127.0.0.1";
+  /// TCP port; 0 binds an ephemeral port (read it back via port()).
+  uint16_t port = 0;
+  /// Already-bound-and-listening socket to adopt instead of binding
+  /// host:port (ownership transfers to the server). Lets tests reserve an
+  /// ephemeral port race-free — see testenv::LoopbackListener.
+  int listen_fd = -1;
+  /// Fixed worker pool size: frames executing concurrently. 0 means 1.
+  uint32_t workers = 4;
+};
+
+/// TCP server executing wire-protocol transaction frames against one
+/// Database. Start/Stop are not thread-safe against each other; the
+/// serving fabric itself is fully concurrent. The Database must outlive
+/// the server.
+class NetworkServer {
+ public:
+  /// Binds nothing yet; call Start(). `db` must outlive the server.
+  NetworkServer(Database* db, ServerOptions options);
+  /// Stops the server if it is still running.
+  ~NetworkServer();
+
+  NetworkServer(const NetworkServer&) = delete;             ///< not copyable
+  NetworkServer& operator=(const NetworkServer&) = delete;  ///< not copyable
+
+  /// Binds (or adopts) the listen socket and spawns the IO thread plus
+  /// the worker pool. Fails with IOError when the socket cannot be
+  /// bound; the server is then inert and Start may be retried.
+  Status Start();
+
+  /// Drains in-flight frames, closes every connection, and joins all
+  /// threads. Idempotent. Frames queued before Stop are still executed
+  /// and answered; bytes arriving after it are dropped with the socket.
+  void Stop();
+
+  /// True between a successful Start and Stop.
+  bool running() const { return running_; }
+
+  /// The bound TCP port (the kernel's choice when options.port was 0).
+  /// Valid after a successful Start.
+  uint16_t port() const { return port_; }
+
+  /// This server's own counters (connections, frames, ops, commits).
+  ServerStats server_stats() const;
+
+  /// The engine-wide snapshot with the server block filled in — exactly
+  /// what the INFO command serializes.
+  StatsSnapshot Stats() const;
+
+ private:
+  /// Per-connection state. The IO thread owns everything except `dead`
+  /// (set by a worker whose response write failed) and the socket write
+  /// side (used by the worker holding the connection's one in-flight
+  /// frame; the IO thread never writes to a busy connection and never
+  /// closes one until the worker hands it back).
+  struct Connection {
+    int fd = -1;                    ///< the socket
+    std::string inbuf;              ///< bytes read, not yet framed
+    bool busy = false;              ///< a worker owns a dispatched frame
+    bool registered = false;        ///< currently in the epoll set
+    bool peer_gone = false;         ///< EOF/error seen; close once drained
+    std::atomic<bool> dead{false};  ///< worker write failed: close on re-arm
+  };
+
+  /// One dispatched frame: the owning connection plus its payload bytes.
+  struct WorkItem {
+    std::shared_ptr<Connection> conn;
+    std::string payload;
+  };
+
+  void IoLoop();
+  void WorkerLoop();
+
+  // IO-thread helpers.
+  void AcceptNewConnections();
+  void ReadFromConnection(const std::shared_ptr<Connection>& conn);
+  /// Extracts complete frames from `conn->inbuf` and dispatches the next
+  /// one if the connection is idle; closes the connection on an
+  /// unframeable stream.
+  void PumpConnection(const std::shared_ptr<Connection>& conn);
+  void RearmReturnedConnections();
+  void Register(const std::shared_ptr<Connection>& conn);
+  void Deregister(const std::shared_ptr<Connection>& conn);
+  void CloseConnection(const std::shared_ptr<Connection>& conn);
+
+  // Worker helpers.
+  void HandleFrame(const std::shared_ptr<Connection>& conn,
+                   std::string payload);
+  wire::TxnReply ExecuteTxn(const wire::TxnRequest& req);
+  wire::InfoReply BuildInfo() const;
+  /// Writes the complete frame; false when the peer is gone.
+  bool SendAll(Connection* conn, std::string_view frame);
+  /// Hands the connection back to the IO thread (last use of `conn` on
+  /// the worker).
+  void ReturnToIo(int fd);
+
+  Database* const db_;
+  const ServerOptions options_;
+
+  /// The not-yet-adopted ServerOptions::listen_fd; consumed by the first
+  /// Start (a later Start binds a fresh socket — the adopted one was
+  /// closed by Stop).
+  int adopted_fd_ = -1;
+  int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  int event_fd_ = -1;
+  uint16_t port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> io_stop_{false};
+
+  std::thread io_thread_;
+  std::vector<std::thread> workers_;
+
+  // Frame queue (IO thread -> workers).
+  std::mutex work_mu_;
+  std::condition_variable work_cv_;
+  std::deque<WorkItem> work_queue_;
+  bool stopping_ = false;
+
+  // Re-arm queue (workers -> IO thread), drained on event_fd_ wakeups.
+  std::mutex rearm_mu_;
+  std::vector<int> rearm_queue_;
+
+  // IO-thread-only connection registry.
+  std::unordered_map<int, std::shared_ptr<Connection>> conns_;
+
+  // Counters (ServerStats).
+  std::atomic<uint64_t> connections_accepted_{0};
+  std::atomic<uint64_t> connections_closed_{0};
+  std::atomic<uint64_t> frames_decoded_{0};
+  std::atomic<uint64_t> frames_rejected_{0};
+  std::atomic<uint64_t> ops_served_{0};
+  std::atomic<uint64_t> txns_committed_{0};
+  std::atomic<uint64_t> txns_failed_{0};
+  std::atomic<uint64_t> info_requests_{0};
+  std::atomic<uint64_t> gate_parked_commits_{0};
+};
+
+}  // namespace spf

@@ -1,0 +1,438 @@
+#include "server/wire.h"
+
+#include <algorithm>
+
+#include "common/coding.h"
+
+namespace spf {
+namespace wire {
+
+namespace {
+
+// Payload header shared by every frame.
+constexpr size_t kHeaderBytes = 4 + 1 + 1 + 2;  // magic, version, type, reserved
+
+void PutHeader(std::string* dst, FrameType type) {
+  PutFixed32(dst, kMagic);
+  dst->push_back(static_cast<char>(kWireVersion));
+  dst->push_back(static_cast<char>(type));
+  PutFixed16(dst, 0);
+}
+
+/// Prepends the outer length framing once the payload is complete.
+std::string Frame(std::string payload) {
+  std::string out;
+  out.reserve(kFramingBytes + payload.size());
+  PutFixed32(&out, static_cast<uint32_t>(payload.size()));
+  out += payload;
+  return out;
+}
+
+bool Fail(WireError* code, WireError value, std::string* detail,
+          std::string_view why) {
+  *code = value;
+  if (detail != nullptr) *detail = std::string(why);
+  return false;
+}
+
+/// Parses and validates the shared header; leaves `*offset` just past it.
+bool GetHeader(std::string_view payload, size_t* offset, uint8_t* type,
+               WireError* code, std::string* detail) {
+  if (payload.size() < kHeaderBytes) {
+    return Fail(code, WireError::kMalformed, detail, "payload shorter than header");
+  }
+  if (DecodeFixed32(payload.data()) != kMagic) {
+    return Fail(code, WireError::kBadMagic, detail, "bad magic");
+  }
+  if (static_cast<uint8_t>(payload[4]) != kWireVersion) {
+    return Fail(code, WireError::kBadVersion, detail, "unsupported wire version");
+  }
+  *type = static_cast<uint8_t>(payload[5]);
+  if (DecodeFixed16(payload.data() + 6) != 0) {
+    return Fail(code, WireError::kMalformed, detail, "nonzero reserved field");
+  }
+  *offset = kHeaderBytes;
+  return true;
+}
+
+bool ValidOpKind(uint8_t k) {
+  return k >= static_cast<uint8_t>(WireOp::kPut) &&
+         k <= static_cast<uint8_t>(WireOp::kScan);
+}
+
+bool IsWriteOp(WireOp op) {
+  return op == WireOp::kPut || op == WireOp::kInsert || op == WireOp::kUpdate;
+}
+
+}  // namespace
+
+std::string_view WireErrorName(WireError e) {
+  switch (e) {
+    case WireError::kNone:       return "OK";
+    case WireError::kMalformed:  return "MALFORMED";
+    case WireError::kBadMagic:   return "BAD_MAGIC";
+    case WireError::kBadVersion: return "BAD_VERSION";
+    case WireError::kBadType:    return "BAD_TYPE";
+    case WireError::kOversized:  return "OVERSIZED";
+    case WireError::kShutdown:   return "SHUTDOWN";
+  }
+  return "?";
+}
+
+std::string EncodeTxnRequest(const TxnRequest& req) {
+  std::string p;
+  PutHeader(&p, FrameType::kTxnRequest);
+  PutFixed16(&p, static_cast<uint16_t>(req.keys.size()));
+  PutFixed16(&p, static_cast<uint16_t>(req.ops.size()));
+  for (const std::string& key : req.keys) PutLengthPrefixed(&p, key);
+  for (const TxnOp& op : req.ops) {
+    p.push_back(static_cast<char>(op.kind));
+    switch (op.kind) {
+      case WireOp::kPut:
+      case WireOp::kInsert:
+      case WireOp::kUpdate:
+        PutFixed16(&p, op.key);
+        PutLengthPrefixed(&p, op.value);
+        break;
+      case WireOp::kDelete:
+      case WireOp::kGet:
+        PutFixed16(&p, op.key);
+        break;
+      case WireOp::kScan:
+        PutFixed16(&p, op.key);
+        PutFixed16(&p, op.end_key);
+        PutFixed32(&p, op.limit);
+        break;
+    }
+  }
+  return Frame(std::move(p));
+}
+
+std::string EncodeInfoRequest() {
+  std::string p;
+  PutHeader(&p, FrameType::kInfoRequest);
+  return Frame(std::move(p));
+}
+
+std::string EncodeTxnReply(const TxnReply& reply) {
+  std::string p;
+  PutHeader(&p, FrameType::kTxnReply);
+  p.push_back(static_cast<char>(reply.kind));
+  p.push_back(static_cast<char>(reply.code));
+  PutFixed16(&p, reply.failed_op);
+  PutLengthPrefixed(&p, reply.message);
+  PutFixed16(&p, static_cast<uint16_t>(reply.results.size()));
+  for (const OpResult& r : reply.results) {
+    p.push_back(static_cast<char>(r.kind));
+    if (r.kind == WireOp::kGet) {
+      PutLengthPrefixed(&p, r.value);
+    } else if (r.kind == WireOp::kScan) {
+      PutFixed32(&p, static_cast<uint32_t>(r.pairs.size()));
+      for (const auto& [k, v] : r.pairs) {
+        PutLengthPrefixed(&p, k);
+        PutLengthPrefixed(&p, v);
+      }
+    }
+  }
+  return Frame(std::move(p));
+}
+
+std::string EncodeInfoReply(const InfoReply& reply) {
+  std::string p;
+  PutHeader(&p, FrameType::kInfoReply);
+  PutFixed32(&p, reply.stats_version);
+  PutFixed32(&p, static_cast<uint32_t>(reply.counters.size()));
+  for (const auto& [name, value] : reply.counters) {
+    PutLengthPrefixed(&p, name);
+    PutFixed64(&p, value);
+  }
+  return Frame(std::move(p));
+}
+
+std::string EncodeErrorReply(WireError error, std::string_view detail) {
+  std::string p;
+  PutHeader(&p, FrameType::kErrorReply);
+  p.push_back(static_cast<char>(error));
+  PutLengthPrefixed(&p, detail);
+  return Frame(std::move(p));
+}
+
+WireError DecodeRequest(std::string_view payload, Request* out,
+                        std::string* detail) {
+  WireError code = WireError::kNone;
+  size_t off = 0;
+  uint8_t type = 0;
+  if (!GetHeader(payload, &off, &type, &code, detail)) return code;
+
+  if (type == static_cast<uint8_t>(FrameType::kInfoRequest)) {
+    if (off != payload.size()) {
+      Fail(&code, WireError::kMalformed, detail, "trailing bytes after INFO");
+      return code;
+    }
+    out->type = FrameType::kInfoRequest;
+    out->txn = TxnRequest();
+    return WireError::kNone;
+  }
+  if (type != static_cast<uint8_t>(FrameType::kTxnRequest)) {
+    Fail(&code, WireError::kBadType, detail, "not a request frame type");
+    return code;
+  }
+
+  TxnRequest req;
+  uint16_t key_count = 0, op_count = 0;
+  if (!GetFixed16(payload, &off, &key_count) ||
+      !GetFixed16(payload, &off, &op_count)) {
+    Fail(&code, WireError::kMalformed, detail, "truncated counts");
+    return code;
+  }
+  req.keys.reserve(key_count);
+  for (uint16_t i = 0; i < key_count; ++i) {
+    std::string_view key;
+    if (!GetLengthPrefixed(payload, &off, &key)) {
+      Fail(&code, WireError::kMalformed, detail, "truncated key table");
+      return code;
+    }
+    req.keys.emplace_back(key);
+  }
+  req.ops.reserve(op_count);
+  for (uint16_t i = 0; i < op_count; ++i) {
+    if (off >= payload.size()) {
+      Fail(&code, WireError::kMalformed, detail, "truncated op list");
+      return code;
+    }
+    uint8_t kind = static_cast<uint8_t>(payload[off++]);
+    if (!ValidOpKind(kind)) {
+      Fail(&code, WireError::kMalformed, detail, "unknown op kind");
+      return code;
+    }
+    TxnOp op;
+    op.kind = static_cast<WireOp>(kind);
+    if (!GetFixed16(payload, &off, &op.key)) {
+      Fail(&code, WireError::kMalformed, detail, "truncated op key");
+      return code;
+    }
+    if (op.key >= key_count) {
+      Fail(&code, WireError::kMalformed, detail, "op key index out of range");
+      return code;
+    }
+    if (IsWriteOp(op.kind)) {
+      std::string_view value;
+      if (!GetLengthPrefixed(payload, &off, &value)) {
+        Fail(&code, WireError::kMalformed, detail, "truncated op value");
+        return code;
+      }
+      op.value.assign(value);
+    } else if (op.kind == WireOp::kScan) {
+      if (!GetFixed16(payload, &off, &op.end_key) ||
+          !GetFixed32(payload, &off, &op.limit)) {
+        Fail(&code, WireError::kMalformed, detail, "truncated scan bounds");
+        return code;
+      }
+      if (op.end_key != kNoKey && op.end_key >= key_count) {
+        Fail(&code, WireError::kMalformed, detail, "scan end index out of range");
+        return code;
+      }
+    }
+    req.ops.push_back(std::move(op));
+  }
+  if (off != payload.size()) {
+    Fail(&code, WireError::kMalformed, detail, "trailing bytes after op list");
+    return code;
+  }
+  out->type = FrameType::kTxnRequest;
+  out->txn = std::move(req);
+  return WireError::kNone;
+}
+
+WireError DecodeReply(std::string_view payload, Reply* out,
+                      std::string* detail) {
+  WireError code = WireError::kNone;
+  size_t off = 0;
+  uint8_t type = 0;
+  if (!GetHeader(payload, &off, &type, &code, detail)) return code;
+
+  if (type == static_cast<uint8_t>(FrameType::kErrorReply)) {
+    if (off >= payload.size()) {
+      Fail(&code, WireError::kMalformed, detail, "truncated error reply");
+      return code;
+    }
+    uint8_t err = static_cast<uint8_t>(payload[off++]);
+    if (err == 0 || err > static_cast<uint8_t>(WireError::kShutdown)) {
+      Fail(&code, WireError::kMalformed, detail, "unknown protocol error code");
+      return code;
+    }
+    std::string_view msg;
+    if (!GetLengthPrefixed(payload, &off, &msg) || off != payload.size()) {
+      Fail(&code, WireError::kMalformed, detail, "truncated error detail");
+      return code;
+    }
+    out->type = FrameType::kErrorReply;
+    out->error = static_cast<WireError>(err);
+    out->error_detail.assign(msg);
+    return WireError::kNone;
+  }
+
+  if (type == static_cast<uint8_t>(FrameType::kInfoReply)) {
+    InfoReply info;
+    uint32_t count = 0;
+    if (!GetFixed32(payload, &off, &info.stats_version) ||
+        !GetFixed32(payload, &off, &count)) {
+      Fail(&code, WireError::kMalformed, detail, "truncated INFO header");
+      return code;
+    }
+    info.counters.reserve(std::min<uint32_t>(count, 1024));
+    for (uint32_t i = 0; i < count; ++i) {
+      std::string_view name;
+      uint64_t value = 0;
+      if (!GetLengthPrefixed(payload, &off, &name) ||
+          !GetFixed64(payload, &off, &value)) {
+        Fail(&code, WireError::kMalformed, detail, "truncated INFO counter");
+        return code;
+      }
+      info.counters.emplace_back(std::string(name), value);
+    }
+    if (off != payload.size()) {
+      Fail(&code, WireError::kMalformed, detail, "trailing bytes after INFO");
+      return code;
+    }
+    out->type = FrameType::kInfoReply;
+    out->info = std::move(info);
+    return WireError::kNone;
+  }
+
+  if (type != static_cast<uint8_t>(FrameType::kTxnReply)) {
+    Fail(&code, WireError::kBadType, detail, "not a reply frame type");
+    return code;
+  }
+
+  TxnReply reply;
+  if (off + 2 > payload.size()) {
+    Fail(&code, WireError::kMalformed, detail, "truncated reply status");
+    return code;
+  }
+  uint8_t kind = static_cast<uint8_t>(payload[off++]);
+  uint8_t status_code = static_cast<uint8_t>(payload[off++]);
+  if (kind > static_cast<uint8_t>(TxnError::Kind::kFatal) ||
+      status_code > static_cast<uint8_t>(Status::Code::kInternal)) {
+    Fail(&code, WireError::kMalformed, detail, "unknown status byte");
+    return code;
+  }
+  reply.kind = static_cast<TxnError::Kind>(kind);
+  reply.code = static_cast<Status::Code>(status_code);
+  std::string_view msg;
+  uint16_t result_count = 0;
+  if (!GetFixed16(payload, &off, &reply.failed_op) ||
+      !GetLengthPrefixed(payload, &off, &msg) ||
+      !GetFixed16(payload, &off, &result_count)) {
+    Fail(&code, WireError::kMalformed, detail, "truncated reply header");
+    return code;
+  }
+  reply.message.assign(msg);
+  reply.results.reserve(result_count);
+  for (uint16_t i = 0; i < result_count; ++i) {
+    if (off >= payload.size()) {
+      Fail(&code, WireError::kMalformed, detail, "truncated result list");
+      return code;
+    }
+    uint8_t rkind = static_cast<uint8_t>(payload[off++]);
+    if (!ValidOpKind(rkind)) {
+      Fail(&code, WireError::kMalformed, detail, "unknown result kind");
+      return code;
+    }
+    OpResult r;
+    r.kind = static_cast<WireOp>(rkind);
+    if (r.kind == WireOp::kGet) {
+      std::string_view value;
+      if (!GetLengthPrefixed(payload, &off, &value)) {
+        Fail(&code, WireError::kMalformed, detail, "truncated get result");
+        return code;
+      }
+      r.value.assign(value);
+    } else if (r.kind == WireOp::kScan) {
+      uint32_t pairs = 0;
+      if (!GetFixed32(payload, &off, &pairs)) {
+        Fail(&code, WireError::kMalformed, detail, "truncated scan result");
+        return code;
+      }
+      r.pairs.reserve(std::min<uint32_t>(pairs, kMaxScanResults));
+      for (uint32_t j = 0; j < pairs; ++j) {
+        std::string_view k, v;
+        if (!GetLengthPrefixed(payload, &off, &k) ||
+            !GetLengthPrefixed(payload, &off, &v)) {
+          Fail(&code, WireError::kMalformed, detail, "truncated scan pair");
+          return code;
+        }
+        r.pairs.emplace_back(std::string(k), std::string(v));
+      }
+    }
+    reply.results.push_back(std::move(r));
+  }
+  if (off != payload.size()) {
+    Fail(&code, WireError::kMalformed, detail, "trailing bytes after results");
+    return code;
+  }
+  out->type = FrameType::kTxnReply;
+  out->txn = std::move(reply);
+  return WireError::kNone;
+}
+
+std::vector<std::pair<std::string, uint64_t>> FlattenStats(
+    const StatsSnapshot& s) {
+  std::vector<std::pair<std::string, uint64_t>> c;
+  c.reserve(48);
+  auto add = [&c](const char* name, uint64_t value) {
+    c.emplace_back(name, value);
+  };
+  add("pool.fixes", s.pool.fixes);
+  add("pool.hits", s.pool.hits);
+  add("pool.misses", s.pool.misses);
+  add("pool.verify_failures", s.pool.verify_failures);
+  add("pool.repairs_succeeded", s.pool.repairs_succeeded);
+  add("spr.repairs_attempted", s.spr.repairs_attempted);
+  add("spr.repairs_succeeded", s.spr.repairs_succeeded);
+  add("scheduler.batches", s.scheduler.batches);
+  add("scheduler.pages_repaired", s.scheduler.pages_repaired);
+  add("scrubber.pages_scanned", s.scrubber.pages_scanned);
+  add("scrubber.failures_detected", s.scrubber.failures_detected);
+  add("funnel.enqueued", s.funnel.enqueued);
+  add("funnel.coalesced", s.funnel.coalesced);
+  add("funnel.batches", s.funnel.batches);
+  add("funnel.repaired_spr", s.funnel.repaired_spr);
+  add("funnel.repaired_partial", s.funnel.repaired_partial);
+  add("funnel.repaired_full", s.funnel.repaired_full);
+  add("funnel.skipped_dirty", s.funnel.skipped_dirty);
+  add("funnel.failed", s.funnel.failed);
+  add("funnel.gated_restores", s.funnel.gated_restores);
+  add("funnel.txns_drained", s.funnel.txns_drained);
+  add("funnel.txns_doomed", s.funnel.txns_doomed);
+  add("funnel.admission_waits", s.funnel.admission_waits);
+  add("funnel.on_demand_segments", s.funnel.on_demand_segments);
+  add("locks.acquisitions", s.locks.acquisitions);
+  add("locks.waits", s.locks.waits);
+  add("locks.timeouts", s.locks.timeouts);
+  add("locks.keys_tracked", s.locks.keys_tracked);
+  add("log.records_appended", s.log.records_appended);
+  add("log.forces", s.log.forces);
+  add("log.group_commit_batches", s.log.group_commit_batches);
+  add("log.group_commit_commits", s.log.group_commit_commits);
+  add("archive.runs_written", s.archive.runs_written);
+  add("archive.records_archived", s.archive.records_archived);
+  add("archive.archived_upto", s.archive.archived_upto);
+  add("archive.active_runs", s.archive.active_runs);
+  add("restore_admission_waits", s.restore_admission_waits);
+  add("cross_checks", s.cross_checks);
+  add("cross_check_mismatches", s.cross_check_mismatches);
+  add("server.connections_accepted", s.server.connections_accepted);
+  add("server.connections_closed", s.server.connections_closed);
+  add("server.frames_decoded", s.server.frames_decoded);
+  add("server.frames_rejected", s.server.frames_rejected);
+  add("server.ops_served", s.server.ops_served);
+  add("server.txns_committed", s.server.txns_committed);
+  add("server.txns_failed", s.server.txns_failed);
+  add("server.info_requests", s.server.info_requests);
+  add("server.gate_parked_commits", s.server.gate_parked_commits);
+  return c;
+}
+
+}  // namespace wire
+}  // namespace spf

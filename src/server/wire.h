@@ -1,0 +1,258 @@
+// Wire protocol of the network serving layer: compact binary frames
+// carrying single-shot transactions.
+//
+// Every request frame is one transaction: the server begins a fresh
+// transaction, applies the op list in order, and commits — the response
+// carries per-op results or the TxnError-taxonomy classification of the
+// failure, so clients retry retryable() outcomes by resending the frame
+// (a resent frame is a FRESH transaction, so frame-level retries also
+// absorb kDoomed: the restore that doomed the old transaction admits the
+// new one as soon as the gate reopens).
+//
+// Frame layout (all integers little-endian, fixed width):
+//
+//   [u32 payload_len][payload]                    outer framing
+//
+//   payload header (every frame, both directions):
+//     u32 magic      'S''P''F''W'
+//     u8  version    kWireVersion
+//     u8  type       FrameType
+//     u16 reserved   must be zero
+//
+//   kTxnRequest:  u16 key_count, u16 op_count,
+//                 key_count x [u32 len][key bytes]          (the key table)
+//                 op_count  x op                            (see WireOp)
+//   kInfoRequest: (header only)
+//   kTxnReply:    u8 TxnError::Kind, u8 Status::Code, u16 failed_op,
+//                 [u32 len][status message],
+//                 u16 result_count, result_count x per-op result
+//   kInfoReply:   u32 stats_version, u32 count,
+//                 count x ([u32 len][counter name][u64 value])
+//   kErrorReply:  u8 WireError, [u32 len][detail]
+//
+// Ops reference keys by index into the frame's key table (a key used by
+// several ops is shipped once). Decode is bounds-checked end to end: any
+// truncated, oversized, or inconsistent frame yields a WireError, never a
+// crash or an out-of-bounds read — tests/wire_fuzz_test.cpp holds the
+// codec to that under ASan/UBSan. Encode∘decode is identity on valid
+// frames (round-trip stability, same test).
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "db/stats_snapshot.h"
+#include "db/txn_error.h"
+
+namespace spf {
+namespace wire {
+
+/// Frame magic: rejects non-protocol bytes before any other parsing.
+constexpr uint32_t kMagic = 0x57465053u;  // "SPFW" little-endian
+/// Protocol version carried in every frame header.
+constexpr uint8_t kWireVersion = 1;
+/// Hard ceiling on a frame payload; a larger length prefix is rejected
+/// without buffering (protects the server from memory-exhaustion frames).
+constexpr uint32_t kMaxFrameBytes = 4u << 20;
+/// Bytes of outer framing in front of every payload (the u32 length).
+constexpr uint32_t kFramingBytes = 4;
+/// Key-table index meaning "the empty key" (open scan bound).
+constexpr uint16_t kNoKey = 0xFFFF;
+/// `TxnReply::failed_op` value when no specific op failed (success, or
+/// the commit itself failed after every op succeeded).
+constexpr uint16_t kNoFailedOp = 0xFFFF;
+/// Per-scan result ceiling; a request limit of 0 (or anything larger) is
+/// clamped here so one frame cannot marshal an unbounded reply.
+constexpr uint32_t kMaxScanResults = 4096;
+
+/// Frame discriminator (header `type` byte).
+enum class FrameType : uint8_t {
+  kTxnRequest = 1,   ///< one single-shot transaction (client -> server)
+  kInfoRequest = 2,  ///< stats snapshot request (client -> server)
+  kTxnReply = 3,     ///< transaction outcome + per-op results
+  kInfoReply = 4,    ///< serialized StatsSnapshot counters
+  kErrorReply = 5,   ///< protocol-level rejection (frame never executed)
+};
+
+/// Op verbs of a transaction frame. Write verbs carry a value; kScan
+/// carries a second key index and a result limit.
+enum class WireOp : uint8_t {
+  kPut = 1,     ///< insert-or-update        (key, value)
+  kInsert = 2,  ///< insert-only             (key, value)
+  kUpdate = 3,  ///< update-only             (key, value)
+  kDelete = 4,  ///< delete                  (key)
+  kGet = 5,     ///< locked point read       (key)
+  kScan = 6,    ///< locked range scan       (start key, end key, limit)
+};
+
+/// Protocol-level rejection codes (kErrorReply). A frame answered with
+/// one of these was never executed as a transaction.
+enum class WireError : uint8_t {
+  kNone = 0,        ///< not an error (decode succeeded)
+  kMalformed = 1,   ///< truncated, trailing bytes, bad index, bad count
+  kBadMagic = 2,    ///< first four payload bytes are not kMagic
+  kBadVersion = 3,  ///< header version != kWireVersion
+  kBadType = 4,     ///< header type is not a known request/reply type
+  kOversized = 5,   ///< length prefix exceeds kMaxFrameBytes
+  kShutdown = 6,    ///< server is stopping; retry against a live server
+};
+
+/// Stable name of a WireError ("MALFORMED", ...) for logs and tests.
+std::string_view WireErrorName(WireError e);
+
+/// One op of a transaction frame. `key` indexes the frame's key table;
+/// `end_key` and `limit` are meaningful for kScan only (kNoKey = open
+/// bound); `value` rides along for the write verbs.
+struct TxnOp {
+  WireOp kind = WireOp::kPut;  ///< the verb
+  uint16_t key = 0;            ///< key-table index (scan: start bound)
+  uint16_t end_key = kNoKey;   ///< scan end bound (kNoKey = to the last key)
+  uint32_t limit = 0;          ///< scan result cap (0 = kMaxScanResults)
+  std::string value;           ///< payload of the write verbs
+};
+
+/// One single-shot transaction: a deduplicated key table plus the op
+/// list executed in order under one transaction.
+struct TxnRequest {
+  std::vector<std::string> keys;  ///< the key table ops index into
+  std::vector<TxnOp> ops;         ///< executed in order, then committed
+
+  /// Stages a key and returns its table index (no deduplication — callers
+  /// wanting key sharing pass the same index twice).
+  uint16_t AddKey(std::string_view key) {
+    keys.emplace_back(key);
+    return static_cast<uint16_t>(keys.size() - 1);
+  }
+  /// Stages an insert-or-update of `key` to `value`.
+  void Put(std::string_view key, std::string_view value) {
+    ops.push_back({WireOp::kPut, AddKey(key), kNoKey, 0, std::string(value)});
+  }
+  /// Stages an insert-only of `key` (fails the frame if it exists).
+  void Insert(std::string_view key, std::string_view value) {
+    ops.push_back({WireOp::kInsert, AddKey(key), kNoKey, 0, std::string(value)});
+  }
+  /// Stages an update-only of `key` (fails the frame if it is missing).
+  void Update(std::string_view key, std::string_view value) {
+    ops.push_back({WireOp::kUpdate, AddKey(key), kNoKey, 0, std::string(value)});
+  }
+  /// Stages a delete of `key`.
+  void Delete(std::string_view key) {
+    ops.push_back({WireOp::kDelete, AddKey(key), kNoKey, 0, std::string()});
+  }
+  /// Stages a locked point read of `key`.
+  void Get(std::string_view key) {
+    ops.push_back({WireOp::kGet, AddKey(key), kNoKey, 0, std::string()});
+  }
+  /// Scan [start, end) delivering at most `limit` pairs (0 = the protocol
+  /// ceiling); empty `end` scans to the last key.
+  void Scan(std::string_view start, std::string_view end, uint32_t limit) {
+    uint16_t e = end.empty() ? kNoKey : AddKey(end);
+    ops.push_back({WireOp::kScan, AddKey(start), e, limit, std::string()});
+  }
+};
+
+/// One op's result inside a kTxnReply. Write verbs carry nothing beyond
+/// their presence (the op succeeded); kGet carries the value; kScan the
+/// delivered pairs.
+struct OpResult {
+  WireOp kind = WireOp::kPut;  ///< echo of the op's verb
+  std::string value;           ///< kGet: the value read
+  /// kScan: delivered (key, value) pairs in key order.
+  std::vector<std::pair<std::string, std::string>> pairs;
+};
+
+/// Outcome of one transaction frame. `error.ok()` means the transaction
+/// committed and `results` has one entry per op; otherwise `failed_op`
+/// names the op that failed (kNoFailedOp = the commit itself) and
+/// `results` covers the ops that succeeded before it.
+struct TxnReply {
+  TxnError::Kind kind = TxnError::Kind::kNone;  ///< classified outcome
+  Status::Code code = Status::Code::kOk;        ///< underlying status code
+  uint16_t failed_op = kNoFailedOp;             ///< index of the failing op
+  std::string message;                          ///< status message (may be empty)
+  std::vector<OpResult> results;                ///< per-op results, in op order
+
+  /// True when the frame's transaction committed.
+  bool ok() const { return kind == TxnError::Kind::kNone; }
+  /// True when resending the same frame may succeed: transient contention
+  /// or a doomed transaction (the resent frame is a FRESH transaction,
+  /// admitted once the restore gate reopens).
+  bool retryable() const {
+    return kind == TxnError::Kind::kTransient || kind == TxnError::Kind::kDoomed;
+  }
+};
+
+/// Serialized StatsSnapshot: the version stamp plus named counters.
+struct InfoReply {
+  uint32_t stats_version = 0;  ///< StatsSnapshot::kVersion of the server
+  /// (counter name, value) pairs — see FlattenStats for the name set.
+  std::vector<std::pair<std::string, uint64_t>> counters;
+
+  /// Value of `name`, or `fallback` when the counter is absent.
+  uint64_t Counter(std::string_view name, uint64_t fallback = 0) const {
+    for (const auto& [n, v] : counters) {
+      if (n == name) return v;
+    }
+    return fallback;
+  }
+};
+
+/// A decoded request frame: exactly one of the request types.
+struct Request {
+  FrameType type = FrameType::kTxnRequest;  ///< which request arrived
+  TxnRequest txn;                           ///< filled for kTxnRequest
+};
+
+/// A decoded reply frame: exactly one of the reply types (`error` is set
+/// for kErrorReply, with the detail in `error_detail`).
+struct Reply {
+  FrameType type = FrameType::kTxnReply;  ///< which reply arrived
+  TxnReply txn;                           ///< filled for kTxnReply
+  InfoReply info;                         ///< filled for kInfoReply
+  WireError error = WireError::kNone;     ///< filled for kErrorReply
+  std::string error_detail;               ///< human-readable rejection detail
+};
+
+// --- encode (returns the complete frame: length prefix + payload) -----------
+
+/// Encodes a transaction request frame.
+std::string EncodeTxnRequest(const TxnRequest& req);
+/// Encodes an INFO request frame.
+std::string EncodeInfoRequest();
+/// Encodes a transaction reply frame.
+std::string EncodeTxnReply(const TxnReply& reply);
+/// Encodes an INFO reply frame.
+std::string EncodeInfoReply(const InfoReply& reply);
+/// Encodes a protocol-error reply frame.
+std::string EncodeErrorReply(WireError error, std::string_view detail);
+
+// --- decode (payload only, after outer length framing) ----------------------
+
+/// Decodes a request payload. Returns kNone and fills `out` on success;
+/// any malformation returns the rejection code (with a human-readable
+/// explanation in `detail` when non-null) and leaves `out` unspecified.
+WireError DecodeRequest(std::string_view payload, Request* out,
+                        std::string* detail = nullptr);
+
+/// Decodes a reply payload (client side). Same contract as DecodeRequest;
+/// a well-formed kErrorReply decodes successfully (the protocol error it
+/// carries lands in out->error, not in the return value).
+WireError DecodeReply(std::string_view payload, Reply* out,
+                      std::string* detail = nullptr);
+
+// --- stats ------------------------------------------------------------------
+
+/// Flattens a StatsSnapshot into the named counters the INFO command
+/// ships: the complete server block plus the load-bearing counters of
+/// every engine component (pool, repair, scrubber, funnel, locks, log,
+/// archive, cross-check).
+std::vector<std::pair<std::string, uint64_t>> FlattenStats(
+    const StatsSnapshot& s);
+
+}  // namespace wire
+}  // namespace spf

@@ -14,6 +14,7 @@
 
 #include "chaos/chaos_driver.h"
 #include "chaos/chaos_schedule.h"
+#include "chaos/invariants.h"
 
 namespace spf {
 namespace chaos {
@@ -183,6 +184,64 @@ TEST(ChaosDriverTest, SeedCorpusReplaysClean) {
     }
   }
 #endif
+}
+
+// StatsSnapshot v3 added the network-server block; the invariant layer
+// must cover it: version stamp pinned, server counters monotone within
+// an epoch, and the frame-outcome conservation law.
+TEST(ChaosInvariantsTest, SnapshotV3ServerBlockIsCovered) {
+  SnapshotMonotonicity mono;
+  StatsSnapshot a;
+  ASSERT_EQ(StatsSnapshot::kVersion, 3u);  // this test covers the v3 bump
+  a.server.frames_decoded = 10;
+  a.server.txns_committed = 8;
+  a.server.ops_served = 20;
+  EXPECT_TRUE(mono.Check(a).empty());
+
+  // A server counter regressing inside one epoch is a violation.
+  StatsSnapshot b = a;
+  b.server.frames_decoded = 4;
+  std::vector<std::string> v = mono.Check(b);
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_NE(v[0].find("server.frames_decoded"), std::string::npos);
+
+  // A snapshot stamped with an outdated version is caught every call.
+  StatsSnapshot stale = b;
+  stale.version = 2;
+  v = mono.Check(stale);
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_NE(v[0].find("snapshot version"), std::string::npos);
+
+  // NoteReset forgives the post-crash restart of the volatile counters.
+  mono.NoteReset();
+  StatsSnapshot fresh;
+  EXPECT_TRUE(mono.Check(fresh).empty());
+}
+
+TEST(ChaosInvariantsTest, ServerConservationLaw) {
+  ServerStats s;
+  s.connections_accepted = 5;
+  s.connections_closed = 5;
+  s.frames_decoded = 10;
+  s.txns_committed = 6;
+  s.txns_failed = 3;
+  s.info_requests = 1;
+  s.gate_parked_commits = 2;
+  EXPECT_TRUE(CheckServerConservation(s).empty());
+
+  ServerStats leak = s;
+  leak.txns_failed = 2;  // one decoded frame vanished without an outcome
+  std::vector<std::string> v = CheckServerConservation(leak);
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_NE(v[0].find("frames_decoded"), std::string::npos);
+
+  ServerStats overclosed = s;
+  overclosed.connections_closed = 6;
+  EXPECT_EQ(CheckServerConservation(overclosed).size(), 1u);
+
+  ServerStats overparked = s;
+  overparked.gate_parked_commits = 100;
+  EXPECT_EQ(CheckServerConservation(overparked).size(), 1u);
 }
 
 }  // namespace

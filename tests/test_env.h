@@ -5,6 +5,12 @@
 
 #pragma once
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
 #include <memory>
 
 #include "btree/btree.h"
@@ -97,6 +103,57 @@ class TestEnv {
   std::unique_ptr<TxnManager> txns;
   std::unique_ptr<PageAllocator> alloc;
   std::unique_ptr<BTree> tree;
+};
+
+/// Reserves a loopback TCP port race-free: binds 127.0.0.1:0, listens,
+/// and recovers the kernel's port choice. Hand the listening socket to a
+/// server via ServerOptions::listen_fd (release()) so the port can never
+/// be lost to another process between "pick a port" and "bind it" — the
+/// classic ephemeral-port race in network tests.
+class LoopbackListener {
+ public:
+  LoopbackListener() {
+    fd_ = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd_ < 0) return;
+    int one = 1;
+    setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sin_family = AF_INET;
+    addr.sin_port = 0;  // the kernel picks a free ephemeral port
+    inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    if (bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+        listen(fd_, 64) != 0) {
+      close(fd_);
+      fd_ = -1;
+      return;
+    }
+    socklen_t len = sizeof(addr);
+    if (getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len) == 0) {
+      port_ = ntohs(addr.sin_port);
+    }
+  }
+  ~LoopbackListener() {
+    if (fd_ >= 0) close(fd_);
+  }
+
+  LoopbackListener(const LoopbackListener&) = delete;
+  LoopbackListener& operator=(const LoopbackListener&) = delete;
+
+  /// True when the socket bound and listens.
+  bool ok() const { return fd_ >= 0 && port_ != 0; }
+  /// The reserved port (valid while the socket is held or adopted).
+  uint16_t port() const { return port_; }
+  /// Transfers socket ownership to the caller (ServerOptions::listen_fd).
+  int release() {
+    int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+
+ private:
+  int fd_ = -1;
+  uint16_t port_ = 0;
 };
 
 }  // namespace testenv

@@ -1,0 +1,432 @@
+// Fuzz and adversarial tests of the wire protocol (src/server/wire.h):
+// encode∘decode identity on seeded-random valid frames, and tens of
+// thousands of truncated / bit-flipped / garbage / trailing-byte payloads
+// that must decode to a clean WireError — never a crash, hang, or
+// out-of-bounds read (the ASan/UBSan CI jobs hold the codec to that).
+// The live-server half feeds malformed frames to a real NetworkServer
+// over TCP and requires every one to be answered with a protocol error
+// while the connection stays usable (or, for an unframeable stream, is
+// closed cleanly).
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/coding.h"
+#include "common/random.h"
+#include "db/database.h"
+#include "server/client.h"
+#include "server/network_server.h"
+#include "server/wire.h"
+#include "test_env.h"
+
+namespace spf {
+namespace {
+
+using wire::FrameType;
+using wire::WireError;
+using wire::WireOp;
+
+// --- seeded-random frame generators -----------------------------------------
+
+wire::TxnRequest RandomTxnRequest(Random& rng) {
+  wire::TxnRequest req;
+  uint16_t key_count = static_cast<uint16_t>(1 + rng.Uniform(8));
+  for (uint16_t k = 0; k < key_count; ++k) {
+    req.keys.push_back(rng.NextString(rng.Uniform(24)));
+  }
+  uint16_t op_count = static_cast<uint16_t>(rng.Uniform(9));
+  for (uint16_t i = 0; i < op_count; ++i) {
+    wire::TxnOp op;
+    op.kind = static_cast<WireOp>(1 + rng.Uniform(6));
+    op.key = static_cast<uint16_t>(rng.Uniform(key_count));
+    if (op.kind == WireOp::kScan) {
+      op.end_key = rng.Bernoulli(0.5)
+                       ? wire::kNoKey
+                       : static_cast<uint16_t>(rng.Uniform(key_count));
+      op.limit = static_cast<uint32_t>(rng.Uniform(5000));
+    }
+    if (op.kind == WireOp::kPut || op.kind == WireOp::kInsert ||
+        op.kind == WireOp::kUpdate) {
+      op.value = rng.NextString(rng.Uniform(64));
+    }
+    req.ops.push_back(std::move(op));
+  }
+  return req;
+}
+
+wire::TxnReply RandomTxnReply(Random& rng) {
+  wire::TxnReply reply;
+  reply.kind = static_cast<TxnError::Kind>(rng.Uniform(6));
+  reply.code = static_cast<Status::Code>(rng.Uniform(13));
+  reply.failed_op = rng.Bernoulli(0.3)
+                        ? static_cast<uint16_t>(rng.Uniform(16))
+                        : wire::kNoFailedOp;
+  reply.message = rng.NextString(rng.Uniform(48));
+  uint16_t results = static_cast<uint16_t>(rng.Uniform(6));
+  for (uint16_t i = 0; i < results; ++i) {
+    wire::OpResult r;
+    r.kind = static_cast<WireOp>(1 + rng.Uniform(6));
+    if (r.kind == WireOp::kGet) r.value = rng.NextString(rng.Uniform(64));
+    if (r.kind == WireOp::kScan) {
+      uint32_t pairs = static_cast<uint32_t>(rng.Uniform(5));
+      for (uint32_t j = 0; j < pairs; ++j) {
+        r.pairs.emplace_back(rng.NextString(1 + rng.Uniform(16)),
+                             rng.NextString(rng.Uniform(32)));
+      }
+    }
+    reply.results.push_back(std::move(r));
+  }
+  return reply;
+}
+
+std::string StripFraming(const std::string& frame) {
+  return frame.substr(wire::kFramingBytes);
+}
+
+void ExpectEqual(const wire::TxnRequest& a, const wire::TxnRequest& b) {
+  ASSERT_EQ(a.keys, b.keys);
+  ASSERT_EQ(a.ops.size(), b.ops.size());
+  for (size_t i = 0; i < a.ops.size(); ++i) {
+    EXPECT_EQ(a.ops[i].kind, b.ops[i].kind);
+    EXPECT_EQ(a.ops[i].key, b.ops[i].key);
+    EXPECT_EQ(a.ops[i].value, b.ops[i].value);
+    if (a.ops[i].kind == WireOp::kScan) {
+      EXPECT_EQ(a.ops[i].end_key, b.ops[i].end_key);
+      EXPECT_EQ(a.ops[i].limit, b.ops[i].limit);
+    }
+  }
+}
+
+void ExpectEqual(const wire::TxnReply& a, const wire::TxnReply& b) {
+  EXPECT_EQ(a.kind, b.kind);
+  EXPECT_EQ(a.code, b.code);
+  EXPECT_EQ(a.failed_op, b.failed_op);
+  EXPECT_EQ(a.message, b.message);
+  ASSERT_EQ(a.results.size(), b.results.size());
+  for (size_t i = 0; i < a.results.size(); ++i) {
+    EXPECT_EQ(a.results[i].kind, b.results[i].kind);
+    EXPECT_EQ(a.results[i].value, b.results[i].value);
+    EXPECT_EQ(a.results[i].pairs, b.results[i].pairs);
+  }
+}
+
+// --- round-trip identity -----------------------------------------------------
+
+TEST(WireRoundTrip, TxnRequestIdentity) {
+  Random rng(20260808);
+  for (int iter = 0; iter < 1000; ++iter) {
+    wire::TxnRequest req = RandomTxnRequest(rng);
+    std::string payload = StripFraming(wire::EncodeTxnRequest(req));
+    wire::Request out;
+    std::string detail;
+    ASSERT_EQ(wire::DecodeRequest(payload, &out, &detail), WireError::kNone)
+        << detail;
+    ASSERT_EQ(out.type, FrameType::kTxnRequest);
+    ExpectEqual(req, out.txn);
+  }
+}
+
+TEST(WireRoundTrip, TxnReplyIdentity) {
+  Random rng(987654321);
+  for (int iter = 0; iter < 1000; ++iter) {
+    wire::TxnReply reply = RandomTxnReply(rng);
+    std::string payload = StripFraming(wire::EncodeTxnReply(reply));
+    wire::Reply out;
+    std::string detail;
+    ASSERT_EQ(wire::DecodeReply(payload, &out, &detail), WireError::kNone)
+        << detail;
+    ASSERT_EQ(out.type, FrameType::kTxnReply);
+    ExpectEqual(reply, out.txn);
+  }
+}
+
+TEST(WireRoundTrip, InfoAndErrorReplies) {
+  // INFO round-trips the real FlattenStats output, version stamp and all.
+  StatsSnapshot snap;
+  snap.server.frames_decoded = 42;
+  snap.server.txns_committed = 41;
+  wire::InfoReply info;
+  info.stats_version = StatsSnapshot::kVersion;
+  info.counters = wire::FlattenStats(snap);
+  std::string payload = StripFraming(wire::EncodeInfoReply(info));
+  wire::Reply out;
+  ASSERT_EQ(wire::DecodeReply(payload, &out, nullptr), WireError::kNone);
+  ASSERT_EQ(out.type, FrameType::kInfoReply);
+  EXPECT_EQ(out.info.stats_version, StatsSnapshot::kVersion);
+  EXPECT_EQ(out.info.counters, info.counters);
+  EXPECT_EQ(out.info.Counter("server.frames_decoded"), 42u);
+  EXPECT_EQ(out.info.Counter("no.such.counter", 7), 7u);
+
+  // INFO request and error replies round-trip too.
+  wire::Request rq;
+  ASSERT_EQ(wire::DecodeRequest(StripFraming(wire::EncodeInfoRequest()), &rq,
+                                nullptr),
+            WireError::kNone);
+  EXPECT_EQ(rq.type, FrameType::kInfoRequest);
+
+  payload = StripFraming(
+      wire::EncodeErrorReply(WireError::kBadVersion, "speak v1"));
+  ASSERT_EQ(wire::DecodeReply(payload, &out, nullptr), WireError::kNone);
+  ASSERT_EQ(out.type, FrameType::kErrorReply);
+  EXPECT_EQ(out.error, WireError::kBadVersion);
+  EXPECT_EQ(out.error_detail, "speak v1");
+}
+
+// --- structured malformation ------------------------------------------------
+
+TEST(WireFuzz, SpecificMalformations) {
+  wire::TxnRequest req;
+  req.Put("k", "v");
+  std::string valid = StripFraming(wire::EncodeTxnRequest(req));
+  wire::Request out;
+  std::string detail;
+
+  // Empty and short payloads.
+  EXPECT_EQ(wire::DecodeRequest("", &out, &detail), WireError::kMalformed);
+  EXPECT_EQ(wire::DecodeRequest(valid.substr(0, 5), &out, &detail),
+            WireError::kMalformed);
+
+  // Bad magic / version / reserved / type.
+  std::string p = valid;
+  p[0] ^= 0xFF;
+  EXPECT_EQ(wire::DecodeRequest(p, &out, &detail), WireError::kBadMagic);
+  p = valid;
+  p[4] = 99;
+  EXPECT_EQ(wire::DecodeRequest(p, &out, &detail), WireError::kBadVersion);
+  p = valid;
+  p[6] = 1;  // reserved must be zero
+  EXPECT_EQ(wire::DecodeRequest(p, &out, &detail), WireError::kMalformed);
+  p = valid;
+  p[5] = 120;  // not a frame type
+  EXPECT_EQ(wire::DecodeRequest(p, &out, &detail), WireError::kBadType);
+  p = valid;
+  p[5] = static_cast<char>(FrameType::kTxnReply);  // reply sent as request
+  EXPECT_EQ(wire::DecodeRequest(p, &out, &detail), WireError::kBadType);
+
+  // Truncation at every single byte boundary of a valid frame.
+  for (size_t cut = 0; cut < valid.size(); ++cut) {
+    EXPECT_NE(wire::DecodeRequest(valid.substr(0, cut), &out, &detail),
+              WireError::kNone)
+        << "cut=" << cut;
+  }
+
+  // Trailing bytes after a well-formed op list.
+  EXPECT_EQ(wire::DecodeRequest(valid + "x", &out, &detail),
+            WireError::kMalformed);
+
+  // Key index out of range: op references key 1 of a 1-key table.
+  wire::TxnRequest bad;
+  bad.AddKey("only");
+  bad.ops.push_back({WireOp::kGet, 1, wire::kNoKey, 0, ""});
+  EXPECT_EQ(wire::DecodeRequest(StripFraming(wire::EncodeTxnRequest(bad)),
+                                &out, &detail),
+            WireError::kMalformed);
+
+  // Scan end bound out of range survives encode, dies in decode.
+  wire::TxnRequest bad_scan;
+  bad_scan.AddKey("start");
+  bad_scan.ops.push_back({WireOp::kScan, 0, 5, 10, ""});
+  EXPECT_EQ(wire::DecodeRequest(StripFraming(wire::EncodeTxnRequest(bad_scan)),
+                                &out, &detail),
+            WireError::kMalformed);
+
+  // A key table that lies about its length (count says 2, one key present).
+  std::string lying;
+  {
+    wire::TxnRequest one;
+    one.AddKey("k");
+    lying = StripFraming(wire::EncodeTxnRequest(one));
+    lying[8] = 2;  // key_count lives right after the 8-byte header
+  }
+  EXPECT_EQ(wire::DecodeRequest(lying, &out, &detail), WireError::kMalformed);
+}
+
+TEST(WireFuzz, RandomMutationsNeverCrash) {
+  Random rng(424242);
+  int processed = 0;
+  int rejected = 0;
+  for (int iter = 0; iter < 20000; ++iter) {
+    std::string payload;
+    switch (iter % 4) {
+      case 0: {  // truncation of a valid frame
+        payload = StripFraming(wire::EncodeTxnRequest(RandomTxnRequest(rng)));
+        payload.resize(rng.Uniform(payload.size() + 1));
+        break;
+      }
+      case 1: {  // bit flips in a valid frame
+        payload = StripFraming(wire::EncodeTxnRequest(RandomTxnRequest(rng)));
+        int flips = 1 + static_cast<int>(rng.Uniform(8));
+        for (int f = 0; f < flips && !payload.empty(); ++f) {
+          payload[rng.Uniform(payload.size())] ^=
+              static_cast<char>(1u << rng.Uniform(8));
+        }
+        break;
+      }
+      case 2: {  // pure garbage
+        payload.resize(rng.Uniform(256));
+        for (char& ch : payload) ch = static_cast<char>(rng.Uniform(256));
+        break;
+      }
+      default: {  // oversized counts / trailing junk on a valid frame
+        payload = StripFraming(wire::EncodeTxnRequest(RandomTxnRequest(rng)));
+        payload += rng.NextString(1 + rng.Uniform(32));
+        break;
+      }
+    }
+    // Both decode directions must be memory-safe on arbitrary bytes.
+    wire::Request req_out;
+    wire::Reply reply_out;
+    std::string detail;
+    WireError a = wire::DecodeRequest(payload, &req_out, &detail);
+    WireError b = wire::DecodeReply(payload, &reply_out, &detail);
+    processed++;
+    if (a != WireError::kNone) rejected++;
+    (void)b;
+  }
+  EXPECT_EQ(processed, 20000);
+  // Truncations, garbage, and trailing junk are (near-)certain rejections;
+  // only rare bit flips land inside value bytes and stay valid.
+  EXPECT_GE(rejected, 12000);
+}
+
+// --- the same adversity against a live server --------------------------------
+
+class WireFuzzServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    DatabaseOptions options;
+    options.num_pages = 1024;
+    options.buffer_frames = 256;
+    auto db_or = Database::Create(options);
+    ASSERT_TRUE(db_or.ok()) << db_or.status().ToString();
+    db_ = std::move(db_or).value();
+
+    testenv::LoopbackListener listener;
+    ASSERT_TRUE(listener.ok());
+    port_ = listener.port();
+    ServerOptions sopts;
+    sopts.listen_fd = listener.release();
+    sopts.workers = 2;
+    server_ = std::make_unique<NetworkServer>(db_.get(), sopts);
+    ASSERT_TRUE(server_->Start().ok());
+    ASSERT_EQ(server_->port(), port_);  // adopted socket, adopted port
+  }
+
+  void TearDown() override {
+    if (server_) server_->Stop();
+  }
+
+  std::unique_ptr<Database> db_;
+  std::unique_ptr<NetworkServer> server_;
+  uint16_t port_ = 0;
+};
+
+TEST_F(WireFuzzServerTest, MalformedFramesGetErrorRepliesConnectionSurvives) {
+  Random rng(1337);
+  Client client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", port_).ok());
+  int malformed_sent = 0;
+  for (int i = 0; i < 3000; ++i) {
+    // Build an always-invalid payload (framing stays aligned, so the
+    // server can answer and keep the connection).
+    std::string payload;
+    switch (i % 4) {
+      case 0:  // garbage bytes (fails the magic check)
+        payload.resize(1 + rng.Uniform(128));
+        for (char& ch : payload) ch = static_cast<char>(rng.Uniform(256));
+        if (payload.size() >= 4) payload[0] = 'X';
+        break;
+      case 1: {  // valid header, truncated body
+        wire::TxnRequest req = RandomTxnRequest(rng);
+        payload = StripFraming(wire::EncodeTxnRequest(req));
+        payload.resize(8 + rng.Uniform(2));
+        break;
+      }
+      case 2: {  // future wire version
+        wire::TxnRequest req;
+        req.Put("k", "v");
+        payload = StripFraming(wire::EncodeTxnRequest(req));
+        payload[4] = 9;
+        break;
+      }
+      default: {  // trailing junk
+        wire::TxnRequest req;
+        req.Get("k");
+        payload = StripFraming(wire::EncodeTxnRequest(req)) + "zzz";
+        break;
+      }
+    }
+    std::string frame;
+    PutFixed32(&frame, static_cast<uint32_t>(payload.size()));
+    frame += payload;
+    ASSERT_TRUE(client.SendRaw(frame).ok()) << "i=" << i;
+    wire::Reply reply;
+    ASSERT_TRUE(client.ReadReply(&reply).ok()) << "i=" << i;
+    ASSERT_EQ(reply.type, FrameType::kErrorReply) << "i=" << i;
+    ASSERT_NE(reply.error, WireError::kNone);
+    malformed_sent++;
+
+    // Every so often, prove the connection still does real work.
+    if (i % 100 == 0) {
+      wire::TxnRequest put;
+      put.Put("fuzz-key", "fuzz-value-" + std::to_string(i));
+      wire::TxnReply txn_reply;
+      ASSERT_TRUE(client.ExecuteWithRetry(put, &txn_reply).ok());
+      ASSERT_TRUE(txn_reply.ok());
+    }
+  }
+  EXPECT_EQ(malformed_sent, 3000);
+  ServerStats stats = server_->server_stats();
+  EXPECT_GE(stats.frames_rejected, 3000u);
+  // The engine never saw the malformed frames as transactions.
+  EXPECT_EQ(stats.frames_decoded,
+            stats.txns_committed + stats.txns_failed + stats.info_requests);
+  client.Close();
+}
+
+TEST_F(WireFuzzServerTest, OversizedFrameAnsweredThenClosed) {
+  Client client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", port_).ok());
+  // A length prefix beyond the ceiling: the stream cannot be resynced.
+  std::string frame;
+  PutFixed32(&frame, wire::kMaxFrameBytes + 1);
+  frame += "doesn't matter";
+  ASSERT_TRUE(client.SendRaw(frame).ok());
+  wire::Reply reply;
+  ASSERT_TRUE(client.ReadReply(&reply).ok());
+  EXPECT_EQ(reply.type, FrameType::kErrorReply);
+  EXPECT_EQ(reply.error, WireError::kOversized);
+  // The server closed the connection after answering.
+  EXPECT_FALSE(client.ReadReply(&reply).ok());
+  client.Close();
+}
+
+TEST_F(WireFuzzServerTest, PipelinedFramesAnswerInOrder) {
+  Client client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", port_).ok());
+  // Ship 32 valid frames back to back in one burst; replies must come
+  // back complete and in order (one frame in flight per connection).
+  std::string burst;
+  for (int i = 0; i < 32; ++i) {
+    wire::TxnRequest req;
+    req.Put("pipeline-" + std::to_string(i), "v" + std::to_string(i));
+    burst += wire::EncodeTxnRequest(req);
+  }
+  ASSERT_TRUE(client.SendRaw(burst).ok());
+  for (int i = 0; i < 32; ++i) {
+    wire::Reply reply;
+    ASSERT_TRUE(client.ReadReply(&reply).ok()) << "i=" << i;
+    ASSERT_EQ(reply.type, FrameType::kTxnReply);
+    EXPECT_TRUE(reply.txn.ok()) << "i=" << i;
+  }
+  // And the data landed.
+  auto v = client.Get("pipeline-31");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, "v31");
+  client.Close();
+}
+
+}  // namespace
+}  // namespace spf
