@@ -52,7 +52,7 @@ StatusOr<FullBackupInfo> BackupManager::TakeFullBackup(Lsn backup_lsn) {
     SPF_RETURN_IF_ERROR(page_status);
     SPF_RETURN_IF_ERROR(backup_device_->WritePage(p, buf.data()));
   }
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(mu_);
   FullBackupInfo info{next_backup_id_++, backup_lsn, data_pages_};
   full_backup_ = info;
   stats_.full_backups++;
@@ -60,14 +60,14 @@ StatusOr<FullBackupInfo> BackupManager::TakeFullBackup(Lsn backup_lsn) {
 }
 
 std::optional<FullBackupInfo> BackupManager::latest_full_backup() const {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(mu_);
   return full_backup_;
 }
 
 Status BackupManager::ReadFromFullBackup(BackupId backup, PageId id,
                                          char* out) {
   {
-    std::lock_guard<std::mutex> g(mu_);
+    MutexLock g(mu_);
     if (!full_backup_ || full_backup_->id != backup) {
       return Status::NotFound("full backup not available");
     }
@@ -80,7 +80,7 @@ Status BackupManager::ReadFromFullBackup(BackupId backup, PageId id,
 StatusOr<uint64_t> BackupManager::RestoreFullBackup(BackupId backup,
                                                     SimDevice* target) {
   {
-    std::lock_guard<std::mutex> g(mu_);
+    MutexLock g(mu_);
     if (!full_backup_ || full_backup_->id != backup) {
       return Status::NotFound("full backup not available");
     }
@@ -96,7 +96,7 @@ StatusOr<uint64_t> BackupManager::RestoreFullBackup(BackupId backup,
 StatusOr<uint64_t> BackupManager::ReadPagesFromFullBackup(
     BackupId backup, const std::vector<PageId>& pages, char* const* frames) {
   {
-    std::lock_guard<std::mutex> g(mu_);
+    MutexLock g(mu_);
     if (!full_backup_ || full_backup_->id != backup) {
       return Status::NotFound("full backup not available");
     }
@@ -123,7 +123,7 @@ StatusOr<PageId> BackupManager::TakePageBackup(PageId id,
   PageId new_slot;
   PageId old_slot = kInvalidPageId;
   {
-    std::lock_guard<std::mutex> g(mu_);
+    MutexLock g(mu_);
     if (!free_slots_.empty()) {
       new_slot = free_slots_.back();
       free_slots_.pop_back();
@@ -142,11 +142,11 @@ StatusOr<PageId> BackupManager::TakePageBackup(PageId id,
   // both backup and recovery on a failed write).
   Status s = backup_device_->WritePage(new_slot, page_data);
   if (!s.ok()) {
-    std::lock_guard<std::mutex> g(mu_);
+    MutexLock g(mu_);
     free_slots_.push_back(new_slot);
     return s;
   }
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(mu_);
   current_slot_[id] = new_slot;
   if (old_slot != kInvalidPageId) {
     free_slots_.push_back(old_slot);
@@ -157,14 +157,14 @@ StatusOr<PageId> BackupManager::TakePageBackup(PageId id,
 }
 
 PageId BackupManager::CurrentPageBackupSlot(PageId id) const {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(mu_);
   auto it = current_slot_.find(id);
   return it == current_slot_.end() ? kInvalidPageId : it->second;
 }
 
 Status BackupManager::ReadPageBackup(PageId loc, char* out) {
   {
-    std::lock_guard<std::mutex> g(mu_);
+    MutexLock g(mu_);
     stats_.backup_reads++;
   }
   return backup_device_->ReadPage(loc, out);
@@ -179,7 +179,7 @@ StatusOr<Lsn> BackupManager::LogPageImage(PageId id, const char* page_data) {
   rec.page_id = id;
   rec.body.assign(page_data, page_size_);
   Lsn lsn = log_->Append(&rec);
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(mu_);
   stats_.in_log_images++;
   return lsn;
 }
@@ -197,14 +197,14 @@ Status BackupManager::ReadLogImage(Lsn lsn, PageId expected_id, char* out) {
   }
   std::memcpy(out, rec.body.data(), page_size_);
   {
-    std::lock_guard<std::mutex> g(mu_);
+    MutexLock g(mu_);
     stats_.backup_reads++;
   }
   return Status::OK();
 }
 
 BackupStats BackupManager::stats() const {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(mu_);
   return stats_;
 }
 

@@ -16,7 +16,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <optional>
 #include <unordered_map>
 #include <vector>
@@ -24,6 +23,7 @@
 #include "common/macros.h"
 #include "common/status.h"
 #include "common/statusor.h"
+#include "common/sync.h"
 #include "log/log_manager.h"
 #include "storage/page.h"
 #include "storage/sim_device.h"
@@ -168,14 +168,15 @@ class BackupManager {
   std::function<bool(PageId)> verifiable_;
   std::function<Status(PageId)> repair_;
 
-  mutable std::mutex mu_;
-  std::optional<FullBackupInfo> full_backup_;
-  BackupId next_backup_id_ = 1;
+  mutable OrderedMutex mu_{LockRank::kBackup};
+  std::optional<FullBackupInfo> full_backup_ SPF_GUARDED_BY(mu_);
+  BackupId next_backup_id_ SPF_GUARDED_BY(mu_) = 1;
   // Per-page copy slot management in the backup device's tail region.
-  std::vector<PageId> free_slots_;
-  PageId next_fresh_slot_;
-  std::unordered_map<PageId, PageId> current_slot_;  // data page -> slot
-  BackupStats stats_;
+  std::vector<PageId> free_slots_ SPF_GUARDED_BY(mu_);
+  PageId next_fresh_slot_ SPF_GUARDED_BY(mu_);
+  /// data page -> slot
+  std::unordered_map<PageId, PageId> current_slot_ SPF_GUARDED_BY(mu_);
+  BackupStats stats_ SPF_GUARDED_BY(mu_);
 };
 
 }  // namespace spf

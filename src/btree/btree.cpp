@@ -18,7 +18,7 @@ BTree::BTree(BTreeOptions options, BufferPool* pool, LogManager* log,
       meta_pid_(meta_pid) {}
 
 void BTree::BumpVerification(uint64_t n) {
-  std::lock_guard<std::mutex> g(stats_mu_);
+  MutexLock g(stats_mu_);
   stats_.traversal_verifications += n;
 }
 
@@ -96,7 +96,26 @@ Status BTree::Create() {
 StatusOr<BTree::DescentResult> BTree::DescendToLeaf(std::string_view key,
                                                     LatchMode mode) {
   DescentResult result;
-  SPF_ASSIGN_OR_RETURN(PageId cur, root_pid());
+  // The meta->root hop is latch-coupled like every other hop: the meta
+  // page stays shared-latched until the root itself is latched. An
+  // uncoupled root_pid() read raced GrowRoot here — the grow cuts the old
+  // root's foster edge under its exclusive latch, so a descent that read
+  // the stale root id landed on a node that no longer covers its key and
+  // reported phantom corruption. (Found by the TSan-widened timing of the
+  // lock-discipline work; BTreeTest.RootGrowthKeepsDescentsCovered is the
+  // regression.)
+  PageGuard meta_coupling;  // released once the root is latched
+  PageId cur;
+  {
+    SPF_ASSIGN_OR_RETURN(PageGuard mg,
+                         pool_->FixPage(meta_pid_, LatchMode::kShared));
+    MetaView meta(mg.view());
+    if (!meta.valid()) {
+      return Status::Corruption("meta page lost its magic");
+    }
+    cur = meta.meta().root_pid;
+    meta_coupling = std::move(mg);
+  }
   PageGuard parent_guard;           // latched parent (for verification)
   uint16_t parent_slot = 0;
   bool via_foster = false;          // current hop follows a foster edge
@@ -116,6 +135,7 @@ StatusOr<BTree::DescentResult> BTree::DescendToLeaf(std::string_view key,
     auto guard_or = pool_->FixPage(cur, fix_mode);
     if (!guard_or.ok()) return guard_or.status();
     PageGuard guard = std::move(guard_or).value();
+    meta_coupling.Release();  // the meta->root hop is complete
     BTreeNode node(guard.view());
 
     // Continuous verification (section 4.2): check this node's fences
@@ -126,7 +146,7 @@ StatusOr<BTree::DescentResult> BTree::DescendToLeaf(std::string_view key,
                             : node.VerifyAsChildOf(parent_node, parent_slot);
       BumpVerification();
       if (!v.ok()) {
-        std::lock_guard<std::mutex> g(stats_mu_);
+        MutexLock g(stats_mu_);
         stats_.verification_failures++;
         return Status::Corruption("traversal verification failed on page " +
                                   std::to_string(cur) + ": " +
@@ -141,7 +161,7 @@ StatusOr<BTree::DescentResult> BTree::DescendToLeaf(std::string_view key,
       KeyBound low = node.low_fence();
       KeyBound high = node.chain_high();
       if ((!low.infinite && !high.infinite && low.key >= high.key)) {
-        std::lock_guard<std::mutex> g(stats_mu_);
+        MutexLock g(stats_mu_);
         stats_.verification_failures++;
         return Status::Corruption("root fence ordering violated");
       }
@@ -159,7 +179,7 @@ StatusOr<BTree::DescentResult> BTree::DescendToLeaf(std::string_view key,
         result.adoption_ops.emplace_back(permanent_parent, cur);
       }
       {
-        std::lock_guard<std::mutex> g(stats_mu_);
+        MutexLock g(stats_mu_);
         stats_.foster_traversals++;
       }
       PageId foster = node.foster_child();
@@ -191,7 +211,17 @@ StatusOr<BTree::DescentResult> BTree::DescendToLeaf(std::string_view key,
           if (depth + 1 >= kMaxTreeDepth) {
             return Status::Busy("descent restarted too many times");
           }
-          SPF_ASSIGN_OR_RETURN(cur, root_pid());
+          // Re-couple the meta->root hop for the restart too.
+          {
+            SPF_ASSIGN_OR_RETURN(PageGuard mg,
+                                 pool_->FixPage(meta_pid_, LatchMode::kShared));
+            MetaView meta(mg.view());
+            if (!meta.valid()) {
+              return Status::Corruption("meta page lost its magic");
+            }
+            cur = meta.meta().root_pid;
+            meta_coupling = std::move(mg);
+          }
           parent_guard = PageGuard();
           via_foster = false;
           permanent_parent = kInvalidPageId;
@@ -290,7 +320,7 @@ Status BTree::SplitNode(PageGuard* guard) {
 
   SPF_RETURN_IF_ERROR(txns_->Commit(sys));
   {
-    std::lock_guard<std::mutex> g(stats_mu_);
+    MutexLock g(stats_mu_);
     stats_.splits++;
   }
   return Status::OK();
@@ -365,7 +395,7 @@ Status BTree::GrowRoot() {
 
   SPF_RETURN_IF_ERROR(txns_->Commit(sys));
   {
-    std::lock_guard<std::mutex> g(stats_mu_);
+    MutexLock g(stats_mu_);
     stats_.root_growths++;
   }
   return Status::OK();
@@ -429,7 +459,7 @@ Status BTree::TryAdopt(PageId parent_pid, PageId foster_parent_pid) {
 
   SPF_RETURN_IF_ERROR(txns_->Commit(sys));
   {
-    std::lock_guard<std::mutex> g(stats_mu_);
+    MutexLock g(stats_mu_);
     stats_.adoptions++;
   }
   return Status::OK();
@@ -471,7 +501,7 @@ size_t BTree::ReclaimGhostsInLeaf(PageGuard* guard) {
   size_t n = node.ReclaimGhosts(reclaimable);
   txns_->Commit(sys);
   {
-    std::lock_guard<std::mutex> g(stats_mu_);
+    MutexLock g(stats_mu_);
     stats_.ghost_reclaims += n;
   }
   return n;
@@ -484,7 +514,7 @@ Status BTree::Insert(Transaction* txn, std::string_view key,
   SPF_RETURN_IF_ERROR(ValidateKV(key, value));
   SPF_RETURN_IF_ERROR(LockKey(txn, key, LockMode::kExclusive));
   {
-    std::lock_guard<std::mutex> g(stats_mu_);
+    MutexLock g(stats_mu_);
     stats_.inserts++;
   }
   for (int attempt = 0; attempt < 40; ++attempt) {
@@ -554,7 +584,7 @@ Status BTree::Update(Transaction* txn, std::string_view key,
   SPF_RETURN_IF_ERROR(ValidateKV(key, value));
   SPF_RETURN_IF_ERROR(LockKey(txn, key, LockMode::kExclusive));
   {
-    std::lock_guard<std::mutex> g(stats_mu_);
+    MutexLock g(stats_mu_);
     stats_.updates++;
   }
   for (int attempt = 0; attempt < 40; ++attempt) {
@@ -596,7 +626,7 @@ Status BTree::Delete(Transaction* txn, std::string_view key) {
   SPF_RETURN_IF_ERROR(ValidateKV(key, ""));
   SPF_RETURN_IF_ERROR(LockKey(txn, key, LockMode::kExclusive));
   {
-    std::lock_guard<std::mutex> g(stats_mu_);
+    MutexLock g(stats_mu_);
     stats_.deletes++;
   }
   SPF_ASSIGN_OR_RETURN(DescentResult d, DescendToLeaf(key, LatchMode::kExclusive));
@@ -623,7 +653,7 @@ StatusOr<std::string> BTree::Get(Transaction* txn, std::string_view key) {
   SPF_RETURN_IF_ERROR(ValidateKV(key, ""));
   SPF_RETURN_IF_ERROR(LockKey(txn, key, LockMode::kShared));
   {
-    std::lock_guard<std::mutex> g(stats_mu_);
+    MutexLock g(stats_mu_);
     stats_.lookups++;
   }
   SPF_ASSIGN_OR_RETURN(DescentResult d, DescendToLeaf(key, LatchMode::kShared));
@@ -827,7 +857,7 @@ StatusOr<uint32_t> BTree::Height() {
 }
 
 BTreeStats BTree::stats() const {
-  std::lock_guard<std::mutex> g(stats_mu_);
+  MutexLock g(stats_mu_);
   return stats_;
 }
 

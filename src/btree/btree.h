@@ -23,11 +23,12 @@
 #include <string_view>
 #include <vector>
 
-#include "buffer/buffer_pool.h"
 #include "btree/btree_log.h"
 #include "btree/node_layout.h"
+#include "buffer/buffer_pool.h"
 #include "common/status.h"
 #include "common/statusor.h"
+#include "common/sync.h"
 #include "storage/allocation.h"
 #include "storage/db_meta.h"
 #include "txn/txn_manager.h"
@@ -174,8 +175,8 @@ class BTree {
   PageAllocator* alloc_;
   const PageId meta_pid_;
 
-  mutable std::mutex stats_mu_;
-  BTreeStats stats_;
+  mutable OrderedMutex stats_mu_{LockRank::kStats};
+  BTreeStats stats_ SPF_GUARDED_BY(stats_mu_);
 };
 
 }  // namespace spf

@@ -138,7 +138,7 @@ Status BufferPool::LoadPage(PageId id, Frame* f) {
 }
 
 StatusOr<size_t> BufferPool::FindVictim(
-    std::unique_lock<std::mutex>* victim_lock) {
+    UniqueLock* victim_lock) {
   // Clock sweep; at most two full rounds (first clears reference bits).
   for (size_t step = 0; step < 2 * frames_.size() + 1; ++step) {
     Frame* f = frames_[clock_hand_].get();
@@ -156,13 +156,13 @@ StatusOr<size_t> BufferPool::FindVictim(
         // victim_mu_ for the blocking latch + I/O: the latch holder may
         // itself be faulting another page and need the victim chooser.
         f->pin_count.fetch_add(1, std::memory_order_relaxed);
-        victim_lock->unlock();
+        victim_lock->Unlock();
         Status s;
         {
-          std::unique_lock<std::shared_mutex> latch(f->latch);
+          WriterLock latch(f->latch);
           s = WriteBack(f);
         }
-        victim_lock->lock();
+        victim_lock->Lock();
         f->pin_count.fetch_sub(1, std::memory_order_relaxed);
         if (!s.ok()) return s;
         if (f->pin_count.load(std::memory_order_relaxed) > 0 ||
@@ -176,7 +176,7 @@ StatusOr<size_t> BufferPool::FindVictim(
       Shard& sh = ShardFor(f->page_id);
       bool raced;
       {
-        std::lock_guard<std::mutex> g(sh.mu);
+        MutexLock g(sh.mu);
         raced = f->pin_count.load(std::memory_order_relaxed) > 0 ||
                 f->dirty.load(std::memory_order_acquire);
         if (!raced) {
@@ -186,6 +186,12 @@ StatusOr<size_t> BufferPool::FindVictim(
       }
       if (raced) continue;
       f->page_id = kInvalidPageId;
+      // The frame is now unmapped with pin_count 0, and every latch
+      // holder also holds a pin, so the latch is free and unreachable:
+      // retire its sync-object identity so the next page hosted here
+      // starts with a clean TSan vector clock instead of inheriting
+      // happens-before state from the previous page's incarnation.
+      f->latch.ResetIdentityForRecycle();
     }
     f->dirty.store(false, std::memory_order_relaxed);
     f->rec_lsn.store(kInvalidLsn, std::memory_order_relaxed);
@@ -241,7 +247,7 @@ Status BufferPool::WriteBack(Frame* f) {
 
 BufferPool::Frame* BufferPool::TryPin(PageId id, size_t* index) {
   Shard& sh = ShardFor(id);
-  std::lock_guard<std::mutex> g(sh.mu);
+  MutexLock g(sh.mu);
   auto it = sh.map.find(id);
   if (it == sh.map.end()) return nullptr;
   Frame* f = frames_[it->second].get();
@@ -268,9 +274,9 @@ StatusOr<PageGuard> BufferPool::FinishHit(Frame* f, size_t index, PageId id,
     }
   }
   if (mode == LatchMode::kShared) {
-    f->latch.lock_shared();
+    f->latch.LockShared();
   } else {
-    f->latch.lock();
+    f->latch.Lock();
   }
   return PageGuard(this, index, id, mode);
 }
@@ -282,11 +288,11 @@ StatusOr<PageGuard> BufferPool::FixPage(PageId id, LatchMode mode) {
     return FinishHit(f, index, id, mode);
   }
 
-  std::unique_lock<std::mutex> victim_lock(victim_mu_);
+  UniqueLock victim_lock(victim_mu_);
   // Another fault may have loaded the page while we queued for the
   // victim chooser — re-check before consuming a victim frame.
   if (Frame* f = TryPin(id, &index)) {
-    victim_lock.unlock();
+    victim_lock.Unlock();
     return FinishHit(f, index, id, mode);
   }
   stats_.misses.fetch_add(1, std::memory_order_relaxed);
@@ -301,29 +307,29 @@ StatusOr<PageGuard> BufferPool::FixPage(PageId id, LatchMode mode) {
   // while taking mutexes).
   {
     Shard& sh = ShardFor(id);
-    std::lock_guard<std::mutex> g(sh.mu);
+    MutexLock g(sh.mu);
     f->page_id = id;
     f->pin_count.fetch_add(1, std::memory_order_relaxed);
     f->referenced.store(true, std::memory_order_relaxed);
     sh.map[id] = index;
-    SPF_CHECK(f->latch.try_lock()) << "victim frame latched without a pin";
+    SPF_CHECK(f->latch.TryLock()) << "victim frame latched without a pin";
   }
-  victim_lock.unlock();
+  victim_lock.Unlock();
 
   Status s = LoadPage(id, f);
   if (!s.ok()) {
-    f->latch.unlock();
-    std::lock_guard<std::mutex> vg(victim_mu_);
+    f->latch.Unlock();
+    MutexLock vg(victim_mu_);
     Shard& sh = ShardFor(id);
-    std::lock_guard<std::mutex> g(sh.mu);
+    MutexLock g(sh.mu);
     sh.map.erase(id);
     f->page_id = kInvalidPageId;
     f->pin_count.fetch_sub(1, std::memory_order_relaxed);
     return s;
   }
   if (mode == LatchMode::kShared) {
-    f->latch.unlock();
-    f->latch.lock_shared();
+    f->latch.Unlock();
+    f->latch.LockShared();
   }
   return PageGuard(this, index, id, mode);
 }
@@ -336,12 +342,12 @@ StatusOr<PageGuard> BufferPool::FixNewPage(PageId id) {
     SPF_RETURN_IF_ERROR(admission_->AwaitRestored(id));
   }
   stats_.fixes.fetch_add(1, std::memory_order_relaxed);
-  std::unique_lock<std::mutex> victim_lock(victim_mu_);
+  UniqueLock victim_lock(victim_mu_);
   SPF_ASSIGN_OR_RETURN(size_t index, FindVictim(&victim_lock));
   Frame* f = frames_[index].get();
   {
     Shard& sh = ShardFor(id);
-    std::lock_guard<std::mutex> g(sh.mu);
+    MutexLock g(sh.mu);
     SPF_CHECK(sh.map.find(id) == sh.map.end())
         << "FixNewPage of already-cached page " << id;
     f->page_id = id;
@@ -349,7 +355,7 @@ StatusOr<PageGuard> BufferPool::FixNewPage(PageId id) {
     f->referenced.store(true, std::memory_order_relaxed);
     sh.map[id] = index;
     // Free for the same reason as in FixPage: no pin, no latch holder.
-    SPF_CHECK(f->latch.try_lock()) << "victim frame latched without a pin";
+    SPF_CHECK(f->latch.TryLock()) << "victim frame latched without a pin";
   }
   std::memset(f->data.get(), 0, options_.page_size);
   return PageGuard(this, index, id, LatchMode::kExclusive);
@@ -359,7 +365,7 @@ Status BufferPool::FlushPage(PageId id) {
   Frame* f;
   {
     Shard& sh = ShardFor(id);
-    std::lock_guard<std::mutex> g(sh.mu);
+    MutexLock g(sh.mu);
     auto it = sh.map.find(id);
     if (it == sh.map.end()) return Status::OK();
     f = frames_[it->second].get();
@@ -368,7 +374,7 @@ Status BufferPool::FlushPage(PageId id) {
   }
   Status s;
   {
-    std::unique_lock<std::shared_mutex> latch(f->latch);
+    WriterLock latch(f->latch);
     s = WriteBack(f);
   }
   f->pin_count.fetch_sub(1, std::memory_order_relaxed);
@@ -378,7 +384,7 @@ Status BufferPool::FlushPage(PageId id) {
 Status BufferPool::FlushAll() {
   std::vector<PageId> dirty;
   {
-    std::lock_guard<std::mutex> g(victim_mu_);
+    MutexLock g(victim_mu_);
     for (auto& f : frames_) {
       if (f->page_id != kInvalidPageId &&
           f->dirty.load(std::memory_order_acquire)) {
@@ -394,9 +400,9 @@ Status BufferPool::FlushAll() {
 
 Status BufferPool::EvictPage(PageId id) {
   SPF_RETURN_IF_ERROR(FlushPage(id));
-  std::lock_guard<std::mutex> vg(victim_mu_);
+  MutexLock vg(victim_mu_);
   Shard& sh = ShardFor(id);
-  std::lock_guard<std::mutex> g(sh.mu);
+  MutexLock g(sh.mu);
   auto it = sh.map.find(id);
   if (it == sh.map.end()) return Status::OK();
   Frame* f = frames_[it->second].get();
@@ -418,12 +424,12 @@ void BufferPool::DiscardAll() {
 }
 
 size_t BufferPool::DiscardAllUnpinned() {
-  std::lock_guard<std::mutex> vg(victim_mu_);
+  MutexLock vg(victim_mu_);
   size_t kept = 0;
   for (auto& f : frames_) {
     if (f->page_id == kInvalidPageId) continue;
     Shard& sh = ShardFor(f->page_id);
-    std::lock_guard<std::mutex> g(sh.mu);
+    MutexLock g(sh.mu);
     if (f->pin_count.load(std::memory_order_relaxed) > 0) {
       kept++;
       continue;
@@ -438,9 +444,9 @@ size_t BufferPool::DiscardAllUnpinned() {
 }
 
 bool BufferPool::DiscardPage(PageId id) {
-  std::lock_guard<std::mutex> vg(victim_mu_);
+  MutexLock vg(victim_mu_);
   Shard& sh = ShardFor(id);
-  std::lock_guard<std::mutex> g(sh.mu);
+  MutexLock g(sh.mu);
   auto it = sh.map.find(id);
   if (it == sh.map.end()) return true;
   Frame* f = frames_[it->second].get();
@@ -455,7 +461,7 @@ bool BufferPool::DiscardPage(PageId id) {
 }
 
 std::vector<DirtyPageEntry> BufferPool::DirtyPages() const {
-  std::lock_guard<std::mutex> g(victim_mu_);
+  MutexLock g(victim_mu_);
   std::vector<DirtyPageEntry> out;
   for (const auto& f : frames_) {
     if (f->page_id == kInvalidPageId) continue;
@@ -472,12 +478,12 @@ std::vector<DirtyPageEntry> BufferPool::DirtyPages() const {
 
 bool BufferPool::IsCached(PageId id) const {
   Shard& sh = ShardFor(id);
-  std::lock_guard<std::mutex> g(sh.mu);
+  MutexLock g(sh.mu);
   return sh.map.count(id) > 0;
 }
 
 size_t BufferPool::PinnedFrames() const {
-  std::lock_guard<std::mutex> g(victim_mu_);
+  MutexLock g(victim_mu_);
   size_t pinned = 0;
   for (const auto& f : frames_) {
     if (f->page_id != kInvalidPageId &&
@@ -490,7 +496,7 @@ size_t BufferPool::PinnedFrames() const {
 
 bool BufferPool::IsDirty(PageId id) const {
   Shard& sh = ShardFor(id);
-  std::lock_guard<std::mutex> g(sh.mu);
+  MutexLock g(sh.mu);
   auto it = sh.map.find(id);
   return it != sh.map.end() &&
          frames_[it->second]->dirty.load(std::memory_order_acquire);
@@ -498,15 +504,15 @@ bool BufferPool::IsDirty(PageId id) const {
 
 std::optional<Lsn> BufferPool::CachedPageLsn(PageId id) const {
   Shard& sh = ShardFor(id);
-  std::lock_guard<std::mutex> g(sh.mu);
+  MutexLock g(sh.mu);
   auto it = sh.map.find(id);
   if (it == sh.map.end()) return std::nullopt;
   Frame* f = frames_[it->second].get();
   // try_lock only: never block a scrub scan on a latch, and never invert
   // the latch-before-mutex order of the fix path (try never waits).
-  if (!f->latch.try_lock_shared()) return kInvalidLsn;  // in flux
+  if (!f->latch.TryLockShared()) return kInvalidLsn;  // in flux
   Lsn lsn = PageView(f->data.get(), options_.page_size).page_lsn();
-  f->latch.unlock_shared();
+  f->latch.UnlockShared();
   return lsn;
 }
 
@@ -539,9 +545,9 @@ void BufferPool::ResetStats() {
 void BufferPool::Unfix(size_t frame_index, LatchMode mode) {
   Frame* f = frames_[frame_index].get();
   if (mode == LatchMode::kShared) {
-    f->latch.unlock_shared();
+    f->latch.UnlockShared();
   } else {
-    f->latch.unlock();
+    f->latch.Unlock();
   }
   uint32_t prev = f->pin_count.fetch_sub(1, std::memory_order_relaxed);
   SPF_CHECK_GT(prev, 0u);

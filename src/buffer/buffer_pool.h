@@ -32,15 +32,14 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <optional>
-#include <shared_mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "common/macros.h"
 #include "common/status.h"
 #include "common/statusor.h"
+#include "common/sync.h"
 #include "log/log_manager.h"
 #include "storage/page.h"
 #include "storage/restore_admission.h"
@@ -259,13 +258,13 @@ class BufferPool {
     std::atomic<bool> referenced{false};  // clock bit
     std::atomic<uint32_t> pin_count{0};
     std::atomic<Lsn> rec_lsn{kInvalidLsn};
-    std::shared_mutex latch;
+    OrderedSharedMutex latch{LockRank::kFrameLatch};
   };
 
   /// One slice of the id→frame mapping.
   struct Shard {
-    mutable std::mutex mu;
-    std::unordered_map<PageId, size_t> map;
+    mutable OrderedMutex mu{LockRank::kBufferShard};
+    std::unordered_map<PageId, size_t> map SPF_GUARDED_BY(mu);
   };
 
   Shard& ShardFor(PageId id) const { return shards_[id % shards_.size()]; }
@@ -288,7 +287,7 @@ class BufferPool {
   /// victim_mu_ held on entry and exit but released around write-back
   /// I/O (an evictor blocking on a latch while holding victim_mu_ could
   /// deadlock against a latch holder faulting another page).
-  StatusOr<size_t> FindVictim(std::unique_lock<std::mutex>* victim_lock);
+  StatusOr<size_t> FindVictim(UniqueLock* victim_lock);
 
   /// Write-back of frame `f` (caller holds the exclusive latch):
   /// checksum, WAL force, device write, completion listener, mark clean.
@@ -310,8 +309,8 @@ class BufferPool {
   /// Serializes victim choice, page_id reassignment, and whole-pool
   /// sweeps (DirtyPages, DiscardAll*, PinnedFrames). Never held across
   /// device I/O; acquired BEFORE any shard mutex, never after.
-  mutable std::mutex victim_mu_;
-  size_t clock_hand_ = 0;  // under victim_mu_
+  mutable OrderedMutex victim_mu_{LockRank::kBufferVictim};
+  size_t clock_hand_ SPF_GUARDED_BY(victim_mu_) = 0;
 
   struct AtomicStats {
     std::atomic<uint64_t> fixes{0};

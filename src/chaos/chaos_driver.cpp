@@ -52,7 +52,7 @@ ChaosDriver::ChaosDriver(ChaosSchedule schedule)
     : sched_(std::move(schedule)) {}
 
 void ChaosDriver::AddViolation(std::string what) {
-  std::lock_guard<std::mutex> g(violations_mu_);
+  MutexLock g(violations_mu_);
   if (verbose_) std::fprintf(stderr, "[chaos] VIOLATION: %s\n", what.c_str());
   if (violations_.size() < 200) violations_.push_back(std::move(what));
 }
@@ -200,11 +200,11 @@ void ChaosDriver::ProbeLockLeak(const Plan& plan) {
 
 void ChaosDriver::MaybePark(uint32_t writer) {
   (void)writer;
-  std::unique_lock<std::mutex> g(mu_);
+  UniqueLock g(mu_);
   while (pause_) {
     parked_++;
     cv_.notify_all();
-    cv_.wait(g, [&] { return !pause_; });
+    while (pause_) cv_.wait(g);
     parked_--;
   }
 }
@@ -220,7 +220,7 @@ void ChaosDriver::WriterBody(uint32_t writer) {
       MaybePark(writer);
       if (abort_.load()) break;
       if (plan.contended) {
-        std::lock_guard<std::mutex> g(hot_mu_);
+        MutexLock g(hot_mu_);
         acked = AttemptPlan(plan, &hot_shadow_);
       } else {
         acked = AttemptPlan(plan, &shadow);
@@ -239,7 +239,7 @@ void ChaosDriver::WriterBody(uint32_t writer) {
     }
     acked_total_.fetch_add(1);
   }
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(mu_);
   finished_++;
   cv_.notify_all();
 }
@@ -247,19 +247,19 @@ void ChaosDriver::WriterBody(uint32_t writer) {
 // --- driver side -------------------------------------------------------------
 
 void ChaosDriver::RequestPause() {
-  std::unique_lock<std::mutex> g(mu_);
+  UniqueLock g(mu_);
   pause_ = true;
-  cv_.wait(g, [&] { return parked_ + finished_ >= sched_.writers; });
+  while (parked_ + finished_ < sched_.writers) cv_.wait(g);
 }
 
 void ChaosDriver::ReleasePause() {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(mu_);
   pause_ = false;
   cv_.notify_all();
 }
 
 bool ChaosDriver::AllWritersDone() {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(mu_);
   return finished_ >= sched_.writers;
 }
 
@@ -654,7 +654,7 @@ ChaosReport ChaosDriver::Run(bool verbose) {
   report.events_fired = events_fired_;
   report.final_stats = db_->Stats();
   {
-    std::lock_guard<std::mutex> g(violations_mu_);
+    MutexLock g(violations_mu_);
     report.violations = violations_;
   }
   return report;

@@ -24,10 +24,8 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -35,6 +33,7 @@
 #include "chaos/chaos_schedule.h"
 #include "chaos/invariants.h"
 #include "chaos/shadow_model.h"
+#include "common/sync.h"
 #include "db/database.h"
 
 namespace spf {
@@ -111,24 +110,24 @@ class ChaosDriver {
   std::unique_ptr<Database> db_;
 
   // Writer control: pause barrier + progress counters.
-  std::mutex mu_;
-  std::condition_variable cv_;
-  bool pause_ = false;
+  OrderedMutex mu_{LockRank::kHarness};
+  CondVar cv_;
+  bool pause_ SPF_GUARDED_BY(mu_) = false;
   std::atomic<bool> abort_{false};  ///< harness-fatal: writers bail out
-  uint32_t parked_ = 0;
-  uint32_t finished_ = 0;
+  uint32_t parked_ SPF_GUARDED_BY(mu_) = 0;
+  uint32_t finished_ SPF_GUARDED_BY(mu_) = 0;
   std::atomic<uint64_t> acked_total_{0};
 
   // Shadows. Writer w owns writer_shadows_[w] exclusively while running;
   // the driver reads them only at pause barriers. Hot keys are guarded by
   // hot_mu_ held across each contended attempt AND its shadow update.
   std::vector<ShadowMap> writer_shadows_;
-  std::mutex hot_mu_;
-  ShadowMap hot_shadow_;
+  OrderedMutex hot_mu_{LockRank::kHarness};
+  ShadowMap hot_shadow_ SPF_GUARDED_BY(hot_mu_);
   ShadowMap seed_shadow_;
 
-  std::mutex violations_mu_;
-  std::vector<std::string> violations_;
+  OrderedMutex violations_mu_{LockRank::kStats};
+  std::vector<std::string> violations_ SPF_GUARDED_BY(violations_mu_);
 
   SnapshotMonotonicity monotonicity_;
   std::vector<PageId> worn_pages_;

@@ -18,6 +18,7 @@
 
 #include "btree/btree_log.h"
 #include "common/sim_clock.h"
+#include "common/sync.h"
 #include "log/log_manager.h"
 #include "storage/sim_device.h"
 
@@ -53,7 +54,7 @@ class MirrorBaseline {
   Status RepairFrom(PageId id, char* out);
 
   MirrorStats stats() const {
-    std::lock_guard<std::mutex> g(mu_);
+    MutexLock g(mu_);
     return stats_;
   }
 
@@ -62,9 +63,12 @@ class MirrorBaseline {
   SimDevice* const mirror_;
   SimClock* const clock_;
 
-  mutable std::mutex mu_;
-  Lsn applied_upto_ = kInvalidLsn;
-  MirrorStats stats_;
+  // Held across mirror-device reads/writes during catch-up, so it must
+  // order BELOW kDevice — the rank checker caught the original kStats
+  // (leaf) ranking as an inversion the first time CatchUp() ran.
+  mutable OrderedMutex mu_{LockRank::kMirror};
+  Lsn applied_upto_ SPF_GUARDED_BY(mu_) = kInvalidLsn;
+  MirrorStats stats_ SPF_GUARDED_BY(mu_);
 };
 
 }  // namespace spf

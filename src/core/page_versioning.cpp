@@ -45,7 +45,7 @@ Status PageVersioning::RollBackTo(PageView page, Lsn as_of_lsn) {
   while (page.page_lsn() != kInvalidLsn && page.page_lsn() > as_of_lsn) {
     auto rec_or = log_->Read(page.page_lsn());
     {
-      std::lock_guard<std::mutex> g(mu_);
+      MutexLock g(mu_);
       stats_.log_reads++;
     }
     if (!rec_or.ok()) return rec_or.status();
@@ -57,7 +57,7 @@ Status PageVersioning::RollBackTo(PageView page, Lsn as_of_lsn) {
     page.set_page_lsn(rec.page_prev_lsn);
     rolled++;
   }
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(mu_);
   stats_.versions_built++;
   stats_.records_rolled_back += rolled;
   return Status::OK();

@@ -15,6 +15,7 @@
 
 #pragma once
 
+#include "common/sync.h"
 #include "log/log_manager.h"
 #include "storage/page.h"
 
@@ -38,7 +39,7 @@ class PageVersioning {
   Status RollBackTo(PageView page, Lsn as_of_lsn);
 
   PageVersionStats stats() const {
-    std::lock_guard<std::mutex> g(mu_);
+    MutexLock g(mu_);
     return stats_;
   }
 
@@ -48,8 +49,8 @@ class PageVersioning {
   Status UndoOnPage(const LogRecord& rec, PageView page);
 
   LogManager* const log_;
-  mutable std::mutex mu_;
-  PageVersionStats stats_;
+  mutable OrderedMutex mu_{LockRank::kStats};
+  PageVersionStats stats_ SPF_GUARDED_BY(mu_);
 };
 
 }  // namespace spf

@@ -20,7 +20,7 @@ const PageRecoveryIndex::RangeEntry* PageRecoveryIndex::FindLocked(
 }
 
 StatusOr<PriEntry> PageRecoveryIndex::Lookup(PageId id) const {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(mu_);
   stats_.lookups++;
   if (id >= num_pages_) return Status::InvalidArgument("page out of range");
   const Window& w = windows_[WindowOf(id)];
@@ -34,7 +34,7 @@ StatusOr<PriEntry> PageRecoveryIndex::Lookup(PageId id) const {
 }
 
 StatusOr<PriEntry> PageRecoveryIndex::LookupAnchor(PageId id) const {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(mu_);
   stats_.lookups++;
   if (id >= num_pages_) return Status::InvalidArgument("page out of range");
   const Window& w = windows_[WindowOf(id)];
@@ -101,7 +101,7 @@ void PageRecoveryIndex::CoalesceLocked(Window& w, PageId id) {
 }
 
 void PageRecoveryIndex::RecordWrite(PageId id, Lsn page_lsn) {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(mu_);
   SPF_CHECK_LT(id, num_pages_);
   const Window& w = windows_[WindowOf(id)];
   const RangeEntry* r = FindLocked(w, id);
@@ -112,7 +112,7 @@ void PageRecoveryIndex::RecordWrite(PageId id, Lsn page_lsn) {
 }
 
 BackupRef PageRecoveryIndex::RecordBackup(PageId id, BackupRef backup) {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(mu_);
   SPF_CHECK_LT(id, num_pages_);
   const Window& w = windows_[WindowOf(id)];
   const RangeEntry* r = FindLocked(w, id);
@@ -126,7 +126,7 @@ BackupRef PageRecoveryIndex::RecordBackup(PageId id, BackupRef backup) {
 }
 
 void PageRecoveryIndex::RecordFullBackup(uint64_t backup_id) {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(mu_);
   PriEntry e;
   e.backup = {BackupKind::kFullBackup, backup_id};
   e.last_lsn = kInvalidLsn;
@@ -142,13 +142,13 @@ void PageRecoveryIndex::RecordFullBackup(uint64_t backup_id) {
 }
 
 void PageRecoveryIndex::Apply(PageId id, const PriEntry& entry) {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(mu_);
   SPF_CHECK_LT(id, num_pages_);
   SetPointLocked(id, entry);
 }
 
 std::string PageRecoveryIndex::SerializeWindow(uint64_t window) const {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(mu_);
   SPF_CHECK_LT(window, num_windows_);
   const Window& w = windows_[window];
   std::string out;
@@ -165,7 +165,7 @@ std::string PageRecoveryIndex::SerializeWindow(uint64_t window) const {
 
 Status PageRecoveryIndex::DeserializeWindow(uint64_t window,
                                             std::string_view data) {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(mu_);
   SPF_CHECK_LT(window, num_windows_);
   size_t off = 0;
   uint32_t n;
@@ -198,7 +198,7 @@ Status PageRecoveryIndex::DeserializeWindow(uint64_t window,
 }
 
 std::vector<uint64_t> PageRecoveryIndex::DirtyWindows() const {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(mu_);
   std::vector<uint64_t> out;
   for (uint64_t i = 0; i < num_windows_; ++i) {
     if (windows_[i].dirty) out.push_back(i);
@@ -207,13 +207,13 @@ std::vector<uint64_t> PageRecoveryIndex::DirtyWindows() const {
 }
 
 void PageRecoveryIndex::ClearDirtyWindow(uint64_t window) {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(mu_);
   SPF_CHECK_LT(window, num_windows_);
   windows_[window].dirty = false;
 }
 
 uint64_t PageRecoveryIndex::entry_count() const {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(mu_);
   uint64_t n = 0;
   for (const auto& w : windows_) n += w.ranges.size();
   return n;
@@ -224,7 +224,7 @@ uint64_t PageRecoveryIndex::approx_bytes() const {
 }
 
 PriStats PageRecoveryIndex::stats() const {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(mu_);
   return stats_;
 }
 

@@ -29,13 +29,13 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/macros.h"
 #include "common/status.h"
 #include "common/statusor.h"
+#include "common/sync.h"
 #include "storage/page.h"
 
 namespace spf {
@@ -171,16 +171,17 @@ class PageRecoveryIndex {
   };
 
   /// Sets entry for exactly [id, id+1), splitting ranges as needed.
-  void SetPointLocked(PageId id, const PriEntry& entry);
+  void SetPointLocked(PageId id, const PriEntry& entry) SPF_REQUIRES(mu_);
   /// Merges adjacent ranges with identical entries around `id`.
-  void CoalesceLocked(Window& w, PageId id);
-  const RangeEntry* FindLocked(const Window& w, PageId id) const;
+  void CoalesceLocked(Window& w, PageId id) SPF_REQUIRES(mu_);
+  const RangeEntry* FindLocked(const Window& w, PageId id) const
+      SPF_REQUIRES(mu_);
 
   const uint64_t num_pages_;
   const uint64_t num_windows_;
-  mutable std::mutex mu_;
-  std::vector<Window> windows_;
-  mutable PriStats stats_;
+  mutable OrderedMutex mu_{LockRank::kPriIndex};
+  std::vector<Window> windows_ SPF_GUARDED_BY(mu_);
+  mutable PriStats stats_ SPF_GUARDED_BY(mu_);
 };
 
 // --- PriUpdate record body (section 5.2.4) -------------------------------------

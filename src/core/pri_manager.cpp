@@ -80,7 +80,7 @@ void PriManager::LogAndApplyPriUpdate(PageId data_page_id, Lsn page_lsn,
   body.backup = backup;
   rec.body = EncodePriUpdate(body);
   {
-    std::lock_guard<std::mutex> g(mu_);
+    MutexLock g(mu_);
     rec.page_prev_lsn = pri_page_lsns_[window];  // PRI page's own chain
     Lsn lsn = log_->Append(&rec);
     pri_page_lsns_[window] = lsn;
@@ -113,7 +113,7 @@ bool PriManager::OnPageWritten(PageId id, Lsn page_lsn, uint32_t update_count,
       PutFixed64(&body, page_lsn);
       rec.body = body;
       log_->Append(&rec);
-      std::lock_guard<std::mutex> g(mu_);
+      MutexLock g(mu_);
       stats_.completed_write_records++;
       return false;
     }
@@ -144,7 +144,7 @@ bool PriManager::OnPageWritten(PageId id, Lsn page_lsn, uint32_t update_count,
     }
     if (take_backup) {
       LogAndApplyPriUpdate(id, page_lsn, /*has_backup=*/true, ref);
-      std::lock_guard<std::mutex> g(mu_);
+      MutexLock g(mu_);
       stats_.page_backups_triggered++;
       return true;
     }
@@ -158,7 +158,7 @@ Status PriManager::ForcePageBackup(PageId id, const char* page_data,
   SPF_ASSIGN_OR_RETURN(PageId slot, backups_->TakePageBackup(id, page_data));
   LogAndApplyPriUpdate(id, page_lsn, /*has_backup=*/true,
                        {BackupKind::kBackupPage, slot});
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(mu_);
   stats_.page_backups_triggered++;
   return Status::OK();
 }
@@ -174,7 +174,7 @@ void PriManager::BuildPriPageImage(uint64_t window, char* out) {
   PageView page(out, page_size_);
   page.Format(pid, PageType::kPri);
   {
-    std::lock_guard<std::mutex> g(mu_);
+    MutexLock g(mu_);
     page.set_page_lsn(pri_page_lsns_[window]);
   }
   std::string payload = pri_->SerializeWindow(window);
@@ -196,14 +196,14 @@ Status PriManager::WriteDirtyWindows() {
     // before the page overwrites its previous version.
     Lsn head;
     {
-      std::lock_guard<std::mutex> g(mu_);
+      MutexLock g(mu_);
       head = pri_page_lsns_[w];
     }
     if (head != kInvalidLsn) log_->Force(head);
     SPF_RETURN_IF_ERROR(data_device_->WritePage(pid, buf.data()));
     pri_->ClearDirtyWindow(w);
     {
-      std::lock_guard<std::mutex> g(mu_);
+      MutexLock g(mu_);
       stats_.pri_pages_written++;
     }
     // Backup for the PRI page itself: an in-log image, referenced by the
@@ -253,7 +253,7 @@ Status PriManager::LoadAllWindows() {
       failed.push_back(w);
       continue;
     }
-    std::lock_guard<std::mutex> g(mu_);
+    MutexLock g(mu_);
     pri_page_lsns_[w] = page.page_lsn();
   }
   // Recover failed PRI pages from the other partition now that intact
@@ -316,7 +316,7 @@ Status PriManager::RecoverPriWindow(uint64_t window) {
     head = rec.lsn;
   }
   {
-    std::lock_guard<std::mutex> g(mu_);
+    MutexLock g(mu_);
     pri_page_lsns_[window] = head;
     stats_.pri_pages_recovered++;
   }
@@ -332,18 +332,18 @@ Status PriManager::ApplyPriUpdateRecord(const LogRecord& rec) {
     pri_->RecordWrite(body.data_page_id, body.page_lsn);
   }
   uint64_t window = layout_.WindowOfPriPage(rec.page_id);
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(mu_);
   if (rec.lsn > pri_page_lsns_[window]) pri_page_lsns_[window] = rec.lsn;
   return Status::OK();
 }
 
 PriManagerStats PriManager::stats() const {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(mu_);
   return stats_;
 }
 
 Lsn PriManager::pri_page_lsn(uint64_t window) const {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(mu_);
   return pri_page_lsns_[window];
 }
 

@@ -19,11 +19,11 @@
 #pragma once
 
 #include <cstdint>
-#include <mutex>
 #include <vector>
 
 #include "backup/backup_manager.h"
 #include "buffer/buffer_pool.h"
+#include "common/sync.h"
 #include "core/pri.h"
 #include "log/log_manager.h"
 #include "storage/sim_device.h"
@@ -158,9 +158,13 @@ class PriManager : public WriteCompletionListener {
   SimDevice* const data_device_;
   const uint32_t page_size_;
 
-  mutable std::mutex mu_;
-  std::vector<Lsn> pri_page_lsns_;  // per-window chain heads
-  PriManagerStats stats_;
+  mutable OrderedMutex mu_{LockRank::kPri};
+  /// Per-window chain heads. mu_ is held ACROSS the log append that
+  /// extends a chain (rank kPri < kLogState makes that legal): the chain
+  /// head must advance atomically with the append or two concurrent
+  /// PriUpdate writers would fork the window's chain.
+  std::vector<Lsn> pri_page_lsns_ SPF_GUARDED_BY(mu_);
+  PriManagerStats stats_ SPF_GUARDED_BY(mu_);
 };
 
 }  // namespace spf

@@ -17,9 +17,9 @@ RecoveryCoordinator::RecoveryCoordinator(RecoveryLadder ladder,
 RecoveryCoordinator::~RecoveryCoordinator() { Stop(); }
 
 void RecoveryCoordinator::Start() {
-  std::lock_guard<std::mutex> lifecycle(lifecycle_mu_);
+  MutexLock lifecycle(lifecycle_mu_);
   {
-    std::lock_guard<std::mutex> g(mu_);
+    MutexLock g(mu_);
     if (running_) return;
     stop_ = false;
     paused_ = false;  // a Pause from a previous run must not stall this one
@@ -33,9 +33,9 @@ void RecoveryCoordinator::Start() {
 }
 
 void RecoveryCoordinator::Stop() {
-  std::lock_guard<std::mutex> lifecycle(lifecycle_mu_);
+  MutexLock lifecycle(lifecycle_mu_);
   {
-    std::lock_guard<std::mutex> g(mu_);
+    MutexLock g(mu_);
     if (!running_) return;
     stop_ = true;
   }
@@ -45,7 +45,7 @@ void RecoveryCoordinator::Stop() {
   {
     // Fail whatever was still pending so no waiter hangs; in-flight
     // batches completed before the joins above.
-    std::lock_guard<std::mutex> g(mu_);
+    MutexLock g(mu_);
     for (PageId id : pending_) {
       auto it = entries_.find(id);
       if (it != entries_.end()) {
@@ -62,7 +62,7 @@ void RecoveryCoordinator::Stop() {
 }
 
 bool RecoveryCoordinator::running() const {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(mu_);
   return running_;
 }
 
@@ -108,7 +108,7 @@ ReportResult RecoveryCoordinator::Report(PageId id, FailureOrigin origin) {
   std::shared_ptr<Entry> entry;
   ReportResult r;
   {
-    std::lock_guard<std::mutex> g(mu_);
+    MutexLock g(mu_);
     r = ReportLocked(id, origin, &entry);
   }
   if (r == ReportResult::kAccepted) work_cv_.notify_one();
@@ -117,13 +117,13 @@ ReportResult RecoveryCoordinator::Report(PageId id, FailureOrigin origin) {
 
 Status RecoveryCoordinator::ReportAndWait(PageId id, FailureOrigin origin) {
   std::shared_ptr<Entry> entry;
-  std::unique_lock<std::mutex> lk(mu_);
+  UniqueLock lk(mu_);
   ReportResult r = ReportLocked(id, origin, &entry);
   if (r == ReportResult::kRejected) {
     return Status::Busy("recovery funnel backpressure: queue at limit");
   }
   if (r == ReportResult::kAccepted) work_cv_.notify_one();
-  done_cv_.wait(lk, [&] { return entry->done; });
+  while (!entry->done) done_cv_.wait(lk);
   return entry->status;
 }
 
@@ -167,27 +167,27 @@ Status RecoveryCoordinator::RepairPage(PageId id, char* frame) {
 }
 
 void RecoveryCoordinator::Pause() {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(mu_);
   paused_ = true;
 }
 
 void RecoveryCoordinator::Resume() {
   {
-    std::lock_guard<std::mutex> g(mu_);
+    MutexLock g(mu_);
     paused_ = false;
   }
   work_cv_.notify_all();
 }
 
 void RecoveryCoordinator::WaitIdle() {
-  std::unique_lock<std::mutex> lk(mu_);
-  done_cv_.wait(lk, [&] {
-    return (pending_.empty() || paused_ || !running_) && draining_ == 0;
-  });
+  UniqueLock lk(mu_);
+  while (!((pending_.empty() || paused_ || !running_) && draining_ == 0)) {
+    done_cv_.wait(lk);
+  }
 }
 
 void RecoveryCoordinator::NoteGatedRestore(const RestorePhases& phases) {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(mu_);
   totals_.gated_restores++;
   totals_.txns_drained += phases.drained;
   totals_.txns_doomed += phases.doomed;
@@ -197,7 +197,7 @@ void RecoveryCoordinator::NoteGatedRestore(const RestorePhases& phases) {
 }
 
 FunnelTotals RecoveryCoordinator::totals() const {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(mu_);
   return totals_;
 }
 
@@ -239,9 +239,9 @@ void RecoveryCoordinator::ResolveBatchLocked(
 }
 
 void RecoveryCoordinator::WorkerLoop() {
-  std::unique_lock<std::mutex> lk(mu_);
+  UniqueLock lk(mu_);
   while (true) {
-    work_cv_.wait(lk, [&] { return stop_ || (!pending_.empty() && !paused_); });
+    while (!(stop_ || (!pending_.empty() && !paused_))) work_cv_.wait(lk);
     if (stop_) return;
     // Claim the WHOLE pending set: this is where a burst of independent
     // reports coalesces into one sorted batch of contiguous ranges for
@@ -249,20 +249,20 @@ void RecoveryCoordinator::WorkerLoop() {
     std::vector<PageId> batch = std::move(pending_);
     pending_.clear();
     draining_++;
-    lk.unlock();
+    lk.Unlock();
 
     std::sort(batch.begin(), batch.end());
     StatusOr<FunnelBatchOutcome> outcome = [&] {
       // One climb at a time: the ladder's bottom rungs (partial/full
       // media recovery) are not safe against concurrent selves.
-      std::lock_guard<std::mutex> ladder_guard(ladder_mu_);
+      MutexLock ladder_guard(ladder_mu_);
       draining_thread_ = true;
       auto out = ladder_(batch);
       draining_thread_ = false;
       return out;
     }();
 
-    lk.lock();
+    lk.Lock();
     ResolveBatchLocked(batch, outcome);
     draining_--;
     done_cv_.notify_all();

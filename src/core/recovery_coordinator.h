@@ -28,15 +28,14 @@
 
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
+#include "common/sync.h"
 #include "core/recovery_scheduler.h"
 #include "recovery/restore_gate.h"
 #include "storage/sim_device.h"
@@ -210,18 +209,20 @@ class RecoveryCoordinator : public PageRepairer {
   const RecoveryCoordinatorOptions options_;
   PageRepairer* fallback_ = nullptr;
 
-  std::mutex lifecycle_mu_;  ///< serializes Start/Stop (thread join/spawn)
-  std::mutex ladder_mu_;     ///< one ladder climb at a time, across workers
-  mutable std::mutex mu_;
-  std::condition_variable work_cv_;   ///< wakes workers (reports, stop, resume)
-  std::condition_variable done_cv_;   ///< wakes waiters (entry done, idle)
-  std::unordered_map<PageId, std::shared_ptr<Entry>> entries_;  ///< pending+in-flight
-  std::vector<PageId> pending_;       ///< not yet claimed by a drain
-  size_t draining_ = 0;               ///< batches currently in the ladder
-  bool paused_ = false;
-  bool stop_ = false;
-  bool running_ = false;
-  FunnelTotals totals_;
+  OrderedMutex lifecycle_mu_{LockRank::kLifecycle};  ///< Start/Stop
+  OrderedMutex ladder_mu_{LockRank::kLadder};  ///< one climb at a time
+  mutable OrderedMutex mu_{LockRank::kFunnel};
+  CondVar work_cv_;   ///< wakes workers (reports, stop, resume)
+  CondVar done_cv_;   ///< wakes waiters (entry done, idle)
+  /// Pending + in-flight failure reports.
+  std::unordered_map<PageId, std::shared_ptr<Entry>> entries_
+      SPF_GUARDED_BY(mu_);
+  std::vector<PageId> pending_ SPF_GUARDED_BY(mu_);  ///< unclaimed reports
+  size_t draining_ SPF_GUARDED_BY(mu_) = 0;  ///< batches in the ladder
+  bool paused_ SPF_GUARDED_BY(mu_) = false;
+  bool stop_ SPF_GUARDED_BY(mu_) = false;
+  bool running_ SPF_GUARDED_BY(mu_) = false;
+  FunnelTotals totals_ SPF_GUARDED_BY(mu_);
 
   std::vector<std::thread> workers_;
 };

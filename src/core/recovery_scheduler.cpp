@@ -1,8 +1,8 @@
+#include "common/sync.h"
 #include "core/recovery_scheduler.h"
 
 #include <algorithm>
 #include <atomic>
-#include <condition_variable>
 #include <queue>
 #include <thread>
 #include <unordered_map>
@@ -33,7 +33,7 @@ class RecoveryScheduler::WorkerPool {
 
   ~WorkerPool() {
     {
-      std::lock_guard<std::mutex> g(mu_);
+      MutexLock g(mu_);
       shutdown_ = true;
     }
     cv_.notify_all();
@@ -49,16 +49,16 @@ class RecoveryScheduler::WorkerPool {
     job->fn = &fn;
     job->count = count;
 
-    std::unique_lock<std::mutex> lk(mu_);
+    UniqueLock lk(mu_);
     job_ = job;
     generation_++;
     cv_.notify_all();
-    lk.unlock();
+    lk.Unlock();
 
     Run(*job);
 
-    lk.lock();
-    done_cv_.wait(lk, [&] { return active_ == 0; });
+    lk.Lock();
+    while (active_ != 0) done_cv_.wait(lk);
     // `fn` dies with this frame; laggards holding the old job see its
     // counter exhausted and never touch fn again.
   }
@@ -80,28 +80,29 @@ class RecoveryScheduler::WorkerPool {
 
   void Loop() {
     uint64_t seen = 0;
-    std::unique_lock<std::mutex> lk(mu_);
+    UniqueLock lk(mu_);
     while (true) {
-      cv_.wait(lk, [&] { return shutdown_ || generation_ != seen; });
+      while (!shutdown_ && generation_ == seen) cv_.wait(lk);
       if (shutdown_) return;
       seen = generation_;
       std::shared_ptr<Job> job = job_;
       active_++;
-      lk.unlock();
+      lk.Unlock();
       Run(*job);
-      lk.lock();
+      lk.Lock();
       if (--active_ == 0) done_cv_.notify_all();
     }
   }
 
   std::vector<std::thread> threads_;
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::condition_variable done_cv_;
-  std::shared_ptr<Job> job_;  ///< current (or most recent) job
-  uint64_t generation_ = 0;
-  size_t active_ = 0;
-  bool shutdown_ = false;
+  OrderedMutex mu_{LockRank::kRepairWorkers};
+  CondVar cv_;
+  CondVar done_cv_;
+  /// Current (or most recent) job.
+  std::shared_ptr<Job> job_ SPF_GUARDED_BY(mu_);
+  uint64_t generation_ SPF_GUARDED_BY(mu_) = 0;
+  size_t active_ SPF_GUARDED_BY(mu_) = 0;
+  bool shutdown_ SPF_GUARDED_BY(mu_) = false;
 };
 
 // --- per-page task ----------------------------------------------------------
@@ -145,29 +146,29 @@ RecoveryScheduler::~RecoveryScheduler() = default;
 
 Status RecoveryScheduler::RepairPage(PageId id, char* frame) {
   {
-    std::lock_guard<std::mutex> g(stats_mu_);
+    MutexLock g(stats_mu_);
     stats_.single_repairs++;
   }
   return spr_->RepairPage(id, frame);
 }
 
 void RecoveryScheduler::set_batch_repair(bool on) {
-  std::lock_guard<std::mutex> g(stats_mu_);
+  MutexLock g(stats_mu_);
   options_.batch_repair = on;
 }
 
 bool RecoveryScheduler::batch_repair() const {
-  std::lock_guard<std::mutex> g(stats_mu_);
+  MutexLock g(stats_mu_);
   return options_.batch_repair;
 }
 
 RecoverySchedulerStats RecoveryScheduler::stats() const {
-  std::lock_guard<std::mutex> g(stats_mu_);
+  MutexLock g(stats_mu_);
   return stats_;
 }
 
 void RecoveryScheduler::ResetStats() {
-  std::lock_guard<std::mutex> g(stats_mu_);
+  MutexLock g(stats_mu_);
   stats_ = RecoverySchedulerStats();
 }
 
@@ -182,7 +183,7 @@ std::vector<RecoveryScheduler::PageTask> RecoveryScheduler::PrepareBatch(
     tasks[i].acc.repairs_attempted++;
   }
 
-  std::lock_guard<std::mutex> g(stats_mu_);
+  MutexLock g(stats_mu_);
   stats_.batches++;
   stats_.pages_requested += pages->size();
   if (batched != nullptr) *batched = options_.batch_repair;
@@ -208,13 +209,13 @@ StatusOr<BatchRepairResult> RecoveryScheduler::RepairBatchImpl(
     std::vector<PageId> pages, bool notify_sink) {
   BatchRepairResult result;
   {
-    std::lock_guard<std::mutex> batch_guard(batch_mu_);
+    MutexLock batch_guard(batch_mu_);
 
     bool batched;
     std::vector<PageTask> tasks = PrepareBatch(&pages, &batched);
     result = batched ? RepairBatched(&tasks) : RepairSerial(&tasks);
 
-    std::lock_guard<std::mutex> g(stats_mu_);
+    MutexLock g(stats_mu_);
     stats_.pages_repaired += result.repaired;
     stats_.pages_failed += result.failed;
   }
@@ -233,13 +234,13 @@ StatusOr<BatchRepairResult> RecoveryScheduler::RepairBatchImpl(
 StatusOr<BatchRepairResult> RecoveryScheduler::RepairBatchFromBackup(
     std::vector<PageId> pages, BackupId backup,
     PartialRestoreBreakdown* breakdown) {
-  std::lock_guard<std::mutex> batch_guard(batch_mu_);
+  MutexLock batch_guard(batch_mu_);
 
   std::vector<PageTask> tasks = PrepareBatch(&pages, nullptr);
   BatchRepairResult result = RestoreBatched(&tasks, backup, breakdown);
 
   {
-    std::lock_guard<std::mutex> g(stats_mu_);
+    MutexLock g(stats_mu_);
     stats_.partial_restores++;
     stats_.pages_repaired += result.repaired;
     stats_.pages_failed += result.failed;
@@ -337,7 +338,7 @@ BatchRepairResult RecoveryScheduler::RepairBatched(
     }
   });
   {
-    std::lock_guard<std::mutex> g(stats_mu_);
+    MutexLock g(stats_mu_);
     stats_.backup_groups += groups.size();
   }
 
@@ -477,7 +478,7 @@ size_t RecoveryScheduler::WalkClusters(std::vector<PageTask>* tasks,
   }
   if (fetches != nullptr) *fetches += total_fetches;
   {
-    std::lock_guard<std::mutex> g(stats_mu_);
+    MutexLock g(stats_mu_);
     stats_.chain_clusters += cluster_count;
     stats_.segment_fetches += total_fetches;
   }
@@ -659,7 +660,7 @@ void RecoveryScheduler::FetchArchivedChains(
     }
   }
 
-  std::lock_guard<std::mutex> g(stats_mu_);
+  MutexLock g(stats_mu_);
   stats_.archive_fetches++;
 }
 

@@ -32,9 +32,9 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <vector>
 
+#include "common/sync.h"
 #include "core/single_page_recovery.h"
 
 namespace spf {
@@ -217,10 +217,10 @@ class RecoveryScheduler : public PageRepairer {
   /// Created on first batched repair (guarded by batch_mu_).
   std::unique_ptr<WorkerPool> workers_;
 
-  std::mutex batch_mu_;  ///< one batch in flight at a time
+  OrderedMutex batch_mu_{LockRank::kRepairBatch};  ///< one batch in flight
 
-  mutable std::mutex stats_mu_;  ///< guards stats_ and options_.batch_repair
-  RecoverySchedulerStats stats_;
+  mutable OrderedMutex stats_mu_{LockRank::kStats};  ///< stats_ + options_
+  RecoverySchedulerStats stats_ SPF_GUARDED_BY(stats_mu_);
 };
 
 }  // namespace spf

@@ -97,7 +97,7 @@ StatusOr<ScrubStats> Scrubber::RunSpanLocked(uint64_t budget, bool is_tick) {
     escalation = Status::MediaFailure(
         "scrub detected a failed page (" + std::to_string(failed.front()) +
         ") and single-page repair is disabled (escalated)");
-    std::lock_guard<std::mutex> g(totals_mu_);
+    MutexLock g(totals_mu_);
     totals_.escalations += failed.size();
   } else if (escalation.ok() && !failed.empty() && is_tick &&
              funnel_ != nullptr) {
@@ -136,7 +136,7 @@ StatusOr<ScrubStats> Scrubber::RunSpanLocked(uint64_t budget, bool is_tick) {
       } else if (!repaired_or->failures.empty()) {
         escalation = repaired_or->failures.front().status;
       }
-      std::lock_guard<std::mutex> g(totals_mu_);
+      MutexLock g(totals_mu_);
       totals_.escalations += unreported;
     } else {
       escalation = repaired_or.status();
@@ -147,7 +147,7 @@ StatusOr<ScrubStats> Scrubber::RunSpanLocked(uint64_t budget, bool is_tick) {
   // failure mid-span must not silently drop the partially scanned pages
   // or the tick from totals().
   {
-    std::lock_guard<std::mutex> g(totals_mu_);
+    MutexLock g(totals_mu_);
     if (is_tick) totals_.ticks++;
     if (wrapped) totals_.sweeps_completed++;
     totals_.pages_scanned += stats.pages_scanned;
@@ -166,11 +166,11 @@ StatusOr<ScrubStats> Scrubber::Tick() {
     // would all "fail" verification and flood the funnel with reports the
     // restore is about to make moot. Skip the span; the cadence retries
     // after the sweep finishes.
-    std::lock_guard<std::mutex> t(totals_mu_);
+    MutexLock t(totals_mu_);
     totals_.restore_skips++;
     return ScrubStats{};
   }
-  std::lock_guard<std::mutex> g(sweep_mu_);
+  MutexLock g(sweep_mu_);
   return RunSpanLocked(options_.pages_per_tick, /*is_tick=*/true);
 }
 
@@ -181,12 +181,12 @@ StatusOr<ScrubStats> Scrubber::SweepAll() {
     // a caller waiting for a verification result, so wait the protocol
     // out and then sweep the fully restored device.
     {
-      std::lock_guard<std::mutex> t(totals_mu_);
+      MutexLock t(totals_mu_);
       totals_.restore_waits++;
     }
     restore_gate_->AwaitIdle();
   }
-  std::lock_guard<std::mutex> g(sweep_mu_);
+  MutexLock g(sweep_mu_);
   // A full pass from page 0; ScanLocked always wraps with this budget,
   // which is what bumps sweeps_completed.
   cursor_ = 0;
@@ -247,7 +247,7 @@ void Scrubber::BackgroundLoop() {
 }
 
 ScrubberTotals Scrubber::totals() const {
-  std::lock_guard<std::mutex> g(totals_mu_);
+  MutexLock g(totals_mu_);
   return totals_;
 }
 

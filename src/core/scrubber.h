@@ -29,11 +29,11 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "buffer/buffer_pool.h"
+#include "common/sync.h"
 #include "core/pri_manager.h"
 #include "core/recovery_scheduler.h"
 #include "recovery/restore_gate.h"
@@ -154,9 +154,11 @@ class Scrubber {
   /// is never lost). Sets *wrapped when the cursor completed a pass.
   /// Caller holds sweep_mu_.
   Status ScanLocked(uint64_t budget, ScrubStats* stats,
-                    std::vector<PageId>* failed, bool* wrapped);
+                    std::vector<PageId>* failed, bool* wrapped)
+      SPF_REQUIRES(sweep_mu_);
   /// Scan + batch-repair + totals for one span (a tick or a full sweep).
-  StatusOr<ScrubStats> RunSpanLocked(uint64_t budget, bool is_tick);
+  StatusOr<ScrubStats> RunSpanLocked(uint64_t budget, bool is_tick)
+      SPF_REQUIRES(sweep_mu_);
   void BackgroundLoop();
 
   RecoveryScheduler* const scheduler_;
@@ -171,11 +173,11 @@ class Scrubber {
   SimClock* const clock_;
   const ScrubberOptions options_;
 
-  std::mutex sweep_mu_;    ///< serializes ticks/sweeps (cursor owner)
-  PageId cursor_ = 0;
+  OrderedMutex sweep_mu_{LockRank::kDaemonCadence};  ///< tick/sweep owner
+  PageId cursor_ SPF_GUARDED_BY(sweep_mu_) = 0;
 
-  mutable std::mutex totals_mu_;
-  ScrubberTotals totals_;
+  mutable OrderedMutex totals_mu_{LockRank::kStats};
+  ScrubberTotals totals_ SPF_GUARDED_BY(totals_mu_);
 
   std::thread thread_;
   std::atomic<bool> stop_{false};

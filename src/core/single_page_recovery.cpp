@@ -215,7 +215,7 @@ Status SinglePageRecovery::RepairPage(PageId id, char* frame) {
 void SinglePageRecovery::MergeStats(const SinglePageRecoveryStats& acc,
                                     PageId shard_key) {
   StatShard& shard = shards_[shard_key % kStatShards];
-  std::lock_guard<std::mutex> g(shard.mu);
+  MutexLock g(shard.mu);
   shard.s.repairs_attempted += acc.repairs_attempted;
   shard.s.repairs_succeeded += acc.repairs_succeeded;
   shard.s.escalations += acc.escalations;
@@ -227,7 +227,7 @@ void SinglePageRecovery::MergeStats(const SinglePageRecoveryStats& acc,
 
 void SinglePageRecovery::NoteLastRepair(uint64_t chain_length, uint64_t sim_ns,
                                         BackupKind kind) {
-  std::lock_guard<std::mutex> g(last_mu_);
+  MutexLock g(last_mu_);
   last_chain_length_ = chain_length;
   last_sim_ns_ = sim_ns;
   last_backup_kind_ = kind;
@@ -236,7 +236,7 @@ void SinglePageRecovery::NoteLastRepair(uint64_t chain_length, uint64_t sim_ns,
 SinglePageRecoveryStats SinglePageRecovery::stats() const {
   SinglePageRecoveryStats out;
   for (const StatShard& shard : shards_) {
-    std::lock_guard<std::mutex> g(shard.mu);
+    MutexLock g(shard.mu);
     out.repairs_attempted += shard.s.repairs_attempted;
     out.repairs_succeeded += shard.s.repairs_succeeded;
     out.escalations += shard.s.escalations;
@@ -245,7 +245,7 @@ SinglePageRecoveryStats SinglePageRecovery::stats() const {
     out.archive_reads += shard.s.archive_reads;
     out.backup_reads += shard.s.backup_reads;
   }
-  std::lock_guard<std::mutex> g(last_mu_);
+  MutexLock g(last_mu_);
   out.last_chain_length = last_chain_length_;
   out.last_sim_ns = last_sim_ns_;
   out.last_backup_kind = last_backup_kind_;
@@ -254,10 +254,10 @@ SinglePageRecoveryStats SinglePageRecovery::stats() const {
 
 void SinglePageRecovery::ResetStats() {
   for (StatShard& shard : shards_) {
-    std::lock_guard<std::mutex> g(shard.mu);
+    MutexLock g(shard.mu);
     shard.s = SinglePageRecoveryStats();
   }
-  std::lock_guard<std::mutex> g(last_mu_);
+  MutexLock g(last_mu_);
   last_chain_length_ = 0;
   last_sim_ns_ = 0;
   last_backup_kind_ = BackupKind::kNone;

@@ -27,10 +27,10 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 
 #include "backup/backup_manager.h"
 #include "buffer/buffer_pool.h"
+#include "common/sync.h"
 #include "core/pri_manager.h"
 #include "log/log_manager.h"
 #include "log/log_source.h"
@@ -136,8 +136,8 @@ class SinglePageRecovery : public PageRepairer {
  private:
   static constexpr size_t kStatShards = 8;
   struct alignas(64) StatShard {
-    mutable std::mutex mu;
-    SinglePageRecoveryStats s;
+    mutable OrderedMutex mu{LockRank::kStats};
+    SinglePageRecoveryStats s SPF_GUARDED_BY(mu);
   };
 
   PriManager* const pri_manager_;
@@ -151,10 +151,10 @@ class SinglePageRecovery : public PageRepairer {
   LogSource* source_;  // never null; defaults to default_source_
 
   StatShard shards_[kStatShards];
-  mutable std::mutex last_mu_;  // guards only the last_* snapshot
-  uint64_t last_chain_length_ = 0;
-  uint64_t last_sim_ns_ = 0;
-  BackupKind last_backup_kind_ = BackupKind::kNone;
+  mutable OrderedMutex last_mu_{LockRank::kStats};  // last_* snapshot
+  uint64_t last_chain_length_ SPF_GUARDED_BY(last_mu_) = 0;
+  uint64_t last_sim_ns_ SPF_GUARDED_BY(last_mu_) = 0;
+  BackupKind last_backup_kind_ SPF_GUARDED_BY(last_mu_) = BackupKind::kNone;
 };
 
 /// ReadVerifier implementation: the PageLSN-vs-PRI cross-check credited to

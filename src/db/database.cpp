@@ -560,7 +560,7 @@ StatusOr<MediaRecoveryStats> Database::RecoverMedia() {
   // healed (or will re-detect through the ladder's cheaper rungs) — do
   // not run a second whole-device restore back to back.
   uint64_t generation = restore_generation_.load(std::memory_order_acquire);
-  std::lock_guard<std::mutex> restore_lock(recover_media_mu_);
+  MutexLock restore_lock(recover_media_mu_);
   if (restore_generation_.load(std::memory_order_acquire) != generation &&
       !data_->device_failed()) {
     return MediaRecoveryStats{};

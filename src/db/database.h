@@ -31,28 +31,28 @@
 #include <atomic>
 #include <chrono>
 #include <memory>
-#include <mutex>
 #include <string>
 
 #include "backup/backup_manager.h"
 #include "btree/btree.h"
 #include "buffer/buffer_pool.h"
 #include "common/sim_clock.h"
+#include "common/sync.h"
 #include "core/pri_manager.h"
 #include "core/recovery_coordinator.h"
 #include "core/recovery_scheduler.h"
 #include "core/scrubber.h"
 #include "core/single_page_recovery.h"
+#include "db/session.h"
+#include "db/stats_snapshot.h"
+#include "db/txn_error.h"
+#include "db/write_batch.h"
 #include "log/log_archive.h"
 #include "log/log_manager.h"
 #include "log/log_source.h"
 #include "recovery/checkpoint.h"
 #include "recovery/media_recovery.h"
 #include "recovery/restart_recovery.h"
-#include "db/session.h"
-#include "db/stats_snapshot.h"
-#include "db/txn_error.h"
-#include "db/write_batch.h"
 #include "recovery/restore_gate.h"
 #include "recovery/rollback.h"
 #include "storage/allocation.h"
@@ -481,7 +481,7 @@ class Database {
   // funnel-driven one (the RestoreGate supports one sweep at a time).
   // The generation counter lets a climb that blocked behind a completed
   // restore skip re-restoring a healthy device.
-  std::mutex recover_media_mu_;
+  OrderedMutex recover_media_mu_{LockRank::kRecoverMedia};
   std::atomic<uint64_t> restore_generation_{0};
   Lsn master_record_stash_ = kInvalidLsn;  // survives crash (stable storage)
 };

@@ -139,8 +139,8 @@ Status LogArchiver::LoadRunHeader(uint64_t start_page, Run* run) const {
 }
 
 Status LogArchiver::Recover() {
-  std::lock_guard<std::mutex> tick(tick_mu_);
-  std::unique_lock<std::shared_mutex> io(io_mu_);
+  MutexLock tick(tick_mu_);
+  WriterLock io(io_mu_);
   const uint32_t ps = device_->page_size();
   std::string best;
   uint64_t best_epoch = 0;
@@ -172,7 +172,7 @@ Status LogArchiver::Recover() {
       return Status::Corruption("archive directory unreadable in both epochs");
     }
     // Fresh volume: empty archive.
-    std::lock_guard<std::mutex> g(mu_);
+    MutexLock g(mu_);
     runs_.clear();
     archived_upto_ = 0;
     epoch_ = 0;
@@ -198,7 +198,7 @@ Status LogArchiver::Recover() {
       return Status::Corruption("archive directory/run extent size mismatch");
     }
   }
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(mu_);
   runs_ = std::move(runs);
   archived_upto_ = upto;
   epoch_ = epoch;
@@ -274,7 +274,7 @@ Status LogArchiver::WriteRun(std::vector<Entry>* entries, uint32_t level,
 
   uint64_t start_page;
   {
-    std::lock_guard<std::mutex> g(mu_);
+    MutexLock g(mu_);
     SPF_ASSIGN_OR_RETURN(start_page,
                          AllocateExtentLocked(1 + info.data_pages));
     info.seq = next_seq_++;
@@ -405,7 +405,7 @@ StatusOr<uint64_t> LogArchiver::FetchPageChain(PageId id,
                                                Lsn min_lsn_exclusive,
                                                Lsn max_lsn_inclusive,
                                                std::vector<LogRecord>* out) {
-  std::shared_lock<std::shared_mutex> io(io_mu_);
+  ReaderLock io(io_mu_);
   // runs_ only mutates under the io_mu_ writer, so the shared lock pins it.
   std::vector<const Run*> hits;
   for (const Run& r : runs_) {
@@ -431,7 +431,7 @@ StatusOr<uint64_t> LogArchiver::FetchPageChain(PageId id,
                               }));
     pages += n;
   }
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(mu_);
   stats_.merge_reads += pages;
   return pages;
 }
@@ -439,7 +439,7 @@ StatusOr<uint64_t> LogArchiver::FetchPageChain(PageId id,
 StatusOr<uint64_t> LogArchiver::FetchRange(
     PageId lo, PageId hi, Lsn min_lsn_exclusive,
     const std::function<void(LogRecord&&)>& emit) {
-  std::shared_lock<std::shared_mutex> io(io_mu_);
+  ReaderLock io(io_mu_);
   std::vector<const Run*> hits;
   for (const Run& r : runs_) {
     if (r.info.record_count == 0) continue;
@@ -456,7 +456,7 @@ StatusOr<uint64_t> LogArchiver::FetchRange(
                          StreamRun(*r, lo, hi, min_lsn_exclusive, emit));
     pages += n;
   }
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(mu_);
   stats_.merge_reads += pages;
   return pages;
 }
@@ -464,19 +464,19 @@ StatusOr<uint64_t> LogArchiver::FetchRange(
 // --- Draining and merging -------------------------------------------------
 
 StatusOr<bool> LogArchiver::ArchiveTick() {
-  std::lock_guard<std::mutex> tick(tick_mu_);
+  MutexLock tick(tick_mu_);
   {
-    std::lock_guard<std::mutex> g(mu_);
+    MutexLock g(mu_);
     stats_.ticks++;
   }
   if (paused_ && paused_()) {
-    std::lock_guard<std::mutex> g(mu_);
+    MutexLock g(mu_);
     stats_.restore_skips++;
     return false;
   }
   Lsn from;
   {
-    std::lock_guard<std::mutex> g(mu_);
+    MutexLock g(mu_);
     from = archived_upto_;
   }
   from = std::max(from, log_->first_lsn());
@@ -513,7 +513,7 @@ StatusOr<bool> LogArchiver::ArchiveTick() {
 
   const uint64_t record_count = entries.size();
   {
-    std::unique_lock<std::shared_mutex> io(io_mu_);
+    WriterLock io(io_mu_);
     Run run;
     SPF_RETURN_IF_ERROR(WriteRun(&entries, /*level=*/0, from, end, &run));
     if (fail_next_publish_.exchange(false)) {
@@ -523,7 +523,7 @@ StatusOr<bool> LogArchiver::ArchiveTick() {
       return Status::IOError("archive: injected crash before publish");
     }
     const uint64_t data_bytes = run.info.data_bytes;
-    std::lock_guard<std::mutex> g(mu_);
+    MutexLock g(mu_);
     runs_.push_back(std::move(run));
     archived_upto_ = end;
     SPF_RETURN_IF_ERROR(PublishDirectoryLocked());
@@ -546,7 +546,7 @@ Status LogArchiver::MergeLadderLocked() {
     std::vector<Run> inputs;
     uint32_t level = 0;
     {
-      std::lock_guard<std::mutex> g(mu_);
+      MutexLock g(mu_);
       uint32_t max_level = 0;
       for (const Run& r : runs_) max_level = std::max(max_level, r.info.level);
       bool found = false;
@@ -573,7 +573,7 @@ Status LogArchiver::MergeLadderLocked() {
     uint64_t pages = 0;
     uint64_t total = 0;
     {
-      std::shared_lock<std::shared_mutex> io(io_mu_);
+      ReaderLock io(io_mu_);
       for (size_t i = 0; i < inputs.size(); ++i) {
         per_input[i].reserve(inputs[i].info.record_count);
         SPF_RETURN_IF_ERROR(ForEachRawEntry(
@@ -614,12 +614,12 @@ Status LogArchiver::MergeLadderLocked() {
     }
 
     {
-      std::unique_lock<std::shared_mutex> io(io_mu_);
+      WriterLock io(io_mu_);
       Run out;
       Status s = WriteRun(&merged, level + 1, log_start, log_end, &out);
       if (s.IsIOError()) return Status::OK();  // volume full: skip merging
       SPF_RETURN_IF_ERROR(s);
-      std::lock_guard<std::mutex> g(mu_);
+      MutexLock g(mu_);
       for (const Run& in : inputs) {
         runs_.erase(std::remove_if(runs_.begin(), runs_.end(),
                                    [&](const Run& r) {
@@ -654,14 +654,14 @@ void LogArchiver::AdvanceLogWatermark() {
 }
 
 Lsn LogArchiver::archived_upto() const {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(mu_);
   return archived_upto_;
 }
 
 ArchiveStats LogArchiver::stats() const {
   const Lsn wm = log_->truncation_watermark();
   const Lsn base = log_->first_lsn();
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(mu_);
   ArchiveStats s = stats_;
   s.archived_upto = archived_upto_;
   s.active_runs = runs_.size();
@@ -670,7 +670,7 @@ ArchiveStats LogArchiver::stats() const {
 }
 
 std::vector<ArchiveRunInfo> LogArchiver::runs() const {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(mu_);
   std::vector<ArchiveRunInfo> out;
   out.reserve(runs_.size());
   for (const Run& r : runs_) out.push_back(r.info);

@@ -55,8 +55,6 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
-#include <mutex>
-#include <shared_mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -64,6 +62,7 @@
 #include "common/macros.h"
 #include "common/status.h"
 #include "common/statusor.h"
+#include "common/sync.h"
 #include "log/log_manager.h"
 #include "log/log_record.h"
 #include "storage/sim_device.h"
@@ -245,8 +244,7 @@ class LogArchiver {
       const;
 
   /// Runs the merge ladder until no level holds merge_fanin runs.
-  /// tick_mu_ must be held.
-  Status MergeLadderLocked();
+  Status MergeLadderLocked() SPF_REQUIRES(tick_mu_);
 
   void AdvanceLogWatermark();
   void BackgroundLoop();
@@ -259,17 +257,17 @@ class LogArchiver {
   std::function<bool()> paused_;
 
   /// Serializes drains/merges (the directory's single writer).
-  std::mutex tick_mu_;
+  OrderedMutex tick_mu_{LockRank::kDaemonCadence};
   /// Readers stream run extents; the writer holds it across run writes
   /// and directory publishes so readers never see a half-written extent.
-  mutable std::shared_mutex io_mu_;
+  mutable OrderedSharedMutex io_mu_{LockRank::kArchiveIo};
 
-  mutable std::mutex mu_;  ///< directory state + stats
-  std::vector<Run> runs_;
-  Lsn archived_upto_ = 0;
-  uint64_t epoch_ = 0;
-  uint64_t next_seq_ = 1;
-  ArchiveStats stats_;
+  mutable OrderedMutex mu_{LockRank::kArchiveDir};  ///< directory + stats
+  std::vector<Run> runs_ SPF_GUARDED_BY(mu_);
+  Lsn archived_upto_ SPF_GUARDED_BY(mu_) = 0;
+  uint64_t epoch_ SPF_GUARDED_BY(mu_) = 0;
+  uint64_t next_seq_ SPF_GUARDED_BY(mu_) = 1;
+  ArchiveStats stats_ SPF_GUARDED_BY(mu_);
 
   std::atomic<bool> fail_next_publish_{false};
   std::thread thread_;

@@ -22,7 +22,7 @@ LogManager::LogManager(SimLogDevice* device, GroupCommitOptions gc)
 
 LogManager::~LogManager() {
   {
-    std::lock_guard<std::mutex> g(mu_);
+    MutexLock g(mu_);
     stop_ = true;
   }
   drain_cv_.notify_all();
@@ -35,13 +35,13 @@ LogManager::~LogManager() {
 
 void LogManager::Crash() {
   {
-    std::lock_guard<std::mutex> g(mu_);
+    MutexLock g(mu_);
     stop_ = true;
   }
   drain_cv_.notify_all();
   durable_cv_.notify_all();
   if (drainer_.joinable()) drainer_.join();
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(mu_);
   // Staged records die with the crash; publishing them now would let the
   // post-crash log resurrect bytes the simulated failure already lost.
   staged_.clear();
@@ -54,7 +54,7 @@ Lsn LogManager::Append(LogRecord* rec) {
   Lsn lsn;
   bool over_threshold;
   {
-    std::lock_guard<std::mutex> g(mu_);
+    MutexLock g(mu_);
     lsn = next_lsn_;
     next_lsn_ += length;
     staged_.push_back(std::move(payload));
@@ -93,21 +93,21 @@ Lsn LogManager::AppendPageRecord(LogRecord* rec, PageView page) {
 }
 
 void LogManager::Force(Lsn lsn) {
-  std::unique_lock<std::mutex> g(mu_);
+  UniqueLock g(mu_);
   if (synced_ > lsn) return;  // already durable
   if (force_waiters_++ == 0) {
     oldest_force_ = std::chrono::steady_clock::now();
   }
   force_target_ = std::max(force_target_, lsn);
   drain_cv_.notify_one();
-  durable_cv_.wait(g, [&] { return synced_ > lsn || stop_; });
+  while (!(synced_ > lsn || stop_)) durable_cv_.wait(g);
   force_waiters_--;
 }
 
 void LogManager::ForceAll() {
   Lsn target;
   {
-    std::lock_guard<std::mutex> g(mu_);
+    MutexLock g(mu_);
     target = next_lsn_;
   }
   if (target == 0) return;
@@ -115,11 +115,11 @@ void LogManager::ForceAll() {
 }
 
 void LogManager::Publish() const {
-  std::lock_guard<std::mutex> fl(flush_mu_);
+  MutexLock fl(flush_mu_);
   std::deque<std::string> batch;
   uint64_t bytes = 0;
   {
-    std::lock_guard<std::mutex> g(mu_);
+    MutexLock g(mu_);
     batch.swap(staged_);
     bytes = staged_bytes_;
     staged_bytes_ = 0;
@@ -129,7 +129,7 @@ void LogManager::Publish() const {
   buf.reserve(bytes);
   for (const std::string& s : batch) buf.append(s);
   device_->Append(buf);
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(mu_);
   stats_.publishes++;
 }
 
@@ -142,34 +142,28 @@ void LogManager::EnsureReadable(uint64_t end) const {
 }
 
 void LogManager::DrainerLoop() {
-  // A waiter is PENDING only while the durable watermark has not reached
-  // its requested LSN; force_waiters_ alone is not enough (see the
-  // force_target_ comment in the header).
-  auto pending_force = [&] {
-    return force_waiters_ > 0 && synced_ <= force_target_;
-  };
-  std::unique_lock<std::mutex> g(mu_);
+  UniqueLock g(mu_);
   while (!stop_) {
-    drain_cv_.wait(g, [&] {
-      return stop_ || pending_force() ||
-             staged_bytes_ >= gc_.max_batch_bytes;
-    });
+    while (!(stop_ || PendingForceLocked() ||
+             staged_bytes_ >= gc_.max_batch_bytes)) {
+      drain_cv_.wait(g);
+    }
     if (stop_) break;
-    if (pending_force() && gc_.max_wait.count() > 0) {
+    if (PendingForceLocked() && gc_.max_wait.count() > 0) {
       // Batching window: linger so concurrent committers coalesce into
       // one sync. A size-threshold crossing ends the window early.
       auto deadline = oldest_force_ + gc_.max_wait;
-      drain_cv_.wait_until(g, deadline, [&] {
-        return stop_ || staged_bytes_ >= gc_.max_batch_bytes;
-      });
+      while (!(stop_ || staged_bytes_ >= gc_.max_batch_bytes) &&
+             drain_cv_.wait_until(g, deadline) != std::cv_status::timeout) {
+      }
       if (stop_) break;
     }
     const uint64_t group = force_waiters_;
-    const bool need_sync = pending_force();
-    g.unlock();
+    const bool need_sync = PendingForceLocked();
+    g.Unlock();
     Publish();
     if (need_sync) device_->Sync();
-    g.lock();
+    g.Lock();
     if (need_sync) {
       synced_ = device_->synced_size();
       stats_.forces++;
@@ -199,31 +193,31 @@ StatusOr<LogRecord> LogManager::Read(Lsn lsn) const {
   SPF_ASSIGN_OR_RETURN(LogRecord rec, ParseLogRecord(buf));
   rec.lsn = lsn;
   {
-    std::lock_guard<std::mutex> g(mu_);
+    MutexLock g(mu_);
     stats_.records_read++;
   }
   return rec;
 }
 
 Lsn LogManager::tail_lsn() const {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(mu_);
   return next_lsn_;
 }
 
 Lsn LogManager::durable_lsn() const { return device_->synced_size(); }
 
 void LogManager::SetMasterRecord(Lsn checkpoint_begin_lsn) {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(mu_);
   master_record_ = checkpoint_begin_lsn;
 }
 
 Lsn LogManager::GetMasterRecord() const {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(mu_);
   return master_record_;
 }
 
 void LogManager::AdvanceTruncationWatermark(Lsn lsn) {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(mu_);
   if (lsn <= truncation_watermark_) return;
   truncation_watermark_ = lsn;
   stats_.truncated_log_bytes =
@@ -231,17 +225,17 @@ void LogManager::AdvanceTruncationWatermark(Lsn lsn) {
 }
 
 Lsn LogManager::truncation_watermark() const {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(mu_);
   return truncation_watermark_;
 }
 
 LogStats LogManager::stats() const {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(mu_);
   return stats_;
 }
 
 void LogManager::ResetStats() {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(mu_);
   stats_ = LogStats();
 }
 

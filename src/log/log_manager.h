@@ -25,14 +25,13 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <deque>
 #include <map>
-#include <mutex>
 #include <string>
 #include <thread>
 
 #include "common/macros.h"
+#include "common/sync.h"
 #include "common/status.h"
 #include "common/statusor.h"
 #include "log/log_record.h"
@@ -218,35 +217,43 @@ class LogManager {
 
   void DrainerLoop();
 
+  /// A Force waiter is PENDING only while the durable watermark has not
+  /// reached its requested LSN; force_waiters_ alone is not enough (see
+  /// the force_target_ comment below).
+  bool PendingForceLocked() const SPF_REQUIRES(mu_) {
+    return force_waiters_ > 0 && synced_ <= force_target_;
+  }
+
   SimLogDevice* const device_;
   const GroupCommitOptions gc_;
   RestoreAdmission* write_admission_ = nullptr;
 
-  mutable std::mutex mu_;  // reservation + staging + waiter state
-  Lsn next_lsn_ = 0;       // reserved tail (device end + staged bytes)
-  mutable std::deque<std::string> staged_;  // serialized, in LSN order
-  mutable uint64_t staged_bytes_ = 0;
-  uint64_t synced_ = 0;  // durable watermark (== device synced_size)
-  uint64_t force_waiters_ = 0;
+  // Reservation + staging + waiter state.
+  mutable OrderedMutex mu_{LockRank::kLogState};
+  Lsn next_lsn_ SPF_GUARDED_BY(mu_) = 0;  // reserved tail (device end + staged)
+  mutable std::deque<std::string> staged_ SPF_GUARDED_BY(mu_);  // LSN order
+  mutable uint64_t staged_bytes_ SPF_GUARDED_BY(mu_) = 0;
+  uint64_t synced_ SPF_GUARDED_BY(mu_) = 0;  // durable watermark
+  uint64_t force_waiters_ SPF_GUARDED_BY(mu_) = 0;
   /// Highest LSN any Force waiter has asked for. The drainer treats
   /// waiters as pending only while `synced_ <= force_target_`: a
   /// satisfied waiter decrements force_waiters_ only after re-acquiring
   /// mu_, and without the target check the drainer could read the stale
   /// count and run a spurious publish+sync — which, racing a crash,
   /// would resurrect staged records the crash is about to discard.
-  Lsn force_target_ = 0;
-  std::chrono::steady_clock::time_point oldest_force_{};
-  bool stop_ = false;
-  mutable std::condition_variable drain_cv_;    // wakes the drainer
-  mutable std::condition_variable durable_cv_;  // wakes Force waiters
-  Lsn master_record_ = kInvalidLsn;  // modeled as separate stable storage
-  Lsn truncation_watermark_ = 0;     // archived + checkpointed prefix end
-  mutable LogStats stats_;
+  Lsn force_target_ SPF_GUARDED_BY(mu_) = 0;
+  std::chrono::steady_clock::time_point oldest_force_ SPF_GUARDED_BY(mu_){};
+  bool stop_ SPF_GUARDED_BY(mu_) = false;
+  mutable CondVar drain_cv_;    // wakes the drainer
+  mutable CondVar durable_cv_;  // wakes Force waiters
+  Lsn master_record_ SPF_GUARDED_BY(mu_) = kInvalidLsn;  // stable storage
+  Lsn truncation_watermark_ SPF_GUARDED_BY(mu_) = 0;  // archived prefix end
+  mutable LogStats stats_ SPF_GUARDED_BY(mu_);
 
   /// Publisher order lock: held across detach-and-append so staged batches
   /// cannot land on the device out of reservation order. Always acquired
-  /// BEFORE mu_; never held while parking.
-  mutable std::mutex flush_mu_;
+  /// BEFORE mu_ (rank kLogFlush < kLogState); never held while parking.
+  mutable OrderedMutex flush_mu_{LockRank::kLogFlush};
 
   std::thread drainer_;
 };

@@ -3,14 +3,14 @@
 namespace spf {
 
 void RestoreGate::BeginProtocol() {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(mu_);
   protocol_ = true;
   active_.store(true, std::memory_order_release);
 }
 
 void RestoreGate::EndProtocol() {
   {
-    std::lock_guard<std::mutex> g(mu_);
+    MutexLock g(mu_);
     protocol_ = false;
     active_.store(running_ || sealed_, std::memory_order_release);
   }
@@ -19,19 +19,19 @@ void RestoreGate::EndProtocol() {
 }
 
 void RestoreGate::AwaitIdle() const {
-  std::unique_lock<std::mutex> g(mu_);
-  restored_cv_.wait(g, [&] { return !protocol_ && !sealed_ && !running_; });
+  UniqueLock g(mu_);
+  while (protocol_ || sealed_ || running_) restored_cv_.wait(g);
 }
 
 void RestoreGate::SealAdmission() {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(mu_);
   sealed_ = true;
   active_.store(true, std::memory_order_release);
 }
 
 void RestoreGate::BeginRestore(uint64_t num_pages, uint64_t segment_pages) {
   {
-    std::lock_guard<std::mutex> g(mu_);
+    MutexLock g(mu_);
     SPF_CHECK(!running_) << "nested BeginRestore";
     epoch_++;
     num_pages_ = num_pages;
@@ -56,7 +56,7 @@ void RestoreGate::BeginRestore(uint64_t num_pages, uint64_t segment_pages) {
 }
 
 bool RestoreGate::ClaimNextSegment(uint64_t* segment, bool* on_demand) {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(mu_);
   while (!demand_.empty()) {
     uint64_t s = demand_.front();
     demand_.pop_front();
@@ -81,7 +81,7 @@ bool RestoreGate::ClaimNextSegment(uint64_t* segment, bool* on_demand) {
 void RestoreGate::MarkSegmentRestored(uint64_t segment) {
   uint64_t done, total;
   {
-    std::lock_guard<std::mutex> g(mu_);
+    MutexLock g(mu_);
     SPF_CHECK_LT(segment, num_segments_);
     seg_state_[segment] = kRestored;
     segments_done_++;
@@ -100,7 +100,7 @@ void RestoreGate::MarkSegmentRestored(uint64_t segment) {
 
 void RestoreGate::EndRestore(Status final_status) {
   {
-    std::lock_guard<std::mutex> g(mu_);
+    MutexLock g(mu_);
     running_ = false;
     sealed_ = false;
     final_status_ = std::move(final_status);
@@ -111,7 +111,7 @@ void RestoreGate::EndRestore(Status final_status) {
 
 Status RestoreGate::AwaitRestored(PageId id) {
   if (!active_.load(std::memory_order_acquire)) return Status::OK();
-  std::unique_lock<std::mutex> lk(mu_);
+  UniqueLock lk(mu_);
   for (;;) {
     const uint64_t epoch = epoch_;
     if (running_) {
@@ -126,9 +126,10 @@ Status RestoreGate::AwaitRestored(PageId id) {
       // The epoch guards the predicate: a waiter that loses its wake-up
       // race to the NEXT restore's BeginRestore must not index the
       // reassigned seg_state_ (the new restore may have fewer segments).
-      restored_cv_.wait(lk, [&] {
-        return epoch_ != epoch || !running_ || seg_state_[seg] == kRestored;
-      });
+      while (!(epoch_ != epoch || !running_ ||
+               seg_state_[seg] == kRestored)) {
+        restored_cv_.wait(lk);
+      }
       if (epoch_ != epoch) continue;  // a new restore took over; re-evaluate
       if (seg_state_[seg] == kRestored) return Status::OK();
       // The restore ended without reaching this segment: propagate its
@@ -158,7 +159,7 @@ Status RestoreGate::AwaitRestored(PageId id) {
 }
 
 PageId RestoreGate::watermark() const {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(mu_);
   if (num_segments_ == 0) return kInvalidPageId;
   for (uint64_t s = 0; s < num_segments_; ++s) {
     if (seg_state_[s] != kRestored) return s * segment_pages_;
@@ -168,7 +169,7 @@ PageId RestoreGate::watermark() const {
 
 bool RestoreGate::IsRestored(PageId id) const {
   if (!active_.load(std::memory_order_acquire)) return true;
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(mu_);
   // Sealed but not yet sweeping: no page is trustworthy (the revived
   // device serves pre-failure images the plan scan has yet to replay).
   if (sealed_ && !running_) return false;
@@ -177,17 +178,17 @@ bool RestoreGate::IsRestored(PageId id) const {
 }
 
 uint64_t RestoreGate::on_demand_segments() const {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(mu_);
   return stat_on_demand_;
 }
 
 uint64_t RestoreGate::admission_waits() const {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(mu_);
   return stat_waits_;
 }
 
 double RestoreGate::first_admission_sim_seconds() const {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(mu_);
   return first_admission_sim_s_;
 }
 

@@ -26,16 +26,15 @@
 
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <vector>
 
 #include "buffer/buffer_pool.h"
 #include "common/sim_clock.h"
 #include "common/status.h"
+#include "common/sync.h"
 #include "storage/page.h"
 
 namespace spf {
@@ -192,31 +191,33 @@ class RestoreGate : public RestoreAdmission {
 
   SimClock* const clock_;
 
-  mutable std::mutex mu_;
-  mutable std::condition_variable restored_cv_;  ///< wakes parked faults + AwaitIdle
+  mutable OrderedMutex mu_{LockRank::kRestoreGate};
+  mutable CondVar restored_cv_;  ///< wakes parked faults + AwaitIdle
   /// protocol_ || sealed_ || running_ (fast path).
   std::atomic<bool> active_{false};
-  bool protocol_ = false;  ///< inside BeginProtocol/EndProtocol
-  bool sealed_ = false;    ///< inside SealAdmission/EndRestore
-  bool running_ = false;   ///< inside BeginRestore/EndRestore
+  bool protocol_ SPF_GUARDED_BY(mu_) = false;  ///< BeginProtocol/EndProtocol
+  bool sealed_ SPF_GUARDED_BY(mu_) = false;   ///< SealAdmission/EndRestore
+  bool running_ SPF_GUARDED_BY(mu_) = false;  ///< BeginRestore/EndRestore
   /// Bumped by BeginRestore so a waiter from a previous restore never
   /// indexes the reassigned seg_state_/demanded_ vectors.
-  uint64_t epoch_ = 0;
-  uint64_t num_pages_ = 0;
-  uint64_t segment_pages_ = 1;
-  uint64_t num_segments_ = 0;
-  uint64_t segments_done_ = 0;
-  std::vector<uint8_t> seg_state_;
-  std::vector<uint8_t> demanded_;   ///< segment already queued for demand
-  std::deque<uint64_t> demand_;     ///< on-demand queue (hot segments)
-  uint64_t next_seq_ = 0;           ///< sequential sweep cursor
-  Status final_status_;             ///< set by EndRestore
-  double restore_start_sim_s_ = 0;
+  uint64_t epoch_ SPF_GUARDED_BY(mu_) = 0;
+  uint64_t num_pages_ SPF_GUARDED_BY(mu_) = 0;
+  uint64_t segment_pages_ SPF_GUARDED_BY(mu_) = 1;
+  uint64_t num_segments_ SPF_GUARDED_BY(mu_) = 0;
+  uint64_t segments_done_ SPF_GUARDED_BY(mu_) = 0;
+  std::vector<uint8_t> seg_state_ SPF_GUARDED_BY(mu_);
+  /// Segment already queued for demand.
+  std::vector<uint8_t> demanded_ SPF_GUARDED_BY(mu_);
+  /// On-demand queue (hot segments).
+  std::deque<uint64_t> demand_ SPF_GUARDED_BY(mu_);
+  uint64_t next_seq_ SPF_GUARDED_BY(mu_) = 0;  ///< sequential sweep cursor
+  Status final_status_ SPF_GUARDED_BY(mu_);    ///< set by EndRestore
+  double restore_start_sim_s_ SPF_GUARDED_BY(mu_) = 0;
 
   // Per-restore admission stats (reset by BeginRestore).
-  uint64_t stat_on_demand_ = 0;
-  uint64_t stat_waits_ = 0;
-  double first_admission_sim_s_ = -1;
+  uint64_t stat_on_demand_ SPF_GUARDED_BY(mu_) = 0;
+  uint64_t stat_waits_ SPF_GUARDED_BY(mu_) = 0;
+  double first_admission_sim_s_ SPF_GUARDED_BY(mu_) = -1;
 
   std::function<void(uint64_t, uint64_t)> observer_;
 };

@@ -90,12 +90,12 @@ Status NetworkServer::Start() {
   epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, event_fd_, &ev);
 
   {
-    std::lock_guard<std::mutex> g(work_mu_);
+    MutexLock g(work_mu_);
     stopping_ = false;
     work_queue_.clear();
   }
   {
-    std::lock_guard<std::mutex> g(rearm_mu_);
+    MutexLock g(rearm_mu_);
     rearm_queue_.clear();
   }
   io_stop_ = false;
@@ -114,7 +114,7 @@ void NetworkServer::Stop() {
   // Drain order: workers finish every queued frame first (so accepted
   // frames are still answered), then the IO thread closes the sockets.
   {
-    std::lock_guard<std::mutex> g(work_mu_);
+    MutexLock g(work_mu_);
     stopping_ = true;
   }
   work_cv_.notify_all();
@@ -245,7 +245,7 @@ void NetworkServer::PumpConnection(const std::shared_ptr<Connection>& conn) {
     conn->inbuf.erase(0, wire::kFramingBytes + len);
     conn->busy = true;  // one frame in flight per connection
     {
-      std::lock_guard<std::mutex> g(work_mu_);
+      MutexLock g(work_mu_);
       if (stopping_) return;  // frame dropped with the socket at teardown
       work_queue_.push_back(WorkItem{conn, std::move(payload)});
     }
@@ -256,7 +256,7 @@ void NetworkServer::PumpConnection(const std::shared_ptr<Connection>& conn) {
 void NetworkServer::RearmReturnedConnections() {
   std::vector<int> returned;
   {
-    std::lock_guard<std::mutex> g(rearm_mu_);
+    MutexLock g(rearm_mu_);
     returned.swap(rearm_queue_);
   }
   for (int fd : returned) {
@@ -311,8 +311,8 @@ void NetworkServer::WorkerLoop() {
   while (true) {
     WorkItem item;
     {
-      std::unique_lock<std::mutex> g(work_mu_);
-      work_cv_.wait(g, [this] { return stopping_ || !work_queue_.empty(); });
+      UniqueLock g(work_mu_);
+      while (!stopping_ && work_queue_.empty()) work_cv_.wait(g);
       if (work_queue_.empty()) return;  // stopping_ && drained
       item = std::move(work_queue_.front());
       work_queue_.pop_front();
@@ -455,7 +455,7 @@ bool NetworkServer::SendAll(Connection* conn, std::string_view frame) {
 
 void NetworkServer::ReturnToIo(int fd) {
   {
-    std::lock_guard<std::mutex> g(rearm_mu_);
+    MutexLock g(rearm_mu_);
     rearm_queue_.push_back(fd);
   }
   uint64_t one = 1;

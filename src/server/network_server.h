@@ -35,17 +35,16 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
 #include "common/status.h"
+#include "common/sync.h"
 #include "db/stats_snapshot.h"
 #include "server/wire.h"
 
@@ -169,15 +168,17 @@ class NetworkServer {
   std::thread io_thread_;
   std::vector<std::thread> workers_;
 
-  // Frame queue (IO thread -> workers).
-  std::mutex work_mu_;
-  std::condition_variable work_cv_;
-  std::deque<WorkItem> work_queue_;
-  bool stopping_ = false;
+  // Frame queue (IO thread -> workers). Never nested with rearm_mu_
+  // (equal rank would abort): each handoff holds exactly one queue lock,
+  // and neither is ever held across an engine call.
+  OrderedMutex work_mu_{LockRank::kServerQueue};
+  CondVar work_cv_;
+  std::deque<WorkItem> work_queue_ SPF_GUARDED_BY(work_mu_);
+  bool stopping_ SPF_GUARDED_BY(work_mu_) = false;
 
   // Re-arm queue (workers -> IO thread), drained on event_fd_ wakeups.
-  std::mutex rearm_mu_;
-  std::vector<int> rearm_queue_;
+  OrderedMutex rearm_mu_{LockRank::kServerQueue};
+  std::vector<int> rearm_queue_ SPF_GUARDED_BY(rearm_mu_);
 
   // IO-thread-only connection registry.
   std::unordered_map<int, std::shared_ptr<Connection>> conns_;

@@ -15,7 +15,7 @@ PageAllocator::PageAllocator(uint64_t num_pages, uint64_t reserved)
 }
 
 StatusOr<PageId> PageAllocator::Allocate() {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(mu_);
   for (uint64_t probe = 0; probe < num_pages_; ++probe) {
     uint64_t id = (next_hint_ + probe) % num_pages_;
     if (!used_[id]) {
@@ -29,7 +29,7 @@ StatusOr<PageId> PageAllocator::Allocate() {
 }
 
 void PageAllocator::Free(PageId id) {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(mu_);
   SPF_CHECK_LT(id, num_pages_);
   SPF_CHECK(used_[id]) << "double free of page " << id;
   used_[id] = false;
@@ -37,7 +37,7 @@ void PageAllocator::Free(PageId id) {
 }
 
 void PageAllocator::MarkAllocated(PageId id) {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(mu_);
   SPF_CHECK_LT(id, num_pages_);
   if (!used_[id]) {
     used_[id] = true;
@@ -46,7 +46,7 @@ void PageAllocator::MarkAllocated(PageId id) {
 }
 
 void PageAllocator::MarkFree(PageId id) {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(mu_);
   SPF_CHECK_LT(id, num_pages_);
   if (used_[id]) {
     used_[id] = false;
@@ -55,18 +55,18 @@ void PageAllocator::MarkFree(PageId id) {
 }
 
 bool PageAllocator::IsAllocated(PageId id) const {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(mu_);
   SPF_CHECK_LT(id, num_pages_);
   return used_[id];
 }
 
 uint64_t PageAllocator::allocated_count() const {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(mu_);
   return allocated_;
 }
 
 std::string PageAllocator::Serialize() const {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(mu_);
   std::string out;
   PutFixed64(&out, num_pages_);
   // Pack the bitmap 8 pages per byte.
@@ -80,7 +80,7 @@ std::string PageAllocator::Serialize() const {
 }
 
 Status PageAllocator::Deserialize(std::string_view data) {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(mu_);
   size_t off = 0;
   uint64_t n;
   std::string_view bits;
@@ -102,29 +102,29 @@ Status PageAllocator::Deserialize(std::string_view data) {
 // ---------------------------------------------------------------------------
 
 void BadBlockList::Add(PageId id) {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(mu_);
   if (std::find(blocks_.begin(), blocks_.end(), id) == blocks_.end()) {
     blocks_.push_back(id);
   }
 }
 
 bool BadBlockList::Contains(PageId id) const {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(mu_);
   return std::find(blocks_.begin(), blocks_.end(), id) != blocks_.end();
 }
 
 uint64_t BadBlockList::size() const {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(mu_);
   return blocks_.size();
 }
 
 std::vector<PageId> BadBlockList::All() const {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(mu_);
   return blocks_;
 }
 
 std::string BadBlockList::Serialize() const {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(mu_);
   std::string out;
   PutFixed64(&out, blocks_.size());
   for (PageId id : blocks_) PutFixed64(&out, id);
@@ -132,7 +132,7 @@ std::string BadBlockList::Serialize() const {
 }
 
 Status BadBlockList::Deserialize(std::string_view data) {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(mu_);
   size_t off = 0;
   uint64_t n;
   if (!GetFixed64(data, &off, &n)) return Status::Corruption("bad bbl image");

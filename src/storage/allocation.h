@@ -9,7 +9,7 @@
 #pragma once
 
 #include <cstdint>
-#include <mutex>
+#include "common/sync.h"
 #include <string>
 #include <vector>
 
@@ -52,10 +52,10 @@ class PageAllocator {
 
  private:
   const uint64_t num_pages_;
-  mutable std::mutex mu_;
-  std::vector<bool> used_;
-  uint64_t allocated_ = 0;
-  uint64_t next_hint_ = 0;
+  mutable OrderedMutex mu_{LockRank::kStats};
+  std::vector<bool> used_ SPF_GUARDED_BY(mu_);
+  uint64_t allocated_ SPF_GUARDED_BY(mu_) = 0;
+  uint64_t next_hint_ SPF_GUARDED_BY(mu_) = 0;
 };
 
 /// Registry of storage locations that have failed and must not be reused
@@ -72,8 +72,8 @@ class BadBlockList {
   Status Deserialize(std::string_view data);
 
  private:
-  mutable std::mutex mu_;
-  std::vector<PageId> blocks_;
+  mutable OrderedMutex mu_{LockRank::kStats};
+  std::vector<PageId> blocks_ SPF_GUARDED_BY(mu_);
 };
 
 }  // namespace spf

@@ -39,7 +39,7 @@ uint64_t SimDevice::ChargeAccess(PageId id, bool is_write) {
 }
 
 Status SimDevice::ReadPage(PageId id, char* out) {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(mu_);
   if (device_failed_) {
     return Status::MediaFailure("device '" + name_ + "' has failed");
   }
@@ -59,7 +59,7 @@ Status SimDevice::ReadPage(PageId id, char* out) {
 }
 
 Status SimDevice::WritePage(PageId id, const char* data) {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(mu_);
   if (device_failed_) {
     return Status::MediaFailure("device '" + name_ + "' has failed");
   }
@@ -98,12 +98,12 @@ Status SimDevice::WritePage(PageId id, const char* data) {
 }
 
 DeviceStats SimDevice::stats() const {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(mu_);
   return stats_;
 }
 
 void SimDevice::ResetStats() {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(mu_);
   stats_ = DeviceStats();
 }
 
@@ -118,13 +118,13 @@ void SimDevice::ScrambleLocked(PageId id, uint64_t seed, uint32_t nbytes) {
 
 void SimDevice::InjectSilentCorruption(PageId id, uint64_t seed,
                                        uint32_t nbytes) {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(mu_);
   SPF_CHECK_LT(id, num_pages_);
   ScrambleLocked(id, seed, nbytes);
 }
 
 void SimDevice::InjectReadError(PageId id, bool permanent) {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(mu_);
   FaultState f;
   f.kind = FaultKind::kReadError;
   f.permanent = permanent;
@@ -132,7 +132,7 @@ void SimDevice::InjectReadError(PageId id, bool permanent) {
 }
 
 void SimDevice::FailPageRange(PageId first, uint64_t count) {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(mu_);
   SPF_CHECK_LE(first + count, num_pages_);
   for (PageId id = first; id < first + count; ++id) {
     FaultState f;
@@ -144,13 +144,13 @@ void SimDevice::FailPageRange(PageId first, uint64_t count) {
 }
 
 void SimDevice::CapturePageVersion(PageId id) {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(mu_);
   SPF_CHECK_LT(id, num_pages_);
   captured_versions_[id].assign(Slot(id), page_size_);
 }
 
 bool SimDevice::InjectStaleVersion(PageId id) {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(mu_);
   auto it = captured_versions_.find(id);
   if (it == captured_versions_.end()) return false;
   std::memcpy(Slot(id), it->second.data(), page_size_);
@@ -158,7 +158,7 @@ bool SimDevice::InjectStaleVersion(PageId id) {
 }
 
 void SimDevice::InjectTornWrite(PageId id, uint32_t valid_prefix) {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(mu_);
   FaultState f;
   f.kind = FaultKind::kTornWrite;
   f.torn_prefix = valid_prefix;
@@ -166,24 +166,24 @@ void SimDevice::InjectTornWrite(PageId id, uint32_t valid_prefix) {
 }
 
 void SimDevice::SetWearOutLimit(PageId id, uint32_t writes_remaining) {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(mu_);
   wear_remaining_[id] = writes_remaining;
 }
 
 void SimDevice::ClearFault(PageId id) {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(mu_);
   faults_.erase(id);
   wear_remaining_.erase(id);
 }
 
 void SimDevice::RawRead(PageId id, char* out) const {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(mu_);
   SPF_CHECK_LT(id, num_pages_);
   std::memcpy(out, Slot(id), page_size_);
 }
 
 void SimDevice::RawWrite(PageId id, const char* data) {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(mu_);
   SPF_CHECK_LT(id, num_pages_);
   std::memcpy(const_cast<char*>(Slot(id)), data, page_size_);
 }
@@ -196,14 +196,14 @@ SimLogDevice::SimLogDevice(std::string name, DeviceProfile profile,
     : name_(std::move(name)), profile_(std::move(profile)), clock_(clock) {}
 
 uint64_t SimLogDevice::Append(std::string_view data) {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(mu_);
   uint64_t offset = data_.size();
   data_.append(data.data(), data.size());
   return offset;
 }
 
 void SimLogDevice::Sync() {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(mu_);
   // Every sync is one device round-trip: the unsynced tail transfers at
   // the sequential rate, but completing the force still pays the
   // profile's positioning overhead (rotational delay on disk, flush
@@ -227,7 +227,7 @@ void SimLogDevice::Sync() {
 }
 
 Status SimLogDevice::ReadAt(uint64_t offset, uint64_t n, char* out) const {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(mu_);
   if (offset + n > data_.size()) {
     return Status::IOError("log read past end");
   }
@@ -248,27 +248,27 @@ Status SimLogDevice::ReadAt(uint64_t offset, uint64_t n, char* out) const {
 }
 
 uint64_t SimLogDevice::size() const {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(mu_);
   return data_.size();
 }
 
 uint64_t SimLogDevice::synced_size() const {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(mu_);
   return synced_size_;
 }
 
 void SimLogDevice::DropUnsynced() {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(mu_);
   data_.resize(synced_size_);
 }
 
 DeviceStats SimLogDevice::stats() const {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(mu_);
   return stats_;
 }
 
 void SimLogDevice::ResetStats() {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(mu_);
   stats_ = DeviceStats();
 }
 

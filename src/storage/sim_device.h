@@ -19,7 +19,7 @@
 #pragma once
 
 #include <cstdint>
-#include <mutex>
+#include "common/sync.h"
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -128,15 +128,15 @@ class SimDevice {
 
   /// Fails the entire device: every subsequent access returns MediaFailure.
   void FailDevice() {
-    std::lock_guard<std::mutex> g(mu_);
+    MutexLock g(mu_);
     device_failed_ = true;
   }
   void ReviveDevice() {
-    std::lock_guard<std::mutex> g(mu_);
+    MutexLock g(mu_);
     device_failed_ = false;
   }
   bool device_failed() const {
-    std::lock_guard<std::mutex> g(mu_);
+    MutexLock g(mu_);
     return device_failed_;
   }
 
@@ -155,11 +155,15 @@ class SimDevice {
     uint32_t corrupt_bytes = 0;
   };
 
-  uint64_t ChargeAccess(PageId id, bool is_write)
-      /* requires mu_ held */;
-  char* Slot(PageId id) { return store_.data() + id * page_size_; }
-  const char* Slot(PageId id) const { return store_.data() + id * page_size_; }
-  void ScrambleLocked(PageId id, uint64_t seed, uint32_t nbytes);
+  uint64_t ChargeAccess(PageId id, bool is_write) SPF_REQUIRES(mu_);
+  char* Slot(PageId id) SPF_REQUIRES(mu_) {
+    return store_.data() + id * page_size_;
+  }
+  const char* Slot(PageId id) const SPF_REQUIRES(mu_) {
+    return store_.data() + id * page_size_;
+  }
+  void ScrambleLocked(PageId id, uint64_t seed, uint32_t nbytes)
+      SPF_REQUIRES(mu_);
 
   const std::string name_;
   const uint32_t page_size_;
@@ -167,14 +171,14 @@ class SimDevice {
   const DeviceProfile profile_;
   SimClock* const clock_;
 
-  mutable std::mutex mu_;
-  std::vector<char> store_;
-  std::unordered_map<PageId, FaultState> faults_;
-  std::unordered_map<PageId, std::string> captured_versions_;
-  std::unordered_map<PageId, uint32_t> wear_remaining_;
-  PageId last_accessed_ = kInvalidPageId;
-  bool device_failed_ = false;
-  DeviceStats stats_;
+  mutable OrderedMutex mu_{LockRank::kDevice};
+  std::vector<char> store_ SPF_GUARDED_BY(mu_);
+  std::unordered_map<PageId, FaultState> faults_ SPF_GUARDED_BY(mu_);
+  std::unordered_map<PageId, std::string> captured_versions_ SPF_GUARDED_BY(mu_);
+  std::unordered_map<PageId, uint32_t> wear_remaining_ SPF_GUARDED_BY(mu_);
+  PageId last_accessed_ SPF_GUARDED_BY(mu_) = kInvalidPageId;
+  bool device_failed_ SPF_GUARDED_BY(mu_) = false;
+  DeviceStats stats_ SPF_GUARDED_BY(mu_);
 };
 
 /// Append-only simulated byte device for the recovery log.
@@ -218,11 +222,11 @@ class SimLogDevice {
   const DeviceProfile profile_;
   SimClock* const clock_;
 
-  mutable std::mutex mu_;
-  std::string data_;
-  uint64_t synced_size_ = 0;
-  mutable uint64_t last_read_end_ = UINT64_MAX;
-  mutable DeviceStats stats_;
+  mutable OrderedMutex mu_{LockRank::kDevice};
+  std::string data_ SPF_GUARDED_BY(mu_);
+  uint64_t synced_size_ SPF_GUARDED_BY(mu_) = 0;
+  mutable uint64_t last_read_end_ SPF_GUARDED_BY(mu_) = UINT64_MAX;
+  mutable DeviceStats stats_ SPF_GUARDED_BY(mu_);
 };
 
 }  // namespace spf

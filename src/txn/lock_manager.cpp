@@ -14,7 +14,7 @@ bool LockManager::Compatible(const LockState& s, TxnId txn, LockMode mode) {
 
 Status LockManager::Lock(TxnId txn, const std::string& key, LockMode mode) {
   Shard& sh = ShardFor(key);
-  std::unique_lock<std::mutex> lock(sh.mu);
+  UniqueLock lock(sh.mu);
   LockState& s = sh.locks[key];
 
   auto self = s.holders.find(txn);
@@ -48,7 +48,7 @@ Status LockManager::Lock(TxnId txn, const std::string& key, LockMode mode) {
 
 void LockManager::Unlock(TxnId txn, const std::string& key) {
   Shard& sh = ShardFor(key);
-  std::lock_guard<std::mutex> g(sh.mu);
+  MutexLock g(sh.mu);
   auto it = sh.locks.find(key);
   if (it == sh.locks.end()) return;
   it->second.holders.erase(txn);
@@ -60,7 +60,7 @@ void LockManager::Unlock(TxnId txn, const std::string& key) {
 
 void LockManager::ReleaseAll(TxnId txn) {
   for (Shard& sh : shards_) {
-    std::lock_guard<std::mutex> g(sh.mu);
+    MutexLock g(sh.mu);
     bool released = false;
     for (auto it = sh.locks.begin(); it != sh.locks.end();) {
       released |= it->second.holders.erase(txn) > 0;
@@ -76,7 +76,7 @@ void LockManager::ReleaseAll(TxnId txn) {
 
 bool LockManager::IsLocked(const std::string& key) const {
   Shard& sh = ShardFor(key);
-  std::lock_guard<std::mutex> g(sh.mu);
+  MutexLock g(sh.mu);
   auto it = sh.locks.find(key);
   return it != sh.locks.end() && !it->second.holders.empty();
 }
@@ -84,7 +84,7 @@ bool LockManager::IsLocked(const std::string& key) const {
 bool LockManager::Holds(TxnId txn, const std::string& key,
                         LockMode mode) const {
   Shard& sh = ShardFor(key);
-  std::lock_guard<std::mutex> g(sh.mu);
+  MutexLock g(sh.mu);
   auto it = sh.locks.find(key);
   if (it == sh.locks.end()) return false;
   auto h = it->second.holders.find(txn);
@@ -95,7 +95,7 @@ bool LockManager::Holds(TxnId txn, const std::string& key,
 uint64_t LockManager::timeouts() const {
   uint64_t total = 0;
   for (const Shard& sh : shards_) {
-    std::lock_guard<std::mutex> g(sh.mu);
+    MutexLock g(sh.mu);
     total += sh.timeouts;
   }
   return total;
@@ -104,7 +104,7 @@ uint64_t LockManager::timeouts() const {
 LockManagerStats LockManager::stats() const {
   LockManagerStats out;
   for (const Shard& sh : shards_) {
-    std::lock_guard<std::mutex> g(sh.mu);
+    MutexLock g(sh.mu);
     out.acquisitions += sh.acquisitions;
     out.waits += sh.waits;
     out.timeouts += sh.timeouts;

@@ -15,15 +15,14 @@
 #pragma once
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/macros.h"
+#include "common/sync.h"
 #include "common/status.h"
 #include "log/log_record.h"
 
@@ -83,12 +82,12 @@ class LockManager {
   };
 
   struct Shard {
-    mutable std::mutex mu;
-    std::condition_variable cv;
-    std::map<std::string, LockState> locks;
-    uint64_t acquisitions = 0;
-    uint64_t waits = 0;
-    uint64_t timeouts = 0;
+    mutable OrderedMutex mu{LockRank::kLockShard};
+    CondVar cv;
+    std::map<std::string, LockState> locks SPF_GUARDED_BY(mu);
+    uint64_t acquisitions SPF_GUARDED_BY(mu) = 0;
+    uint64_t waits SPF_GUARDED_BY(mu) = 0;
+    uint64_t timeouts SPF_GUARDED_BY(mu) = 0;
   };
 
   Shard& ShardFor(const std::string& key) const {

@@ -3,12 +3,12 @@
 namespace spf {
 
 std::shared_ptr<Transaction> TxnManager::BeginInternal(bool system) {
-  std::unique_lock<std::mutex> g(mu_);
+  UniqueLock g(mu_);
   if (!system && gate_closed_) {
     // Rung-5 quiesce: park at the admission gate until the restore
     // readmits (with early admission, as soon as the sweep starts).
     stats_.gate_parked++;
-    gate_cv_.wait(g, [&] { return !gate_closed_; });
+    while (gate_closed_) gate_cv_.wait(g);
   }
   TxnId id = next_id_++;
   auto txn = std::make_shared<Transaction>(id, system);
@@ -50,7 +50,7 @@ Status TxnManager::Commit(Transaction* txn) {
       // are atomic with respect to a checkpoint's {snapshot + append}
       // exclusive section, so a checkpoint whose end record follows this
       // commit record never lists this transaction as active.
-      std::shared_lock<std::shared_mutex> gate(commit_gate_);
+      ReaderLock gate(commit_gate_);
       commit_lsn = txn->Log(log_, &commit);
       txn->mark_finish_logged();
     }
@@ -63,7 +63,7 @@ Status TxnManager::Commit(Transaction* txn) {
   }
   txn->set_state(TxnState::kCommitted);
   {
-    std::lock_guard<std::mutex> g(mu_);
+    MutexLock g(mu_);
     if (txn->is_system()) {
       stats_.system_committed++;
     } else {
@@ -93,20 +93,20 @@ void TxnManager::FinishAbort(Transaction* txn) {
     // Same commit-gate discipline as Commit: once the end record is in
     // the log, a later checkpoint must not list this transaction as
     // active (restart would re-undo an already-compensated chain).
-    std::shared_lock<std::shared_mutex> gate(commit_gate_);
+    ReaderLock gate(commit_gate_);
     txn->Log(log_, &end);
     txn->mark_finish_logged();
   }
   txn->set_state(TxnState::kAborted);
   {
-    std::lock_guard<std::mutex> g(mu_);
+    MutexLock g(mu_);
     if (!txn->is_system()) stats_.user_aborted++;
   }
   Retire(txn);
 }
 
 Transaction* TxnManager::AdoptLoser(TxnId id, Lsn last_lsn, Lsn undo_next) {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(mu_);
   auto txn = std::make_shared<Transaction>(id, /*is_system=*/false);
   // Reconstruct the chain head without logging.
   txn->set_state(TxnState::kActive);
@@ -121,20 +121,20 @@ Transaction* TxnManager::AdoptLoser(TxnId id, Lsn last_lsn, Lsn undo_next) {
 }
 
 void TxnManager::CloseGate() {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(mu_);
   gate_closed_ = true;
 }
 
 void TxnManager::OpenGate() {
   {
-    std::lock_guard<std::mutex> g(mu_);
+    MutexLock g(mu_);
       gate_closed_ = false;
   }
   gate_cv_.notify_all();
 }
 
 bool TxnManager::gate_closed() const {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(mu_);
   return gate_closed_;
 }
 
@@ -147,18 +147,21 @@ size_t TxnManager::ActiveUserCountLocked() const {
 }
 
 size_t TxnManager::ActiveUserCount() const {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(mu_);
   return ActiveUserCountLocked();
 }
 
 size_t TxnManager::WaitForUserDrain(std::chrono::milliseconds timeout) {
-  std::unique_lock<std::mutex> g(mu_);
-  drain_cv_.wait_for(g, timeout, [&] { return ActiveUserCountLocked() == 0; });
+  UniqueLock g(mu_);
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  while (ActiveUserCountLocked() != 0 &&
+         drain_cv_.wait_until(g, deadline) != std::cv_status::timeout) {
+  }
   return ActiveUserCountLocked();
 }
 
 std::vector<std::shared_ptr<Transaction>> TxnManager::DoomActiveUserTxns() {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(mu_);
   std::vector<std::shared_ptr<Transaction>> doomed;
   for (const auto& [id, txn] : active_) {
     if (txn->is_system()) continue;
@@ -178,7 +181,7 @@ std::vector<std::shared_ptr<Transaction>> TxnManager::DoomActiveUserTxns() {
 }
 
 void TxnManager::DoomAllForCrash() {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(mu_);
   for (const auto& [id, txn] : active_) {
     if (txn->is_system()) continue;
     if (txn->TryDoom()) stats_.doomed++;
@@ -189,7 +192,7 @@ void TxnManager::DoomAllForCrash() {
 }
 
 std::vector<ActiveTxnEntry> TxnManager::ActiveTxns() const {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(mu_);
   std::vector<ActiveTxnEntry> out;
   for (const auto& [id, txn] : active_) {
     // A transaction whose finish record is already in the log is done as
@@ -204,22 +207,22 @@ std::vector<ActiveTxnEntry> TxnManager::ActiveTxns() const {
 }
 
 size_t TxnManager::active_count() const {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(mu_);
   return active_.size();
 }
 
 TxnId TxnManager::next_txn_id() const {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(mu_);
   return next_id_;
 }
 
 void TxnManager::SetNextTxnId(TxnId id) {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(mu_);
   if (id > next_id_) next_id_ = id;
 }
 
 TxnStats TxnManager::stats() const {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(mu_);
   return stats_;
 }
 
@@ -227,7 +230,7 @@ void TxnManager::Retire(Transaction* txn) {
   locks_->ReleaseAll(txn->id());
   std::shared_ptr<Transaction> dropped;
   {
-    std::lock_guard<std::mutex> g(mu_);
+    MutexLock g(mu_);
     auto it = active_.find(txn->id());
     if (it != active_.end()) {
       // Move the table's reference out so a last-reference destruction

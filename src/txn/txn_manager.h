@@ -4,14 +4,12 @@
 #pragma once
 
 #include <chrono>
-#include <condition_variable>
 #include <memory>
-#include <mutex>
-#include <shared_mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "common/macros.h"
+#include "common/sync.h"
 #include "common/status.h"
 #include "log/log_manager.h"
 #include "txn/lock_manager.h"
@@ -151,8 +149,8 @@ class TxnManager {
   /// scan reaches the finish record). Without this ordering, restart
   /// analysis can resurrect a committed transaction from a checkpoint's
   /// txn table and roll back acknowledged writes.
-  std::unique_lock<std::shared_mutex> LockCommitsForCheckpoint() {
-    return std::unique_lock<std::shared_mutex>(commit_gate_);
+  WriterLock LockCommitsForCheckpoint() {
+    return WriterLock(commit_gate_);
   }
 
   /// Number of transactions in the active table (user + system).
@@ -174,23 +172,26 @@ class TxnManager {
  private:
   std::shared_ptr<Transaction> BeginInternal(bool system);
   void Retire(Transaction* txn);
-  size_t ActiveUserCountLocked() const;
+  size_t ActiveUserCountLocked() const SPF_REQUIRES(mu_);
 
   LogManager* const log_;
   LockManager* const locks_;
 
-  mutable std::mutex mu_;
+  mutable OrderedMutex mu_{LockRank::kTxnTable};
   /// Orders finish-record appends against checkpoint snapshots — see
-  /// LockCommitsForCheckpoint().
-  mutable std::shared_mutex commit_gate_;
-  std::condition_variable gate_cv_;   ///< wakes parked Begins (gate opened)
-  std::condition_variable drain_cv_;  ///< wakes WaitForUserDrain (retirements)
-  bool gate_closed_ = false;
-  TxnId next_id_ = 1;
+  /// LockCommitsForCheckpoint(). Ranked BELOW the txn table and the log:
+  /// the B-tree commits system transactions while still holding page
+  /// latches, so the gate nests between frame latches and everything else.
+  mutable OrderedSharedMutex commit_gate_{LockRank::kCommitGate};
+  CondVar gate_cv_;   ///< wakes parked Begins (gate opened)
+  CondVar drain_cv_;  ///< wakes WaitForUserDrain (retirements)
+  bool gate_closed_ SPF_GUARDED_BY(mu_) = false;
+  TxnId next_id_ SPF_GUARDED_BY(mu_) = 1;
   /// Shared control blocks: retirement drops the table's reference; any
   /// outstanding owner handle keeps the object alive on its own.
-  std::unordered_map<TxnId, std::shared_ptr<Transaction>> active_;
-  TxnStats stats_;
+  std::unordered_map<TxnId, std::shared_ptr<Transaction>> active_
+      SPF_GUARDED_BY(mu_);
+  TxnStats stats_ SPF_GUARDED_BY(mu_);
 };
 
 }  // namespace spf

@@ -5,9 +5,12 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <map>
 #include <set>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "common/random.h"
 #include "test_env.h"
@@ -399,6 +402,39 @@ TEST_F(BTreeTest, PerPageChainReachesEveryUpdate) {
     ASSERT_LT(chain_len, 100);
   }
   EXPECT_GE(chain_len, 10);  // 10 inserts + format
+}
+
+TEST_F(BTreeTest, RootGrowthKeepsDescentsCovered) {
+  // Regression for a broken meta->root latch-coupling hop: DescendToLeaf
+  // used to read root_pid() (releasing the meta latch) and only then fix
+  // the root. GrowRoot could run in that window — it cuts the old root's
+  // foster edge under its exclusive latch — so the descent landed on a
+  // node that no longer covered its key and reported phantom
+  // "descent reached node not covering key" corruption. Concurrent
+  // writers hammering the tree through its root growths reproduce the
+  // window reliably under TSan's scheduling; any Corruption status here
+  // is the bug.
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 1500;
+  std::vector<std::thread> threads;
+  std::atomic<int> corruptions{0};
+  for (int w = 0; w < kThreads; ++w) {
+    threads.emplace_back([this, w, &corruptions] {
+      for (int i = 0; i < kPerThread; ++i) {
+        Transaction* t = env_.txns->Begin().get();
+        Status s = env_.tree->Insert(t, Key(w * 1000000 + i), "v");
+        if (s.IsCorruption()) {
+          ADD_FAILURE() << "descent corruption: " << s.ToString();
+          corruptions.fetch_add(1);
+        }
+        env_.txns->Commit(t);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(corruptions.load(), 0);
+  EXPECT_GT(env_.tree->stats().root_growths, 0u);
+  ASSERT_TRUE(env_.tree->VerifyAll(nullptr).ok());
 }
 
 TEST(BTreePropertyTest, RandomWorkloadMatchesReference) {
